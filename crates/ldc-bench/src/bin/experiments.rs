@@ -1,0 +1,52 @@
+//! Regenerate the experiment tables of EXPERIMENTS.md.
+//!
+//! ```sh
+//! cargo run -p ldc-bench --release --bin experiments -- --exp all
+//! cargo run -p ldc-bench --release --bin experiments -- --exp E6 --quick
+//! ```
+
+use ldc_bench::experiments;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut exp = "all".to_string();
+    let mut quick = false;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--exp" => {
+                i += 1;
+                exp = args.get(i).cloned().unwrap_or_else(|| usage());
+            }
+            "--quick" => quick = true,
+            "--help" | "-h" => {
+                usage();
+            }
+            other => {
+                eprintln!("unknown argument: {other}");
+                usage();
+            }
+        }
+        i += 1;
+    }
+
+    let ids: Vec<&str> = if exp == "all" {
+        experiments::ALL.to_vec()
+    } else {
+        vec![exp.as_str()]
+    };
+    for id in ids {
+        match experiments::run(id, quick) {
+            Some(table) => table.emit(),
+            None => {
+                eprintln!("unknown experiment id {id}; known: {:?} or 'all'", experiments::ALL);
+                std::process::exit(2);
+            }
+        }
+    }
+}
+
+fn usage() -> ! {
+    eprintln!("usage: experiments [--exp E1..E12|all] [--quick]");
+    std::process::exit(2);
+}

@@ -1,0 +1,22 @@
+//! Experiment harness for the `list-defective-coloring` workspace.
+//!
+//! The paper (a theory paper) ships no tables or figures; DESIGN.md §5
+//! derives an experiment suite E1–E12 from its quantitative claims, one
+//! family per theorem/lemma. Each experiment here regenerates one table:
+//!
+//! ```sh
+//! cargo run -p ldc-bench --release --bin experiments -- --exp all
+//! cargo run -p ldc-bench --release --bin experiments -- --exp E6 --quick
+//! ```
+//!
+//! Results print as aligned text and are also written as JSON under
+//! `target/experiments/` for regeneration checks.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod table;
+pub mod workloads;
+
+pub use table::Table;

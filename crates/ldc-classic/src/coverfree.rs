@@ -1,0 +1,252 @@
+//! Polynomial set systems over `F_q` — the combinatorial engine behind
+//! Linial's one-round color reduction and Kuhn's defective variant.
+//!
+//! A color `c < m` is mapped to the polynomial `p_c` over `F_q` whose
+//! coefficients are the base-`q` digits of `c` (degree ≤ `k`, where
+//! `q^(k+1) ≥ m`), and then to the point set
+//! `S_c = {(x, p_c(x)) : x ∈ F_q} ⊆ [q²]`.
+//! Two distinct colors share at most `k` points, so if `q > k·Δ/(d+1)` a
+//! node can always pick a point of its own set that is covered by at most
+//! `d` neighbor sets (`d = 0` gives Linial's proper reduction, `d > 0`
+//! Kuhn's defective one). The new color is the index of that point.
+
+/// Deterministic primality test by trial division (inputs stay far below
+/// the range where this matters; `q` is `O(Δ·log m)`).
+pub fn is_prime(x: u64) -> bool {
+    if x < 2 {
+        return false;
+    }
+    if x.is_multiple_of(2) {
+        return x == 2;
+    }
+    let mut f = 3u64;
+    while f.saturating_mul(f) <= x {
+        if x.is_multiple_of(f) {
+            return false;
+        }
+        f += 2;
+    }
+    true
+}
+
+/// Smallest prime `>= x`.
+pub fn next_prime(x: u64) -> u64 {
+    let mut p = x.max(2);
+    while !is_prime(p) {
+        p += 1;
+    }
+    p
+}
+
+/// A concrete one-round reduction scheme: colors `0..m` mapped into point
+/// sets over `[q] × [q]`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PolyScheme {
+    /// Field size (prime).
+    pub q: u64,
+    /// Maximum polynomial degree `k`.
+    pub k: u64,
+    /// Input palette size `m` (requires `q^(k+1) >= m`).
+    pub m: u64,
+}
+
+impl PolyScheme {
+    /// Choose the scheme minimizing the output palette `q²` for reducing an
+    /// `m`-coloring on a graph with maximum degree `delta`, tolerating
+    /// defect `d` (`d = 0` for a proper reduction).
+    ///
+    /// Returns `None` when no scheme shrinks the palette (i.e. `q² >= m`
+    /// for every degree choice) — the caller has reached the fixpoint.
+    pub fn choose(m: u64, delta: u64, d: u64) -> Option<PolyScheme> {
+        let mut best: Option<PolyScheme> = None;
+        for k in 1..=16u64 {
+            // q must satisfy q^(k+1) >= m and q(d+1) > k*delta.
+            let lower_cover = k * delta / (d + 1) + 1;
+            let lower_field = integer_root_ceil(m, k + 1);
+            let q = next_prime(lower_cover.max(lower_field).max(2));
+            let cand = PolyScheme { q, k, m };
+            if best.is_none_or(|b| cand.output_palette() < b.output_palette()) {
+                best = Some(cand);
+            }
+        }
+        best.filter(|s| s.output_palette() < m)
+    }
+
+    /// Output palette size `q²`.
+    pub fn output_palette(&self) -> u64 {
+        self.q * self.q
+    }
+
+    /// Evaluate the polynomial of color `c` at `x` (both in `F_q`).
+    pub fn eval(&self, c: u64, x: u64) -> u64 {
+        debug_assert!(c < self.m || self.m == 0);
+        let q = u128::from(self.q);
+        let x = u128::from(x % self.q);
+        // Horner over the base-q digits of c, most significant first.
+        let mut digits = [0u128; 17];
+        let mut c = u128::from(c);
+        let mut len = 0usize;
+        for d in digits.iter_mut().take(self.k as usize + 1) {
+            *d = c % q;
+            c /= q;
+            len += 1;
+        }
+        let mut acc = 0u128;
+        for i in (0..len).rev() {
+            acc = (acc * x + digits[i]) % q;
+        }
+        acc as u64
+    }
+
+    /// Given a node's color `c` and the colors of its neighbors, pick the
+    /// new color: the point `(x, p_c(x))` covered by at most `d` neighbor
+    /// polynomials. Returns the flat point index `x·q + y`.
+    ///
+    /// # Panics
+    /// Panics if no point with coverage ≤ `d` exists, which the scheme's
+    /// parameter choice rules out whenever `deg ≤ delta` and all neighbor
+    /// colors differ from `c`.
+    pub fn reduce(&self, c: u64, neighbor_colors: &[u64], d: u64) -> u64 {
+        let q = self.q;
+        let mut coverage = vec![0u64; q as usize];
+        for &cu in neighbor_colors {
+            debug_assert_ne!(cu, c, "reduction requires a proper input coloring");
+            for x in 0..q {
+                if self.eval(cu, x) == self.eval(c, x) {
+                    coverage[x as usize] += 1;
+                }
+            }
+        }
+        let x = (0..q)
+            .min_by_key(|&x| coverage[x as usize])
+            .expect("q >= 2");
+        assert!(
+            coverage[x as usize] <= d,
+            "cover-free property violated: min coverage {} > defect {} (q={}, k={}, deg={})",
+            coverage[x as usize],
+            d,
+            q,
+            self.k,
+            neighbor_colors.len(),
+        );
+        x * q + self.eval(c, x)
+    }
+}
+
+/// `⌈m^(1/r)⌉` by binary search on integers.
+fn integer_root_ceil(m: u64, r: u64) -> u64 {
+    if m <= 1 {
+        return m;
+    }
+    let mut lo = 1u64;
+    let mut hi = m;
+    while lo < hi {
+        let mid = lo + (hi - lo) / 2;
+        if pow_at_least(mid, r, m) {
+            hi = mid;
+        } else {
+            lo = mid + 1;
+        }
+    }
+    lo
+}
+
+/// Whether `base^exp >= target`, without overflow.
+fn pow_at_least(base: u64, exp: u64, target: u64) -> bool {
+    let mut acc: u128 = 1;
+    for _ in 0..exp {
+        acc = acc.saturating_mul(u128::from(base));
+        if acc >= u128::from(target) {
+            return true;
+        }
+    }
+    acc >= u128::from(target)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primes() {
+        assert!(is_prime(2));
+        assert!(is_prime(3));
+        assert!(!is_prime(1));
+        assert!(!is_prime(9));
+        assert!(is_prime(101));
+        assert_eq!(next_prime(14), 17);
+        assert_eq!(next_prime(17), 17);
+        assert_eq!(next_prime(0), 2);
+    }
+
+    #[test]
+    fn integer_roots() {
+        assert_eq!(integer_root_ceil(27, 3), 3);
+        assert_eq!(integer_root_ceil(28, 3), 4);
+        assert_eq!(integer_root_ceil(1, 5), 1);
+        assert_eq!(integer_root_ceil(1_000_000, 2), 1000);
+        assert_eq!(integer_root_ceil(1_000_001, 2), 1001);
+    }
+
+    #[test]
+    fn distinct_colors_get_distinct_polynomials() {
+        let s = PolyScheme { q: 5, k: 2, m: 125 };
+        // Two polynomials of degree ≤ 2 over F_5 agreeing on 3 points are equal,
+        // so distinct colors must disagree somewhere.
+        for c1 in 0..125 {
+            for c2 in (c1 + 1)..125 {
+                let agree = (0..5).filter(|&x| s.eval(c1, x) == s.eval(c2, x)).count();
+                assert!(agree <= 2, "colors {c1},{c2} agree on {agree} > k points");
+            }
+        }
+    }
+
+    #[test]
+    fn eval_matches_horner_by_hand() {
+        // c = 1*q^2 + 2*q + 3 with q=7 → p(x) = x² + 2x + 3 … digits are
+        // little-endian: c = 3 + 2*7 + 1*49 = 66.
+        let s = PolyScheme { q: 7, k: 2, m: 343 };
+        let c = 66;
+        for x in 0..7u64 {
+            assert_eq!(s.eval(c, x), (x * x + 2 * x + 3) % 7);
+        }
+    }
+
+    #[test]
+    fn choose_shrinks_large_palettes() {
+        let s = PolyScheme::choose(1_000_000, 10, 0).unwrap();
+        assert!(s.output_palette() < 1_000_000);
+        assert!(u128::from(s.q).pow(s.k as u32 + 1) >= 1_000_000);
+        assert!(s.q > s.k * 10);
+    }
+
+    #[test]
+    fn choose_respects_defect() {
+        // With a defect budget, q can be smaller.
+        let proper = PolyScheme::choose(1_000_000, 50, 0).unwrap();
+        let defective = PolyScheme::choose(1_000_000, 50, 9).unwrap();
+        assert!(defective.output_palette() < proper.output_palette());
+    }
+
+    #[test]
+    fn choose_reaches_fixpoint() {
+        // Palette already small: no shrink possible.
+        assert!(PolyScheme::choose(4, 10, 0).is_none());
+    }
+
+    #[test]
+    fn reduce_picks_conflict_free_point() {
+        let s = PolyScheme::choose(1000, 3, 0).unwrap();
+        // Node color 5, neighbors 7, 12, 999.
+        let nc = [7, 12, 999];
+        let p = s.reduce(5, &nc, 0);
+        assert!(p < s.output_palette());
+        // The chosen point must differ from every neighbor's point choices?
+        // Stronger: the point is not on ANY neighbor polynomial.
+        let (x, y) = (p / s.q, p % s.q);
+        assert_eq!(s.eval(5, x), y);
+        for &c in &nc {
+            assert_ne!(s.eval(c, x), y);
+        }
+    }
+}

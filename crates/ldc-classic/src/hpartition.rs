@@ -1,0 +1,190 @@
+//! H-partition / Nash–Williams forest decomposition \[Barenboim–Elkin'10\].
+//!
+//! Arbdefective colorings (the paper's Definition 1.1, third bullet)
+//! generalize the *arboricity decompositions* of \[BE10\]: an H-partition
+//! with degree parameter `(2+ε)·a` splits the nodes of a graph of
+//! arboricity `≤ a` into `O(log n / ε)` layers such that every node has at
+//! most `(2+ε)·a` neighbors in its own or higher layers; orienting every
+//! edge toward the higher layer (ties by id) bounds all out-degrees by
+//! `(2+ε)·a`. This module implements the classic `O(log n)`-round
+//! peeling algorithm and is used by tests and experiments as the
+//! low-arboricity counterpoint to the paper's decompositions.
+
+use ldc_graph::orientation::EdgeDir;
+use ldc_graph::{Graph, Orientation};
+use ldc_sim::{Network, SimError};
+
+/// Result of [`h_partition`].
+#[derive(Debug, Clone)]
+pub struct HPartition {
+    /// Layer index per node (`0` peels first).
+    pub layer: Vec<u32>,
+    /// Number of layers used.
+    pub layers: u32,
+    /// Orientation with out-degree at most `ceil((2+ε)·a)`.
+    pub orientation: Orientation,
+    /// The degree bound every node satisfied when it was peeled.
+    pub bound: u64,
+}
+
+impl HPartition {
+    /// Exact check of the H-partition contract.
+    pub fn validate(&self, g: &Graph) -> Result<(), String> {
+        for v in g.nodes() {
+            let lv = self.layer[v as usize];
+            let same_or_higher = g
+                .neighbors(v)
+                .iter()
+                .filter(|&&u| self.layer[u as usize] >= lv)
+                .count() as u64;
+            if same_or_higher > self.bound {
+                return Err(format!(
+                    "node {v} (layer {lv}) has {same_or_higher} same-or-higher neighbors > {}",
+                    self.bound
+                ));
+            }
+            let out = g
+                .incident_edges(v)
+                .iter()
+                .filter(|&&e| self.orientation.is_out(g, e, v))
+                .count() as u64;
+            if out > self.bound {
+                return Err(format!("node {v} out-degree {out} > {}", self.bound));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Compute an H-partition with degree bound `⌈(2+ε)·a⌉` for a graph of
+/// arboricity at most `a`, in `O(log_{1+ε/2} n)` rounds.
+///
+/// ```
+/// use ldc_classic::h_partition;
+/// use ldc_graph::generators;
+/// use ldc_sim::{Bandwidth, Network};
+///
+/// let g = generators::complete_tree(63, 2); // arboricity 1
+/// let mut net = Network::new(&g, Bandwidth::Local);
+/// let h = h_partition(&mut net, 1, 1.0).unwrap();
+/// assert!(h.orientation.max_out_degree(&g) <= 3);
+/// ```
+///
+/// # Errors
+/// Returns a simulator error on bandwidth violations; panics if `a` is not
+/// actually an arboricity upper bound (the peeling then stalls).
+pub fn h_partition(
+    net: &mut Network<'_>,
+    a: u64,
+    epsilon: f64,
+) -> Result<HPartition, SimError> {
+    assert!(epsilon > 0.0, "ε must be positive");
+    let g = net.graph();
+    let n = g.num_nodes();
+    let bound = ((2.0 + epsilon) * a as f64).ceil() as u64;
+
+    #[derive(Clone)]
+    struct S {
+        layer: Option<u32>,
+        remaining_degree: u64,
+    }
+    let mut states: Vec<S> = g
+        .nodes()
+        .map(|v| S { layer: None, remaining_degree: g.degree(v) as u64 })
+        .collect();
+
+    let mut current = 0u32;
+    // Each iteration peels all nodes whose remaining degree is ≤ bound; a
+    // standard density argument peels a constant fraction per iteration for
+    // graphs of arboricity ≤ a.
+    let cap = 8 + (4.0 * (n.max(2) as f64).ln() / (epsilon / 2.0f64).ln_1p()).ceil() as u32;
+    while states.iter().any(|s| s.layer.is_none()) {
+        assert!(
+            current < cap,
+            "H-partition stalled: is {a} really an arboricity upper bound?"
+        );
+        net.broadcast_exchange(
+            &mut states,
+            |_, s| {
+                (s.layer.is_none() && s.remaining_degree <= bound).then_some(true)
+            },
+            |_, s, inbox| {
+                if s.layer.is_none() && s.remaining_degree <= bound {
+                    s.layer = Some(current);
+                }
+                // Peeled neighbors reduce the remaining degree.
+                let peeled = inbox.iter().count() as u64;
+                s.remaining_degree = s.remaining_degree.saturating_sub(peeled);
+            },
+        )?;
+        current += 1;
+    }
+
+    let layer: Vec<u32> = states.iter().map(|s| s.layer.expect("peeled")).collect();
+    // Orient each edge toward the higher (layer, id) endpoint: the tail's
+    // out-neighbors are then exactly same-or-higher-layer nodes, which its
+    // peeling bound already counted.
+    let key = |v: u32| (layer[v as usize], v);
+    let dirs: Vec<EdgeDir> = g
+        .edges()
+        .map(|(_, u, v)| if key(u) < key(v) { EdgeDir::Forward } else { EdgeDir::Backward })
+        .collect();
+    let orientation = Orientation::from_dirs(g, dirs);
+    let out = HPartition { layer, layers: current, orientation, bound };
+    debug_assert!(out.validate(g).is_ok(), "{:?}", out.validate(g));
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ldc_graph::analysis::arboricity_bounds;
+    use ldc_graph::generators;
+    use ldc_sim::Bandwidth;
+
+    #[test]
+    fn tree_decomposes_with_a_one() {
+        let g = generators::complete_tree(127, 2);
+        let mut net = Network::new(&g, Bandwidth::congest_log(127, 2));
+        let h = h_partition(&mut net, 1, 1.0).unwrap();
+        h.validate(&g).unwrap();
+        assert!(h.bound <= 3);
+        assert!(h.orientation.max_out_degree(&g) <= 3);
+    }
+
+    #[test]
+    fn planar_like_torus() {
+        // Torus is 4-regular, arboricity ≤ 3.
+        let g = generators::torus(12, 12);
+        let mut net = Network::new(&g, Bandwidth::Local);
+        let h = h_partition(&mut net, 3, 0.5).unwrap();
+        h.validate(&g).unwrap();
+    }
+
+    #[test]
+    fn layers_are_logarithmic() {
+        let g = generators::preferential_attachment(2000, 3, 7);
+        let (_, hi) = arboricity_bounds(&g);
+        let mut net = Network::new(&g, Bandwidth::Local);
+        let h = h_partition(&mut net, hi as u64, 1.0).unwrap();
+        h.validate(&g).unwrap();
+        assert!(h.layers as usize <= 2 * 15, "layers = {}", h.layers);
+    }
+
+    #[test]
+    fn dense_graph_with_true_arboricity() {
+        let g = generators::complete(20);
+        // K20 has arboricity 10.
+        let mut net = Network::new(&g, Bandwidth::Local);
+        let h = h_partition(&mut net, 10, 0.2).unwrap();
+        h.validate(&g).unwrap();
+    }
+
+    #[test]
+    #[should_panic(expected = "stalled")]
+    fn wrong_arboricity_bound_is_detected() {
+        let g = generators::complete(24); // arboricity 12
+        let mut net = Network::new(&g, Bandwidth::Local);
+        let _ = h_partition(&mut net, 2, 0.1);
+    }
+}

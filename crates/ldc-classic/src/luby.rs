@@ -1,0 +1,165 @@
+//! Randomized trial-coloring baseline (Luby/Johansson style).
+//!
+//! Every uncolored node proposes a uniformly random color from its free
+//! palette and keeps it unless a neighbor proposed or holds the same color
+//! (ties broken toward the smaller id so progress is guaranteed). For the
+//! `(degree+1)` palette this terminates in `O(log n)` rounds w.h.p.; it is
+//! the randomized baseline the paper's *deterministic* algorithms are
+//! measured against in E6.
+
+use ldc_graph::{Graph, NodeId};
+use ldc_sim::{Network, SimError};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+#[derive(Clone)]
+struct NodeState {
+    rng: ChaCha8Rng,
+    palette: Vec<u64>,
+    proposal: Option<u64>,
+    color: Option<u64>,
+}
+
+/// Messages carry `(id, value, committed?)`.
+#[derive(Clone)]
+struct Msg {
+    id: NodeId,
+    value: u64,
+    committed: bool,
+}
+
+impl ldc_sim::MessageSize for Msg {
+    fn bits(&self) -> u64 {
+        use ldc_sim::bits_for_value;
+        bits_for_value(u64::from(self.id)).max(1) + bits_for_value(self.value).max(1) + 1
+    }
+}
+
+/// Randomized `(degree+1)`-list coloring. `lists[v]` must have at least
+/// `deg(v) + 1` colors. Returns the colors and the number of rounds used.
+pub fn luby_list_coloring(
+    net: &mut Network<'_>,
+    lists: &[Vec<u64>],
+    seed: u64,
+) -> Result<Vec<u64>, SimError> {
+    let g: &Graph = net.graph();
+    assert_eq!(lists.len(), g.num_nodes());
+    for v in g.nodes() {
+        assert!(
+            lists[v as usize].len() > g.degree(v),
+            "node {v} needs a list longer than its degree"
+        );
+    }
+    let mut states: Vec<NodeState> = g
+        .nodes()
+        .map(|v| NodeState {
+            rng: ChaCha8Rng::seed_from_u64(seed ^ (0x9e3779b97f4a7c15u64.wrapping_mul(u64::from(v) + 1))),
+            palette: lists[v as usize].clone(),
+            proposal: None,
+            color: None,
+        })
+        .collect();
+
+    let mut remaining = g.num_nodes();
+    // Safety valve: expected O(log n); 64·(log n + 4) rounds is astronomical
+    // headroom before we declare a bug.
+    let max_rounds = 64 * (usize::BITS as usize + 4);
+    let mut iters = 0usize;
+    while remaining > 0 {
+        iters += 1;
+        assert!(iters <= max_rounds, "luby did not converge; {remaining} uncolored");
+        // Propose phase (draw happens locally before composing).
+        for s in states.iter_mut() {
+            if s.color.is_none() {
+                let idx = s.rng.gen_range(0..s.palette.len());
+                s.proposal = Some(s.palette[idx]);
+            } else {
+                s.proposal = None;
+            }
+        }
+        net.broadcast_exchange(
+            &mut states,
+            |v, s| {
+                s.proposal
+                    .map(|p| Msg { id: v, value: p, committed: false })
+                    .or_else(|| s.color.map(|c| Msg { id: v, value: c, committed: true }))
+            },
+            |v, s, inbox| {
+                let Some(my) = s.proposal else { return };
+                let mut keep = true;
+                for (_, m) in inbox.iter() {
+                    if m.value == my && (m.committed || m.id < v) {
+                        keep = false;
+                        break;
+                    }
+                }
+                if keep {
+                    s.color = Some(my);
+                }
+                // Shrink palette by colors now held by neighbors.
+                let held: Vec<u64> =
+                    inbox.iter().filter(|(_, m)| m.committed).map(|(_, m)| m.value).collect();
+                s.palette.retain(|c| !held.contains(c));
+                s.proposal = None;
+            },
+        )?;
+        remaining = states.iter().filter(|s| s.color.is_none()).count();
+    }
+    Ok(states.into_iter().map(|s| s.color.expect("all colored")).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ldc_graph::generators;
+    use ldc_sim::Bandwidth;
+
+    fn degree_lists(g: &Graph) -> Vec<Vec<u64>> {
+        g.nodes().map(|v| (0..=g.degree(v) as u64).collect()).collect()
+    }
+
+    #[test]
+    fn colors_gnp_properly() {
+        let g = generators::gnp(200, 0.05, 1);
+        let lists = degree_lists(&g);
+        let mut net = Network::new(&g, Bandwidth::Local);
+        let colors = luby_list_coloring(&mut net, &lists, 99).unwrap();
+        for (_, u, v) in g.edges() {
+            assert_ne!(colors[u as usize], colors[v as usize]);
+        }
+        for v in g.nodes() {
+            assert!(lists[v as usize].contains(&colors[v as usize]));
+        }
+    }
+
+    #[test]
+    fn converges_quickly_on_clique() {
+        let g = generators::complete(32);
+        let lists = degree_lists(&g);
+        let mut net = Network::new(&g, Bandwidth::Local);
+        luby_list_coloring(&mut net, &lists, 7).unwrap();
+        assert!(net.rounds() < 200, "rounds = {}", net.rounds());
+    }
+
+    #[test]
+    fn respects_custom_lists() {
+        let g = generators::ring(30);
+        let lists: Vec<Vec<u64>> = (0..30).map(|v| vec![10 + v, 50 + v, 90 + v]).collect();
+        let mut net = Network::new(&g, Bandwidth::Local);
+        let colors = luby_list_coloring(&mut net, &lists, 3).unwrap();
+        for v in g.nodes() {
+            assert!(lists[v as usize].contains(&colors[v as usize]));
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let g = generators::gnp(100, 0.08, 2);
+        let lists = degree_lists(&g);
+        let run = |seed| {
+            let mut net = Network::new(&g, Bandwidth::Local);
+            luby_list_coloring(&mut net, &lists, seed).unwrap()
+        };
+        assert_eq!(run(5), run(5));
+    }
+}

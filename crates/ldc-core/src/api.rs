@@ -1,0 +1,216 @@
+//! High-level one-call solvers for [`LdcInstance`] and [`OldcInstance`] —
+//! the API a downstream user reaches for first. Each call sets up the
+//! network, runs the appropriate algorithm from the paper, validates the
+//! output exactly, and reports rounds/message statistics.
+
+use crate::arbdefective::{solve_list_arbdefective, ArbConfig, Substrate};
+use crate::colorspace::Theorem11Solver;
+use crate::ctx::{CoreError, OldcCtx};
+use crate::existence;
+use crate::oldc::solve_oldc;
+use crate::params::{practical_kappa, ParamProfile};
+use crate::problem::{Color, LdcInstance, OldcInstance};
+use crate::validate;
+use ldc_graph::{Orientation, ProperColoring};
+use ldc_sim::{Bandwidth, Network};
+
+/// Options shared by the high-level solvers.
+#[derive(Debug, Clone, Copy)]
+pub struct SolveOptions {
+    /// Bandwidth regime of the simulated network.
+    pub bandwidth: Bandwidth,
+    /// Constant profile (see DESIGN.md §S2).
+    pub profile: ParamProfile,
+    /// Seed for all type-keyed selections.
+    pub seed: u64,
+}
+
+impl Default for SolveOptions {
+    fn default() -> Self {
+        SolveOptions {
+            bandwidth: Bandwidth::Local,
+            profile: ParamProfile::practical_default(),
+            seed: 0x1dc,
+        }
+    }
+}
+
+/// A validated solution with its execution statistics.
+#[derive(Debug, Clone)]
+pub struct Solution {
+    /// The coloring (validated before return).
+    pub colors: Vec<Color>,
+    /// The witnessing orientation (list *arbdefective* solves only).
+    pub orientation: Option<Orientation>,
+    /// Communication rounds used (main network).
+    pub rounds: usize,
+    /// Largest message in bits.
+    pub max_message_bits: u64,
+    /// Total bits on the wire.
+    pub total_bits: u64,
+}
+
+impl<'g> OldcInstance<'g> {
+    /// Solve this oriented list defective coloring instance with the
+    /// algorithm of Theorem 1.1. The output is checked by
+    /// [`validate::validate_oldc`] before it is returned.
+    pub fn solve(&self, opts: &SolveOptions) -> Result<Solution, CoreError> {
+        let g = self.view.graph();
+        let n = g.num_nodes();
+        let init = ProperColoring::by_id(g);
+        let init_colors: Vec<u64> = g.nodes().map(|v| init.color(v)).collect();
+        let active = vec![true; n];
+        let group = vec![0u64; n];
+        let ctx = OldcCtx {
+            view: &self.view,
+            space: self.space.size,
+            init: &init_colors,
+            m: init.palette_size(),
+            active: &active,
+            group: &group,
+            profile: opts.profile,
+            seed: opts.seed,
+        };
+        let mut net = Network::new(g, opts.bandwidth);
+        let out = solve_oldc(&mut net, &ctx, &self.lists)?;
+        let colors: Vec<Color> =
+            out.colors.into_iter().map(|c| c.expect("all nodes active")).collect();
+        validate::validate_oldc(&self.view, &self.lists, &colors).map_err(|e| {
+            CoreError::Precondition { node: 0, detail: format!("internal: output invalid: {e}") }
+        })?;
+        Ok(Solution {
+            colors,
+            orientation: None,
+            rounds: net.rounds(),
+            max_message_bits: net.metrics().max_message_bits(),
+            total_bits: net.metrics().total_bits(),
+        })
+    }
+}
+
+impl<'g> LdcInstance<'g> {
+    /// Solve sequentially via the potential-function search of Lemma A.1
+    /// (requires the existence condition Σ(d+1) > deg).
+    pub fn solve_sequential(&self) -> Result<Solution, CoreError> {
+        let sol = existence::solve_ldc(self).map_err(|e| CoreError::Precondition {
+            node: match e {
+                existence::ExistenceError::ConditionViolated(v) => v,
+            },
+            detail: e.to_string(),
+        })?;
+        Ok(Solution {
+            colors: sol.colors,
+            orientation: None,
+            rounds: 0,
+            max_message_bits: 0,
+            total_bits: 0,
+        })
+    }
+
+    /// Solve distributedly: the undirected instance is lifted to the
+    /// bidirected oriented instance (β_v = deg(v), the reduction noted
+    /// after Theorem 1.2) and solved with Theorem 1.1.
+    pub fn solve_distributed(&self, opts: &SolveOptions) -> Result<Solution, CoreError> {
+        let view = ldc_graph::DirectedView::bidirected(self.graph);
+        let inst = OldcInstance::new(view, self.space, self.lists.clone());
+        let sol = inst.solve(opts)?;
+        validate::validate_ldc(self.graph, &self.lists, &sol.colors).map_err(|e| {
+            CoreError::Precondition { node: 0, detail: format!("internal: output invalid: {e}") }
+        })?;
+        Ok(sol)
+    }
+
+    /// Solve as a **list arbdefective** instance with Theorem 1.3
+    /// (requires only the linear condition Σ(d+1) > deg); returns the
+    /// witnessing orientation.
+    pub fn solve_arbdefective(&self, opts: &SolveOptions) -> Result<Solution, CoreError> {
+        let g = self.graph;
+        let init = ProperColoring::by_id(g);
+        let cfg = ArbConfig {
+            nu: 1.0,
+            kappa: practical_kappa(
+                opts.profile,
+                g.max_degree() as u64,
+                self.space.size,
+                g.num_nodes() as u64,
+            ),
+            substrate: Substrate::Sequential,
+            profile: opts.profile,
+            seed: opts.seed,
+        };
+        let mut net = Network::new(g, opts.bandwidth);
+        let (colors, orientation, _report) = solve_list_arbdefective(
+            &mut net,
+            self.space.size,
+            &self.lists,
+            &init,
+            &cfg,
+            &Theorem11Solver,
+        )?;
+        validate::validate_arbdefective(g, &self.lists, &colors, &orientation).map_err(|e| {
+            CoreError::Precondition { node: 0, detail: format!("internal: output invalid: {e}") }
+        })?;
+        Ok(Solution {
+            colors,
+            orientation: Some(orientation),
+            rounds: net.rounds(),
+            max_message_bits: net.metrics().max_message_bits(),
+            total_bits: net.metrics().total_bits(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::{ColorSpace, DefectList};
+    use ldc_graph::generators;
+
+    #[test]
+    fn oldc_instance_one_call() {
+        let g = generators::random_regular(80, 6, 4);
+        let view = ldc_graph::DirectedView::bidirected(&g);
+        let space = 1 << 13;
+        let lists: Vec<DefectList> = g
+            .nodes()
+            .map(|v| {
+                DefectList::uniform((0..3000u64).map(|i| (i * 3 + u64::from(v)) % space), 3)
+            })
+            .collect();
+        let inst = OldcInstance::new(view, ColorSpace::new(space), lists);
+        let sol = inst.solve(&SolveOptions::default()).unwrap();
+        assert!(sol.rounds > 0);
+        assert!(sol.max_message_bits > 0);
+    }
+
+    #[test]
+    fn ldc_instance_three_ways() {
+        let g = generators::gnp(70, 0.08, 6);
+        let delta = g.max_degree() as u64;
+        let space = 1 << 13;
+        // Rich lists so both the sequential and the distributed route work.
+        let lists: Vec<DefectList> = g
+            .nodes()
+            .map(|v| {
+                DefectList::uniform((0..3000u64).map(|i| (i * 5 + u64::from(v)) % space), delta / 2)
+            })
+            .collect();
+        let inst = LdcInstance::new(&g, ColorSpace::new(space), lists);
+        let seq = inst.solve_sequential().unwrap();
+        assert_eq!(seq.rounds, 0);
+        let dist = inst.solve_distributed(&SolveOptions::default()).unwrap();
+        assert!(dist.rounds > 0);
+        let arb = inst.solve_arbdefective(&SolveOptions::default()).unwrap();
+        assert!(arb.orientation.is_some());
+    }
+
+    #[test]
+    fn under_provisioned_instances_error_cleanly() {
+        let g = generators::complete(8);
+        let lists: Vec<DefectList> =
+            (0..8).map(|_| DefectList::uniform(0..4, 0)).collect();
+        let inst = LdcInstance::new(&g, ColorSpace::new(8), lists);
+        assert!(inst.solve_sequential().is_err());
+        assert!(inst.solve_arbdefective(&SolveOptions::default()).is_err());
+    }
+}

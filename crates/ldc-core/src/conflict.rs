@@ -1,0 +1,167 @@
+//! Conflict machinery of Section 3: `μ_g`, `τ&g`-conflicts (Definition
+//! 3.2), the relation `Ψ_g` (Definition 3.3), and residue-class
+//! restriction of color lists.
+
+use crate::problem::Color;
+
+/// `μ_g(x, C) = |{c ∈ C : |x − c| ≤ g}|` for a *sorted* slice `C`.
+pub fn mu_g(x: Color, sorted: &[Color], g: u64) -> u64 {
+    let lo = x.saturating_sub(g);
+    let hi = x.saturating_add(g);
+    let start = sorted.partition_point(|&c| c < lo);
+    let end = sorted.partition_point(|&c| c <= hi);
+    (end - start) as u64
+}
+
+/// The conflict weight `Σ_{x∈C₁} μ_g(x, C₂)` of two *sorted* color lists.
+///
+/// Symmetric: `conflict_weight(a, b, g) == conflict_weight(b, a, g)`.
+pub fn conflict_weight(c1: &[Color], c2: &[Color], g: u64) -> u64 {
+    // Two-pointer sweep: for each x in c1, count c2 ∩ [x−g, x+g].
+    let mut lo = 0usize;
+    let mut hi = 0usize;
+    let mut total = 0u64;
+    for &x in c1 {
+        let lbound = x.saturating_sub(g);
+        let ubound = x.saturating_add(g);
+        while lo < c2.len() && c2[lo] < lbound {
+            lo += 1;
+        }
+        if hi < lo {
+            hi = lo;
+        }
+        while hi < c2.len() && c2[hi] <= ubound {
+            hi += 1;
+        }
+        total += (hi - lo) as u64;
+    }
+    total
+}
+
+/// Definition 3.2: whether two sorted lists `τ&g`-conflict.
+pub fn tau_g_conflict(c1: &[Color], c2: &[Color], tau: u64, g: u64) -> bool {
+    conflict_weight(c1, c2, g) >= tau
+}
+
+/// Definition 3.3: `(K₁, K₂) ∈ Ψ_g(τ', τ)` — at least `τ'` members of `K₁`
+/// each `τ&g`-conflict with some member of `K₂`. Members must be sorted.
+///
+/// Used by the exact (tiny-parameter) greedy of Lemma 3.5 and by tests; the
+/// production selection strategy never materializes `K` sets (DESIGN.md S1).
+pub fn psi_g(k1: &[Vec<Color>], k2: &[Vec<Color>], tau_prime: u64, tau: u64, g: u64) -> bool {
+    let mut conflicting = 0u64;
+    for c in k1 {
+        if k2.iter().any(|c2| tau_g_conflict(c, c2, tau, g)) {
+            conflicting += 1;
+            if conflicting >= tau_prime {
+                return true;
+            }
+        }
+    }
+    false
+}
+
+/// The residue restriction `P^a = {x ∈ P : x ≡ a (mod 2g+1)}` of Section
+/// 3.2.2 (input need not be sorted; output is sorted).
+pub fn residue_restrict(colors: &[Color], a: u64, g: u64) -> Vec<Color> {
+    let modulus = 2 * g + 1;
+    let mut out: Vec<Color> = colors.iter().copied().filter(|&x| x % modulus == a).collect();
+    out.sort_unstable();
+    out
+}
+
+/// The residue `a` maximizing `|P^a|` (pigeonhole: the winner has at least
+/// `|P|/(2g+1)` colors). Ties break toward the smaller residue.
+pub fn best_residue(colors: &[Color], g: u64) -> u64 {
+    let modulus = 2 * g + 1;
+    let mut counts = vec![0u64; modulus as usize];
+    for &x in colors {
+        counts[(x % modulus) as usize] += 1;
+    }
+    (0..modulus).max_by_key(|&a| (counts[a as usize], std::cmp::Reverse(a))).unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mu_counts_window() {
+        let c = vec![1, 5, 9, 13];
+        assert_eq!(mu_g(5, &c, 0), 1);
+        assert_eq!(mu_g(6, &c, 0), 0);
+        assert_eq!(mu_g(6, &c, 1), 1);
+        assert_eq!(mu_g(7, &c, 2), 2);
+        assert_eq!(mu_g(0, &c, 100), 4);
+        assert_eq!(mu_g(0, &c, 1), 1);
+    }
+
+    #[test]
+    fn conflict_weight_is_symmetric() {
+        let a = vec![1, 4, 9, 16, 25];
+        let b = vec![2, 3, 5, 8, 13, 21];
+        for g in 0..5 {
+            assert_eq!(conflict_weight(&a, &b, g), conflict_weight(&b, &a, g), "g = {g}");
+        }
+    }
+
+    #[test]
+    fn conflict_weight_matches_naive() {
+        let a: Vec<u64> = vec![0, 3, 6, 7, 20];
+        let b: Vec<u64> = vec![1, 2, 6, 19, 22];
+        for g in 0..6u64 {
+            let naive: u64 = a
+                .iter()
+                .map(|&x| b.iter().filter(|&&y| x.abs_diff(y) <= g).count() as u64)
+                .sum();
+            assert_eq!(conflict_weight(&a, &b, g), naive, "g = {g}");
+        }
+    }
+
+    #[test]
+    fn tau_conflict_threshold() {
+        let a = vec![1, 2, 3];
+        let b = vec![1, 2, 4];
+        // g = 0: shared colors {1, 2} → weight 2.
+        assert!(tau_g_conflict(&a, &b, 2, 0));
+        assert!(!tau_g_conflict(&a, &b, 3, 0));
+    }
+
+    #[test]
+    fn psi_counts_distinct_conflicting_members() {
+        let k1 = vec![vec![1, 2], vec![10, 11], vec![20, 21]];
+        let k2 = vec![vec![1, 2], vec![20, 22]];
+        // Member 0 conflicts (weight 2 ≥ 2); member 2 conflicts with the
+        // second at weight 1 only.
+        assert!(psi_g(&k1, &k2, 1, 2, 0));
+        assert!(!psi_g(&k1, &k2, 2, 2, 0));
+        assert!(psi_g(&k1, &k2, 2, 1, 0));
+    }
+
+    #[test]
+    fn residue_restriction_and_best() {
+        let colors: Vec<u64> = (0..30).collect();
+        let g = 2; // modulus 5
+        for a in 0..5 {
+            let r = residue_restrict(&colors, a, g);
+            assert_eq!(r.len(), 6);
+            assert!(r.iter().all(|&x| x % 5 == a));
+            // Restricted colors are ≥ 2g+1 apart ⇒ μ_g ≤ 1 per probe color.
+            for w in r.windows(2) {
+                assert!(w[1] - w[0] > 2 * g);
+            }
+        }
+        assert_eq!(best_residue(&colors, g), 0);
+        let skewed = vec![3, 8, 13, 0];
+        assert_eq!(best_residue(&skewed, 2), 3);
+    }
+
+    #[test]
+    fn restricted_lists_conflict_at_most_once_per_color() {
+        let a = residue_restrict(&(0..100).collect::<Vec<u64>>(), 1, 3);
+        let b = residue_restrict(&(0..100).collect::<Vec<u64>>(), 4, 3);
+        for &x in &a {
+            assert!(mu_g(x, &b, 3) <= 1);
+        }
+    }
+}

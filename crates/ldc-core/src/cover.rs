@@ -1,0 +1,236 @@
+//! Candidate-set selection for problems `P2`/`P1` (DESIGN.md §S1).
+//!
+//! The Maus–Tonoyan machinery lets every node pick, *without
+//! communication*, a candidate color set `C_v` that conflicts little with
+//! the candidate sets of its out-neighbors — because the pick depends only
+//! on the node's **type** `(initial color, color list)` and a global greedy
+//! over the type space exists (Lemma 3.5). That greedy is galactically
+//! expensive (the paper's Appendix C), so this crate ships two strategies:
+//!
+//! * [`SeededSubset`] — the production strategy: `C_v` is a PRF-indexed
+//!   `k`-subset of the list, still a 0-round deterministic function of the
+//!   type; callers verify the conflict budget in one exchange and bump
+//!   `attempt` on failure (never observed at the paper's list sizes),
+//! * [`exact_greedy`] — Lemma 3.5 verbatim for miniature parameters,
+//!   used by unit tests to demonstrate genuine zero-round solvability.
+
+use crate::conflict::psi_g;
+use crate::problem::Color;
+use std::collections::HashMap;
+
+/// splitmix64 step — a tiny, portable PRF.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e3779b97f4a7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+    z ^ (z >> 31)
+}
+
+/// Hash a color list into a type fingerprint.
+fn list_fingerprint(list: &[Color]) -> u64 {
+    let mut h = 0xcbf29ce484222325u64 ^ (list.len() as u64);
+    for &c in list {
+        let mut s = h ^ c.wrapping_mul(0x100000001b3);
+        h = splitmix64(&mut s);
+    }
+    h
+}
+
+/// A deterministic selection of `k`-subsets keyed by node type and attempt.
+#[derive(Debug, Clone, Copy)]
+pub struct SeededSubset {
+    /// Global seed; part of the algorithm description (all nodes share it).
+    pub seed: u64,
+}
+
+impl SeededSubset {
+    /// Select a sorted `k`-subset of the sorted `list`, as a function of
+    /// `(seed, init_color, list, attempt)` only — identical types pick
+    /// identical sets, which is exactly the `P2` interface.
+    ///
+    /// # Panics
+    /// Panics if `k > list.len()`.
+    pub fn select(&self, init_color: u64, list: &[Color], k: usize, attempt: u32) -> Vec<Color> {
+        assert!(k <= list.len(), "cannot select {k} colors from a list of {}", list.len());
+        let mut state = self
+            .seed
+            .wrapping_mul(0x9e3779b97f4a7c15)
+            .wrapping_add(init_color)
+            .wrapping_add(u64::from(attempt).wrapping_mul(0xd1342543de82ef95))
+            ^ list_fingerprint(list);
+        // Partial Fisher–Yates over indices.
+        let n = list.len();
+        let mut idx: Vec<usize> = (0..n).collect();
+        for i in 0..k {
+            let j = i + (splitmix64(&mut state) as usize) % (n - i);
+            idx.swap(i, j);
+        }
+        let mut out: Vec<Color> = idx[..k].iter().map(|&i| list[i]).collect();
+        out.sort_unstable();
+        out
+    }
+}
+
+/// All `k`-subsets of `items` (test/miniature sizes only).
+pub fn combinations<T: Clone>(items: &[T], k: usize) -> Vec<Vec<T>> {
+    let mut out = Vec::new();
+    if k > items.len() {
+        return out;
+    }
+    let mut stack: Vec<usize> = (0..k).collect();
+    loop {
+        out.push(stack.iter().map(|&i| items[i].clone()).collect());
+        // Advance the combination.
+        let mut i = k;
+        loop {
+            if i == 0 {
+                return out;
+            }
+            i -= 1;
+            if stack[i] != i + items.len() - k {
+                break;
+            }
+            if i == 0 {
+                return out;
+            }
+        }
+        stack[i] += 1;
+        for j in (i + 1)..k {
+            stack[j] = stack[j - 1] + 1;
+        }
+    }
+}
+
+/// A node type for the exact greedy: initial proper color plus list.
+pub type NodeType = (u64, Vec<Color>);
+
+/// Lemma 3.5, verbatim, for miniature parameters: greedily assign to every
+/// type `(c, L)` (over all `c < m` and all `ℓ`-subsets `L` of the color
+/// space restricted to one residue class mod `2g+1`) a family
+/// `K ∈ S(L) = ((L choose k) choose k')` such that no two assigned families
+/// are `Ψ_g(τ', τ)`-related in either order.
+///
+/// Returns `None` if the greedy gets stuck (parameters too tight for the
+/// counting argument of Lemma 3.2).
+pub fn exact_greedy(
+    space: u64,
+    m: u64,
+    ell: usize,
+    k: usize,
+    k_prime: usize,
+    tau: u64,
+    tau_prime: u64,
+    g: u64,
+) -> Option<HashMap<NodeType, Vec<Vec<Color>>>> {
+    let modulus = 2 * g + 1;
+    let mut assignment: HashMap<NodeType, Vec<Vec<Color>>> = HashMap::new();
+    let mut chosen: Vec<Vec<Vec<Color>>> = Vec::new();
+
+    for a in 0..modulus {
+        let residue_colors: Vec<Color> = (0..space).filter(|&x| x % modulus == a).collect();
+        for list in combinations(&residue_colors, ell) {
+            let candidate_sets = combinations(&combinations(&list, k), k_prime);
+            for c in 0..m {
+                let pick = candidate_sets.iter().find(|cand| {
+                    chosen.iter().all(|prev| {
+                        !psi_g(cand, prev, tau_prime, tau, g)
+                            && !psi_g(prev, cand, tau_prime, tau, g)
+                    })
+                })?;
+                chosen.push(pick.clone());
+                assignment.insert((c, list.clone()), pick.clone());
+            }
+        }
+    }
+    Some(assignment)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::conflict::tau_g_conflict;
+
+    #[test]
+    fn seeded_subset_is_deterministic_per_type() {
+        let s = SeededSubset { seed: 42 };
+        let list: Vec<u64> = (0..50).map(|i| i * 3).collect();
+        let a = s.select(7, &list, 10, 0);
+        let b = s.select(7, &list, 10, 0);
+        assert_eq!(a, b);
+        let c = s.select(8, &list, 10, 0);
+        let d = s.select(7, &list, 10, 1);
+        assert_ne!(a, c);
+        assert_ne!(a, d);
+        assert_eq!(a.len(), 10);
+        assert!(a.windows(2).all(|w| w[0] < w[1]), "sorted, distinct");
+        assert!(a.iter().all(|x| list.contains(x)));
+    }
+
+    #[test]
+    fn seeded_subsets_of_disjoint_lists_do_not_conflict() {
+        let s = SeededSubset { seed: 1 };
+        let l1: Vec<u64> = (0..100).collect();
+        let l2: Vec<u64> = (1000..1100).collect();
+        let c1 = s.select(0, &l1, 20, 0);
+        let c2 = s.select(1, &l2, 20, 0);
+        assert!(!tau_g_conflict(&c1, &c2, 1, 0));
+    }
+
+    #[test]
+    fn seeded_subsets_from_shared_list_conflict_rarely() {
+        // Expected intersection of two random 12-subsets of 288 colors is
+        // 0.5; τ = 4 conflicts should be very rare.
+        let s = SeededSubset { seed: 9 };
+        let list: Vec<u64> = (0..288).collect();
+        let mut conflicts = 0;
+        for t in 0..200u64 {
+            let c1 = s.select(2 * t, &list, 12, 0);
+            let c2 = s.select(2 * t + 1, &list, 12, 0);
+            if tau_g_conflict(&c1, &c2, 4, 0) {
+                conflicts += 1;
+            }
+        }
+        assert!(conflicts <= 2, "{conflicts} τ-conflicts out of 200");
+    }
+
+    #[test]
+    fn combinations_enumerate_exactly() {
+        let items = [1, 2, 3, 4];
+        let combos = combinations(&items, 2);
+        assert_eq!(combos.len(), 6);
+        assert!(combos.contains(&vec![1, 4]));
+        assert_eq!(combinations(&items, 0).len(), 1);
+        assert_eq!(combinations(&items, 5).len(), 0);
+        assert_eq!(combinations(&items, 4).len(), 1);
+    }
+
+    #[test]
+    fn exact_greedy_solves_miniature_p2() {
+        // Tiny world: 6 colors, one residue class (g = 0 ⇒ modulus 1),
+        // m = 2 initial colors, lists of 4, k = 2, k' = 2, τ = 2, τ' = 2.
+        let table = exact_greedy(6, 2, 4, 2, 2, 2, 2, 0).expect("greedy must succeed");
+        // Every pair of assigned K's must be Ψ-free in both orders.
+        let all: Vec<&Vec<Vec<u64>>> = table.values().collect();
+        for (i, k1) in all.iter().enumerate() {
+            for k2 in all.iter().skip(i + 1) {
+                assert!(!psi_g(k1, k2, 2, 2, 0));
+                assert!(!psi_g(k2, k1, 2, 2, 0));
+            }
+        }
+        // Shapes: each K has k' = 2 member sets of size k = 2 from the list.
+        for ((_, list), k) in table.iter() {
+            assert_eq!(k.len(), 2);
+            for c in k {
+                assert_eq!(c.len(), 2);
+                assert!(c.iter().all(|x| list.contains(x)));
+            }
+        }
+    }
+
+    #[test]
+    fn exact_greedy_reports_impossible_parameters() {
+        // k' larger than the number of k-subsets of the list ⇒ S(L) empty.
+        assert!(exact_greedy(4, 1, 2, 2, 3, 1, 1, 0).is_none());
+    }
+}

@@ -1,0 +1,196 @@
+//! Shared plumbing for the distributed OLDC algorithms of Section 3:
+//! the call context (who participates, how conflicts are scoped), error
+//! types, and the wire messages with their canonical bit costs.
+
+use crate::problem::Color;
+use ldc_graph::{DirectedView, NodeId};
+use ldc_sim::{bits_for_value, MessageSize, SimError};
+use std::sync::Arc;
+
+/// Context for one invocation of an OLDC algorithm.
+///
+/// `active` and `group` realize the two scoping mechanisms the paper's
+/// constructions rely on (iterating over color classes in Theorem 1.3, and
+/// disjoint color subspaces in Theorem 1.2): only *active* nodes
+/// participate, and defects/conflicts are only counted between out-neighbor
+/// pairs in the **same group** — nodes in different groups can never pick
+/// conflicting colors because their effective color spaces are disjoint.
+#[derive(Clone, Copy)]
+pub struct OldcCtx<'a, 'g> {
+    /// The directed view (out-neighbors carry defects).
+    pub view: &'a DirectedView<'g>,
+    /// Color-space size `|𝒞|`.
+    pub space: u64,
+    /// The initial proper `m`-coloring (types are keyed on it).
+    pub init: &'a [u64],
+    /// Palette size `m` of the initial coloring.
+    pub m: u64,
+    /// Which nodes participate in this call.
+    pub active: &'a [bool],
+    /// Conflict group per node (see type-level docs).
+    pub group: &'a [u64],
+    /// Constant profile (DESIGN.md §S2).
+    pub profile: crate::params::ParamProfile,
+    /// Seed for the type-keyed selection strategy (DESIGN.md §S1).
+    pub seed: u64,
+}
+
+impl<'a, 'g> OldcCtx<'a, 'g> {
+    /// Context over the whole node set in one group.
+    pub fn whole_graph(
+        view: &'a DirectedView<'g>,
+        space: u64,
+        init: &'a [u64],
+        m: u64,
+        all_active: &'a [bool],
+        one_group: &'a [u64],
+        profile: crate::params::ParamProfile,
+        seed: u64,
+    ) -> Self {
+        OldcCtx { view, space, init, m, active: all_active, group: one_group, profile, seed }
+    }
+}
+
+/// Failures of the distributed algorithms.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CoreError {
+    /// A stated list-size / defect-mass precondition fails at `node`.
+    Precondition {
+        /// The violating node.
+        node: NodeId,
+        /// What was required.
+        detail: String,
+    },
+    /// The candidate-set selection kept conflicting beyond the retry cap.
+    SelectionExhausted {
+        /// A node that never met its conflict budget.
+        node: NodeId,
+        /// Retry cap that was reached.
+        attempts: u32,
+    },
+    /// No list color met the frequency budget in the decision phase.
+    PigeonholeFailed {
+        /// The stuck node.
+        node: NodeId,
+        /// Best achievable frequency.
+        best: u64,
+        /// The node's defect budget.
+        budget: u64,
+    },
+    /// Underlying simulator failure (CONGEST budget exceeded, …).
+    Sim(SimError),
+}
+
+impl From<SimError> for CoreError {
+    fn from(e: SimError) -> Self {
+        CoreError::Sim(e)
+    }
+}
+
+impl std::fmt::Display for CoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CoreError::Precondition { node, detail } => {
+                write!(f, "precondition violated at node {node}: {detail}")
+            }
+            CoreError::SelectionExhausted { node, attempts } => {
+                write!(f, "node {node} exhausted {attempts} selection attempts")
+            }
+            CoreError::PigeonholeFailed { node, best, budget } => write!(
+                f,
+                "node {node} found no color within budget (best frequency {best} > {budget})"
+            ),
+            CoreError::Sim(e) => write!(f, "simulation error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {}
+
+/// Wire message announcing a node's candidate set `C_v`.
+///
+/// On the wire this is the node's **type** — `(initial color, restricted
+/// list, defect, attempt)` — from which any receiver can recompute `C_v`
+/// (Lemma 3.6's encoding argument); the in-memory copy carries the set
+/// itself for the simulator's convenience. The declared cost follows the
+/// paper: `log m + min{ℓ·⌈log|𝒞|⌉, |𝒞|} + loglog β + O(1)` bits.
+#[derive(Clone)]
+pub struct CandidateMsg {
+    /// Sender's γ-class.
+    pub class: u32,
+    /// Sender's conflict group.
+    pub group: u64,
+    /// The candidate set (sorted).
+    pub set: Arc<[Color]>,
+    /// Declared wire cost in bits.
+    pub declared_bits: u64,
+}
+
+impl CandidateMsg {
+    /// Canonical type-encoding cost for a node with a restricted list of
+    /// length `ell`.
+    pub fn type_bits(ell: u64, space: u64, m: u64, beta: u64) -> u64 {
+        let list_bits = (ell * bits_for_value(space.saturating_sub(1)).max(1)).min(space);
+        let m_bits = bits_for_value(m.saturating_sub(1)).max(1);
+        let defect_bits = bits_for_value(bits_for_value(beta)).max(1); // loglog β
+        list_bits + m_bits + defect_bits + 8 // class, attempt, flags
+    }
+}
+
+impl MessageSize for CandidateMsg {
+    fn bits(&self) -> u64 {
+        self.declared_bits
+    }
+}
+
+/// Wire message announcing a final color decision.
+#[derive(Clone)]
+pub struct DecisionMsg {
+    /// The chosen color.
+    pub color: Color,
+    /// Sender's conflict group.
+    pub group: u64,
+    /// Color-space size (for sizing).
+    pub space: u64,
+}
+
+impl MessageSize for DecisionMsg {
+    fn bits(&self) -> u64 {
+        bits_for_value(self.space.saturating_sub(1)).max(1) + 1
+    }
+}
+
+/// Wire message used in the census round (β computation): "I am active, in
+/// this group".
+#[derive(Clone)]
+pub struct CensusMsg {
+    /// Sender's conflict group.
+    pub group: u64,
+}
+
+impl MessageSize for CensusMsg {
+    fn bits(&self) -> u64 {
+        bits_for_value(self.group).max(1) + 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn type_bits_uses_bitmap_crossover() {
+        // Small space: bitmap wins (64 bits + log m + loglog β + framing).
+        let small = CandidateMsg::type_bits(100, 64, 16, 8);
+        assert_eq!(small, 64 + 4 + 3 + 8);
+        // Large space: index list wins.
+        let large = CandidateMsg::type_bits(10, 1 << 20, 16, 8);
+        assert_eq!(large, 10 * 20 + 4 + 3 + 8);
+    }
+
+    #[test]
+    fn decision_msg_costs_one_color() {
+        let m = DecisionMsg { color: 5, group: 0, space: 1 << 10 };
+        assert_eq!(m.bits(), 11);
+    }
+}

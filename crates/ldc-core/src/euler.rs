@@ -1,0 +1,168 @@
+//! Euler-tour balanced orientations (the tool behind Lemma A.2).
+//!
+//! Orienting the edges of a multigraph along Euler circuits — after pairing
+//! up odd-degree vertices with auxiliary matching edges — gives every
+//! vertex out-degree at most `⌈deg/2⌉` on the original edges.
+
+/// Orient the multigraph given by `edges` over nodes `0..n` such that every
+/// node has out-degree at most `⌈deg/2⌉`.
+///
+/// Returns one flag per input edge: `true` means the edge is oriented from
+/// its first to its second endpoint.
+pub fn balanced_orientation(n: usize, edges: &[(u32, u32)]) -> Vec<bool> {
+    let m = edges.len();
+    // Augment: pair up odd-degree vertices (their count is even).
+    let mut deg = vec![0usize; n];
+    for &(u, v) in edges {
+        deg[u as usize] += 1;
+        deg[v as usize] += 1;
+    }
+    let odd: Vec<u32> = (0..n as u32).filter(|&v| deg[v as usize] % 2 == 1).collect();
+    debug_assert!(odd.len().is_multiple_of(2), "odd-degree vertices come in pairs");
+    let mut all_edges: Vec<(u32, u32)> = edges.to_vec();
+    for pair in odd.chunks(2) {
+        all_edges.push((pair[0], pair[1]));
+    }
+
+    // Adjacency with edge indices (each edge appears at both endpoints).
+    let mut adj: Vec<Vec<(u32, usize)>> = vec![Vec::new(); n];
+    for (idx, &(u, v)) in all_edges.iter().enumerate() {
+        adj[u as usize].push((v, idx));
+        adj[v as usize].push((u, idx));
+    }
+    let mut used = vec![false; all_edges.len()];
+    let mut cursor = vec![0usize; n];
+    let mut forward = vec![false; all_edges.len()];
+
+    // Hierholzer: every component of the augmented graph is Eulerian.
+    for start in 0..n as u32 {
+        loop {
+            // Find an unused edge at `start`.
+            while cursor[start as usize] < adj[start as usize].len()
+                && used[adj[start as usize][cursor[start as usize]].1]
+            {
+                cursor[start as usize] += 1;
+            }
+            if cursor[start as usize] >= adj[start as usize].len() {
+                break;
+            }
+            // Walk a closed trail from `start`; in an even-degree multigraph
+            // a trail can only get stuck back at its origin.
+            let mut at = start;
+            loop {
+                while cursor[at as usize] < adj[at as usize].len()
+                    && used[adj[at as usize][cursor[at as usize]].1]
+                {
+                    cursor[at as usize] += 1;
+                }
+                if cursor[at as usize] >= adj[at as usize].len() {
+                    debug_assert_eq!(at, start, "Euler trail must close at its origin");
+                    break;
+                }
+                let (next, idx) = adj[at as usize][cursor[at as usize]];
+                used[idx] = true;
+                // Orient idx as at → next: forward iff the stored edge's
+                // first endpoint is the current trail position.
+                forward[idx] = all_edges[idx].0 == at;
+                at = next;
+            }
+        }
+    }
+    forward.truncate(m);
+    forward
+}
+
+/// Out-degrees induced by [`balanced_orientation`]'s output on the original
+/// edges.
+pub fn out_degrees(n: usize, edges: &[(u32, u32)], forward: &[bool]) -> Vec<usize> {
+    let mut out = vec![0usize; n];
+    for (&(u, v), &f) in edges.iter().zip(forward) {
+        if f {
+            out[u as usize] += 1;
+        } else {
+            out[v as usize] += 1;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check_balance(n: usize, edges: &[(u32, u32)]) {
+        let fwd = balanced_orientation(n, edges);
+        assert_eq!(fwd.len(), edges.len());
+        let mut deg = vec![0usize; n];
+        for &(u, v) in edges {
+            deg[u as usize] += 1;
+            deg[v as usize] += 1;
+        }
+        let out = out_degrees(n, edges, &fwd);
+        for v in 0..n {
+            assert!(
+                out[v] <= deg[v].div_ceil(2),
+                "node {v}: out {} > ⌈{}/2⌉",
+                out[v],
+                deg[v]
+            );
+        }
+    }
+
+    #[test]
+    fn cycle_is_perfectly_balanced() {
+        let edges: Vec<(u32, u32)> = (0..6).map(|i| (i, (i + 1) % 6)).collect();
+        check_balance(6, &edges);
+        let fwd = balanced_orientation(6, &edges);
+        let out = out_degrees(6, &edges, &fwd);
+        assert!(out.iter().all(|&o| o == 1));
+    }
+
+    #[test]
+    fn path_has_odd_endpoints() {
+        let edges = vec![(0, 1), (1, 2), (2, 3)];
+        check_balance(4, &edges);
+    }
+
+    #[test]
+    fn star_center_is_balanced() {
+        let edges: Vec<(u32, u32)> = (1..8).map(|v| (0, v)).collect();
+        check_balance(8, &edges);
+        let fwd = balanced_orientation(8, &edges);
+        let out = out_degrees(8, &edges, &fwd);
+        assert!(out[0] <= 4, "center out-degree {} > 4", out[0]);
+    }
+
+    #[test]
+    fn parallel_edges_are_fine() {
+        let edges = vec![(0, 1), (0, 1), (0, 1), (0, 1)];
+        check_balance(2, &edges);
+        let fwd = balanced_orientation(2, &edges);
+        let out = out_degrees(2, &edges, &fwd);
+        assert_eq!(out[0] + out[1], 4);
+        assert!(out[0] == 2 && out[1] == 2);
+    }
+
+    #[test]
+    fn clique_orientation() {
+        let mut edges = Vec::new();
+        for u in 0..7u32 {
+            for v in (u + 1)..7 {
+                edges.push((u, v));
+            }
+        }
+        check_balance(7, &edges);
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        assert!(balanced_orientation(3, &[]).is_empty());
+        check_balance(2, &[(0, 1)]);
+    }
+
+    #[test]
+    fn disconnected_components() {
+        let edges = vec![(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3)];
+        check_balance(6, &edges);
+    }
+}

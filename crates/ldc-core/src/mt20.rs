@@ -1,0 +1,268 @@
+//! The **two-round list coloring** of Maus–Tonoyan \[MT20\] as sketched in
+//! the paper's §3.1 — the scaffold Theorem 1.1 generalizes.
+//!
+//! Given a directed graph with maximum outdegree `β`, an initial proper
+//! `m`-coloring, and per-node color lists of size `≥ α·β²·τ`, a proper
+//! (oriented) coloring is computed in exactly **two** communication rounds:
+//!
+//! * **round 0 (no communication):** every node picks, as a function of
+//!   its *type* `(initial color, list)` alone, a candidate family `K_v`;
+//!   the engine uses the seeded selection of DESIGN.md §S1 (the exact
+//!   greedy of Lemma 3.5 exists but is galactic) to pick `C_v ∈ K_v`
+//!   directly,
+//! * **round 1:** exchange types; every node verifies the `P1` guarantee
+//!   `|C_v ∩ C_u| < τ` toward each out-neighbor (re-drawing in additional
+//!   rounds only on the measure-zero failure event, which the outcome
+//!   reports),
+//! * **round 2:** exchange the `C` sets (as type indices); every node
+//!   picks `x ∈ C_v` absent from all out-neighbors' sets — possible by the
+//!   pigeonhole `|C_v| = βτ > β·(τ−1)`.
+
+use crate::conflict::tau_g_conflict;
+use crate::cover::SeededSubset;
+use crate::ctx::{CandidateMsg, CoreError};
+use crate::problem::Color;
+use ldc_graph::{DirectedView, NodeId};
+use ldc_sim::Network;
+use std::sync::Arc;
+
+/// Outcome of [`two_round_list_coloring`].
+#[derive(Debug, Clone)]
+pub struct TwoRoundOutcome {
+    /// The proper (oriented) coloring.
+    pub colors: Vec<Color>,
+    /// Rounds used: 2 plus any selection re-draw rounds.
+    pub rounds: usize,
+    /// Selection re-draws (0 at the `α·β²·τ` list sizes).
+    pub retries: u64,
+}
+
+/// MT20's list coloring: proper toward all out-neighbors of `view`.
+///
+/// `lists[v]` needs `≥ α·β²·τ` colors below `space` (checked loosely: the
+/// engine reports a precondition error when `k = β·τ` exceeds the list).
+pub fn two_round_list_coloring(
+    net: &mut Network<'_>,
+    view: &DirectedView<'_>,
+    space: u64,
+    lists: &[Vec<Color>],
+    init: &[u64],
+    m: u64,
+    tau: u64,
+    seed: u64,
+) -> Result<TwoRoundOutcome, CoreError> {
+    let g = view.graph();
+    let n = g.num_nodes();
+    assert_eq!(lists.len(), n);
+    assert_eq!(init.len(), n);
+    let beta = view.max_beta() as u64;
+    let k = (beta * tau) as usize;
+
+    #[derive(Clone)]
+    struct S {
+        cand: Arc<[Color]>,
+        attempt: u32,
+        failed: bool,
+        nb_cand: Vec<Option<Arc<[Color]>>>,
+        color: Option<Color>,
+    }
+    let mut states: Vec<S> = (0..n)
+        .map(|v| {
+            if k > lists[v].len() {
+                return S {
+                    cand: Arc::from([]),
+                    attempt: u32::MAX, // flag; reported below
+                    failed: false,
+                    nb_cand: vec![None; g.degree(v as NodeId)],
+                    color: None,
+                };
+            }
+            S {
+                cand: Arc::from([]),
+                attempt: 0,
+                failed: true, // forces the initial draw
+                nb_cand: vec![None; g.degree(v as NodeId)],
+                color: None,
+            }
+        })
+        .collect();
+    if let Some(v) = states.iter().position(|s| s.attempt == u32::MAX) {
+        return Err(CoreError::Precondition {
+            node: v as NodeId,
+            detail: format!(
+                "MT20 needs |L| ≥ β·τ = {k}, node has {}",
+                lists[v].len()
+            ),
+        });
+    }
+
+    let strategy = SeededSubset { seed: seed ^ 0x9e3779b97f4a7c15 };
+    let rounds_before = net.rounds();
+    let mut retries = 0u64;
+    // Round 1 (+ re-draw rounds): commit C_v, verify |C_v ∩ C_u| < τ.
+    for round in 0..48u32 {
+        for (v, s) in states.iter_mut().enumerate() {
+            if s.failed {
+                s.cand = Arc::from(strategy.select(init[v], &lists[v], k, s.attempt));
+                s.failed = false;
+            }
+        }
+        net.exchange(
+            &mut states,
+            |v, s, out: &mut ldc_sim::Outbox<'_, CandidateMsg>| {
+                out.broadcast(&CandidateMsg {
+                    class: 1,
+                    group: 0,
+                    set: s.cand.clone(),
+                    declared_bits: CandidateMsg::type_bits(
+                        lists[v as usize].len() as u64,
+                        space,
+                        m,
+                        beta,
+                    ),
+                });
+            },
+            |v, s, inbox| {
+                for (p, msg) in inbox.iter() {
+                    s.nb_cand[p] = Some(msg.set.clone());
+                }
+                for p in 0..s.nb_cand.len() {
+                    if !view.is_out_port(v, p) {
+                        continue;
+                    }
+                    if let Some(cu) = &s.nb_cand[p] {
+                        if tau_g_conflict(&s.cand, cu, tau, 0) {
+                            s.failed = true;
+                            s.attempt += 1;
+                            break;
+                        }
+                    }
+                }
+            },
+        )?;
+        let failures = states.iter().filter(|s| s.failed).count() as u64;
+        retries += failures;
+        if failures == 0 {
+            break;
+        }
+        if round == 47 {
+            let v = states.iter().position(|s| s.failed).unwrap_or(0);
+            return Err(CoreError::SelectionExhausted { node: v as NodeId, attempts: 48 });
+        }
+    }
+
+    // Round 2: exchange C sets (already known from the type message — the
+    // paper has the nodes send K and then C; we re-send C explicitly as its
+    // index into K, charged at O(log k') = O(Λ) bits, matching Lemma 3.6's
+    // encoding discussion) and pick a color avoiding all out-neighbor sets.
+    net.exchange(
+        &mut states,
+        |v, s, out: &mut ldc_sim::Outbox<'_, CandidateMsg>| {
+            out.broadcast(&CandidateMsg {
+                class: 1,
+                group: 0,
+                set: s.cand.clone(),
+                declared_bits: (lists[v as usize].len() as u64).max(1),
+            });
+        },
+        |v, s, inbox| {
+            for (p, msg) in inbox.iter() {
+                s.nb_cand[p] = Some(msg.set.clone());
+            }
+            let pick = s
+                .cand
+                .iter()
+                .find(|&&x| {
+                    (0..s.nb_cand.len()).all(|p| {
+                        if !view.is_out_port(v, p) {
+                            return true;
+                        }
+                        s.nb_cand[p]
+                            .as_ref()
+                            .is_none_or(|cu| cu.binary_search(&x).is_err())
+                    })
+                })
+                .copied();
+            // Pigeonhole: |C_v| = βτ and each of ≤ β out-neighbors blocks
+            // < τ colors, so a free color exists.
+            s.color = Some(pick.expect("pigeonhole of §3.1"));
+        },
+    )?;
+
+    let colors = states.iter().map(|s| s.color.expect("round 2 decides")).collect();
+    Ok(TwoRoundOutcome { colors, rounds: net.rounds() - rounds_before, retries })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ldc_graph::{generators, Orientation};
+    use ldc_sim::Bandwidth;
+
+    fn run(
+        g: &ldc_graph::Graph,
+        view: &DirectedView<'_>,
+        list_len: u64,
+        tau: u64,
+    ) -> TwoRoundOutcome {
+        let n = g.num_nodes();
+        let space = list_len * 4;
+        let lists: Vec<Vec<Color>> = (0..n as u64)
+            .map(|v| {
+                (0..list_len)
+                    .map(|i| (i * 3 + v * 7) % space)
+                    .collect::<std::collections::BTreeSet<_>>()
+                    .into_iter()
+                    .collect()
+            })
+            .collect();
+        let init: Vec<u64> = (0..n as u64).collect();
+        let mut net = Network::new(g, Bandwidth::Local);
+        let out = two_round_list_coloring(
+            &mut net, view, space, &lists, &init, n as u64, tau, 11,
+        )
+        .unwrap();
+        // Proper toward out-neighbors, colors on-list.
+        for v in g.nodes() {
+            assert!(lists[v as usize].contains(&out.colors[v as usize]));
+            for (p, &u) in g.neighbors(v).iter().enumerate() {
+                if view.is_out_port(v, p) {
+                    assert_ne!(out.colors[v as usize], out.colors[u as usize]);
+                }
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn two_rounds_on_oriented_torus() {
+        let g = generators::torus(10, 10);
+        let o = Orientation::by_rank(&g, u64::from);
+        let view = DirectedView::from_orientation(&g, &o);
+        // β = 2, τ = 8 ⇒ k = 16; α·β²·τ ≈ 256 colors suffice.
+        let out = run(&g, &view, 512, 8);
+        assert_eq!(out.rounds, 2, "the paper's 2-round claim");
+        assert_eq!(out.retries, 0);
+    }
+
+    #[test]
+    fn two_rounds_on_bidirected_regular() {
+        let g = generators::random_regular(96, 4, 3);
+        let view = DirectedView::bidirected(&g);
+        // β = 4, τ = 8 ⇒ k = 32; lists of 2·α·β²·τ = 1024.
+        let out = run(&g, &view, 1024, 8);
+        assert!(out.rounds <= 4, "rounds = {}", out.rounds);
+    }
+
+    #[test]
+    fn undersized_lists_error() {
+        let g = generators::complete(10);
+        let view = DirectedView::bidirected(&g);
+        let lists: Vec<Vec<Color>> = (0..10).map(|_| (0..16).collect()).collect();
+        let init: Vec<u64> = (0..10).collect();
+        let mut net = Network::new(&g, Bandwidth::Local);
+        let err =
+            two_round_list_coloring(&mut net, &view, 64, &lists, &init, 10, 8, 1).unwrap_err();
+        assert!(matches!(err, CoreError::Precondition { .. }));
+    }
+}

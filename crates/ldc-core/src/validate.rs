@@ -1,0 +1,241 @@
+//! Exact validators for every coloring variant of Definition 1.1.
+//!
+//! Every algorithm in this crate routes its output through these checkers
+//! (in tests always, in release via the harness), so the engineering
+//! substitutions documented in DESIGN.md can never silently produce an
+//! invalid coloring.
+
+use crate::problem::{Color, DefectList};
+use ldc_graph::{DirectedView, Graph, NodeId, Orientation};
+
+/// Why a proposed coloring is not a valid (oriented/arb) list defective
+/// coloring.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Violation {
+    /// The color vector has the wrong length.
+    WrongLength {
+        /// Provided length.
+        got: usize,
+        /// Expected length (`n`).
+        want: usize,
+    },
+    /// A node chose a color not on its list.
+    ColorNotInList {
+        /// The node.
+        node: NodeId,
+        /// The offending color.
+        color: Color,
+    },
+    /// A node exceeded its defect budget for the chosen color.
+    DefectExceeded {
+        /// The node.
+        node: NodeId,
+        /// Its color.
+        color: Color,
+        /// Number of conflicting (out-)neighbors observed.
+        observed: u64,
+        /// The allowed defect `d_v(color)`.
+        allowed: u64,
+    },
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Violation::WrongLength { got, want } => {
+                write!(f, "coloring has length {got}, expected {want}")
+            }
+            Violation::ColorNotInList { node, color } => {
+                write!(f, "node {node} chose color {color} outside its list")
+            }
+            Violation::DefectExceeded { node, color, observed, allowed } => write!(
+                f,
+                "node {node} (color {color}) has {observed} conflicting neighbors, allowed {allowed}"
+            ),
+        }
+    }
+}
+
+fn check_membership(
+    lists: &[DefectList],
+    colors: &[Color],
+    n: usize,
+) -> Result<(), Violation> {
+    if colors.len() != n {
+        return Err(Violation::WrongLength { got: colors.len(), want: n });
+    }
+    for (v, &c) in colors.iter().enumerate() {
+        if !lists[v].contains(c) {
+            return Err(Violation::ColorNotInList { node: v as NodeId, color: c });
+        }
+    }
+    Ok(())
+}
+
+/// Validate a **list defective coloring** (undirected; Definition 1.1,
+/// first bullet): every `v` has at most `d_v(φ(v))` neighbors of color
+/// `φ(v)`.
+pub fn validate_ldc(g: &Graph, lists: &[DefectList], colors: &[Color]) -> Result<(), Violation> {
+    check_membership(lists, colors, g.num_nodes())?;
+    for v in g.nodes() {
+        let c = colors[v as usize];
+        let observed =
+            g.neighbors(v).iter().filter(|&&u| colors[u as usize] == c).count() as u64;
+        let allowed = lists[v as usize].defect(c).expect("membership checked");
+        if observed > allowed {
+            return Err(Violation::DefectExceeded { node: v, color: c, observed, allowed });
+        }
+    }
+    Ok(())
+}
+
+/// Validate an **oriented list defective coloring** (Definition 1.1, second
+/// bullet): defects bind against out-neighbors of `view` only.
+pub fn validate_oldc(
+    view: &DirectedView<'_>,
+    lists: &[DefectList],
+    colors: &[Color],
+) -> Result<(), Violation> {
+    let g = view.graph();
+    check_membership(lists, colors, g.num_nodes())?;
+    for v in g.nodes() {
+        let c = colors[v as usize];
+        let observed = g
+            .neighbors(v)
+            .iter()
+            .enumerate()
+            .filter(|&(port, &u)| view.is_out_port(v, port) && colors[u as usize] == c)
+            .count() as u64;
+        let allowed = lists[v as usize].defect(c).expect("membership checked");
+        if observed > allowed {
+            return Err(Violation::DefectExceeded { node: v, color: c, observed, allowed });
+        }
+    }
+    Ok(())
+}
+
+/// Validate a **list arbdefective coloring** (Definition 1.1, third
+/// bullet): the orientation is part of the *output* and defects bind
+/// against its out-neighbors.
+pub fn validate_arbdefective(
+    g: &Graph,
+    lists: &[DefectList],
+    colors: &[Color],
+    orientation: &Orientation,
+) -> Result<(), Violation> {
+    check_membership(lists, colors, g.num_nodes())?;
+    for v in g.nodes() {
+        let c = colors[v as usize];
+        let observed = g
+            .incident_edges(v)
+            .iter()
+            .filter(|&&e| {
+                orientation.is_out(g, e, v) && colors[g.other_endpoint(e, v) as usize] == c
+            })
+            .count() as u64;
+        let allowed = lists[v as usize].defect(c).expect("membership checked");
+        if observed > allowed {
+            return Err(Violation::DefectExceeded { node: v, color: c, observed, allowed });
+        }
+    }
+    Ok(())
+}
+
+/// Validate a plain proper list coloring (all defects zero) — convenience
+/// for `(degree+1)`-list coloring outputs.
+pub fn validate_proper_list_coloring(
+    g: &Graph,
+    lists: &[Vec<Color>],
+    colors: &[Color],
+) -> Result<(), Violation> {
+    let dls: Vec<DefectList> =
+        lists.iter().map(|l| DefectList::uniform(l.iter().copied(), 0)).collect();
+    validate_ldc(g, &dls, colors)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::DefectList;
+    use ldc_graph::generators;
+    use ldc_graph::orientation::EdgeDir;
+
+    fn uniform_lists(n: usize, colors: std::ops::Range<u64>, d: u64) -> Vec<DefectList> {
+        (0..n).map(|_| DefectList::uniform(colors.clone(), d)).collect()
+    }
+
+    #[test]
+    fn ldc_accepts_defective_triangle() {
+        let g = generators::complete(3);
+        let lists = uniform_lists(3, 0..2, 1);
+        // Colors 0,0,1: node 0 and 1 each have one same-colored neighbor.
+        assert_eq!(validate_ldc(&g, &lists, &[0, 0, 1]), Ok(()));
+        // All same color: defect 2 > 1.
+        let err = validate_ldc(&g, &lists, &[0, 0, 0]).unwrap_err();
+        assert!(matches!(err, Violation::DefectExceeded { observed: 2, allowed: 1, .. }));
+    }
+
+    #[test]
+    fn ldc_rejects_off_list_color() {
+        let g = generators::path(2);
+        let lists = uniform_lists(2, 0..2, 0);
+        assert!(matches!(
+            validate_ldc(&g, &lists, &[0, 5]),
+            Err(Violation::ColorNotInList { node: 1, color: 5 })
+        ));
+    }
+
+    #[test]
+    fn oldc_only_counts_out_neighbors() {
+        // Path 0→1→2 (forward orientation): node 2 has no out-neighbors, so
+        // it tolerates any colors around it even with defect 0.
+        let g = generators::path(3);
+        let o = Orientation::forward(&g);
+        let view = DirectedView::from_orientation(&g, &o);
+        let lists = uniform_lists(3, 0..1, 0);
+        // Everyone color 0: node 0 has out-neighbor 1 with color 0 → violation.
+        assert!(validate_oldc(&view, &lists, &[0, 0, 0]).is_err());
+        // Reverse the first edge: 1→0 and 1→2; now node 1 violates (two outs)…
+        let mut o2 = Orientation::forward(&g);
+        o2.set_dir(g.edge_id(0, 1).unwrap(), EdgeDir::Backward);
+        let view2 = DirectedView::from_orientation(&g, &o2);
+        let lists1 = uniform_lists(3, 0..1, 1);
+        // …unless the defect is 1? Node 1 has out-neighbors {0, 2}, both color
+        // 0 → observed 2 > 1.
+        assert!(validate_oldc(&view2, &lists1, &[0, 0, 0]).is_err());
+        let lists2 = uniform_lists(3, 0..1, 2);
+        assert_eq!(validate_oldc(&view2, &lists2, &[0, 0, 0]), Ok(()));
+    }
+
+    #[test]
+    fn arbdefective_respects_output_orientation() {
+        let g = generators::complete(3);
+        let lists = uniform_lists(3, 0..1, 1);
+        // All nodes color 0. Cyclic orientation 0→1→2→0: every node has one
+        // same-colored out-neighbor.
+        let mut o = Orientation::forward(&g); // 0→1, 0→2, 1→2
+        o.set_dir(g.edge_id(0, 2).unwrap(), EdgeDir::Backward); // 2→0
+        assert_eq!(validate_arbdefective(&g, &lists, &[0, 0, 0], &o), Ok(()));
+        // Forward orientation gives node 0 two same-colored out-neighbors.
+        let o2 = Orientation::forward(&g);
+        assert!(validate_arbdefective(&g, &lists, &[0, 0, 0], &o2).is_err());
+    }
+
+    #[test]
+    fn wrong_length_detected() {
+        let g = generators::path(3);
+        let lists = uniform_lists(3, 0..2, 0);
+        assert!(matches!(
+            validate_ldc(&g, &lists, &[0, 1]),
+            Err(Violation::WrongLength { got: 2, want: 3 })
+        ));
+    }
+
+    #[test]
+    fn proper_list_coloring_wrapper() {
+        let g = generators::ring(4);
+        let lists: Vec<Vec<Color>> = (0..4).map(|_| vec![0, 1]).collect();
+        assert_eq!(validate_proper_list_coloring(&g, &lists, &[0, 1, 0, 1]), Ok(()));
+        assert!(validate_proper_list_coloring(&g, &lists, &[0, 0, 1, 1]).is_err());
+    }
+}

@@ -1,0 +1,229 @@
+//! Structural graph analysis used by the experiments and by the paper's
+//! parameter discussions: degeneracy (and the arboricity sandwich),
+//! neighborhood independence (the graph family where color-space reduction
+//! shines, §4), connected components, and BFS diameter.
+
+use crate::graph::{Graph, NodeId};
+
+/// Degeneracy ordering: repeatedly remove a minimum-degree node.
+///
+/// Returns `(ordering, degeneracy)`; the ordering lists nodes in removal
+/// order, and every node has at most `degeneracy` neighbors *later* in the
+/// ordering. Runs in `O(n + m)` with bucket queues.
+pub fn degeneracy_ordering(g: &Graph) -> (Vec<NodeId>, usize) {
+    let n = g.num_nodes();
+    let mut deg: Vec<usize> = g.nodes().map(|v| g.degree(v)).collect();
+    let max_deg = deg.iter().copied().max().unwrap_or(0);
+    let mut buckets: Vec<Vec<NodeId>> = vec![Vec::new(); max_deg + 1];
+    for v in g.nodes() {
+        buckets[deg[v as usize]].push(v);
+    }
+    let mut removed = vec![false; n];
+    let mut order = Vec::with_capacity(n);
+    let mut degeneracy = 0usize;
+    let mut cursor = 0usize;
+    for _ in 0..n {
+        // Find the lowest non-empty bucket (cursor only needs to back up by
+        // one per removal, keeping the total work linear).
+        while cursor < buckets.len() && buckets[cursor].is_empty() {
+            cursor += 1;
+        }
+        let v = loop {
+            let v = buckets[cursor].pop().expect("non-empty bucket");
+            if !removed[v as usize] && deg[v as usize] == cursor {
+                break v;
+            }
+            if !removed[v as usize] {
+                // Stale entry; the node lives in a lower bucket now.
+                buckets[deg[v as usize]].push(v);
+            }
+            while cursor < buckets.len() && buckets[cursor].is_empty() {
+                cursor += 1;
+            }
+        };
+        removed[v as usize] = true;
+        degeneracy = degeneracy.max(cursor);
+        order.push(v);
+        for &u in g.neighbors(v) {
+            if !removed[u as usize] {
+                let d = &mut deg[u as usize];
+                *d -= 1;
+                buckets[*d].push(u);
+                cursor = cursor.min(*d);
+            }
+        }
+    }
+    (order, degeneracy)
+}
+
+/// The arboricity sandwich from the degeneracy `k`:
+/// `⌈(k+1)/2⌉ ≤ arboricity ≤ k` (Nash-Williams via degeneracy orientations).
+pub fn arboricity_bounds(g: &Graph) -> (usize, usize) {
+    let (_, k) = degeneracy_ordering(g);
+    (k.div_ceil(2).max(usize::from(g.num_edges() > 0)), k.max(usize::from(g.num_edges() > 0)))
+}
+
+/// The *neighborhood independence* of `g`: the maximum size of an
+/// independent set contained in a single node's neighborhood. Line graphs
+/// have neighborhood independence ≤ 2 — the family where the paper's
+/// recursive color-space reduction gives `2^{O(√log Δ)}`-round colorings.
+///
+/// Exact via branch-and-bound per neighborhood; intended for `Δ ≲ 32`.
+pub fn neighborhood_independence(g: &Graph) -> usize {
+    g.nodes()
+        .map(|v| {
+            let nbs = g.neighbors(v);
+            max_independent(g, nbs)
+        })
+        .max()
+        .unwrap_or(0)
+}
+
+fn max_independent(g: &Graph, cands: &[NodeId]) -> usize {
+    fn rec(g: &Graph, cands: &[NodeId], chosen: usize, best: &mut usize) {
+        if cands.is_empty() {
+            *best = (*best).max(chosen);
+            return;
+        }
+        if chosen + cands.len() <= *best {
+            return; // bound
+        }
+        let v = cands[0];
+        // Branch 1: take v; drop its neighbors.
+        let rest_take: Vec<NodeId> =
+            cands[1..].iter().copied().filter(|&u| !g.has_edge(u, v)).collect();
+        rec(g, &rest_take, chosen + 1, best);
+        // Branch 2: skip v.
+        rec(g, &cands[1..], chosen, best);
+    }
+    let mut best = 0;
+    rec(g, cands, 0, &mut best);
+    best
+}
+
+/// Connected components: returns a component id per node and the count.
+pub fn connected_components(g: &Graph) -> (Vec<usize>, usize) {
+    let n = g.num_nodes();
+    let mut comp = vec![usize::MAX; n];
+    let mut count = 0usize;
+    let mut queue = std::collections::VecDeque::new();
+    for s in g.nodes() {
+        if comp[s as usize] != usize::MAX {
+            continue;
+        }
+        comp[s as usize] = count;
+        queue.push_back(s);
+        while let Some(v) = queue.pop_front() {
+            for &u in g.neighbors(v) {
+                if comp[u as usize] == usize::MAX {
+                    comp[u as usize] = count;
+                    queue.push_back(u);
+                }
+            }
+        }
+        count += 1;
+    }
+    (comp, count)
+}
+
+/// Eccentricity of `s` (longest BFS distance); `None` if `g` is
+/// disconnected from `s`'s component's perspective is ignored — distances
+/// are within the component.
+pub fn eccentricity(g: &Graph, s: NodeId) -> usize {
+    let mut dist = vec![usize::MAX; g.num_nodes()];
+    dist[s as usize] = 0;
+    let mut q = std::collections::VecDeque::from([s]);
+    let mut ecc = 0;
+    while let Some(v) = q.pop_front() {
+        for &u in g.neighbors(v) {
+            if dist[u as usize] == usize::MAX {
+                dist[u as usize] = dist[v as usize] + 1;
+                ecc = ecc.max(dist[u as usize]);
+                q.push_back(u);
+            }
+        }
+    }
+    ecc
+}
+
+/// Exact diameter by all-sources BFS (small graphs) — `O(n·m)`.
+pub fn diameter(g: &Graph) -> usize {
+    g.nodes().map(|v| eccentricity(g, v)).max().unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn degeneracy_of_basic_families() {
+        assert_eq!(degeneracy_ordering(&generators::complete(6)).1, 5);
+        assert_eq!(degeneracy_ordering(&generators::ring(10)).1, 2);
+        assert_eq!(degeneracy_ordering(&generators::complete_tree(31, 2)).1, 1);
+        assert_eq!(degeneracy_ordering(&generators::star(9)).1, 1);
+    }
+
+    #[test]
+    fn degeneracy_ordering_certifies_itself() {
+        let g = generators::gnp(150, 0.06, 7);
+        let (order, k) = degeneracy_ordering(&g);
+        let mut pos = vec![0usize; g.num_nodes()];
+        for (i, &v) in order.iter().enumerate() {
+            pos[v as usize] = i;
+        }
+        for v in g.nodes() {
+            let later = g
+                .neighbors(v)
+                .iter()
+                .filter(|&&u| pos[u as usize] > pos[v as usize])
+                .count();
+            assert!(later <= k, "node {v}: {later} later neighbors > degeneracy {k}");
+        }
+    }
+
+    #[test]
+    fn arboricity_sandwich_on_trees_and_cliques() {
+        let t = generators::complete_tree(40, 3);
+        let (lo, hi) = arboricity_bounds(&t);
+        assert!(lo <= 1 && 1 <= hi);
+        let k6 = generators::complete(6);
+        let (lo, hi) = arboricity_bounds(&k6);
+        assert!((lo..=hi).contains(&3), "K6 arboricity 3 ∉ [{lo},{hi}]");
+    }
+
+    #[test]
+    fn line_graphs_have_neighborhood_independence_two() {
+        let base = generators::gnp(30, 0.15, 3);
+        let lg = generators::line_graph(&base);
+        if lg.num_edges() > 0 {
+            assert!(neighborhood_independence(&lg) <= 2);
+        }
+        // A star's line graph is a clique: NI = 1.
+        let star_lg = generators::line_graph(&generators::star(6));
+        assert_eq!(neighborhood_independence(&star_lg), 1);
+    }
+
+    #[test]
+    fn neighborhood_independence_of_bipartite_is_large() {
+        let g = generators::complete_bipartite(4, 5);
+        // Any left vertex sees 5 pairwise non-adjacent right vertices.
+        assert_eq!(neighborhood_independence(&g), 5);
+    }
+
+    #[test]
+    fn components_and_diameter() {
+        let one = generators::ring(8);
+        let (comp, c) = connected_components(&one);
+        assert_eq!(c, 1);
+        assert!(comp.iter().all(|&x| x == 0));
+        assert_eq!(diameter(&one), 4);
+
+        let two = generators::disjoint_union(&generators::ring(6), 2);
+        let (_, c) = connected_components(&two);
+        assert_eq!(c, 2);
+
+        assert_eq!(diameter(&generators::path(10)), 9);
+        assert_eq!(diameter(&generators::complete(5)), 1);
+    }
+}

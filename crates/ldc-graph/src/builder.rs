@@ -1,0 +1,194 @@
+//! Validating builder for [`Graph`].
+
+use crate::graph::{EdgeId, Graph, NodeId};
+use std::fmt;
+
+/// Errors produced when assembling a [`Graph`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BuildError {
+    /// An edge endpoint was `>= n`.
+    NodeOutOfRange {
+        /// The offending node id.
+        node: NodeId,
+        /// The number of nodes of the graph under construction.
+        n: usize,
+    },
+    /// An edge `{v, v}` was added.
+    SelfLoop(
+        /// The node with the self-loop.
+        NodeId,
+    ),
+}
+
+impl fmt::Display for BuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BuildError::NodeOutOfRange { node, n } => {
+                write!(f, "edge endpoint {node} out of range for {n}-node graph")
+            }
+            BuildError::SelfLoop(v) => write!(f, "self-loop at node {v}"),
+        }
+    }
+}
+
+impl std::error::Error for BuildError {}
+
+/// Incremental builder producing validated CSR [`Graph`]s.
+///
+/// Duplicate edges are deduplicated silently (adding `{u,v}` twice yields a
+/// single edge); self-loops and out-of-range endpoints are reported at
+/// [`GraphBuilder::build`] time.
+#[derive(Debug, Clone, Default)]
+pub struct GraphBuilder {
+    n: usize,
+    edges: Vec<(NodeId, NodeId)>,
+    error: Option<BuildError>,
+}
+
+impl GraphBuilder {
+    /// Start building an `n`-node graph.
+    pub fn new(n: usize) -> Self {
+        GraphBuilder { n, edges: Vec::new(), error: None }
+    }
+
+    /// Start building with an edge-capacity hint.
+    pub fn with_capacity(n: usize, m: usize) -> Self {
+        GraphBuilder { n, edges: Vec::with_capacity(m), error: None }
+    }
+
+    /// Add the undirected edge `{u, v}`. Order of endpoints is irrelevant.
+    pub fn add_edge(&mut self, u: NodeId, v: NodeId) -> &mut Self {
+        if self.error.is_some() {
+            return self;
+        }
+        if u == v {
+            self.error = Some(BuildError::SelfLoop(u));
+            return self;
+        }
+        for w in [u, v] {
+            if (w as usize) >= self.n {
+                self.error = Some(BuildError::NodeOutOfRange { node: w, n: self.n });
+                return self;
+            }
+        }
+        self.edges.push(if u < v { (u, v) } else { (v, u) });
+        self
+    }
+
+    /// Add many edges at once.
+    pub fn extend_edges<I: IntoIterator<Item = (NodeId, NodeId)>>(&mut self, it: I) -> &mut Self {
+        for (u, v) in it {
+            self.add_edge(u, v);
+        }
+        self
+    }
+
+    /// Number of (possibly duplicated) edges added so far.
+    pub fn pending_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Finish, validating all invariants.
+    pub fn build(&mut self) -> Result<Graph, BuildError> {
+        if let Some(e) = self.error.take() {
+            return Err(e);
+        }
+        let mut edges = std::mem::take(&mut self.edges);
+        edges.sort_unstable();
+        edges.dedup();
+
+        let n = self.n;
+        let mut deg = vec![0usize; n];
+        for &(u, v) in &edges {
+            deg[u as usize] += 1;
+            deg[v as usize] += 1;
+        }
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut acc = 0usize;
+        offsets.push(0);
+        for d in &deg {
+            acc += d;
+            offsets.push(acc);
+        }
+        let mut cursor = offsets.clone();
+        let mut neighbors = vec![0 as NodeId; acc];
+        let mut half_edge_ids = vec![0 as EdgeId; acc];
+        for (e, &(u, v)) in edges.iter().enumerate() {
+            let e = e as EdgeId;
+            let cu = &mut cursor[u as usize];
+            neighbors[*cu] = v;
+            half_edge_ids[*cu] = e;
+            *cu += 1;
+            let cv = &mut cursor[v as usize];
+            neighbors[*cv] = u;
+            half_edge_ids[*cv] = e;
+            *cv += 1;
+        }
+        // Sort each adjacency list (stable pairing of neighbor and edge id).
+        for v in 0..n {
+            let range = offsets[v]..offsets[v + 1];
+            let mut pairs: Vec<(NodeId, EdgeId)> = neighbors[range.clone()]
+                .iter()
+                .copied()
+                .zip(half_edge_ids[range.clone()].iter().copied())
+                .collect();
+            pairs.sort_unstable();
+            for (i, (nb, eid)) in pairs.into_iter().enumerate() {
+                neighbors[offsets[v] + i] = nb;
+                half_edge_ids[offsets[v] + i] = eid;
+            }
+        }
+        Ok(Graph::from_parts(n, offsets, neighbors, half_edge_ids, edges))
+    }
+}
+
+/// Build a graph directly from an edge list.
+pub fn from_edges(n: usize, edges: &[(NodeId, NodeId)]) -> Result<Graph, BuildError> {
+    let mut b = GraphBuilder::with_capacity(n, edges.len());
+    b.extend_edges(edges.iter().copied());
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dedup_and_sort() {
+        let g = from_edges(3, &[(2, 1), (1, 2), (0, 2)]).unwrap();
+        assert_eq!(g.num_edges(), 2);
+        assert_eq!(g.neighbors(2), &[0, 1]);
+    }
+
+    #[test]
+    fn rejects_self_loop() {
+        assert_eq!(from_edges(2, &[(1, 1)]).unwrap_err(), BuildError::SelfLoop(1));
+    }
+
+    #[test]
+    fn rejects_out_of_range() {
+        assert!(matches!(
+            from_edges(2, &[(0, 5)]).unwrap_err(),
+            BuildError::NodeOutOfRange { node: 5, n: 2 }
+        ));
+    }
+
+    #[test]
+    fn error_is_sticky_until_build() {
+        let mut b = GraphBuilder::new(2);
+        b.add_edge(0, 0).add_edge(0, 1);
+        assert!(b.build().is_err());
+        // Builder is reusable after the error was reported.
+        b.add_edge(0, 1);
+        assert_eq!(b.build().unwrap().num_edges(), 1);
+    }
+
+    #[test]
+    fn degrees_match_edge_list() {
+        let g = from_edges(5, &[(0, 1), (0, 2), (0, 3), (0, 4), (1, 2)]).unwrap();
+        assert_eq!(g.degree(0), 4);
+        assert_eq!(g.degree(1), 2);
+        assert_eq!(g.degree(4), 1);
+        assert_eq!(g.max_degree(), 4);
+    }
+}

@@ -1,0 +1,202 @@
+//! Plain vertex colorings and their validators.
+//!
+//! The paper's algorithms consume an "initial proper `m`-coloring" (usually
+//! computed from unique ids, or by Linial's algorithm). This module holds
+//! the common representation shared by the whole workspace.
+
+use crate::graph::{Graph, NodeId};
+
+/// A vertex coloring with colors in `0..m`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProperColoring {
+    colors: Vec<u64>,
+    m: u64,
+}
+
+impl ProperColoring {
+    /// Wrap a color vector, asserting colors are below `m` and the coloring
+    /// is proper on `g`.
+    pub fn new(g: &Graph, colors: Vec<u64>, m: u64) -> Result<Self, ColoringError> {
+        let c = ProperColoring { colors, m };
+        c.validate(g)?;
+        Ok(c)
+    }
+
+    /// The trivial proper `n`-coloring by node id.
+    pub fn by_id(g: &Graph) -> Self {
+        ProperColoring {
+            colors: g.nodes().map(u64::from).collect(),
+            m: g.num_nodes() as u64,
+        }
+    }
+
+    /// Color of node `v`.
+    #[inline]
+    pub fn color(&self, v: NodeId) -> u64 {
+        self.colors[v as usize]
+    }
+
+    /// Number of available colors `m` (colors are `0..m`).
+    #[inline]
+    pub fn palette_size(&self) -> u64 {
+        self.m
+    }
+
+    /// Number of *distinct* colors actually used.
+    pub fn colors_used(&self) -> usize {
+        let mut seen = std::collections::BTreeSet::new();
+        seen.extend(self.colors.iter().copied());
+        seen.len()
+    }
+
+    /// Underlying color vector.
+    pub fn as_slice(&self) -> &[u64] {
+        &self.colors
+    }
+
+    /// Check properness and palette bounds on `g`.
+    pub fn validate(&self, g: &Graph) -> Result<(), ColoringError> {
+        if self.colors.len() != g.num_nodes() {
+            return Err(ColoringError::WrongLength {
+                got: self.colors.len(),
+                want: g.num_nodes(),
+            });
+        }
+        for v in g.nodes() {
+            if self.color(v) >= self.m {
+                return Err(ColoringError::ColorOutOfPalette { node: v, color: self.color(v), m: self.m });
+            }
+        }
+        for (_, u, v) in g.edges() {
+            if self.color(u) == self.color(v) {
+                return Err(ColoringError::Monochromatic { u, v, color: self.color(u) });
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Validation failures for [`ProperColoring`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ColoringError {
+    /// Color vector length does not match node count.
+    WrongLength {
+        /// Provided length.
+        got: usize,
+        /// Expected length.
+        want: usize,
+    },
+    /// A node uses a color `>= m`.
+    ColorOutOfPalette {
+        /// The node.
+        node: NodeId,
+        /// Its color.
+        color: u64,
+        /// The palette size.
+        m: u64,
+    },
+    /// An edge is monochromatic.
+    Monochromatic {
+        /// One endpoint.
+        u: NodeId,
+        /// Other endpoint.
+        v: NodeId,
+        /// The shared color.
+        color: u64,
+    },
+}
+
+impl std::fmt::Display for ColoringError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ColoringError::WrongLength { got, want } => {
+                write!(f, "color vector has length {got}, expected {want}")
+            }
+            ColoringError::ColorOutOfPalette { node, color, m } => {
+                write!(f, "node {node} has color {color} outside palette 0..{m}")
+            }
+            ColoringError::Monochromatic { u, v, color } => {
+                write!(f, "edge {{{u},{v}}} is monochromatic with color {color}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ColoringError {}
+
+/// Sequential greedy `(Δ+1)`-coloring in node-id order (reference baseline).
+pub fn greedy_by_id(g: &Graph) -> ProperColoring {
+    let delta = g.max_degree() as u64;
+    let mut colors = vec![u64::MAX; g.num_nodes()];
+    let mut used = vec![false; delta as usize + 1];
+    for v in g.nodes() {
+        for &u in g.neighbors(v) {
+            let cu = colors[u as usize];
+            if cu != u64::MAX {
+                used[cu as usize] = true;
+            }
+        }
+        let c = (0..=delta).find(|&c| !used[c as usize]).expect("greedy always finds a color");
+        colors[v as usize] = c;
+        for &u in g.neighbors(v) {
+            let cu = colors[u as usize];
+            if cu != u64::MAX {
+                used[cu as usize] = false;
+            }
+        }
+    }
+    ProperColoring { colors, m: delta + 1 }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::from_edges;
+    use crate::generators;
+
+    #[test]
+    fn by_id_is_proper() {
+        let g = from_edges(4, &[(0, 1), (1, 2), (2, 3)]).unwrap();
+        let c = ProperColoring::by_id(&g);
+        assert!(c.validate(&g).is_ok());
+        assert_eq!(c.palette_size(), 4);
+        assert_eq!(c.colors_used(), 4);
+    }
+
+    #[test]
+    fn rejects_monochromatic() {
+        let g = from_edges(2, &[(0, 1)]).unwrap();
+        let err = ProperColoring::new(&g, vec![3, 3], 5).unwrap_err();
+        assert!(matches!(err, ColoringError::Monochromatic { color: 3, .. }));
+    }
+
+    #[test]
+    fn rejects_out_of_palette() {
+        let g = from_edges(2, &[(0, 1)]).unwrap();
+        let err = ProperColoring::new(&g, vec![0, 9], 5).unwrap_err();
+        assert!(matches!(err, ColoringError::ColorOutOfPalette { node: 1, color: 9, m: 5 }));
+    }
+
+    #[test]
+    fn rejects_wrong_length() {
+        let g = from_edges(2, &[(0, 1)]).unwrap();
+        let err = ProperColoring::new(&g, vec![0], 5).unwrap_err();
+        assert!(matches!(err, ColoringError::WrongLength { got: 1, want: 2 }));
+    }
+
+    #[test]
+    fn greedy_uses_at_most_delta_plus_one_colors() {
+        let g = generators::gnp(100, 0.1, 7);
+        let c = greedy_by_id(&g);
+        assert!(c.validate(&g).is_ok());
+        assert!(c.palette_size() <= g.max_degree() as u64 + 1);
+    }
+
+    #[test]
+    fn greedy_on_clique_uses_exactly_n_colors() {
+        let g = generators::complete(6);
+        let c = greedy_by_id(&g);
+        assert!(c.validate(&g).is_ok());
+        assert_eq!(c.colors_used(), 6);
+    }
+}

@@ -1,0 +1,493 @@
+//! Deterministic, seedable graph generators.
+//!
+//! Every random family takes an explicit `seed`; the same `(parameters,
+//! seed)` pair always yields the same graph, on every platform, so the
+//! experiment tables in `EXPERIMENTS.md` are reproducible bit-for-bit.
+
+use crate::builder::{from_edges, GraphBuilder};
+use crate::graph::{Graph, NodeId};
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+fn rng(seed: u64) -> ChaCha8Rng {
+    ChaCha8Rng::seed_from_u64(seed)
+}
+
+/// The `n`-cycle (ring network of Linial's lower bound), `n >= 3`.
+pub fn ring(n: usize) -> Graph {
+    assert!(n >= 3, "a ring needs at least 3 nodes");
+    let mut b = GraphBuilder::with_capacity(n, n);
+    for v in 0..n {
+        b.add_edge(v as NodeId, ((v + 1) % n) as NodeId);
+    }
+    b.build().expect("ring is simple")
+}
+
+/// The path on `n` nodes.
+pub fn path(n: usize) -> Graph {
+    let mut b = GraphBuilder::with_capacity(n, n.saturating_sub(1));
+    for v in 1..n {
+        b.add_edge((v - 1) as NodeId, v as NodeId);
+    }
+    b.build().expect("path is simple")
+}
+
+/// The complete graph `K_n` (the tight instance for the existence lemmas).
+pub fn complete(n: usize) -> Graph {
+    let mut b = GraphBuilder::with_capacity(n, n * n / 2);
+    for u in 0..n {
+        for v in (u + 1)..n {
+            b.add_edge(u as NodeId, v as NodeId);
+        }
+    }
+    b.build().expect("clique is simple")
+}
+
+/// The star `K_{1,n-1}` centered at node 0.
+pub fn star(n: usize) -> Graph {
+    assert!(n >= 1);
+    let mut b = GraphBuilder::with_capacity(n, n - 1);
+    for v in 1..n {
+        b.add_edge(0, v as NodeId);
+    }
+    b.build().expect("star is simple")
+}
+
+/// The complete bipartite graph `K_{a,b}` (left part `0..a`).
+pub fn complete_bipartite(a: usize, b: usize) -> Graph {
+    let mut builder = GraphBuilder::with_capacity(a + b, a * b);
+    for u in 0..a {
+        for v in 0..b {
+            builder.add_edge(u as NodeId, (a + v) as NodeId);
+        }
+    }
+    builder.build().expect("complete bipartite is simple")
+}
+
+/// Erdős–Rényi `G(n, p)`.
+pub fn gnp(n: usize, p: f64, seed: u64) -> Graph {
+    assert!((0.0..=1.0).contains(&p), "p must be a probability");
+    let mut r = rng(seed);
+    let mut b = GraphBuilder::new(n);
+    if p >= 1.0 {
+        return complete(n);
+    }
+    if p > 0.0 {
+        // Geometric skipping: visit each potential edge once in expectation
+        // O(pn²) time.
+        let ln_q = (1.0 - p).ln();
+        let total = n.saturating_mul(n.saturating_sub(1)) / 2;
+        let mut idx: usize = 0;
+        loop {
+            let u: f64 = r.gen_range(f64::EPSILON..1.0);
+            let skip = (u.ln() / ln_q).floor() as usize;
+            idx = match idx.checked_add(skip) {
+                Some(i) => i,
+                None => break,
+            };
+            if idx >= total {
+                break;
+            }
+            let (u, v) = unrank_pair(idx, n);
+            b.add_edge(u, v);
+            idx += 1;
+        }
+    }
+    b.build().expect("G(n,p) is simple")
+}
+
+/// Map a linear index in `0..n(n-1)/2` to the pair `(u, v)`, `u < v`.
+fn unrank_pair(idx: usize, n: usize) -> (NodeId, NodeId) {
+    // Row u holds (n - 1 - u) pairs.
+    let mut u = 0usize;
+    let mut rem = idx;
+    loop {
+        let row = n - 1 - u;
+        if rem < row {
+            return (u as NodeId, (u + 1 + rem) as NodeId);
+        }
+        rem -= row;
+        u += 1;
+    }
+}
+
+/// A random `d`-regular graph via the configuration model with edge-swap
+/// repair: a random perfect matching on stubs is sampled and the (few)
+/// self-loops / parallel edges are removed by double-edge swaps that
+/// preserve all degrees.
+///
+/// # Panics
+/// Panics if `n * d` is odd, `d >= n`, or repair does not converge (only
+/// possible for extreme `d` close to `n`).
+pub fn random_regular(n: usize, d: usize, seed: u64) -> Graph {
+    assert!((n * d).is_multiple_of(2), "n*d must be even");
+    assert!(d < n, "degree must be below n");
+    if d == 0 {
+        return GraphBuilder::new(n).build().unwrap();
+    }
+    let mut r = rng(seed);
+    let mut stubs: Vec<NodeId> =
+        (0..n).flat_map(|v| std::iter::repeat_n(v as NodeId, d)).collect();
+    stubs.shuffle(&mut r);
+    let mut edges: Vec<(NodeId, NodeId)> = stubs
+        .chunks(2)
+        .map(|p| if p[0] < p[1] { (p[0], p[1]) } else { (p[1], p[0]) })
+        .collect();
+
+    let is_bad = |edges: &[(NodeId, NodeId)],
+                  seen: &std::collections::HashMap<(NodeId, NodeId), usize>,
+                  i: usize| {
+        let (u, v) = edges[i];
+        u == v || seen[&(u, v)] > 1
+    };
+    let mut budget = 200usize * n * d + 10_000;
+    loop {
+        let mut seen: std::collections::HashMap<(NodeId, NodeId), usize> =
+            std::collections::HashMap::with_capacity(edges.len());
+        for &(u, v) in &edges {
+            *seen.entry((u, v)).or_insert(0) += 1;
+        }
+        let bad: Vec<usize> = (0..edges.len()).filter(|&i| is_bad(&edges, &seen, i)).collect();
+        if bad.is_empty() {
+            break;
+        }
+        for i in bad {
+            if !is_bad(&edges, &seen, i) {
+                continue; // fixed as a side effect of an earlier swap
+            }
+            // Swap the bad edge with a uniformly random partner edge,
+            // keeping `seen` consistent so acceptance checks stay exact.
+            loop {
+                budget = budget.checked_sub(1).unwrap_or_else(|| {
+                    panic!("edge-swap repair did not converge for n={n}, d={d}")
+                });
+                let j = r.gen_range(0..edges.len());
+                if j == i {
+                    continue;
+                }
+                let (a, b) = edges[i];
+                let (c, e) = edges[j];
+                // Propose (a,c) and (b,e); accept if both are new simple edges.
+                let p1 = if a < c { (a, c) } else { (c, a) };
+                let p2 = if b < e { (b, e) } else { (e, b) };
+                if a == c || b == e || seen.contains_key(&p1) || seen.contains_key(&p2) || p1 == p2
+                {
+                    continue;
+                }
+                for old in [edges[i], edges[j]] {
+                    if let Some(cnt) = seen.get_mut(&old) {
+                        *cnt -= 1;
+                        if *cnt == 0 {
+                            seen.remove(&old);
+                        }
+                    }
+                }
+                edges[i] = p1;
+                edges[j] = p2;
+                *seen.entry(p1).or_insert(0) += 1;
+                *seen.entry(p2).or_insert(0) += 1;
+                break;
+            }
+        }
+        // Outer loop re-checks from scratch in case a partner edge `j` that
+        // was itself bad got replaced without clearing its badness.
+    }
+    from_edges(n, &edges).expect("simple after repair")
+}
+
+/// 2D torus (wrap-around grid) of `rows × cols`; 4-regular when both ≥ 3.
+pub fn torus(rows: usize, cols: usize) -> Graph {
+    assert!(rows >= 3 && cols >= 3, "torus needs both dimensions >= 3");
+    let id = |r: usize, c: usize| (r * cols + c) as NodeId;
+    let mut b = GraphBuilder::with_capacity(rows * cols, 2 * rows * cols);
+    for r in 0..rows {
+        for c in 0..cols {
+            b.add_edge(id(r, c), id((r + 1) % rows, c));
+            b.add_edge(id(r, c), id(r, (c + 1) % cols));
+        }
+    }
+    b.build().expect("torus is simple")
+}
+
+/// Complete `arity`-ary tree with `n` nodes (node 0 is the root).
+pub fn complete_tree(n: usize, arity: usize) -> Graph {
+    assert!(arity >= 1);
+    let mut b = GraphBuilder::with_capacity(n, n.saturating_sub(1));
+    for v in 1..n {
+        b.add_edge(v as NodeId, ((v - 1) / arity) as NodeId);
+    }
+    b.build().expect("tree is simple")
+}
+
+/// Preferential-attachment (Barabási–Albert style) power-law graph: start
+/// from a clique on `m0 = m + 1` nodes, each new node attaches to `m`
+/// distinct existing nodes chosen proportionally to degree.
+pub fn preferential_attachment(n: usize, m: usize, seed: u64) -> Graph {
+    assert!(m >= 1 && n > m, "need n > m >= 1");
+    let mut r = rng(seed);
+    let mut b = GraphBuilder::new(n);
+    // Repeated-endpoint list: sampling uniformly from it is degree-biased.
+    let mut endpoints: Vec<NodeId> = Vec::with_capacity(2 * n * m);
+    for u in 0..=m {
+        for v in (u + 1)..=m {
+            b.add_edge(u as NodeId, v as NodeId);
+            endpoints.push(u as NodeId);
+            endpoints.push(v as NodeId);
+        }
+    }
+    for v in (m + 1)..n {
+        let mut targets = std::collections::HashSet::with_capacity(m);
+        while targets.len() < m {
+            let t = endpoints[r.gen_range(0..endpoints.len())];
+            targets.insert(t);
+        }
+        for &t in &targets {
+            b.add_edge(v as NodeId, t);
+            endpoints.push(v as NodeId);
+            endpoints.push(t);
+        }
+    }
+    b.build().expect("preferential attachment is simple")
+}
+
+/// The `dim`-dimensional hypercube (`2^dim` nodes, `dim`-regular).
+pub fn hypercube(dim: u32) -> Graph {
+    assert!((1..=24).contains(&dim), "dimension out of supported range");
+    let n = 1usize << dim;
+    let mut b = GraphBuilder::with_capacity(n, n * dim as usize / 2);
+    for v in 0..n {
+        for bit in 0..dim {
+            let u = v ^ (1 << bit);
+            if u > v {
+                b.add_edge(v as NodeId, u as NodeId);
+            }
+        }
+    }
+    b.build().expect("hypercube is simple")
+}
+
+/// A random bipartite graph: parts `0..a` and `a..a+b`, each cross pair an
+/// edge independently with probability `p`.
+pub fn random_bipartite(a: usize, b: usize, p: f64, seed: u64) -> Graph {
+    assert!((0.0..=1.0).contains(&p));
+    let mut r = rng(seed);
+    let mut builder = GraphBuilder::new(a + b);
+    for u in 0..a {
+        for v in 0..b {
+            if r.gen_bool(p) {
+                builder.add_edge(u as NodeId, (a + v) as NodeId);
+            }
+        }
+    }
+    builder.build().expect("bipartite is simple")
+}
+
+/// The line graph `L(G)`: one node per edge of `g`, adjacent iff the edges
+/// share an endpoint. Line graphs have bounded neighborhood independence —
+/// the family for which the paper's color-space reduction shines.
+pub fn line_graph(g: &Graph) -> Graph {
+    let m = g.num_edges();
+    let mut b = GraphBuilder::new(m);
+    for v in g.nodes() {
+        let inc = g.incident_edges(v);
+        for i in 0..inc.len() {
+            for j in (i + 1)..inc.len() {
+                b.add_edge(inc[i], inc[j]);
+            }
+        }
+    }
+    b.build().expect("line graph is simple")
+}
+
+/// A "lollipop": clique on `k` nodes with a path of `n - k` nodes attached.
+/// Mixes a dense and a sparse regime in one instance.
+pub fn lollipop(n: usize, k: usize) -> Graph {
+    assert!(k >= 1 && k <= n);
+    let mut b = GraphBuilder::new(n);
+    for u in 0..k {
+        for v in (u + 1)..k {
+            b.add_edge(u as NodeId, v as NodeId);
+        }
+    }
+    for v in k..n {
+        b.add_edge((v - 1) as NodeId, v as NodeId);
+    }
+    b.build().expect("lollipop is simple")
+}
+
+/// A disjoint union of `copies` copies of `g`.
+pub fn disjoint_union(g: &Graph, copies: usize) -> Graph {
+    let n = g.num_nodes();
+    let mut b = GraphBuilder::with_capacity(n * copies, g.num_edges() * copies);
+    for c in 0..copies {
+        let base = (c * n) as NodeId;
+        for (_, u, v) in g.edges() {
+            b.add_edge(base + u, base + v);
+        }
+    }
+    b.build().expect("disjoint union of simple graphs is simple")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_is_2_regular() {
+        let g = ring(10);
+        assert_eq!(g.num_edges(), 10);
+        for v in g.nodes() {
+            assert_eq!(g.degree(v), 2);
+        }
+    }
+
+    #[test]
+    fn complete_has_all_edges() {
+        let g = complete(7);
+        assert_eq!(g.num_edges(), 21);
+        assert_eq!(g.max_degree(), 6);
+    }
+
+    #[test]
+    fn gnp_extremes() {
+        assert_eq!(gnp(20, 0.0, 1).num_edges(), 0);
+        assert_eq!(gnp(20, 1.0, 1).num_edges(), 190);
+    }
+
+    #[test]
+    fn gnp_is_deterministic_per_seed() {
+        let a = gnp(50, 0.2, 42);
+        let b = gnp(50, 0.2, 42);
+        let c = gnp(50, 0.2, 43);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn gnp_density_is_plausible() {
+        let g = gnp(400, 0.05, 9);
+        let expected = 0.05 * (400.0 * 399.0 / 2.0);
+        let m = g.num_edges() as f64;
+        assert!((m - expected).abs() < 0.25 * expected, "m = {m}, expected ≈ {expected}");
+    }
+
+    #[test]
+    fn unrank_pair_is_bijective_on_small_n() {
+        let n = 9;
+        let mut seen = std::collections::HashSet::new();
+        for idx in 0..(n * (n - 1) / 2) {
+            let (u, v) = unrank_pair(idx, n);
+            assert!(u < v && (v as usize) < n);
+            assert!(seen.insert((u, v)));
+        }
+    }
+
+    #[test]
+    fn random_regular_is_regular() {
+        for (n, d) in [(20, 3), (31, 4), (50, 6)] {
+            let g = random_regular(n, d, 5);
+            assert_eq!(g.num_nodes(), n);
+            for v in g.nodes() {
+                assert_eq!(g.degree(v), d, "node {v} in {n},{d}");
+            }
+        }
+    }
+
+    #[test]
+    fn random_regular_zero_degree() {
+        let g = random_regular(8, 0, 1);
+        assert_eq!(g.num_edges(), 0);
+    }
+
+    #[test]
+    fn torus_is_4_regular() {
+        let g = torus(4, 5);
+        assert_eq!(g.num_nodes(), 20);
+        for v in g.nodes() {
+            assert_eq!(g.degree(v), 4);
+        }
+    }
+
+    #[test]
+    fn tree_has_n_minus_one_edges() {
+        let g = complete_tree(22, 3);
+        assert_eq!(g.num_edges(), 21);
+        assert_eq!(g.degree(0), 3);
+    }
+
+    #[test]
+    fn preferential_attachment_shape() {
+        let g = preferential_attachment(200, 3, 11);
+        assert_eq!(g.num_nodes(), 200);
+        // Minimum degree is m; hubs should exceed it substantially.
+        assert!(g.nodes().all(|v| g.degree(v) >= 3));
+        assert!(g.max_degree() > 8, "expected a hub, max deg = {}", g.max_degree());
+    }
+
+    #[test]
+    fn hypercube_is_dim_regular_and_bipartite() {
+        let g = hypercube(4);
+        assert_eq!(g.num_nodes(), 16);
+        assert_eq!(g.num_edges(), 32);
+        for v in g.nodes() {
+            assert_eq!(g.degree(v), 4);
+        }
+        // Bipartition by popcount parity.
+        for (_, u, v) in g.edges() {
+            assert_ne!(u.count_ones() % 2, v.count_ones() % 2);
+        }
+        assert_eq!(crate::analysis::diameter(&g), 4);
+    }
+
+    #[test]
+    fn random_bipartite_has_no_intra_edges() {
+        let g = random_bipartite(10, 14, 0.3, 5);
+        for (_, u, v) in g.edges() {
+            assert!((u < 10) != (v < 10), "edge {{{u},{v}}} inside a part");
+        }
+        assert_eq!(random_bipartite(5, 5, 1.0, 1).num_edges(), 25);
+        assert_eq!(random_bipartite(5, 5, 0.0, 1).num_edges(), 0);
+    }
+
+    #[test]
+    fn line_graph_of_star_is_clique() {
+        let g = star(5);
+        let l = line_graph(&g);
+        assert_eq!(l.num_nodes(), 4);
+        assert_eq!(l.num_edges(), 6); // K4
+    }
+
+    #[test]
+    fn line_graph_of_path_is_path() {
+        let g = path(5);
+        let l = line_graph(&g);
+        assert_eq!(l.num_nodes(), 4);
+        assert_eq!(l.num_edges(), 3);
+        assert_eq!(l.max_degree(), 2);
+    }
+
+    #[test]
+    fn complete_bipartite_degrees() {
+        let g = complete_bipartite(3, 4);
+        assert_eq!(g.num_edges(), 12);
+        assert_eq!(g.degree(0), 4);
+        assert_eq!(g.degree(3), 3);
+    }
+
+    #[test]
+    fn lollipop_shape() {
+        let g = lollipop(10, 4);
+        assert_eq!(g.num_edges(), 6 + 6);
+        assert_eq!(g.degree(9), 1);
+        assert_eq!(g.degree(3), 4); // in clique + path attach
+    }
+
+    #[test]
+    fn disjoint_union_scales() {
+        let g = disjoint_union(&ring(5), 3);
+        assert_eq!(g.num_nodes(), 15);
+        assert_eq!(g.num_edges(), 15);
+        assert!(!g.has_edge(4, 5));
+    }
+}

@@ -1,0 +1,37 @@
+//! Graph substrate for the `list-defective-coloring` workspace.
+//!
+//! This crate provides the static graph representation used by the
+//! LOCAL/CONGEST simulator (`ldc-sim`) and by every coloring algorithm in
+//! the workspace:
+//!
+//! * [`Graph`] — an immutable, validated, CSR-encoded simple undirected
+//!   graph with stable edge identifiers,
+//! * [`Orientation`] — an assignment of a direction to every edge, turning a
+//!   [`Graph`] into the directed graphs the paper's *oriented* list
+//!   defective coloring problems run on,
+//! * [`DirectedView`] — a graph together with a per-half-edge out-marking
+//!   (this also covers the "replace `{u,v}` by `(u,v)` and `(v,u)`"
+//!   bidirected construction used by Fuchs & Kuhn to lift undirected
+//!   problems to oriented ones),
+//! * [`generators`] — deterministic, seedable graph families used by the
+//!   test-suite and the experiment harness,
+//! * [`coloring`] — plain vertex colorings (the "initial proper
+//!   `m`-coloring" inputs of the paper) and their validators.
+//!
+//! Everything is deterministic: all random generators take an explicit seed.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod analysis;
+pub mod builder;
+pub mod coloring;
+pub mod generators;
+pub mod graph;
+pub mod io;
+pub mod orientation;
+
+pub use builder::GraphBuilder;
+pub use coloring::ProperColoring;
+pub use graph::{EdgeId, Graph, NodeId};
+pub use orientation::{DirectedView, Orientation};

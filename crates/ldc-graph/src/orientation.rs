@@ -1,0 +1,290 @@
+//! Edge orientations and directed views of undirected graphs.
+//!
+//! The paper's *oriented* list defective coloring problems run on directed
+//! graphs whose edges still carry bidirectional communication. Two
+//! constructions appear:
+//!
+//! 1. an [`Orientation`] of a simple graph (every edge points one way) —
+//!    this is what arbdefective colorings output, and
+//! 2. the *bidirected* lift (every undirected edge `{u,v}` replaced by both
+//!    `(u,v)` and `(v,u)`) used to reduce undirected list defective coloring
+//!    to the oriented problem.
+//!
+//! [`DirectedView`] unifies both: it stores, for every half-edge, whether it
+//! is outgoing from its endpoint.
+
+use crate::graph::{EdgeId, Graph, NodeId};
+
+/// The direction of a single edge `{u, v}` with `u < v`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EdgeDir {
+    /// Directed from the smaller to the larger endpoint.
+    Forward,
+    /// Directed from the larger to the smaller endpoint.
+    Backward,
+}
+
+/// An orientation assigns a direction to every edge of a [`Graph`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Orientation {
+    dirs: Vec<EdgeDir>,
+}
+
+impl Orientation {
+    /// All edges oriented from the smaller to the larger endpoint.
+    pub fn forward(g: &Graph) -> Self {
+        Orientation { dirs: vec![EdgeDir::Forward; g.num_edges()] }
+    }
+
+    /// Orientation from an explicit per-edge direction vector.
+    ///
+    /// # Panics
+    /// Panics if `dirs.len() != g.num_edges()`.
+    pub fn from_dirs(g: &Graph, dirs: Vec<EdgeDir>) -> Self {
+        assert_eq!(dirs.len(), g.num_edges(), "one direction per edge required");
+        Orientation { dirs }
+    }
+
+    /// Orient every edge toward the endpoint for which `rank` is larger,
+    /// breaking ties toward the larger node id. With `rank = node id` this
+    /// yields an acyclic orientation.
+    pub fn by_rank<F: Fn(NodeId) -> u64>(g: &Graph, rank: F) -> Self {
+        let dirs = g
+            .edges()
+            .map(|(_, u, v)| {
+                let (ru, rv) = (rank(u), rank(v));
+                if ru < rv || (ru == rv && u < v) {
+                    EdgeDir::Forward
+                } else {
+                    EdgeDir::Backward
+                }
+            })
+            .collect();
+        Orientation { dirs }
+    }
+
+    /// The direction of edge `e`.
+    #[inline]
+    pub fn dir(&self, e: EdgeId) -> EdgeDir {
+        self.dirs[e as usize]
+    }
+
+    /// Set the direction of edge `e`.
+    #[inline]
+    pub fn set_dir(&mut self, e: EdgeId, d: EdgeDir) {
+        self.dirs[e as usize] = d;
+    }
+
+    /// Whether edge `e` leaves node `v` (i.e. `v` is its tail).
+    ///
+    /// # Panics
+    /// Panics if `v` is not an endpoint of `e`.
+    pub fn is_out(&self, g: &Graph, e: EdgeId, v: NodeId) -> bool {
+        let (a, b) = g.endpoints(e);
+        match self.dir(e) {
+            EdgeDir::Forward => {
+                assert!(v == a || v == b, "node {v} not an endpoint of edge {e}");
+                v == a
+            }
+            EdgeDir::Backward => {
+                assert!(v == a || v == b, "node {v} not an endpoint of edge {e}");
+                v == b
+            }
+        }
+    }
+
+    /// Head (target) of edge `e`.
+    pub fn head(&self, g: &Graph, e: EdgeId) -> NodeId {
+        let (a, b) = g.endpoints(e);
+        match self.dir(e) {
+            EdgeDir::Forward => b,
+            EdgeDir::Backward => a,
+        }
+    }
+
+    /// Tail (source) of edge `e`.
+    pub fn tail(&self, g: &Graph, e: EdgeId) -> NodeId {
+        let (a, b) = g.endpoints(e);
+        match self.dir(e) {
+            EdgeDir::Forward => a,
+            EdgeDir::Backward => b,
+        }
+    }
+
+    /// Out-degree of `v` under this orientation.
+    pub fn out_degree(&self, g: &Graph, v: NodeId) -> usize {
+        g.incident_edges(v).iter().filter(|&&e| self.is_out(g, e, v)).count()
+    }
+
+    /// Maximum out-degree `β` of the oriented graph.
+    pub fn max_out_degree(&self, g: &Graph) -> usize {
+        g.nodes().map(|v| self.out_degree(g, v)).max().unwrap_or(0)
+    }
+}
+
+/// A graph together with a per-half-edge "outgoing" marking.
+///
+/// This is the input type for the oriented list defective coloring
+/// algorithms: node `v` treats the marked neighbors as its *out-neighbors*
+/// (the ones that can contribute to `v`'s defect), while communication still
+/// flows both ways. The bidirected lift marks every half-edge outgoing.
+#[derive(Debug, Clone)]
+pub struct DirectedView<'g> {
+    graph: &'g Graph,
+    /// Parallel to the CSR `neighbors` array: `out[prefix[v] + port]` iff
+    /// the half-edge at `port` of node `v` leaves `v`.
+    out: Vec<bool>,
+    /// Prefix sums of degrees (CSR offsets), length `n + 1`.
+    prefix: Vec<usize>,
+    out_degrees: Vec<u32>,
+}
+
+impl<'g> DirectedView<'g> {
+    fn from_pred<F: Fn(NodeId, NodeId, EdgeId) -> bool>(graph: &'g Graph, is_out: F) -> Self {
+        let n = graph.num_nodes();
+        let mut out = Vec::with_capacity(graph.degree_sum());
+        let mut out_degrees = vec![0u32; n];
+        let prefix = Self::build_prefix(graph);
+        for v in graph.nodes() {
+            for (&u, &e) in graph.neighbors(v).iter().zip(graph.incident_edges(v)) {
+                let o = is_out(v, u, e);
+                out.push(o);
+                if o {
+                    out_degrees[v as usize] += 1;
+                }
+            }
+        }
+        DirectedView { graph, out, prefix, out_degrees }
+    }
+
+    /// Directed view induced by an [`Orientation`].
+    pub fn from_orientation(graph: &'g Graph, o: &Orientation) -> Self {
+        Self::from_pred(graph, |v, _, e| o.is_out(graph, e, v))
+    }
+
+    /// The bidirected lift: every neighbor is an out-neighbor.
+    ///
+    /// Used to run oriented algorithms on undirected list defective coloring
+    /// instances (`β_v = deg(v)`).
+    pub fn bidirected(graph: &'g Graph) -> Self {
+        Self::from_pred(graph, |_, _, _| true)
+    }
+
+    /// The underlying undirected communication graph.
+    #[inline]
+    pub fn graph(&self) -> &'g Graph {
+        self.graph
+    }
+
+    /// Whether the neighbor at `port` (index into `neighbors(v)`) is an
+    /// out-neighbor of `v`.
+    #[inline]
+    pub fn is_out_port(&self, v: NodeId, port: usize) -> bool {
+        debug_assert!(port < self.graph.degree(v));
+        self.out[self.prefix[v as usize] + port]
+    }
+
+    /// Out-degree `β_v` (paper convention: at least 1 is applied by callers
+    /// that need `β_v ≥ 1`; this returns the true out-degree).
+    #[inline]
+    pub fn out_degree(&self, v: NodeId) -> usize {
+        self.out_degrees[v as usize] as usize
+    }
+
+    /// `β_v` with the paper's convention `β_v := max(1, out-degree)`.
+    #[inline]
+    pub fn beta(&self, v: NodeId) -> usize {
+        self.out_degree(v).max(1)
+    }
+
+    /// Maximum out-degree `β` (paper convention, so at least 1 when `n>0`).
+    pub fn max_beta(&self) -> usize {
+        self.graph.nodes().map(|v| self.beta(v)).max().unwrap_or(1)
+    }
+
+    /// Out-neighbors of `v` (allocates).
+    pub fn out_neighbors(&self, v: NodeId) -> Vec<NodeId> {
+        self.graph
+            .neighbors(v)
+            .iter()
+            .enumerate()
+            .filter(|&(port, _)| self.is_out_port(v, port))
+            .map(|(_, &u)| u)
+            .collect()
+    }
+}
+
+impl<'g> DirectedView<'g> {
+    fn build_prefix(graph: &Graph) -> Vec<usize> {
+        let mut prefix = Vec::with_capacity(graph.num_nodes() + 1);
+        let mut acc = 0usize;
+        prefix.push(0);
+        for v in graph.nodes() {
+            acc += graph.degree(v);
+            prefix.push(acc);
+        }
+        prefix
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::from_edges;
+
+    fn path4() -> Graph {
+        from_edges(4, &[(0, 1), (1, 2), (2, 3)]).unwrap()
+    }
+
+    #[test]
+    fn forward_orientation_points_to_larger() {
+        let g = path4();
+        let o = Orientation::forward(&g);
+        assert_eq!(o.out_degree(&g, 0), 1);
+        assert_eq!(o.out_degree(&g, 1), 1);
+        assert_eq!(o.out_degree(&g, 3), 0);
+        assert_eq!(o.max_out_degree(&g), 1);
+        let e01 = g.edge_id(0, 1).unwrap();
+        assert_eq!(o.head(&g, e01), 1);
+        assert_eq!(o.tail(&g, e01), 0);
+    }
+
+    #[test]
+    fn rank_orientation_is_acyclic_by_id() {
+        let g = path4();
+        let o = Orientation::by_rank(&g, u64::from);
+        for (e, u, v) in g.edges() {
+            assert_eq!(o.head(&g, e), v.max(u));
+        }
+    }
+
+    #[test]
+    fn directed_view_from_orientation() {
+        let g = path4();
+        let o = Orientation::by_rank(&g, u64::from);
+        let dv = DirectedView::from_orientation(&g, &o);
+        assert_eq!(dv.out_neighbors(1), vec![2]);
+        assert_eq!(dv.out_degree(3), 0);
+        assert_eq!(dv.beta(3), 1, "paper convention β_v ≥ 1");
+        assert_eq!(dv.max_beta(), 1);
+    }
+
+    #[test]
+    fn bidirected_view_has_all_out() {
+        let g = path4();
+        let dv = DirectedView::bidirected(&g);
+        assert_eq!(dv.out_neighbors(1), vec![0, 2]);
+        assert_eq!(dv.out_degree(1), 2);
+        assert_eq!(dv.max_beta(), 2);
+    }
+
+    #[test]
+    fn flipping_direction_flips_out_degree() {
+        let g = path4();
+        let mut o = Orientation::forward(&g);
+        let e = g.edge_id(1, 2).unwrap();
+        o.set_dir(e, EdgeDir::Backward);
+        assert_eq!(o.out_degree(&g, 2), 2);
+        assert_eq!(o.out_degree(&g, 1), 0);
+    }
+}

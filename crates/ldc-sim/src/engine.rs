@@ -1,0 +1,504 @@
+//! The synchronous round engine.
+
+use crate::message::MessageSize;
+use crate::metrics::{Metrics, RoundStats};
+use ldc_graph::{Graph, NodeId};
+use rayon::prelude::*;
+use std::fmt;
+
+/// Message-size regime of the simulation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Bandwidth {
+    /// The LOCAL model: unbounded messages.
+    Local,
+    /// The CONGEST model: every message is at most this many bits.
+    Congest {
+        /// Per-message bit budget (the paper uses `O(log n)`).
+        bits_per_message: u64,
+    },
+}
+
+impl Bandwidth {
+    /// The customary `CONGEST(c·⌈log₂ n⌉)` budget.
+    pub fn congest_log(n: usize, c: u64) -> Bandwidth {
+        let logn = crate::message::bits_for_value(n.max(2) as u64 - 1).max(1);
+        Bandwidth::Congest { bits_per_message: c * logn }
+    }
+}
+
+/// Simulation failures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// A message exceeded the CONGEST budget.
+    BandwidthExceeded {
+        /// Round index (0-based) in which the violation happened.
+        round: usize,
+        /// Sending node.
+        node: NodeId,
+        /// Port (index into the sender's adjacency list) used.
+        port: usize,
+        /// Size of the offending message.
+        bits: u64,
+        /// The configured budget.
+        limit: u64,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::BandwidthExceeded { round, node, port, bits, limit } => write!(
+                f,
+                "round {round}: node {node} sent {bits} bits on port {port}, exceeding CONGEST budget of {limit} bits"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+/// Write-side of a node's per-round communication: one slot per port.
+pub struct Outbox<'a, M> {
+    slots: &'a mut [Option<M>],
+}
+
+impl<'a, M> Outbox<'a, M> {
+    /// Send `msg` to the neighbor at `port` (index into `neighbors(v)`).
+    /// Overwrites any message previously placed on that port this round.
+    #[inline]
+    pub fn send(&mut self, port: usize, msg: M) {
+        self.slots[port] = Some(msg);
+    }
+
+    /// Number of ports (the node's degree).
+    #[inline]
+    pub fn ports(&self) -> usize {
+        self.slots.len()
+    }
+}
+
+impl<'a, M: Clone> Outbox<'a, M> {
+    /// Send the same message to every neighbor (costs one message per edge,
+    /// as in the model).
+    pub fn broadcast(&mut self, msg: &M) {
+        for slot in self.slots.iter_mut() {
+            *slot = Some(msg.clone());
+        }
+    }
+}
+
+/// Read-side of a node's per-round communication: one slot per port.
+pub struct Inbox<'a, M> {
+    slots: &'a [Option<M>],
+}
+
+impl<'a, M> Inbox<'a, M> {
+    /// The message received from the neighbor at `port`, if any.
+    #[inline]
+    pub fn get(&self, port: usize) -> Option<&M> {
+        self.slots[port].as_ref()
+    }
+
+    /// Iterate over `(port, message)` pairs of received messages.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, &M)> {
+        self.slots.iter().enumerate().filter_map(|(p, m)| m.as_ref().map(|m| (p, m)))
+    }
+
+    /// Number of ports (the node's degree).
+    #[inline]
+    pub fn ports(&self) -> usize {
+        self.slots.len()
+    }
+}
+
+/// A simulation instance bound to a communication graph.
+///
+/// The network owns the routing tables and the accumulated [`Metrics`];
+/// node *state* is owned by the algorithm (as a `&mut [S]` passed to every
+/// round) so multi-phase algorithms can thread their own state types.
+pub struct Network<'g> {
+    graph: &'g Graph,
+    bandwidth: Bandwidth,
+    /// CSR offsets (length n+1) for slicing the flat port arrays.
+    prefix: Vec<usize>,
+    /// Involution mapping a half-edge's global slot to its reverse slot.
+    reverse: Vec<usize>,
+    metrics: Metrics,
+    /// Below this node count rounds run sequentially (rayon overhead).
+    parallel_threshold: usize,
+}
+
+impl<'g> Network<'g> {
+    /// Create a network over `graph` with the given bandwidth regime.
+    pub fn new(graph: &'g Graph, bandwidth: Bandwidth) -> Self {
+        let n = graph.num_nodes();
+        let mut prefix = Vec::with_capacity(n + 1);
+        let mut acc = 0usize;
+        prefix.push(0);
+        for v in graph.nodes() {
+            acc += graph.degree(v);
+            prefix.push(acc);
+        }
+        let mut reverse = vec![0usize; acc];
+        for v in graph.nodes() {
+            for (i, &u) in graph.neighbors(v).iter().enumerate() {
+                let j = graph.port_of(u, v).expect("symmetric adjacency");
+                reverse[prefix[v as usize] + i] = prefix[u as usize] + j;
+            }
+        }
+        Network {
+            graph,
+            bandwidth,
+            prefix,
+            reverse,
+            metrics: Metrics::default(),
+            parallel_threshold: 4096,
+        }
+    }
+
+    /// The underlying communication graph.
+    pub fn graph(&self) -> &'g Graph {
+        self.graph
+    }
+
+    /// The bandwidth regime this network enforces.
+    pub fn bandwidth(&self) -> Bandwidth {
+        self.bandwidth
+    }
+
+    /// Accumulated metrics so far.
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+
+    /// Number of communication rounds executed so far.
+    pub fn rounds(&self) -> usize {
+        self.metrics.rounds()
+    }
+
+    /// Override the sequential/parallel switch-over point (node count).
+    pub fn set_parallel_threshold(&mut self, threshold: usize) {
+        self.parallel_threshold = threshold;
+    }
+
+    fn node_slices<'b, T>(&self, flat: &'b mut [T]) -> Vec<&'b mut [T]> {
+        let mut out = Vec::with_capacity(self.graph.num_nodes());
+        let mut rest = flat;
+        for v in self.graph.nodes() {
+            let d = self.graph.degree(v);
+            let (head, tail) = rest.split_at_mut(d);
+            out.push(head);
+            rest = tail;
+        }
+        out
+    }
+
+    /// Execute one communication round.
+    ///
+    /// `compose(v, &state_v, outbox)` fills `v`'s outgoing messages from its
+    /// local state only; after all messages are routed,
+    /// `consume(v, &mut state_v, inbox)` updates the state from the inbox.
+    ///
+    /// # Panics
+    /// Panics if `states.len() != n`.
+    pub fn exchange<S, M, FC, FU>(
+        &mut self,
+        states: &mut [S],
+        compose: FC,
+        consume: FU,
+    ) -> Result<(), SimError>
+    where
+        S: Send + Sync,
+        M: MessageSize + Send + Sync,
+        FC: Fn(NodeId, &S, &mut Outbox<'_, M>) + Sync,
+        FU: Fn(NodeId, &mut S, Inbox<'_, M>) + Sync,
+    {
+        let n = self.graph.num_nodes();
+        assert_eq!(states.len(), n, "one state per node required");
+        let total_slots = *self.prefix.last().unwrap_or(&0);
+        let mut wire: Vec<Option<M>> = (0..total_slots).map(|_| None).collect();
+
+        // Compose phase: per-node disjoint outbox slices.
+        {
+            let slices = self.node_slices(&mut wire);
+            if n >= self.parallel_threshold {
+                slices
+                    .into_par_iter()
+                    .zip(states.par_iter())
+                    .enumerate()
+                    .for_each(|(v, (slots, state))| {
+                        compose(v as NodeId, state, &mut Outbox { slots });
+                    });
+            } else {
+                for (v, (slots, state)) in slices.into_iter().zip(states.iter()).enumerate() {
+                    compose(v as NodeId, state, &mut Outbox { slots });
+                }
+            }
+        }
+
+        // Accounting + CONGEST enforcement.
+        let round = self.metrics.rounds();
+        let mut stats = RoundStats::default();
+        for v in self.graph.nodes() {
+            let base = self.prefix[v as usize];
+            for port in 0..self.graph.degree(v) {
+                if let Some(msg) = &wire[base + port] {
+                    let bits = msg.bits();
+                    stats.messages += 1;
+                    stats.total_bits += bits;
+                    stats.max_message_bits = stats.max_message_bits.max(bits);
+                    if let Bandwidth::Congest { bits_per_message } = self.bandwidth {
+                        if bits > bits_per_message {
+                            return Err(SimError::BandwidthExceeded {
+                                round,
+                                node: v,
+                                port,
+                                bits,
+                                limit: bits_per_message,
+                            });
+                        }
+                    }
+                }
+            }
+        }
+
+        // Routing: `reverse` is an involution on half-edge slots, so a
+        // single swap pass turns the out-wire into the in-wire in place.
+        for pos in 0..total_slots {
+            let rev = self.reverse[pos];
+            if pos < rev {
+                wire.swap(pos, rev);
+            }
+        }
+
+        // Consume phase.
+        {
+            let inboxes: Vec<&[Option<M>]> = self
+                .graph
+                .nodes()
+                .map(|v| &wire[self.prefix[v as usize]..self.prefix[v as usize + 1]])
+                .collect();
+            if n >= self.parallel_threshold {
+                inboxes
+                    .into_par_iter()
+                    .zip(states.par_iter_mut())
+                    .enumerate()
+                    .for_each(|(v, (slots, state))| {
+                        consume(v as NodeId, state, Inbox { slots });
+                    });
+            } else {
+                for (v, (slots, state)) in inboxes.into_iter().zip(states.iter_mut()).enumerate() {
+                    consume(v as NodeId, state, Inbox { slots });
+                }
+            }
+        }
+
+        self.metrics.push_round(stats);
+        Ok(())
+    }
+
+    /// Convenience: broadcast one message per node to all neighbors, then
+    /// consume inboxes. Nodes may send `None` to stay silent this round.
+    pub fn broadcast_exchange<S, M, FC, FU>(
+        &mut self,
+        states: &mut [S],
+        msg_of: FC,
+        consume: FU,
+    ) -> Result<(), SimError>
+    where
+        S: Send + Sync,
+        M: MessageSize + Clone + Send + Sync,
+        FC: Fn(NodeId, &S) -> Option<M> + Sync,
+        FU: Fn(NodeId, &mut S, Inbox<'_, M>) + Sync,
+    {
+        self.exchange(
+            states,
+            |v, s, out: &mut Outbox<'_, M>| {
+                if let Some(m) = msg_of(v, s) {
+                    out.broadcast(&m);
+                }
+            },
+            consume,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ldc_graph::generators;
+
+    /// Flood the maximum node id: after diam(G) rounds every node knows it.
+    #[test]
+    fn flood_max_id_on_ring() {
+        let g = generators::ring(16);
+        let mut net = Network::new(&g, Bandwidth::Local);
+        let mut states: Vec<u32> = g.nodes().collect();
+        for _ in 0..8 {
+            net.broadcast_exchange(
+                &mut states,
+                |_, s| Some(*s),
+                |_, s, inbox| {
+                    for (_, m) in inbox.iter() {
+                        *s = (*s).max(*m);
+                    }
+                },
+            )
+            .unwrap();
+        }
+        assert!(states.iter().all(|&s| s == 15));
+        assert_eq!(net.rounds(), 8);
+        // 16 nodes × 2 neighbors × 8 rounds messages.
+        assert_eq!(net.metrics().total_messages(), 16 * 2 * 8);
+    }
+
+    #[test]
+    fn directed_port_messages_arrive_at_right_port() {
+        // Path 0-1-2: node 1 sends distinct values to ports.
+        let g = ldc_graph::builder::from_edges(3, &[(0, 1), (1, 2)]).unwrap();
+        let mut net = Network::new(&g, Bandwidth::Local);
+        let mut states = vec![0u64; 3];
+        net.exchange(
+            &mut states,
+            |v, _, out: &mut Outbox<'_, u64>| {
+                if v == 1 {
+                    out.send(0, 100); // to neighbor 0
+                    out.send(1, 200); // to neighbor 2
+                }
+            },
+            |v, s, inbox| {
+                if let Some(&m) = inbox.iter().next().map(|(_, m)| m) {
+                    *s = m;
+                }
+                if v == 1 {
+                    assert_eq!(inbox.iter().count(), 0);
+                }
+            },
+        )
+        .unwrap();
+        assert_eq!(states, vec![100, 0, 200]);
+    }
+
+    #[test]
+    fn congest_budget_enforced() {
+        let g = generators::ring(8);
+        let mut net = Network::new(&g, Bandwidth::Congest { bits_per_message: 4 });
+        let mut states = vec![0u64; 8];
+        let err = net
+            .broadcast_exchange(&mut states, |_, _| Some(1u64 << 40), |_, _, _| {})
+            .unwrap_err();
+        assert!(matches!(err, SimError::BandwidthExceeded { limit: 4, bits: 41, .. }));
+        // A compliant round still works.
+        net.broadcast_exchange(&mut states, |_, _| Some(7u64), |_, _, _| {}).unwrap();
+        assert_eq!(net.metrics().max_message_bits(), 3);
+    }
+
+    #[test]
+    fn congest_log_budget() {
+        match Bandwidth::congest_log(1024, 2) {
+            Bandwidth::Congest { bits_per_message } => assert_eq!(bits_per_message, 20),
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn silent_nodes_send_nothing() {
+        let g = generators::ring(6);
+        let mut net = Network::new(&g, Bandwidth::Local);
+        let mut states = vec![(); 6];
+        net.broadcast_exchange(&mut states, |_, _| None::<u32>, |_, _, inbox| {
+            assert_eq!(inbox.iter().count(), 0);
+        })
+        .unwrap();
+        assert_eq!(net.metrics().total_messages(), 0);
+        assert_eq!(net.metrics().total_bits(), 0);
+    }
+
+    #[test]
+    fn parallel_and_sequential_agree() {
+        let g = generators::gnp(600, 0.02, 3);
+        let run = |threshold: usize| -> Vec<u64> {
+            let mut net = Network::new(&g, Bandwidth::Local);
+            net.set_parallel_threshold(threshold);
+            let mut states: Vec<u64> = g.nodes().map(u64::from).collect();
+            for _ in 0..5 {
+                net.broadcast_exchange(
+                    &mut states,
+                    |_, s| Some(*s),
+                    |_, s, inbox| {
+                        let mut acc = *s;
+                        for (_, m) in inbox.iter() {
+                            acc = acc.wrapping_mul(31).wrapping_add(*m);
+                        }
+                        *s = acc;
+                    },
+                )
+                .unwrap();
+            }
+            states
+        };
+        assert_eq!(run(usize::MAX), run(0));
+    }
+
+    #[test]
+    fn isolated_nodes_have_empty_ports() {
+        let g = ldc_graph::builder::from_edges(4, &[(0, 1)]).unwrap();
+        let mut net = Network::new(&g, Bandwidth::Local);
+        let mut states = vec![0u8; 4];
+        net.exchange(
+            &mut states,
+            |v, _, out: &mut Outbox<'_, u8>| {
+                if v == 2 || v == 3 {
+                    assert_eq!(out.ports(), 0);
+                } else {
+                    out.send(0, 7);
+                }
+            },
+            |v, s, inbox| {
+                if v == 2 || v == 3 {
+                    assert_eq!(inbox.ports(), 0);
+                } else {
+                    assert_eq!(inbox.get(0), Some(&7));
+                    *s = *inbox.get(0).unwrap();
+                }
+            },
+        )
+        .unwrap();
+        assert_eq!(states, vec![7, 7, 0, 0]);
+    }
+
+    #[test]
+    fn metrics_compose_across_phases() {
+        let g = generators::ring(6);
+        let mut a = Network::new(&g, Bandwidth::Local);
+        let mut b = Network::new(&g, Bandwidth::Local);
+        let mut st = vec![1u8; 6];
+        a.broadcast_exchange(&mut st, |_, s| Some(*s), |_, _, _| {}).unwrap();
+        b.broadcast_exchange(&mut st, |_, s| Some(*s), |_, _, _| {}).unwrap();
+        b.broadcast_exchange(&mut st, |_, s| Some(*s), |_, _, _| {}).unwrap();
+        let mut total = crate::Metrics::default();
+        total.extend_from(a.metrics());
+        total.extend_from(b.metrics());
+        assert_eq!(total.rounds(), 3);
+        assert_eq!(total.total_messages(), 3 * 12);
+    }
+
+    #[test]
+    fn metrics_track_bits() {
+        let g = generators::path(3);
+        let mut net = Network::new(&g, Bandwidth::Local);
+        let mut states = vec![(); 3];
+        net.exchange(
+            &mut states,
+            |v, _, out: &mut Outbox<'_, u64>| {
+                if v == 0 {
+                    out.send(0, 0b1111); // 4 bits
+                }
+            },
+            |_, _, _| {},
+        )
+        .unwrap();
+        assert_eq!(net.metrics().total_bits(), 4);
+        assert_eq!(net.metrics().per_round()[0].messages, 1);
+    }
+}

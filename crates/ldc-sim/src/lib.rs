@@ -1,0 +1,43 @@
+//! Synchronous LOCAL / CONGEST message-passing simulator.
+//!
+//! This crate is the distributed-computing substrate of the workspace: it
+//! executes algorithms in the standard synchronous message-passing model
+//! (Peleg, *Distributed Computing: A Locality-Sensitive Approach*, 2000)
+//! that the paper's LOCAL and CONGEST results are stated in.
+//!
+//! # Model
+//!
+//! * The communication network is an undirected [`ldc_graph::Graph`]; in
+//!   every *round* each node may send one message per incident edge,
+//!   receives all messages sent to it in the same round, and performs
+//!   arbitrary local computation.
+//! * [`Bandwidth::Local`] places no limit on message size;
+//!   [`Bandwidth::Congest`] enforces a per-message bit budget (the paper
+//!   uses `O(log n)` bits) and fails loudly on violation.
+//! * Message sizes are accounted in *bits* through the [`MessageSize`]
+//!   trait, so algorithms implement the paper's canonical encodings (e.g. a
+//!   color list costs `min{|𝒞|, Λ·⌈log|𝒞|⌉}` bits) and the harness can
+//!   report maximum/total message size per round.
+//!
+//! # Programming model
+//!
+//! Algorithms are written SPMD-style: a round is one call to
+//! [`Network::exchange`], which runs a *compose* closure for every node
+//! (producing outgoing messages from that node's state only) and then a
+//! *consume* closure (updating the node's state from its inbox only). The
+//! engine enforces the information-flow discipline by construction — node
+//! code never sees another node's state — and steps nodes in parallel with
+//! rayon above a configurable size threshold. Purely local computation
+//! between `exchange` calls costs zero rounds, matching the paper's
+//! accounting of "zero-round" constructions.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod engine;
+pub mod message;
+pub mod metrics;
+
+pub use engine::{Bandwidth, Inbox, Network, Outbox, SimError};
+pub use message::{bits_for_value, MessageSize};
+pub use metrics::{Metrics, RoundStats};

@@ -1,0 +1,117 @@
+//! Round/message accounting collected by the engine.
+
+use serde::Serialize;
+
+/// Statistics for a single communication round.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize)]
+pub struct RoundStats {
+    /// Number of (non-empty) messages sent this round.
+    pub messages: u64,
+    /// Total bits sent this round.
+    pub total_bits: u64,
+    /// Largest single message in bits this round.
+    pub max_message_bits: u64,
+}
+
+/// Cumulative statistics over a simulation.
+#[derive(Debug, Clone, Default, Serialize)]
+pub struct Metrics {
+    per_round: Vec<RoundStats>,
+}
+
+impl Metrics {
+    /// Record one finished round.
+    pub(crate) fn push_round(&mut self, stats: RoundStats) {
+        self.per_round.push(stats);
+    }
+
+    /// Number of communication rounds executed so far.
+    pub fn rounds(&self) -> usize {
+        self.per_round.len()
+    }
+
+    /// Total bits across all rounds.
+    pub fn total_bits(&self) -> u64 {
+        self.per_round.iter().map(|r| r.total_bits).sum()
+    }
+
+    /// Total messages across all rounds.
+    pub fn total_messages(&self) -> u64 {
+        self.per_round.iter().map(|r| r.messages).sum()
+    }
+
+    /// Largest single message across the whole run.
+    pub fn max_message_bits(&self) -> u64 {
+        self.per_round.iter().map(|r| r.max_message_bits).max().unwrap_or(0)
+    }
+
+    /// Per-round statistics, in execution order.
+    pub fn per_round(&self) -> &[RoundStats] {
+        &self.per_round
+    }
+
+    /// Fold another run's metrics after this one (sequential composition of
+    /// two algorithm phases).
+    pub fn extend_from(&mut self, other: &Metrics) {
+        self.per_round.extend_from_slice(&other.per_round);
+    }
+
+    /// Render per-round statistics as CSV (`round,messages,total_bits,max_message_bits`).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("round,messages,total_bits,max_message_bits\n");
+        for (i, r) in self.per_round.iter().enumerate() {
+            out.push_str(&format!(
+                "{},{},{},{}\n",
+                i, r.messages, r.total_bits, r.max_message_bits
+            ));
+        }
+        out
+    }
+
+    /// The `q`-th percentile (0–100) of per-round max message sizes.
+    pub fn max_bits_percentile(&self, q: f64) -> u64 {
+        if self.per_round.is_empty() {
+            return 0;
+        }
+        let mut v: Vec<u64> = self.per_round.iter().map(|r| r.max_message_bits).collect();
+        v.sort_unstable();
+        let idx = ((q / 100.0) * (v.len() - 1) as f64).round() as usize;
+        v[idx.min(v.len() - 1)]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aggregates() {
+        let mut m = Metrics::default();
+        m.push_round(RoundStats { messages: 2, total_bits: 10, max_message_bits: 6 });
+        m.push_round(RoundStats { messages: 1, total_bits: 3, max_message_bits: 3 });
+        assert_eq!(m.rounds(), 2);
+        assert_eq!(m.total_bits(), 13);
+        assert_eq!(m.total_messages(), 3);
+        assert_eq!(m.max_message_bits(), 6);
+        let mut m2 = Metrics::default();
+        m2.extend_from(&m);
+        m2.extend_from(&m);
+        assert_eq!(m2.rounds(), 4);
+        assert_eq!(m2.total_bits(), 26);
+    }
+
+    #[test]
+    fn csv_and_percentiles() {
+        let mut m = Metrics::default();
+        for bits in [1u64, 5, 9] {
+            m.push_round(RoundStats { messages: 1, total_bits: bits, max_message_bits: bits });
+        }
+        let csv = m.to_csv();
+        assert!(csv.starts_with("round,messages"));
+        assert_eq!(csv.lines().count(), 4);
+        assert_eq!(m.max_bits_percentile(0.0), 1);
+        assert_eq!(m.max_bits_percentile(50.0), 5);
+        assert_eq!(m.max_bits_percentile(100.0), 9);
+        assert_eq!(Metrics::default().max_bits_percentile(50.0), 0);
+    }
+}
