@@ -1,9 +1,14 @@
-//! Criterion wall-clock benchmarks, one group per experiment family
-//! (E1/E11 existence, E2 OLDC, E4 reduction, E5 arbdefective, E6 CONGEST,
-//! E7 substrates, E9 simulator). The *round/message* tables live in the
+//! Wall-clock benchmarks, one group per experiment family (E1/E11
+//! existence, E2 OLDC, E4 reduction, E5 arbdefective, E6 CONGEST, E7
+//! substrates, E9 simulator). The *round/message* tables live in the
 //! `experiments` binary; these benches time the same workloads.
+//!
+//! The harness is self-contained (the workspace builds hermetically, so no
+//! criterion): each benchmark is warmed up once, then timed for a fixed
+//! number of samples, and the min/median wall time per iteration is
+//! printed. Pass a substring argument to run a subset:
+//! `cargo bench --bench solvers -- E9`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use ldc_bench::workloads::{degree_plus_one_lists, uniform_oldc_lists, CtxOwner};
 use ldc_classic as classic;
 use ldc_core::arbdefective::{solve_list_arbdefective, ArbConfig, Substrate};
@@ -16,28 +21,52 @@ use ldc_core::problem::{ColorSpace, DefectList, LdcInstance};
 use ldc_graph::{generators, DirectedView, ProperColoring};
 use ldc_sim::{Bandwidth, Network};
 use std::hint::black_box;
+use std::time::{Duration, Instant};
 
-fn bench_existence(c: &mut Criterion) {
-    let mut group = c.benchmark_group("E1_E11_existence");
-    group.sample_size(20);
+struct Bench {
+    filter: Option<String>,
+    samples: usize,
+}
+
+impl Bench {
+    fn run<R>(&self, group: &str, id: &str, mut f: impl FnMut() -> R) {
+        let name = format!("{group}/{id}");
+        if let Some(filter) = &self.filter {
+            if !name.contains(filter.as_str()) {
+                return;
+            }
+        }
+        black_box(f()); // warm-up
+        let mut times: Vec<Duration> = (0..self.samples)
+            .map(|_| {
+                let t0 = Instant::now();
+                black_box(f());
+                t0.elapsed()
+            })
+            .collect();
+        times.sort_unstable();
+        let min = times[0];
+        let median = times[times.len() / 2];
+        println!("{name:<44} min {:>12.3?}  median {:>12.3?}", min, median);
+    }
+}
+
+fn bench_existence(b: &Bench) {
     for n in [100usize, 400] {
         let g = generators::gnp(n, 8.0 / n as f64, 3);
         let delta = g.max_degree() as u64;
-        let lists: Vec<DefectList> =
-            g.nodes().map(|_| DefectList::uniform(0..(delta + 1), 0)).collect();
-        group.bench_with_input(BenchmarkId::new("lemma_a1_gnp", n), &n, |b, _| {
-            b.iter(|| {
-                let inst = LdcInstance::new(&g, ColorSpace::new(delta + 1), lists.clone());
-                black_box(solve_ldc(&inst).unwrap())
-            })
+        let lists: Vec<DefectList> = g
+            .nodes()
+            .map(|_| DefectList::uniform(0..(delta + 1), 0))
+            .collect();
+        b.run("E1_E11_existence", &format!("lemma_a1_gnp/{n}"), || {
+            let inst = LdcInstance::new(&g, ColorSpace::new(delta + 1), lists.clone());
+            solve_ldc(&inst).unwrap()
         });
     }
-    group.finish();
 }
 
-fn bench_oldc(c: &mut Criterion) {
-    let mut group = c.benchmark_group("E2_theorem_1_1");
-    group.sample_size(10);
+fn bench_oldc(b: &Bench) {
     for beta in [4usize, 8, 16] {
         let n = 24 * beta;
         let g = generators::random_regular(n, beta, 7);
@@ -51,20 +80,15 @@ fn bench_oldc(c: &mut Criterion) {
         let space = (len * 4).next_power_of_two();
         let lists = uniform_oldc_lists(&g, space, len, defect);
         let owner = CtxOwner::whole(&g);
-        group.bench_with_input(BenchmarkId::new("solve_oldc_beta", beta), &beta, |b, _| {
-            b.iter(|| {
-                let ctx = owner.ctx(&view, space, profile, 3);
-                let mut net = Network::new(&g, Bandwidth::Local);
-                black_box(solve_oldc(&mut net, &ctx, &lists).unwrap())
-            })
+        b.run("E2_theorem_1_1", &format!("solve_oldc_beta/{beta}"), || {
+            let ctx = owner.ctx(&view, space, profile, 3);
+            let mut net = Network::new(&g, Bandwidth::Local);
+            solve_oldc(&mut net, &ctx, &lists).unwrap()
         });
     }
-    group.finish();
 }
 
-fn bench_colorspace(c: &mut Criterion) {
-    let mut group = c.benchmark_group("E4_theorem_1_2");
-    group.sample_size(10);
+fn bench_colorspace(b: &Bench) {
     let n = 60;
     let g = generators::random_regular(n, 4, 9);
     let view = DirectedView::bidirected(&g);
@@ -73,24 +97,21 @@ fn bench_colorspace(c: &mut Criterion) {
     let lists = uniform_oldc_lists(&g, space, 46656, 3);
     let owner = CtxOwner::whole(&g);
     for p in [256u64, 65536] {
-        group.bench_with_input(BenchmarkId::new("reduce_p", p), &p, |b, &p| {
-            let kappa = practical_kappa(profile, 4, p, n as u64);
-            b.iter(|| {
-                let ctx = owner.ctx(&view, space, profile, 5);
-                let cfg = ReductionConfig { p, nu: 1.0, kappa_p: kappa };
-                let mut net = Network::new(&g, Bandwidth::Local);
-                black_box(
-                    reduce_color_space(&mut net, &ctx, &lists, cfg, &Theorem11Solver).unwrap(),
-                )
-            })
+        let kappa = practical_kappa(profile, 4, p, n as u64);
+        b.run("E4_theorem_1_2", &format!("reduce_p/{p}"), || {
+            let ctx = owner.ctx(&view, space, profile, 5);
+            let cfg = ReductionConfig {
+                p,
+                nu: 1.0,
+                kappa_p: kappa,
+            };
+            let mut net = Network::new(&g, Bandwidth::Local);
+            reduce_color_space(&mut net, &ctx, &lists, cfg, &Theorem11Solver).unwrap()
         });
     }
-    group.finish();
 }
 
-fn bench_arbdefective(c: &mut Criterion) {
-    let mut group = c.benchmark_group("E5_theorem_1_3");
-    group.sample_size(10);
+fn bench_arbdefective(b: &Bench) {
     let delta = 16usize;
     let n = 24 * delta;
     let g = generators::random_regular(n, delta, 13);
@@ -99,126 +120,101 @@ fn bench_arbdefective(c: &mut Criterion) {
     let d = 3u64;
     let q = (delta as u64) / (d + 1) + 1;
     let lists: Vec<DefectList> = (0..n).map(|_| DefectList::uniform(0..q, d)).collect();
-    for (name, substrate) in
-        [("sequential", Substrate::Sequential), ("randomized", Substrate::Randomized)]
-    {
-        group.bench_function(BenchmarkId::new("thm13_substrate", name), |b| {
-            let cfg = ArbConfig {
-                nu: 1.0,
-                kappa: practical_kappa(profile, delta as u64, q, n as u64),
-                substrate,
-                profile,
-                seed: 3,
-            };
-            b.iter(|| {
-                let mut net = Network::new(&g, Bandwidth::Local);
-                black_box(
-                    solve_list_arbdefective(&mut net, q, &lists, &init, &cfg, &Theorem11Solver)
-                        .unwrap(),
-                )
-            })
+    for (name, substrate) in [
+        ("sequential", Substrate::Sequential),
+        ("randomized", Substrate::Randomized),
+    ] {
+        let cfg = ArbConfig {
+            nu: 1.0,
+            kappa: practical_kappa(profile, delta as u64, q, n as u64),
+            substrate,
+            profile,
+            seed: 3,
+        };
+        b.run("E5_theorem_1_3", &format!("thm13_substrate/{name}"), || {
+            let mut net = Network::new(&g, Bandwidth::Local);
+            solve_list_arbdefective(&mut net, q, &lists, &init, &cfg, &Theorem11Solver).unwrap()
         });
     }
-    group.finish();
 }
 
-fn bench_congest(c: &mut Criterion) {
-    let mut group = c.benchmark_group("E6_theorem_1_4");
-    group.sample_size(10);
+fn bench_congest(b: &Bench) {
     for delta in [6usize, 12] {
         let n = 32 * delta;
         let g = generators::random_regular(n, delta, 17);
         let space = 4 * (delta as u64 + 1);
         let lists = degree_plus_one_lists(&g, space, 5);
-        group.bench_with_input(BenchmarkId::new("thm14_delta", delta), &delta, |b, _| {
-            let cfg = CongestConfig {
-                force_branch: Some(CongestBranch::SqrtDelta),
-                substrate: Substrate::Randomized,
-                ..CongestConfig::default()
-            };
-            b.iter(|| black_box(congest_degree_plus_one(&g, space, &lists, &cfg).unwrap()))
+        let cfg = CongestConfig {
+            force_branch: Some(CongestBranch::SqrtDelta),
+            substrate: Substrate::Randomized,
+            ..CongestConfig::default()
+        };
+        b.run("E6_theorem_1_4", &format!("thm14_delta/{delta}"), || {
+            congest_degree_plus_one(&g, space, &lists, &cfg).unwrap()
         });
-        group.bench_with_input(BenchmarkId::new("baseline_delta", delta), &delta, |b, _| {
-            b.iter(|| {
-                let mut net = Network::new(&g, Bandwidth::congest_log(n, 16));
-                let lin = classic::linial_coloring(&mut net, None).unwrap();
-                black_box(
-                    classic::reduction::class_iteration_list_coloring(&mut net, &lin, &lists)
-                        .unwrap(),
-                )
-            })
+        b.run("E6_theorem_1_4", &format!("baseline_delta/{delta}"), || {
+            let mut net = Network::new(&g, Bandwidth::congest_log(n, 16));
+            let lin = classic::linial_coloring(&mut net, None).unwrap();
+            classic::reduction::class_iteration_list_coloring(&mut net, &lin, &lists).unwrap()
         });
     }
-    group.finish();
 }
 
-fn bench_classic(c: &mut Criterion) {
-    let mut group = c.benchmark_group("E7_substrates");
-    group.sample_size(10);
+fn bench_classic(b: &Bench) {
     for delta in [8usize, 16] {
         let n = 100 * delta;
         let g = generators::random_regular(n, delta, 23);
-        group.bench_with_input(BenchmarkId::new("linial", delta), &delta, |b, _| {
-            b.iter(|| {
-                let mut net = Network::new(&g, Bandwidth::Local);
-                black_box(classic::linial_coloring(&mut net, None).unwrap())
-            })
+        b.run("E7_substrates", &format!("linial/{delta}"), || {
+            let mut net = Network::new(&g, Bandwidth::Local);
+            classic::linial_coloring(&mut net, None).unwrap()
         });
-        group.bench_with_input(BenchmarkId::new("kuhn_defective", delta), &delta, |b, _| {
-            b.iter(|| {
-                let mut net = Network::new(&g, Bandwidth::Local);
-                black_box(classic::defective_coloring(&mut net, None, (delta / 4) as u64).unwrap())
-            })
+        b.run("E7_substrates", &format!("kuhn_defective/{delta}"), || {
+            let mut net = Network::new(&g, Bandwidth::Local);
+            classic::defective_coloring(&mut net, None, (delta / 4) as u64).unwrap()
         });
     }
-    group.finish();
 }
 
-fn bench_sim(c: &mut Criterion) {
-    let mut group = c.benchmark_group("E9_simulator");
-    group.sample_size(10);
+fn bench_sim(b: &Bench) {
     for n in [50_000usize, 200_000] {
         let g = generators::gnp(n, 8.0 / n as f64, 31);
-        for (mode, threshold) in [("serial", usize::MAX), ("rayon", 0usize)] {
-            group.bench_with_input(
-                BenchmarkId::new(format!("flood_{mode}"), n),
-                &n,
-                |b, _| {
-                    b.iter(|| {
-                        let mut net = Network::new(&g, Bandwidth::Local);
-                        net.set_parallel_threshold(threshold);
-                        let mut states: Vec<u64> = g.nodes().map(u64::from).collect();
-                        for _ in 0..5 {
-                            net.broadcast_exchange(
-                                &mut states,
-                                |_, s| Some(*s),
-                                |_, s, inbox| {
-                                    let mut acc = *s;
-                                    for (_, m) in inbox.iter() {
-                                        acc = acc.max(*m);
-                                    }
-                                    *s = acc;
-                                },
-                            )
-                            .unwrap();
-                        }
-                        black_box(states)
-                    })
-                },
-            );
+        for (mode, threshold) in [("serial", usize::MAX), ("parallel", 0usize)] {
+            b.run("E9_simulator", &format!("flood_{mode}/{n}"), || {
+                let mut net = Network::new(&g, Bandwidth::Local);
+                net.set_parallel_threshold(threshold);
+                let mut states: Vec<u64> = g.nodes().map(u64::from).collect();
+                for _ in 0..5 {
+                    net.broadcast_exchange(
+                        &mut states,
+                        |_, s| Some(*s),
+                        |_, s, inbox| {
+                            let mut acc = *s;
+                            for (_, m) in inbox.iter() {
+                                acc = acc.max(*m);
+                            }
+                            *s = acc;
+                        },
+                    )
+                    .unwrap();
+                }
+                states
+            });
         }
     }
-    group.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_existence,
-    bench_oldc,
-    bench_colorspace,
-    bench_arbdefective,
-    bench_congest,
-    bench_classic,
-    bench_sim
-);
-criterion_main!(benches);
+fn main() {
+    // `cargo bench` passes `--bench`; any other argument is a filter.
+    let filter = std::env::args().skip(1).find(|a| !a.starts_with("--"));
+    let b = Bench {
+        filter,
+        samples: 10,
+    };
+    bench_existence(&b);
+    bench_oldc(&b);
+    bench_colorspace(&b);
+    bench_arbdefective(&b);
+    bench_congest(&b);
+    bench_classic(&b);
+    bench_sim(&b);
+}

@@ -3,14 +3,21 @@
 //! ```sh
 //! cargo run -p ldc-bench --release --bin experiments -- --exp all
 //! cargo run -p ldc-bench --release --bin experiments -- --exp E6 --quick
+//! cargo run -p ldc-bench --release --bin experiments -- --exp E6 --trace e6-trace.jsonl
 //! ```
+//!
+//! `--trace FILE` writes the phase-span trees collected by the
+//! trace-instrumented experiments (E2, E5, E6) as JSONL — one object per
+//! span — and prints each tree's human-readable report to stderr.
 
 use ldc_bench::experiments;
+use std::io::Write;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut exp = "all".to_string();
     let mut quick = false;
+    let mut trace: Option<String> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -19,6 +26,10 @@ fn main() {
                 exp = args.get(i).cloned().unwrap_or_else(|| usage());
             }
             "--quick" => quick = true,
+            "--trace" => {
+                i += 1;
+                trace = Some(args.get(i).cloned().unwrap_or_else(|| usage()));
+            }
             "--help" | "-h" => {
                 usage();
             }
@@ -35,18 +46,41 @@ fn main() {
     } else {
         vec![exp.as_str()]
     };
+    let mut trace_out = trace.as_deref().map(|path| {
+        std::fs::File::create(path).unwrap_or_else(|e| {
+            eprintln!("cannot create trace file {path}: {e}");
+            std::process::exit(2);
+        })
+    });
     for id in ids {
-        match experiments::run(id, quick) {
-            Some(table) => table.emit(),
+        match experiments::run_traced(id, quick) {
+            Some((table, trees)) => {
+                table.emit();
+                if let Some(out) = trace_out.as_mut() {
+                    for tree in &trees {
+                        out.write_all(tree.to_jsonl().as_bytes())
+                            .expect("write trace file");
+                        eprintln!("{}", tree.render());
+                    }
+                }
+            }
             None => {
-                eprintln!("unknown experiment id {id}; known: {:?} or 'all'", experiments::ALL);
+                eprintln!(
+                    "unknown experiment id {id}; known: {:?} or 'all'",
+                    experiments::ALL
+                );
                 std::process::exit(2);
             }
         }
     }
+    if let Some(path) = trace {
+        eprintln!("wrote span trace to {path}");
+    }
 }
 
 fn usage() -> ! {
-    eprintln!("usage: experiments [--exp E1..E12|all] [--quick]");
+    let first = experiments::ALL.first().expect("non-empty suite");
+    let last = experiments::ALL.last().expect("non-empty suite");
+    eprintln!("usage: experiments [--exp {first}..{last}|all] [--quick] [--trace FILE]");
     std::process::exit(2);
 }

@@ -1,12 +1,16 @@
-//! The experiment suite E1–E12 (DESIGN.md §5): one function per family,
-//! each regenerating one claim-vs-measured table.
+//! The experiment suite E1–E15 (DESIGN.md §5): one function per family,
+//! each regenerating one claim-vs-measured table. E2/E5/E6 run under a
+//! phase-span [`Tracer`] and expose per-phase round-attribution columns;
+//! their span trees are returned by [`run_traced`] for `--trace` export.
 
 use crate::table::Table;
 use crate::workloads::{degree_plus_one_lists, f2, uniform_oldc_lists, CtxOwner};
 use ldc_classic as classic;
 use ldc_core::arbdefective::{solve_list_arbdefective, ArbConfig, Substrate};
 use ldc_core::colorspace::{reduce_color_space, ReductionConfig, Theorem11Solver};
+use ldc_core::congest::congest_degree_plus_one_traced;
 use ldc_core::congest::{congest_degree_plus_one, CongestBranch, CongestConfig};
+use ldc_core::ctx::span as spans;
 use ldc_core::existence::{solve_arbdefective, solve_ldc};
 use ldc_core::multi_defect::solve_multi_defect;
 use ldc_core::oldc::solve_oldc;
@@ -17,34 +21,63 @@ use ldc_core::validate::{
     validate_arbdefective, validate_ldc, validate_oldc, validate_proper_list_coloring,
 };
 use ldc_graph::{generators, DirectedView, ProperColoring};
-use ldc_sim::{Bandwidth, Network};
+use ldc_sim::{Bandwidth, Network, SpanNode, Tracer};
 
-/// Run one experiment by id (`"E1"`…`"E12"`). `quick` shrinks sweeps.
+/// Run one experiment by id (`"E1"`…`"E15"`). `quick` shrinks sweeps.
 pub fn run(id: &str, quick: bool) -> Option<Table> {
-    match id {
-        "E1" => Some(e1_existence(quick)),
-        "E2" => Some(e2_theorem11_rounds(quick)),
-        "E3" => Some(e3_lemma36_vs_theorem11(quick)),
-        "E4" => Some(e4_colorspace_reduction(quick)),
-        "E5" => Some(e5_arbdefective(quick)),
-        "E6" => Some(e6_congest(quick)),
-        "E7" => Some(e7_classic_substrates(quick)),
-        "E8" => Some(e8_slack_transition(quick)),
-        "E9" => Some(e9_simulator_throughput(quick)),
-        "E10" => Some(e10_encoding_crossover(quick)),
-        "E11" => Some(e11_potential(quick)),
-        "E12" => Some(e12_tightness(quick)),
-        "E13" => Some(e13_constants(quick)),
-        "E14" => Some(e14_graph_families(quick)),
-        "E15" => Some(e15_edge_coloring(quick)),
-        _ => None,
+    run_traced(id, quick).map(|(t, _)| t)
+}
+
+/// Like [`run`], additionally returning the phase-span trees collected by
+/// the trace-instrumented experiments (E2, E5, E6 — one tree per traced
+/// run, the root renamed to identify the run). Other experiments return an
+/// empty vector.
+pub fn run_traced(id: &str, quick: bool) -> Option<(Table, Vec<SpanNode>)> {
+    let mut traces = Vec::new();
+    let table = match id {
+        "E1" => e1_existence(quick),
+        "E2" => e2_theorem11_rounds(quick, &mut traces),
+        "E3" => e3_lemma36_vs_theorem11(quick),
+        "E4" => e4_colorspace_reduction(quick),
+        "E5" => e5_arbdefective(quick, &mut traces),
+        "E6" => e6_congest(quick, &mut traces),
+        "E7" => e7_classic_substrates(quick),
+        "E8" => e8_slack_transition(quick),
+        "E9" => e9_simulator_throughput(quick),
+        "E10" => e10_encoding_crossover(quick),
+        "E11" => e11_potential(quick),
+        "E12" => e12_tightness(quick),
+        "E13" => e13_constants(quick),
+        "E14" => e14_graph_families(quick),
+        "E15" => e15_edge_coloring(quick),
+        _ => return None,
+    };
+    Some((table, traces))
+}
+
+/// Sum subtree rounds over the *maximal* spans whose name satisfies `pred`
+/// (a matching span absorbs its whole subtree; nested matches are not
+/// double-counted).
+fn span_rounds(node: &SpanNode, pred: &dyn Fn(&str) -> bool) -> u64 {
+    if pred(&node.name) {
+        node.total().rounds
+    } else {
+        node.children.iter().map(|c| span_rounds(c, pred)).sum()
     }
+}
+
+/// Capture a tracer's tree, renaming the root to `label` so exported
+/// JSONL paths identify which experiment row produced it.
+fn capture(tracer: &Tracer, label: String, traces: &mut Vec<SpanNode>) -> SpanNode {
+    let mut tree = tracer.report();
+    tree.name = label;
+    traces.push(tree.clone());
+    tree
 }
 
 /// All experiment ids in order.
 pub const ALL: [&str; 15] = [
-    "E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13", "E14",
-    "E15",
+    "E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13", "E14", "E15",
 ];
 
 // ---------------------------------------------------------------------------
@@ -54,9 +87,22 @@ pub fn e1_existence(quick: bool) -> Table {
     let mut t = Table::new(
         "E1",
         "LDC exists iff Σ(d+1) > Δ (arb: Σ(2d+1) > Δ); Lemma A.1 search always succeeds above",
-        &["graph", "Δ", "Σ(d+1)", "cond", "solved", "steps", "arb cond", "arb solved"],
+        &[
+            "graph",
+            "Δ",
+            "Σ(d+1)",
+            "cond",
+            "solved",
+            "steps",
+            "arb cond",
+            "arb solved",
+        ],
     );
-    let sizes = if quick { vec![8usize] } else { vec![8, 12, 16, 24] };
+    let sizes = if quick {
+        vec![8usize]
+    } else {
+        vec![8, 12, 16, 24]
+    };
     for n in sizes {
         let g = generators::complete(n);
         let delta = (n - 1) as u64;
@@ -64,8 +110,7 @@ pub fn e1_existence(quick: bool) -> Table {
             // Uniform defect 1 lists: Σ(d+1) = 2·len.
             let len = mass / 2;
             let real_mass = 2 * len;
-            let lists: Vec<DefectList> =
-                (0..n).map(|_| DefectList::uniform(0..len, 1)).collect();
+            let lists: Vec<DefectList> = (0..n).map(|_| DefectList::uniform(0..len, 1)).collect();
             let inst = LdcInstance::new(&g, ColorSpace::new(len.max(1)), lists.clone());
             let cond = inst.check_existence_condition().is_ok();
             let (solved, steps) = if cond {
@@ -100,13 +145,30 @@ pub fn e1_existence(quick: bool) -> Table {
 }
 
 /// E2 — Theorem 1.1: rounds grow like log β; messages like min{|𝒞|, Λlog|𝒞|}.
-pub fn e2_theorem11_rounds(quick: bool) -> Table {
+pub fn e2_theorem11_rounds(quick: bool, traces: &mut Vec<SpanNode>) -> Table {
     let mut t = Table::new(
         "E2",
         "Theorem 1.1: OLDC in O(log β) rounds when Σ(d+1)² ≥ αβ²κ",
-        &["β", "n", "rounds", "rounds/log2β", "max msg bits", "retries", "valid"],
+        &[
+            "β",
+            "n",
+            "rounds",
+            "rounds/log2β",
+            "r(census)",
+            "r(aux)",
+            "r(phaseI)",
+            "r(phaseII)",
+            "r(laggard)",
+            "max msg bits",
+            "retries",
+            "valid",
+        ],
     );
-    let betas = if quick { vec![4usize, 8] } else { vec![4, 8, 16, 32] };
+    let betas = if quick {
+        vec![4usize, 8]
+    } else {
+        vec![4, 8, 16, 32]
+    };
     for d in betas {
         let n = (24 * d).max(96);
         let g = generators::random_regular(n, d, 7);
@@ -115,29 +177,37 @@ pub fn e2_theorem11_rounds(quick: bool) -> Table {
         let kappa = practical_kappa(profile, d as u64, 1 << 14, n as u64);
         // Uniform defect d/2: γ stays ≈ 4; size lists to the condition.
         let defect = (d / 2) as u64;
-        let len = ((kappa * (d * d) as f64) / ((defect + 1) * (defect + 1)) as f64).ceil()
-            as u64
-            * 2;
+        let len =
+            ((kappa * (d * d) as f64) / ((defect + 1) * (defect + 1)) as f64).ceil() as u64 * 2;
         let space = (len * 4).next_power_of_two();
         let lists = uniform_oldc_lists(&g, space, len, defect);
         let owner = CtxOwner::whole(&g);
         let ctx = owner.ctx(&view, space, profile, 3);
+        let tracer = Tracer::new();
         let mut net = Network::new(&g, Bandwidth::Local);
+        net.set_tracer(tracer.clone());
         let out = solve_oldc(&mut net, &ctx, &lists).unwrap();
         let colors: Vec<u64> = out.colors.iter().map(|c| c.unwrap()).collect();
         let valid = validate_oldc(&view, &lists, &colors).is_ok();
         let log2b = (d as f64).log2();
+        let tree = capture(&tracer, format!("E2[beta={d}]"), traces);
         t.row(vec![
             d.to_string(),
             n.to_string(),
             net.rounds().to_string(),
             f2(net.rounds() as f64 / log2b),
+            span_rounds(&tree, &|s| s == spans::CENSUS).to_string(),
+            span_rounds(&tree, &|s| s == spans::SELECTION || s == spans::DECIDE).to_string(),
+            span_rounds(&tree, &|s| s == spans::PHASE0 || s.starts_with("phaseI[")).to_string(),
+            span_rounds(&tree, &|s| s == spans::PHASE2).to_string(),
+            span_rounds(&tree, &|s| s == spans::LAGGARD_CHAIN).to_string(),
             net.metrics().max_message_bits().to_string(),
             out.stats.selection_retries.to_string(),
             valid.to_string(),
         ]);
     }
     t.note("rounds/log2β roughly flat ⇒ O(log β) shape; retries 0 at the α·4^i·τ list sizes.");
+    t.note("r(·) columns attribute every engine round to its phase span: census (main + aux instance), the aux γ-class instance's §3.2 selection/decision rounds, then Lemma 3.7's phases 0/I (folded), II, and the laggard chain.");
     t
 }
 
@@ -146,7 +216,13 @@ pub fn e3_lemma36_vs_theorem11(quick: bool) -> Table {
     let mut t = Table::new(
         "E3",
         "Lemma 3.6 pays factor h = Θ(log β) in list mass; Lemma 3.8 reduces it to polyloglog",
-        &["β", "algorithm", "rounds", "max msg bits", "mass factor (formula)"],
+        &[
+            "β",
+            "algorithm",
+            "rounds",
+            "max msg bits",
+            "mass factor (formula)",
+        ],
     );
     let betas = if quick { vec![8usize] } else { vec![8, 16, 32] };
     for d in betas {
@@ -166,19 +242,28 @@ pub fn e3_lemma36_vs_theorem11(quick: bool) -> Table {
         let h = u64::from(beta_hat.max(2).ilog2()).max(1);
         let h_prime = (((8 * h).max(2) as f64).log2().ceil() as u64).next_power_of_two();
 
-        for (name, mass_factor) in
-            [("Lemma 3.6", format!("h = {h}")), ("Theorem 1.1", format!("h'² = {}", h_prime * h_prime))]
-        {
+        for (name, mass_factor) in [
+            ("Lemma 3.6", format!("h = {h}")),
+            ("Theorem 1.1", format!("h'² = {}", h_prime * h_prime)),
+        ] {
             let ctx = owner.ctx(&view, space, profile, 11);
             let mut net = Network::new(&g, Bandwidth::Local);
             let (rounds, bits, ok) = if name == "Lemma 3.6" {
                 let out = solve_multi_defect(&mut net, &ctx, &lists, 0).unwrap();
                 let colors: Vec<u64> = out.inner.colors.iter().map(|c| c.unwrap()).collect();
-                (net.rounds(), net.metrics().max_message_bits(), validate_oldc(&view, &lists, &colors).is_ok())
+                (
+                    net.rounds(),
+                    net.metrics().max_message_bits(),
+                    validate_oldc(&view, &lists, &colors).is_ok(),
+                )
             } else {
                 let out = solve_oldc(&mut net, &ctx, &lists).unwrap();
                 let colors: Vec<u64> = out.colors.iter().map(|c| c.unwrap()).collect();
-                (net.rounds(), net.metrics().max_message_bits(), validate_oldc(&view, &lists, &colors).is_ok())
+                (
+                    net.rounds(),
+                    net.metrics().max_message_bits(),
+                    validate_oldc(&view, &lists, &colors).is_ok(),
+                )
             };
             assert!(ok);
             t.row(vec![
@@ -208,7 +293,11 @@ pub fn e4_colorspace_reduction(quick: bool) -> Table {
     let space = 1u64 << 16;
     let lists = uniform_oldc_lists(&g, space, 46656, 3);
     let owner = CtxOwner::whole(&g);
-    let ps: Vec<u64> = if quick { vec![256, 65536] } else { vec![64, 256, 4096, 65536] };
+    let ps: Vec<u64> = if quick {
+        vec![256, 65536]
+    } else {
+        vec![64, 256, 4096, 65536]
+    };
     for p in ps {
         let mut levels = 0u32;
         let mut cap = 1u128;
@@ -218,7 +307,11 @@ pub fn e4_colorspace_reduction(quick: bool) -> Table {
         }
         let ctx = owner.ctx(&view, space, profile, 5);
         let kappa = practical_kappa(profile, 4, p, n as u64);
-        let cfg = ReductionConfig { p, nu: 1.0, kappa_p: kappa };
+        let cfg = ReductionConfig {
+            p,
+            nu: 1.0,
+            kappa_p: kappa,
+        };
         let mut net = Network::new(&g, Bandwidth::Local);
         match reduce_color_space(&mut net, &ctx, &lists, cfg, &Theorem11Solver) {
             Ok(colors) => {
@@ -233,7 +326,13 @@ pub fn e4_colorspace_reduction(quick: bool) -> Table {
                 ]);
             }
             Err(e) => {
-                t.row(vec![p.to_string(), levels.to_string(), "-".into(), "-".into(), format!("err: {e}")]);
+                t.row(vec![
+                    p.to_string(),
+                    levels.to_string(),
+                    "-".into(),
+                    "-".into(),
+                    format!("err: {e}"),
+                ]);
             }
         }
     }
@@ -242,11 +341,11 @@ pub fn e4_colorspace_reduction(quick: bool) -> Table {
 }
 
 /// E5 — Theorem 1.3: d-arbdefective ⌊Δ/(d+1)+1⌋-coloring vs the O(Δ/(d+1))-round baseline.
-pub fn e5_arbdefective(quick: bool) -> Table {
+pub fn e5_arbdefective(quick: bool, traces: &mut Vec<SpanNode>) -> Table {
     let mut t = Table::new(
         "E5",
         "Theorem 1.3: d-arbdefective ⌊Δ/(d+1)+1⌋-coloring; baseline needs O(Δ/(d+1)) rounds and 4× more classes",
-        &["Δ", "d", "algorithm", "classes q", "rounds", "valid"],
+        &["Δ", "d", "algorithm", "classes q", "rounds", "r(substrate)", "r(buckets)", "valid"],
     );
     let delta = if quick { 16 } else { 32 };
     let n = 24 * delta;
@@ -269,24 +368,34 @@ pub fn e5_arbdefective(quick: bool) -> Table {
                 profile,
                 seed: 3,
             };
+            let tracer = Tracer::new();
             let mut net = Network::new(&g, Bandwidth::Local);
+            net.set_tracer(tracer.clone());
             let (colors, orientation, rep) =
                 solve_list_arbdefective(&mut net, q, &lists, &init, &cfg, &Theorem11Solver)
                     .unwrap();
             let valid = validate_arbdefective(&g, &lists, &colors, &orientation).is_ok();
+            let sub_tag = if substrate == Substrate::Sequential {
+                "seq"
+            } else {
+                "rand"
+            };
+            let tree = capture(&tracer, format!("E5[d={d},substrate={sub_tag}]"), traces);
             t.row(vec![
                 delta.to_string(),
                 d.to_string(),
                 name.into(),
                 q.to_string(),
                 rep.rounds_total().to_string(),
+                span_rounds(&tree, &|s| s == spans::SUBSTRATE).to_string(),
+                span_rounds(&tree, &|s| s == spans::BUCKET_OLDC || s == spans::ANNOUNCE)
+                    .to_string(),
                 valid.to_string(),
             ]);
         }
         // Baseline: the BEG18-class sequential sweep, which needs 4Δ/(d+1)
         // classes (4× the paper's bound) and O((Δ/d)²) rounds.
-        let q_base =
-            classic::ArbdefectiveColoring::min_buckets(delta as u64, d);
+        let q_base = classic::ArbdefectiveColoring::min_buckets(delta as u64, d);
         let mut net = Network::new(&g, Bandwidth::Local);
         let a = classic::sequential_arbdefective(&mut net, Some(&init), d, q_base).unwrap();
         a.validate(&g).unwrap();
@@ -296,27 +405,41 @@ pub fn e5_arbdefective(quick: bool) -> Table {
             "baseline sweep [BEG18-class]".into(),
             q_base.to_string(),
             net.rounds().to_string(),
+            "-".into(),
+            "-".into(),
             "true".into(),
         ]);
     }
     t.note("Theorem 1.3 achieves the paper's ⌊Δ/(d+1)⌋+1 classes (existentially optimal up to +1); the sweep baseline needs 4Δ/(d+1).");
     t.note("At lab scale the substrate term dominates Thm 1.3's rounds; its asymptotic Õ(√(Δ/(d+1))) main term is isolated in E6's rounds_main column.");
+    t.note("r(substrate) / r(buckets) split rounds_total by span: substrate decompositions vs per-bucket OLDC calls + color announcements.");
     t
 }
 
 /// E6 — Theorem 1.4: CONGEST (degree+1)-list coloring vs baselines across Δ.
-pub fn e6_congest(quick: bool) -> Table {
+pub fn e6_congest(quick: bool, traces: &mut Vec<SpanNode>) -> Table {
     let mut t = Table::new(
         "E6",
         "Theorem 1.4: CONGEST (deg+1)-list coloring, O(log n)-bit msgs; baselines: Θ(Δ²) rounds or Θ(Δlog|𝒞|)-bit msgs",
-        &["Δ", "n", "algorithm", "rounds", "substrate", "max msg bits", "≤ budget"],
+        &[
+            "Δ", "n", "algorithm", "rounds", "substrate", "r(linial)", "r(substrate)",
+            "r(buckets)", "max msg bits", "≤ budget",
+        ],
     );
-    let deltas: Vec<usize> = if quick { vec![6, 12] } else { vec![6, 12, 24, 48] };
+    let deltas: Vec<usize> = if quick {
+        vec![6, 12]
+    } else {
+        vec![6, 12, 24, 48]
+    };
     for delta in deltas {
         // n ≥ 5Δ² so the Δ²-round baseline is not n-capped (Linial cannot
         // shrink below ≈ 4Δ² colors, and the class iteration then pays one
         // round per color).
-        let n = if quick { (32 * delta).max(192) } else { (5 * delta * delta).max(256) };
+        let n = if quick {
+            (32 * delta).max(192)
+        } else {
+            (5 * delta * delta).max(256)
+        };
         let g = generators::random_regular(n, delta, 17);
         let space = 4 * (delta as u64 + 1);
         let lists = degree_plus_one_lists(&g, space, 5);
@@ -332,29 +455,47 @@ pub fn e6_congest(quick: bool) -> Table {
             substrate: Substrate::Randomized,
             ..CongestConfig::default()
         };
-        let (colors, rep) = congest_degree_plus_one(&g, space, &lists, &cfg).unwrap();
+        let tracer = Tracer::new();
+        let (colors, rep) =
+            congest_degree_plus_one_traced(&g, space, &lists, &cfg, tracer.clone()).unwrap();
         validate_proper_list_coloring(&g, &lists, &colors).unwrap();
+        let tree = capture(&tracer, format!("E6[delta={delta},algo=thm14]"), traces);
         t.row(vec![
             delta.to_string(),
             n.to_string(),
             "Theorem 1.4 (√Δ·polylog)".into(),
             rep.rounds_main.to_string(),
             rep.rounds_substrate.to_string(),
+            span_rounds(&tree, &|s| s == spans::LINIAL_INIT).to_string(),
+            span_rounds(&tree, &|s| s == spans::SUBSTRATE).to_string(),
+            span_rounds(&tree, &|s| s == spans::BUCKET_OLDC || s == spans::ANNOUNCE).to_string(),
             rep.max_message_bits.to_string(),
             (rep.max_message_bits <= budget_bits).to_string(),
         ]);
 
-        // Classic Θ(Δ²): Linial + class iteration.
+        // Classic Θ(Δ²): Linial + class iteration. The classic baselines
+        // carry no spans of their own; the caller opens them.
+        let tracer = Tracer::new();
         let mut net = Network::new(&g, budget);
-        let lin = classic::linial_coloring(&mut net, None).unwrap();
-        let colors =
-            classic::reduction::class_iteration_list_coloring(&mut net, &lin, &lists).unwrap();
+        net.set_tracer(tracer.clone());
+        let lin = {
+            let _s = tracer.span(spans::LINIAL_INIT);
+            classic::linial_coloring(&mut net, None).unwrap()
+        };
+        let colors = {
+            let _s = tracer.span(spans::CLASS_ITERATION);
+            classic::reduction::class_iteration_list_coloring(&mut net, &lin, &lists).unwrap()
+        };
         validate_proper_list_coloring(&g, &lists, &colors).unwrap();
+        let tree = capture(&tracer, format!("E6[delta={delta},algo=classic]"), traces);
         t.row(vec![
             delta.to_string(),
             n.to_string(),
             "Linial + class iteration (Δ²)".into(),
             net.rounds().to_string(),
+            "0".into(),
+            span_rounds(&tree, &|s| s == spans::LINIAL_INIT).to_string(),
+            "0".into(),
             "0".into(),
             net.metrics().max_message_bits().to_string(),
             (net.metrics().max_message_bits() <= budget_bits).to_string(),
@@ -371,6 +512,9 @@ pub fn e6_congest(quick: bool) -> Table {
             "LOCAL greedy (full lists)".into(),
             net.rounds().to_string(),
             "0".into(),
+            "-".into(),
+            "-".into(),
+            "-".into(),
             net.metrics().max_message_bits().to_string(),
             (net.metrics().max_message_bits() <= budget_bits).to_string(),
         ]);
@@ -389,6 +533,9 @@ pub fn e6_congest(quick: bool) -> Table {
             "KW06 (plain (Δ+1), no lists)".into(),
             net.rounds().to_string(),
             "0".into(),
+            "-".into(),
+            "-".into(),
+            "-".into(),
             net.metrics().max_message_bits().to_string(),
             (net.metrics().max_message_bits() <= budget_bits).to_string(),
         ]);
@@ -403,6 +550,9 @@ pub fn e6_congest(quick: bool) -> Table {
             "Luby (randomized)".into(),
             net.rounds().to_string(),
             "0".into(),
+            "-".into(),
+            "-".into(),
+            "-".into(),
             net.metrics().max_message_bits().to_string(),
             (net.metrics().max_message_bits() <= budget_bits).to_string(),
         ]);
@@ -410,6 +560,7 @@ pub fn e6_congest(quick: bool) -> Table {
     t.note("Rounds crossover: Theorem 1.4 overtakes the Δ²-round baseline from Δ ≈ 12 and the gap widens with Δ (the baseline pays ≈ 4Δ² rounds, the pipeline ≈ O(Δ·polylog) at practical constants, Õ(√Δ) asymptotically).");
     t.note("Messages: Theorem 1.4 stays at O(log n) bits; the LOCAL baseline's Θ(Δ + log n)-bit full-list messages approach and then blow the CONGEST budget as Δ grows past ~budget/log|𝒞| — the exact gap the paper closes.");
     t.note("KW06 wins on the *standard* (Δ+1) problem at lab scale (O(Δ·logΔ) with a small constant) but is structurally unable to solve the per-node list instances the remaining rows solve — lists are the paper's problem statement.");
+    t.note("r(·) columns come from the phase-span trace: linial-init vs substrate decompositions vs bucket OLDC + announce rounds (substrate sub-network rounds included via tracer propagation).");
     t
 }
 
@@ -418,7 +569,16 @@ pub fn e7_classic_substrates(quick: bool) -> Table {
     let mut t = Table::new(
         "E7",
         "Linial: O(Δ²) colors in O(log* n) rounds; Kuhn'09: d-defective O((Δ/(d+1))²) colors",
-        &["Δ", "n", "Linial palette", "palette/Δ²", "rounds", "defect d", "defective palette", "ratio to (Δ/(d+1))²"],
+        &[
+            "Δ",
+            "n",
+            "Linial palette",
+            "palette/Δ²",
+            "rounds",
+            "defect d",
+            "defective palette",
+            "ratio to (Δ/(d+1))²",
+        ],
     );
     let deltas: Vec<usize> = if quick { vec![8] } else { vec![4, 8, 16, 32] };
     for delta in deltas {
@@ -464,8 +624,16 @@ pub fn e8_slack_transition(quick: bool) -> Table {
     // Defect 0 = zero conflict budget: the sharpest probe of the seeded
     // selection (any surviving τ-conflict forces a retry).
     let defect = 0u64;
-    let margins = if quick { vec![0.5, 1.0, 2.0] } else { vec![0.1, 0.15, 0.2, 0.3, 0.5, 1.0, 2.0] };
-    let seeds: Vec<u64> = if quick { (0..3).collect() } else { (0..8).collect() };
+    let margins = if quick {
+        vec![0.5, 1.0, 2.0]
+    } else {
+        vec![0.1, 0.15, 0.2, 0.3, 0.5, 1.0, 2.0]
+    };
+    let seeds: Vec<u64> = if quick {
+        (0..3).collect()
+    } else {
+        (0..8).collect()
+    };
     for margin in margins {
         let len = ((margin * kappa * (d * d) as f64) / ((defect + 1) * (defect + 1)) as f64)
             .ceil()
@@ -502,19 +670,35 @@ pub fn e8_slack_transition(quick: bool) -> Table {
     t
 }
 
-/// E9 — simulator throughput (HPC angle): node-steps/s, serial vs rayon.
+/// E9 — simulator throughput (HPC angle): node-steps/s, serial vs scoped
+/// threads, plus the no-op-tracer and enabled-tracer overhead rows.
 pub fn e9_simulator_throughput(quick: bool) -> Table {
     let mut t = Table::new(
         "E9",
-        "Simulator scaling: flooding rounds on G(n, 8/n); rayon parallel stepping vs serial",
+        "Simulator scaling: flooding rounds on G(n, 8/n); parallel stepping vs serial; tracer overhead",
         &["n", "edges", "rounds", "mode", "wall ms", "node-steps/s (M)"],
     );
-    let ns: Vec<usize> = if quick { vec![20_000] } else { vec![20_000, 100_000, 400_000] };
+    let ns: Vec<usize> = if quick {
+        vec![20_000]
+    } else {
+        vec![20_000, 100_000, 400_000]
+    };
     for n in ns {
         let g = generators::gnp(n, 8.0 / n as f64, 31);
-        for (mode, threshold) in [("serial", usize::MAX), ("rayon", 0usize)] {
+        for (mode, threshold, trace) in [
+            ("serial", usize::MAX, false),
+            ("parallel", 0usize, false),
+            ("serial+trace", usize::MAX, true),
+        ] {
             let mut net = Network::new(&g, Bandwidth::Local);
             net.set_parallel_threshold(threshold);
+            let tracer = if trace {
+                Tracer::new()
+            } else {
+                Tracer::disabled()
+            };
+            net.set_tracer(tracer.clone());
+            let _flood = tracer.span("flood");
             let mut states: Vec<u64> = g.nodes().map(u64::from).collect();
             let rounds = 20;
             let start = std::time::Instant::now();
@@ -545,9 +729,10 @@ pub fn e9_simulator_throughput(quick: bool) -> Table {
         }
     }
     t.note(format!(
-        "Host has {} logical CPU(s): with a single core, rayon stepping can only demonstrate that its overhead is negligible (<5%); run on a multi-core host to measure speedups.",
+        "Host has {} logical CPU(s): with a single core, parallel stepping can only demonstrate that its overhead is negligible (<5%); run on a multi-core host to measure speedups.",
         std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1)
     ));
+    t.note("serial runs with the no-op tracer (the default — one branch per round); serial+trace runs with an enabled tracer and an open span, bounding the full tracing overhead.");
     t
 }
 
@@ -635,14 +820,10 @@ pub fn e12_tightness(quick: bool) -> Table {
                 if colors == 0 {
                     continue;
                 }
-                let lists: Vec<Vec<u64>> =
-                    (0..=delta).map(|_| (0..colors).collect()).collect();
-                let solvable = classic::greedy::brute_force_list_defective(
-                    &g,
-                    &lists,
-                    &|_, _| defect,
-                )
-                .is_some();
+                let lists: Vec<Vec<u64>> = (0..=delta).map(|_| (0..colors).collect()).collect();
+                let solvable =
+                    classic::greedy::brute_force_list_defective(&g, &lists, &|_, _| defect)
+                        .is_some();
                 t.row(vec![
                     delta.to_string(),
                     defect.to_string(),
@@ -681,7 +862,8 @@ pub fn e13_constants(_quick: bool) -> Table {
         let tau = faithful.tau(h, space, m);
         let tau_bar = faithful.tau(h_prime, h + 1, m);
         let alpha = 16u128;
-        let kappa_f = alpha * alpha * u128::from(tau) * u128::from(tau_bar) * u128::from(h_prime).pow(2);
+        let kappa_f =
+            alpha * alpha * u128::from(tau) * u128::from(tau_bar) * u128::from(h_prime).pow(2);
         let kappa_p = practical_kappa(ParamProfile::practical_default(), beta, space, m);
         let d = beta / 2;
         let len_f = kappa_f * u128::from(beta).pow(2) / u128::from(d + 1).pow(2);
@@ -706,7 +888,16 @@ pub fn e14_graph_families(quick: bool) -> Table {
     let mut t = Table::new(
         "E14",
         "Theorem 1.4 on heterogeneous topologies: rounds, messages, CONGEST compliance",
-        &["family", "n", "Δ", "rounds", "substrate", "max msg bits", "budget", "valid"],
+        &[
+            "family",
+            "n",
+            "Δ",
+            "rounds",
+            "substrate",
+            "max msg bits",
+            "budget",
+            "valid",
+        ],
     );
     let scale = if quick { 1usize } else { 2 };
     let graphs: Vec<(&str, ldc_graph::Graph)> = vec![
@@ -715,15 +906,24 @@ pub fn e14_graph_families(quick: bool) -> Table {
         ("regular-8", generators::random_regular(180 * scale, 8, 3)),
         ("gnp", generators::gnp(160 * scale, 0.05, 4)),
         ("tree-3ary", generators::complete_tree(150 * scale, 3)),
-        ("power-law", generators::preferential_attachment(150 * scale, 3, 5)),
+        (
+            "power-law",
+            generators::preferential_attachment(150 * scale, 3, 5),
+        ),
         ("lollipop", generators::lollipop(80 * scale, 12)),
-        ("line(gnp)", generators::line_graph(&generators::gnp(40, 0.12, 9))),
+        (
+            "line(gnp)",
+            generators::line_graph(&generators::gnp(40, 0.12, 9)),
+        ),
     ];
     for (name, g) in graphs {
         let delta = g.max_degree();
         let space = 4 * (delta as u64 + 1);
         let lists = degree_plus_one_lists(&g, space, 7);
-        let cfg = CongestConfig { substrate: Substrate::Randomized, ..CongestConfig::default() };
+        let cfg = CongestConfig {
+            substrate: Substrate::Randomized,
+            ..CongestConfig::default()
+        };
         match congest_degree_plus_one(&g, space, &lists, &cfg) {
             Ok((colors, rep)) => {
                 let valid = validate_proper_list_coloring(&g, &lists, &colors).is_ok();

@@ -1,9 +1,7 @@
 //! Minimal aligned-text + JSON table output.
 
-use serde::Serialize;
-
 /// One experiment table: id, claim under test, column headers, rows, notes.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Table {
     /// Experiment id, e.g. `"E6"`.
     pub id: String,
@@ -31,7 +29,12 @@ impl Table {
 
     /// Append a row (must match the header count).
     pub fn row(&mut self, cells: Vec<String>) {
-        assert_eq!(cells.len(), self.headers.len(), "row width mismatch in {}", self.id);
+        assert_eq!(
+            cells.len(),
+            self.headers.len(),
+            "row width mismatch in {}",
+            self.id
+        );
         self.rows.push(cells);
     }
 
@@ -72,17 +75,81 @@ impl Table {
         out
     }
 
+    /// Serialize as pretty-printed JSON (hand-rendered; the workspace
+    /// builds without serde).
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        out.push_str(&format!("  \"id\": {},\n", json_string(&self.id)));
+        out.push_str(&format!("  \"claim\": {},\n", json_string(&self.claim)));
+        out.push_str(&format!(
+            "  \"headers\": {},\n",
+            json_string_array(&self.headers, "  ")
+        ));
+        out.push_str("  \"rows\": [");
+        for (i, row) in self.rows.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("\n    ");
+            out.push_str(&json_string_array_inline(row));
+        }
+        if self.rows.is_empty() {
+            out.push_str("],\n");
+        } else {
+            out.push_str("\n  ],\n");
+        }
+        out.push_str(&format!(
+            "  \"notes\": {}\n",
+            json_string_array(&self.notes, "  ")
+        ));
+        out.push('}');
+        out
+    }
+
     /// Print to stdout and persist JSON under `target/experiments/`.
     pub fn emit(&self) {
         println!("{}", self.render());
         let dir = std::path::Path::new("target/experiments");
         if std::fs::create_dir_all(dir).is_ok() {
             let path = dir.join(format!("{}.json", self.id));
-            if let Ok(json) = serde_json::to_string_pretty(self) {
-                let _ = std::fs::write(path, json);
-            }
+            let _ = std::fs::write(path, self.to_json());
         }
     }
+}
+
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+fn json_string_array_inline(items: &[String]) -> String {
+    let cells: Vec<String> = items.iter().map(|s| json_string(s)).collect();
+    format!("[{}]", cells.join(", "))
+}
+
+fn json_string_array(items: &[String], indent: &str) -> String {
+    if items.is_empty() {
+        return "[]".into();
+    }
+    let cells: Vec<String> = items
+        .iter()
+        .map(|s| format!("{indent}  {}", json_string(s)))
+        .collect();
+    format!("[\n{}\n{indent}]", cells.join(",\n"))
 }
 
 #[cfg(test)]
@@ -98,6 +165,21 @@ mod tests {
         assert!(r.contains("EX: test claim"));
         assert!(r.contains("bbbb"));
         assert!(r.contains("note: hello"));
+    }
+
+    #[test]
+    fn json_is_well_formed() {
+        let mut t = Table::new("EX", "claim \"quoted\"", &["a", "b"]);
+        t.row(vec!["1".into(), "x\ny".into()]);
+        t.note("n1");
+        let j = t.to_json();
+        assert!(j.contains("\"id\": \"EX\""));
+        assert!(j.contains("\\\"quoted\\\""));
+        assert!(j.contains("\"x\\ny\""));
+        assert!(j.contains("\"n1\""));
+        // Balanced braces/brackets as a cheap structural check.
+        assert_eq!(j.matches('{').count(), j.matches('}').count());
+        assert_eq!(j.matches('[').count(), j.matches(']').count());
     }
 
     #[test]

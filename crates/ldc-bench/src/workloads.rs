@@ -11,8 +11,9 @@ pub fn degree_plus_one_lists(g: &Graph, space: u64, salt: u64) -> Vec<Vec<Color>
     g.nodes()
         .map(|v| {
             let need = g.degree(v) + 1;
-            let mut l: Vec<Color> =
-                (0..need as u64).map(|i| (u64::from(v) * 37 + i * 101 + salt) % space).collect();
+            let mut l: Vec<Color> = (0..need as u64)
+                .map(|i| (u64::from(v) * 37 + i * 101 + salt) % space)
+                .collect();
             l.sort_unstable();
             l.dedup();
             let mut c = 0;

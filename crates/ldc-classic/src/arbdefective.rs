@@ -145,8 +145,10 @@ pub fn sequential_arbdefective(
         )?;
     }
 
-    let buckets: Vec<u64> =
-        states.iter().map(|s| s.bucket.expect("all classes processed")).collect();
+    let buckets: Vec<u64> = states
+        .iter()
+        .map(|s| s.bucket.expect("all classes processed"))
+        .collect();
     // Orient each edge from the later-deciding endpoint to the earlier one
     // (ties broken toward the smaller id), witnessing the arbdefect bound.
     let later = |v: u32| (states[v as usize].decide_round, v);
@@ -162,7 +164,12 @@ pub fn sequential_arbdefective(
         })
         .collect();
     let orientation = Orientation::from_dirs(g, dirs);
-    let out = ArbdefectiveColoring { buckets, q, arbdefect: d, orientation };
+    let out = ArbdefectiveColoring {
+        buckets,
+        q,
+        arbdefect: d,
+        orientation,
+    };
     debug_assert!(out.validate(g).is_ok(), "{:?}", out.validate(g));
     Ok(out)
 }
@@ -186,14 +193,16 @@ pub fn randomized_arbdefective(
     q: u64,
     seed: u64,
 ) -> Result<ArbdefectiveColoring, SimError> {
-    use rand::{Rng, SeedableRng};
     let g = net.graph();
     let delta = g.max_degree() as u64;
-    assert!(q * (d + 1) >= 2 * delta.max(1), "need q(d+1) ≥ 2Δ for convergence");
+    assert!(
+        q * (d + 1) >= 2 * delta.max(1),
+        "need q(d+1) ≥ 2Δ for convergence"
+    );
 
     #[derive(Clone)]
     struct S {
-        rng: rand_chacha::ChaCha8Rng,
+        rng: ldc_rand::Rng,
         draw: u64,
         settled: bool,
         settle_round: u64,
@@ -202,7 +211,7 @@ pub fn randomized_arbdefective(
     let mut states: Vec<S> = g
         .nodes()
         .map(|v| S {
-            rng: rand_chacha::ChaCha8Rng::seed_from_u64(
+            rng: ldc_rand::Rng::seed_from_u64(
                 seed ^ (0x9e3779b97f4a7c15u64.wrapping_mul(u64::from(v) + 1)),
             ),
             draw: 0,
@@ -256,10 +265,21 @@ pub fn randomized_arbdefective(
     let later = |v: u32| (states[v as usize].settle_round, v);
     let dirs: Vec<EdgeDir> = g
         .edges()
-        .map(|(_, u, v)| if later(u) > later(v) { EdgeDir::Forward } else { EdgeDir::Backward })
+        .map(|(_, u, v)| {
+            if later(u) > later(v) {
+                EdgeDir::Forward
+            } else {
+                EdgeDir::Backward
+            }
+        })
         .collect();
     let orientation = Orientation::from_dirs(g, dirs);
-    let out = ArbdefectiveColoring { buckets, q, arbdefect: d, orientation };
+    let out = ArbdefectiveColoring {
+        buckets,
+        q,
+        arbdefect: d,
+        orientation,
+    };
     debug_assert!(out.validate(g).is_ok(), "{:?}", out.validate(g));
     Ok(out)
 }
@@ -339,7 +359,9 @@ mod tests {
         let delta = g.max_degree() as u64;
         let run = |seed| {
             let mut net = Network::new(&g, Bandwidth::Local);
-            randomized_arbdefective(&mut net, 1, delta.max(1), seed).unwrap().buckets
+            randomized_arbdefective(&mut net, 1, delta.max(1), seed)
+                .unwrap()
+                .buckets
         };
         assert_eq!(run(9), run(9));
     }

@@ -16,7 +16,10 @@ pub fn greedy_list_coloring(g: &Graph, lists: &[Vec<u64>]) -> Option<Vec<u64>> {
             .iter()
             .filter_map(|&u| colors[u as usize])
             .collect();
-        let pick = lists[v as usize].iter().copied().find(|c| !taken.contains(c))?;
+        let pick = lists[v as usize]
+            .iter()
+            .copied()
+            .find(|c| !taken.contains(c))?;
         colors[v as usize] = Some(pick);
     }
     Some(colors.into_iter().map(|c| c.expect("all set")).collect())
@@ -70,8 +73,7 @@ pub fn brute_force_list_defective(
         }
         for &c in &lists[v] {
             assignment[v] = c;
-            if ok_so_far(g, assignment, v + 1, defect) && rec(g, lists, assignment, v + 1, defect)
-            {
+            if ok_so_far(g, assignment, v + 1, defect) && rec(g, lists, assignment, v + 1, defect) {
                 return true;
             }
         }
@@ -93,8 +95,10 @@ mod tests {
     #[test]
     fn greedy_solves_degree_plus_one() {
         let g = generators::gnp(80, 0.1, 5);
-        let lists: Vec<Vec<u64>> =
-            g.nodes().map(|v| (0..=g.degree(v) as u64).collect()).collect();
+        let lists: Vec<Vec<u64>> = g
+            .nodes()
+            .map(|v| (0..=g.degree(v) as u64).collect())
+            .collect();
         let colors = greedy_list_coloring(&g, &lists).unwrap();
         for (_, u, v) in g.edges() {
             assert_ne!(colors[u as usize], colors[v as usize]);

@@ -73,11 +73,7 @@ impl HPartition {
 /// # Errors
 /// Returns a simulator error on bandwidth violations; panics if `a` is not
 /// actually an arboricity upper bound (the peeling then stalls).
-pub fn h_partition(
-    net: &mut Network<'_>,
-    a: u64,
-    epsilon: f64,
-) -> Result<HPartition, SimError> {
+pub fn h_partition(net: &mut Network<'_>, a: u64, epsilon: f64) -> Result<HPartition, SimError> {
     assert!(epsilon > 0.0, "ε must be positive");
     let g = net.graph();
     let n = g.num_nodes();
@@ -90,7 +86,10 @@ pub fn h_partition(
     }
     let mut states: Vec<S> = g
         .nodes()
-        .map(|v| S { layer: None, remaining_degree: g.degree(v) as u64 })
+        .map(|v| S {
+            layer: None,
+            remaining_degree: g.degree(v) as u64,
+        })
         .collect();
 
     let mut current = 0u32;
@@ -105,9 +104,7 @@ pub fn h_partition(
         );
         net.broadcast_exchange(
             &mut states,
-            |_, s| {
-                (s.layer.is_none() && s.remaining_degree <= bound).then_some(true)
-            },
+            |_, s| (s.layer.is_none() && s.remaining_degree <= bound).then_some(true),
             |_, s, inbox| {
                 if s.layer.is_none() && s.remaining_degree <= bound {
                     s.layer = Some(current);
@@ -127,10 +124,21 @@ pub fn h_partition(
     let key = |v: u32| (layer[v as usize], v);
     let dirs: Vec<EdgeDir> = g
         .edges()
-        .map(|(_, u, v)| if key(u) < key(v) { EdgeDir::Forward } else { EdgeDir::Backward })
+        .map(|(_, u, v)| {
+            if key(u) < key(v) {
+                EdgeDir::Forward
+            } else {
+                EdgeDir::Backward
+            }
+        })
         .collect();
     let orientation = Orientation::from_dirs(g, dirs);
-    let out = HPartition { layer, layers: current, orientation, bound };
+    let out = HPartition {
+        layer,
+        layers: current,
+        orientation,
+        bound,
+    };
     debug_assert!(out.validate(g).is_ok(), "{:?}", out.validate(g));
     Ok(out)
 }

@@ -32,9 +32,16 @@ impl DefectiveColoring {
         for v in g.nodes() {
             let c = self.colors[v as usize];
             if c >= self.palette {
-                return Err(format!("node {v} color {c} outside palette {}", self.palette));
+                return Err(format!(
+                    "node {v} color {c} outside palette {}",
+                    self.palette
+                ));
             }
-            let same = g.neighbors(v).iter().filter(|&&u| self.colors[u as usize] == c).count();
+            let same = g
+                .neighbors(v)
+                .iter()
+                .filter(|&&u| self.colors[u as usize] == c)
+                .count();
             if same as u64 > self.defect {
                 return Err(format!(
                     "node {v} has {same} same-colored neighbors > defect {}",
@@ -80,8 +87,12 @@ pub fn linial_coloring(
     let delta = g.max_degree() as u64;
     let fallback = ProperColoring::by_id(g);
     let init = initial.unwrap_or(&fallback);
-    let mut states: Vec<NodeState> =
-        g.nodes().map(|v| NodeState { color: init.color(v) }).collect();
+    let mut states: Vec<NodeState> = g
+        .nodes()
+        .map(|v| NodeState {
+            color: init.color(v),
+        })
+        .collect();
     let mut m = init.palette_size();
     while let Some(scheme) = PolyScheme::choose(m, delta, 0) {
         reduction_round(net, &mut states, scheme, 0)?;
@@ -105,8 +116,12 @@ pub fn defective_coloring(
     let delta = g.max_degree() as u64;
     let proper = linial_coloring(net, initial)?;
     let m = proper.palette_size();
-    let mut states: Vec<NodeState> =
-        g.nodes().map(|v| NodeState { color: proper.color(v) }).collect();
+    let mut states: Vec<NodeState> = g
+        .nodes()
+        .map(|v| NodeState {
+            color: proper.color(v),
+        })
+        .collect();
     let (palette, used_defective_step) = match PolyScheme::choose(m, delta, d) {
         Some(scheme) if d > 0 => {
             reduction_round(net, &mut states, scheme, d)?;
@@ -116,7 +131,11 @@ pub fn defective_coloring(
     };
     let _ = used_defective_step;
     let colors: Vec<u64> = states.into_iter().map(|s| s.color).collect();
-    let out = DefectiveColoring { colors, palette, defect: d };
+    let out = DefectiveColoring {
+        colors,
+        palette,
+        defect: d,
+    };
     debug_assert!(out.validate(g).is_ok());
     Ok(out)
 }

@@ -45,9 +45,7 @@ impl MessageSize for Msg {
                 let per_color = bits_for_value(self.space.saturating_sub(1)).max(1);
                 id_bits + (l.len() as u64 * per_color).min(self.space)
             }
-            Payload::Color(_) => {
-                id_bits + bits_for_value(self.space.saturating_sub(1)).max(1)
-            }
+            Payload::Color(_) => id_bits + bits_for_value(self.space.saturating_sub(1)).max(1),
         }
     }
 }
@@ -64,8 +62,14 @@ pub fn local_greedy_list_coloring(
     let g: &Graph = net.graph();
     assert_eq!(lists.len(), g.num_nodes());
     for v in g.nodes() {
-        assert!(lists[v as usize].len() > g.degree(v), "list of node {v} too short");
-        assert!(lists[v as usize].iter().all(|&c| c < space), "colors must lie in 0..space");
+        assert!(
+            lists[v as usize].len() > g.degree(v),
+            "list of node {v} too short"
+        );
+        assert!(
+            lists[v as usize].iter().all(|&c| c < space),
+            "colors must lie in 0..space"
+        );
     }
     let mut states: Vec<NodeState> = g
         .nodes()
@@ -82,8 +86,16 @@ pub fn local_greedy_list_coloring(
             &mut states,
             |v, s| {
                 Some(match s.color {
-                    None => Msg { id: v, payload: Payload::List(s.list.clone()), space },
-                    Some(c) => Msg { id: v, payload: Payload::Color(c), space },
+                    None => Msg {
+                        id: v,
+                        payload: Payload::List(s.list.clone()),
+                        space,
+                    },
+                    Some(c) => Msg {
+                        id: v,
+                        payload: Payload::Color(c),
+                        space,
+                    },
                 })
             },
             |v, s, inbox| {
@@ -133,7 +145,9 @@ mod tests {
         g.nodes()
             .map(|v| {
                 let need = g.degree(v) as u64 + 1;
-                (0..need).map(|i| (u64::from(v) + i * 7) % space).collect::<Vec<u64>>()
+                (0..need)
+                    .map(|i| (u64::from(v) + i * 7) % space)
+                    .collect::<Vec<u64>>()
             })
             .map(|mut l| {
                 l.sort_unstable();
@@ -185,8 +199,15 @@ mod tests {
     fn congest_budget_is_violated_by_design_for_large_lists() {
         let g = generators::complete(24);
         let space = 1 << 10;
-        let lists: Vec<Vec<u64>> = (0..24).map(|v| (0..24).map(|i| (v + i * 25) % space).collect()).collect();
-        let mut net = Network::new(&g, Bandwidth::Congest { bits_per_message: 16 });
+        let lists: Vec<Vec<u64>> = (0..24)
+            .map(|v| (0..24).map(|i| (v + i * 25) % space).collect())
+            .collect();
+        let mut net = Network::new(
+            &g,
+            Bandwidth::Congest {
+                bits_per_message: 16,
+            },
+        );
         let err = local_greedy_list_coloring(&mut net, &lists, space);
         assert!(err.is_err(), "full-list messages must blow a 16-bit budget");
     }

@@ -8,13 +8,12 @@
 //! measured against in E6.
 
 use ldc_graph::{Graph, NodeId};
+use ldc_rand::Rng;
 use ldc_sim::{Network, SimError};
-use rand::{Rng, SeedableRng};
-use rand_chacha::ChaCha8Rng;
 
 #[derive(Clone)]
 struct NodeState {
-    rng: ChaCha8Rng,
+    rng: Rng,
     palette: Vec<u64>,
     proposal: Option<u64>,
     color: Option<u64>,
@@ -53,7 +52,7 @@ pub fn luby_list_coloring(
     let mut states: Vec<NodeState> = g
         .nodes()
         .map(|v| NodeState {
-            rng: ChaCha8Rng::seed_from_u64(seed ^ (0x9e3779b97f4a7c15u64.wrapping_mul(u64::from(v) + 1))),
+            rng: Rng::seed_from_u64(seed ^ (0x9e3779b97f4a7c15u64.wrapping_mul(u64::from(v) + 1))),
             palette: lists[v as usize].clone(),
             proposal: None,
             color: None,
@@ -67,7 +66,10 @@ pub fn luby_list_coloring(
     let mut iters = 0usize;
     while remaining > 0 {
         iters += 1;
-        assert!(iters <= max_rounds, "luby did not converge; {remaining} uncolored");
+        assert!(
+            iters <= max_rounds,
+            "luby did not converge; {remaining} uncolored"
+        );
         // Propose phase (draw happens locally before composing).
         for s in states.iter_mut() {
             if s.color.is_none() {
@@ -81,8 +83,18 @@ pub fn luby_list_coloring(
             &mut states,
             |v, s| {
                 s.proposal
-                    .map(|p| Msg { id: v, value: p, committed: false })
-                    .or_else(|| s.color.map(|c| Msg { id: v, value: c, committed: true }))
+                    .map(|p| Msg {
+                        id: v,
+                        value: p,
+                        committed: false,
+                    })
+                    .or_else(|| {
+                        s.color.map(|c| Msg {
+                            id: v,
+                            value: c,
+                            committed: true,
+                        })
+                    })
             },
             |v, s, inbox| {
                 let Some(my) = s.proposal else { return };
@@ -97,15 +109,21 @@ pub fn luby_list_coloring(
                     s.color = Some(my);
                 }
                 // Shrink palette by colors now held by neighbors.
-                let held: Vec<u64> =
-                    inbox.iter().filter(|(_, m)| m.committed).map(|(_, m)| m.value).collect();
+                let held: Vec<u64> = inbox
+                    .iter()
+                    .filter(|(_, m)| m.committed)
+                    .map(|(_, m)| m.value)
+                    .collect();
                 s.palette.retain(|c| !held.contains(c));
                 s.proposal = None;
             },
         )?;
         remaining = states.iter().filter(|s| s.color.is_none()).count();
     }
-    Ok(states.into_iter().map(|s| s.color.expect("all colored")).collect())
+    Ok(states
+        .into_iter()
+        .map(|s| s.color.expect("all colored"))
+        .collect())
 }
 
 #[cfg(test)]
@@ -115,7 +133,9 @@ mod tests {
     use ldc_sim::Bandwidth;
 
     fn degree_lists(g: &Graph) -> Vec<Vec<u64>> {
-        g.nodes().map(|v| (0..=g.degree(v) as u64).collect()).collect()
+        g.nodes()
+            .map(|v| (0..=g.degree(v) as u64).collect())
+            .collect()
     }
 
     #[test]

@@ -28,7 +28,10 @@ pub fn reduce_to_delta_plus_one(
     let m = initial.palette_size();
     let mut states: Vec<NodeState> = g
         .nodes()
-        .map(|v| NodeState { color: initial.color(v), neighbor_colors: Vec::new() })
+        .map(|v| NodeState {
+            color: initial.color(v),
+            neighbor_colors: Vec::new(),
+        })
         .collect();
 
     // One initial exchange so everyone knows its neighbors' colors.
@@ -121,59 +124,59 @@ pub fn kw_reduce_to_delta_plus_one(
     // One elimination pass: every group shrinks its palette from `width`
     // down to `target`, one class per round (a class is independent within
     // its group).
-    let eliminate = |net: &mut Network<'_>,
-                         states: &mut Vec<S>,
-                         width: u64|
-     -> Result<(), SimError> {
-        // Refresh each node's view of neighbor (group, color).
-        net.broadcast_exchange(
-            states,
-            |_, s| Some((s.group, s.color)),
-            |_, s, inbox| {
-                for (p, &gc) in inbox.iter() {
-                    s.neighbor[p] = Some(gc);
-                }
-            },
-        )?;
-        let mut current = width;
-        while current > target {
-            let class = current - 1;
+    let eliminate =
+        |net: &mut Network<'_>, states: &mut Vec<S>, width: u64| -> Result<(), SimError> {
+            // Refresh each node's view of neighbor (group, color).
             net.broadcast_exchange(
                 states,
-                |_, s| {
-                    if s.color == class {
-                        let free = (0..target)
-                            .find(|&c| {
-                                s.neighbor.iter().flatten().all(|&(ng, nc)| {
-                                    ng != s.group || nc != c
-                                })
-                            })
-                            .expect("≤ Δ same-group neighbors leave a free color");
-                        Some((s.group, free))
-                    } else {
-                        None
-                    }
-                },
+                |_, s| Some((s.group, s.color)),
                 |_, s, inbox| {
-                    if s.color == class {
-                        let free = (0..target)
-                            .find(|&c| {
-                                s.neighbor.iter().flatten().all(|&(ng, nc)| {
-                                    ng != s.group || nc != c
-                                })
-                            })
-                            .expect("≤ Δ same-group neighbors leave a free color");
-                        s.color = free;
-                    }
                     for (p, &gc) in inbox.iter() {
                         s.neighbor[p] = Some(gc);
                     }
                 },
             )?;
-            current -= 1;
-        }
-        Ok(())
-    };
+            let mut current = width;
+            while current > target {
+                let class = current - 1;
+                net.broadcast_exchange(
+                    states,
+                    |_, s| {
+                        if s.color == class {
+                            let free = (0..target)
+                                .find(|&c| {
+                                    s.neighbor
+                                        .iter()
+                                        .flatten()
+                                        .all(|&(ng, nc)| ng != s.group || nc != c)
+                                })
+                                .expect("≤ Δ same-group neighbors leave a free color");
+                            Some((s.group, free))
+                        } else {
+                            None
+                        }
+                    },
+                    |_, s, inbox| {
+                        if s.color == class {
+                            let free = (0..target)
+                                .find(|&c| {
+                                    s.neighbor
+                                        .iter()
+                                        .flatten()
+                                        .all(|&(ng, nc)| ng != s.group || nc != c)
+                                })
+                                .expect("≤ Δ same-group neighbors leave a free color");
+                            s.color = free;
+                        }
+                        for (p, &gc) in inbox.iter() {
+                            s.neighbor[p] = Some(gc);
+                        }
+                    },
+                )?;
+                current -= 1;
+            }
+            Ok(())
+        };
 
     // Level 0: shrink every block from `block` to `target` colors.
     eliminate(net, &mut states, block)?;
@@ -208,7 +211,10 @@ pub fn class_iteration_list_coloring(
     let g = net.graph();
     assert_eq!(lists.len(), g.num_nodes());
     for v in g.nodes() {
-        assert!(lists[v as usize].len() > g.degree(v), "list of node {v} too short");
+        assert!(
+            lists[v as usize].len() > g.degree(v),
+            "list of node {v} too short"
+        );
     }
 
     #[derive(Clone)]
@@ -219,15 +225,17 @@ pub fn class_iteration_list_coloring(
     }
     let mut states: Vec<S> = g
         .nodes()
-        .map(|v| S { class: initial.color(v), list: lists[v as usize].clone(), color: None })
+        .map(|v| S {
+            class: initial.color(v),
+            list: lists[v as usize].clone(),
+            color: None,
+        })
         .collect();
 
     for t in 0..initial.palette_size() {
         net.broadcast_exchange(
             &mut states,
-            |_, s| {
-                (s.class == t).then(|| *s.list.first().expect("list outlasts taken colors"))
-            },
+            |_, s| (s.class == t).then(|| *s.list.first().expect("list outlasts taken colors")),
             |_, s, inbox| {
                 if s.class == t {
                     s.color = Some(*s.list.first().expect("list outlasts taken colors"));
@@ -238,7 +246,10 @@ pub fn class_iteration_list_coloring(
             },
         )?;
     }
-    Ok(states.into_iter().map(|s| s.color.expect("every class processed")).collect())
+    Ok(states
+        .into_iter()
+        .map(|s| s.color.expect("every class processed"))
+        .collect())
 }
 
 #[cfg(test)]
@@ -320,7 +331,11 @@ mod tests {
         let lin = linial_coloring(&mut net, None).unwrap();
         let lists: Vec<Vec<u64>> = g
             .nodes()
-            .map(|v| (0..=g.degree(v) as u64).map(|i| i * 3 + u64::from(v % 2)).collect())
+            .map(|v| {
+                (0..=g.degree(v) as u64)
+                    .map(|i| i * 3 + u64::from(v % 2))
+                    .collect()
+            })
             .collect();
         let colors = class_iteration_list_coloring(&mut net, &lin, &lists).unwrap();
         for (_, u, v) in g.edges() {

@@ -73,10 +73,16 @@ impl<'g> OldcInstance<'g> {
         };
         let mut net = Network::new(g, opts.bandwidth);
         let out = solve_oldc(&mut net, &ctx, &self.lists)?;
-        let colors: Vec<Color> =
-            out.colors.into_iter().map(|c| c.expect("all nodes active")).collect();
+        let colors: Vec<Color> = out
+            .colors
+            .into_iter()
+            .map(|c| c.expect("all nodes active"))
+            .collect();
         validate::validate_oldc(&self.view, &self.lists, &colors).map_err(|e| {
-            CoreError::Precondition { node: 0, detail: format!("internal: output invalid: {e}") }
+            CoreError::Precondition {
+                node: 0,
+                detail: format!("internal: output invalid: {e}"),
+            }
         })?;
         Ok(Solution {
             colors,
@@ -115,7 +121,10 @@ impl<'g> LdcInstance<'g> {
         let inst = OldcInstance::new(view, self.space, self.lists.clone());
         let sol = inst.solve(opts)?;
         validate::validate_ldc(self.graph, &self.lists, &sol.colors).map_err(|e| {
-            CoreError::Precondition { node: 0, detail: format!("internal: output invalid: {e}") }
+            CoreError::Precondition {
+                node: 0,
+                detail: format!("internal: output invalid: {e}"),
+            }
         })?;
         Ok(sol)
     }
@@ -148,7 +157,10 @@ impl<'g> LdcInstance<'g> {
             &Theorem11Solver,
         )?;
         validate::validate_arbdefective(g, &self.lists, &colors, &orientation).map_err(|e| {
-            CoreError::Precondition { node: 0, detail: format!("internal: output invalid: {e}") }
+            CoreError::Precondition {
+                node: 0,
+                detail: format!("internal: output invalid: {e}"),
+            }
         })?;
         Ok(Solution {
             colors,
@@ -173,9 +185,7 @@ mod tests {
         let space = 1 << 13;
         let lists: Vec<DefectList> = g
             .nodes()
-            .map(|v| {
-                DefectList::uniform((0..3000u64).map(|i| (i * 3 + u64::from(v)) % space), 3)
-            })
+            .map(|v| DefectList::uniform((0..3000u64).map(|i| (i * 3 + u64::from(v)) % space), 3))
             .collect();
         let inst = OldcInstance::new(view, ColorSpace::new(space), lists);
         let sol = inst.solve(&SolveOptions::default()).unwrap();
@@ -192,7 +202,10 @@ mod tests {
         let lists: Vec<DefectList> = g
             .nodes()
             .map(|v| {
-                DefectList::uniform((0..3000u64).map(|i| (i * 5 + u64::from(v)) % space), delta / 2)
+                DefectList::uniform(
+                    (0..3000u64).map(|i| (i * 5 + u64::from(v)) % space),
+                    delta / 2,
+                )
             })
             .collect();
         let inst = LdcInstance::new(&g, ColorSpace::new(space), lists);
@@ -207,8 +220,7 @@ mod tests {
     #[test]
     fn under_provisioned_instances_error_cleanly() {
         let g = generators::complete(8);
-        let lists: Vec<DefectList> =
-            (0..8).map(|_| DefectList::uniform(0..4, 0)).collect();
+        let lists: Vec<DefectList> = (0..8).map(|_| DefectList::uniform(0..4, 0)).collect();
         let inst = LdcInstance::new(&g, ColorSpace::new(8), lists);
         assert!(inst.solve_sequential().is_err());
         assert!(inst.solve_arbdefective(&SolveOptions::default()).is_err());

@@ -48,7 +48,12 @@ pub fn defective_coloring_via_ldc(
         seed,
     };
     let out = solve_multi_defect(net, &ctx, &lists, 0)?;
-    Ok(out.inner.colors.into_iter().map(|x| x.expect("all active")).collect())
+    Ok(out
+        .inner
+        .colors
+        .into_iter()
+        .map(|x| x.expect("all active"))
+        .collect())
 }
 
 /// The paper's arbdefective corollary: a `d`-arbdefective
@@ -63,8 +68,9 @@ pub fn arbdefective_via_theorem13(
     let g: &Graph = net.graph();
     let delta = g.max_degree() as u64;
     let q = delta / (d + 1) + 1;
-    let lists: Vec<DefectList> =
-        (0..g.num_nodes()).map(|_| DefectList::uniform(0..q, d)).collect();
+    let lists: Vec<DefectList> = (0..g.num_nodes())
+        .map(|_| DefectList::uniform(0..q, d))
+        .collect();
     let init = ProperColoring::by_id(g);
     let cfg = ArbConfig {
         nu: 1.0,
@@ -91,14 +97,9 @@ mod tests {
         let mut net = Network::new(&g, Bandwidth::Local);
         // β = 8, d = 3 ⇒ γ-class ~2; c·16 must cover the square mass bar.
         let c = 2048;
-        let colors = defective_coloring_via_ldc(
-            &mut net,
-            c,
-            3,
-            ParamProfile::practical_default(),
-            4,
-        )
-        .unwrap();
+        let colors =
+            defective_coloring_via_ldc(&mut net, c, 3, ParamProfile::practical_default(), 4)
+                .unwrap();
         for v in g.nodes() {
             let same = g
                 .neighbors(v)
@@ -124,9 +125,11 @@ mod tests {
         )
         .unwrap();
         assert_eq!(q, 12 / 4 + 1);
-        let lists: Vec<DefectList> =
-            (0..160).map(|_| DefectList::uniform(0..q, d)).collect();
-        assert_eq!(validate_arbdefective(&g, &lists, &colors, &orientation), Ok(()));
+        let lists: Vec<DefectList> = (0..160).map(|_| DefectList::uniform(0..q, d)).collect();
+        assert_eq!(
+            validate_arbdefective(&g, &lists, &colors, &orientation),
+            Ok(())
+        );
         // Every class is in range and the paper's bound q(d+1) > Δ holds.
         assert!(q * (d + 1) > 12);
         assert!(colors.iter().all(|&c| c < q));

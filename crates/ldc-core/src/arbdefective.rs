@@ -25,12 +25,12 @@
 //! `Õ(√(Δ/(d+1)))`-round shape needed by Theorem 1.4.
 
 use crate::colorspace::OldcSolver;
-use crate::ctx::{CoreError, OldcCtx};
+use crate::ctx::{span, CoreError, OldcCtx};
 use crate::params::ParamProfile;
 use crate::problem::{Color, DefectList};
 use ldc_graph::orientation::EdgeDir;
 use ldc_graph::{DirectedView, Graph, NodeId, Orientation, ProperColoring};
-use ldc_sim::{bits_for_value, MessageSize, Network};
+use ldc_sim::{bits_for_value, MessageSize, Network, Tracer};
 
 /// How the per-stage arbdefective decomposition is computed.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -80,6 +80,10 @@ pub struct ArbReport {
     pub oldc_calls: u32,
     /// Largest message over main + substrate networks.
     pub max_message_bits: u64,
+    /// Messages sent inside substrate calls (including recursive ones).
+    pub substrate_messages: u64,
+    /// Bits sent inside substrate calls (including recursive ones).
+    pub substrate_bits: u64,
 }
 
 impl ArbReport {
@@ -131,6 +135,8 @@ pub fn solve_list_arbdefective<S: OldcSolver>(
         }
     }
 
+    let tracer = net.tracer().clone();
+    let _thm13 = tracer.span(span::THM13);
     let mut report = ArbReport::default();
     let rounds_before = net.rounds();
     let mut colors: Vec<Option<Color>> = vec![None; n];
@@ -140,7 +146,10 @@ pub fn solve_list_arbdefective<S: OldcSolver>(
     let init_colors: Vec<u64> = g.nodes().map(|v| init.color(v)).collect();
 
     let uncolored_degree = |v: NodeId, colors: &[Option<Color>]| -> usize {
-        g.neighbors(v).iter().filter(|&&u| colors[u as usize].is_none()).count()
+        g.neighbors(v)
+            .iter()
+            .filter(|&&u| colors[u as usize].is_none())
+            .count()
     };
     // a_v(x): colored neighbors of v wearing x. (Node-local knowledge: every
     // colored node announced its color on the main network when it decided.)
@@ -166,6 +175,7 @@ pub fn solve_list_arbdefective<S: OldcSolver>(
      -> Result<(), CoreError> {
         // One round: freshly colored nodes broadcast their color. The driver
         // updates the `colors` table directly (receivers would do the same).
+        let _announce = tracer.span(span::ANNOUNCE);
         let mut states: Vec<Option<Color>> = fresh.to_vec();
         net.broadcast_exchange(
             &mut states,
@@ -187,8 +197,14 @@ pub fn solve_list_arbdefective<S: OldcSolver>(
         }
         report.stages += 1;
         assert!(report.stages <= max_stages, "degree halving must terminate");
-        let delta_s =
-            g.nodes().filter(|&v| colors[v as usize].is_none()).map(|v| uncolored_degree(v, &colors)).max().unwrap_or(0);
+        let _stage = tracer.span(span::stage(report.stages as usize));
+        tracer.add(span::CTR_STAGES, 1);
+        let delta_s = g
+            .nodes()
+            .filter(|&v| colors[v as usize].is_none())
+            .map(|v| uncolored_degree(v, &colors))
+            .max()
+            .unwrap_or(0);
 
         if delta_s == 0 {
             // Isolated uncolored nodes: any residual color works.
@@ -196,7 +212,10 @@ pub fn solve_list_arbdefective<S: OldcSolver>(
             for v in g.nodes() {
                 if colors[v as usize].is_none() {
                     let rl = residual_list(v, &colors);
-                    let c = rl.colors().next().expect("Σ(d+1) > deg keeps lists non-empty");
+                    let c = rl
+                        .colors()
+                        .next()
+                        .expect("Σ(d+1) > deg keeps lists non-empty");
                     fresh[v as usize] = Some(c);
                     color_time[v as usize] = time;
                 }
@@ -216,19 +235,30 @@ pub fn solve_list_arbdefective<S: OldcSolver>(
             .map(|v| lists[v as usize].len())
             .max()
             .unwrap_or(1) as f64;
-        let q_target = (lambda.powf(cfg.nu / (1.0 + cfg.nu))
-            * cfg.kappa.powf(1.0 / (1.0 + cfg.nu)))
-        .ceil()
-        .max(1.0) as u64;
+        let q_target = (lambda.powf(cfg.nu / (1.0 + cfg.nu)) * cfg.kappa.powf(1.0 / (1.0 + cfg.nu)))
+            .ceil()
+            .max(1.0) as u64;
         let delta_arb = (delta_s as u64) / (2 * q_target);
 
         // Substrate: δ-arbdefective q-coloring of the uncolored subgraph.
         let (sub, old_of_new) = g.induced_subgraph(|v| colors[v as usize].is_none());
         let sub_init = restrict_coloring(init, &old_of_new);
-        let (buckets_sub, orient_sub, sub_report) =
-            arbdefective_substrate(&sub, &sub_init, delta_arb, cfg, solver, net.bandwidth())?;
-        report.rounds_substrate += sub_report.0;
-        report.max_message_bits = report.max_message_bits.max(sub_report.1);
+        let (buckets_sub, orient_sub, sub_report) = {
+            let _substrate = tracer.span(span::SUBSTRATE);
+            arbdefective_substrate(
+                &sub,
+                &sub_init,
+                delta_arb,
+                cfg,
+                solver,
+                net.bandwidth(),
+                &tracer,
+            )?
+        };
+        report.rounds_substrate += sub_report.rounds;
+        report.max_message_bits = report.max_message_bits.max(sub_report.max_bits);
+        report.substrate_messages += sub_report.messages;
+        report.substrate_bits += sub_report.bits;
         let q = buckets_sub.q;
 
         // Map the stage orientation back to the full graph.
@@ -244,8 +274,11 @@ pub fn solve_list_arbdefective<S: OldcSolver>(
             let (a, _) = g.endpoints(e);
             let sub_forward = matches!(orient_sub.dir(e_sub), EdgeDir::Forward);
             let tail_old = if sub_forward { ou } else { ov };
-            stage_dirs[e as usize] =
-                if tail_old == a { EdgeDir::Forward } else { EdgeDir::Backward };
+            stage_dirs[e as usize] = if tail_old == a {
+                EdgeDir::Forward
+            } else {
+                EdgeDir::Backward
+            };
         }
         let stage_orientation = Orientation::from_dirs(g, stage_dirs.clone());
         let stage_view = DirectedView::from_orientation(g, &stage_orientation);
@@ -268,6 +301,8 @@ pub fn solve_list_arbdefective<S: OldcSolver>(
             if !any {
                 continue;
             }
+            let _bucket = tracer.span(span::BUCKET_OLDC);
+            tracer.add(span::CTR_OLDC_CALLS, 1);
             let mut call_lists: Vec<DefectList> = vec![DefectList::default(); n];
             for v in g.nodes() {
                 if active[v as usize] {
@@ -312,9 +347,14 @@ pub fn solve_list_arbdefective<S: OldcSolver>(
 
     let _ = time; // the final timestamp has no successor
     report.rounds_main = net.rounds() - rounds_before;
-    report.max_message_bits = report.max_message_bits.max(net.metrics().max_message_bits());
+    report.max_message_bits = report
+        .max_message_bits
+        .max(net.metrics().max_message_bits());
     let orientation = Orientation::from_dirs(g, dirs);
-    let colors: Vec<Color> = colors.into_iter().map(|c| c.expect("loop colors all")).collect();
+    let colors: Vec<Color> = colors
+        .into_iter()
+        .map(|c| c.expect("loop colors all"))
+        .collect();
     Ok((colors, orientation, report))
 }
 
@@ -333,8 +373,8 @@ fn resolve_edge(
         return; // not both colored yet
     }
     dirs[e as usize] = match tu.cmp(&tv) {
-        std::cmp::Ordering::Greater => EdgeDir::Forward,  // u later ⇒ u → v
-        std::cmp::Ordering::Less => EdgeDir::Backward,    // v later ⇒ v → u
+        std::cmp::Ordering::Greater => EdgeDir::Forward, // u later ⇒ u → v
+        std::cmp::Ordering::Less => EdgeDir::Backward,   // v later ⇒ v → u
         std::cmp::Ordering::Equal => match stage_dirs {
             Some(sd) => sd[e as usize],
             None => EdgeDir::Forward,
@@ -346,8 +386,31 @@ fn restrict_coloring(init: &ProperColoring, old_of_new: &[NodeId]) -> Vec<u64> {
     old_of_new.iter().map(|&ov| init.color(ov)).collect()
 }
 
+/// Engine totals of one substrate call (its own sub-network plus any
+/// recursive substrate calls underneath it).
+#[derive(Debug, Clone, Copy, Default)]
+struct SubStats {
+    rounds: usize,
+    max_bits: u64,
+    messages: u64,
+    bits: u64,
+}
+
+impl SubStats {
+    fn of(net: &Network<'_>) -> Self {
+        SubStats {
+            rounds: net.rounds(),
+            max_bits: net.metrics().max_message_bits(),
+            messages: net.metrics().total_messages(),
+            bits: net.metrics().total_bits(),
+        }
+    }
+}
+
 /// A `δ`-arbdefective coloring of `sub` via the configured substrate.
-/// Returns `(buckets, orientation, (rounds, max_bits))`.
+/// Returns `(buckets, orientation, engine totals)`. The caller's tracer is
+/// attached to the substrate's own network, so its rounds land in the
+/// caller's open `substrate` span rather than vanishing off-tree.
 fn arbdefective_substrate<S: OldcSolver>(
     sub: &Graph,
     sub_init: &[u64],
@@ -355,8 +418,10 @@ fn arbdefective_substrate<S: OldcSolver>(
     cfg: &ArbConfig,
     solver: &S,
     bandwidth: ldc_sim::Bandwidth,
-) -> Result<(ldc_classic::ArbdefectiveColoring, Orientation, (usize, u64)), CoreError> {
+    tracer: &Tracer,
+) -> Result<(ldc_classic::ArbdefectiveColoring, Orientation, SubStats), CoreError> {
     let mut sub_net = Network::new(sub, bandwidth);
+    sub_net.set_tracer(tracer.clone());
     let init = ProperColoring::new(
         sub,
         sub_init.to_vec(),
@@ -366,22 +431,24 @@ fn arbdefective_substrate<S: OldcSolver>(
 
     match cfg.substrate {
         Substrate::Randomized => {
-            let q = (2 * (sub.max_degree() as u64).max(1)).div_ceil(delta_arb + 1).max(2);
+            let _s = tracer.span(span::RAND_ARBDEFECTIVE);
+            let q = (2 * (sub.max_degree() as u64).max(1))
+                .div_ceil(delta_arb + 1)
+                .max(2);
             let a = ldc_classic::randomized_arbdefective(&mut sub_net, delta_arb, q, cfg.seed)
                 .map_err(CoreError::Sim)?;
             let o = a.orientation.clone();
-            let stats = (sub_net.rounds(), sub_net.metrics().max_message_bits());
+            let stats = SubStats::of(&sub_net);
             Ok((a, o, stats))
         }
         Substrate::Sequential => {
-            let q = ldc_classic::ArbdefectiveColoring::min_buckets(
-                sub.max_degree() as u64,
-                delta_arb,
-            );
+            let _s = tracer.span(span::SEQ_ARBDEFECTIVE);
+            let q =
+                ldc_classic::ArbdefectiveColoring::min_buckets(sub.max_degree() as u64, delta_arb);
             let a = ldc_classic::sequential_arbdefective(&mut sub_net, Some(&init), delta_arb, q)
                 .map_err(CoreError::Sim)?;
             let o = a.orientation.clone();
-            let stats = (sub_net.rounds(), sub_net.metrics().max_message_bits());
+            let stats = SubStats::of(&sub_net);
             Ok((a, o, stats))
         }
         Substrate::Bootstrap { levels } => {
@@ -390,7 +457,10 @@ fn arbdefective_substrate<S: OldcSolver>(
             } else {
                 Substrate::Bootstrap { levels: levels - 1 }
             };
-            let inner = ArbConfig { substrate: next, ..*cfg };
+            let inner = ArbConfig {
+                substrate: next,
+                ..*cfg
+            };
             arbdefective_substrate_inner(sub, &init, delta_arb, &inner, solver, &mut sub_net)
         }
     }
@@ -406,11 +476,12 @@ fn arbdefective_substrate_inner<S: OldcSolver>(
     inner_cfg: &ArbConfig,
     solver: &S,
     sub_net: &mut Network<'_>,
-) -> Result<(ldc_classic::ArbdefectiveColoring, Orientation, (usize, u64)), CoreError> {
+) -> Result<(ldc_classic::ArbdefectiveColoring, Orientation, SubStats), CoreError> {
     let delta = sub.max_degree() as u64;
     let q = (delta / (delta_arb + 1) + 1).max(1);
-    let lists: Vec<DefectList> =
-        (0..sub.num_nodes()).map(|_| DefectList::uniform(0..q, delta_arb)).collect();
+    let lists: Vec<DefectList> = (0..sub.num_nodes())
+        .map(|_| DefectList::uniform(0..q, delta_arb))
+        .collect();
     let (buckets, orientation, rep) =
         solve_list_arbdefective(sub_net, q, &lists, init, inner_cfg, solver)?;
     let a = ldc_classic::ArbdefectiveColoring {
@@ -419,7 +490,12 @@ fn arbdefective_substrate_inner<S: OldcSolver>(
         arbdefect: delta_arb,
         orientation: orientation.clone(),
     };
-    let stats = (rep.rounds_total(), rep.max_message_bits);
+    let stats = SubStats {
+        rounds: rep.rounds_total(),
+        max_bits: rep.max_message_bits,
+        messages: sub_net.metrics().total_messages() + rep.substrate_messages,
+        bits: sub_net.metrics().total_bits() + rep.substrate_bits,
+    };
     Ok((a, orientation, stats))
 }
 
@@ -432,8 +508,10 @@ pub fn solve_degree_plus_one<S: OldcSolver>(
     cfg: &ArbConfig,
     solver: &S,
 ) -> Result<(Vec<Color>, ArbReport), CoreError> {
-    let dls: Vec<DefectList> =
-        lists.iter().map(|l| DefectList::uniform(l.iter().copied(), 0)).collect();
+    let dls: Vec<DefectList> = lists
+        .iter()
+        .map(|l| DefectList::uniform(l.iter().copied(), 0))
+        .collect();
     let (colors, _orientation, report) =
         solve_list_arbdefective(net, space, &dls, init, cfg, solver)?;
     Ok((colors, report))
@@ -463,8 +541,9 @@ mod tests {
         g.nodes()
             .map(|v| {
                 let need = g.degree(v) as u64 + 1;
-                let mut l: Vec<Color> =
-                    (0..need).map(|i| (u64::from(v) * 13 + i * 97) % space).collect();
+                let mut l: Vec<Color> = (0..need)
+                    .map(|i| (u64::from(v) * 13 + i * 97) % space)
+                    .collect();
                 l.sort_unstable();
                 l.dedup();
                 let mut c = 0;
@@ -489,8 +568,7 @@ mod tests {
         let init = ProperColoring::by_id(&g);
         let cfg = cfg_for(8, space, 120);
         let (colors, report) =
-            solve_degree_plus_one(&mut net, space, &lists, &init, &cfg, &Theorem11Solver)
-                .unwrap();
+            solve_degree_plus_one(&mut net, space, &lists, &init, &cfg, &Theorem11Solver).unwrap();
         assert_eq!(validate_proper_list_coloring(&g, &lists, &colors), Ok(()));
         assert!(report.stages >= 1 && report.oldc_calls >= 1);
     }
@@ -504,8 +582,7 @@ mod tests {
         let init = ProperColoring::by_id(&g);
         let cfg = cfg_for(g.max_degree(), space, 150);
         let (colors, _) =
-            solve_degree_plus_one(&mut net, space, &lists, &init, &cfg, &Theorem11Solver)
-                .unwrap();
+            solve_degree_plus_one(&mut net, space, &lists, &init, &cfg, &Theorem11Solver).unwrap();
         assert_eq!(validate_proper_list_coloring(&g, &lists, &colors), Ok(()));
     }
 
@@ -518,8 +595,7 @@ mod tests {
         let init = ProperColoring::by_id(&g);
         let cfg = cfg_for(19, space, 20);
         let (colors, _) =
-            solve_degree_plus_one(&mut net, space, &lists, &init, &cfg, &Theorem11Solver)
-                .unwrap();
+            solve_degree_plus_one(&mut net, space, &lists, &init, &cfg, &Theorem11Solver).unwrap();
         assert_eq!(validate_proper_list_coloring(&g, &lists, &colors), Ok(()));
     }
 
@@ -547,20 +623,21 @@ mod tests {
         let (colors, orientation, _) =
             solve_list_arbdefective(&mut net, space, &lists, &init, &cfg, &Theorem11Solver)
                 .unwrap();
-        assert_eq!(validate_arbdefective(&g, &lists, &colors, &orientation), Ok(()));
+        assert_eq!(
+            validate_arbdefective(&g, &lists, &colors, &orientation),
+            Ok(())
+        );
     }
 
     #[test]
     fn rejects_undersized_lists() {
         let g = generators::complete(6);
-        let lists: Vec<DefectList> =
-            (0..6).map(|_| DefectList::uniform(0..5, 0)).collect();
+        let lists: Vec<DefectList> = (0..6).map(|_| DefectList::uniform(0..5, 0)).collect();
         let mut net = Network::new(&g, Bandwidth::Local);
         let init = ProperColoring::by_id(&g);
         let cfg = cfg_for(5, 5, 6);
-        let err =
-            solve_list_arbdefective(&mut net, 5, &lists, &init, &cfg, &Theorem11Solver)
-                .unwrap_err();
+        let err = solve_list_arbdefective(&mut net, 5, &lists, &init, &cfg, &Theorem11Solver)
+            .unwrap_err();
         assert!(matches!(err, CoreError::Precondition { .. }));
     }
 
@@ -572,7 +649,10 @@ mod tests {
         let init = ProperColoring::by_id(&g);
         for substrate in [Substrate::Sequential, Substrate::Bootstrap { levels: 1 }] {
             let mut net = Network::new(&g, Bandwidth::Local);
-            let cfg = ArbConfig { substrate, ..cfg_for(6, space, 80) };
+            let cfg = ArbConfig {
+                substrate,
+                ..cfg_for(6, space, 80)
+            };
             let (colors, _) =
                 solve_degree_plus_one(&mut net, space, &lists, &init, &cfg, &Theorem11Solver)
                     .unwrap();

@@ -14,7 +14,7 @@
 //! engine's *group* mechanism: the group id is refined by the chosen block
 //! at every level.
 
-use crate::ctx::{CoreError, OldcCtx};
+use crate::ctx::{span as spans, CoreError, OldcCtx};
 use crate::oldc::solve_oldc;
 use crate::problem::{Color, DefectList};
 use ldc_sim::Network;
@@ -88,6 +88,9 @@ pub fn reduce_color_space<S: OldcSolver>(
     if levels <= 1 {
         return inner.solve(net, ctx, lists);
     }
+    let tracer = net.tracer().clone();
+    let _thm12 = tracer.span(spans::THM12);
+    tracer.set_max(spans::CTR_RECURSION_DEPTH, u64::from(levels));
 
     // Mutable recursion state.
     let mut cur_lists: Vec<DefectList> = lists.to_vec();
@@ -96,6 +99,7 @@ pub fn reduce_color_space<S: OldcSolver>(
     let mut span: Vec<u64> = vec![ctx.space; n]; // current block width
 
     for level in (1..levels).rev() {
+        let _lvl = tracer.span(spans::reduce_level((levels - level) as usize));
         // Each node partitions its current span into p blocks and builds the
         // auxiliary instance over [p].
         let kappa_rem = cfg.kappa_p.powi(level as i32); // κ(p)^(remaining levels)
@@ -132,7 +136,12 @@ pub fn reduce_color_space<S: OldcSolver>(
         }
 
         // Solve the auxiliary block-choice instance over [p].
-        let aux_ctx = OldcCtx { space: cfg.p, group: &group, ..*ctx };
+        let aux_ctx = OldcCtx {
+            space: cfg.p,
+            group: &group,
+            ..*ctx
+        };
+        tracer.add(spans::CTR_OLDC_CALLS, 1);
         let picks = inner.solve(net, &aux_ctx, &aux_lists)?;
 
         // Refine: shrink lists/spans, derive new groups.
@@ -150,7 +159,9 @@ pub fn reduce_color_space<S: OldcSolver>(
             // ids across branches; aliasing is harmless for validity (the
             // branches' color blocks are disjoint, so "same color" cannot
             // occur) — it only conservatively inflates the census β.
-            group[v] = group[v].wrapping_mul(cfg.p.wrapping_add(1)).wrapping_add(b + 1);
+            group[v] = group[v]
+                .wrapping_mul(cfg.p.wrapping_add(1))
+                .wrapping_add(b + 1);
         }
     }
 
@@ -163,13 +174,24 @@ pub fn reduce_color_space<S: OldcSolver>(
         .max()
         .unwrap_or(1);
     let translated: Vec<DefectList> = (0..n)
-        .map(|v| cur_lists[v].iter().map(|(c, d)| (c - offset[v], d)).collect())
+        .map(|v| {
+            cur_lists[v]
+                .iter()
+                .map(|(c, d)| (c - offset[v], d))
+                .collect()
+        })
         .collect();
-    let base_ctx = OldcCtx { space: base_space, group: &group, ..*ctx };
-    let base = inner.solve(net, &base_ctx, &translated)?;
-    Ok((0..n)
-        .map(|v| base[v].map(|c| c + offset[v]))
-        .collect())
+    let base_ctx = OldcCtx {
+        space: base_space,
+        group: &group,
+        ..*ctx
+    };
+    let base = {
+        let _base = tracer.span(spans::BASE_SOLVE);
+        tracer.add(spans::CTR_OLDC_CALLS, 1);
+        inner.solve(net, &base_ctx, &translated)?
+    };
+    Ok((0..n).map(|v| base[v].map(|c| c + offset[v])).collect())
 }
 
 /// Corollary 4.1's block-size choice: `p = 2^Θ(√(log β · log κ))`
@@ -199,7 +221,11 @@ pub fn solve_with_corollary_41<S: OldcSolver>(
     // Balance point uses κ at a provisional p, then re-evaluates once.
     let provisional = corollary_41_block_size(beta_estimate, kappa_of_p(64), ctx.space);
     let p = corollary_41_block_size(beta_estimate, kappa_of_p(provisional), ctx.space);
-    let cfg = ReductionConfig { p, nu, kappa_p: kappa_of_p(p) };
+    let cfg = ReductionConfig {
+        p,
+        nu,
+        kappa_p: kappa_of_p(p),
+    };
     reduce_color_space(net, ctx, lists, cfg, inner)
 }
 
@@ -258,8 +284,15 @@ mod tests {
         let kappa = crate::params::practical_kappa(profile, 4, 256, n as u64);
         let lists = uniform_oldc_lists(n, space, 16384, 15);
         let mass = 16384.0 * 256.0;
-        assert!(mass >= 16.0 * kappa * kappa, "test must satisfy Thm 1.2 condition");
-        let cfg = ReductionConfig { p: 256, nu: 1.0, kappa_p: kappa };
+        assert!(
+            mass >= 16.0 * kappa * kappa,
+            "test must satisfy Thm 1.2 condition"
+        );
+        let cfg = ReductionConfig {
+            p: 256,
+            nu: 1.0,
+            kappa_p: kappa,
+        };
         let mut net = Network::new(&g, Bandwidth::Local);
         let colors = reduce_color_space(&mut net, &ctx, &lists, cfg, &Theorem11Solver).unwrap();
         let colors: Vec<u64> = colors.iter().map(|c| c.unwrap()).collect();
@@ -300,7 +333,11 @@ mod tests {
 
         let mut net_reduced = Network::new(&g, Bandwidth::Local);
         let kappa = crate::params::practical_kappa(profile, 4, 256, n as u64);
-        let cfg = ReductionConfig { p: 256, nu: 1.0, kappa_p: kappa };
+        let cfg = ReductionConfig {
+            p: 256,
+            nu: 1.0,
+            kappa_p: kappa,
+        };
         let reduced =
             reduce_color_space(&mut net_reduced, &ctx, &lists, cfg, &Theorem11Solver).unwrap();
         let reduced_colors: Vec<u64> = reduced.iter().map(|c| c.unwrap()).collect();
@@ -369,7 +406,10 @@ mod tests {
         assert_eq!(corollary_42_block_size(1 << 16, 2), 256);
         assert_eq!(corollary_42_block_size(1 << 16, 4), 16);
         let p = corollary_42_block_size(1000, 3);
-        assert!(p.pow(3) >= 1000 / 2, "p={p} cubed should cover most of 1000");
+        assert!(
+            p.pow(3) >= 1000 / 2,
+            "p={p} cubed should cover most of 1000"
+        );
         assert!(u128::from(p).pow(3) <= 8 * 1000, "p={p} not wildly over");
     }
 
@@ -392,7 +432,11 @@ mod tests {
             seed: 2,
         };
         let lists = uniform_oldc_lists(16, space, 128, 1);
-        let cfg = ReductionConfig { p: 256, nu: 1.0, kappa_p: 10.0 };
+        let cfg = ReductionConfig {
+            p: 256,
+            nu: 1.0,
+            kappa_p: 10.0,
+        };
         let mut net = Network::new(&g, Bandwidth::Local);
         let colors = reduce_color_space(&mut net, &ctx, &lists, cfg, &Theorem11Solver).unwrap();
         let colors: Vec<u64> = colors.iter().map(|c| c.unwrap()).collect();

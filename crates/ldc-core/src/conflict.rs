@@ -65,7 +65,11 @@ pub fn psi_g(k1: &[Vec<Color>], k2: &[Vec<Color>], tau_prime: u64, tau: u64, g: 
 /// 3.2.2 (input need not be sorted; output is sorted).
 pub fn residue_restrict(colors: &[Color], a: u64, g: u64) -> Vec<Color> {
     let modulus = 2 * g + 1;
-    let mut out: Vec<Color> = colors.iter().copied().filter(|&x| x % modulus == a).collect();
+    let mut out: Vec<Color> = colors
+        .iter()
+        .copied()
+        .filter(|&x| x % modulus == a)
+        .collect();
     out.sort_unstable();
     out
 }
@@ -78,7 +82,9 @@ pub fn best_residue(colors: &[Color], g: u64) -> u64 {
     for &x in colors {
         counts[(x % modulus) as usize] += 1;
     }
-    (0..modulus).max_by_key(|&a| (counts[a as usize], std::cmp::Reverse(a))).unwrap_or(0)
+    (0..modulus)
+        .max_by_key(|&a| (counts[a as usize], std::cmp::Reverse(a)))
+        .unwrap_or(0)
 }
 
 #[cfg(test)]
@@ -101,7 +107,11 @@ mod tests {
         let a = vec![1, 4, 9, 16, 25];
         let b = vec![2, 3, 5, 8, 13, 21];
         for g in 0..5 {
-            assert_eq!(conflict_weight(&a, &b, g), conflict_weight(&b, &a, g), "g = {g}");
+            assert_eq!(
+                conflict_weight(&a, &b, g),
+                conflict_weight(&b, &a, g),
+                "g = {g}"
+            );
         }
     }
 

@@ -21,10 +21,10 @@
 
 use crate::arbdefective::{solve_degree_plus_one, ArbConfig, ArbReport, Substrate};
 use crate::colorspace::{reduce_color_space, OldcSolver, ReductionConfig, Theorem11Solver};
-use crate::ctx::{CoreError, OldcCtx};
+use crate::ctx::{span, CoreError, OldcCtx};
 use crate::params::{practical_kappa, ParamProfile};
 use crate::problem::{Color, DefectList};
-use ldc_sim::{Bandwidth, Network};
+use ldc_sim::{Bandwidth, Network, Tracer};
 
 /// Which branch of Theorem 1.4 ran.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -48,6 +48,10 @@ pub struct CongestReport {
     pub max_message_bits: u64,
     /// The enforced CONGEST budget, in bits.
     pub bandwidth_bits: u64,
+    /// Total messages across the main and all substrate networks.
+    pub messages_total: u64,
+    /// Total bits across the main and all substrate networks.
+    pub bits_total: u64,
     /// Arbdefective-driver details (√Δ branch only).
     pub arb: Option<ArbReport>,
 }
@@ -103,7 +107,11 @@ impl OldcSolver for ReducedTheorem11 {
         ctx: &OldcCtx<'_, '_>,
         lists: &[DefectList],
     ) -> Result<Vec<Option<Color>>, CoreError> {
-        let cfg = ReductionConfig { p: self.p, nu: 1.0, kappa_p: self.kappa_p };
+        let cfg = ReductionConfig {
+            p: self.p,
+            nu: 1.0,
+            kappa_p: self.kappa_p,
+        };
         reduce_color_space(net, ctx, lists, cfg, &Theorem11Solver)
     }
 }
@@ -131,6 +139,20 @@ pub fn congest_degree_plus_one(
     lists: &[Vec<Color>],
     cfg: &CongestConfig,
 ) -> Result<(Vec<Color>, CongestReport), CoreError> {
+    congest_degree_plus_one_traced(g, space, lists, cfg, Tracer::disabled())
+}
+
+/// [`congest_degree_plus_one`] with a phase-span [`Tracer`] attached: the
+/// tracer rides on the main network and is propagated into every substrate
+/// sub-network, so the resulting span tree accounts for *all* rounds of the
+/// Theorem 1.4 pipeline.
+pub fn congest_degree_plus_one_traced(
+    g: &ldc_graph::Graph,
+    space: u64,
+    lists: &[Vec<Color>],
+    cfg: &CongestConfig,
+    tracer: Tracer,
+) -> Result<(Vec<Color>, CongestReport), CoreError> {
     let n = g.num_nodes();
     assert_eq!(lists.len(), n);
     let delta = g.max_degree();
@@ -140,32 +162,42 @@ pub fn congest_degree_plus_one(
         Bandwidth::Local => unreachable!(),
     };
     let mut net = Network::new(g, bandwidth);
+    net.set_tracer(tracer.clone());
+    let _thm14 = tracer.span(span::THM14);
 
     // Step 1: Linial's O(Δ²)-coloring in O(log* n) rounds.
-    let init = ldc_classic::linial_coloring(&mut net, None).map_err(CoreError::Sim)?;
+    let init = {
+        let _linial = tracer.span(span::LINIAL_INIT);
+        ldc_classic::linial_coloring(&mut net, None).map_err(CoreError::Sim)?
+    };
 
     // Branch rule: the √Δ pipeline is the paper's contribution for
     // Δ ≲ log² n; above that the classic O(Δ²) baseline loses and GK21
     // (substituted per §S4) would take over.
     let log_n = (n.max(2) as f64).log2();
-    let branch = cfg.force_branch.unwrap_or(if (delta as f64) <= log_n * log_n {
-        CongestBranch::SqrtDelta
-    } else {
-        CongestBranch::ClassIteration
-    });
+    let branch = cfg
+        .force_branch
+        .unwrap_or(if (delta as f64) <= log_n * log_n {
+            CongestBranch::SqrtDelta
+        } else {
+            CongestBranch::ClassIteration
+        });
 
     match branch {
         CongestBranch::ClassIteration => {
-            let colors = ldc_classic::reduction::class_iteration_list_coloring(
-                &mut net, &init, lists,
-            )
-            .map_err(CoreError::Sim)?;
+            let colors = {
+                let _ci = tracer.span(span::CLASS_ITERATION);
+                ldc_classic::reduction::class_iteration_list_coloring(&mut net, &init, lists)
+                    .map_err(CoreError::Sim)?
+            };
             let report = CongestReport {
                 branch,
                 rounds_main: net.rounds(),
                 rounds_substrate: 0,
                 max_message_bits: net.metrics().max_message_bits(),
                 bandwidth_bits: budget,
+                messages_total: net.metrics().total_messages(),
+                bits_total: net.metrics().total_bits(),
                 arb: None,
             };
             Ok((colors, report))
@@ -196,11 +228,10 @@ pub fn congest_degree_plus_one(
                 branch,
                 rounds_main: net.rounds(),
                 rounds_substrate: arb.rounds_substrate,
-                max_message_bits: net
-                    .metrics()
-                    .max_message_bits()
-                    .max(arb.max_message_bits),
+                max_message_bits: net.metrics().max_message_bits().max(arb.max_message_bits),
                 bandwidth_bits: budget,
+                messages_total: net.metrics().total_messages() + arb.substrate_messages,
+                bits_total: net.metrics().total_bits() + arb.substrate_bits,
                 arb: Some(arb),
             };
             Ok((colors, report))
@@ -292,11 +323,21 @@ mod tests {
     #[test]
     fn error_types_render() {
         use crate::ctx::CoreError;
-        let e = CoreError::Precondition { node: 3, detail: "too small".into() };
+        let e = CoreError::Precondition {
+            node: 3,
+            detail: "too small".into(),
+        };
         assert!(e.to_string().contains("node 3"));
-        let e = CoreError::SelectionExhausted { node: 1, attempts: 48 };
+        let e = CoreError::SelectionExhausted {
+            node: 1,
+            attempts: 48,
+        };
         assert!(e.to_string().contains("48"));
-        let e = CoreError::PigeonholeFailed { node: 2, best: 5, budget: 1 };
+        let e = CoreError::PigeonholeFailed {
+            node: 2,
+            best: 5,
+            budget: 1,
+        };
         assert!(e.to_string().contains("budget"));
         let e = CoreError::Sim(ldc_sim::SimError::BandwidthExceeded {
             round: 0,
@@ -324,7 +365,10 @@ mod tests {
             };
             let (colors, report) = congest_degree_plus_one(&g, space, &lists, &cfg).unwrap();
             validate_proper_list_coloring(&g, &lists, &colors).unwrap();
-            assert!(report.max_message_bits <= report.bandwidth_bits, "{substrate:?}");
+            assert!(
+                report.max_message_bits <= report.bandwidth_bits,
+                "{substrate:?}"
+            );
         }
     }
 

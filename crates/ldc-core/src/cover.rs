@@ -52,7 +52,11 @@ impl SeededSubset {
     /// # Panics
     /// Panics if `k > list.len()`.
     pub fn select(&self, init_color: u64, list: &[Color], k: usize, attempt: u32) -> Vec<Color> {
-        assert!(k <= list.len(), "cannot select {k} colors from a list of {}", list.len());
+        assert!(
+            k <= list.len(),
+            "cannot select {k} colors from a list of {}",
+            list.len()
+        );
         let mut state = self
             .seed
             .wrapping_mul(0x9e3779b97f4a7c15)
@@ -113,6 +117,7 @@ pub type NodeType = (u64, Vec<Color>);
 ///
 /// Returns `None` if the greedy gets stuck (parameters too tight for the
 /// counting argument of Lemma 3.2).
+#[allow(clippy::too_many_arguments)]
 pub fn exact_greedy(
     space: u64,
     m: u64,

@@ -7,6 +7,85 @@ use ldc_graph::{DirectedView, NodeId};
 use ldc_sim::{bits_for_value, MessageSize, SimError};
 use std::sync::Arc;
 
+/// Canonical span names of the phase-span trace taxonomy: **one span name
+/// per paper artifact** (theorem, lemma, or phase), so a trace of any
+/// pipeline reads like the paper's accounting. Every theorem pipeline pulls
+/// the [`ldc_sim::Tracer`] off its [`ldc_sim::Network`] and opens these
+/// spans at its artifact boundaries; see DESIGN.md §Observability.
+pub mod span {
+    /// Theorem 1.1 (`solve_oldc`): the OLDC algorithm.
+    pub const THM11: &str = "thm1.1";
+    /// Theorem 1.2 (`reduce_color_space`): recursive color-space reduction.
+    pub const THM12: &str = "thm1.2";
+    /// Theorem 1.3 (`solve_list_arbdefective`): the arbdefective driver.
+    pub const THM13: &str = "thm1.3";
+    /// Theorem 1.4 (`congest_degree_plus_one`): CONGEST (deg+1)-coloring.
+    pub const THM14: &str = "thm1.4";
+    /// The census round computing β / group degrees (Lemma 3.7 setup).
+    pub const CENSUS: &str = "census";
+    /// The auxiliary multi-defect instance assigning γ-classes (Thm 1.1).
+    pub const AUX_CLASSES: &str = "aux-classes";
+    /// Lemma 3.7 Phase 0: laggards commit their candidate sets.
+    pub const PHASE0: &str = "phase0";
+    /// Lemma 3.7 Phase I for γ-class `i` (ascending selection/verification).
+    pub fn phase_i(class: u32) -> String {
+        format!("phaseI[class={class}]")
+    }
+    /// Lemma 3.7 Phase II: descending decision rounds.
+    pub const PHASE2: &str = "phaseII";
+    /// §3.2's P2 selection / P1 verification loop (all retries, one span).
+    pub const SELECTION: &str = "p2-selection";
+    /// §3.2.3's decision rounds (trivial nodes + descending γ-classes).
+    pub const DECIDE: &str = "decide";
+    /// Laggard fallback chain (Lemma 3.8's sequential tail).
+    pub const LAGGARD_CHAIN: &str = "laggard-chain";
+    /// One recursion level of Theorem 1.2's color-space reduction.
+    pub fn reduce_level(depth: usize) -> String {
+        format!("colorspace-reduce[depth={depth}]")
+    }
+    /// The base-level OLDC solve under Theorem 1.2.
+    pub const BASE_SOLVE: &str = "base-solve";
+    /// One degree-halving stage of Theorem 1.3.
+    pub fn stage(i: usize) -> String {
+        format!("stage[{i}]")
+    }
+    /// The substrate arbdefective call inside a Theorem 1.3 stage.
+    pub const SUBSTRATE: &str = "substrate";
+    /// One per-bucket OLDC call inside a Theorem 1.3 stage.
+    pub const BUCKET_OLDC: &str = "bucket-oldc";
+    /// The announce/orientation-resolution rounds of a Theorem 1.3 stage.
+    pub const ANNOUNCE: &str = "announce";
+    /// Linial's O(log* n) initial coloring (ldc-classic).
+    pub const LINIAL_INIT: &str = "linial-init";
+    /// Color-class iteration list-coloring baseline (ldc-classic).
+    pub const CLASS_ITERATION: &str = "class-iteration";
+    /// Kuhn–Wattenhofer style palette reduction (ldc-classic).
+    pub const KW_REDUCTION: &str = "kw-reduction";
+    /// Luby-style randomized list coloring baseline (ldc-classic).
+    pub const LUBY: &str = "luby";
+    /// Kuhn'09 defective coloring baseline (ldc-classic).
+    pub const DEFECTIVE: &str = "kuhn-defective";
+    /// Sequential (color-by-color) arbdefective substrate (ldc-classic).
+    pub const SEQ_ARBDEFECTIVE: &str = "seq-arbdefective";
+    /// Randomized draw-and-settle arbdefective substrate (ldc-classic).
+    pub const RAND_ARBDEFECTIVE: &str = "rand-arbdefective";
+
+    /// Counter: selection/verification retries (`SeededSubset` redraws).
+    pub const CTR_SELECTION_RETRIES: &str = "selection-retries";
+    /// Counter: colors pruned by frequency capping in Phase II.
+    pub const CTR_PRUNED_COLORS: &str = "pruned-colors";
+    /// Counter: laggard chain iterations (high-water mark).
+    pub const CTR_LAGGARD_CHAIN_DEPTH: &str = "laggard-chain-depth";
+    /// Counter: sum over rounds of still-undecided nodes.
+    pub const CTR_UNDECIDED_NODE_ROUNDS: &str = "undecided-node-rounds";
+    /// Counter: recursion depth (high-water mark).
+    pub const CTR_RECURSION_DEPTH: &str = "recursion-depth";
+    /// Counter: number of OLDC sub-calls issued.
+    pub const CTR_OLDC_CALLS: &str = "oldc-calls";
+    /// Counter: degree-halving stages executed.
+    pub const CTR_STAGES: &str = "stages";
+}
+
 /// Context for one invocation of an OLDC algorithm.
 ///
 /// `active` and `group` realize the two scoping mechanisms the paper's
@@ -37,6 +116,7 @@ pub struct OldcCtx<'a, 'g> {
 
 impl<'a, 'g> OldcCtx<'a, 'g> {
     /// Context over the whole node set in one group.
+    #[allow(clippy::too_many_arguments)]
     pub fn whole_graph(
         view: &'a DirectedView<'g>,
         space: u64,
@@ -47,7 +127,16 @@ impl<'a, 'g> OldcCtx<'a, 'g> {
         profile: crate::params::ParamProfile,
         seed: u64,
     ) -> Self {
-        OldcCtx { view, space, init, m, active: all_active, group: one_group, profile, seed }
+        OldcCtx {
+            view,
+            space,
+            init,
+            m,
+            active: all_active,
+            group: one_group,
+            profile,
+            seed,
+        }
     }
 }
 
@@ -190,7 +279,11 @@ mod tests {
 
     #[test]
     fn decision_msg_costs_one_color() {
-        let m = DecisionMsg { color: 5, group: 0, space: 1 << 10 };
+        let m = DecisionMsg {
+            color: 5,
+            group: 0,
+            space: 1 << 10,
+        };
         assert_eq!(m.bits(), 11);
     }
 }

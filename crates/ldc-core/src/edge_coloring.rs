@@ -11,10 +11,13 @@
 //! module makes explicit by running the simulator on `L(G)` and charging
 //! the 2× overhead in the returned report).
 
-use crate::congest::{congest_degree_plus_one, CongestConfig, CongestReport};
+use crate::congest::{
+    congest_degree_plus_one, congest_degree_plus_one_traced, CongestConfig, CongestReport,
+};
 use crate::ctx::CoreError;
 use crate::problem::Color;
 use ldc_graph::{generators, EdgeId, Graph};
+use ldc_sim::Tracer;
 
 /// Outcome of [`edge_coloring`].
 #[derive(Debug, Clone)]
@@ -67,6 +70,16 @@ pub fn edge_degree(g: &Graph, e: EdgeId) -> usize {
 /// coloring with the full palette `0..2Δ−1`), by running Theorem 1.4 on
 /// the line graph.
 pub fn edge_coloring(g: &Graph, cfg: &CongestConfig) -> Result<EdgeColoring, CoreError> {
+    edge_coloring_traced(g, cfg, Tracer::disabled())
+}
+
+/// [`edge_coloring`] with a phase-span [`Tracer`] attached to the run on
+/// the line graph (spans carry Theorem 1.4's taxonomy).
+pub fn edge_coloring_traced(
+    g: &Graph,
+    cfg: &CongestConfig,
+    tracer: Tracer,
+) -> Result<EdgeColoring, CoreError> {
     let lg = generators::line_graph(g);
     let space = (2 * g.max_degree()).saturating_sub(1).max(1) as u64;
     let lists: Vec<Vec<Color>> = lg
@@ -78,7 +91,7 @@ pub fn edge_coloring(g: &Graph, cfg: &CongestConfig) -> Result<EdgeColoring, Cor
             (0..need.min(space)).collect()
         })
         .collect();
-    let (colors, report) = congest_degree_plus_one(&lg, space, &lists, cfg)?;
+    let (colors, report) = congest_degree_plus_one_traced(&lg, space, &lists, cfg, tracer)?;
     let out = EdgeColoring { colors, report };
     debug_assert!(out.validate(g).is_ok(), "{:?}", out.validate(g));
     Ok(out)
@@ -132,8 +145,9 @@ mod tests {
             .nodes()
             .map(|e| {
                 let need = lg.degree(e) + 1;
-                let mut l: Vec<u64> =
-                    (0..need as u64).map(|i| (u64::from(e) * 13 + i * 5) % space).collect();
+                let mut l: Vec<u64> = (0..need as u64)
+                    .map(|i| (u64::from(e) * 13 + i * 5) % space)
+                    .collect();
                 l.sort_unstable();
                 l.dedup();
                 let mut c = 0;

@@ -65,13 +65,15 @@ pub struct LdcSolution {
 /// assert_eq!(sol.colors.len(), 6);
 /// ```
 pub fn solve_ldc(inst: &LdcInstance<'_>) -> Result<LdcSolution, ExistenceError> {
-    inst.check_existence_condition().map_err(ExistenceError::ConditionViolated)?;
+    inst.check_existence_condition()
+        .map_err(ExistenceError::ConditionViolated)?;
     let g = inst.graph;
     let n = g.num_nodes();
 
     // Arbitrary initial list coloring: everyone takes its first list color.
-    let mut colors: Vec<Color> =
-        (0..n).map(|v| inst.lists[v].colors().next().expect("non-empty list")).collect();
+    let mut colors: Vec<Color> = (0..n)
+        .map(|v| inst.lists[v].colors().next().expect("non-empty list"))
+        .collect();
 
     // same_count[v] = number of neighbors sharing v's current color.
     let mut same_count: Vec<u64> = vec![0; n];
@@ -160,7 +162,11 @@ pub fn solve_ldc(inst: &LdcInstance<'_>) -> Result<LdcSolution, ExistenceError> 
     }
 
     debug_assert_eq!(validate::validate_ldc(g, &inst.lists, &colors), Ok(()));
-    Ok(LdcSolution { colors, recolor_steps: steps, initial_potential })
+    Ok(LdcSolution {
+        colors,
+        recolor_steps: steps,
+        initial_potential,
+    })
 }
 
 /// Outcome of [`solve_arbdefective`].
@@ -175,12 +181,16 @@ pub struct ArbSolution {
 /// Lemma A.2: solve a list arbdefective coloring instance satisfying
 /// Eq. (2), by doubling defects and Euler-balancing each color class.
 pub fn solve_arbdefective(inst: &LdcInstance<'_>) -> Result<ArbSolution, ExistenceError> {
-    inst.check_arb_existence_condition().map_err(ExistenceError::ConditionViolated)?;
+    inst.check_arb_existence_condition()
+        .map_err(ExistenceError::ConditionViolated)?;
     let g = inst.graph;
     let doubled = LdcInstance::new(
         g,
         inst.space,
-        inst.lists.iter().map(|l| l.map_defects(|_, d| 2 * d)).collect(),
+        inst.lists
+            .iter()
+            .map(|l| l.map_defects(|_, d| 2 * d))
+            .collect(),
     );
     let ldc = solve_ldc(&doubled)?;
     let colors = ldc.colors;
@@ -192,14 +202,21 @@ pub fn solve_arbdefective(inst: &LdcInstance<'_>) -> Result<ArbSolution, Existen
         std::collections::HashMap::new();
     for (e, u, v) in g.edges() {
         if colors[u as usize] == colors[v as usize] {
-            classes.entry(colors[u as usize]).or_default().push((u, v, e as usize));
+            classes
+                .entry(colors[u as usize])
+                .or_default()
+                .push((u, v, e as usize));
         }
     }
     for (_, class_edges) in classes {
         let pairs: Vec<(u32, u32)> = class_edges.iter().map(|&(u, v, _)| (u, v)).collect();
         let fwd = balanced_orientation(g.num_nodes(), &pairs);
         for (&(_, _, e), f) in class_edges.iter().zip(fwd) {
-            dirs[e] = if f { EdgeDir::Forward } else { EdgeDir::Backward };
+            dirs[e] = if f {
+                EdgeDir::Forward
+            } else {
+                EdgeDir::Backward
+            };
         }
     }
     let orientation = Orientation::from_dirs(g, dirs);
@@ -207,7 +224,10 @@ pub fn solve_arbdefective(inst: &LdcInstance<'_>) -> Result<ArbSolution, Existen
         validate::validate_arbdefective(g, &inst.lists, &colors, &orientation),
         Ok(())
     );
-    Ok(ArbSolution { colors, orientation })
+    Ok(ArbSolution {
+        colors,
+        orientation,
+    })
 }
 
 #[cfg(test)]
@@ -221,7 +241,9 @@ mod tests {
         colors: std::ops::Range<u64>,
         d: u64,
     ) -> LdcInstance<'_> {
-        let lists = (0..g.num_nodes()).map(|_| DefectList::uniform(colors.clone(), d)).collect();
+        let lists = (0..g.num_nodes())
+            .map(|_| DefectList::uniform(colors.clone(), d))
+            .collect();
         LdcInstance::new(g, ColorSpace::new(colors.end), lists)
     }
 
@@ -240,7 +262,10 @@ mod tests {
         let g = generators::complete(6);
         let lists = (0..6).map(|_| DefectList::uniform(0..5, 0)).collect();
         let inst = LdcInstance::new(&g, ColorSpace::new(5), lists);
-        assert_eq!(solve_ldc(&inst).unwrap_err(), ExistenceError::ConditionViolated(0));
+        assert_eq!(
+            solve_ldc(&inst).unwrap_err(),
+            ExistenceError::ConditionViolated(0)
+        );
     }
 
     #[test]
@@ -258,7 +283,13 @@ mod tests {
                     (0..twos).map(|i| (i + u64::from(v) % 7, 1)).collect();
                 let base = 100 + u64::from(v) % 13;
                 entries.extend((0..ones).map(|i| (base + i, 0)));
-                DefectList::new(entries.into_iter().collect::<std::collections::BTreeMap<_, _>>().into_iter().collect())
+                DefectList::new(
+                    entries
+                        .into_iter()
+                        .collect::<std::collections::BTreeMap<_, _>>()
+                        .into_iter()
+                        .collect(),
+                )
             })
             .collect();
         let inst = LdcInstance::new(&g, ColorSpace::new(1 << 20), lists);

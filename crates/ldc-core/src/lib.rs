@@ -27,16 +27,16 @@
 pub mod api;
 pub mod applications;
 pub mod arbdefective;
-pub mod congest;
 pub mod colorspace;
 pub mod conflict;
+pub mod congest;
 pub mod cover;
 pub mod ctx;
 pub mod edge_coloring;
 pub mod euler;
 pub mod existence;
-pub mod multi_defect;
 pub mod mt20;
+pub mod multi_defect;
 pub mod oldc;
 pub mod params;
 pub mod problem;

@@ -41,6 +41,7 @@ pub struct TwoRoundOutcome {
 ///
 /// `lists[v]` needs `≥ α·β²·τ` colors below `space` (checked loosely: the
 /// engine reports a precondition error when `k = β·τ` exceeds the list).
+#[allow(clippy::too_many_arguments)]
 pub fn two_round_list_coloring(
     net: &mut Network<'_>,
     view: &DirectedView<'_>,
@@ -89,14 +90,13 @@ pub fn two_round_list_coloring(
     if let Some(v) = states.iter().position(|s| s.attempt == u32::MAX) {
         return Err(CoreError::Precondition {
             node: v as NodeId,
-            detail: format!(
-                "MT20 needs |L| ≥ β·τ = {k}, node has {}",
-                lists[v].len()
-            ),
+            detail: format!("MT20 needs |L| ≥ β·τ = {k}, node has {}", lists[v].len()),
         });
     }
 
-    let strategy = SeededSubset { seed: seed ^ 0x9e3779b97f4a7c15 };
+    let strategy = SeededSubset {
+        seed: seed ^ 0x9e3779b97f4a7c15,
+    };
     let rounds_before = net.rounds();
     let mut retries = 0u64;
     // Round 1 (+ re-draw rounds): commit C_v, verify |C_v ∩ C_u| < τ.
@@ -147,7 +147,10 @@ pub fn two_round_list_coloring(
         }
         if round == 47 {
             let v = states.iter().position(|s| s.failed).unwrap_or(0);
-            return Err(CoreError::SelectionExhausted { node: v as NodeId, attempts: 48 });
+            return Err(CoreError::SelectionExhausted {
+                node: v as NodeId,
+                attempts: 48,
+            });
         }
     }
 
@@ -189,8 +192,15 @@ pub fn two_round_list_coloring(
         },
     )?;
 
-    let colors = states.iter().map(|s| s.color.expect("round 2 decides")).collect();
-    Ok(TwoRoundOutcome { colors, rounds: net.rounds() - rounds_before, retries })
+    let colors = states
+        .iter()
+        .map(|s| s.color.expect("round 2 decides"))
+        .collect();
+    Ok(TwoRoundOutcome {
+        colors,
+        rounds: net.rounds() - rounds_before,
+        retries,
+    })
 }
 
 #[cfg(test)]
@@ -218,10 +228,8 @@ mod tests {
             .collect();
         let init: Vec<u64> = (0..n as u64).collect();
         let mut net = Network::new(g, Bandwidth::Local);
-        let out = two_round_list_coloring(
-            &mut net, view, space, &lists, &init, n as u64, tau, 11,
-        )
-        .unwrap();
+        let out = two_round_list_coloring(&mut net, view, space, &lists, &init, n as u64, tau, 11)
+            .unwrap();
         // Proper toward out-neighbors, colors on-list.
         for v in g.nodes() {
             assert!(lists[v as usize].contains(&out.colors[v as usize]));

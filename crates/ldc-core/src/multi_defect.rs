@@ -7,7 +7,7 @@
 //! engine of §3.2 at the cost of the `h` factor in the list-size
 //! requirement (the factor Theorem 1.1 later improves to `polyloglog β`).
 
-use crate::ctx::{CoreError, OldcCtx};
+use crate::ctx::{span, CoreError, OldcCtx};
 use crate::problem::{Color, DefectList};
 use crate::single_defect::{solve_single_defect, SingleDefectOutcome};
 use ldc_sim::Network;
@@ -59,8 +59,10 @@ pub fn solve_multi_defect(
     let view = ctx.view;
     let mut beta = vec![1u64; n];
     {
-        let mut states: Vec<(bool, u64, u64)> =
-            (0..n).map(|v| (ctx.active[v], ctx.group[v], 1u64)).collect();
+        let _census = net.tracer().clone().span(span::CENSUS);
+        let mut states: Vec<(bool, u64, u64)> = (0..n)
+            .map(|v| (ctx.active[v], ctx.group[v], 1u64))
+            .collect();
         net.exchange(
             &mut states,
             |_, s, out: &mut ldc_sim::Outbox<'_, crate::ctx::CensusMsg>| {
@@ -105,7 +107,13 @@ pub fn solve_multi_defect(
         // "free" bucket keyed u64::MAX and keep their exact defects —
         // rounding them down could spuriously re-enter the non-trivial
         // regime (cf. the trivial-node handling in `single_defect`).
-        let bucket_key = |d: u64| if d >= beta[v] { u64::MAX } else { rounded_defect(d) };
+        let bucket_key = |d: u64| {
+            if d >= beta[v] {
+                u64::MAX
+            } else {
+                rounded_defect(d)
+            }
+        };
         let mut masses: std::collections::BTreeMap<u64, u128> = std::collections::BTreeMap::new();
         for (_, d) in lists[v].iter() {
             let dh = bucket_key(d);
@@ -134,7 +142,10 @@ pub fn solve_multi_defect(
     }
 
     let inner = solve_single_defect(net, ctx, &sub_lists, &sub_defects, g)?;
-    Ok(MultiDefectOutcome { inner, chosen_defect: sub_defects })
+    Ok(MultiDefectOutcome {
+        inner,
+        chosen_defect: sub_defects,
+    })
 }
 
 /// The Lemma 3.6 list-mass requirement, for experiment bookkeeping:
@@ -188,8 +199,9 @@ mod tests {
         // land there and succeed.
         let lists: Vec<DefectList> = (0..n)
             .map(|v| {
-                let mut entries: Vec<(u64, u64)> =
-                    (0..256u64).map(|i| ((i * 5 + v as u64) % 2048, 0)).collect();
+                let mut entries: Vec<(u64, u64)> = (0..256u64)
+                    .map(|i| ((i * 5 + v as u64) % 2048, 0))
+                    .collect();
                 entries.extend((0..1024u64).map(|i| (2048 + ((i * 5 + v as u64) % 4096), 3)));
                 entries.sort_unstable();
                 entries.dedup_by_key(|e| e.0);
@@ -226,8 +238,7 @@ mod tests {
         // Defects ≥ β everywhere: every node is trivially satisfiable.
         let g = generators::complete(16);
         let view = DirectedView::bidirected(&g);
-        let lists: Vec<DefectList> =
-            (0..16).map(|_| DefectList::uniform(0..32, 31)).collect();
+        let lists: Vec<DefectList> = (0..16).map(|_| DefectList::uniform(0..32, 31)).collect();
         let init: Vec<u64> = (0..16).collect();
         let active = vec![true; 16];
         let group = vec![0u64; 16];

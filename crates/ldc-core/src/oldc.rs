@@ -22,7 +22,7 @@
 
 use crate::conflict::tau_g_conflict;
 use crate::cover::SeededSubset;
-use crate::ctx::{CandidateMsg, CensusMsg, CoreError, DecisionMsg, OldcCtx};
+use crate::ctx::{span, CandidateMsg, CensusMsg, CoreError, DecisionMsg, OldcCtx};
 use crate::multi_defect::solve_multi_defect;
 use crate::params::k_of_class;
 use crate::problem::{Color, DefectList};
@@ -94,6 +94,7 @@ pub fn solve_with_classes(
     let view = ctx.view;
     let n = graph.num_nodes();
     assert_eq!(inputs.len(), n);
+    let tracer = net.tracer().clone();
 
     let mut states: Vec<Ns> = graph
         .nodes()
@@ -127,6 +128,7 @@ pub fn solve_with_classes(
 
     // Census: relevance + neighbor classes (β itself is not needed here;
     // classes come preassigned).
+    let census_span = tracer.span(span::CENSUS);
     net.exchange(
         &mut states,
         |_, s, out: &mut ldc_sim::Outbox<'_, (CensusMsg, u32)>| {
@@ -150,10 +152,18 @@ pub fn solve_with_classes(
             s.trivial = s.defect >= s.out_count;
         },
     )?;
+    drop(census_span);
 
-    let h = states.iter().filter(|s| s.active).map(|s| s.class).max().unwrap_or(1);
+    let h = states
+        .iter()
+        .filter(|s| s.active)
+        .map(|s| s.class)
+        .max()
+        .unwrap_or(1);
     let tau = ctx.profile.tau(u64::from(h), ctx.space, ctx.m);
-    let strategy = SeededSubset { seed: ctx.seed ^ 0x517cc1b727220a95 };
+    let strategy = SeededSubset {
+        seed: ctx.seed ^ 0x517cc1b727220a95,
+    };
     let mut stats = OldcStats::default();
 
     // ---------------- Phase 0: laggard candidate sets. ----------------------
@@ -163,7 +173,11 @@ pub fn solve_with_classes(
     // a candidate set of the pigeonhole size ⌊out/(d̂+1)⌋+1 — small enough
     // that pruning costs regular neighbors only O(β_w) colors each — and
     // will pick their final color inside it.
-    if states.iter().any(|s| s.active && !s.trivial && s.class == 0) {
+    if states
+        .iter()
+        .any(|s| s.active && !s.trivial && s.class == 0)
+    {
+        let _phase0 = tracer.span(span::PHASE0);
         for (v, s) in states.iter_mut().enumerate() {
             if !(s.active && !s.trivial && s.class == 0) {
                 continue;
@@ -215,6 +229,7 @@ pub fn solve_with_classes(
 
     // ---------------- Phase I: ascending classes. --------------------------
     for class in 1..=h {
+        let _phase = tracer.span(span::phase_i(class));
         // Prune + size the candidate set for this class's nodes.
         for (v, s) in states.iter_mut().enumerate() {
             if !(s.active && !s.trivial && s.class == class) {
@@ -249,6 +264,7 @@ pub fn solve_with_classes(
             });
             s.pruned = (before - s.list.len()) as u64;
             stats.pruned_colors += s.pruned;
+            tracer.add(span::CTR_PRUNED_COLORS, s.pruned);
             s.k = k_of_class(s.class, tau) as usize;
             if s.k > s.list.len() {
                 return Err(CoreError::Precondition {
@@ -277,8 +293,12 @@ pub fn solve_with_classes(
             }
             for s in states.iter_mut() {
                 if s.active && !s.trivial && s.class == class && (s.cand.is_none() || s.failed) {
-                    s.cand =
-                        Some(Arc::from(strategy.select(s.init_color, &s.list, s.k, s.attempt)));
+                    s.cand = Some(Arc::from(strategy.select(
+                        s.init_color,
+                        &s.list,
+                        s.k,
+                        s.attempt,
+                    )));
                     s.failed = false;
                 }
             }
@@ -317,10 +337,7 @@ pub fn solve_with_classes(
                     let mut conflicts = 0u64;
                     for p in 0..s.nb_relevant.len() {
                         s.nb_conflicting[p] = false;
-                        if !(s.nb_relevant[p]
-                            && view.is_out_port(v, p)
-                            && s.nb_class[p] == class)
-                        {
+                        if !(s.nb_relevant[p] && view.is_out_port(v, p) && s.nb_class[p] == class) {
                             continue;
                         }
                         if let Some(cu) = &s.nb_cand[p] {
@@ -336,9 +353,12 @@ pub fn solve_with_classes(
                     }
                 },
             )?;
-            let failures =
-                states.iter().filter(|s| s.class == class && s.failed).count() as u64;
+            let failures = states
+                .iter()
+                .filter(|s| s.class == class && s.failed)
+                .count() as u64;
             stats.selection_retries += failures;
+            tracer.add(span::CTR_SELECTION_RETRIES, failures);
             if failures == 0 {
                 break;
             }
@@ -351,6 +371,7 @@ pub fn solve_with_classes(
     }
 
     // ---------------- Phase II: descending classes. -------------------------
+    let phase2 = tracer.span(span::PHASE2);
     // Trivial nodes decide first (cf. `single_defect`).
     if states.iter().any(|s| s.active && s.trivial) {
         for s in states.iter_mut() {
@@ -382,6 +403,13 @@ pub fn solve_with_classes(
         )?;
     }
     for class in (1..=h).rev() {
+        tracer.add(
+            span::CTR_UNDECIDED_NODE_ROUNDS,
+            states
+                .iter()
+                .filter(|s| s.active && s.decided.is_none())
+                .count() as u64,
+        );
         let mut stuck: Option<(NodeId, u64, u64)> = None;
         for (v, s) in states.iter_mut().enumerate() {
             if !(s.active && !s.trivial && s.class == class) {
@@ -443,6 +471,8 @@ pub fn solve_with_classes(
         )?;
     }
 
+    drop(phase2);
+
     // ---------------- Laggard phase (class 0). -----------------------------
     // Small-β nodes whose lists only satisfy the linear condition decide
     // last. A laggard's frequency charges (a) decided same-group
@@ -456,9 +486,11 @@ pub fn solve_with_classes(
     // bounded by the longest directed laggard chain — linear in the worst
     // case (the price of sub-threshold lists; see DESIGN.md §S2b), short
     // in the pipelines where laggards are sparse.
-    let any_laggards =
-        states.iter().any(|s| s.active && !s.trivial && s.class == 0 && s.decided.is_none());
+    let any_laggards = states
+        .iter()
+        .any(|s| s.active && !s.trivial && s.class == 0 && s.decided.is_none());
     if any_laggards {
+        let _laggard = tracer.span(span::LAGGARD_CHAIN);
         let laggard_cap = n + 8;
         let mut iters = 0usize;
         loop {
@@ -469,7 +501,9 @@ pub fn solve_with_classes(
             if remaining == 0 {
                 break;
             }
+            tracer.add(span::CTR_UNDECIDED_NODE_ROUNDS, remaining as u64);
             iters += 1;
+            tracer.set_max(span::CTR_LAGGARD_CHAIN_DEPTH, iters as u64);
             assert!(
                 iters <= laggard_cap,
                 "laggard phase exceeded the directed-chain bound"
@@ -576,14 +610,18 @@ pub fn solve_oldc(
     let view = ctx.view;
     let n = graph.num_nodes();
     assert_eq!(lists.len(), n);
+    let tracer = net.tracer().clone();
+    let _thm11 = tracer.span(span::THM11);
 
     // Census: β per node (active same-group out-degree; unclamped count
     // kept for the trivial/laggard regimes).
     let mut beta = vec![1u64; n];
     let mut out_count = vec![0u64; n];
     {
-        let mut st: Vec<(bool, u64, u64)> =
-            (0..n).map(|v| (ctx.active[v], ctx.group[v], 0u64)).collect();
+        let _census = tracer.span(span::CENSUS);
+        let mut st: Vec<(bool, u64, u64)> = (0..n)
+            .map(|v| (ctx.active[v], ctx.group[v], 0u64))
+            .collect();
         net.exchange(
             &mut st,
             |_, s, out: &mut ldc_sim::Outbox<'_, CensusMsg>| {
@@ -611,8 +649,11 @@ pub fn solve_oldc(
     }
 
     // Global parameters (Δ/β-style knowledge).
-    let beta_hat_max =
-        (0..n).filter(|&v| ctx.active[v]).map(|v| beta[v].next_power_of_two()).max().unwrap_or(1);
+    let beta_hat_max = (0..n)
+        .filter(|&v| ctx.active[v])
+        .map(|v| beta[v].next_power_of_two())
+        .max()
+        .unwrap_or(1);
     let h = u64::from(beta_hat_max.max(2).ilog2()).max(1);
     // γ-classes run up to log₂(4β̂) = h + 2 (the factor-4 condition of
     // Lemma 3.7 can push the smallest-defect class two above log β̂).
@@ -644,7 +685,10 @@ pub fn solve_oldc(
             continue;
         }
         if lists[v].is_empty() {
-            return Err(CoreError::Precondition { node: v as u32, detail: "empty list".into() });
+            return Err(CoreError::Precondition {
+                node: v as u32,
+                detail: "empty list".into(),
+            });
         }
 
         // Bucket sizes by rounded defect.
@@ -718,8 +762,14 @@ pub fn solve_oldc(
     // Auxiliary generalized OLDC over color space [1, h]: assign γ-classes
     // such that ≤ δ_{v,i} out-neighbors pick a class within distance
     // g_aux = ⌊log h⌋ below i_v.
-    let aux_ctx = OldcCtx { space: h_classes + 1, ..*ctx };
-    let aux = solve_multi_defect(net, &aux_ctx, &aux_lists, g_aux)?;
+    let aux_ctx = OldcCtx {
+        space: h_classes + 1,
+        ..*ctx
+    };
+    let aux = {
+        let _aux_span = tracer.span(span::AUX_CLASSES);
+        solve_multi_defect(net, &aux_ctx, &aux_lists, g_aux)?
+    };
 
     // Build Lemma 3.7 inputs from the class assignment.
     let mut inputs: Vec<ClassedInput> = vec![ClassedInput::default(); n];
@@ -730,17 +780,27 @@ pub fn solve_oldc(
         }
         let i_v = aux.inner.colors[v].expect("aux solved for active nodes") as u32;
         classes[v] = i_v;
-        let dhat = *bucket_of_class[v].get(&i_v).expect("class maps back to a bucket");
+        let dhat = *bucket_of_class[v]
+            .get(&i_v)
+            .expect("class maps back to a bucket");
         let list: Vec<Color> = lists[v]
             .iter()
             .filter(|&(_, d)| rounded_defect(d) == dhat)
             .map(|(c, _)| c)
             .collect();
-        inputs[v] = ClassedInput { class: i_v, list, defect: dhat };
+        inputs[v] = ClassedInput {
+            class: i_v,
+            list,
+            defect: dhat,
+        };
     }
 
     let (colors, stats) = solve_with_classes(net, ctx, &inputs)?;
-    Ok(OldcOutcome { colors, stats, classes })
+    Ok(OldcOutcome {
+        colors,
+        stats,
+        classes,
+    })
 }
 
 /// Round a defect down so `d̂+1` is a power of two (the bucket key of
@@ -792,7 +852,11 @@ mod tests {
         let inputs: Vec<ClassedInput> = (0..120)
             .map(|v| ClassedInput {
                 class: 2,
-                list: (0..1024u64).map(|i| (i * 7 + v) % (1 << 13)).collect::<std::collections::BTreeSet<_>>().into_iter().collect(),
+                list: (0..1024u64)
+                    .map(|i| (i * 7 + v) % (1 << 13))
+                    .collect::<std::collections::BTreeSet<_>>()
+                    .into_iter()
+                    .collect(),
                 defect: 3,
             })
             .collect();
@@ -911,8 +975,9 @@ mod tests {
         let active = vec![true; 24];
         let group = vec![0u64; 24];
         let ctx = full_ctx(&view, 16, &init, 24, &active, &group, 9);
-        let lists: Vec<DefectList> =
-            (0..24u64).map(|v| DefectList::uniform((v % 4)..(v % 4 + 8), 0)).collect();
+        let lists: Vec<DefectList> = (0..24u64)
+            .map(|v| DefectList::uniform((v % 4)..(v % 4 + 8), 0))
+            .collect();
         let mut net = Network::new(&g, Bandwidth::Local);
         let out = solve_oldc(&mut net, &ctx, &lists).unwrap();
         let colors: Vec<u64> = out.colors.iter().map(|c| c.unwrap()).collect();
@@ -934,8 +999,7 @@ mod tests {
         let active = vec![true; 64];
         let group = vec![0u64; 64];
         let ctx = full_ctx(&view, 4, &init, 2, &active, &group, 3);
-        let lists: Vec<DefectList> =
-            (0..64).map(|_| DefectList::uniform(0..2, 0)).collect();
+        let lists: Vec<DefectList> = (0..64).map(|_| DefectList::uniform(0..2, 0)).collect();
         let mut net = Network::new(&g, Bandwidth::Local);
         let out = solve_oldc(&mut net, &ctx, &lists).unwrap();
         let colors: Vec<u64> = out.colors.iter().map(|c| c.unwrap()).collect();
@@ -960,7 +1024,8 @@ mod tests {
             .map(|v| {
                 let len = if g.degree(v) > 4 { 3000 } else { 8 };
                 DefectList::uniform(
-                    (0..len).map(|i| (i * 3 + u64::from(v)) % space)
+                    (0..len)
+                        .map(|i| (i * 3 + u64::from(v)) % space)
                         .collect::<std::collections::BTreeSet<_>>(),
                     2,
                 )
@@ -1003,6 +1068,10 @@ mod tests {
             assert_eq!(validate_oldc(&view, &lists, &colors), Ok(()));
             rounds.push(net.rounds());
         }
-        assert!(rounds[1] <= rounds[0] + 24, "rounds {:?} not logarithmic-ish", rounds);
+        assert!(
+            rounds[1] <= rounds[0] + 24,
+            "rounds {:?} not logarithmic-ish",
+            rounds
+        );
     }
 }

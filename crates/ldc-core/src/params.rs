@@ -34,7 +34,11 @@ impl ParamProfile {
     /// Defaults tuned so the E2–E8 experiments run at realistic scale with
     /// zero selection retries (see EXPERIMENTS.md).
     pub fn practical_default() -> Self {
-        ParamProfile::Practical { tau_scale: 1.0, tau_min: 6, alpha: 4 }
+        ParamProfile::Practical {
+            tau_scale: 1.0,
+            tau_min: 6,
+            alpha: 4,
+        }
     }
 
     /// The smallest constants at which the engines still converge reliably
@@ -42,7 +46,11 @@ impl ParamProfile {
     /// experiments, where `κ` must be small for the asymptotic regimes of
     /// Theorems 1.3/1.4 to become visible at lab scale.
     pub fn practical_aggressive() -> Self {
-        ParamProfile::Practical { tau_scale: 0.5, tau_min: 3, alpha: 2 }
+        ParamProfile::Practical {
+            tau_scale: 0.5,
+            tau_min: 3,
+            alpha: 2,
+        }
     }
 
     /// Eq. (4): `τ(h, 𝒞, m)`.
@@ -51,7 +59,9 @@ impl ParamProfile {
             ParamProfile::Faithful => {
                 (8.0 * h as f64 + 2.0 * loglog(space) + 2.0 * loglog(m) + 16.0).ceil() as u64
             }
-            ParamProfile::Practical { tau_scale, tau_min, .. } => {
+            ParamProfile::Practical {
+                tau_scale, tau_min, ..
+            } => {
                 let raw = tau_scale * (h as f64 + loglog(space) + loglog(m));
                 (raw.ceil() as u64).max(tau_min)
             }
@@ -143,7 +153,11 @@ mod tests {
         let p = ParamProfile::Faithful;
         // Large τ ⇒ hits the 2⁴⁰ clamp.
         assert_eq!(p.tau_prime(10, 1 << 30, 1 << 20), 1u64 << 40);
-        let q = ParamProfile::Practical { tau_scale: 0.1, tau_min: 1, alpha: 2 };
+        let q = ParamProfile::Practical {
+            tau_scale: 0.1,
+            tau_min: 1,
+            alpha: 2,
+        };
         // τ = 1, drop ≥ 2·h ⇒ exponent saturates at 0 ⇒ τ' = 1.
         assert_eq!(q.tau_prime(5, 4, 4), 1);
     }
@@ -156,7 +170,7 @@ mod tests {
         assert_eq!(gamma_class(2, 1, 2), 1);
         // Lemma 3.7's factor-4 version.
         assert_eq!(gamma_class(4, 6, 1), 5); // 4·6 = 24 ≤ 32 = 2⁵
-        // Exact power: 4·8/1 = 32 = 2⁵.
+                                             // Exact power: 4·8/1 = 32 = 2⁵.
         assert_eq!(gamma_class(4, 8, 1), 5);
     }
 

@@ -104,18 +104,29 @@ impl DefectList {
 
     /// `Σ_{x∈L} (d(x)+1)²` — the OLDC budget of Theorem 1.1 / Eq. (3).
     pub fn square_mass(&self) -> u128 {
-        self.entries.iter().map(|&(_, d)| u128::from(d + 1).pow(2)).sum()
+        self.entries
+            .iter()
+            .map(|&(_, d)| u128::from(d + 1).pow(2))
+            .sum()
     }
 
     /// `Σ_{x∈L} (d(x)+1)^{1+ν}` for real `ν ≥ 0` (Theorem 1.2 bookkeeping).
     pub fn power_mass(&self, nu: f64) -> f64 {
-        self.entries.iter().map(|&(_, d)| ((d + 1) as f64).powf(1.0 + nu)).sum()
+        self.entries
+            .iter()
+            .map(|&(_, d)| ((d + 1) as f64).powf(1.0 + nu))
+            .sum()
     }
 
     /// Retain only the colors satisfying `keep`.
     pub fn filtered<F: Fn(Color, u64) -> bool>(&self, keep: F) -> DefectList {
         DefectList {
-            entries: self.entries.iter().copied().filter(|&(c, d)| keep(c, d)).collect(),
+            entries: self
+                .entries
+                .iter()
+                .copied()
+                .filter(|&(c, d)| keep(c, d))
+                .collect(),
         }
     }
 
@@ -158,10 +169,18 @@ impl<'g> LdcInstance<'g> {
         assert_eq!(lists.len(), graph.num_nodes(), "one list per node");
         for (v, l) in lists.iter().enumerate() {
             for c in l.colors() {
-                assert!(space.contains(c), "node {v}: color {c} outside space {:?}", space);
+                assert!(
+                    space.contains(c),
+                    "node {v}: color {c} outside space {:?}",
+                    space
+                );
             }
         }
-        LdcInstance { graph, space, lists }
+        LdcInstance {
+            graph,
+            space,
+            lists,
+        }
     }
 
     /// Eq. (1): `Σ (d+1) > deg(v)` for every node — the existence condition
@@ -213,7 +232,11 @@ impl<'g> OldcInstance<'g> {
         assert_eq!(lists.len(), view.graph().num_nodes(), "one list per node");
         for (v, l) in lists.iter().enumerate() {
             for c in l.colors() {
-                assert!(space.contains(c), "node {v}: color {c} outside space {:?}", space);
+                assert!(
+                    space.contains(c),
+                    "node {v}: color {c} outside space {:?}",
+                    space
+                );
             }
         }
         OldcInstance { view, space, lists }
@@ -312,8 +335,7 @@ mod tests {
     fn oldc_square_slack() {
         let g = generators::ring(6);
         let view = DirectedView::bidirected(&g); // β = 2
-        let lists: Vec<DefectList> =
-            (0..6).map(|_| DefectList::uniform(0..16, 1)).collect();
+        let lists: Vec<DefectList> = (0..6).map(|_| DefectList::uniform(0..16, 1)).collect();
         let inst = OldcInstance::new(view, ColorSpace::new(16), lists);
         // Σ(d+1)² = 16·4 = 64, β² = 4 ⇒ slack 16.
         assert!((inst.square_slack() - 16.0).abs() < 1e-9);

@@ -22,7 +22,7 @@
 
 use crate::conflict::{best_residue, mu_g, residue_restrict, tau_g_conflict};
 use crate::cover::SeededSubset;
-use crate::ctx::{CandidateMsg, CensusMsg, CoreError, DecisionMsg, OldcCtx};
+use crate::ctx::{span, CandidateMsg, CensusMsg, CoreError, DecisionMsg, OldcCtx};
 use crate::params::{gamma_class, k_of_class};
 use crate::problem::Color;
 use ldc_graph::NodeId;
@@ -114,8 +114,11 @@ pub fn solve_single_defect(
         })
         .collect();
 
+    let tracer = net.tracer().clone();
+
     // --- 1. census: learn β_v (active same-group out-degree). -------------
     let view = ctx.view;
+    let census_span = tracer.span(span::CENSUS);
     net.exchange(
         &mut states,
         |_, s, out: &mut ldc_sim::Outbox<'_, CensusMsg>| {
@@ -142,11 +145,18 @@ pub fn solve_single_defect(
         },
     )?;
 
+    drop(census_span);
+
     // --- 2. γ-classes and parameters (global h, Δ-style knowledge). -------
     for s in states.iter_mut().filter(|s| s.active && !s.trivial) {
         s.class = gamma_class(2, s.beta, s.defect + 1);
     }
-    let h = states.iter().filter(|s| s.active && !s.trivial).map(|s| s.class).max().unwrap_or(1);
+    let h = states
+        .iter()
+        .filter(|s| s.active && !s.trivial)
+        .map(|s| s.class)
+        .max()
+        .unwrap_or(1);
     let tau = ctx.profile.tau(u64::from(h), ctx.space, ctx.m);
 
     // --- 3. residue restriction + candidate sizes. -------------------------
@@ -183,6 +193,7 @@ pub fn solve_single_defect(
     }
 
     // --- 4. P2 selection + P1 verification loop. ---------------------------
+    let selection_span = tracer.span(span::SELECTION);
     let strategy = SeededSubset { seed: ctx.seed };
     let mut selection_retries = 0u64;
     let mut selection_rounds = 0u32;
@@ -255,12 +266,15 @@ pub fn solve_single_defect(
         )?;
         let failures = states.iter().filter(|s| s.failed).count() as u64;
         selection_retries += failures;
+        tracer.add(span::CTR_SELECTION_RETRIES, failures);
         if failures == 0 {
             break;
         }
     }
+    drop(selection_span);
 
     // --- 5. decisions, γ-classes in descending order. ----------------------
+    let _decide_span = tracer.span(span::DECIDE);
     // Trivial nodes (defect ≥ out-degree) decide first so everyone else can
     // account for their exact colors.
     if states.iter().any(|s| s.active && s.trivial) {
@@ -334,7 +348,11 @@ pub fn solve_single_defect(
             |_, s, out: &mut ldc_sim::Outbox<'_, DecisionMsg>| {
                 if s.active && !s.trivial && s.class == class {
                     if let Some(c) = s.decided {
-                        out.broadcast(&DecisionMsg { color: c, group: s.group, space: ctx.space });
+                        out.broadcast(&DecisionMsg {
+                            color: c,
+                            group: s.group,
+                            space: ctx.space,
+                        });
                     }
                 }
             },
@@ -352,7 +370,11 @@ pub fn solve_single_defect(
     }
 
     let colors = states.iter().map(|s| s.decided).collect();
-    Ok(SingleDefectOutcome { colors, selection_retries, selection_rounds })
+    Ok(SingleDefectOutcome {
+        colors,
+        selection_retries,
+        selection_rounds,
+    })
 }
 
 #[cfg(test)]
@@ -387,7 +409,11 @@ mod tests {
             seed,
         };
         let lists: Vec<Vec<Color>> = (0..n)
-            .map(|v| (0..list_len).map(|i| (i * 3 + v as u64 % 2) % space).collect::<Vec<_>>())
+            .map(|v| {
+                (0..list_len)
+                    .map(|i| (i * 3 + v as u64 % 2) % space)
+                    .collect::<Vec<_>>()
+            })
             .map(|mut l| {
                 l.sort_unstable();
                 l.dedup();
@@ -411,7 +437,10 @@ mod tests {
                         && out.colors[u as usize].expect("active").abs_diff(x) <= gap
                 })
                 .count() as u64;
-            assert!(close <= defect, "node {v}: {close} close out-neighbors > {defect}");
+            assert!(
+                close <= defect,
+                "node {v}: {close} close out-neighbors > {defect}"
+            );
         }
         out
     }
@@ -455,9 +484,7 @@ mod tests {
         let n = 12;
         let init: Vec<u64> = (0..12).collect();
         let mut active = vec![false; n];
-        for v in 0..6 {
-            active[v] = true;
-        }
+        active[..6].fill(true);
         let group = vec![0u64; n];
         let ctx = OldcCtx {
             view: &view,

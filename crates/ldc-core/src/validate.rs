@@ -56,17 +56,19 @@ impl std::fmt::Display for Violation {
     }
 }
 
-fn check_membership(
-    lists: &[DefectList],
-    colors: &[Color],
-    n: usize,
-) -> Result<(), Violation> {
+fn check_membership(lists: &[DefectList], colors: &[Color], n: usize) -> Result<(), Violation> {
     if colors.len() != n {
-        return Err(Violation::WrongLength { got: colors.len(), want: n });
+        return Err(Violation::WrongLength {
+            got: colors.len(),
+            want: n,
+        });
     }
     for (v, &c) in colors.iter().enumerate() {
         if !lists[v].contains(c) {
-            return Err(Violation::ColorNotInList { node: v as NodeId, color: c });
+            return Err(Violation::ColorNotInList {
+                node: v as NodeId,
+                color: c,
+            });
         }
     }
     Ok(())
@@ -79,11 +81,19 @@ pub fn validate_ldc(g: &Graph, lists: &[DefectList], colors: &[Color]) -> Result
     check_membership(lists, colors, g.num_nodes())?;
     for v in g.nodes() {
         let c = colors[v as usize];
-        let observed =
-            g.neighbors(v).iter().filter(|&&u| colors[u as usize] == c).count() as u64;
+        let observed = g
+            .neighbors(v)
+            .iter()
+            .filter(|&&u| colors[u as usize] == c)
+            .count() as u64;
         let allowed = lists[v as usize].defect(c).expect("membership checked");
         if observed > allowed {
-            return Err(Violation::DefectExceeded { node: v, color: c, observed, allowed });
+            return Err(Violation::DefectExceeded {
+                node: v,
+                color: c,
+                observed,
+                allowed,
+            });
         }
     }
     Ok(())
@@ -108,7 +118,12 @@ pub fn validate_oldc(
             .count() as u64;
         let allowed = lists[v as usize].defect(c).expect("membership checked");
         if observed > allowed {
-            return Err(Violation::DefectExceeded { node: v, color: c, observed, allowed });
+            return Err(Violation::DefectExceeded {
+                node: v,
+                color: c,
+                observed,
+                allowed,
+            });
         }
     }
     Ok(())
@@ -135,7 +150,12 @@ pub fn validate_arbdefective(
             .count() as u64;
         let allowed = lists[v as usize].defect(c).expect("membership checked");
         if observed > allowed {
-            return Err(Violation::DefectExceeded { node: v, color: c, observed, allowed });
+            return Err(Violation::DefectExceeded {
+                node: v,
+                color: c,
+                observed,
+                allowed,
+            });
         }
     }
     Ok(())
@@ -148,8 +168,10 @@ pub fn validate_proper_list_coloring(
     lists: &[Vec<Color>],
     colors: &[Color],
 ) -> Result<(), Violation> {
-    let dls: Vec<DefectList> =
-        lists.iter().map(|l| DefectList::uniform(l.iter().copied(), 0)).collect();
+    let dls: Vec<DefectList> = lists
+        .iter()
+        .map(|l| DefectList::uniform(l.iter().copied(), 0))
+        .collect();
     validate_ldc(g, &dls, colors)
 }
 
@@ -161,7 +183,9 @@ mod tests {
     use ldc_graph::orientation::EdgeDir;
 
     fn uniform_lists(n: usize, colors: std::ops::Range<u64>, d: u64) -> Vec<DefectList> {
-        (0..n).map(|_| DefectList::uniform(colors.clone(), d)).collect()
+        (0..n)
+            .map(|_| DefectList::uniform(colors.clone(), d))
+            .collect()
     }
 
     #[test]
@@ -172,7 +196,14 @@ mod tests {
         assert_eq!(validate_ldc(&g, &lists, &[0, 0, 1]), Ok(()));
         // All same color: defect 2 > 1.
         let err = validate_ldc(&g, &lists, &[0, 0, 0]).unwrap_err();
-        assert!(matches!(err, Violation::DefectExceeded { observed: 2, allowed: 1, .. }));
+        assert!(matches!(
+            err,
+            Violation::DefectExceeded {
+                observed: 2,
+                allowed: 1,
+                ..
+            }
+        ));
     }
 
     #[test]
@@ -235,7 +266,10 @@ mod tests {
     fn proper_list_coloring_wrapper() {
         let g = generators::ring(4);
         let lists: Vec<Vec<Color>> = (0..4).map(|_| vec![0, 1]).collect();
-        assert_eq!(validate_proper_list_coloring(&g, &lists, &[0, 1, 0, 1]), Ok(()));
+        assert_eq!(
+            validate_proper_list_coloring(&g, &lists, &[0, 1, 0, 1]),
+            Ok(())
+        );
         assert!(validate_proper_list_coloring(&g, &lists, &[0, 0, 1, 1]).is_err());
     }
 }

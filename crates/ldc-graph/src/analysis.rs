@@ -60,7 +60,10 @@ pub fn degeneracy_ordering(g: &Graph) -> (Vec<NodeId>, usize) {
 /// `⌈(k+1)/2⌉ ≤ arboricity ≤ k` (Nash-Williams via degeneracy orientations).
 pub fn arboricity_bounds(g: &Graph) -> (usize, usize) {
     let (_, k) = degeneracy_ordering(g);
-    (k.div_ceil(2).max(usize::from(g.num_edges() > 0)), k.max(usize::from(g.num_edges() > 0)))
+    (
+        k.div_ceil(2).max(usize::from(g.num_edges() > 0)),
+        k.max(usize::from(g.num_edges() > 0)),
+    )
 }
 
 /// The *neighborhood independence* of `g`: the maximum size of an
@@ -90,8 +93,11 @@ fn max_independent(g: &Graph, cands: &[NodeId]) -> usize {
         }
         let v = cands[0];
         // Branch 1: take v; drop its neighbors.
-        let rest_take: Vec<NodeId> =
-            cands[1..].iter().copied().filter(|&u| !g.has_edge(u, v)).collect();
+        let rest_take: Vec<NodeId> = cands[1..]
+            .iter()
+            .copied()
+            .filter(|&u| !g.has_edge(u, v))
+            .collect();
         rec(g, &rest_take, chosen + 1, best);
         // Branch 2: skip v.
         rec(g, &cands[1..], chosen, best);
@@ -178,7 +184,10 @@ mod tests {
                 .iter()
                 .filter(|&&u| pos[u as usize] > pos[v as usize])
                 .count();
-            assert!(later <= k, "node {v}: {later} later neighbors > degeneracy {k}");
+            assert!(
+                later <= k,
+                "node {v}: {later} later neighbors > degeneracy {k}"
+            );
         }
     }
 

@@ -48,12 +48,20 @@ pub struct GraphBuilder {
 impl GraphBuilder {
     /// Start building an `n`-node graph.
     pub fn new(n: usize) -> Self {
-        GraphBuilder { n, edges: Vec::new(), error: None }
+        GraphBuilder {
+            n,
+            edges: Vec::new(),
+            error: None,
+        }
     }
 
     /// Start building with an edge-capacity hint.
     pub fn with_capacity(n: usize, m: usize) -> Self {
-        GraphBuilder { n, edges: Vec::with_capacity(m), error: None }
+        GraphBuilder {
+            n,
+            edges: Vec::with_capacity(m),
+            error: None,
+        }
     }
 
     /// Add the undirected edge `{u, v}`. Order of endpoints is irrelevant.
@@ -138,7 +146,13 @@ impl GraphBuilder {
                 half_edge_ids[offsets[v] + i] = eid;
             }
         }
-        Ok(Graph::from_parts(n, offsets, neighbors, half_edge_ids, edges))
+        Ok(Graph::from_parts(
+            n,
+            offsets,
+            neighbors,
+            half_edge_ids,
+            edges,
+        ))
     }
 }
 
@@ -162,7 +176,10 @@ mod tests {
 
     #[test]
     fn rejects_self_loop() {
-        assert_eq!(from_edges(2, &[(1, 1)]).unwrap_err(), BuildError::SelfLoop(1));
+        assert_eq!(
+            from_edges(2, &[(1, 1)]).unwrap_err(),
+            BuildError::SelfLoop(1)
+        );
     }
 
     #[test]

@@ -64,12 +64,20 @@ impl ProperColoring {
         }
         for v in g.nodes() {
             if self.color(v) >= self.m {
-                return Err(ColoringError::ColorOutOfPalette { node: v, color: self.color(v), m: self.m });
+                return Err(ColoringError::ColorOutOfPalette {
+                    node: v,
+                    color: self.color(v),
+                    m: self.m,
+                });
             }
         }
         for (_, u, v) in g.edges() {
             if self.color(u) == self.color(v) {
-                return Err(ColoringError::Monochromatic { u, v, color: self.color(u) });
+                return Err(ColoringError::Monochromatic {
+                    u,
+                    v,
+                    color: self.color(u),
+                });
             }
         }
         Ok(())
@@ -136,7 +144,9 @@ pub fn greedy_by_id(g: &Graph) -> ProperColoring {
                 used[cu as usize] = true;
             }
         }
-        let c = (0..=delta).find(|&c| !used[c as usize]).expect("greedy always finds a color");
+        let c = (0..=delta)
+            .find(|&c| !used[c as usize])
+            .expect("greedy always finds a color");
         colors[v as usize] = c;
         for &u in g.neighbors(v) {
             let cu = colors[u as usize];
@@ -145,7 +155,10 @@ pub fn greedy_by_id(g: &Graph) -> ProperColoring {
             }
         }
     }
-    ProperColoring { colors, m: delta + 1 }
+    ProperColoring {
+        colors,
+        m: delta + 1,
+    }
 }
 
 #[cfg(test)]
@@ -174,14 +187,24 @@ mod tests {
     fn rejects_out_of_palette() {
         let g = from_edges(2, &[(0, 1)]).unwrap();
         let err = ProperColoring::new(&g, vec![0, 9], 5).unwrap_err();
-        assert!(matches!(err, ColoringError::ColorOutOfPalette { node: 1, color: 9, m: 5 }));
+        assert!(matches!(
+            err,
+            ColoringError::ColorOutOfPalette {
+                node: 1,
+                color: 9,
+                m: 5
+            }
+        ));
     }
 
     #[test]
     fn rejects_wrong_length() {
         let g = from_edges(2, &[(0, 1)]).unwrap();
         let err = ProperColoring::new(&g, vec![0], 5).unwrap_err();
-        assert!(matches!(err, ColoringError::WrongLength { got: 1, want: 2 }));
+        assert!(matches!(
+            err,
+            ColoringError::WrongLength { got: 1, want: 2 }
+        ));
     }
 
     #[test]

@@ -6,12 +6,10 @@
 
 use crate::builder::{from_edges, GraphBuilder};
 use crate::graph::{Graph, NodeId};
-use rand::seq::SliceRandom;
-use rand::{Rng, SeedableRng};
-use rand_chacha::ChaCha8Rng;
+use ldc_rand::Rng;
 
-fn rng(seed: u64) -> ChaCha8Rng {
-    ChaCha8Rng::seed_from_u64(seed)
+fn rng(seed: u64) -> Rng {
+    Rng::seed_from_u64(seed)
 }
 
 /// The `n`-cycle (ring network of Linial's lower bound), `n >= 3`.
@@ -127,12 +125,19 @@ pub fn random_regular(n: usize, d: usize, seed: u64) -> Graph {
         return GraphBuilder::new(n).build().unwrap();
     }
     let mut r = rng(seed);
-    let mut stubs: Vec<NodeId> =
-        (0..n).flat_map(|v| std::iter::repeat_n(v as NodeId, d)).collect();
-    stubs.shuffle(&mut r);
+    let mut stubs: Vec<NodeId> = (0..n)
+        .flat_map(|v| std::iter::repeat_n(v as NodeId, d))
+        .collect();
+    r.shuffle(&mut stubs);
     let mut edges: Vec<(NodeId, NodeId)> = stubs
         .chunks(2)
-        .map(|p| if p[0] < p[1] { (p[0], p[1]) } else { (p[1], p[0]) })
+        .map(|p| {
+            if p[0] < p[1] {
+                (p[0], p[1])
+            } else {
+                (p[1], p[0])
+            }
+        })
         .collect();
 
     let is_bad = |edges: &[(NodeId, NodeId)],
@@ -148,7 +153,9 @@ pub fn random_regular(n: usize, d: usize, seed: u64) -> Graph {
         for &(u, v) in &edges {
             *seen.entry((u, v)).or_insert(0) += 1;
         }
-        let bad: Vec<usize> = (0..edges.len()).filter(|&i| is_bad(&edges, &seen, i)).collect();
+        let bad: Vec<usize> = (0..edges.len())
+            .filter(|&i| is_bad(&edges, &seen, i))
+            .collect();
         if bad.is_empty() {
             break;
         }
@@ -326,7 +333,8 @@ pub fn disjoint_union(g: &Graph, copies: usize) -> Graph {
             b.add_edge(base + u, base + v);
         }
     }
-    b.build().expect("disjoint union of simple graphs is simple")
+    b.build()
+        .expect("disjoint union of simple graphs is simple")
 }
 
 #[cfg(test)]
@@ -369,7 +377,10 @@ mod tests {
         let g = gnp(400, 0.05, 9);
         let expected = 0.05 * (400.0 * 399.0 / 2.0);
         let m = g.num_edges() as f64;
-        assert!((m - expected).abs() < 0.25 * expected, "m = {m}, expected ≈ {expected}");
+        assert!(
+            (m - expected).abs() < 0.25 * expected,
+            "m = {m}, expected ≈ {expected}"
+        );
     }
 
     #[test]
@@ -422,7 +433,11 @@ mod tests {
         assert_eq!(g.num_nodes(), 200);
         // Minimum degree is m; hubs should exceed it substantially.
         assert!(g.nodes().all(|v| g.degree(v) >= 3));
-        assert!(g.max_degree() > 8, "expected a hub, max deg = {}", g.max_degree());
+        assert!(
+            g.max_degree() > 8,
+            "expected a hub, max deg = {}",
+            g.max_degree()
+        );
     }
 
     #[test]

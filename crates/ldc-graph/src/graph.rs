@@ -36,7 +36,13 @@ impl Graph {
         half_edge_ids: Vec<EdgeId>,
         endpoints: Vec<(NodeId, NodeId)>,
     ) -> Self {
-        Graph { n, offsets, neighbors, half_edge_ids, endpoints }
+        Graph {
+            n,
+            offsets,
+            neighbors,
+            half_edge_ids,
+            endpoints,
+        }
     }
 
     /// Number of nodes.
@@ -60,7 +66,10 @@ impl Graph {
 
     /// Maximum degree `Δ` of the graph (0 for the empty graph).
     pub fn max_degree(&self) -> usize {
-        (0..self.n as NodeId).map(|v| self.degree(v)).max().unwrap_or(0)
+        (0..self.n as NodeId)
+            .map(|v| self.degree(v))
+            .max()
+            .unwrap_or(0)
     }
 
     /// Neighbors of `v`, sorted ascending.
@@ -160,7 +169,11 @@ impl Graph {
                 b.add_edge(nu, nv);
             }
         }
-        (b.build().expect("induced subgraph of a valid graph is valid"), old_of_new)
+        (
+            b.build()
+                .expect("induced subgraph of a valid graph is valid"),
+            old_of_new,
+        )
     }
 }
 

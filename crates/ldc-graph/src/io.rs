@@ -96,8 +96,14 @@ pub fn read_edge_list<R: BufRead>(r: R) -> Result<Graph, IoError> {
             None => {}
         }
     }
-    let mut b = builder.ok_or(IoError::Parse { line: 0, message: "missing problem line".into() })?;
-    let g = b.build().map_err(|e| IoError::Parse { line: 0, message: e.to_string() })?;
+    let mut b = builder.ok_or(IoError::Parse {
+        line: 0,
+        message: "missing problem line".into(),
+    })?;
+    let g = b.build().map_err(|e| IoError::Parse {
+        line: 0,
+        message: e.to_string(),
+    })?;
     if g.num_edges() != declared_edges {
         return Err(IoError::Parse {
             line: 0,
@@ -116,9 +122,15 @@ fn parse_tok<T: std::str::FromStr>(
     what: &str,
 ) -> Result<T, IoError> {
     tok.next()
-        .ok_or_else(|| IoError::Parse { line, message: format!("missing {what}") })?
+        .ok_or_else(|| IoError::Parse {
+            line,
+            message: format!("missing {what}"),
+        })?
         .parse()
-        .map_err(|_| IoError::Parse { line, message: format!("bad {what}") })
+        .map_err(|_| IoError::Parse {
+            line,
+            message: format!("bad {what}"),
+        })
 }
 
 #[cfg(test)]
@@ -146,14 +158,17 @@ mod tests {
     #[test]
     fn rejects_malformed() {
         for bad in [
-            "e 0 1\n",                       // edge before header
-            "p edge 3\n",                    // missing m
-            "p edge 3 1\ne 0 9\n",           // endpoint out of range
-            "p edge 3 2\ne 0 1\n",           // wrong edge count
-            "p edge 2 1\nx 0 1\n",           // unknown record
+            "e 0 1\n",                         // edge before header
+            "p edge 3\n",                      // missing m
+            "p edge 3 1\ne 0 9\n",             // endpoint out of range
+            "p edge 3 2\ne 0 1\n",             // wrong edge count
+            "p edge 2 1\nx 0 1\n",             // unknown record
             "p edge 2 1\np edge 2 1\ne 0 1\n", // duplicate header
         ] {
-            assert!(read_edge_list(std::io::Cursor::new(bad)).is_err(), "{bad:?}");
+            assert!(
+                read_edge_list(std::io::Cursor::new(bad)).is_err(),
+                "{bad:?}"
+            );
         }
     }
 

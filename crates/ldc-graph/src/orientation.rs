@@ -33,7 +33,9 @@ pub struct Orientation {
 impl Orientation {
     /// All edges oriented from the smaller to the larger endpoint.
     pub fn forward(g: &Graph) -> Self {
-        Orientation { dirs: vec![EdgeDir::Forward; g.num_edges()] }
+        Orientation {
+            dirs: vec![EdgeDir::Forward; g.num_edges()],
+        }
     }
 
     /// Orientation from an explicit per-edge direction vector.
@@ -113,7 +115,10 @@ impl Orientation {
 
     /// Out-degree of `v` under this orientation.
     pub fn out_degree(&self, g: &Graph, v: NodeId) -> usize {
-        g.incident_edges(v).iter().filter(|&&e| self.is_out(g, e, v)).count()
+        g.incident_edges(v)
+            .iter()
+            .filter(|&&e| self.is_out(g, e, v))
+            .count()
     }
 
     /// Maximum out-degree `β` of the oriented graph.
@@ -154,7 +159,12 @@ impl<'g> DirectedView<'g> {
                 }
             }
         }
-        DirectedView { graph, out, prefix, out_degrees }
+        DirectedView {
+            graph,
+            out,
+            prefix,
+            out_degrees,
+        }
     }
 
     /// Directed view induced by an [`Orientation`].

@@ -1,0 +1,238 @@
+//! Self-contained deterministic PRNG for the workspace.
+//!
+//! The workspace builds hermetically (no registry access), so instead of the
+//! external `rand`/`rand_chacha` crates this tiny crate provides the exact
+//! API surface the generators and randomized baselines need: a seedable
+//! generator with uniform integer/float sampling, Bernoulli draws, and
+//! Fisher–Yates shuffling. The algorithm is **xoshiro256++** seeded through
+//! **splitmix64** (Blackman & Vigna), which is deterministic across
+//! platforms — the same `(parameters, seed)` pair always yields the same
+//! stream, preserving the reproducibility contract of `EXPERIMENTS.md`.
+//!
+//! The statistical quality is far beyond what the seeded baselines need
+//! (they are baselines, not cryptography); determinism and portability are
+//! the actual requirements.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// A seedable deterministic random number generator (xoshiro256++).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Rng {
+    s: [u64; 4],
+}
+
+#[inline]
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e3779b97f4a7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+    z ^ (z >> 31)
+}
+
+impl Rng {
+    /// Seed the generator from a single `u64` (mirrors
+    /// `SeedableRng::seed_from_u64`). Distinct seeds give decorrelated
+    /// streams via splitmix64 expansion.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = seed;
+        let s = [
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+        ];
+        Rng { s }
+    }
+
+    /// The next raw 64-bit output.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform draw from a half-open range (integer or float); mirrors
+    /// `Rng::gen_range`.
+    ///
+    /// # Panics
+    /// Panics on an empty range.
+    #[inline]
+    pub fn gen_range<R: SampleRange>(&mut self, range: R) -> R::Output {
+        range.sample(self)
+    }
+
+    /// Bernoulli draw with success probability `p ∈ [0, 1]`; mirrors
+    /// `Rng::gen_bool`.
+    #[inline]
+    pub fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "p must be a probability, got {p}");
+        self.gen_f64() < p
+    }
+
+    /// Uniform `f64` in `[0, 1)` using the top 53 bits.
+    #[inline]
+    pub fn gen_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Unbiased uniform draw from `0..n` via Lemire-style rejection.
+    #[inline]
+    fn bounded(&mut self, n: u64) -> u64 {
+        assert!(n > 0, "empty range");
+        // Rejection zone keeps the draw exactly uniform.
+        let zone = u64::MAX - (u64::MAX - n + 1) % n;
+        loop {
+            let v = self.next_u64();
+            if v <= zone {
+                return v % n;
+            }
+        }
+    }
+
+    /// In-place Fisher–Yates shuffle (mirrors `SliceRandom::shuffle`, with
+    /// the slice as the receiver).
+    pub fn shuffle<T>(&mut self, slice: &mut [T]) {
+        for i in (1..slice.len()).rev() {
+            let j = self.bounded(i as u64 + 1) as usize;
+            slice.swap(i, j);
+        }
+    }
+}
+
+/// Ranges [`Rng::gen_range`] can sample from.
+pub trait SampleRange {
+    /// The sampled value type.
+    type Output;
+    /// Draw one uniform value.
+    fn sample(self, rng: &mut Rng) -> Self::Output;
+}
+
+impl SampleRange for std::ops::Range<u64> {
+    type Output = u64;
+    #[inline]
+    fn sample(self, rng: &mut Rng) -> u64 {
+        assert!(self.start < self.end, "empty range");
+        self.start + rng.bounded(self.end - self.start)
+    }
+}
+
+impl SampleRange for std::ops::Range<usize> {
+    type Output = usize;
+    #[inline]
+    fn sample(self, rng: &mut Rng) -> usize {
+        assert!(self.start < self.end, "empty range");
+        self.start + rng.bounded((self.end - self.start) as u64) as usize
+    }
+}
+
+impl SampleRange for std::ops::Range<u32> {
+    type Output = u32;
+    #[inline]
+    fn sample(self, rng: &mut Rng) -> u32 {
+        assert!(self.start < self.end, "empty range");
+        self.start + rng.bounded(u64::from(self.end - self.start)) as u32
+    }
+}
+
+impl SampleRange for std::ops::Range<f64> {
+    type Output = f64;
+    #[inline]
+    fn sample(self, rng: &mut Rng) -> f64 {
+        assert!(self.start < self.end, "empty range");
+        let span = self.end - self.start;
+        // Resample the (measure-zero under rounding) upper endpoint away so
+        // the result stays in the half-open range, as rand guarantees.
+        loop {
+            let x = self.start + rng.gen_f64() * span;
+            if x < self.end {
+                return x;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = Rng::seed_from_u64(42);
+        let mut b = Rng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = Rng::seed_from_u64(43);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut r = Rng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let x = r.gen_range(3u64..17);
+            assert!((3..17).contains(&x));
+            let y = r.gen_range(0usize..5);
+            assert!(y < 5);
+            let z = r.gen_range(0.25f64..0.75);
+            assert!((0.25..0.75).contains(&z));
+        }
+    }
+
+    #[test]
+    fn bounded_is_roughly_uniform() {
+        let mut r = Rng::seed_from_u64(1);
+        let mut counts = [0u32; 8];
+        for _ in 0..80_000 {
+            counts[r.gen_range(0usize..8)] += 1;
+        }
+        for &c in &counts {
+            assert!((9_000..11_000).contains(&c), "skewed bucket: {counts:?}");
+        }
+    }
+
+    #[test]
+    fn gen_bool_tracks_p() {
+        let mut r = Rng::seed_from_u64(2);
+        assert!(!(0..1000).any(|_| r.gen_bool(0.0)));
+        assert!((0..1000).all(|_| r.gen_bool(1.0)));
+        let hits = (0..10_000).filter(|_| r.gen_bool(0.3)).count();
+        assert!((2_500..3_500).contains(&hits), "hits = {hits}");
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut r = Rng::seed_from_u64(3);
+        let mut v: Vec<u32> = (0..50).collect();
+        r.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        assert_ne!(
+            v,
+            (0..50).collect::<Vec<_>>(),
+            "astronomically unlikely identity"
+        );
+    }
+
+    #[test]
+    fn f64_in_unit_interval() {
+        let mut r = Rng::seed_from_u64(4);
+        for _ in 0..10_000 {
+            let x = r.gen_f64();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+}

@@ -2,8 +2,9 @@
 
 use crate::message::MessageSize;
 use crate::metrics::{Metrics, RoundStats};
+use crate::par::{default_threads, par_for_each_indexed};
+use crate::trace::Tracer;
 use ldc_graph::{Graph, NodeId};
-use rayon::prelude::*;
 use std::fmt;
 
 /// Message-size regime of the simulation.
@@ -22,7 +23,9 @@ impl Bandwidth {
     /// The customary `CONGEST(c·⌈log₂ n⌉)` budget.
     pub fn congest_log(n: usize, c: u64) -> Bandwidth {
         let logn = crate::message::bits_for_value(n.max(2) as u64 - 1).max(1);
-        Bandwidth::Congest { bits_per_message: c * logn }
+        Bandwidth::Congest {
+            bits_per_message: c * logn,
+        }
     }
 }
 
@@ -101,7 +104,10 @@ impl<'a, M> Inbox<'a, M> {
 
     /// Iterate over `(port, message)` pairs of received messages.
     pub fn iter(&self) -> impl Iterator<Item = (usize, &M)> {
-        self.slots.iter().enumerate().filter_map(|(p, m)| m.as_ref().map(|m| (p, m)))
+        self.slots
+            .iter()
+            .enumerate()
+            .filter_map(|(p, m)| m.as_ref().map(|m| (p, m)))
     }
 
     /// Number of ports (the node's degree).
@@ -124,8 +130,11 @@ pub struct Network<'g> {
     /// Involution mapping a half-edge's global slot to its reverse slot.
     reverse: Vec<usize>,
     metrics: Metrics,
-    /// Below this node count rounds run sequentially (rayon overhead).
+    /// Below this node count rounds run sequentially (threading overhead).
     parallel_threshold: usize,
+    /// Phase-span tracer; disabled (free) unless attached via
+    /// [`Network::set_tracer`].
+    tracer: Tracer,
 }
 
 impl<'g> Network<'g> {
@@ -153,6 +162,7 @@ impl<'g> Network<'g> {
             reverse,
             metrics: Metrics::default(),
             parallel_threshold: 4096,
+            tracer: Tracer::disabled(),
         }
     }
 
@@ -179,6 +189,19 @@ impl<'g> Network<'g> {
     /// Override the sequential/parallel switch-over point (node count).
     pub fn set_parallel_threshold(&mut self, threshold: usize) {
         self.parallel_threshold = threshold;
+    }
+
+    /// Attach a tracer: every finished round is emitted into its innermost
+    /// open span. Pass a clone of the pipeline's tracer so auxiliary
+    /// networks (e.g. substrate instances) account into the same tree.
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
+    }
+
+    /// The tracer attached to this network (disabled by default). Clone it
+    /// to open spans or to attach it to an auxiliary network.
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
     }
 
     fn node_slices<'b, T>(&self, flat: &'b mut [T]) -> Vec<&'b mut [T]> {
@@ -221,19 +244,15 @@ impl<'g> Network<'g> {
         // Compose phase: per-node disjoint outbox slices.
         {
             let slices = self.node_slices(&mut wire);
-            if n >= self.parallel_threshold {
-                slices
-                    .into_par_iter()
-                    .zip(states.par_iter())
-                    .enumerate()
-                    .for_each(|(v, (slots, state))| {
-                        compose(v as NodeId, state, &mut Outbox { slots });
-                    });
+            let work: Vec<(&mut [Option<M>], &S)> = slices.into_iter().zip(states.iter()).collect();
+            let threads = if n >= self.parallel_threshold {
+                default_threads()
             } else {
-                for (v, (slots, state)) in slices.into_iter().zip(states.iter()).enumerate() {
-                    compose(v as NodeId, state, &mut Outbox { slots });
-                }
-            }
+                1
+            };
+            par_for_each_indexed(work, threads, |v, (slots, state)| {
+                compose(v as NodeId, state, &mut Outbox { slots });
+            });
         }
 
         // Accounting + CONGEST enforcement.
@@ -278,21 +297,19 @@ impl<'g> Network<'g> {
                 .nodes()
                 .map(|v| &wire[self.prefix[v as usize]..self.prefix[v as usize + 1]])
                 .collect();
-            if n >= self.parallel_threshold {
-                inboxes
-                    .into_par_iter()
-                    .zip(states.par_iter_mut())
-                    .enumerate()
-                    .for_each(|(v, (slots, state))| {
-                        consume(v as NodeId, state, Inbox { slots });
-                    });
+            let work: Vec<(&[Option<M>], &mut S)> =
+                inboxes.into_iter().zip(states.iter_mut()).collect();
+            let threads = if n >= self.parallel_threshold {
+                default_threads()
             } else {
-                for (v, (slots, state)) in inboxes.into_iter().zip(states.iter_mut()).enumerate() {
-                    consume(v as NodeId, state, Inbox { slots });
-                }
-            }
+                1
+            };
+            par_for_each_indexed(work, threads, |v, (slots, state)| {
+                consume(v as NodeId, state, Inbox { slots });
+            });
         }
 
+        self.tracer.on_round(&stats);
         self.metrics.push_round(stats);
         Ok(())
     }
@@ -382,14 +399,27 @@ mod tests {
     #[test]
     fn congest_budget_enforced() {
         let g = generators::ring(8);
-        let mut net = Network::new(&g, Bandwidth::Congest { bits_per_message: 4 });
+        let mut net = Network::new(
+            &g,
+            Bandwidth::Congest {
+                bits_per_message: 4,
+            },
+        );
         let mut states = vec![0u64; 8];
         let err = net
             .broadcast_exchange(&mut states, |_, _| Some(1u64 << 40), |_, _, _| {})
             .unwrap_err();
-        assert!(matches!(err, SimError::BandwidthExceeded { limit: 4, bits: 41, .. }));
+        assert!(matches!(
+            err,
+            SimError::BandwidthExceeded {
+                limit: 4,
+                bits: 41,
+                ..
+            }
+        ));
         // A compliant round still works.
-        net.broadcast_exchange(&mut states, |_, _| Some(7u64), |_, _, _| {}).unwrap();
+        net.broadcast_exchange(&mut states, |_, _| Some(7u64), |_, _, _| {})
+            .unwrap();
         assert_eq!(net.metrics().max_message_bits(), 3);
     }
 
@@ -406,9 +436,13 @@ mod tests {
         let g = generators::ring(6);
         let mut net = Network::new(&g, Bandwidth::Local);
         let mut states = vec![(); 6];
-        net.broadcast_exchange(&mut states, |_, _| None::<u32>, |_, _, inbox| {
-            assert_eq!(inbox.iter().count(), 0);
-        })
+        net.broadcast_exchange(
+            &mut states,
+            |_, _| None::<u32>,
+            |_, _, inbox| {
+                assert_eq!(inbox.iter().count(), 0);
+            },
+        )
         .unwrap();
         assert_eq!(net.metrics().total_messages(), 0);
         assert_eq!(net.metrics().total_bits(), 0);
@@ -473,9 +507,12 @@ mod tests {
         let mut a = Network::new(&g, Bandwidth::Local);
         let mut b = Network::new(&g, Bandwidth::Local);
         let mut st = vec![1u8; 6];
-        a.broadcast_exchange(&mut st, |_, s| Some(*s), |_, _, _| {}).unwrap();
-        b.broadcast_exchange(&mut st, |_, s| Some(*s), |_, _, _| {}).unwrap();
-        b.broadcast_exchange(&mut st, |_, s| Some(*s), |_, _, _| {}).unwrap();
+        a.broadcast_exchange(&mut st, |_, s| Some(*s), |_, _, _| {})
+            .unwrap();
+        b.broadcast_exchange(&mut st, |_, s| Some(*s), |_, _, _| {})
+            .unwrap();
+        b.broadcast_exchange(&mut st, |_, s| Some(*s), |_, _, _| {})
+            .unwrap();
         let mut total = crate::Metrics::default();
         total.extend_from(a.metrics());
         total.extend_from(b.metrics());

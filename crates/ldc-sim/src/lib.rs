@@ -26,10 +26,17 @@
 //! (producing outgoing messages from that node's state only) and then a
 //! *consume* closure (updating the node's state from its inbox only). The
 //! engine enforces the information-flow discipline by construction — node
-//! code never sees another node's state — and steps nodes in parallel with
-//! rayon above a configurable size threshold. Purely local computation
-//! between `exchange` calls costs zero rounds, matching the paper's
-//! accounting of "zero-round" constructions.
+//! code never sees another node's state — and steps nodes in parallel on
+//! scoped threads above a configurable size threshold. Purely local
+//! computation between `exchange` calls costs zero rounds, matching the
+//! paper's accounting of "zero-round" constructions.
+//!
+//! # Observability
+//!
+//! The [`trace`] module attributes engine rounds to hierarchical *phase
+//! spans* (one per paper artifact — theorem, lemma, phase). Attach a
+//! [`Tracer`] with [`Network::set_tracer`]; span totals are then
+//! engine-accounted and sum exactly to the flat [`Metrics`].
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -37,7 +44,10 @@
 pub mod engine;
 pub mod message;
 pub mod metrics;
+pub mod par;
+pub mod trace;
 
 pub use engine::{Bandwidth, Inbox, Network, Outbox, SimError};
 pub use message::{bits_for_value, MessageSize};
 pub use metrics::{Metrics, RoundStats};
+pub use trace::{SpanGuard, SpanNode, SpanTotals, Tracer};

@@ -83,7 +83,10 @@ pub struct Costed<M> {
 impl<M> Costed<M> {
     /// Wrap `value` with a declared wire cost.
     pub fn new(value: M, declared_bits: u64) -> Self {
-        Costed { value, declared_bits }
+        Costed {
+            value,
+            declared_bits,
+        }
     }
 }
 

@@ -1,9 +1,7 @@
 //! Round/message accounting collected by the engine.
 
-use serde::Serialize;
-
 /// Statistics for a single communication round.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct RoundStats {
     /// Number of (non-empty) messages sent this round.
     pub messages: u64,
@@ -14,7 +12,7 @@ pub struct RoundStats {
 }
 
 /// Cumulative statistics over a simulation.
-#[derive(Debug, Clone, Default, Serialize)]
+#[derive(Debug, Clone, Default)]
 pub struct Metrics {
     per_round: Vec<RoundStats>,
 }
@@ -42,7 +40,11 @@ impl Metrics {
 
     /// Largest single message across the whole run.
     pub fn max_message_bits(&self) -> u64 {
-        self.per_round.iter().map(|r| r.max_message_bits).max().unwrap_or(0)
+        self.per_round
+            .iter()
+            .map(|r| r.max_message_bits)
+            .max()
+            .unwrap_or(0)
     }
 
     /// Per-round statistics, in execution order.
@@ -87,8 +89,16 @@ mod tests {
     #[test]
     fn aggregates() {
         let mut m = Metrics::default();
-        m.push_round(RoundStats { messages: 2, total_bits: 10, max_message_bits: 6 });
-        m.push_round(RoundStats { messages: 1, total_bits: 3, max_message_bits: 3 });
+        m.push_round(RoundStats {
+            messages: 2,
+            total_bits: 10,
+            max_message_bits: 6,
+        });
+        m.push_round(RoundStats {
+            messages: 1,
+            total_bits: 3,
+            max_message_bits: 3,
+        });
         assert_eq!(m.rounds(), 2);
         assert_eq!(m.total_bits(), 13);
         assert_eq!(m.total_messages(), 3);
@@ -104,7 +114,11 @@ mod tests {
     fn csv_and_percentiles() {
         let mut m = Metrics::default();
         for bits in [1u64, 5, 9] {
-            m.push_round(RoundStats { messages: 1, total_bits: bits, max_message_bits: bits });
+            m.push_round(RoundStats {
+                messages: 1,
+                total_bits: bits,
+                max_message_bits: bits,
+            });
         }
         let csv = m.to_csv();
         assert!(csv.starts_with("round,messages"));

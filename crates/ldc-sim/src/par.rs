@@ -1,0 +1,83 @@
+//! Minimal data-parallel helper on scoped OS threads.
+//!
+//! The engine steps nodes in parallel above a size threshold; this module
+//! provides the one primitive it needs — an indexed for-each over an owned
+//! work list, chunked across `std::thread::scope` workers — without an
+//! external thread-pool dependency (the workspace builds hermetically).
+
+/// Number of worker threads to use for data-parallel node stepping.
+pub fn default_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1)
+}
+
+/// Run `f(global_index, item)` for every item, splitting the list into
+/// contiguous chunks across at most `threads` scoped threads. Falls back to
+/// a plain loop for a single thread or a single item. Panics in workers
+/// propagate to the caller when the scope joins.
+pub fn par_for_each_indexed<T, F>(items: Vec<T>, threads: usize, f: F)
+where
+    T: Send,
+    F: Fn(usize, T) + Sync,
+{
+    let len = items.len();
+    if threads <= 1 || len <= 1 {
+        for (i, item) in items.into_iter().enumerate() {
+            f(i, item);
+        }
+        return;
+    }
+    let chunk = len.div_ceil(threads.min(len));
+    std::thread::scope(|scope| {
+        let f = &f;
+        let mut rest = items;
+        let mut base = 0usize;
+        while !rest.is_empty() {
+            let take = chunk.min(rest.len());
+            let tail = rest.split_off(take);
+            let head = std::mem::replace(&mut rest, tail);
+            scope.spawn(move || {
+                for (i, item) in head.into_iter().enumerate() {
+                    f(base + i, item);
+                }
+            });
+            base += take;
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    #[test]
+    fn visits_every_item_with_its_index() {
+        let items: Vec<u64> = (0..1000).collect();
+        let sum = AtomicU64::new(0);
+        par_for_each_indexed(items, 8, |i, item| {
+            assert_eq!(i as u64, item);
+            sum.fetch_add(item, Ordering::Relaxed);
+        });
+        assert_eq!(sum.load(Ordering::Relaxed), 999 * 1000 / 2);
+    }
+
+    #[test]
+    fn single_thread_and_empty_inputs() {
+        let sum = AtomicU64::new(0);
+        par_for_each_indexed(vec![5u64], 1, |_, x| {
+            sum.fetch_add(x, Ordering::Relaxed);
+        });
+        par_for_each_indexed(Vec::<u64>::new(), 4, |_, _| panic!("no items"));
+        assert_eq!(sum.load(Ordering::Relaxed), 5);
+    }
+
+    #[test]
+    fn mutation_through_disjoint_borrows() {
+        let mut data = vec![0u32; 64];
+        let work: Vec<(usize, &mut u32)> = data.iter_mut().enumerate().collect();
+        par_for_each_indexed(work, 4, |_, (i, slot)| *slot = i as u32 * 2);
+        assert!(data.iter().enumerate().all(|(i, &x)| x == i as u32 * 2));
+    }
+}

@@ -1,0 +1,600 @@
+//! Phase-span tracing: attribute every round, bit, and retry to its
+//! theorem.
+//!
+//! The paper's headline results are *compositions* — Theorem 1.4 is Linial
+//! init + the Corollary 4.2-compressed Theorem 1.1 + the Theorem 1.3
+//! driver — and a flat [`crate::Metrics`] vector cannot say which lemma
+//! consumed the rounds. This module adds a hierarchical accounting layer:
+//!
+//! * a [`Tracer`] is a cheap shareable handle, **no-op by default** (one
+//!   branch per engine round when disabled, nothing allocated);
+//! * algorithm code opens nestable, named **phase spans** via
+//!   [`Tracer::span`] at its paper-artifact boundaries
+//!   (`"thm1.4"`, `"linial-init"`, `"phaseI[class=2]"`, …);
+//! * the engine ([`crate::Network`]) emits every finished round into the
+//!   innermost open span, so span totals are **engine-accounted**, not
+//!   self-reported — summing rounds/bits over the span tree reproduces the
+//!   engine's `Metrics` totals exactly;
+//! * algorithm-specific counters (selection retries, pruned colors,
+//!   laggard chain depth, …) attach to the innermost span via
+//!   [`Tracer::add`] / [`Tracer::set_max`].
+//!
+//! Reopening a span name under the same parent merges into the same node
+//! (so per-class loops aggregate naturally), while the same name at a
+//! different depth stays distinct (so bootstrap recursion remains visible
+//! as a chain).
+//!
+//! Sinks: the in-memory tree snapshot ([`Tracer::report`] →
+//! [`SpanNode`]), a human-readable tree rendering
+//! ([`SpanNode::render`]), and JSONL export ([`SpanNode::to_jsonl`],
+//! one span per line with its full path).
+
+use crate::metrics::RoundStats;
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// A shareable handle to a trace collector. Clones share the same
+/// underlying span tree; the default handle is disabled and free.
+#[derive(Clone, Default)]
+pub struct Tracer {
+    inner: Option<Arc<Mutex<TraceState>>>,
+}
+
+struct TraceState {
+    /// Span arena; index 0 is the implicit root.
+    nodes: Vec<SpanData>,
+    /// Stack of open spans (arena indices); the root is always open.
+    stack: Vec<usize>,
+}
+
+struct SpanData {
+    name: String,
+    children: Vec<usize>,
+    rounds: u64,
+    messages: u64,
+    total_bits: u64,
+    max_message_bits: u64,
+    wall_nanos: u128,
+    opened_at: Option<Instant>,
+    /// Re-entrant open depth (a merged node can be re-opened).
+    open_depth: u32,
+    counters: BTreeMap<String, u64>,
+}
+
+impl SpanData {
+    fn new(name: String) -> Self {
+        SpanData {
+            name,
+            children: Vec::new(),
+            rounds: 0,
+            messages: 0,
+            total_bits: 0,
+            max_message_bits: 0,
+            wall_nanos: 0,
+            opened_at: None,
+            open_depth: 0,
+            counters: BTreeMap::new(),
+        }
+    }
+}
+
+impl Tracer {
+    /// A disabled tracer: every operation is a no-op costing one branch.
+    pub fn disabled() -> Tracer {
+        Tracer { inner: None }
+    }
+
+    /// An enabled tracer collecting an in-memory span tree rooted at
+    /// `"run"`.
+    pub fn new() -> Tracer {
+        let root = SpanData::new("run".into());
+        Tracer {
+            inner: Some(Arc::new(Mutex::new(TraceState {
+                nodes: vec![root],
+                stack: vec![0],
+            }))),
+        }
+    }
+
+    /// Whether this handle records anything.
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Open a phase span; it closes (and stops attracting engine rounds)
+    /// when the returned guard drops. Guards must nest (drop in reverse
+    /// open order), which scoping gives for free.
+    pub fn span(&self, name: impl AsRef<str>) -> SpanGuard {
+        let Some(inner) = &self.inner else {
+            return SpanGuard {
+                tracer: Tracer::disabled(),
+                idx: 0,
+            };
+        };
+        let name = name.as_ref();
+        let mut st = inner.lock().expect("tracer poisoned");
+        let parent = *st.stack.last().expect("root always open");
+        // Merge with an existing same-named child of the current span.
+        let idx = st.nodes[parent]
+            .children
+            .iter()
+            .copied()
+            .find(|&c| st.nodes[c].name == name)
+            .unwrap_or_else(|| {
+                let idx = st.nodes.len();
+                st.nodes.push(SpanData::new(name.to_string()));
+                st.nodes[parent].children.push(idx);
+                idx
+            });
+        let node = &mut st.nodes[idx];
+        if node.open_depth == 0 {
+            node.opened_at = Some(Instant::now());
+        }
+        node.open_depth += 1;
+        st.stack.push(idx);
+        SpanGuard {
+            tracer: self.clone(),
+            idx,
+        }
+    }
+
+    /// Add `v` to the named counter of the innermost open span.
+    pub fn add(&self, counter: &str, v: u64) {
+        let Some(inner) = &self.inner else { return };
+        let mut st = inner.lock().expect("tracer poisoned");
+        let top = *st.stack.last().expect("root always open");
+        *st.nodes[top]
+            .counters
+            .entry(counter.to_string())
+            .or_insert(0) += v;
+    }
+
+    /// Raise the named counter of the innermost open span to at least `v`
+    /// (for high-water marks like recursion or chain depth).
+    pub fn set_max(&self, counter: &str, v: u64) {
+        let Some(inner) = &self.inner else { return };
+        let mut st = inner.lock().expect("tracer poisoned");
+        let top = *st.stack.last().expect("root always open");
+        let slot = st.nodes[top]
+            .counters
+            .entry(counter.to_string())
+            .or_insert(0);
+        *slot = (*slot).max(v);
+    }
+
+    /// Record one finished engine round into the innermost open span.
+    /// Called by [`crate::Network::exchange`]; a disabled tracer pays one
+    /// branch.
+    #[inline]
+    pub(crate) fn on_round(&self, stats: &RoundStats) {
+        let Some(inner) = &self.inner else { return };
+        let mut st = inner.lock().expect("tracer poisoned");
+        let top = *st.stack.last().expect("root always open");
+        let node = &mut st.nodes[top];
+        node.rounds += 1;
+        node.messages += stats.messages;
+        node.total_bits += stats.total_bits;
+        node.max_message_bits = node.max_message_bits.max(stats.max_message_bits);
+    }
+
+    fn close(&self, idx: usize) {
+        let Some(inner) = &self.inner else { return };
+        let mut st = inner.lock().expect("tracer poisoned");
+        // Defensive: pop through any unclosed descendants.
+        while let Some(&top) = st.stack.last() {
+            if top == 0 {
+                break; // never pop the root
+            }
+            st.stack.pop();
+            let node = &mut st.nodes[top];
+            node.open_depth = node.open_depth.saturating_sub(1);
+            if node.open_depth == 0 {
+                if let Some(t0) = node.opened_at.take() {
+                    node.wall_nanos += t0.elapsed().as_nanos();
+                }
+            }
+            if top == idx {
+                break;
+            }
+        }
+    }
+
+    /// Snapshot the span tree. Open spans are included with their
+    /// wall-clock accumulated up to now.
+    pub fn report(&self) -> SpanNode {
+        let Some(inner) = &self.inner else {
+            return SpanNode::empty("run");
+        };
+        let st = inner.lock().expect("tracer poisoned");
+        build_snapshot(&st.nodes, 0)
+    }
+}
+
+impl std::fmt::Debug for Tracer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Tracer")
+            .field("enabled", &self.is_enabled())
+            .finish()
+    }
+}
+
+fn build_snapshot(nodes: &[SpanData], idx: usize) -> SpanNode {
+    let d = &nodes[idx];
+    let wall_nanos = d.wall_nanos + d.opened_at.map(|t0| t0.elapsed().as_nanos()).unwrap_or(0);
+    SpanNode {
+        name: d.name.clone(),
+        rounds: d.rounds,
+        messages: d.messages,
+        total_bits: d.total_bits,
+        max_message_bits: d.max_message_bits,
+        wall_nanos,
+        counters: d.counters.clone(),
+        children: d
+            .children
+            .iter()
+            .map(|&c| build_snapshot(nodes, c))
+            .collect(),
+    }
+}
+
+/// RAII guard returned by [`Tracer::span`]; dropping it closes the span.
+pub struct SpanGuard {
+    tracer: Tracer,
+    idx: usize,
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        self.tracer.close(self.idx);
+    }
+}
+
+/// Aggregate of the engine-accounted quantities of a span (or subtree).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SpanTotals {
+    /// Communication rounds.
+    pub rounds: u64,
+    /// Messages sent.
+    pub messages: u64,
+    /// Total bits sent.
+    pub total_bits: u64,
+    /// Largest single message, in bits.
+    pub max_message_bits: u64,
+}
+
+/// One node of a trace snapshot: self-attributed metrics (rounds recorded
+/// while this span was innermost) plus child spans.
+#[derive(Debug, Clone)]
+pub struct SpanNode {
+    /// Span name (one per paper artifact; see DESIGN.md §Observability).
+    pub name: String,
+    /// Rounds attributed to this span itself (excluding children).
+    pub rounds: u64,
+    /// Messages attributed to this span itself.
+    pub messages: u64,
+    /// Bits attributed to this span itself.
+    pub total_bits: u64,
+    /// Largest message observed while this span was innermost.
+    pub max_message_bits: u64,
+    /// Wall-clock time this span was open, in nanoseconds.
+    pub wall_nanos: u128,
+    /// Algorithm-specific counters (retries, pruned colors, chain depth…).
+    pub counters: BTreeMap<String, u64>,
+    /// Child spans, in first-opened order.
+    pub children: Vec<SpanNode>,
+}
+
+impl SpanNode {
+    fn empty(name: &str) -> SpanNode {
+        SpanNode {
+            name: name.into(),
+            rounds: 0,
+            messages: 0,
+            total_bits: 0,
+            max_message_bits: 0,
+            wall_nanos: 0,
+            counters: BTreeMap::new(),
+            children: Vec::new(),
+        }
+    }
+
+    /// Self-only totals of this node.
+    pub fn self_totals(&self) -> SpanTotals {
+        SpanTotals {
+            rounds: self.rounds,
+            messages: self.messages,
+            total_bits: self.total_bits,
+            max_message_bits: self.max_message_bits,
+        }
+    }
+
+    /// Totals over this node and all descendants. Because rounds enter the
+    /// tree only through the engine, the root's `total()` equals the sum of
+    /// the `Metrics` of every network the tracer was attached to.
+    pub fn total(&self) -> SpanTotals {
+        let mut t = self.self_totals();
+        for c in &self.children {
+            let ct = c.total();
+            t.rounds += ct.rounds;
+            t.messages += ct.messages;
+            t.total_bits += ct.total_bits;
+            t.max_message_bits = t.max_message_bits.max(ct.max_message_bits);
+        }
+        t
+    }
+
+    /// Look up a descendant by `/`-separated path (e.g.
+    /// `"thm1.4/thm1.3-driver"`). An empty path returns `self`.
+    pub fn find(&self, path: &str) -> Option<&SpanNode> {
+        let mut cur = self;
+        for part in path.split('/').filter(|p| !p.is_empty()) {
+            cur = cur.children.iter().find(|c| c.name == part)?;
+        }
+        Some(cur)
+    }
+
+    /// Iterate over `(path, node)` pairs of the whole subtree in preorder.
+    pub fn walk(&self) -> Vec<(String, &SpanNode)> {
+        let mut out = Vec::new();
+        fn rec<'a>(node: &'a SpanNode, prefix: &str, out: &mut Vec<(String, &'a SpanNode)>) {
+            let path = if prefix.is_empty() {
+                node.name.clone()
+            } else {
+                format!("{prefix}/{}", node.name)
+            };
+            out.push((path.clone(), node));
+            for c in &node.children {
+                rec(c, &path, out);
+            }
+        }
+        rec(self, "", &mut out);
+        out
+    }
+
+    /// Human-readable tree report: per-span self + rolled-up rounds/bits,
+    /// wall time, and counters.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(
+            "span                                               rounds   +subtree        bits   +subtree   wall ms\n",
+        );
+        fn rec(node: &SpanNode, depth: usize, out: &mut String) {
+            let t = node.total();
+            let indent = "  ".repeat(depth);
+            let label = format!("{indent}{}", node.name);
+            let wall_ms = node.wall_nanos as f64 / 1e6;
+            out.push_str(&format!(
+                "{label:<48} {:>8} {:>10} {:>11} {:>10} {:>9.2}\n",
+                node.rounds, t.rounds, node.total_bits, t.total_bits, wall_ms
+            ));
+            if !node.counters.is_empty() {
+                let cs: Vec<String> = node
+                    .counters
+                    .iter()
+                    .map(|(k, v)| format!("{k}={v}"))
+                    .collect();
+                out.push_str(&format!("{indent}    · {}\n", cs.join(", ")));
+            }
+            for c in &node.children {
+                rec(c, depth + 1, out);
+            }
+        }
+        rec(self, 0, &mut out);
+        out
+    }
+
+    /// JSONL export: one JSON object per span (preorder), carrying the full
+    /// path, self metrics, rolled-up subtree metrics, and counters. The
+    /// output is hand-rendered (the workspace builds without serde) and
+    /// escapes span names.
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        for (path, node) in self.walk() {
+            let t = node.total();
+            out.push_str(&format!(
+                "{{\"path\":{},\"rounds\":{},\"messages\":{},\"total_bits\":{},\"max_message_bits\":{},\"wall_nanos\":{},\"subtree_rounds\":{},\"subtree_bits\":{},\"counters\":{{",
+                json_string(&path),
+                node.rounds,
+                node.messages,
+                node.total_bits,
+                node.max_message_bits,
+                node.wall_nanos,
+                t.rounds,
+                t.total_bits,
+            ));
+            let mut first = true;
+            for (k, v) in &node.counters {
+                if !first {
+                    out.push(',');
+                }
+                first = false;
+                out.push_str(&format!("{}:{}", json_string(k), v));
+            }
+            out.push_str("}}\n");
+        }
+        out
+    }
+}
+
+/// Render a JSON string literal with escaping.
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round(messages: u64, bits: u64) -> RoundStats {
+        RoundStats {
+            messages,
+            total_bits: bits,
+            max_message_bits: bits,
+        }
+    }
+
+    #[test]
+    fn disabled_tracer_is_inert() {
+        let t = Tracer::disabled();
+        assert!(!t.is_enabled());
+        {
+            let _g = t.span("anything");
+            t.add("c", 5);
+            t.on_round(&round(1, 10));
+        }
+        let r = t.report();
+        assert_eq!(r.total(), SpanTotals::default());
+        assert!(r.children.is_empty());
+    }
+
+    #[test]
+    fn rounds_attribute_to_innermost_span() {
+        let t = Tracer::new();
+        t.on_round(&round(1, 5)); // root
+        {
+            let _a = t.span("a");
+            t.on_round(&round(2, 10));
+            {
+                let _b = t.span("b");
+                t.on_round(&round(3, 20));
+                t.on_round(&round(1, 1));
+            }
+            t.on_round(&round(1, 7));
+        }
+        let r = t.report();
+        assert_eq!(r.rounds, 1);
+        let a = r.find("a").unwrap();
+        assert_eq!(a.rounds, 2);
+        assert_eq!(a.total_bits, 17);
+        let b = r.find("a/b").unwrap();
+        assert_eq!(b.rounds, 2);
+        assert_eq!(b.total_bits, 21);
+        assert_eq!(b.max_message_bits, 20);
+        // Engine accounting: the tree sums to everything that happened.
+        let tot = r.total();
+        assert_eq!(tot.rounds, 5);
+        assert_eq!(tot.total_bits, 43);
+        assert_eq!(tot.messages, 8);
+    }
+
+    #[test]
+    fn same_name_same_parent_merges() {
+        let t = Tracer::new();
+        for _ in 0..3 {
+            let _g = t.span("phase");
+            t.on_round(&round(1, 2));
+        }
+        let r = t.report();
+        assert_eq!(r.children.len(), 1);
+        assert_eq!(r.find("phase").unwrap().rounds, 3);
+    }
+
+    #[test]
+    fn same_name_different_depth_stays_distinct() {
+        let t = Tracer::new();
+        {
+            let _a = t.span("thm1.3");
+            let _b = t.span("substrate");
+            let _c = t.span("thm1.3"); // bootstrap recursion
+            t.on_round(&round(1, 1));
+        }
+        let r = t.report();
+        assert_eq!(r.find("thm1.3/substrate/thm1.3").unwrap().rounds, 1);
+        assert_eq!(r.find("thm1.3").unwrap().rounds, 0);
+    }
+
+    #[test]
+    fn counters_add_and_max() {
+        let t = Tracer::new();
+        {
+            let _g = t.span("sel");
+            t.add("retries", 2);
+            t.add("retries", 3);
+            t.set_max("depth", 4);
+            t.set_max("depth", 2);
+        }
+        let s = t.report();
+        let sel = s.find("sel").unwrap();
+        assert_eq!(sel.counters["retries"], 5);
+        assert_eq!(sel.counters["depth"], 4);
+    }
+
+    #[test]
+    fn clones_share_the_tree() {
+        let t = Tracer::new();
+        let engine_handle = t.clone();
+        {
+            let _g = t.span("phase");
+            engine_handle.on_round(&round(4, 9));
+        }
+        assert_eq!(t.report().find("phase").unwrap().messages, 4);
+    }
+
+    #[test]
+    fn wall_time_accumulates() {
+        let t = Tracer::new();
+        {
+            let _g = t.span("slow");
+            std::thread::sleep(std::time::Duration::from_millis(2));
+        }
+        assert!(t.report().find("slow").unwrap().wall_nanos >= 1_000_000);
+    }
+
+    #[test]
+    fn jsonl_has_one_line_per_span_and_escapes() {
+        let t = Tracer::new();
+        {
+            let _a = t.span("a\"quote");
+            t.on_round(&round(1, 3));
+        }
+        let jsonl = t.report().to_jsonl();
+        assert_eq!(jsonl.lines().count(), 2); // run + a"quote
+        assert!(jsonl.contains("\\\"quote"));
+        assert!(jsonl.contains("\"rounds\":1"));
+        assert!(jsonl.contains("\"subtree_rounds\":1"));
+    }
+
+    #[test]
+    fn render_mentions_all_spans() {
+        let t = Tracer::new();
+        {
+            let _a = t.span("outer");
+            let _b = t.span("inner");
+            t.add("k", 1);
+        }
+        let txt = t.report().render();
+        assert!(txt.contains("outer"));
+        assert!(txt.contains("inner"));
+        assert!(txt.contains("k=1"));
+    }
+
+    #[test]
+    fn find_and_walk_agree() {
+        let t = Tracer::new();
+        {
+            let _a = t.span("x");
+            let _b = t.span("y");
+        }
+        let r = t.report();
+        let paths: Vec<String> = r.walk().into_iter().map(|(p, _)| p).collect();
+        assert_eq!(paths, vec!["run", "run/x", "run/x/y"]);
+        assert!(r.find("x/y").is_some());
+        assert!(r.find("y").is_none());
+    }
+}

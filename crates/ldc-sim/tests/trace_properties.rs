@@ -1,0 +1,124 @@
+//! Property test for the phase-span tracer: under any random interleaving
+//! of span opens/closes and engine rounds — including several networks
+//! sharing one tracer, as Theorem 1.3's substrate sub-networks do — the
+//! span tree stays an **exact partition** of the engines' `Metrics`
+//! totals: summing self-totals over all spans reproduces every round, bit,
+//! and message the engines accounted.
+//!
+//! Driven by a deterministic seeded case loop (the workspace builds
+//! hermetically, so no proptest); failures print the case index for
+//! replay.
+
+use ldc_graph::generators;
+use ldc_rand::Rng;
+use ldc_sim::{Bandwidth, MessageSize, Network, Outbox, SpanNode, SpanTotals, Tracer};
+
+#[derive(Clone)]
+struct Ping(u64);
+
+impl MessageSize for Ping {
+    fn bits(&self) -> u64 {
+        1 + (self.0 % 64)
+    }
+}
+
+/// One engine round: every node broadcasts a `Ping` whose size depends on
+/// `salt`, so different rounds contribute different bit totals.
+fn run_round(net: &mut Network<'_>, salt: u64) {
+    let mut states: Vec<u64> = (0..net.graph().num_nodes() as u64).collect();
+    net.exchange(
+        &mut states,
+        |v, _s, out: &mut Outbox<'_, Ping>| out.broadcast(&Ping(u64::from(v).wrapping_add(salt))),
+        |_v, s, inbox| *s += inbox.iter().count() as u64,
+    )
+    .expect("LOCAL exchange cannot fail");
+}
+
+/// Sum of self-totals over every span in the tree (the non-recursive
+/// counterpart of `root.total()` — both must equal the engine totals).
+fn self_sum(root: &SpanNode) -> SpanTotals {
+    let mut acc = SpanTotals::default();
+    for (_, node) in root.walk() {
+        let s = node.self_totals();
+        acc.rounds += s.rounds;
+        acc.messages += s.messages;
+        acc.total_bits += s.total_bits;
+        acc.max_message_bits = acc.max_message_bits.max(s.max_message_bits);
+    }
+    acc
+}
+
+#[test]
+fn random_span_interleavings_partition_engine_metrics() {
+    for case in 0u64..40 {
+        let mut r = Rng::seed_from_u64(0x7ACE ^ case.wrapping_mul(0x9e3779b97f4a7c15));
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            run_case(&mut r);
+        }));
+        if let Err(e) = result {
+            eprintln!("trace property failed at case {case}");
+            std::panic::resume_unwind(e);
+        }
+    }
+}
+
+fn run_case(r: &mut Rng) {
+    let n = 2 * r.gen_range(2usize..12); // even n: any degree keeps n·d even
+    let d = r.gen_range(2usize..4).min(n - 1);
+    let g = generators::random_regular(n, d, r.gen_range(1u64..1000));
+    let sub = generators::ring(r.gen_range(3usize..12));
+
+    let tracer = Tracer::new();
+    let mut net = Network::new(&g, Bandwidth::Local);
+    net.set_tracer(tracer.clone());
+    // A second network sharing the tracer, like a Theorem 1.3 substrate.
+    let mut sub_net = Network::new(&sub, Bandwidth::Local);
+    sub_net.set_tracer(tracer.clone());
+
+    let mut guards = Vec::new();
+    let names = ["census", "phaseI", "phaseII", "substrate", "decide"];
+    for step in 0..r.gen_range(10u64..60) {
+        match r.gen_range(0u32..5) {
+            0 | 1 => {
+                // Open a span (random name, so merges and fresh nodes mix).
+                let name = names[r.gen_range(0usize..names.len())];
+                guards.push(tracer.span(name));
+            }
+            2 => {
+                // Close the innermost open span (guards nest by Vec order).
+                guards.pop();
+            }
+            3 => run_round(&mut net, step),
+            _ => run_round(&mut sub_net, step),
+        }
+        if r.gen_range(0u32..4) == 0 {
+            tracer.add("events", 1);
+        }
+    }
+    drop(guards);
+
+    let tree = tracer.report();
+    let expect_rounds = (net.rounds() + sub_net.rounds()) as u64;
+    let expect_bits = net.metrics().total_bits() + sub_net.metrics().total_bits();
+    let expect_msgs = net.metrics().total_messages() + sub_net.metrics().total_messages();
+
+    // Recursive root total == engine totals.
+    let total = tree.total();
+    assert_eq!(total.rounds, expect_rounds, "root subtree rounds");
+    assert_eq!(total.total_bits, expect_bits, "root subtree bits");
+    assert_eq!(total.messages, expect_msgs, "root subtree messages");
+
+    // Summing self-totals over every span — the partition view — agrees.
+    let flat = self_sum(&tree);
+    assert_eq!(flat.rounds, expect_rounds, "per-span rounds partition");
+    assert_eq!(flat.total_bits, expect_bits, "per-span bits partition");
+    assert_eq!(flat.messages, expect_msgs, "per-span messages partition");
+
+    // The JSONL sink carries the same accounting: one line per span, and
+    // the root line's subtree totals are the engine totals.
+    let jsonl = tree.to_jsonl();
+    assert_eq!(jsonl.lines().count(), tree.walk().len());
+    let root_line = jsonl.lines().next().expect("root line");
+    assert!(root_line.contains(&format!("\"subtree_rounds\":{expect_rounds}")));
+    assert!(root_line.contains(&format!("\"subtree_bits\":{expect_bits}")));
+}

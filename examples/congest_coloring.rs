@@ -55,7 +55,8 @@ fn main() {
 
     // --- LOCAL baseline with full-list messages (FHK/MT message regime). ---
     let mut net = Network::new(&g, Bandwidth::Local);
-    let colors = classic::list_baseline::local_greedy_list_coloring(&mut net, &lists, space).unwrap();
+    let colors =
+        classic::list_baseline::local_greedy_list_coloring(&mut net, &lists, space).unwrap();
     validate_proper_list_coloring(&g, &lists, &colors).unwrap();
     println!(
         "{:<34}{:>8}{:>16}   (needs LOCAL: would not fit CONGEST)",

@@ -36,7 +36,11 @@ fn main() {
     let ec = edge_coloring(&g, &cfg).unwrap();
     ec.validate(&g).unwrap();
 
-    let max_edge_degree = g.edges().map(|(e, _, _)| edge_degree(&g, e)).max().unwrap_or(0);
+    let max_edge_degree = g
+        .edges()
+        .map(|(e, _, _)| edge_degree(&g, e))
+        .max()
+        .unwrap_or(0);
     println!(
         "scheduled {} links into {} time slots (palette bound 2Δ−1 = {}; max edge-degree {})",
         g.num_edges(),
@@ -58,5 +62,8 @@ fn main() {
         *per_slot.entry(c).or_insert(0usize) += 1;
     }
     let busiest = per_slot.values().max().copied().unwrap_or(0);
-    println!("busiest slot carries {busiest} links; {} slots in use", per_slot.len());
+    println!(
+        "busiest slot carries {busiest} links; {} slots in use",
+        per_slot.len()
+    );
 }

@@ -24,7 +24,11 @@ use ldc::sim::{Bandwidth, Network};
 fn station_channels(v: u32, bulk_space: u64) -> DefectList {
     let premium = (0..4u64).map(|i| ((u64::from(v) + i) % 8, 0));
     let bulk = (0..1024u64).map(move |i| (8 + (u64::from(v) * 17 + i * 3) % bulk_space, 2));
-    premium.chain(bulk).collect::<std::collections::BTreeMap<_, _>>().into_iter().collect()
+    premium
+        .chain(bulk)
+        .collect::<std::collections::BTreeMap<_, _>>()
+        .into_iter()
+        .collect()
 }
 
 fn main() {

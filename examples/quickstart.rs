@@ -16,7 +16,12 @@ use ldc::sim::{Bandwidth, Network};
 fn main() {
     // A 6-regular random graph on 64 nodes.
     let g = generators::random_regular(64, 6, 42);
-    println!("graph: {} nodes, {} edges, Δ = {}", g.num_nodes(), g.num_edges(), g.max_degree());
+    println!(
+        "graph: {} nodes, {} edges, Δ = {}",
+        g.num_nodes(),
+        g.num_edges(),
+        g.max_degree()
+    );
 
     // --- Part 1: sequential existence (Lemma A.1). -------------------------
     // Give every node 4 colors with defect 1: Σ(d+1) = 8 > Δ = 6, so a list
@@ -41,9 +46,7 @@ fn main() {
     let big_space = 1 << 13;
     let oldc_lists: Vec<DefectList> = g
         .nodes()
-        .map(|v| {
-            DefectList::uniform((0..2048u64).map(|i| (i * 3 + u64::from(v)) % big_space), 2)
-        })
+        .map(|v| DefectList::uniform((0..2048u64).map(|i| (i * 3 + u64::from(v)) % big_space), 2))
         .collect();
     let init: Vec<u64> = g.nodes().map(u64::from).collect();
     let active = vec![true; g.num_nodes()];

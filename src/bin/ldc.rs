@@ -11,11 +11,11 @@
 //! ```
 
 use ldc::classic;
-use ldc::core::congest::{congest_degree_plus_one, CongestBranch, CongestConfig};
-use ldc::core::edge_coloring::edge_coloring;
+use ldc::core::congest::{congest_degree_plus_one_traced, CongestBranch, CongestConfig};
+use ldc::core::ctx::span as spans;
 use ldc::core::validate::validate_proper_list_coloring;
 use ldc::graph::{analysis, generators, io, Graph};
-use ldc::sim::{Bandwidth, Network};
+use ldc::sim::{Bandwidth, Network, Tracer};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -40,12 +40,25 @@ fn run(args: &[String]) -> Result<(), String> {
 }
 
 fn usage() -> String {
-    "usage:\n  ldc gen <ring|path|complete|torus|regular|gnp|tree|powerlaw|hypercube> <params…> [--seed S] [-o FILE]\n  ldc color <FILE> [--algorithm thm14|classic|luby] [--seed S]\n  ldc edge-color <FILE> [--seed S]\n  ldc analyze <FILE>"
+    "usage:\n  ldc gen <ring|path|complete|torus|regular|gnp|tree|powerlaw|hypercube> <params…> [--seed S] [-o FILE]\n  ldc color <FILE> [--algorithm thm14|classic|luby] [--seed S] [--trace FILE]\n  ldc edge-color <FILE> [--seed S] [--trace FILE]\n  ldc analyze <FILE>\n\n  --trace FILE: record a phase-span trace (per-theorem rounds/bits), print\n  the span tree, and write it as JSONL to FILE ('-' prints the tree only)."
         .into()
 }
 
+/// Print the collected span tree and, unless `path` is `-`, export JSONL.
+fn finish_trace(tracer: &Tracer, path: &str) -> Result<(), String> {
+    let tree = tracer.report();
+    print!("{}", tree.render());
+    if path != "-" {
+        std::fs::write(path, tree.to_jsonl()).map_err(|e| format!("write {path}: {e}"))?;
+        println!("wrote span trace to {path}");
+    }
+    Ok(())
+}
+
 fn flag(args: &[String], name: &str) -> Option<String> {
-    args.iter().position(|a| a == name).and_then(|i| args.get(i + 1).cloned())
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1).cloned())
 }
 
 fn positional(args: &[String]) -> Vec<&String> {
@@ -77,7 +90,10 @@ fn load(path: &str) -> Result<Graph, String> {
 fn cmd_gen(args: &[String]) -> Result<(), String> {
     let pos = positional(args);
     let family = pos.first().ok_or_else(usage)?.as_str();
-    let seed: u64 = flag(args, "--seed").map(|s| parse(&s, "seed")).transpose()?.unwrap_or(1);
+    let seed: u64 = flag(args, "--seed")
+        .map(|s| parse(&s, "seed"))
+        .transpose()?
+        .unwrap_or(1);
     let p1: Option<usize> = pos.get(1).map(|s| parse(s, "param 1")).transpose()?;
     let p2: Option<usize> = pos.get(2).map(|s| parse(s, "param 2")).transpose()?;
     let g = match (family, p1, p2) {
@@ -96,7 +112,11 @@ fn cmd_gen(args: &[String]) -> Result<(), String> {
         Some(path) => {
             let f = std::fs::File::create(&path).map_err(|e| format!("create {path}: {e}"))?;
             io::write_edge_list(&g, f).map_err(|e| e.to_string())?;
-            println!("wrote {} nodes / {} edges to {path}", g.num_nodes(), g.num_edges());
+            println!(
+                "wrote {} nodes / {} edges to {path}",
+                g.num_nodes(),
+                g.num_edges()
+            );
         }
         None => {
             io::write_edge_list(&g, std::io::stdout()).map_err(|e| e.to_string())?;
@@ -110,7 +130,16 @@ fn cmd_color(args: &[String]) -> Result<(), String> {
     let path = pos.first().ok_or_else(usage)?;
     let g = load(path)?;
     let algorithm = flag(args, "--algorithm").unwrap_or_else(|| "thm14".into());
-    let seed: u64 = flag(args, "--seed").map(|s| parse(&s, "seed")).transpose()?.unwrap_or(1);
+    let seed: u64 = flag(args, "--seed")
+        .map(|s| parse(&s, "seed"))
+        .transpose()?
+        .unwrap_or(1);
+    let trace = flag(args, "--trace");
+    let tracer = if trace.is_some() {
+        Tracer::new()
+    } else {
+        Tracer::disabled()
+    };
     let delta = g.max_degree();
     let space = delta as u64 + 1;
     let lists: Vec<Vec<u64>> = (0..g.num_nodes()).map(|_| (0..space).collect()).collect();
@@ -123,31 +152,53 @@ fn cmd_color(args: &[String]) -> Result<(), String> {
                 substrate: ldc::core::arbdefective::Substrate::Randomized,
                 ..CongestConfig::default()
             };
-            let (c, rep) =
-                congest_degree_plus_one(&g, space, &lists, &cfg).map_err(|e| e.to_string())?;
-            (c, rep.rounds_main, rep.rounds_substrate, rep.max_message_bits)
+            let (c, rep) = congest_degree_plus_one_traced(&g, space, &lists, &cfg, tracer.clone())
+                .map_err(|e| e.to_string())?;
+            (
+                c,
+                rep.rounds_main,
+                rep.rounds_substrate,
+                rep.max_message_bits,
+            )
         }
         "classic" => {
             let mut net = Network::new(&g, Bandwidth::congest_log(g.num_nodes(), 16));
-            let lin = classic::linial_coloring(&mut net, None).map_err(|e| e.to_string())?;
-            let c = classic::reduction::class_iteration_list_coloring(&mut net, &lin, &lists)
-                .map_err(|e| e.to_string())?;
+            net.set_tracer(tracer.clone());
+            let lin = {
+                let _s = tracer.span(spans::LINIAL_INIT);
+                classic::linial_coloring(&mut net, None).map_err(|e| e.to_string())?
+            };
+            let c = {
+                let _s = tracer.span(spans::CLASS_ITERATION);
+                classic::reduction::class_iteration_list_coloring(&mut net, &lin, &lists)
+                    .map_err(|e| e.to_string())?
+            };
             (c, net.rounds(), 0, net.metrics().max_message_bits())
         }
         "luby" => {
             let mut net = Network::new(&g, Bandwidth::congest_log(g.num_nodes(), 16));
-            let c = classic::luby::luby_list_coloring(&mut net, &lists, seed)
-                .map_err(|e| e.to_string())?;
+            net.set_tracer(tracer.clone());
+            let c = {
+                let _s = tracer.span(spans::LUBY);
+                classic::luby::luby_list_coloring(&mut net, &lists, seed)
+                    .map_err(|e| e.to_string())?
+            };
             (c, net.rounds(), 0, net.metrics().max_message_bits())
         }
         other => return Err(format!("unknown algorithm {other:?} (thm14|classic|luby)")),
     };
     validate_proper_list_coloring(&g, &lists, &colors).map_err(|e| e.to_string())?;
-    let used = colors.iter().collect::<std::collections::BTreeSet<_>>().len();
+    let used = colors
+        .iter()
+        .collect::<std::collections::BTreeSet<_>>()
+        .len();
     println!(
         "{algorithm}: n = {}, Δ = {delta}; colored with {used} of {space} colors in {rounds} rounds (+{substrate} substrate), max message {max_bits} bits — VALID",
         g.num_nodes()
     );
+    if let Some(path) = trace {
+        finish_trace(&tracer, &path)?;
+    }
     Ok(())
 }
 
@@ -155,13 +206,23 @@ fn cmd_edge_color(args: &[String]) -> Result<(), String> {
     let pos = positional(args);
     let path = pos.first().ok_or_else(usage)?;
     let g = load(path)?;
-    let seed: u64 = flag(args, "--seed").map(|s| parse(&s, "seed")).transpose()?.unwrap_or(1);
+    let seed: u64 = flag(args, "--seed")
+        .map(|s| parse(&s, "seed"))
+        .transpose()?
+        .unwrap_or(1);
+    let trace = flag(args, "--trace");
+    let tracer = if trace.is_some() {
+        Tracer::new()
+    } else {
+        Tracer::disabled()
+    };
     let cfg = CongestConfig {
         seed,
         substrate: ldc::core::arbdefective::Substrate::Randomized,
         ..CongestConfig::default()
     };
-    let ec = edge_coloring(&g, &cfg).map_err(|e| e.to_string())?;
+    let ec = ldc::core::edge_coloring::edge_coloring_traced(&g, &cfg, tracer.clone())
+        .map_err(|e| e.to_string())?;
     ec.validate(&g).map_err(|e| e.to_string())?;
     println!(
         "edge-colored {} edges with {} colors (palette 2Δ−1 = {}), {} rounds on L(G) — VALID",
@@ -170,6 +231,9 @@ fn cmd_edge_color(args: &[String]) -> Result<(), String> {
         (2 * g.max_degree()).saturating_sub(1),
         ec.report.rounds_main,
     );
+    if let Some(path) = trace {
+        finish_trace(&tracer, &path)?;
+    }
     Ok(())
 }
 
@@ -190,7 +254,10 @@ fn cmd_analyze(args: &[String]) -> Result<(), String> {
         println!("diameter: {}", analysis::diameter(&g));
     }
     if g.max_degree() <= 24 {
-        println!("neighborhood independence: {}", analysis::neighborhood_independence(&g));
+        println!(
+            "neighborhood independence: {}",
+            analysis::neighborhood_independence(&g)
+        );
     }
     Ok(())
 }

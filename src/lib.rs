@@ -1,4 +1,7 @@
 #![doc = include_str!("../README.md")]
 #![forbid(unsafe_code)]
 
-pub use ldc_core as core; pub use ldc_graph as graph; pub use ldc_sim as sim; pub use ldc_classic as classic;
+pub use ldc_classic as classic;
+pub use ldc_core as core;
+pub use ldc_graph as graph;
+pub use ldc_sim as sim;

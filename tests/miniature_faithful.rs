@@ -25,7 +25,11 @@ fn mini_world() -> Mini {
     // Types: m = 2 initial colors × all 4-subsets of 𝒞 = {0..6}.
     // Family shape: K ∈ ((L choose 2) choose 2); conflict: τ = 2, τ' = 2.
     let table = exact_greedy(6, 2, 4, 2, 2, 2, 2, 0).expect("Lemma 3.5 greedy succeeds");
-    Mini { table, tau: 2, tau_prime: 2 }
+    Mini {
+        table,
+        tau: 2,
+        tau_prime: 2,
+    }
 }
 
 #[test]
@@ -53,8 +57,12 @@ fn p1_and_final_colors_from_the_table() {
 
     // Initial proper 2-coloring (path is bipartite).
     let init = [0u64, 1, 0, 1];
-    let lists: [Vec<u64>; 4] =
-        [vec![0, 1, 2, 3], vec![1, 2, 3, 4], vec![2, 3, 4, 5], vec![0, 2, 4, 5]];
+    let lists: [Vec<u64>; 4] = [
+        vec![0, 1, 2, 3],
+        vec![1, 2, 3, 4],
+        vec![2, 3, 4, 5],
+        vec![0, 2, 4, 5],
+    ];
 
     // P2: each node reads its K from the (globally known) greedy table.
     let k: Vec<&Vec<Vec<u64>>> = (0..4)
@@ -72,13 +80,16 @@ fn p1_and_final_colors_from_the_table() {
     // a conflict-free member against β = 1 out-neighbors.
     let mut c_sets: Vec<&Vec<u64>> = Vec::new();
     for v in 0..4usize {
-        let out: Vec<usize> = view.out_neighbors(v as u32).iter().map(|&u| u as usize).collect();
+        let out: Vec<usize> = view
+            .out_neighbors(v as u32)
+            .iter()
+            .map(|&u| u as usize)
+            .collect();
         let pick = k[v]
             .iter()
             .find(|cand| {
-                out.iter().all(|&u| {
-                    k[u].iter().all(|cu| !tau_g_conflict(cand, cu, w.tau, 0))
-                })
+                out.iter()
+                    .all(|&u| k[u].iter().all(|cu| !tau_g_conflict(cand, cu, w.tau, 0)))
             })
             .expect("Ψ-freeness guarantees a conflict-free member");
         c_sets.push(pick);
@@ -96,7 +107,11 @@ fn p1_and_final_colors_from_the_table() {
     // every out-neighbor's C_u — possible because |C_v| = 2 > β·(τ−1) = 1.
     let mut colors = [0u64; 4];
     for v in (0..4usize).rev() {
-        let out: Vec<usize> = view.out_neighbors(v as u32).iter().map(|&u| u as usize).collect();
+        let out: Vec<usize> = view
+            .out_neighbors(v as u32)
+            .iter()
+            .map(|&u| u as usize)
+            .collect();
         colors[v] = *c_sets[v]
             .iter()
             .find(|&&x| out.iter().all(|&u| !c_sets[u].contains(&x)))

@@ -9,9 +9,7 @@ use ldc::core::colorspace::Theorem11Solver;
 use ldc::core::congest::{congest_degree_plus_one, CongestBranch, CongestConfig};
 use ldc::core::existence::solve_ldc;
 use ldc::core::params::practical_kappa;
-use ldc::core::validate::{
-    validate_arbdefective, validate_ldc, validate_proper_list_coloring,
-};
+use ldc::core::validate::{validate_arbdefective, validate_ldc, validate_proper_list_coloring};
 use ldc::core::{ColorSpace, DefectList, LdcInstance, ParamProfile};
 use ldc::graph::{generators, Graph, ProperColoring};
 use ldc::sim::{Bandwidth, Network};
@@ -20,8 +18,9 @@ fn degree_plus_one_lists(g: &Graph, space: u64, salt: u64) -> Vec<Vec<u64>> {
     g.nodes()
         .map(|v| {
             let need = g.degree(v) + 1;
-            let mut l: Vec<u64> =
-                (0..need as u64).map(|i| (u64::from(v) * 29 + i * 83 + salt) % space).collect();
+            let mut l: Vec<u64> = (0..need as u64)
+                .map(|i| (u64::from(v) * 29 + i * 83 + salt) % space)
+                .collect();
             l.sort_unstable();
             l.dedup();
             let mut c = 0;
@@ -72,8 +71,7 @@ fn theorem_1_4_agrees_with_all_baselines_on_validity() {
     let lists: Vec<Vec<u64>> = (0..200).map(|_| (0..7).collect()).collect();
 
     // Paper pipeline.
-    let (c1, _) =
-        congest_degree_plus_one(&g, space, &lists, &CongestConfig::default()).unwrap();
+    let (c1, _) = congest_degree_plus_one(&g, space, &lists, &CongestConfig::default()).unwrap();
     // Classic class iteration.
     let mut net = Network::new(&g, Bandwidth::congest_log(200, 8));
     let lin = classic::linial_coloring(&mut net, None).unwrap();
@@ -104,8 +102,9 @@ fn theorem_1_3_heterogeneous_defects_all_substrates() {
             let deg = g.degree(v) as u64;
             let twos = deg / 4;
             let zeros = deg + 2 - 3 * twos;
-            let mut entries: Vec<(u64, u64)> =
-                (0..twos).map(|i| ((u64::from(v) * 7 + i * 11) % 256, 2)).collect();
+            let mut entries: Vec<(u64, u64)> = (0..twos)
+                .map(|i| ((u64::from(v) * 7 + i * 11) % 256, 2))
+                .collect();
             entries.extend((0..zeros).map(|i| (256 + ((u64::from(v) * 13 + i * 17) % 344), 0)));
             entries.sort_unstable();
             entries.dedup_by_key(|e| e.0);
@@ -122,9 +121,11 @@ fn theorem_1_3_heterogeneous_defects_all_substrates() {
         .collect();
     let init = ProperColoring::by_id(&g);
     let profile = ParamProfile::practical_default();
-    for substrate in
-        [Substrate::Sequential, Substrate::Randomized, Substrate::Bootstrap { levels: 1 }]
-    {
+    for substrate in [
+        Substrate::Sequential,
+        Substrate::Randomized,
+        Substrate::Bootstrap { levels: 1 },
+    ] {
         let cfg = ArbConfig {
             nu: 1.0,
             kappa: practical_kappa(profile, g.max_degree() as u64, space, 120),
@@ -151,9 +152,7 @@ fn distributed_and_sequential_solvers_accept_the_same_instances() {
     let space = ColorSpace::new(1 << 12);
     let lists: Vec<DefectList> = g
         .nodes()
-        .map(|v| {
-            DefectList::uniform((0..1024u64).map(|i| (i * 3 + u64::from(v)) % (1 << 12)), 1)
-        })
+        .map(|v| DefectList::uniform((0..1024u64).map(|i| (i * 3 + u64::from(v)) % (1 << 12)), 1))
         .collect();
     let inst = LdcInstance::new(&g, space, lists.clone());
     let seq = solve_ldc(&inst).unwrap();
@@ -189,7 +188,12 @@ fn congest_budget_failures_are_loud() {
     // (the palette is above the O(Δ²) fixpoint, so reduction rounds *do*
     // run): the simulator must return a bandwidth error, never truncate.
     let g = generators::random_regular(1024, 4, 2);
-    let mut net = Network::new(&g, Bandwidth::Congest { bits_per_message: 4 });
+    let mut net = Network::new(
+        &g,
+        Bandwidth::Congest {
+            bits_per_message: 4,
+        },
+    );
     let err = classic::linial_coloring(&mut net, None);
     assert!(err.is_err(), "10-bit ids cannot fit 4-bit messages");
 }
@@ -200,7 +204,10 @@ fn forced_branches_both_work() {
     let space = 7u64;
     let lists: Vec<Vec<u64>> = (0..150).map(|_| (0..7).collect()).collect();
     for branch in [CongestBranch::SqrtDelta, CongestBranch::ClassIteration] {
-        let cfg = CongestConfig { force_branch: Some(branch), ..CongestConfig::default() };
+        let cfg = CongestConfig {
+            force_branch: Some(branch),
+            ..CongestConfig::default()
+        };
         let (colors, report) = congest_degree_plus_one(&g, space, &lists, &cfg).unwrap();
         validate_proper_list_coloring(&g, &lists, &colors).unwrap();
         assert_eq!(report.branch, branch);

@@ -1,0 +1,186 @@
+//! Acceptance test for the phase-span tracing subsystem: tracing a **full
+//! Theorem 1.4 run** on the E6 workload must produce a span tree whose
+//! per-phase rounds/bits sum *exactly* to the engine `Metrics` totals —
+//! including the substrate sub-network rounds that run on their own
+//! `Network` inside Theorem 1.3.
+
+use ldc::core::arbdefective::Substrate;
+use ldc::core::congest::{
+    congest_degree_plus_one_traced, CongestBranch, CongestConfig, CongestReport,
+};
+use ldc::core::ctx::span as spans;
+use ldc::core::validate::validate_proper_list_coloring;
+use ldc::graph::{generators, Graph};
+use ldc::sim::{SpanNode, SpanTotals, Tracer};
+
+/// The E6 list family: (deg+1)-size lists drawn from a 4(Δ+1) color space.
+fn degree_plus_one_lists(g: &Graph, space: u64, salt: u64) -> Vec<Vec<u64>> {
+    g.nodes()
+        .map(|v| {
+            let need = g.degree(v) + 1;
+            let mut l: Vec<u64> = (0..need as u64)
+                .map(|i| (u64::from(v) * 29 + i * 83 + salt) % space)
+                .collect();
+            l.sort_unstable();
+            l.dedup();
+            let mut c = 0;
+            while l.len() < need {
+                if !l.contains(&c) {
+                    l.push(c);
+                }
+                c += 1;
+            }
+            l.sort_unstable();
+            l
+        })
+        .collect()
+}
+
+/// Sum self-totals over every span — the per-phase partition view.
+fn per_phase_sum(root: &SpanNode) -> SpanTotals {
+    let mut acc = SpanTotals::default();
+    for (_, node) in root.walk() {
+        let s = node.self_totals();
+        acc.rounds += s.rounds;
+        acc.messages += s.messages;
+        acc.total_bits += s.total_bits;
+        acc.max_message_bits = acc.max_message_bits.max(s.max_message_bits);
+    }
+    acc
+}
+
+/// Assert the span tree is an exact partition of the report's engine
+/// totals (rounds, bits, messages, max message size).
+fn assert_tree_matches_report(tree: &SpanNode, rep: &CongestReport) {
+    let total = tree.total();
+    assert_eq!(
+        total.rounds,
+        rep.rounds_total() as u64,
+        "subtree rounds == engine rounds"
+    );
+    assert_eq!(
+        total.total_bits, rep.bits_total,
+        "subtree bits == engine bits"
+    );
+    assert_eq!(
+        total.messages, rep.messages_total,
+        "subtree messages == engine messages"
+    );
+    assert_eq!(
+        total.max_message_bits, rep.max_message_bits,
+        "max message bits agree"
+    );
+
+    let flat = per_phase_sum(tree);
+    assert_eq!(
+        flat.rounds, total.rounds,
+        "per-phase rounds partition the total"
+    );
+    assert_eq!(
+        flat.total_bits, total.total_bits,
+        "per-phase bits partition the total"
+    );
+    assert_eq!(
+        flat.messages, total.messages,
+        "per-phase messages partition the total"
+    );
+}
+
+#[test]
+fn theorem14_sqrt_delta_trace_partitions_engine_metrics() {
+    // E6 sizing: n ≥ 5Δ², so Linial has room to reduce (≥ 1 round).
+    let delta = 8;
+    let g = generators::random_regular(5 * delta * delta, delta, 17);
+    let space = 4 * (delta as u64 + 1);
+    let lists = degree_plus_one_lists(&g, space, 5);
+    let cfg = CongestConfig {
+        force_branch: Some(CongestBranch::SqrtDelta),
+        substrate: Substrate::Randomized,
+        ..CongestConfig::default()
+    };
+
+    let tracer = Tracer::new();
+    let (colors, rep) =
+        congest_degree_plus_one_traced(&g, space, &lists, &cfg, tracer.clone()).unwrap();
+    validate_proper_list_coloring(&g, &lists, &colors).unwrap();
+    assert_eq!(rep.branch, CongestBranch::SqrtDelta);
+
+    let tree = tracer.report();
+    assert_tree_matches_report(&tree, &rep);
+
+    // The composition is visible as spans: Theorem 1.4 wraps Linial init
+    // and the Theorem 1.3 driver, whose stages hold the substrate call
+    // (running on its own sub-network) and the per-bucket OLDC calls.
+    let thm14 = tree.find(spans::THM14).expect("thm1.4 span");
+    assert_eq!(
+        thm14.total().rounds,
+        tree.total().rounds,
+        "all rounds under thm1.4"
+    );
+    let linial = tree.find(&format!("{}/{}", spans::THM14, spans::LINIAL_INIT));
+    assert!(
+        linial.is_some_and(|s| s.total().rounds > 0),
+        "linial-init span has rounds"
+    );
+    let thm13 = tree
+        .find(&format!("{}/{}", spans::THM14, spans::THM13))
+        .expect("thm1.3 span");
+    let stage1 = thm13.find(&spans::stage(1)).expect("stage[1] span");
+    assert!(stage1
+        .find(spans::SUBSTRATE)
+        .is_some_and(|s| s.total().rounds > 0));
+    assert!(stage1
+        .find(spans::BUCKET_OLDC)
+        .is_some_and(|s| s.total().rounds > 0));
+
+    // The substrate rounds ran on a different Network but land in the same
+    // tree; without them the partition would undercount by exactly
+    // `rounds_substrate`.
+    assert!(
+        rep.rounds_substrate > 0,
+        "E6 workload exercises the substrate"
+    );
+}
+
+#[test]
+fn theorem14_class_iteration_trace_partitions_engine_metrics() {
+    let delta = 6;
+    let g = generators::random_regular(96, delta, 3);
+    let space = 4 * (delta as u64 + 1);
+    let lists = degree_plus_one_lists(&g, space, 9);
+    let cfg = CongestConfig {
+        force_branch: Some(CongestBranch::ClassIteration),
+        ..CongestConfig::default()
+    };
+
+    let tracer = Tracer::new();
+    let (colors, rep) =
+        congest_degree_plus_one_traced(&g, space, &lists, &cfg, tracer.clone()).unwrap();
+    validate_proper_list_coloring(&g, &lists, &colors).unwrap();
+    assert_eq!(rep.branch, CongestBranch::ClassIteration);
+
+    let tree = tracer.report();
+    assert_tree_matches_report(&tree, &rep);
+    let path = format!("{}/{}", spans::THM14, spans::CLASS_ITERATION);
+    assert!(tree.find(&path).is_some_and(|s| s.total().rounds > 0));
+}
+
+/// A disabled tracer must not change results: same seed, same coloring.
+#[test]
+fn disabled_tracer_is_transparent() {
+    let delta = 6;
+    let g = generators::random_regular(96, delta, 3);
+    let space = 4 * (delta as u64 + 1);
+    let lists = degree_plus_one_lists(&g, space, 9);
+    let cfg = CongestConfig {
+        force_branch: Some(CongestBranch::SqrtDelta),
+        substrate: Substrate::Randomized,
+        ..CongestConfig::default()
+    };
+    let (c1, r1) =
+        congest_degree_plus_one_traced(&g, space, &lists, &cfg, Tracer::disabled()).unwrap();
+    let (c2, r2) = congest_degree_plus_one_traced(&g, space, &lists, &cfg, Tracer::new()).unwrap();
+    assert_eq!(c1, c2, "tracing must not perturb the algorithm");
+    assert_eq!(r1.rounds_total(), r2.rounds_total());
+    assert_eq!(r1.bits_total, r2.bits_total);
+}
