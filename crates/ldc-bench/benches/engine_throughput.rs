@@ -1,0 +1,172 @@
+//! Round-engine throughput bench: times `Network::exchange` hot-path
+//! workloads (sparse flood, dense clique, alternating message types)
+//! across the three executors and writes `BENCH_engine.json` at the repo
+//! root, seeding the perf trajectory (`BENCH_*.json`).
+//!
+//! Self-contained harness (the workspace builds hermetically, so no
+//! criterion): each case is warmed up once, then sampled, and the median
+//! node-steps/s is recorded. `--quick` shrinks instances and samples for
+//! the CI smoke step; a substring argument filters cases:
+//! `cargo bench --bench engine_throughput -- dense`.
+
+use ldc_graph::{generators, Graph};
+use ldc_sim::json::json_string;
+use ldc_sim::par::default_threads;
+use ldc_sim::{Bandwidth, ExecMode, Network, Outbox};
+use std::hint::black_box;
+use std::time::Instant;
+
+struct Case {
+    name: String,
+    mode: &'static str,
+    rounds: usize,
+    nodes: usize,
+    slots: usize,
+    median_secs: f64,
+    node_steps_per_sec: f64,
+}
+
+/// Run `rounds` mixing rounds on `g` under `mode` and return wall seconds.
+fn run_workload(g: &Graph, mode: ExecMode, threshold: usize, rounds: usize) -> f64 {
+    let mut net = Network::new(g, Bandwidth::Local);
+    net.set_exec_mode(mode);
+    net.set_parallel_threshold(threshold);
+    net.set_threads(default_threads().max(2));
+    let mut states: Vec<u64> = g.nodes().map(u64::from).collect();
+    // Warm-up round: wire buffers allocate here, pool workers spawn here.
+    exchange_round(&mut net, &mut states);
+    let t0 = Instant::now();
+    for _ in 0..rounds {
+        exchange_round(&mut net, &mut states);
+    }
+    let elapsed = t0.elapsed().as_secs_f64();
+    black_box(states);
+    elapsed
+}
+
+fn exchange_round(net: &mut Network<'_>, states: &mut [u64]) {
+    net.exchange(
+        states,
+        |_v, s, out: &mut Outbox<'_, u64>| {
+            for p in 0..out.ports() {
+                out.send(p, s.wrapping_add(p as u64));
+            }
+        },
+        |v, s, inbox| {
+            let mut acc = *s ^ u64::from(v);
+            for (_, m) in inbox.iter() {
+                acc = acc.wrapping_mul(31).wrapping_add(*m);
+            }
+            *s = acc;
+        },
+    )
+    .expect("LOCAL exchange cannot fail");
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let filter = args.iter().find(|a| !a.starts_with("--")).cloned();
+    let samples = if quick { 3 } else { 7 };
+
+    // (name, graph, rounds): a sparse flood (the E9 workload), a dense
+    // clique (small n, huge work — the regime the old node-count switch
+    // kept sequential), and a ring (tiny work; must not pay parallel
+    // overhead).
+    let workloads: Vec<(String, Graph, usize)> = if quick {
+        vec![
+            (
+                "sparse_gnp_10k".into(),
+                generators::gnp(10_000, 8.0 / 10_000.0, 31),
+                10,
+            ),
+            ("dense_complete_300".into(), generators::complete(300), 10),
+            ("ring_20k".into(), generators::ring(20_000), 10),
+        ]
+    } else {
+        vec![
+            (
+                "sparse_gnp_100k".into(),
+                generators::gnp(100_000, 8.0 / 100_000.0, 31),
+                20,
+            ),
+            ("dense_complete_1000".into(), generators::complete(1000), 20),
+            ("ring_200k".into(), generators::ring(200_000), 20),
+        ]
+    };
+
+    let modes = [
+        ("serial", ExecMode::Sequential, usize::MAX),
+        ("pooled", ExecMode::Pooled, 0usize),
+        ("scoped", ExecMode::Scoped, 0usize),
+    ];
+
+    let mut cases: Vec<Case> = Vec::new();
+    for (wname, g, rounds) in &workloads {
+        let slots: usize = g.nodes().map(|v| g.degree(v)).sum();
+        for (mname, mode, threshold) in modes {
+            let full = format!("{wname}/{mname}");
+            if let Some(f) = &filter {
+                if !full.contains(f.as_str()) {
+                    continue;
+                }
+            }
+            let mut times: Vec<f64> = (0..samples)
+                .map(|_| run_workload(g, mode, threshold, *rounds))
+                .collect();
+            times.sort_by(|a, b| a.partial_cmp(b).expect("finite times"));
+            let median = times[times.len() / 2];
+            let steps = (g.num_nodes() * rounds) as f64;
+            println!(
+                "{full:<36} median {:>9.3} ms  {:>9.2} M node-steps/s",
+                median * 1000.0,
+                steps / median / 1e6
+            );
+            cases.push(Case {
+                name: wname.clone(),
+                mode: mname,
+                rounds: *rounds,
+                nodes: g.num_nodes(),
+                slots,
+                median_secs: median,
+                node_steps_per_sec: steps / median,
+            });
+        }
+    }
+
+    // Persist the trajectory point. Only full (non-quick, unfiltered) runs
+    // overwrite the checked-in baseline; smoke runs write a scratch copy.
+    let repo_root = concat!(env!("CARGO_MANIFEST_DIR"), "/../..");
+    let path = if quick || filter.is_some() {
+        format!("{repo_root}/target/BENCH_engine.quick.json")
+    } else {
+        format!("{repo_root}/BENCH_engine.json")
+    };
+    let mut out = String::from("{\n");
+    out.push_str(&format!(
+        "  \"bench\": {},\n",
+        json_string("engine_throughput")
+    ));
+    out.push_str(&format!("  \"threads\": {},\n", default_threads().max(2)));
+    out.push_str(&format!("  \"samples\": {samples},\n"));
+    out.push_str("  \"cases\": [\n");
+    for (i, c) in cases.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"workload\": {}, \"mode\": {}, \"nodes\": {}, \"slots\": {}, \"rounds\": {}, \"median_secs\": {:.6}, \"node_steps_per_sec\": {:.0}}}{}\n",
+            json_string(&c.name),
+            json_string(c.mode),
+            c.nodes,
+            c.slots,
+            c.rounds,
+            c.median_secs,
+            c.node_steps_per_sec,
+            if i + 1 < cases.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    if let Err(e) = std::fs::write(&path, &out) {
+        eprintln!("could not write {path}: {e}");
+    } else {
+        println!("wrote {path}");
+    }
+}

@@ -178,10 +178,16 @@ fn bench_classic(b: &Bench) {
 fn bench_sim(b: &Bench) {
     for n in [50_000usize, 200_000] {
         let g = generators::gnp(n, 8.0 / n as f64, 31);
-        for (mode, threshold) in [("serial", usize::MAX), ("parallel", 0usize)] {
+        for (mode, threshold, exec) in [
+            ("serial", usize::MAX, ldc_sim::ExecMode::Sequential),
+            ("pooled", 0usize, ldc_sim::ExecMode::Pooled),
+            ("scoped", 0usize, ldc_sim::ExecMode::Scoped),
+        ] {
             b.run("E9_simulator", &format!("flood_{mode}/{n}"), || {
                 let mut net = Network::new(&g, Bandwidth::Local);
                 net.set_parallel_threshold(threshold);
+                net.set_exec_mode(exec);
+                net.set_threads(ldc_sim::par::default_threads().max(2));
                 let mut states: Vec<u64> = g.nodes().map(u64::from).collect();
                 for _ in 0..5 {
                     net.broadcast_exchange(

@@ -73,9 +73,13 @@ pub fn gnp(n: usize, p: f64, seed: u64) -> Graph {
     }
     if p > 0.0 {
         // Geometric skipping: visit each potential edge once in expectation
-        // O(pn²) time.
+        // O(pn²) time. Indices are strictly increasing across the skip
+        // loop, so the (row, offset) cursor advances monotonically instead
+        // of rescanning rows from u = 0 per edge — unranking all m edges is
+        // O(n + m) total rather than O(n·m).
         let ln_q = (1.0 - p).ln();
         let total = n.saturating_mul(n.saturating_sub(1)) / 2;
+        let mut cursor = PairCursor::new(n);
         let mut idx: usize = 0;
         loop {
             let u: f64 = r.gen_range(f64::EPSILON..1.0);
@@ -87,7 +91,7 @@ pub fn gnp(n: usize, p: f64, seed: u64) -> Graph {
             if idx >= total {
                 break;
             }
-            let (u, v) = unrank_pair(idx, n);
+            let (u, v) = cursor.advance_to(idx);
             b.add_edge(u, v);
             idx += 1;
         }
@@ -96,6 +100,11 @@ pub fn gnp(n: usize, p: f64, seed: u64) -> Graph {
 }
 
 /// Map a linear index in `0..n(n-1)/2` to the pair `(u, v)`, `u < v`.
+///
+/// Test-only reference implementation: `gnp` uses the equivalent (asserted
+/// by `pair_cursor_matches_unrank_pair_on_all_pairs`) incremental
+/// [`PairCursor`], which does not rescan rows from `u = 0` per call.
+#[cfg(test)]
 fn unrank_pair(idx: usize, n: usize) -> (NodeId, NodeId) {
     // Row u holds (n - 1 - u) pairs.
     let mut u = 0usize;
@@ -107,6 +116,43 @@ fn unrank_pair(idx: usize, n: usize) -> (NodeId, NodeId) {
         }
         rem -= row;
         u += 1;
+    }
+}
+
+/// Incremental [`unrank_pair`]: unranks a *non-decreasing* sequence of
+/// linear indices by carrying the `(row, row_start)` position between
+/// calls, so a full pass over m sampled edges costs O(n + m) row steps
+/// total instead of O(n) per edge.
+struct PairCursor {
+    n: usize,
+    /// Current row `u`.
+    u: usize,
+    /// Linear index of pair `(u, u+1)`, the first pair of the current row.
+    row_start: usize,
+}
+
+impl PairCursor {
+    fn new(n: usize) -> PairCursor {
+        PairCursor {
+            n,
+            u: 0,
+            row_start: 0,
+        }
+    }
+
+    /// The pair for `idx`; `idx` must be `>=` every previously passed index
+    /// and `< n(n-1)/2`.
+    fn advance_to(&mut self, idx: usize) -> (NodeId, NodeId) {
+        debug_assert!(idx >= self.row_start, "indices must be non-decreasing");
+        loop {
+            let row_len = self.n - 1 - self.u;
+            if idx < self.row_start + row_len {
+                let rem = idx - self.row_start;
+                return (self.u as NodeId, (self.u + 1 + rem) as NodeId);
+            }
+            self.row_start += row_len;
+            self.u += 1;
+        }
     }
 }
 
@@ -391,6 +437,38 @@ mod tests {
             let (u, v) = unrank_pair(idx, n);
             assert!(u < v && (v as usize) < n);
             assert!(seen.insert((u, v)));
+        }
+    }
+
+    /// The cursor must reproduce the scan version exactly — `gnp` edge
+    /// streams (and hence every seeded experiment table) depend on it.
+    #[test]
+    fn pair_cursor_matches_unrank_pair_on_all_pairs() {
+        for n in [2usize, 3, 5, 9, 16] {
+            let total = n * (n - 1) / 2;
+            // Dense walk: every index in order.
+            let mut cursor = PairCursor::new(n);
+            for idx in 0..total {
+                assert_eq!(
+                    cursor.advance_to(idx),
+                    unrank_pair(idx, n),
+                    "n={n} idx={idx}"
+                );
+            }
+            // Sparse walks with varied (including zero) skips, as produced
+            // by geometric skipping; repeated indices are allowed.
+            for skips in [&[0usize, 0, 1, 3, 7][..], &[2, 2, 5], &[total / 2]] {
+                let mut cursor = PairCursor::new(n);
+                let mut idx = 0usize;
+                for &skip in skips {
+                    idx = (idx + skip).min(total.saturating_sub(1));
+                    assert_eq!(
+                        cursor.advance_to(idx),
+                        unrank_pair(idx, n),
+                        "n={n} idx={idx}"
+                    );
+                }
+            }
         }
     }
 

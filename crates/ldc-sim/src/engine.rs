@@ -2,9 +2,11 @@
 
 use crate::message::MessageSize;
 use crate::metrics::{Metrics, RoundStats};
-use crate::par::{default_threads, par_for_each_indexed};
+use crate::par::{default_threads, scoped_for_each_chunk};
+use crate::pool::{pool_execute, DisjointChunks, MAX_CHUNKS};
 use crate::trace::Tracer;
 use ldc_graph::{Graph, NodeId};
+use std::any::{Any, TypeId};
 use std::fmt;
 
 /// Message-size regime of the simulation.
@@ -27,6 +29,22 @@ impl Bandwidth {
             bits_per_message: c * logn,
         }
     }
+}
+
+/// How the engine steps nodes within a round once the work threshold
+/// (total half-edge slots, see [`Network::set_parallel_threshold`]) and
+/// thread count allow parallelism at all.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ExecMode {
+    /// Dispatch chunk jobs to the persistent process-wide worker pool
+    /// (threads are spawned once per process, not per round).
+    #[default]
+    Pooled,
+    /// Spawn `std::thread::scope` workers for every phase (the pre-pool
+    /// behavior; kept for comparison and differential testing).
+    Scoped,
+    /// Never parallelize, regardless of thresholds.
+    Sequential,
 }
 
 /// Simulation failures.
@@ -91,37 +109,180 @@ impl<'a, M: Clone> Outbox<'a, M> {
 }
 
 /// Read-side of a node's per-round communication: one slot per port.
+///
+/// Reads route through the network's half-edge involution, so delivery
+/// needs no per-round swap pass over the wire buffer: the message received
+/// on port `p` is looked up directly in the sender's outbox slot.
 pub struct Inbox<'a, M> {
-    slots: &'a [Option<M>],
+    wire: &'a [Option<M>],
+    reverse: &'a [usize],
+    base: usize,
+    ports: usize,
 }
 
 impl<'a, M> Inbox<'a, M> {
     /// The message received from the neighbor at `port`, if any.
     #[inline]
-    pub fn get(&self, port: usize) -> Option<&M> {
-        self.slots[port].as_ref()
+    pub fn get(&self, port: usize) -> Option<&'a M> {
+        assert!(port < self.ports, "port {port} out of range");
+        self.wire[self.reverse[self.base + port]].as_ref()
     }
 
     /// Iterate over `(port, message)` pairs of received messages.
-    pub fn iter(&self) -> impl Iterator<Item = (usize, &M)> {
-        self.slots
-            .iter()
-            .enumerate()
-            .filter_map(|(p, m)| m.as_ref().map(|m| (p, m)))
+    pub fn iter(&self) -> impl Iterator<Item = (usize, &'a M)> + '_ {
+        (0..self.ports).filter_map(|p| {
+            self.wire[self.reverse[self.base + p]]
+                .as_ref()
+                .map(|m| (p, m))
+        })
     }
 
     /// Number of ports (the node's degree).
     #[inline]
     pub fn ports(&self) -> usize {
-        self.slots.len()
+        self.ports
+    }
+}
+
+/// Run one phase's chunks on the executor selected by `mode` (inline when
+/// the round is not parallel).
+fn dispatch(
+    mode: ExecMode,
+    threads: usize,
+    parallel: bool,
+    chunks: usize,
+    run_chunk: &(dyn Fn(usize) + Sync),
+) {
+    if !parallel {
+        for c in 0..chunks {
+            run_chunk(c);
+        }
+        return;
+    }
+    match mode {
+        ExecMode::Pooled => pool_execute(threads, chunks, run_chunk),
+        ExecMode::Scoped => scoped_for_each_chunk(chunks, threads, run_chunk),
+        ExecMode::Sequential => {
+            for c in 0..chunks {
+                run_chunk(c);
+            }
+        }
+    }
+}
+
+/// Per-chunk result of the fused compose + accounting pass.
+#[derive(Default, Clone)]
+struct ChunkOutcome {
+    stats: RoundStats,
+    /// First CONGEST violation in this chunk: `(node, port, bits)`.
+    violation: Option<(NodeId, usize, u64)>,
+}
+
+/// `0, 1, 2, …` — unit chunk bounds for per-chunk outcome slots.
+static IOTA: [usize; MAX_CHUNKS + 1] = {
+    let mut a = [0usize; MAX_CHUNKS + 1];
+    let mut i = 0;
+    while i <= MAX_CHUNKS {
+        a[i] = i;
+        i += 1;
+    }
+    a
+};
+
+/// Reusable per-round scratch owned by the network: wire buffers (one per
+/// message type seen, cleared not freed between rounds), chunk boundaries,
+/// and per-chunk accounting slots. This is what makes the steady-state
+/// `exchange` allocation-free.
+#[derive(Default)]
+struct RoundBuffers {
+    /// Wire buffers keyed by `TypeId` of `Vec<Option<M>>`. An algorithm
+    /// phase alternating a handful of message types keeps one buffer per
+    /// type alive; each is cleared and reused, never reallocated, once
+    /// grown to the graph's slot count.
+    wires: Vec<(TypeId, Box<dyn Any + Send>)>,
+    /// Fresh wire-buffer heap allocations (growths count too); stays at
+    /// its warm-up value in steady state.
+    wire_allocs: u64,
+    /// Node-index chunk boundaries, length `chunks + 1`.
+    chunk_bounds: Vec<usize>,
+    /// `prefix[chunk_bounds[i]]`: the same boundaries in slot space.
+    chunk_slot_bounds: Vec<usize>,
+    /// Chunk count the boundary tables were computed for (0 = none).
+    chunk_key: usize,
+    /// Per-chunk compose outcomes, reduced after the phase.
+    outcomes: Vec<ChunkOutcome>,
+}
+
+impl RoundBuffers {
+    /// Check out the wire buffer for message type `M`, sized and cleared.
+    fn take_wire<M: Send + 'static>(&mut self, total: usize) -> Vec<Option<M>> {
+        let tid = TypeId::of::<Vec<Option<M>>>();
+        let mut wire = match self.wires.iter_mut().find(|(t, _)| *t == tid) {
+            Some((_, boxed)) => std::mem::take(
+                boxed
+                    .downcast_mut::<Vec<Option<M>>>()
+                    .expect("wire buffer type matches its TypeId"),
+            ),
+            None => {
+                self.wires.push((tid, Box::new(Vec::<Option<M>>::new())));
+                Vec::new()
+            }
+        };
+        wire.clear();
+        if wire.capacity() < total {
+            self.wire_allocs += 1;
+        }
+        wire.resize_with(total, || None);
+        wire
+    }
+
+    /// Return the wire buffer for reuse by the next round.
+    fn store_wire<M: Send + 'static>(&mut self, wire: Vec<Option<M>>) {
+        let tid = TypeId::of::<Vec<Option<M>>>();
+        if let Some((_, boxed)) = self.wires.iter_mut().find(|(t, _)| *t == tid) {
+            *boxed
+                .downcast_mut::<Vec<Option<M>>>()
+                .expect("wire buffer type matches its TypeId") = wire;
+        }
+    }
+
+    /// (Re)compute chunk boundaries balanced by half-edge slots. Cached:
+    /// recomputed only when the requested chunk count changes.
+    fn ensure_chunk_bounds(&mut self, prefix: &[usize], chunks: usize) {
+        if self.chunk_key == chunks {
+            return;
+        }
+        let n = prefix.len() - 1;
+        let total = prefix[n];
+        self.chunk_bounds.clear();
+        self.chunk_slot_bounds.clear();
+        self.chunk_bounds.push(0);
+        self.chunk_slot_bounds.push(0);
+        let mut v = 0usize;
+        for c in 1..=chunks {
+            // Nodes are cheap, slots are the work: advance until this
+            // chunk's share of slots is reached (c/chunks of the total),
+            // but never past the nodes the remaining chunks still need.
+            let target = total * c / chunks;
+            while v < n && prefix[v] < target && (n - v) > (chunks - c) {
+                v += 1;
+            }
+            if c == chunks {
+                v = n;
+            }
+            self.chunk_bounds.push(v);
+            self.chunk_slot_bounds.push(prefix[v]);
+        }
+        self.chunk_key = chunks;
     }
 }
 
 /// A simulation instance bound to a communication graph.
 ///
-/// The network owns the routing tables and the accumulated [`Metrics`];
-/// node *state* is owned by the algorithm (as a `&mut [S]` passed to every
-/// round) so multi-phase algorithms can thread their own state types.
+/// The network owns the routing tables, reusable round buffers, and the
+/// accumulated [`Metrics`]; node *state* is owned by the algorithm (as a
+/// `&mut [S]` passed to every round) so multi-phase algorithms can thread
+/// their own state types.
 pub struct Network<'g> {
     graph: &'g Graph,
     bandwidth: Bandwidth,
@@ -130,12 +291,27 @@ pub struct Network<'g> {
     /// Involution mapping a half-edge's global slot to its reverse slot.
     reverse: Vec<usize>,
     metrics: Metrics,
-    /// Below this node count rounds run sequentially (threading overhead).
+    /// Below this many total half-edge slots a round runs sequentially
+    /// (threading overhead beats the parallelism).
     parallel_threshold: usize,
+    /// Worker count for parallel rounds.
+    threads: usize,
+    /// Parallel executor flavor.
+    exec_mode: ExecMode,
+    /// Rounds that actually took a parallel path.
+    parallel_rounds: usize,
+    /// Reusable per-round scratch (wire, chunk tables, outcomes).
+    buffers: RoundBuffers,
     /// Phase-span tracer; disabled (free) unless attached via
     /// [`Network::set_tracer`].
     tracer: Tracer,
 }
+
+/// Default work threshold: rounds moving fewer total half-edge slots than
+/// this run sequentially. Keyed on *work*, not node count: a 2 000-node
+/// clique (≈ 4 M slots) parallelizes, a 5 000-node ring (10 k slots) does
+/// not.
+pub const DEFAULT_PARALLEL_THRESHOLD: usize = 1 << 16;
 
 impl<'g> Network<'g> {
     /// Create a network over `graph` with the given bandwidth regime.
@@ -161,7 +337,11 @@ impl<'g> Network<'g> {
             prefix,
             reverse,
             metrics: Metrics::default(),
-            parallel_threshold: 4096,
+            parallel_threshold: DEFAULT_PARALLEL_THRESHOLD,
+            threads: default_threads(),
+            exec_mode: ExecMode::default(),
+            parallel_rounds: 0,
+            buffers: RoundBuffers::default(),
             tracer: Tracer::disabled(),
         }
     }
@@ -186,9 +366,44 @@ impl<'g> Network<'g> {
         self.metrics.rounds()
     }
 
-    /// Override the sequential/parallel switch-over point (node count).
+    /// Override the sequential/parallel switch-over point. The threshold
+    /// is compared against the round's *work* — the total number of
+    /// half-edge slots (`Σ_v deg(v)`) — not the node count, so dense
+    /// small-n graphs parallelize and sparse large-n graphs don't pay
+    /// threading overhead. `0` forces parallel, `usize::MAX` forces
+    /// sequential.
     pub fn set_parallel_threshold(&mut self, threshold: usize) {
         self.parallel_threshold = threshold;
+    }
+
+    /// Override the worker count used for parallel rounds (defaults to
+    /// [`default_threads`]). Values above the chunk cap are clamped at
+    /// dispatch.
+    pub fn set_threads(&mut self, threads: usize) {
+        self.threads = threads.max(1);
+    }
+
+    /// Choose the parallel executor (pooled by default).
+    pub fn set_exec_mode(&mut self, mode: ExecMode) {
+        self.exec_mode = mode;
+    }
+
+    /// The currently configured executor.
+    pub fn exec_mode(&self) -> ExecMode {
+        self.exec_mode
+    }
+
+    /// Rounds so far that took a parallel path (work ≥ threshold, > 1
+    /// thread, mode not [`ExecMode::Sequential`]).
+    pub fn parallel_rounds(&self) -> usize {
+        self.parallel_rounds
+    }
+
+    /// Wire-buffer heap allocations so far (including growths). In steady
+    /// state this stays at its warm-up value — one per message type — so
+    /// tests can assert the hot path is allocation-free.
+    pub fn wire_allocations(&self) -> u64 {
+        self.buffers.wire_allocs
     }
 
     /// Attach a tracer: every finished round is emitted into its innermost
@@ -204,23 +419,15 @@ impl<'g> Network<'g> {
         &self.tracer
     }
 
-    fn node_slices<'b, T>(&self, flat: &'b mut [T]) -> Vec<&'b mut [T]> {
-        let mut out = Vec::with_capacity(self.graph.num_nodes());
-        let mut rest = flat;
-        for v in self.graph.nodes() {
-            let d = self.graph.degree(v);
-            let (head, tail) = rest.split_at_mut(d);
-            out.push(head);
-            rest = tail;
-        }
-        out
-    }
-
     /// Execute one communication round.
     ///
     /// `compose(v, &state_v, outbox)` fills `v`'s outgoing messages from its
     /// local state only; after all messages are routed,
     /// `consume(v, &mut state_v, inbox)` updates the state from the inbox.
+    ///
+    /// CONGEST accounting is fused into the compose pass (each chunk
+    /// reduces its own [`RoundStats`]); a failed round leaves the network
+    /// fully usable and is not counted in metrics or trace.
     ///
     /// # Panics
     /// Panics if `states.len() != n`.
@@ -232,83 +439,140 @@ impl<'g> Network<'g> {
     ) -> Result<(), SimError>
     where
         S: Send + Sync,
-        M: MessageSize + Send + Sync,
+        M: MessageSize + Send + Sync + 'static,
         FC: Fn(NodeId, &S, &mut Outbox<'_, M>) + Sync,
         FU: Fn(NodeId, &mut S, Inbox<'_, M>) + Sync,
     {
         let n = self.graph.num_nodes();
         assert_eq!(states.len(), n, "one state per node required");
         let total_slots = *self.prefix.last().unwrap_or(&0);
-        let mut wire: Vec<Option<M>> = (0..total_slots).map(|_| None).collect();
 
-        // Compose phase: per-node disjoint outbox slices.
-        {
-            let slices = self.node_slices(&mut wire);
-            let work: Vec<(&mut [Option<M>], &S)> = slices.into_iter().zip(states.iter()).collect();
-            let threads = if n >= self.parallel_threshold {
-                default_threads()
-            } else {
-                1
-            };
-            par_for_each_indexed(work, threads, |v, (slots, state)| {
-                compose(v as NodeId, state, &mut Outbox { slots });
-            });
-        }
+        // Shape of this round: parallel iff there is enough work (total
+        // half-edge slots, not node count), more than one thread, and the
+        // mode allows it.
+        let parallel = self.threads > 1
+            && self.exec_mode != ExecMode::Sequential
+            && total_slots >= self.parallel_threshold
+            && n > 1;
+        let chunks = if parallel {
+            self.threads.min(n).min(MAX_CHUNKS)
+        } else {
+            1
+        };
+        self.buffers.ensure_chunk_bounds(&self.prefix, chunks);
+        let (mode, threads) = (self.exec_mode, self.threads);
+        let mut wire: Vec<Option<M>> = self.buffers.take_wire(total_slots);
 
-        // Accounting + CONGEST enforcement.
+        // Compose + fused accounting: each chunk fills its nodes' outbox
+        // slices and reduces its own RoundStats in the same pass — no
+        // separate O(total_slots) scan afterwards.
         let round = self.metrics.rounds();
-        let mut stats = RoundStats::default();
-        for v in self.graph.nodes() {
-            let base = self.prefix[v as usize];
-            for port in 0..self.graph.degree(v) {
-                if let Some(msg) = &wire[base + port] {
-                    let bits = msg.bits();
-                    stats.messages += 1;
-                    stats.total_bits += bits;
-                    stats.max_message_bits = stats.max_message_bits.max(bits);
-                    if let Bandwidth::Congest { bits_per_message } = self.bandwidth {
-                        if bits > bits_per_message {
-                            return Err(SimError::BandwidthExceeded {
-                                round,
-                                node: v,
-                                port,
-                                bits,
-                                limit: bits_per_message,
-                            });
+        self.buffers.outcomes.clear();
+        self.buffers
+            .outcomes
+            .resize_with(chunks, ChunkOutcome::default);
+        {
+            let bounds = &self.buffers.chunk_bounds;
+            let wire_chunks = DisjointChunks::new(&mut wire, &self.buffers.chunk_slot_bounds);
+            let outcome_chunks = DisjointChunks::new(&mut self.buffers.outcomes, &IOTA[..=chunks]);
+            let prefix = &self.prefix;
+            let bandwidth = self.bandwidth;
+            let states_ro: &[S] = states;
+            let run_chunk = move |c: usize| {
+                let slots = wire_chunks.take(c);
+                let outcome = &mut outcome_chunks.take(c)[0];
+                let (lo, hi) = (bounds[c], bounds[c + 1]);
+                let chunk_base = prefix[lo];
+                for v in lo..hi {
+                    let base = prefix[v] - chunk_base;
+                    let deg = prefix[v + 1] - prefix[v];
+                    let node_slots = &mut slots[base..base + deg];
+                    compose(
+                        v as NodeId,
+                        &states_ro[v],
+                        &mut Outbox { slots: node_slots },
+                    );
+                    for (port, slot) in node_slots.iter().enumerate() {
+                        if let Some(msg) = slot {
+                            let bits = msg.bits();
+                            outcome.stats.messages += 1;
+                            outcome.stats.total_bits += bits;
+                            outcome.stats.max_message_bits =
+                                outcome.stats.max_message_bits.max(bits);
+                            if let Bandwidth::Congest { bits_per_message } = bandwidth {
+                                if bits > bits_per_message && outcome.violation.is_none() {
+                                    outcome.violation = Some((v as NodeId, port, bits));
+                                }
+                            }
                         }
                     }
                 }
-            }
-        }
-
-        // Routing: `reverse` is an involution on half-edge slots, so a
-        // single swap pass turns the out-wire into the in-wire in place.
-        for pos in 0..total_slots {
-            let rev = self.reverse[pos];
-            if pos < rev {
-                wire.swap(pos, rev);
-            }
-        }
-
-        // Consume phase.
-        {
-            let inboxes: Vec<&[Option<M>]> = self
-                .graph
-                .nodes()
-                .map(|v| &wire[self.prefix[v as usize]..self.prefix[v as usize + 1]])
-                .collect();
-            let work: Vec<(&[Option<M>], &mut S)> =
-                inboxes.into_iter().zip(states.iter_mut()).collect();
-            let threads = if n >= self.parallel_threshold {
-                default_threads()
-            } else {
-                1
             };
-            par_for_each_indexed(work, threads, |v, (slots, state)| {
-                consume(v as NodeId, state, Inbox { slots });
+            dispatch(mode, threads, parallel, chunks, &run_chunk);
+        }
+
+        // Reduce per-chunk outcomes. Chunks are in node order, so the
+        // first violation of the earliest chunk is the globally first one
+        // — identical to what a sequential scan reports.
+        let mut stats = RoundStats::default();
+        let mut violation = None;
+        for outcome in &self.buffers.outcomes {
+            stats.messages += outcome.stats.messages;
+            stats.total_bits += outcome.stats.total_bits;
+            stats.max_message_bits = stats.max_message_bits.max(outcome.stats.max_message_bits);
+            if violation.is_none() {
+                violation = outcome.violation;
+            }
+        }
+        if let Some((node, port, bits)) = violation {
+            let limit = match self.bandwidth {
+                Bandwidth::Congest { bits_per_message } => bits_per_message,
+                Bandwidth::Local => unreachable!("violations only exist under CONGEST"),
+            };
+            // The failed round is not counted and the buffers are kept:
+            // the next exchange starts from a clean wire.
+            self.buffers.store_wire(wire);
+            return Err(SimError::BandwidthExceeded {
+                round,
+                node,
+                port,
+                bits,
+                limit,
             });
         }
 
+        // Consume: no routing pass — `reverse` is an involution on
+        // half-edge slots, so inboxes read the sender's outbox slot
+        // directly through it.
+        {
+            let bounds = &self.buffers.chunk_bounds;
+            let state_chunks = DisjointChunks::new(states, bounds);
+            let wire_ro: &[Option<M>] = &wire;
+            let prefix = &self.prefix;
+            let reverse = &self.reverse;
+            let run_chunk = move |c: usize| {
+                let chunk_states = state_chunks.take(c);
+                let (lo, hi) = (bounds[c], bounds[c + 1]);
+                for v in lo..hi {
+                    consume(
+                        v as NodeId,
+                        &mut chunk_states[v - lo],
+                        Inbox {
+                            wire: wire_ro,
+                            reverse,
+                            base: prefix[v],
+                            ports: prefix[v + 1] - prefix[v],
+                        },
+                    );
+                }
+            };
+            dispatch(mode, threads, parallel, chunks, &run_chunk);
+        }
+
+        self.buffers.store_wire(wire);
+        if parallel {
+            self.parallel_rounds += 1;
+        }
         self.tracer.on_round(&stats);
         self.metrics.push_round(stats);
         Ok(())
@@ -324,7 +588,7 @@ impl<'g> Network<'g> {
     ) -> Result<(), SimError>
     where
         S: Send + Sync,
-        M: MessageSize + Clone + Send + Sync,
+        M: MessageSize + Clone + Send + Sync + 'static,
         FC: Fn(NodeId, &S) -> Option<M> + Sync,
         FU: Fn(NodeId, &mut S, Inbox<'_, M>) + Sync,
     {
@@ -451,9 +715,11 @@ mod tests {
     #[test]
     fn parallel_and_sequential_agree() {
         let g = generators::gnp(600, 0.02, 3);
-        let run = |threshold: usize| -> Vec<u64> {
+        let run = |threshold: usize, mode: ExecMode| -> Vec<u64> {
             let mut net = Network::new(&g, Bandwidth::Local);
             net.set_parallel_threshold(threshold);
+            net.set_threads(4);
+            net.set_exec_mode(mode);
             let mut states: Vec<u64> = g.nodes().map(u64::from).collect();
             for _ in 0..5 {
                 net.broadcast_exchange(
@@ -471,7 +737,55 @@ mod tests {
             }
             states
         };
-        assert_eq!(run(usize::MAX), run(0));
+        let sequential = run(usize::MAX, ExecMode::Pooled);
+        assert_eq!(sequential, run(0, ExecMode::Pooled));
+        assert_eq!(sequential, run(0, ExecMode::Scoped));
+    }
+
+    /// Regression for the node-count-keyed switch: a small-n/high-degree
+    /// graph (more slots than the threshold, fewer nodes than the old
+    /// 4096-node cutoff) must take the parallel path, while a sparse
+    /// larger-n graph below the work threshold must not.
+    #[test]
+    fn parallel_switch_keys_on_work_not_node_count() {
+        let dense = generators::complete(300); // 300 nodes, 89 700 slots
+        let mut net = Network::new(&dense, Bandwidth::Local);
+        net.set_threads(4);
+        let mut states = vec![0u64; dense.num_nodes()];
+        net.broadcast_exchange(&mut states, |_, s| Some(*s), |_, _, _| {})
+            .unwrap();
+        assert_eq!(net.parallel_rounds(), 1, "dense graph must parallelize");
+
+        let sparse = generators::ring(5000); // 5000 nodes, 10 000 slots
+        let mut net = Network::new(&sparse, Bandwidth::Local);
+        net.set_threads(4);
+        let mut states = vec![0u64; sparse.num_nodes()];
+        net.broadcast_exchange(&mut states, |_, s| Some(*s), |_, _, _| {})
+            .unwrap();
+        assert_eq!(net.parallel_rounds(), 0, "sparse ring must stay serial");
+    }
+
+    #[test]
+    fn wire_buffer_reused_across_rounds() {
+        let g = generators::ring(64);
+        let mut net = Network::new(&g, Bandwidth::Local);
+        let mut states = vec![0u64; 64];
+        for _ in 0..10 {
+            net.broadcast_exchange(&mut states, |_, s| Some(*s), |_, _, _| {})
+                .unwrap();
+        }
+        assert_eq!(
+            net.wire_allocations(),
+            1,
+            "one wire allocation at warm-up, zero after"
+        );
+        // A second message type gets its own buffer, also reused.
+        let mut flags = vec![false; 64];
+        for _ in 0..10 {
+            net.broadcast_exchange(&mut flags, |_, s| Some(*s), |_, _, _| {})
+                .unwrap();
+        }
+        assert_eq!(net.wire_allocations(), 2);
     }
 
     #[test]

@@ -1,0 +1,83 @@
+//! Minimal hand-written JSON helpers shared across the workspace.
+//!
+//! The workspace builds hermetically (no serde); every crate that emits
+//! JSON — the tracer's JSONL export, the experiment tables, the bench
+//! harness — escapes strings through this one helper so escaping fixes
+//! cannot diverge between copies.
+
+/// Render `s` as a JSON string literal, with the escapes required by
+/// RFC 8259: quote, backslash, and all control characters below U+0020
+/// (common ones as two-character escapes, the rest as `\u00XX`).
+pub fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plain_strings_are_quoted_untouched() {
+        assert_eq!(json_string(""), "\"\"");
+        assert_eq!(json_string("abc 123"), "\"abc 123\"");
+        assert_eq!(json_string("unicode: λ·⌈log⌉"), "\"unicode: λ·⌈log⌉\"");
+    }
+
+    #[test]
+    fn specials_are_escaped() {
+        assert_eq!(json_string("a\"b"), "\"a\\\"b\"");
+        assert_eq!(json_string("a\\b"), "\"a\\\\b\"");
+        assert_eq!(json_string("a\nb\rc\td"), "\"a\\nb\\rc\\td\"");
+    }
+
+    #[test]
+    fn control_chars_use_unicode_escapes() {
+        assert_eq!(json_string("\u{0}"), "\"\\u0000\"");
+        assert_eq!(json_string("\u{1f}x"), "\"\\u001fx\"");
+        // U+0020 (space) and above pass through.
+        assert_eq!(json_string("\u{20}"), "\" \"");
+    }
+
+    #[test]
+    fn output_parses_as_json_token() {
+        // Round-trip sanity: unescape what we escaped.
+        let original = "quote:\" slash:\\ nl:\n tab:\t ctl:\u{02}";
+        let escaped = json_string(original);
+        assert!(escaped.starts_with('"') && escaped.ends_with('"'));
+        let mut decoded = String::new();
+        let mut chars = escaped[1..escaped.len() - 1].chars();
+        while let Some(c) = chars.next() {
+            if c != '\\' {
+                decoded.push(c);
+                continue;
+            }
+            match chars.next().unwrap() {
+                '"' => decoded.push('"'),
+                '\\' => decoded.push('\\'),
+                'n' => decoded.push('\n'),
+                'r' => decoded.push('\r'),
+                't' => decoded.push('\t'),
+                'u' => {
+                    let hex: String = (0..4).map(|_| chars.next().unwrap()).collect();
+                    decoded.push(char::from_u32(u32::from_str_radix(&hex, 16).unwrap()).unwrap());
+                }
+                other => panic!("unexpected escape \\{other}"),
+            }
+        }
+        assert_eq!(decoded, original);
+    }
+}

@@ -26,10 +26,14 @@
 //! (producing outgoing messages from that node's state only) and then a
 //! *consume* closure (updating the node's state from its inbox only). The
 //! engine enforces the information-flow discipline by construction — node
-//! code never sees another node's state — and steps nodes in parallel on
-//! scoped threads above a configurable size threshold. Purely local
-//! computation between `exchange` calls costs zero rounds, matching the
-//! paper's accounting of "zero-round" constructions.
+//! code never sees another node's state — and steps nodes in parallel above
+//! a configurable *work* threshold (total half-edge slots per round), on a
+//! persistent worker [`pool`] by default. Per-round scratch (the wire
+//! buffer, chunk tables, accounting slots) lives in a reusable arena owned
+//! by the [`Network`], so the steady-state hot path neither allocates nor
+//! spawns threads. Purely local computation between `exchange` calls costs
+//! zero rounds, matching the paper's accounting of "zero-round"
+//! constructions.
 //!
 //! # Observability
 //!
@@ -38,16 +42,19 @@
 //! [`Tracer`] with [`Network::set_tracer`]; span totals are then
 //! engine-accounted and sum exactly to the flat [`Metrics`].
 
-#![forbid(unsafe_code)]
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod engine;
+pub mod json;
 pub mod message;
 pub mod metrics;
 pub mod par;
+#[allow(unsafe_code)]
+pub mod pool;
 pub mod trace;
 
-pub use engine::{Bandwidth, Inbox, Network, Outbox, SimError};
+pub use engine::{Bandwidth, ExecMode, Inbox, Network, Outbox, SimError};
 pub use message::{bits_for_value, MessageSize};
 pub use metrics::{Metrics, RoundStats};
 pub use trace::{SpanGuard, SpanNode, SpanTotals, Tracer};

@@ -70,8 +70,17 @@ impl Metrics {
         out
     }
 
-    /// The `q`-th percentile (0–100) of per-round max message sizes.
+    /// The `q`-th percentile of per-round max message sizes, using the
+    /// nearest-rank convention on the sorted values: the result is always
+    /// one of the observed round maxima (index `round(q/100 · (rounds−1))`),
+    /// never an interpolation. `q` is clamped to `[0, 100]`, so out-of-range
+    /// values yield the minimum / maximum rather than garbage.
+    ///
+    /// # Panics
+    /// Panics if `q` is NaN.
     pub fn max_bits_percentile(&self, q: f64) -> u64 {
+        assert!(!q.is_nan(), "percentile q must not be NaN");
+        let q = q.clamp(0.0, 100.0);
         if self.per_round.is_empty() {
             return 0;
         }
@@ -127,5 +136,31 @@ mod tests {
         assert_eq!(m.max_bits_percentile(50.0), 5);
         assert_eq!(m.max_bits_percentile(100.0), 9);
         assert_eq!(Metrics::default().max_bits_percentile(50.0), 0);
+    }
+
+    #[test]
+    fn percentile_clamps_out_of_range_q() {
+        let mut m = Metrics::default();
+        for bits in [1u64, 5, 9] {
+            m.push_round(RoundStats {
+                messages: 1,
+                total_bits: bits,
+                max_message_bits: bits,
+            });
+        }
+        // Below 0 clamps to the minimum (previously: saturating cast noise).
+        assert_eq!(m.max_bits_percentile(-30.0), 1);
+        assert_eq!(m.max_bits_percentile(f64::NEG_INFINITY), 1);
+        // Above 100 clamps to the maximum.
+        assert_eq!(m.max_bits_percentile(150.0), 9);
+        assert_eq!(m.max_bits_percentile(f64::INFINITY), 9);
+    }
+
+    #[test]
+    #[should_panic(expected = "must not be NaN")]
+    fn percentile_rejects_nan() {
+        let mut m = Metrics::default();
+        m.push_round(RoundStats::default());
+        m.max_bits_percentile(f64::NAN);
     }
 }

@@ -47,6 +47,49 @@ where
     });
 }
 
+/// Run `f(chunk_index)` for every chunk in `0..chunks`, claimed dynamically
+/// across at most `threads` scoped threads (the caller's thread
+/// participates). Falls back to a plain loop for a single thread or chunk.
+/// Panics in workers propagate when the scope joins.
+///
+/// This is the *scoped* executor flavor: it spawns fresh OS threads on every
+/// call. The engine's default is the persistent [`crate::pool`], which
+/// spawns once per process; this function is kept for differential testing
+/// and as the zero-state fallback.
+pub fn scoped_for_each_chunk<F>(chunks: usize, threads: usize, f: F)
+where
+    F: Fn(usize) + Sync,
+{
+    if threads <= 1 || chunks <= 1 {
+        for c in 0..chunks {
+            f(c);
+        }
+        return;
+    }
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let workers = threads.min(chunks) - 1;
+    std::thread::scope(|scope| {
+        let f = &f;
+        let next = &next;
+        for _ in 0..workers {
+            scope.spawn(move || loop {
+                let c = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if c >= chunks {
+                    break;
+                }
+                f(c);
+            });
+        }
+        loop {
+            let c = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            if c >= chunks {
+                break;
+            }
+            f(c);
+        }
+    });
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -79,5 +122,18 @@ mod tests {
         let work: Vec<(usize, &mut u32)> = data.iter_mut().enumerate().collect();
         par_for_each_indexed(work, 4, |_, (i, slot)| *slot = i as u32 * 2);
         assert!(data.iter().enumerate().all(|(i, &x)| x == i as u32 * 2));
+    }
+
+    #[test]
+    fn scoped_chunks_run_exactly_once_each() {
+        for threads in [1, 2, 4, 9] {
+            let counts: Vec<AtomicU64> = (0..7).map(|_| AtomicU64::new(0)).collect();
+            scoped_for_each_chunk(7, threads, |c| {
+                counts[c].fetch_add(1, Ordering::Relaxed);
+            });
+            assert!(counts.iter().all(|c| c.load(Ordering::Relaxed) == 1));
+        }
+        // Zero chunks is a no-op.
+        scoped_for_each_chunk(0, 4, |_| panic!("no chunks"));
     }
 }
