@@ -1,0 +1,253 @@
+//! CI bench-regression gate: compare a fresh `engine_throughput` run
+//! against a checked-in baseline and fail on significant slowdowns.
+//!
+//! Usage:
+//!
+//! ```text
+//! bench_gate --baseline BENCH_engine.quick.json \
+//!            --fresh target/BENCH_engine.quick.json [--tolerance 0.25]
+//! ```
+//!
+//! Rows are matched by `(workload, mode)`. The gate fails (exit code 1)
+//! if any fresh `median_secs` exceeds the baseline by more than the
+//! tolerance (default 25%), or if a baseline row is missing from the
+//! fresh run (a silent coverage drop would otherwise read as a pass).
+//! Fresh rows with no baseline counterpart are reported but don't fail
+//! the gate — they become gated once the baseline is refreshed.
+//!
+//! The parser is deliberately matched to the writer in
+//! `benches/engine_throughput.rs` (both hand-rolled; the workspace has no
+//! JSON dependency): flat string/number fields inside the `"cases"`
+//! array.
+
+use std::process::ExitCode;
+
+/// One benchmark case: the identity key plus the gated statistic.
+#[derive(Debug, Clone, PartialEq)]
+struct Row {
+    workload: String,
+    mode: String,
+    median_secs: f64,
+}
+
+/// Extract the string value of `"key": "…"` from a flat JSON object.
+fn str_field(obj: &str, key: &str) -> Option<String> {
+    let quoted = format!("\"{key}\"");
+    let at = obj.find(&quoted)? + quoted.len();
+    let rest = obj[at..].trim_start().strip_prefix(':')?.trim_start();
+    let rest = rest.strip_prefix('"')?;
+    Some(rest[..rest.find('"')?].to_string())
+}
+
+/// Extract the numeric value of `"key": 1.25` from a flat JSON object.
+fn num_field(obj: &str, key: &str) -> Option<f64> {
+    let quoted = format!("\"{key}\"");
+    let at = obj.find(&quoted)? + quoted.len();
+    let rest = obj[at..].trim_start().strip_prefix(':')?.trim_start();
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || "+-.eE".contains(c)))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// Parse the `"cases"` array of a `BENCH_engine*.json` file.
+fn parse_rows(json: &str) -> Vec<Row> {
+    let Some(cases_at) = json.find("\"cases\"") else {
+        return Vec::new();
+    };
+    let mut rows = Vec::new();
+    let mut rest = &json[cases_at..];
+    while let Some(open) = rest.find('{') {
+        let Some(close) = rest[open..].find('}') else {
+            break;
+        };
+        let obj = &rest[open..open + close];
+        if let (Some(workload), Some(mode), Some(median_secs)) = (
+            str_field(obj, "workload"),
+            str_field(obj, "mode"),
+            num_field(obj, "median_secs"),
+        ) {
+            rows.push(Row {
+                workload,
+                mode,
+                median_secs,
+            });
+        }
+        rest = &rest[open + close + 1..];
+    }
+    rows
+}
+
+/// Compare fresh rows against the baseline. Returns one report line per
+/// comparison and the list of failures (empty = gate passes).
+fn gate(baseline: &[Row], fresh: &[Row], tolerance: f64) -> (Vec<String>, Vec<String>) {
+    let mut report = Vec::new();
+    let mut failures = Vec::new();
+    for b in baseline {
+        let key = format!("{}/{}", b.workload, b.mode);
+        match fresh
+            .iter()
+            .find(|f| f.workload == b.workload && f.mode == b.mode)
+        {
+            Some(f) => {
+                let ratio = f.median_secs / b.median_secs;
+                let limit = 1.0 + tolerance;
+                let verdict = if ratio > limit { "FAIL" } else { "ok" };
+                report.push(format!(
+                    "{verdict:>4}  {key:<28} baseline {:.6}s  fresh {:.6}s  ratio {ratio:.3} (limit {limit:.3})",
+                    b.median_secs, f.median_secs,
+                ));
+                if ratio > limit {
+                    failures.push(format!(
+                        "{key}: {:.1}% slower than baseline (tolerance {:.0}%)",
+                        (ratio - 1.0) * 100.0,
+                        tolerance * 100.0,
+                    ));
+                }
+            }
+            None => {
+                report.push(format!("FAIL  {key:<28} missing from fresh run"));
+                failures.push(format!("{key}: baseline row missing from fresh run"));
+            }
+        }
+    }
+    for f in fresh {
+        if !baseline
+            .iter()
+            .any(|b| b.workload == f.workload && b.mode == f.mode)
+        {
+            report.push(format!(
+                "  new  {}/{} has no baseline row (not gated)",
+                f.workload, f.mode
+            ));
+        }
+    }
+    (report, failures)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().collect();
+    let arg_after = |flag: &str| -> Option<&str> {
+        args.iter()
+            .position(|a| a == flag)
+            .and_then(|i| args.get(i + 1))
+            .map(String::as_str)
+    };
+    let Some(baseline_path) = arg_after("--baseline") else {
+        eprintln!("usage: bench_gate --baseline <json> --fresh <json> [--tolerance 0.25]");
+        return ExitCode::from(2);
+    };
+    let Some(fresh_path) = arg_after("--fresh") else {
+        eprintln!("usage: bench_gate --baseline <json> --fresh <json> [--tolerance 0.25]");
+        return ExitCode::from(2);
+    };
+    let tolerance: f64 = arg_after("--tolerance")
+        .map(|t| t.parse().expect("--tolerance takes a number"))
+        .unwrap_or(0.25);
+
+    let read = |path: &str| -> String {
+        std::fs::read_to_string(path)
+            .unwrap_or_else(|e| panic!("bench_gate: cannot read {path}: {e}"))
+    };
+    let baseline = parse_rows(&read(baseline_path));
+    let fresh = parse_rows(&read(fresh_path));
+    if baseline.is_empty() {
+        eprintln!("bench_gate: no cases parsed from baseline {baseline_path}");
+        return ExitCode::from(2);
+    }
+
+    println!("bench_gate: {baseline_path} vs {fresh_path} (tolerance {tolerance})");
+    let (report, failures) = gate(&baseline, &fresh, tolerance);
+    for line in &report {
+        println!("{line}");
+    }
+    if failures.is_empty() {
+        println!("bench_gate: PASS ({} rows gated)", baseline.len());
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("bench_gate: FAIL");
+        for f in &failures {
+            eprintln!("  {f}");
+        }
+        ExitCode::FAILURE
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = r#"{
+  "bench": "engine_throughput",
+  "threads": 2,
+  "samples": 3,
+  "cases": [
+    {"workload": "sparse_gnp_10k", "mode": "serial", "nodes": 10000, "slots": 80000, "rounds": 10, "median_secs": 0.020000, "node_steps_per_sec": 5000000},
+    {"workload": "sparse_gnp_10k", "mode": "pooled", "nodes": 10000, "slots": 80000, "rounds": 10, "median_secs": 0.018000, "node_steps_per_sec": 5555555},
+    {"workload": "ring_20k", "mode": "serial", "nodes": 20000, "slots": 40000, "rounds": 10, "median_secs": 0.004000, "node_steps_per_sec": 50000000}
+  ]
+}"#;
+
+    #[test]
+    fn parses_the_emitted_format() {
+        let rows = parse_rows(SAMPLE);
+        assert_eq!(rows.len(), 3);
+        assert_eq!(rows[0].workload, "sparse_gnp_10k");
+        assert_eq!(rows[0].mode, "serial");
+        assert!((rows[0].median_secs - 0.02).abs() < 1e-12);
+        assert_eq!(rows[2].mode, "serial");
+        assert!((rows[2].median_secs - 0.004).abs() < 1e-12);
+    }
+
+    #[test]
+    fn identical_runs_pass() {
+        let rows = parse_rows(SAMPLE);
+        let (_, failures) = gate(&rows, &rows, 0.25);
+        assert!(failures.is_empty(), "{failures:?}");
+    }
+
+    #[test]
+    fn two_x_slowdown_fails() {
+        let baseline = parse_rows(SAMPLE);
+        let mut fresh = baseline.clone();
+        fresh[1].median_secs *= 2.0;
+        let (_, failures) = gate(&baseline, &fresh, 0.25);
+        assert_eq!(failures.len(), 1);
+        assert!(
+            failures[0].contains("sparse_gnp_10k/pooled"),
+            "{failures:?}"
+        );
+    }
+
+    #[test]
+    fn slowdown_within_tolerance_passes() {
+        let baseline = parse_rows(SAMPLE);
+        let mut fresh = baseline.clone();
+        fresh[0].median_secs *= 1.20; // under the 25% default
+        let (_, failures) = gate(&baseline, &fresh, 0.25);
+        assert!(failures.is_empty(), "{failures:?}");
+    }
+
+    #[test]
+    fn missing_baseline_row_fails() {
+        let baseline = parse_rows(SAMPLE);
+        let fresh = baseline[..2].to_vec();
+        let (_, failures) = gate(&baseline, &fresh, 0.25);
+        assert_eq!(failures.len(), 1);
+        assert!(failures[0].contains("missing"), "{failures:?}");
+    }
+
+    #[test]
+    fn extra_fresh_rows_are_reported_not_gated() {
+        let baseline = parse_rows(SAMPLE);
+        let mut fresh = baseline.clone();
+        fresh.push(Row {
+            workload: "new_workload".into(),
+            mode: "serial".into(),
+            median_secs: 99.0,
+        });
+        let (report, failures) = gate(&baseline, &fresh, 0.25);
+        assert!(failures.is_empty(), "{failures:?}");
+        assert!(report.iter().any(|l| l.contains("new_workload")));
+    }
+}

@@ -1,7 +1,10 @@
-//! The experiment suite E1–E15 (DESIGN.md §5): one function per family,
+//! The experiment suite E1–E16 (DESIGN.md §5): one function per family,
 //! each regenerating one claim-vs-measured table. E2/E5/E6 run under a
 //! phase-span [`Tracer`] and expose per-phase round-attribution columns;
 //! their span trees are returned by [`run_traced`] for `--trace` export.
+//! E16 is the fault-injection family (DESIGN.md §9) and is fully
+//! deterministic — no wall-clock columns — so CI can diff its JSON
+//! byte-for-byte across runs.
 
 use crate::table::Table;
 use crate::workloads::{degree_plus_one_lists, f2, uniform_oldc_lists, CtxOwner};
@@ -15,15 +18,15 @@ use ldc_core::existence::{solve_arbdefective, solve_ldc};
 use ldc_core::multi_defect::solve_multi_defect;
 use ldc_core::oldc::solve_oldc;
 use ldc_core::params::{practical_kappa, ParamProfile};
-use ldc_core::problem::{ColorSpace, DefectList, LdcInstance};
+use ldc_core::problem::{ColorSpace, DefectList, LdcInstance, OldcInstance};
 use ldc_core::single_defect::solve_single_defect;
 use ldc_core::validate::{
     validate_arbdefective, validate_ldc, validate_oldc, validate_proper_list_coloring,
 };
 use ldc_graph::{generators, DirectedView, ProperColoring};
-use ldc_sim::{Bandwidth, Network, SpanNode, Tracer};
+use ldc_sim::{Bandwidth, FaultPlan, Network, RetryPolicy, SpanNode, Tracer};
 
-/// Run one experiment by id (`"E1"`…`"E15"`). `quick` shrinks sweeps.
+/// Run one experiment by id (`"E1"`…`"E16"`). `quick` shrinks sweeps.
 pub fn run(id: &str, quick: bool) -> Option<Table> {
     run_traced(id, quick).map(|(t, _)| t)
 }
@@ -50,6 +53,7 @@ pub fn run_traced(id: &str, quick: bool) -> Option<(Table, Vec<SpanNode>)> {
         "E13" => e13_constants(quick),
         "E14" => e14_graph_families(quick),
         "E15" => e15_edge_coloring(quick),
+        "E16" => e16_fault_injection(quick),
         _ => return None,
     };
     Some((table, traces))
@@ -76,8 +80,9 @@ fn capture(tracer: &Tracer, label: String, traces: &mut Vec<SpanNode>) -> SpanNo
 }
 
 /// All experiment ids in order.
-pub const ALL: [&str; 15] = [
+pub const ALL: [&str; 16] = [
     "E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13", "E14", "E15",
+    "E16",
 ];
 
 // ---------------------------------------------------------------------------
@@ -1011,6 +1016,235 @@ pub fn e15_edge_coloring(quick: bool) -> Table {
         ]);
     }
     t.note("Slots used sit well below the 2Δ−1 bound (the greedy-tight palette); line graphs' neighborhood independence ≤ 2 is verified structurally.");
+    t
+}
+
+/// Outcome of one E16 flood run: everything the table needs, all of it a
+/// pure function of the fault-plan seed (no wall clock).
+struct FloodOutcome {
+    rounds: usize,
+    retried: u64,
+    stalled: u64,
+    dropped: u64,
+    faulted: u64,
+    total_bits: u64,
+    outcome: String,
+}
+
+/// Flood-max-id under a fault plan: every node broadcasts the largest id
+/// it has heard; a round with no state change ends the flood. Returns the
+/// deterministic round/fault accounting, reporting bandwidth aborts as an
+/// outcome rather than an error (E16's budget row *wants* the abort).
+fn e16_flood(
+    g: &ldc_graph::Graph,
+    plan: Option<FaultPlan>,
+    retry: RetryPolicy,
+    cap: usize,
+) -> FloodOutcome {
+    let mut net = Network::new(
+        g,
+        Bandwidth::Congest {
+            bits_per_message: 16,
+        },
+    );
+    if let Some(p) = plan {
+        net.set_fault_plan(p);
+    }
+    net.set_retry_policy(retry);
+    // 16-bit ids keyed off the node index; the flood converges once the
+    // global max has reached everyone.
+    let mut states: Vec<u64> = (0..g.num_nodes() as u64)
+        .map(|v| v.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 48)
+        .collect();
+    let mut converged = false;
+    let mut aborted = None;
+    while net.metrics().rounds() < cap {
+        let before = states.clone();
+        let res = net.exchange(
+            &mut states,
+            |_v, s, out: &mut ldc_sim::Outbox<'_, u64>| out.broadcast(s),
+            |_v, s, inbox| {
+                for (_port, m) in inbox.iter() {
+                    *s = (*s).max(*m);
+                }
+            },
+        );
+        match res {
+            Ok(()) => {
+                if states == before {
+                    converged = true;
+                    break;
+                }
+            }
+            Err(e) => {
+                aborted = Some(e);
+                break;
+            }
+        }
+    }
+    let m = net.metrics();
+    FloodOutcome {
+        rounds: m.rounds(),
+        retried: m.rounds_retried(),
+        stalled: m.stalled_rounds(),
+        dropped: m.messages_dropped(),
+        faulted: m.faulted_nodes(),
+        total_bits: m.total_bits(),
+        outcome: match aborted {
+            Some(ldc_sim::SimError::BandwidthExceeded { round, .. }) => {
+                format!("aborted: bandwidth (round {round})")
+            }
+            Some(e) => format!("aborted: {e}"),
+            None if converged => "converged".into(),
+            None => "cap hit".into(),
+        },
+    }
+}
+
+/// E16 — fault injection and recovery (DESIGN.md §9). Floods the max id
+/// through a lossy CONGEST network under each fault family, then drives a
+/// full Theorem 1.1 solve through [`ldc_core::Resilient`]. Every column is
+/// a pure function of the seeds, so CI byte-diffs this table across runs.
+pub fn e16_fault_injection(quick: bool) -> Table {
+    let mut t = Table::new(
+        "E16",
+        "fault injection: flood-max-id under seeded fault families + a Resilient Theorem 1.1 solve; deterministic by construction",
+        &[
+            "family", "param", "rounds", "eff rounds", "retried", "stalled", "dropped",
+            "faulted", "total bits", "outcome",
+        ],
+    );
+    let n = if quick { 120 } else { 400 };
+    let g = generators::gnp(n, 0.04, 16);
+    let cap = if quick { 200 } else { 400 };
+    let retry = RetryPolicy {
+        max_retries: 12,
+        backoff_rounds: 1,
+    };
+    let push = |t: &mut Table, family: &str, param: String, o: FloodOutcome| {
+        t.row(vec![
+            family.into(),
+            param,
+            o.rounds.to_string(),
+            (o.rounds as u64 + o.retried + o.stalled).to_string(),
+            o.retried.to_string(),
+            o.stalled.to_string(),
+            o.dropped.to_string(),
+            o.faulted.to_string(),
+            o.total_bits.to_string(),
+            o.outcome,
+        ]);
+    };
+
+    push(
+        &mut t,
+        "baseline",
+        "-".into(),
+        e16_flood(&g, None, retry, cap),
+    );
+    let drops: &[f64] = if quick { &[0.15] } else { &[0.05, 0.15, 0.30] };
+    for &rate in drops {
+        let plan = FaultPlan::new(0x16_0001).with_drop_rate(rate);
+        push(
+            &mut t,
+            "drop",
+            format!("rate {}", f2(rate)),
+            e16_flood(&g, Some(plan), retry, cap),
+        );
+    }
+    let plan = FaultPlan::new(0x16_0002).with_truncation(0.20, 2);
+    push(
+        &mut t,
+        "truncate",
+        "rate 0.20, cap 2b".into(),
+        e16_flood(&g, Some(plan), retry, cap),
+    );
+    let plan = FaultPlan::new(0x16_0003).with_sleep_rate(0.10);
+    push(
+        &mut t,
+        "sleep",
+        "rate 0.10".into(),
+        e16_flood(&g, Some(plan), retry, cap),
+    );
+    let mut plan = FaultPlan::new(0x16_0004);
+    for v in 0..4u32 {
+        plan = plan.with_crash(v, 1, 6);
+    }
+    push(
+        &mut t,
+        "crash",
+        "nodes 0–3, rounds 1–5".into(),
+        e16_flood(&g, Some(plan), retry, cap),
+    );
+    let plan = FaultPlan::new(0x16_0005)
+        .with_budget_step(2, Some(4))
+        .with_budget_step(10, None);
+    push(
+        &mut t,
+        "budget",
+        "4b from round 2".into(),
+        e16_flood(&g, Some(plan), retry, cap),
+    );
+    let plan = FaultPlan::new(0x16_0006).with_error_rate(0.45);
+    push(
+        &mut t,
+        "error+retry",
+        "rate 0.45, ≤12 retries".into(),
+        e16_flood(&g, Some(plan), retry, cap),
+    );
+
+    // The application-level story: a full Theorem 1.1 OLDC solve riding
+    // the Resilient wrapper through injected transient errors.
+    let gr = generators::random_regular(if quick { 60 } else { 120 }, 6, 4);
+    let view = DirectedView::bidirected(&gr);
+    let space = 1u64 << 13;
+    let lists: Vec<DefectList> = gr
+        .nodes()
+        .map(|v| DefectList::uniform((0..3000u64).map(|i| (i * 3 + u64::from(v)) % space), 3))
+        .collect();
+    let inst = OldcInstance::new(view, ColorSpace::new(space), lists);
+    let opts = ldc_core::api::SolveOptions::default();
+    let resilient = ldc_core::Resilient {
+        plan: FaultPlan::new(0x16_0007).with_error_rate(0.30),
+        retry: RetryPolicy {
+            max_retries: 6,
+            backoff_rounds: 1,
+        },
+        max_restarts: 8,
+    };
+    match resilient.solve_oldc(&inst, &opts) {
+        Ok((sol, report)) => {
+            let valid = validate_oldc(&inst.view, &inst.lists, &sol.colors).is_ok();
+            t.row(vec![
+                "resilient-oldc".into(),
+                "err 0.30".into(),
+                sol.rounds.to_string(),
+                (report.rounds_all_attempts as u64 + report.rounds_retried + report.stalled_rounds)
+                    .to_string(),
+                report.rounds_retried.to_string(),
+                report.stalled_rounds.to_string(),
+                report.messages_dropped.to_string(),
+                report.faulted_nodes.to_string(),
+                sol.total_bits.to_string(),
+                format!("valid {valid}, restarts {}", report.restarts),
+            ]);
+        }
+        Err(e) => {
+            t.row(vec![
+                "resilient-oldc".into(),
+                "err 0.30".into(),
+                "-".into(),
+                "-".into(),
+                "-".into(),
+                "-".into(),
+                "-".into(),
+                "-".into(),
+                "-".into(),
+                format!("err: {e}"),
+            ]);
+        }
+    }
+    t.note("Fault draws are pure functions of (seed, round, attempt, slot): rerunning this experiment reproduces every cell, which the CI determinism job byte-diffs. The budget row aborts by design after exhausting retries.");
     t
 }
 

@@ -16,12 +16,12 @@ pub fn is_prime(x: u64) -> bool {
     if x < 2 {
         return false;
     }
-    if x.is_multiple_of(2) {
+    if x % 2 == 0 {
         return x == 2;
     }
     let mut f = 3u64;
     while f.saturating_mul(f) <= x {
-        if x.is_multiple_of(f) {
+        if x % f == 0 {
             return false;
         }
         f += 2;
@@ -65,7 +65,7 @@ impl PolyScheme {
             let lower_field = integer_root_ceil(m, k + 1);
             let q = next_prime(lower_cover.max(lower_field).max(2));
             let cand = PolyScheme { q, k, m };
-            if best.is_none_or(|b| cand.output_palette() < b.output_palette()) {
+            if best.map_or(true, |b| cand.output_palette() < b.output_palette()) {
                 best = Some(cand);
             }
         }

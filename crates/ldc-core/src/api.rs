@@ -2,6 +2,14 @@
 //! the API a downstream user reaches for first. Each call sets up the
 //! network, runs the appropriate algorithm from the paper, validates the
 //! output exactly, and reports rounds/message statistics.
+//!
+//! The [`Resilient`] wrapper runs the same solvers on a *faulty* network
+//! (an [`ldc_sim::FaultPlan`] + [`ldc_sim::RetryPolicy`]): transient
+//! round failures are absorbed by the engine's retry loop, and a solver
+//! run the network-level retries could not save is **restarted from its
+//! last consistent round** — which for these deterministic, checkpoint-
+//! free pipelines is round 0 of a fresh attempt with re-keyed fault
+//! draws (see DESIGN.md §9).
 
 use crate::arbdefective::{solve_list_arbdefective, ArbConfig, Substrate};
 use crate::colorspace::Theorem11Solver;
@@ -12,7 +20,7 @@ use crate::params::{practical_kappa, ParamProfile};
 use crate::problem::{Color, LdcInstance, OldcInstance};
 use crate::validate;
 use ldc_graph::{Orientation, ProperColoring};
-use ldc_sim::{Bandwidth, Network};
+use ldc_sim::{Bandwidth, FaultPlan, Metrics, Network, RetryPolicy};
 
 /// Options shared by the high-level solvers.
 #[derive(Debug, Clone, Copy)]
@@ -48,6 +56,28 @@ pub struct Solution {
     pub max_message_bits: u64,
     /// Total bits on the wire.
     pub total_bits: u64,
+    /// Round attempts retried under a fault plan (0 on a clean run).
+    pub rounds_retried: u64,
+    /// Idle backoff rounds charged by retries (0 on a clean run).
+    pub stalled_rounds: u64,
+    /// Messages lost to injected faults (0 on a clean run).
+    pub messages_dropped: u64,
+    /// Node-round crash/sleep events (0 on a clean run).
+    pub faulted_nodes: u64,
+}
+
+/// Extract the stats fields of [`Solution`] from a finished network.
+fn solution_stats(net: &Network<'_>) -> (usize, u64, u64, u64, u64, u64, u64) {
+    let m = net.metrics();
+    (
+        net.rounds(),
+        m.max_message_bits(),
+        m.total_bits(),
+        m.rounds_retried(),
+        m.stalled_rounds(),
+        m.messages_dropped(),
+        m.faulted_nodes(),
+    )
 }
 
 impl<'g> OldcInstance<'g> {
@@ -55,6 +85,19 @@ impl<'g> OldcInstance<'g> {
     /// algorithm of Theorem 1.1. The output is checked by
     /// [`validate::validate_oldc`] before it is returned.
     pub fn solve(&self, opts: &SolveOptions) -> Result<Solution, CoreError> {
+        self.solve_impl(opts, None, None)
+    }
+
+    /// [`OldcInstance::solve`] on a faulty network: `faults` (plan +
+    /// round-retry policy) is attached to the network, and `acc` (when
+    /// given) accumulates the network's metrics even if the solve fails —
+    /// the [`Resilient`] wrapper uses it to account abandoned attempts.
+    fn solve_impl(
+        &self,
+        opts: &SolveOptions,
+        faults: Option<(&FaultPlan, RetryPolicy)>,
+        acc: Option<&mut Metrics>,
+    ) -> Result<Solution, CoreError> {
         let g = self.view.graph();
         let n = g.num_nodes();
         let init = ProperColoring::by_id(g);
@@ -72,25 +115,48 @@ impl<'g> OldcInstance<'g> {
             seed: opts.seed,
         };
         let mut net = Network::new(g, opts.bandwidth);
-        let out = solve_oldc(&mut net, &ctx, &self.lists)?;
-        let colors: Vec<Color> = out
-            .colors
-            .into_iter()
-            .map(|c| c.expect("all nodes active"))
-            .collect();
-        validate::validate_oldc(&self.view, &self.lists, &colors).map_err(|e| {
-            CoreError::Precondition {
-                node: 0,
-                detail: format!("internal: output invalid: {e}"),
-            }
-        })?;
-        Ok(Solution {
-            colors,
-            orientation: None,
-            rounds: net.rounds(),
-            max_message_bits: net.metrics().max_message_bits(),
-            total_bits: net.metrics().total_bits(),
-        })
+        if let Some((plan, retry)) = faults {
+            net.set_fault_plan(plan.clone());
+            net.set_retry_policy(retry);
+        }
+        let result = (|| {
+            let out = solve_oldc(&mut net, &ctx, &self.lists)?;
+            let colors: Vec<Color> = out
+                .colors
+                .into_iter()
+                .map(|c| c.expect("all nodes active"))
+                .collect();
+            validate::validate_oldc(&self.view, &self.lists, &colors).map_err(|e| {
+                CoreError::Precondition {
+                    node: 0,
+                    detail: format!("internal: output invalid: {e}"),
+                }
+            })?;
+            let (
+                rounds,
+                max_message_bits,
+                total_bits,
+                rounds_retried,
+                stalled_rounds,
+                messages_dropped,
+                faulted_nodes,
+            ) = solution_stats(&net);
+            Ok(Solution {
+                colors,
+                orientation: None,
+                rounds,
+                max_message_bits,
+                total_bits,
+                rounds_retried,
+                stalled_rounds,
+                messages_dropped,
+                faulted_nodes,
+            })
+        })();
+        if let Some(acc) = acc {
+            acc.extend_from(net.metrics());
+        }
+        result
     }
 }
 
@@ -110,6 +176,10 @@ impl<'g> LdcInstance<'g> {
             rounds: 0,
             max_message_bits: 0,
             total_bits: 0,
+            rounds_retried: 0,
+            stalled_rounds: 0,
+            messages_dropped: 0,
+            faulted_nodes: 0,
         })
     }
 
@@ -117,9 +187,18 @@ impl<'g> LdcInstance<'g> {
     /// bidirected oriented instance (β_v = deg(v), the reduction noted
     /// after Theorem 1.2) and solved with Theorem 1.1.
     pub fn solve_distributed(&self, opts: &SolveOptions) -> Result<Solution, CoreError> {
+        self.solve_distributed_impl(opts, None, None)
+    }
+
+    fn solve_distributed_impl(
+        &self,
+        opts: &SolveOptions,
+        faults: Option<(&FaultPlan, RetryPolicy)>,
+        acc: Option<&mut Metrics>,
+    ) -> Result<Solution, CoreError> {
         let view = ldc_graph::DirectedView::bidirected(self.graph);
         let inst = OldcInstance::new(view, self.space, self.lists.clone());
-        let sol = inst.solve(opts)?;
+        let sol = inst.solve_impl(opts, faults, acc)?;
         validate::validate_ldc(self.graph, &self.lists, &sol.colors).map_err(|e| {
             CoreError::Precondition {
                 node: 0,
@@ -162,14 +241,142 @@ impl<'g> LdcInstance<'g> {
                 detail: format!("internal: output invalid: {e}"),
             }
         })?;
+        let (
+            rounds,
+            max_message_bits,
+            total_bits,
+            rounds_retried,
+            stalled_rounds,
+            messages_dropped,
+            faulted_nodes,
+        ) = solution_stats(&net);
         Ok(Solution {
             colors,
             orientation: Some(orientation),
-            rounds: net.rounds(),
-            max_message_bits: net.metrics().max_message_bits(),
-            total_bits: net.metrics().total_bits(),
+            rounds,
+            max_message_bits,
+            total_bits,
+            rounds_retried,
+            stalled_rounds,
+            messages_dropped,
+            faulted_nodes,
         })
     }
+}
+
+/// Runs the high-level solvers on a faulty network and restarts them when
+/// round-level retries cannot save a run.
+///
+/// Layered recovery, outermost to innermost:
+///
+/// 1. **Engine retries** ([`RetryPolicy`]): a failed round attempt is
+///    re-executed with the sender states rolled back (see
+///    [`ldc_sim::Network::set_retry_policy`]).
+/// 2. **Solver restarts** (this wrapper): if a run still fails with a
+///    *network* error ([`CoreError::Sim`] — injected transient fault or a
+///    budget violation under an adversarial schedule), the solver is
+///    restarted from its last consistent round. The paper's pipelines are
+///    deterministic and keep no mid-run checkpoints, so the last
+///    consistent round is round 0: each restart replays the whole solve
+///    under a re-keyed plan ([`FaultPlan::with_epoch`]) — deterministic,
+///    but with fresh fault draws.
+///
+/// Algorithmic errors (preconditions, selection exhaustion, …) are *not*
+/// retried: they indicate a bad instance, not a bad network.
+///
+/// All attempts — including abandoned ones — are accounted in the
+/// returned [`ResilientReport`].
+#[derive(Debug, Clone)]
+pub struct Resilient {
+    /// Base fault plan; restart `k` runs under `plan.with_epoch(k)`.
+    pub plan: FaultPlan,
+    /// Round-level retry policy handed to the engine.
+    pub retry: RetryPolicy,
+    /// Solver restarts allowed after round-level retries fail.
+    pub max_restarts: u32,
+}
+
+impl Resilient {
+    /// Wrap `plan` with a moderate default recovery budget: 3 round
+    /// retries (1 stall round each) and 3 solver restarts.
+    pub fn new(plan: FaultPlan) -> Resilient {
+        Resilient {
+            plan,
+            retry: RetryPolicy {
+                max_retries: 3,
+                backoff_rounds: 1,
+            },
+            max_restarts: 3,
+        }
+    }
+
+    /// [`OldcInstance::solve`] under this fault environment.
+    pub fn solve_oldc(
+        &self,
+        inst: &OldcInstance<'_>,
+        opts: &SolveOptions,
+    ) -> Result<(Solution, ResilientReport), CoreError> {
+        self.drive(|plan, retry, acc| inst.solve_impl(opts, Some((plan, retry)), Some(acc)))
+    }
+
+    /// [`LdcInstance::solve_distributed`] under this fault environment.
+    pub fn solve_distributed(
+        &self,
+        inst: &LdcInstance<'_>,
+        opts: &SolveOptions,
+    ) -> Result<(Solution, ResilientReport), CoreError> {
+        self.drive(|plan, retry, acc| {
+            inst.solve_distributed_impl(opts, Some((plan, retry)), Some(acc))
+        })
+    }
+
+    /// The restart loop shared by the solver entry points.
+    fn drive(
+        &self,
+        mut attempt: impl FnMut(&FaultPlan, RetryPolicy, &mut Metrics) -> Result<Solution, CoreError>,
+    ) -> Result<(Solution, ResilientReport), CoreError> {
+        let mut acc = Metrics::default();
+        let mut restarts = 0u32;
+        loop {
+            let plan = self.plan.with_epoch(u64::from(restarts));
+            match attempt(&plan, self.retry, &mut acc) {
+                Ok(sol) => {
+                    return Ok((
+                        sol,
+                        ResilientReport {
+                            restarts,
+                            rounds_all_attempts: acc.rounds(),
+                            rounds_retried: acc.rounds_retried(),
+                            stalled_rounds: acc.stalled_rounds(),
+                            messages_dropped: acc.messages_dropped(),
+                            faulted_nodes: acc.faulted_nodes(),
+                        },
+                    ));
+                }
+                Err(CoreError::Sim(_)) if restarts < self.max_restarts => restarts += 1,
+                Err(e) => return Err(e),
+            }
+        }
+    }
+}
+
+/// Fault accounting over *all* attempts of a [`Resilient`] solve,
+/// including the abandoned ones (the [`Solution`]'s own counters cover
+/// only the final, successful attempt).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ResilientReport {
+    /// Solver restarts that were needed (0 = first attempt succeeded).
+    pub restarts: u32,
+    /// Rounds executed across every attempt.
+    pub rounds_all_attempts: usize,
+    /// Round attempts retried by the engine across every attempt.
+    pub rounds_retried: u64,
+    /// Backoff stall rounds charged across every attempt.
+    pub stalled_rounds: u64,
+    /// Messages lost to faults across every attempt.
+    pub messages_dropped: u64,
+    /// Node-round crash/sleep events across every attempt.
+    pub faulted_nodes: u64,
 }
 
 #[cfg(test)]
@@ -215,6 +422,100 @@ mod tests {
         assert!(dist.rounds > 0);
         let arb = inst.solve_arbdefective(&SolveOptions::default()).unwrap();
         assert!(arb.orientation.is_some());
+    }
+
+    fn rich_oldc_instance(g: &ldc_graph::Graph) -> OldcInstance<'_> {
+        let view = ldc_graph::DirectedView::bidirected(g);
+        let space = 1 << 13;
+        let lists: Vec<DefectList> = g
+            .nodes()
+            .map(|v| DefectList::uniform((0..3000u64).map(|i| (i * 3 + u64::from(v)) % space), 3))
+            .collect();
+        OldcInstance::new(view, ColorSpace::new(space), lists)
+    }
+
+    #[test]
+    fn resilient_noop_plan_matches_plain_solve() {
+        let g = generators::random_regular(80, 6, 4);
+        let inst = rich_oldc_instance(&g);
+        let opts = SolveOptions::default();
+        let plain = inst.solve(&opts).unwrap();
+        let plan = ldc_sim::FaultPlan::new(99); // all rates zero: a no-op
+        let (sol, report) = Resilient::new(plan).solve_oldc(&inst, &opts).unwrap();
+        assert_eq!(sol.colors, plain.colors);
+        assert_eq!(sol.rounds, plain.rounds);
+        assert_eq!(sol.total_bits, plain.total_bits);
+        assert_eq!(report.restarts, 0);
+        assert_eq!(report.rounds_retried, 0);
+        assert_eq!(report.messages_dropped, 0);
+        assert_eq!(report.rounds_all_attempts, plain.rounds);
+    }
+
+    #[test]
+    fn resilient_absorbs_transient_errors() {
+        let g = generators::random_regular(80, 6, 4);
+        let inst = rich_oldc_instance(&g);
+        let opts = SolveOptions::default();
+        let plain = inst.solve(&opts).unwrap();
+        // Round-level retries plus solver restarts soak up a 30% per-round
+        // transient error rate; the pipeline is deterministic, so once the
+        // faults are absorbed the coloring is exactly the clean one.
+        let wrapper = Resilient {
+            plan: ldc_sim::FaultPlan::new(0x0BAD).with_error_rate(0.3),
+            retry: ldc_sim::RetryPolicy {
+                max_retries: 4,
+                backoff_rounds: 1,
+            },
+            max_restarts: 30,
+        };
+        let (sol, report) = wrapper.solve_oldc(&inst, &opts).unwrap();
+        assert_eq!(sol.colors, plain.colors, "recovered run = clean run");
+        assert!(report.rounds_retried > 0, "errors must have been retried");
+        assert_eq!(report.stalled_rounds, report.rounds_retried);
+        assert!(report.rounds_all_attempts >= sol.rounds);
+    }
+
+    #[test]
+    fn resilient_gives_up_on_persistent_faults() {
+        let g = generators::random_regular(80, 6, 4);
+        let inst = rich_oldc_instance(&g);
+        // A 1-bit budget from round 0 fails every attempt deterministically
+        // (the schedule is not epoch-keyed), so the wrapper must surface
+        // the simulator error after its restart budget.
+        let wrapper = Resilient {
+            plan: ldc_sim::FaultPlan::new(7).with_budget_step(0, Some(1)),
+            retry: ldc_sim::RetryPolicy {
+                max_retries: 1,
+                backoff_rounds: 0,
+            },
+            max_restarts: 2,
+        };
+        let err = wrapper
+            .solve_oldc(&inst, &SolveOptions::default())
+            .unwrap_err();
+        assert!(matches!(err, CoreError::Sim(_)), "got {err:?}");
+    }
+
+    #[test]
+    fn resilient_distributed_entry_point_works() {
+        let g = generators::gnp(70, 0.08, 6);
+        let delta = g.max_degree() as u64;
+        let space = 1 << 13;
+        let lists: Vec<DefectList> = g
+            .nodes()
+            .map(|v| {
+                DefectList::uniform(
+                    (0..3000u64).map(|i| (i * 5 + u64::from(v)) % space),
+                    delta / 2,
+                )
+            })
+            .collect();
+        let inst = LdcInstance::new(&g, ColorSpace::new(space), lists);
+        let wrapper = Resilient::new(ldc_sim::FaultPlan::new(11).with_error_rate(0.1));
+        let (sol, _report) = wrapper
+            .solve_distributed(&inst, &SolveOptions::default())
+            .unwrap();
+        assert!(sol.rounds > 0);
     }
 
     #[test]

@@ -24,7 +24,7 @@ use crate::colorspace::{reduce_color_space, OldcSolver, ReductionConfig, Theorem
 use crate::ctx::{span, CoreError, OldcCtx};
 use crate::params::{practical_kappa, ParamProfile};
 use crate::problem::{Color, DefectList};
-use ldc_sim::{Bandwidth, Network, Tracer};
+use ldc_sim::{Bandwidth, FaultPlan, Network, RetryPolicy, Tracer};
 
 /// Which branch of Theorem 1.4 ran.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -153,6 +153,36 @@ pub fn congest_degree_plus_one_traced(
     cfg: &CongestConfig,
     tracer: Tracer,
 ) -> Result<(Vec<Color>, CongestReport), CoreError> {
+    congest_degree_plus_one_inner(g, space, lists, cfg, tracer, None)
+}
+
+/// [`congest_degree_plus_one_traced`] on a faulty *main* network: the
+/// [`FaultPlan`] and [`RetryPolicy`] are attached to the Theorem 1.4
+/// network, so budget-schedule tightenings contend with the CONGEST
+/// budget the theorem already fights for and transient errors exercise
+/// the retry path. Substrate sub-networks (the √Δ branch's per-stage
+/// helpers) run fault-free: the fault model targets the long-lived
+/// communication graph, not the solver's internal scratch instances.
+pub fn congest_degree_plus_one_faulted(
+    g: &ldc_graph::Graph,
+    space: u64,
+    lists: &[Vec<Color>],
+    cfg: &CongestConfig,
+    tracer: Tracer,
+    plan: &FaultPlan,
+    retry: RetryPolicy,
+) -> Result<(Vec<Color>, CongestReport), CoreError> {
+    congest_degree_plus_one_inner(g, space, lists, cfg, tracer, Some((plan, retry)))
+}
+
+fn congest_degree_plus_one_inner(
+    g: &ldc_graph::Graph,
+    space: u64,
+    lists: &[Vec<Color>],
+    cfg: &CongestConfig,
+    tracer: Tracer,
+    faults: Option<(&FaultPlan, RetryPolicy)>,
+) -> Result<(Vec<Color>, CongestReport), CoreError> {
     let n = g.num_nodes();
     assert_eq!(lists.len(), n);
     let delta = g.max_degree();
@@ -163,6 +193,10 @@ pub fn congest_degree_plus_one_traced(
     };
     let mut net = Network::new(g, bandwidth);
     net.set_tracer(tracer.clone());
+    if let Some((plan, retry)) = faults {
+        net.set_fault_plan(plan.clone());
+        net.set_retry_policy(retry);
+    }
     let _thm14 = tracer.span(span::THM14);
 
     // Step 1: Linial's O(Δ²)-coloring in O(log* n) rounds.
@@ -370,6 +404,55 @@ mod tests {
                 "{substrate:?}"
             );
         }
+    }
+
+    #[test]
+    fn faulted_entry_point_matches_clean_run_under_noop_plan() {
+        let g = generators::random_regular(150, 6, 5);
+        let space = 64;
+        let lists = degree_plus_one_lists(&g, space, 4);
+        let cfg = CongestConfig::default();
+        let (clean, clean_report) = congest_degree_plus_one(&g, space, &lists, &cfg).unwrap();
+        let plan = FaultPlan::new(13); // no-op
+        let (colors, report) = super::congest_degree_plus_one_faulted(
+            &g,
+            space,
+            &lists,
+            &cfg,
+            Tracer::disabled(),
+            &plan,
+            RetryPolicy::default(),
+        )
+        .unwrap();
+        assert_eq!(colors, clean);
+        assert_eq!(report.rounds_main, clean_report.rounds_main);
+        assert_eq!(report.bits_total, clean_report.bits_total);
+    }
+
+    #[test]
+    fn faulted_entry_point_retries_through_transient_errors() {
+        let g = generators::random_regular(150, 6, 5);
+        let space = 64;
+        let lists = degree_plus_one_lists(&g, space, 4);
+        let cfg = CongestConfig::default();
+        let (clean, _) = congest_degree_plus_one(&g, space, &lists, &cfg).unwrap();
+        let plan = FaultPlan::new(0xFA).with_error_rate(0.2);
+        let (colors, report) = super::congest_degree_plus_one_faulted(
+            &g,
+            space,
+            &lists,
+            &cfg,
+            Tracer::disabled(),
+            &plan,
+            RetryPolicy {
+                max_retries: 25,
+                backoff_rounds: 1,
+            },
+        )
+        .unwrap();
+        assert_eq!(colors, clean, "absorbed retries must not change output");
+        validate_proper_list_coloring(&g, &lists, &colors).unwrap();
+        assert!(report.max_message_bits <= report.bandwidth_bits);
     }
 
     #[test]

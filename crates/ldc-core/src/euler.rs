@@ -20,10 +20,7 @@ pub fn balanced_orientation(n: usize, edges: &[(u32, u32)]) -> Vec<bool> {
     let odd: Vec<u32> = (0..n as u32)
         .filter(|&v| deg[v as usize] % 2 == 1)
         .collect();
-    debug_assert!(
-        odd.len().is_multiple_of(2),
-        "odd-degree vertices come in pairs"
-    );
+    debug_assert!(odd.len() % 2 == 0, "odd-degree vertices come in pairs");
     let mut all_edges: Vec<(u32, u32)> = edges.to_vec();
     for pair in odd.chunks(2) {
         all_edges.push((pair[0], pair[1]));

@@ -182,7 +182,7 @@ pub fn two_round_list_coloring(
                         }
                         s.nb_cand[p]
                             .as_ref()
-                            .is_none_or(|cu| cu.binary_search(&x).is_err())
+                            .map_or(true, |cu| cu.binary_search(&x).is_err())
                     })
                 })
                 .copied();

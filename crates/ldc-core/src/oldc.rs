@@ -433,7 +433,7 @@ pub fn solve_with_classes(
                     // Lower classes: covered by Phase I pruning; conflicting
                     // same-class neighbors: covered by the d/4 budget.
                 }
-                if best.is_none_or(|(bf, bx)| f < bf || (f == bf && x < bx)) {
+                if best.map_or(true, |(bf, bx)| f < bf || (f == bf && x < bx)) {
                     best = Some((f, x));
                 }
             }
@@ -529,7 +529,7 @@ pub fn solve_with_classes(
                             f += u64::from(cu.binary_search(&x).is_ok());
                         }
                     }
-                    if best.is_none_or(|(bf, bx)| f < bf || (f == bf && x < bx)) {
+                    if best.map_or(true, |(bf, bx)| f < bf || (f == bf && x < bx)) {
                         best = Some((f, x));
                     }
                 }
@@ -722,7 +722,7 @@ pub fn solve_oldc(
             }
             let delta_aux = ((1u64 << i_nat.min(40)) * (dhat + 1)) / 4;
             let class = i_nat as u32;
-            let keep = best_len_for_class.get(&class).is_none_or(|&l| len > l);
+            let keep = best_len_for_class.get(&class).map_or(true, |&l| len > l);
             if keep {
                 best_len_for_class.insert(class, len);
                 entries.retain(|&(c, _)| c != i_nat);

@@ -328,7 +328,7 @@ pub fn solve_single_defect(
                         }
                     }
                 }
-                if best.is_none_or(|(bf, bx)| f < bf || (f == bf && x < bx)) {
+                if best.map_or(true, |(bf, bx)| f < bf || (f == bf && x < bx)) {
                     best = Some((f, x));
                 }
             }

@@ -165,14 +165,14 @@ impl PairCursor {
 /// Panics if `n * d` is odd, `d >= n`, or repair does not converge (only
 /// possible for extreme `d` close to `n`).
 pub fn random_regular(n: usize, d: usize, seed: u64) -> Graph {
-    assert!((n * d).is_multiple_of(2), "n*d must be even");
+    assert!((n * d) % 2 == 0, "n*d must be even");
     assert!(d < n, "degree must be below n");
     if d == 0 {
         return GraphBuilder::new(n).build().unwrap();
     }
     let mut r = rng(seed);
     let mut stubs: Vec<NodeId> = (0..n)
-        .flat_map(|v| std::iter::repeat_n(v as NodeId, d))
+        .flat_map(|v| std::iter::repeat(v as NodeId).take(d))
         .collect();
     r.shuffle(&mut stubs);
     let mut edges: Vec<(NodeId, NodeId)> = stubs

@@ -1,5 +1,6 @@
 //! The synchronous round engine.
 
+use crate::faults::{FaultPlan, RetryPolicy};
 use crate::message::MessageSize;
 use crate::metrics::{Metrics, RoundStats};
 use crate::par::{default_threads, scoped_for_each_chunk};
@@ -63,6 +64,14 @@ pub enum SimError {
         /// The configured budget.
         limit: u64,
     },
+    /// A transient injected error aborted the round attempt (fault
+    /// injection; see [`FaultPlan::with_error_rate`]).
+    InjectedFault {
+        /// Round index (0-based) whose attempt was aborted.
+        round: usize,
+        /// Which attempt at that round failed (0 = the first).
+        attempt: u32,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -71,6 +80,10 @@ impl fmt::Display for SimError {
             SimError::BandwidthExceeded { round, node, port, bits, limit } => write!(
                 f,
                 "round {round}: node {node} sent {bits} bits on port {port}, exceeding CONGEST budget of {limit} bits"
+            ),
+            SimError::InjectedFault { round, attempt } => write!(
+                f,
+                "round {round}: injected transient fault (attempt {attempt})"
             ),
         }
     }
@@ -305,6 +318,11 @@ pub struct Network<'g> {
     /// Phase-span tracer; disabled (free) unless attached via
     /// [`Network::set_tracer`].
     tracer: Tracer,
+    /// Injected-fault plan; `None` (free) unless attached via
+    /// [`Network::set_fault_plan`].
+    faults: Option<FaultPlan>,
+    /// Round-retry policy; inert unless a fault plan is attached.
+    retry: RetryPolicy,
 }
 
 /// Default work threshold: rounds moving fewer total half-edge slots than
@@ -343,6 +361,8 @@ impl<'g> Network<'g> {
             parallel_rounds: 0,
             buffers: RoundBuffers::default(),
             tracer: Tracer::disabled(),
+            faults: None,
+            retry: RetryPolicy::default(),
         }
     }
 
@@ -419,6 +439,41 @@ impl<'g> Network<'g> {
         &self.tracer
     }
 
+    /// Attach a fault plan: subsequent rounds draw deterministic fault
+    /// decisions from it (keyed on the plan seed, round index, attempt,
+    /// and global half-edge slot / node id — never on executor or thread
+    /// count, so all [`ExecMode`]s stay byte-identical under the same
+    /// plan). Fault events are counted in [`Metrics`] and attributed to
+    /// the open trace span.
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        self.faults = Some(plan);
+    }
+
+    /// Detach the fault plan; subsequent rounds run fault-free.
+    pub fn clear_fault_plan(&mut self) {
+        self.faults = None;
+    }
+
+    /// The attached fault plan, if any.
+    pub fn fault_plan(&self) -> Option<&FaultPlan> {
+        self.faults.as_ref()
+    }
+
+    /// Configure round retries. The policy only engages while a fault
+    /// plan is attached: a failed attempt (injected error or bandwidth
+    /// violation) is re-executed up to `max_retries` times with the
+    /// sender states unchanged — compose never mutates state and consume
+    /// only runs on success, so rollback is implicit. Each retry charges
+    /// `backoff_rounds` stall rounds ([`Metrics::stalled_rounds`]).
+    pub fn set_retry_policy(&mut self, retry: RetryPolicy) {
+        self.retry = retry;
+    }
+
+    /// The configured retry policy.
+    pub fn retry_policy(&self) -> RetryPolicy {
+        self.retry
+    }
+
     /// Execute one communication round.
     ///
     /// `compose(v, &state_v, outbox)` fills `v`'s outgoing messages from its
@@ -429,6 +484,18 @@ impl<'g> Network<'g> {
     /// reduces its own [`RoundStats`]); a failed round leaves the network
     /// fully usable and is not counted in metrics or trace.
     ///
+    /// With a [`FaultPlan`] attached, faults are applied deterministically
+    /// (drops/truncations per half-edge slot, crash/sleep skips per node,
+    /// the plan's budget schedule overriding the configured bandwidth,
+    /// injected transient errors), and a failed attempt is re-executed
+    /// under the configured [`RetryPolicy`] — sender states are untouched
+    /// by a failed attempt, so the retry replays the round from the same
+    /// consistent state with a bumped attempt counter (fresh fault draws).
+    /// Retries are counted in [`Metrics::rounds_retried`] and attributed
+    /// to the open trace span; a deterministically-violating round (e.g. a
+    /// message over a schedule-tightened budget) still fails after
+    /// exhausting its retries.
+    ///
     /// # Panics
     /// Panics if `states.len() != n`.
     pub fn exchange<S, M, FC, FU>(
@@ -436,6 +503,42 @@ impl<'g> Network<'g> {
         states: &mut [S],
         compose: FC,
         consume: FU,
+    ) -> Result<(), SimError>
+    where
+        S: Send + Sync,
+        M: MessageSize + Send + Sync + 'static,
+        FC: Fn(NodeId, &S, &mut Outbox<'_, M>) + Sync,
+        FU: Fn(NodeId, &mut S, Inbox<'_, M>) + Sync,
+    {
+        // Retries only engage when faults can occur; without a plan this
+        // is the plain single-attempt path.
+        let retries = if self.faults.is_some() {
+            self.retry.max_retries
+        } else {
+            0
+        };
+        let mut attempt = 0u32;
+        loop {
+            match self.exchange_attempt(states, &compose, &consume, attempt) {
+                Ok(()) => return Ok(()),
+                Err(_) if attempt < retries => {
+                    self.metrics.record_retry(self.retry.backoff_rounds);
+                    self.tracer.on_retry(self.retry.backoff_rounds);
+                    attempt += 1;
+                }
+                Err(err) => return Err(err),
+            }
+        }
+    }
+
+    /// One attempt at a round: the pre-PR-3 `exchange` body plus fault
+    /// application. A failed attempt mutates nothing but scratch buffers.
+    fn exchange_attempt<S, M, FC, FU>(
+        &mut self,
+        states: &mut [S],
+        compose: &FC,
+        consume: &FU,
+        attempt: u32,
     ) -> Result<(), SimError>
     where
         S: Send + Sync,
@@ -461,12 +564,27 @@ impl<'g> Network<'g> {
         };
         self.buffers.ensure_chunk_bounds(&self.prefix, chunks);
         let (mode, threads) = (self.exec_mode, self.threads);
+        let round = self.metrics.rounds();
+
+        // Fault plan hooks: an injected transient error aborts the attempt
+        // before any work; the plan's budget schedule overrides the
+        // configured bandwidth for this round.
+        let faults = self.faults.as_ref();
+        if let Some(plan) = faults {
+            if plan.injects_error(round, attempt) {
+                return Err(SimError::InjectedFault { round, attempt });
+            }
+        }
+        let bandwidth = match faults {
+            Some(plan) => plan.bandwidth_at(round, self.bandwidth),
+            None => self.bandwidth,
+        };
+
         let mut wire: Vec<Option<M>> = self.buffers.take_wire(total_slots);
 
         // Compose + fused accounting: each chunk fills its nodes' outbox
         // slices and reduces its own RoundStats in the same pass — no
         // separate O(total_slots) scan afterwards.
-        let round = self.metrics.rounds();
         self.buffers.outcomes.clear();
         self.buffers
             .outcomes
@@ -476,7 +594,6 @@ impl<'g> Network<'g> {
             let wire_chunks = DisjointChunks::new(&mut wire, &self.buffers.chunk_slot_bounds);
             let outcome_chunks = DisjointChunks::new(&mut self.buffers.outcomes, &IOTA[..=chunks]);
             let prefix = &self.prefix;
-            let bandwidth = self.bandwidth;
             let states_ro: &[S] = states;
             let run_chunk = move |c: usize| {
                 let slots = wire_chunks.take(c);
@@ -487,22 +604,49 @@ impl<'g> Network<'g> {
                     let base = prefix[v] - chunk_base;
                     let deg = prefix[v + 1] - prefix[v];
                     let node_slots = &mut slots[base..base + deg];
+                    // A crashed/sleeping node composes nothing this round
+                    // (its slots stay empty) and is counted exactly once.
+                    if let Some(plan) = faults {
+                        if plan.faulted(round, attempt, v as NodeId) {
+                            outcome.stats.faulted_nodes += 1;
+                            continue;
+                        }
+                    }
                     compose(
                         v as NodeId,
                         &states_ro[v],
                         &mut Outbox { slots: node_slots },
                     );
-                    for (port, slot) in node_slots.iter().enumerate() {
-                        if let Some(msg) = slot {
-                            let bits = msg.bits();
-                            outcome.stats.messages += 1;
-                            outcome.stats.total_bits += bits;
-                            outcome.stats.max_message_bits =
-                                outcome.stats.max_message_bits.max(bits);
-                            if let Bandwidth::Congest { bits_per_message } = bandwidth {
-                                if bits > bits_per_message && outcome.violation.is_none() {
-                                    outcome.violation = Some((v as NodeId, port, bits));
-                                }
+                    for (port, slot) in node_slots.iter_mut().enumerate() {
+                        let Some(mut bits) = slot.as_ref().map(MessageSize::bits) else {
+                            continue;
+                        };
+                        if let Some(plan) = faults {
+                            // Faults key on the *global* slot index, so the
+                            // draw is identical in every chunking.
+                            let gslot = (prefix[v] + port) as u64;
+                            if plan.drops(round, attempt, gslot) {
+                                // Lost at the sender: no charge, no delivery.
+                                *slot = None;
+                                outcome.stats.messages_dropped += 1;
+                                continue;
+                            }
+                            if let Some(cap) = plan.truncates(round, attempt, gslot) {
+                                // Crossed the wire cut to `cap` bits: charged
+                                // (truncated) below, but unusable — the
+                                // simulator transports typed values, so a
+                                // partial value is a lost value.
+                                bits = bits.min(cap);
+                                *slot = None;
+                                outcome.stats.messages_dropped += 1;
+                            }
+                        }
+                        outcome.stats.messages += 1;
+                        outcome.stats.total_bits += bits;
+                        outcome.stats.max_message_bits = outcome.stats.max_message_bits.max(bits);
+                        if let Bandwidth::Congest { bits_per_message } = bandwidth {
+                            if bits > bits_per_message && outcome.violation.is_none() {
+                                outcome.violation = Some((v as NodeId, port, bits));
                             }
                         }
                     }
@@ -520,12 +664,16 @@ impl<'g> Network<'g> {
             stats.messages += outcome.stats.messages;
             stats.total_bits += outcome.stats.total_bits;
             stats.max_message_bits = stats.max_message_bits.max(outcome.stats.max_message_bits);
+            stats.messages_dropped += outcome.stats.messages_dropped;
+            stats.faulted_nodes += outcome.stats.faulted_nodes;
             if violation.is_none() {
                 violation = outcome.violation;
             }
         }
         if let Some((node, port, bits)) = violation {
-            let limit = match self.bandwidth {
+            // `bandwidth` is the effective budget for this round (the
+            // plan's schedule may have tightened the configured one).
+            let limit = match bandwidth {
                 Bandwidth::Congest { bits_per_message } => bits_per_message,
                 Bandwidth::Local => unreachable!("violations only exist under CONGEST"),
             };
@@ -554,6 +702,14 @@ impl<'g> Network<'g> {
                 let chunk_states = state_chunks.take(c);
                 let (lo, hi) = (bounds[c], bounds[c + 1]);
                 for v in lo..hi {
+                    // A crashed/sleeping node consumes nothing either: its
+                    // state is untouched for the whole round. (Already
+                    // counted once, in the compose pass.)
+                    if let Some(plan) = faults {
+                        if plan.faulted(round, attempt, v as NodeId) {
+                            continue;
+                        }
+                    }
                     consume(
                         v as NodeId,
                         &mut chunk_states[v - lo],

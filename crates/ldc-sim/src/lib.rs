@@ -41,11 +41,22 @@
 //! spans* (one per paper artifact — theorem, lemma, phase). Attach a
 //! [`Tracer`] with [`Network::set_tracer`]; span totals are then
 //! engine-accounted and sum exactly to the flat [`Metrics`].
+//!
+//! # Fault injection
+//!
+//! The [`faults`] module perturbs the flawless synchronous model with
+//! seeded, deterministic fault families — message drops/truncations,
+//! adversarial bandwidth schedules, crash/sleep windows, injected
+//! transient errors. Attach a [`FaultPlan`] with
+//! [`Network::set_fault_plan`] and (optionally) a [`RetryPolicy`] with
+//! [`Network::set_retry_policy`]; fault events are counted in [`Metrics`]
+//! and attributed to the open trace span.
 
 #![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod engine;
+pub mod faults;
 pub mod json;
 pub mod message;
 pub mod metrics;
@@ -55,6 +66,7 @@ pub mod pool;
 pub mod trace;
 
 pub use engine::{Bandwidth, ExecMode, Inbox, Network, Outbox, SimError};
+pub use faults::{CrashWindow, FaultPlan, RetryPolicy};
 pub use message::{bits_for_value, MessageSize};
 pub use metrics::{Metrics, RoundStats};
 pub use trace::{SpanGuard, SpanNode, SpanTotals, Tracer};

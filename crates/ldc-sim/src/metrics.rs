@@ -9,18 +9,33 @@ pub struct RoundStats {
     pub total_bits: u64,
     /// Largest single message in bits this round.
     pub max_message_bits: u64,
+    /// Messages lost to injected faults (drops and truncations) this
+    /// round. Dropped messages are *not* included in `messages` or
+    /// `total_bits`; truncated ones are, at their truncated size.
+    pub messages_dropped: u64,
+    /// Nodes that were crashed or asleep this round (counted once per
+    /// node per round).
+    pub faulted_nodes: u64,
 }
 
 /// Cumulative statistics over a simulation.
 #[derive(Debug, Clone, Default)]
 pub struct Metrics {
     per_round: Vec<RoundStats>,
+    rounds_retried: u64,
+    stalled_rounds: u64,
 }
 
 impl Metrics {
     /// Record one finished round.
     pub(crate) fn push_round(&mut self, stats: RoundStats) {
         self.per_round.push(stats);
+    }
+
+    /// Record a retried round attempt and the stall rounds it cost.
+    pub(crate) fn record_retry(&mut self, backoff_rounds: u32) {
+        self.rounds_retried += 1;
+        self.stalled_rounds += u64::from(backoff_rounds);
     }
 
     /// Number of communication rounds executed so far.
@@ -47,6 +62,31 @@ impl Metrics {
             .unwrap_or(0)
     }
 
+    /// Messages lost to injected faults (drops + truncations) across all
+    /// rounds.
+    pub fn messages_dropped(&self) -> u64 {
+        self.per_round.iter().map(|r| r.messages_dropped).sum()
+    }
+
+    /// Node-round fault events (crashed or sleeping nodes, counted once
+    /// per node per round) across all rounds.
+    pub fn faulted_nodes(&self) -> u64 {
+        self.per_round.iter().map(|r| r.faulted_nodes).sum()
+    }
+
+    /// Round attempts that failed and were re-executed under a
+    /// [`crate::RetryPolicy`]. Failed attempts never appear in
+    /// [`Metrics::per_round`]; this scalar is their only trace here.
+    pub fn rounds_retried(&self) -> u64 {
+        self.rounds_retried
+    }
+
+    /// Idle rounds charged as retry backoff (`rounds_retried` weighted by
+    /// the policy's `backoff_rounds`).
+    pub fn stalled_rounds(&self) -> u64 {
+        self.stalled_rounds
+    }
+
     /// Per-round statistics, in execution order.
     pub fn per_round(&self) -> &[RoundStats] {
         &self.per_round
@@ -56,15 +96,25 @@ impl Metrics {
     /// two algorithm phases).
     pub fn extend_from(&mut self, other: &Metrics) {
         self.per_round.extend_from_slice(&other.per_round);
+        self.rounds_retried += other.rounds_retried;
+        self.stalled_rounds += other.stalled_rounds;
     }
 
-    /// Render per-round statistics as CSV (`round,messages,total_bits,max_message_bits`).
+    /// Render per-round statistics as CSV
+    /// (`round,messages,total_bits,max_message_bits,messages_dropped,faulted_nodes`).
     pub fn to_csv(&self) -> String {
-        let mut out = String::from("round,messages,total_bits,max_message_bits\n");
+        let mut out = String::from(
+            "round,messages,total_bits,max_message_bits,messages_dropped,faulted_nodes\n",
+        );
         for (i, r) in self.per_round.iter().enumerate() {
             out.push_str(&format!(
-                "{},{},{},{}\n",
-                i, r.messages, r.total_bits, r.max_message_bits
+                "{},{},{},{},{},{}\n",
+                i,
+                r.messages,
+                r.total_bits,
+                r.max_message_bits,
+                r.messages_dropped,
+                r.faulted_nodes
             ));
         }
         out
@@ -102,11 +152,13 @@ mod tests {
             messages: 2,
             total_bits: 10,
             max_message_bits: 6,
+            ..Default::default()
         });
         m.push_round(RoundStats {
             messages: 1,
             total_bits: 3,
             max_message_bits: 3,
+            ..Default::default()
         });
         assert_eq!(m.rounds(), 2);
         assert_eq!(m.total_bits(), 13);
@@ -120,6 +172,39 @@ mod tests {
     }
 
     #[test]
+    fn fault_counters_aggregate_and_compose() {
+        let mut m = Metrics::default();
+        m.push_round(RoundStats {
+            messages: 5,
+            total_bits: 20,
+            max_message_bits: 4,
+            messages_dropped: 2,
+            faulted_nodes: 1,
+        });
+        m.push_round(RoundStats {
+            messages_dropped: 3,
+            ..Default::default()
+        });
+        m.record_retry(2);
+        m.record_retry(2);
+        assert_eq!(m.messages_dropped(), 5);
+        assert_eq!(m.faulted_nodes(), 1);
+        assert_eq!(m.rounds_retried(), 2);
+        assert_eq!(m.stalled_rounds(), 4);
+        let mut total = Metrics::default();
+        total.extend_from(&m);
+        total.extend_from(&m);
+        assert_eq!(total.messages_dropped(), 10);
+        assert_eq!(total.rounds_retried(), 4);
+        assert_eq!(total.stalled_rounds(), 8);
+        let csv = m.to_csv();
+        assert!(csv.starts_with(
+            "round,messages,total_bits,max_message_bits,messages_dropped,faulted_nodes\n"
+        ));
+        assert!(csv.contains("0,5,20,4,2,1\n"));
+    }
+
+    #[test]
     fn csv_and_percentiles() {
         let mut m = Metrics::default();
         for bits in [1u64, 5, 9] {
@@ -127,6 +212,7 @@ mod tests {
                 messages: 1,
                 total_bits: bits,
                 max_message_bits: bits,
+                ..Default::default()
             });
         }
         let csv = m.to_csv();
@@ -146,6 +232,7 @@ mod tests {
                 messages: 1,
                 total_bits: bits,
                 max_message_bits: bits,
+                ..Default::default()
             });
         }
         // Below 0 clamps to the minimum (previously: saturating cast noise).

@@ -34,6 +34,19 @@ use std::collections::BTreeMap;
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
+/// Span counter fed by the engine: messages lost to injected faults
+/// (drops + truncations) while the span was innermost.
+pub const CTR_MESSAGES_DROPPED: &str = "messages_dropped";
+/// Span counter fed by the engine: node-round crash/sleep events while
+/// the span was innermost.
+pub const CTR_FAULTED_NODES: &str = "faulted_nodes";
+/// Span counter fed by the engine: round attempts retried under a
+/// [`crate::RetryPolicy`] while the span was innermost.
+pub const CTR_ROUNDS_RETRIED: &str = "rounds_retried";
+/// Span counter fed by the engine: idle backoff rounds charged by
+/// retries while the span was innermost.
+pub const CTR_STALLED_ROUNDS: &str = "stalled_rounds";
+
 /// A shareable handle to a trace collector. Clones share the same
 /// underlying span tree; the default handle is disabled and free.
 #[derive(Clone, Default)]
@@ -166,7 +179,10 @@ impl Tracer {
 
     /// Record one finished engine round into the innermost open span.
     /// Called by [`crate::Network::exchange`]; a disabled tracer pays one
-    /// branch.
+    /// branch. Fault events carried by the round land in the span's
+    /// [`CTR_MESSAGES_DROPPED`] / [`CTR_FAULTED_NODES`] counters, so
+    /// summing them over the tree reproduces the engine's
+    /// [`crate::Metrics::messages_dropped`] / `faulted_nodes` exactly.
     #[inline]
     pub(crate) fn on_round(&self, stats: &RoundStats) {
         let Some(inner) = &self.inner else { return };
@@ -177,6 +193,37 @@ impl Tracer {
         node.messages += stats.messages;
         node.total_bits += stats.total_bits;
         node.max_message_bits = node.max_message_bits.max(stats.max_message_bits);
+        if stats.messages_dropped > 0 {
+            *node
+                .counters
+                .entry(CTR_MESSAGES_DROPPED.to_string())
+                .or_insert(0) += stats.messages_dropped;
+        }
+        if stats.faulted_nodes > 0 {
+            *node
+                .counters
+                .entry(CTR_FAULTED_NODES.to_string())
+                .or_insert(0) += stats.faulted_nodes;
+        }
+    }
+
+    /// Record a retried round attempt (and its backoff cost) into the
+    /// innermost open span. Called by the engine's retry loop.
+    pub(crate) fn on_retry(&self, backoff_rounds: u32) {
+        let Some(inner) = &self.inner else { return };
+        let mut st = inner.lock().expect("tracer poisoned");
+        let top = *st.stack.last().expect("root always open");
+        let node = &mut st.nodes[top];
+        *node
+            .counters
+            .entry(CTR_ROUNDS_RETRIED.to_string())
+            .or_insert(0) += 1;
+        if backoff_rounds > 0 {
+            *node
+                .counters
+                .entry(CTR_STALLED_ROUNDS.to_string())
+                .or_insert(0) += u64::from(backoff_rounds);
+        }
     }
 
     fn close(&self, idx: usize) {
@@ -429,6 +476,7 @@ mod tests {
             messages,
             total_bits: bits,
             max_message_bits: bits,
+            ..Default::default()
         }
     }
 
@@ -516,6 +564,32 @@ mod tests {
         let sel = s.find("sel").unwrap();
         assert_eq!(sel.counters["retries"], 5);
         assert_eq!(sel.counters["depth"], 4);
+    }
+
+    #[test]
+    fn fault_events_land_in_span_counters() {
+        let t = Tracer::new();
+        {
+            let _g = t.span("lossy");
+            t.on_round(&RoundStats {
+                messages: 4,
+                total_bits: 12,
+                max_message_bits: 3,
+                messages_dropped: 2,
+                faulted_nodes: 1,
+            });
+            t.on_retry(3);
+            t.on_retry(0);
+        }
+        // A clean round must not create zero-valued counter entries.
+        t.on_round(&round(1, 1));
+        let r = t.report();
+        let lossy = r.find("lossy").unwrap();
+        assert_eq!(lossy.counters[CTR_MESSAGES_DROPPED], 2);
+        assert_eq!(lossy.counters[CTR_FAULTED_NODES], 1);
+        assert_eq!(lossy.counters[CTR_ROUNDS_RETRIED], 2);
+        assert_eq!(lossy.counters[CTR_STALLED_ROUNDS], 3);
+        assert!(r.counters.is_empty(), "clean rounds add no fault counters");
     }
 
     #[test]

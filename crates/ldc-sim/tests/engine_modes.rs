@@ -186,6 +186,7 @@ fn network_recovers_after_bandwidth_exceeded() {
             } => {
                 assert_eq!((round, node, port, bits, limit), (1, 7, 2, 64, 8));
             }
+            other => panic!("expected BandwidthExceeded, got {other:?}"),
         }
         // Failed round is invisible in metrics...
         assert_eq!(net.metrics().rounds(), clean.rounds(), "{mode:?}");
@@ -256,6 +257,7 @@ fn violation_choice_is_deterministic_across_modes() {
         SimError::BandwidthExceeded { node, port, .. } => {
             assert_eq!((node, port), (13, 0), "first offender in node order");
         }
+        other => panic!("expected BandwidthExceeded, got {other:?}"),
     }
 }
 

@@ -11,11 +11,13 @@
 //! ```
 
 use ldc::classic;
-use ldc::core::congest::{congest_degree_plus_one_traced, CongestBranch, CongestConfig};
+use ldc::core::congest::{
+    congest_degree_plus_one_faulted, congest_degree_plus_one_traced, CongestBranch, CongestConfig,
+};
 use ldc::core::ctx::span as spans;
 use ldc::core::validate::validate_proper_list_coloring;
 use ldc::graph::{analysis, generators, io, Graph};
-use ldc::sim::{Bandwidth, Network, Tracer};
+use ldc::sim::{Bandwidth, FaultPlan, Network, RetryPolicy, Tracer};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -40,7 +42,7 @@ fn run(args: &[String]) -> Result<(), String> {
 }
 
 fn usage() -> String {
-    "usage:\n  ldc gen <ring|path|complete|torus|regular|gnp|tree|powerlaw|hypercube> <params…> [--seed S] [-o FILE]\n  ldc color <FILE> [--algorithm thm14|classic|luby] [--seed S] [--trace FILE]\n  ldc edge-color <FILE> [--seed S] [--trace FILE]\n  ldc analyze <FILE>\n\n  --trace FILE: record a phase-span trace (per-theorem rounds/bits), print\n  the span tree, and write it as JSONL to FILE ('-' prints the tree only)."
+    "usage:\n  ldc gen <ring|path|complete|torus|regular|gnp|tree|powerlaw|hypercube> <params…> [--seed S] [-o FILE]\n  ldc color <FILE> [--algorithm thm14|classic|luby] [--seed S] [--trace FILE] [--faults SPEC] [--retries N]\n  ldc edge-color <FILE> [--seed S] [--trace FILE]\n  ldc analyze <FILE>\n\n  --trace FILE: record a phase-span trace (per-theorem rounds/bits), print\n  the span tree, and write it as JSONL to FILE ('-' prints the tree only).\n\n  --faults SPEC: run under a seeded fault plan (DESIGN.md §9). SPEC is\n  comma-separated key=value pairs: seed=S, drop=RATE, trunc=RATE:CAPBITS,\n  sleep=RATE, error=RATE (e.g. --faults seed=7,drop=0.05,error=0.1).\n  --retries N: round retries per fault (default 3, backoff 1 stall round)."
         .into()
 }
 
@@ -80,6 +82,46 @@ fn positional(args: &[String]) -> Vec<&String> {
 
 fn parse<T: std::str::FromStr>(s: &str, what: &str) -> Result<T, String> {
     s.parse().map_err(|_| format!("cannot parse {what}: {s:?}"))
+}
+
+/// Parse a `--faults` spec (`seed=7,drop=0.05,trunc=0.2:3,sleep=0.01,error=0.1`)
+/// into a [`FaultPlan`].
+fn parse_faults(spec: &str) -> Result<FaultPlan, String> {
+    let mut seed = 0xFAu64;
+    let mut drop = 0.0f64;
+    let mut trunc: Option<(f64, u64)> = None;
+    let mut sleep = 0.0f64;
+    let mut error = 0.0f64;
+    for kv in spec.split(',').filter(|s| !s.is_empty()) {
+        let (key, val) = kv
+            .split_once('=')
+            .ok_or_else(|| format!("fault spec {kv:?} is not key=value"))?;
+        match key {
+            "seed" => seed = parse(val, "fault seed")?,
+            "drop" => drop = parse(val, "drop rate")?,
+            "trunc" => {
+                let (rate, cap) = val
+                    .split_once(':')
+                    .ok_or_else(|| format!("trunc wants RATE:CAPBITS, got {val:?}"))?;
+                trunc = Some((parse(rate, "trunc rate")?, parse(cap, "trunc cap")?));
+            }
+            "sleep" => sleep = parse(val, "sleep rate")?,
+            "error" => error = parse(val, "error rate")?,
+            other => {
+                return Err(format!(
+                    "unknown fault key {other:?} (seed|drop|trunc|sleep|error)"
+                ))
+            }
+        }
+    }
+    let mut plan = FaultPlan::new(seed)
+        .with_drop_rate(drop)
+        .with_sleep_rate(sleep)
+        .with_error_rate(error);
+    if let Some((rate, cap)) = trunc {
+        plan = plan.with_truncation(rate, cap);
+    }
+    Ok(plan)
 }
 
 fn load(path: &str) -> Result<Graph, String> {
@@ -140,6 +182,16 @@ fn cmd_color(args: &[String]) -> Result<(), String> {
     } else {
         Tracer::disabled()
     };
+    let faults = flag(args, "--faults")
+        .map(|s| parse_faults(&s))
+        .transpose()?;
+    let retry = RetryPolicy {
+        max_retries: flag(args, "--retries")
+            .map(|s| parse(&s, "retries"))
+            .transpose()?
+            .unwrap_or(3),
+        backoff_rounds: 1,
+    };
     let delta = g.max_degree();
     let space = delta as u64 + 1;
     let lists: Vec<Vec<u64>> = (0..g.num_nodes()).map(|_| (0..space).collect()).collect();
@@ -152,8 +204,20 @@ fn cmd_color(args: &[String]) -> Result<(), String> {
                 substrate: ldc::core::arbdefective::Substrate::Randomized,
                 ..CongestConfig::default()
             };
-            let (c, rep) = congest_degree_plus_one_traced(&g, space, &lists, &cfg, tracer.clone())
-                .map_err(|e| e.to_string())?;
+            let (c, rep) = match &faults {
+                Some(plan) => congest_degree_plus_one_faulted(
+                    &g,
+                    space,
+                    &lists,
+                    &cfg,
+                    tracer.clone(),
+                    plan,
+                    retry,
+                )
+                .map_err(|e| e.to_string())?,
+                None => congest_degree_plus_one_traced(&g, space, &lists, &cfg, tracer.clone())
+                    .map_err(|e| e.to_string())?,
+            };
             (
                 c,
                 rep.rounds_main,
@@ -164,6 +228,10 @@ fn cmd_color(args: &[String]) -> Result<(), String> {
         "classic" => {
             let mut net = Network::new(&g, Bandwidth::congest_log(g.num_nodes(), 16));
             net.set_tracer(tracer.clone());
+            if let Some(plan) = faults.clone() {
+                net.set_fault_plan(plan);
+                net.set_retry_policy(retry);
+            }
             let lin = {
                 let _s = tracer.span(spans::LINIAL_INIT);
                 classic::linial_coloring(&mut net, None).map_err(|e| e.to_string())?
@@ -178,6 +246,10 @@ fn cmd_color(args: &[String]) -> Result<(), String> {
         "luby" => {
             let mut net = Network::new(&g, Bandwidth::congest_log(g.num_nodes(), 16));
             net.set_tracer(tracer.clone());
+            if let Some(plan) = faults.clone() {
+                net.set_fault_plan(plan);
+                net.set_retry_policy(retry);
+            }
             let c = {
                 let _s = tracer.span(spans::LUBY);
                 classic::luby::luby_list_coloring(&mut net, &lists, seed)
@@ -196,6 +268,12 @@ fn cmd_color(args: &[String]) -> Result<(), String> {
         "{algorithm}: n = {}, Δ = {delta}; colored with {used} of {space} colors in {rounds} rounds (+{substrate} substrate), max message {max_bits} bits — VALID",
         g.num_nodes()
     );
+    if faults.is_some() {
+        println!(
+            "faults: plan survived with up to {} retries per round (see --trace for per-span retry/stall counters)",
+            retry.max_retries
+        );
+    }
     if let Some(path) = trace {
         finish_trace(&tracer, &path)?;
     }
