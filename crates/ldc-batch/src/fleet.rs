@@ -1,0 +1,456 @@
+//! The [`Fleet`] runner: shard a job list across the persistent worker
+//! pool, reuse graphs across jobs, and emit a deterministic JSONL stream.
+//!
+//! Determinism discipline (DESIGN.md §10): graphs are resolved
+//! *sequentially in job order* before any worker starts (so cache
+//! hit/miss counts never depend on scheduling), each job's result is
+//! collected into its own slot, and rows are emitted in job-index order —
+//! the output is byte-identical for every shard count and completion
+//! order, and contains no wall-clock or host-dependent fields.
+
+use crate::spec::{Algorithm, JobSpec};
+use ldc_core::congest::{congest_degree_plus_one, CongestConfig};
+use ldc_core::edge_coloring::edge_coloring;
+use ldc_core::problem::ColorSpace;
+use ldc_core::validate::validate_proper_list_coloring;
+use ldc_core::{
+    FaultStats, LdcInstance, OldcInstance, Resilient, ResilientReport, Solution, SolveOptions,
+};
+use ldc_graph::{DirectedView, Graph};
+use ldc_sim::json::Obj;
+use ldc_sim::pool::{pool_execute, DisjointChunks, MAX_CHUNKS};
+use std::collections::{BTreeSet, HashMap};
+
+/// Run `f` over `items`, sharded across the worker pool, and return the
+/// results **in item order** regardless of which shard ran which item.
+/// `f` receives `(item_index, &item)`. Shards are clamped to
+/// `1..=min(items, MAX_CHUNKS)`; contiguous index ranges keep each
+/// shard's work adjacent in memory.
+pub fn sharded_map<I, T, F>(shards: usize, items: &[I], f: F) -> Vec<T>
+where
+    I: Sync,
+    T: Send,
+    F: Fn(usize, &I) -> T + Sync,
+{
+    let n = items.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let shards = shards.clamp(1, MAX_CHUNKS.min(n));
+    let mut slots: Vec<Option<T>> = (0..n).map(|_| None).collect();
+    let bounds: Vec<usize> = (0..=shards).map(|s| s * n / shards).collect();
+    let chunks = DisjointChunks::new(&mut slots, &bounds);
+    pool_execute(shards, shards, |c| {
+        let start = bounds[c];
+        for (off, slot) in chunks.take(c).iter_mut().enumerate() {
+            *slot = Some(f(start + off, &items[start + off]));
+        }
+    });
+    slots
+        .into_iter()
+        .map(|s| s.expect("every slot filled by its shard"))
+        .collect()
+}
+
+/// The outcome of one job: the rendered JSONL row plus the structured
+/// numbers the row was rendered from (so tests and roll-ups never parse
+/// their own output).
+#[derive(Debug, Clone)]
+pub struct JobOutcome {
+    /// Index of the job in the input list.
+    pub index: usize,
+    /// The rendered JSONL row (no trailing newline).
+    pub row: String,
+    /// Whether the solve succeeded.
+    pub ok: bool,
+    /// Whether the output passed explicit validation (false when `!ok`).
+    pub valid: bool,
+    /// Rounds used (all networks involved).
+    pub rounds: u64,
+    /// Total bits on the wire.
+    pub total_bits: u64,
+    /// Distinct colors in the output.
+    pub colors_used: u64,
+    /// Fault counters for the run (final attempt for resilient solves).
+    pub faults: FaultStats,
+    /// Restart accounting, for faulted instance-algorithm jobs.
+    pub resilient: Option<ResilientReport>,
+    /// The error message, when `!ok`.
+    pub error: Option<String>,
+}
+
+/// Fleet-level roll-up across all jobs of a run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FleetSummary {
+    /// Jobs executed.
+    pub jobs: u64,
+    /// Jobs that solved and validated.
+    pub ok: u64,
+    /// Jobs that errored.
+    pub failed: u64,
+    /// Graph-cache hits (jobs whose graph was already built).
+    pub cache_hits: u64,
+    /// Graph-cache misses (distinct graphs built or loaded).
+    pub cache_misses: u64,
+    /// Rounds summed over all jobs.
+    pub rounds_total: u64,
+    /// Bits summed over all jobs.
+    pub bits_total: u64,
+    /// Solver restarts summed over all resilient jobs.
+    pub restarts: u64,
+    /// Fault counters summed over all jobs (resilient jobs contribute
+    /// their all-attempts totals).
+    pub faults: FaultStats,
+}
+
+/// A finished fleet run: per-job outcomes in job order plus the roll-up.
+#[derive(Debug, Clone)]
+pub struct FleetRun {
+    /// Outcomes, indexed by job.
+    pub outcomes: Vec<JobOutcome>,
+    /// The fleet-level roll-up.
+    pub summary: FleetSummary,
+}
+
+impl FleetRun {
+    /// The full JSONL stream: one row per job in job-index order, then a
+    /// final `{"fleet": ...}` summary line. Byte-identical for every
+    /// shard count.
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        for o in &self.outcomes {
+            out.push_str(&o.row);
+            out.push('\n');
+        }
+        let s = &self.summary;
+        let fleet = Obj::new()
+            .u64("jobs", s.jobs)
+            .u64("ok", s.ok)
+            .u64("failed", s.failed)
+            .u64("cache_hits", s.cache_hits)
+            .u64("cache_misses", s.cache_misses)
+            .u64("rounds_total", s.rounds_total)
+            .u64("bits_total", s.bits_total)
+            .u64("restarts", s.restarts)
+            .raw("faults", &fault_stats_json(&s.faults))
+            .finish();
+        out.push_str(&Obj::new().raw("fleet", &fleet).finish());
+        out.push('\n');
+        out
+    }
+}
+
+/// The sharded batch runner. `shards` is the number of pool chunks the
+/// job list is split into (1 = serial; clamped to the pool's chunk cap).
+#[derive(Debug, Clone, Copy)]
+pub struct Fleet {
+    /// Requested shard count.
+    pub shards: usize,
+}
+
+impl Fleet {
+    /// A fleet with the given shard count.
+    pub fn new(shards: usize) -> Fleet {
+        Fleet { shards }
+    }
+
+    /// Execute every job and collect the deterministic result stream.
+    pub fn run(&self, jobs: &[JobSpec]) -> FleetRun {
+        // Resolve graphs sequentially in job order: cache accounting and
+        // build errors are then independent of sharding.
+        let mut cache: HashMap<u64, Result<Graph, String>> = HashMap::new();
+        let mut cache_hits = 0u64;
+        let mut cache_misses = 0u64;
+        let keys: Vec<u64> = jobs
+            .iter()
+            .map(|job| {
+                let key = job.graph.cache_key();
+                if let std::collections::hash_map::Entry::Vacant(slot) = cache.entry(key) {
+                    slot.insert(job.graph.build());
+                    cache_misses += 1;
+                } else {
+                    cache_hits += 1;
+                }
+                key
+            })
+            .collect();
+
+        let outcomes = sharded_map(self.shards, jobs, |i, job| match &cache[&keys[i]] {
+            Ok(g) => run_job(i, job, g),
+            Err(e) => error_outcome(i, job, format!("graph: {e}")),
+        });
+
+        let mut summary = FleetSummary {
+            jobs: jobs.len() as u64,
+            cache_hits,
+            cache_misses,
+            ..FleetSummary::default()
+        };
+        for o in &outcomes {
+            if o.ok {
+                summary.ok += 1;
+            } else {
+                summary.failed += 1;
+            }
+            summary.rounds_total += o.rounds;
+            summary.bits_total += o.total_bits;
+            match &o.resilient {
+                Some(r) => {
+                    summary.restarts += u64::from(r.restarts);
+                    summary.faults.absorb(&r.faults);
+                }
+                None => summary.faults.absorb(&o.faults),
+            }
+        }
+        FleetRun { outcomes, summary }
+    }
+}
+
+fn fault_stats_json(f: &FaultStats) -> String {
+    Obj::new()
+        .u64("rounds_retried", f.rounds_retried)
+        .u64("stalled_rounds", f.stalled_rounds)
+        .u64("messages_dropped", f.messages_dropped)
+        .u64("faulted_nodes", f.faulted_nodes)
+        .finish()
+}
+
+fn error_outcome(index: usize, job: &JobSpec, error: String) -> JobOutcome {
+    let row = Obj::new()
+        .u64("job", index as u64)
+        .raw("spec", &job.to_json())
+        .str("status", "error")
+        .str("error", &error)
+        .finish();
+    JobOutcome {
+        index,
+        row,
+        ok: false,
+        valid: false,
+        rounds: 0,
+        total_bits: 0,
+        colors_used: 0,
+        faults: FaultStats::default(),
+        resilient: None,
+        error: Some(error),
+    }
+}
+
+/// The numbers an algorithm run reports into its row.
+struct RunStats {
+    rounds: u64,
+    max_message_bits: u64,
+    total_bits: u64,
+    colors_used: u64,
+    valid: bool,
+    faults: FaultStats,
+    resilient: Option<ResilientReport>,
+}
+
+fn distinct(colors: &[u64]) -> u64 {
+    colors.iter().collect::<BTreeSet<_>>().len() as u64
+}
+
+fn stats_from_solution(sol: &Solution, resilient: Option<ResilientReport>) -> RunStats {
+    RunStats {
+        rounds: sol.rounds as u64,
+        max_message_bits: sol.max_message_bits,
+        total_bits: sol.total_bits,
+        colors_used: distinct(&sol.colors),
+        // Instance solvers validate exactly before returning Ok.
+        valid: true,
+        faults: sol.faults,
+        resilient,
+    }
+}
+
+fn run_job(index: usize, job: &JobSpec, g: &Graph) -> JobOutcome {
+    let opts = SolveOptions::default().with_seed(job.seed);
+    let space = job.lists.space(g);
+    let fault_env = job.faults.as_ref();
+
+    // Instance algorithms run under `Resilient` when faulted (restart
+    // accounting included); the congest/edge pipelines attach the plan
+    // through the options (their reports carry the fault counters).
+    let result: Result<RunStats, String> = match job.algorithm {
+        Algorithm::Oldc => {
+            let view = DirectedView::bidirected(g);
+            let inst = OldcInstance::new(view, ColorSpace::new(space), job.lists.defect_lists(g));
+            match fault_env {
+                Some(f) => Resilient {
+                    plan: f.plan(),
+                    retry: f.retry(),
+                    max_restarts: f.max_restarts,
+                }
+                .solve_oldc(&inst, &opts)
+                .map(|(sol, rep)| stats_from_solution(&sol, Some(rep)))
+                .map_err(|e| e.to_string()),
+                None => inst
+                    .solve(&opts)
+                    .map(|sol| stats_from_solution(&sol, None))
+                    .map_err(|e| e.to_string()),
+            }
+        }
+        Algorithm::LdcDistributed | Algorithm::Arbdefective => {
+            let inst = LdcInstance::new(g, ColorSpace::new(space), job.lists.defect_lists(g));
+            let arb = job.algorithm == Algorithm::Arbdefective;
+            match fault_env {
+                Some(f) => {
+                    let wrapper = Resilient {
+                        plan: f.plan(),
+                        retry: f.retry(),
+                        max_restarts: f.max_restarts,
+                    };
+                    if arb {
+                        wrapper.solve_arbdefective(&inst, &opts)
+                    } else {
+                        wrapper.solve_distributed(&inst, &opts)
+                    }
+                    .map(|(sol, rep)| stats_from_solution(&sol, Some(rep)))
+                    .map_err(|e| e.to_string())
+                }
+                None => if arb {
+                    inst.solve_arbdefective(&opts)
+                } else {
+                    inst.solve_distributed(&opts)
+                }
+                .map(|sol| stats_from_solution(&sol, None))
+                .map_err(|e| e.to_string()),
+            }
+        }
+        Algorithm::Congest => {
+            let cfg = CongestConfig {
+                seed: job.seed,
+                ..CongestConfig::default()
+            };
+            let run_opts = match fault_env {
+                Some(f) => opts.clone().with_faults(f.plan(), f.retry()),
+                None => opts.clone(),
+            };
+            let lists = job.lists.color_lists(g);
+            congest_degree_plus_one(g, space, &lists, &cfg, &run_opts)
+                .map(|(colors, report)| RunStats {
+                    rounds: report.rounds_total() as u64,
+                    max_message_bits: report.max_message_bits,
+                    total_bits: report.bits_total,
+                    colors_used: distinct(&colors),
+                    valid: validate_proper_list_coloring(g, &lists, &colors).is_ok(),
+                    faults: report.faults,
+                    resilient: None,
+                })
+                .map_err(|e| e.to_string())
+        }
+        Algorithm::EdgeColoring => {
+            let cfg = CongestConfig {
+                seed: job.seed,
+                ..CongestConfig::default()
+            };
+            let run_opts = match fault_env {
+                Some(f) => opts.clone().with_faults(f.plan(), f.retry()),
+                None => opts.clone(),
+            };
+            edge_coloring(g, &cfg, &run_opts)
+                .map(|ec| RunStats {
+                    rounds: ec.report.rounds_total() as u64,
+                    max_message_bits: ec.report.max_message_bits,
+                    total_bits: ec.report.bits_total,
+                    colors_used: ec.colors_used() as u64,
+                    valid: ec.validate(g).is_ok(),
+                    faults: ec.report.faults,
+                    resilient: None,
+                })
+                .map_err(|e| e.to_string())
+        }
+    };
+
+    match result {
+        Err(e) => error_outcome(index, job, e),
+        Ok(stats) => {
+            let mut row = Obj::new()
+                .u64("job", index as u64)
+                .raw("spec", &job.to_json())
+                .str("status", "ok")
+                .u64("n", g.num_nodes() as u64)
+                .u64("m", g.num_edges() as u64)
+                .u64("delta", g.max_degree() as u64)
+                .u64("rounds", stats.rounds)
+                .u64("max_message_bits", stats.max_message_bits)
+                .u64("total_bits", stats.total_bits)
+                .u64("colors_used", stats.colors_used)
+                .bool("valid", stats.valid)
+                .raw("faults", &fault_stats_json(&stats.faults));
+            if let Some(r) = &stats.resilient {
+                row = row.raw(
+                    "resilient",
+                    &Obj::new()
+                        .u64("restarts", u64::from(r.restarts))
+                        .u64("rounds_all_attempts", r.rounds_all_attempts as u64)
+                        .raw("faults", &fault_stats_json(&r.faults))
+                        .finish(),
+                );
+            }
+            JobOutcome {
+                index,
+                row: row.finish(),
+                ok: true,
+                valid: stats.valid,
+                rounds: stats.rounds,
+                total_bits: stats.total_bits,
+                colors_used: stats.colors_used,
+                faults: stats.faults,
+                resilient: stats.resilient,
+                error: None,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{GraphSource, ListSpec};
+
+    #[test]
+    fn sharded_map_preserves_item_order() {
+        let items: Vec<usize> = (0..23).collect();
+        for shards in [1, 2, 3, 7, 23, 64] {
+            let out = sharded_map(shards, &items, |i, &x| {
+                assert_eq!(i, x);
+                x * 10
+            });
+            assert_eq!(out, (0..23).map(|x| x * 10).collect::<Vec<_>>());
+        }
+        let empty: Vec<usize> = Vec::new();
+        assert!(sharded_map(4, &empty, |_, &x| x).is_empty());
+    }
+
+    #[test]
+    fn fleet_runs_jobs_and_reports_errors_in_rows() {
+        let jobs = vec![
+            JobSpec {
+                graph: GraphSource::Ring { n: 12 },
+                algorithm: Algorithm::Congest,
+                lists: ListSpec::default(),
+                seed: 1,
+                faults: None,
+            },
+            JobSpec {
+                graph: GraphSource::File {
+                    path: "/nonexistent/graph.col".into(),
+                },
+                algorithm: Algorithm::Congest,
+                lists: ListSpec::default(),
+                seed: 1,
+                faults: None,
+            },
+        ];
+        let run = Fleet::new(2).run(&jobs);
+        assert_eq!(run.summary.jobs, 2);
+        assert_eq!(run.summary.ok, 1);
+        assert_eq!(run.summary.failed, 1);
+        assert!(run.outcomes[0].valid);
+        assert!(run.outcomes[0].row.contains("\"status\":\"ok\""));
+        assert!(run.outcomes[1].row.contains("\"status\":\"error\""));
+        assert_eq!(run.to_jsonl().lines().count(), 3, "2 rows + fleet line");
+    }
+}

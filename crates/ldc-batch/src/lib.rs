@@ -1,0 +1,39 @@
+//! **Batch execution layer**: run many coloring jobs — (graph × algorithm
+//! × seed × fault plan) instances — across the persistent worker pool,
+//! deterministically.
+//!
+//! The paper's deliverables are claim-sweep families (one per theorem of
+//! Fuchs & Kuhn), and a production deployment serves many coloring
+//! requests concurrently; both reduce to the same primitive: a
+//! [`JobSpec`] list sharded over threads with byte-reproducible output.
+//! The rules (DESIGN.md §10):
+//!
+//! * **Sharding** reuses [`ldc_sim::pool`] — no per-fleet thread spawns.
+//! * **Graph caching**: generated graphs are built once per distinct
+//!   generator spec (keyed by a content hash of the spec), so sweeps
+//!   over seeds/algorithms on one topology don't rebuild it per job.
+//! * **Determinism**: results are collected per job and emitted in
+//!   job-index order, so the JSONL stream is byte-identical for every
+//!   shard count and completion order, and contains no wall-clock or
+//!   host-dependent fields.
+//!
+//! ```
+//! use ldc_batch::{Fleet, JobSpec};
+//!
+//! let jobs = ldc_batch::parse_spec_file(
+//!     r#"[{"graph":{"family":"ring","n":8},"algorithm":"congest"}]"#,
+//! ).unwrap();
+//! let run = Fleet::new(2).run(&jobs);
+//! assert_eq!(run.summary.ok, 1);
+//! assert!(run.to_jsonl().ends_with("\n"));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod fleet;
+pub mod jsonin;
+pub mod spec;
+
+pub use fleet::{sharded_map, Fleet, FleetRun, FleetSummary, JobOutcome};
+pub use spec::{parse_spec_file, Algorithm, FaultSpec, GraphSource, JobSpec, ListSpec};

@@ -18,6 +18,7 @@ use ldc_core::existence::solve_ldc;
 use ldc_core::oldc::solve_oldc;
 use ldc_core::params::{practical_kappa, ParamProfile};
 use ldc_core::problem::{ColorSpace, DefectList, LdcInstance};
+use ldc_core::SolveOptions;
 use ldc_graph::{generators, DirectedView, ProperColoring};
 use ldc_sim::{Bandwidth, Network};
 use std::hint::black_box;
@@ -150,7 +151,7 @@ fn bench_congest(b: &Bench) {
             ..CongestConfig::default()
         };
         b.run("E6_theorem_1_4", &format!("thm14_delta/{delta}"), || {
-            congest_degree_plus_one(&g, space, &lists, &cfg).unwrap()
+            congest_degree_plus_one(&g, space, &lists, &cfg, &SolveOptions::default()).unwrap()
         });
         b.run("E6_theorem_1_4", &format!("baseline_delta/{delta}"), || {
             let mut net = Network::new(&g, Bandwidth::congest_log(n, 16));

@@ -1,17 +1,19 @@
-//! The experiment suite E1–E16 (DESIGN.md §5): one function per family,
+//! The experiment suite E1–E17 (DESIGN.md §5): one function per family,
 //! each regenerating one claim-vs-measured table. E2/E5/E6 run under a
 //! phase-span [`Tracer`] and expose per-phase round-attribution columns;
 //! their span trees are returned by [`run_traced`] for `--trace` export.
 //! E16 is the fault-injection family (DESIGN.md §9) and is fully
 //! deterministic — no wall-clock columns — so CI can diff its JSON
-//! byte-for-byte across runs.
+//! byte-for-byte across runs. E17 exercises the [`Fleet`] batch runner
+//! (DESIGN.md §10): it times the same job list at several shard widths
+//! and asserts the JSONL stream is byte-identical at every width.
 
 use crate::table::Table;
 use crate::workloads::{degree_plus_one_lists, f2, uniform_oldc_lists, CtxOwner};
+use ldc_batch::{sharded_map, Algorithm, FaultSpec, Fleet, GraphSource, JobSpec, ListSpec};
 use ldc_classic as classic;
 use ldc_core::arbdefective::{solve_list_arbdefective, ArbConfig, Substrate};
 use ldc_core::colorspace::{reduce_color_space, ReductionConfig, Theorem11Solver};
-use ldc_core::congest::congest_degree_plus_one_traced;
 use ldc_core::congest::{congest_degree_plus_one, CongestBranch, CongestConfig};
 use ldc_core::ctx::span as spans;
 use ldc_core::existence::{solve_arbdefective, solve_ldc};
@@ -23,10 +25,11 @@ use ldc_core::single_defect::solve_single_defect;
 use ldc_core::validate::{
     validate_arbdefective, validate_ldc, validate_oldc, validate_proper_list_coloring,
 };
+use ldc_core::SolveOptions;
 use ldc_graph::{generators, DirectedView, ProperColoring};
 use ldc_sim::{Bandwidth, FaultPlan, Network, RetryPolicy, SpanNode, Tracer};
 
-/// Run one experiment by id (`"E1"`…`"E16"`). `quick` shrinks sweeps.
+/// Run one experiment by id (`"E1"`…`"E17"`). `quick` shrinks sweeps.
 pub fn run(id: &str, quick: bool) -> Option<Table> {
     run_traced(id, quick).map(|(t, _)| t)
 }
@@ -54,6 +57,7 @@ pub fn run_traced(id: &str, quick: bool) -> Option<(Table, Vec<SpanNode>)> {
         "E14" => e14_graph_families(quick),
         "E15" => e15_edge_coloring(quick),
         "E16" => e16_fault_injection(quick),
+        "E17" => e17_fleet(quick),
         _ => return None,
     };
     Some((table, traces))
@@ -80,9 +84,9 @@ fn capture(tracer: &Tracer, label: String, traces: &mut Vec<SpanNode>) -> SpanNo
 }
 
 /// All experiment ids in order.
-pub const ALL: [&str; 16] = [
+pub const ALL: [&str; 17] = [
     "E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13", "E14", "E15",
-    "E16",
+    "E16", "E17",
 ];
 
 // ---------------------------------------------------------------------------
@@ -436,7 +440,14 @@ pub fn e6_congest(quick: bool, traces: &mut Vec<SpanNode>) -> Table {
     } else {
         vec![6, 12, 24, 48]
     };
-    for delta in deltas {
+    // Each Δ family is independent, so the loop runs through the batch
+    // layer's sharding primitive (the same path the Fleet uses): rows and
+    // traces are collected per family and appended in Δ order, keeping the
+    // emitted table byte-identical to the serial loop.
+    let families = sharded_map(deltas.len(), &deltas, |_, &delta| {
+        let mut rows: Vec<Vec<String>> = Vec::new();
+        let mut traces: Vec<SpanNode> = Vec::new();
+        let t = &mut rows;
         // n ≥ 5Δ² so the Δ²-round baseline is not n-capped (Linial cannot
         // shrink below ≈ 4Δ² colors, and the class iteration then pays one
         // round per color).
@@ -461,11 +472,21 @@ pub fn e6_congest(quick: bool, traces: &mut Vec<SpanNode>) -> Table {
             ..CongestConfig::default()
         };
         let tracer = Tracer::new();
-        let (colors, rep) =
-            congest_degree_plus_one_traced(&g, space, &lists, &cfg, tracer.clone()).unwrap();
+        let (colors, rep) = congest_degree_plus_one(
+            &g,
+            space,
+            &lists,
+            &cfg,
+            &SolveOptions::default().with_trace(tracer.clone()),
+        )
+        .unwrap();
         validate_proper_list_coloring(&g, &lists, &colors).unwrap();
-        let tree = capture(&tracer, format!("E6[delta={delta},algo=thm14]"), traces);
-        t.row(vec![
+        let tree = capture(
+            &tracer,
+            format!("E6[delta={delta},algo=thm14]"),
+            &mut traces,
+        );
+        t.push(vec![
             delta.to_string(),
             n.to_string(),
             "Theorem 1.4 (√Δ·polylog)".into(),
@@ -492,8 +513,12 @@ pub fn e6_congest(quick: bool, traces: &mut Vec<SpanNode>) -> Table {
             classic::reduction::class_iteration_list_coloring(&mut net, &lin, &lists).unwrap()
         };
         validate_proper_list_coloring(&g, &lists, &colors).unwrap();
-        let tree = capture(&tracer, format!("E6[delta={delta},algo=classic]"), traces);
-        t.row(vec![
+        let tree = capture(
+            &tracer,
+            format!("E6[delta={delta},algo=classic]"),
+            &mut traces,
+        );
+        t.push(vec![
             delta.to_string(),
             n.to_string(),
             "Linial + class iteration (Δ²)".into(),
@@ -511,7 +536,7 @@ pub fn e6_congest(quick: bool, traces: &mut Vec<SpanNode>) -> Table {
         let colors =
             classic::list_baseline::local_greedy_list_coloring(&mut net, &lists, space).unwrap();
         validate_proper_list_coloring(&g, &lists, &colors).unwrap();
-        t.row(vec![
+        t.push(vec![
             delta.to_string(),
             n.to_string(),
             "LOCAL greedy (full lists)".into(),
@@ -532,7 +557,7 @@ pub fn e6_congest(quick: bool, traces: &mut Vec<SpanNode>) -> Table {
         let lin = classic::linial_coloring(&mut net, None).unwrap();
         let kw = classic::reduction::kw_reduce_to_delta_plus_one(&mut net, &lin).unwrap();
         assert!(kw.validate(&g).is_ok());
-        t.row(vec![
+        t.push(vec![
             delta.to_string(),
             n.to_string(),
             "KW06 (plain (Δ+1), no lists)".into(),
@@ -549,7 +574,7 @@ pub fn e6_congest(quick: bool, traces: &mut Vec<SpanNode>) -> Table {
         let mut net = Network::new(&g, budget);
         let colors = classic::luby::luby_list_coloring(&mut net, &lists, 31).unwrap();
         validate_proper_list_coloring(&g, &lists, &colors).unwrap();
-        t.row(vec![
+        t.push(vec![
             delta.to_string(),
             n.to_string(),
             "Luby (randomized)".into(),
@@ -561,6 +586,13 @@ pub fn e6_congest(quick: bool, traces: &mut Vec<SpanNode>) -> Table {
             net.metrics().max_message_bits().to_string(),
             (net.metrics().max_message_bits() <= budget_bits).to_string(),
         ]);
+        (rows, traces)
+    });
+    for (rows, family_traces) in families {
+        for row in rows {
+            t.row(row);
+        }
+        traces.extend(family_traces);
     }
     t.note("Rounds crossover: Theorem 1.4 overtakes the Δ²-round baseline from Δ ≈ 12 and the gap widens with Δ (the baseline pays ≈ 4Δ² rounds, the pipeline ≈ O(Δ·polylog) at practical constants, Õ(√Δ) asymptotically).");
     t.note("Messages: Theorem 1.4 stays at O(log n) bits; the LOCAL baseline's Θ(Δ + log n)-bit full-list messages approach and then blow the CONGEST budget as Δ grows past ~budget/log|𝒞| — the exact gap the paper closes.");
@@ -939,7 +971,7 @@ pub fn e14_graph_families(quick: bool) -> Table {
             substrate: Substrate::Randomized,
             ..CongestConfig::default()
         };
-        match congest_degree_plus_one(&g, space, &lists, &cfg) {
+        match congest_degree_plus_one(&g, space, &lists, &cfg, &SolveOptions::default()) {
             Ok((colors, rep)) => {
                 let valid = validate_proper_list_coloring(&g, &lists, &colors).is_ok();
                 t.row(vec![
@@ -996,7 +1028,7 @@ pub fn e15_edge_coloring(quick: bool) -> Table {
             substrate: Substrate::Randomized,
             ..CongestConfig::default()
         };
-        let ec = edge_coloring(&g, &cfg).unwrap();
+        let ec = edge_coloring(&g, &cfg, &SolveOptions::default()).unwrap();
         let valid = ec.validate(&g).is_ok();
         let lg = generators::line_graph(&g);
         let ni = if lg.max_degree() <= 24 {
@@ -1136,62 +1168,58 @@ pub fn e16_fault_injection(quick: bool) -> Table {
         ]);
     };
 
-    push(
-        &mut t,
-        "baseline",
-        "-".into(),
-        e16_flood(&g, None, retry, cap),
-    );
+    // Flood families as data. Each entry is an independent seeded run, so
+    // they fan out through the fleet's sharded map; outcomes come back in
+    // declaration order, keeping the table byte-identical to a serial pass.
+    let mut specs: Vec<(String, String, Option<FaultPlan>)> =
+        vec![("baseline".into(), "-".into(), None)];
     let drops: &[f64] = if quick { &[0.15] } else { &[0.05, 0.15, 0.30] };
     for &rate in drops {
-        let plan = FaultPlan::new(0x16_0001).with_drop_rate(rate);
-        push(
-            &mut t,
-            "drop",
+        specs.push((
+            "drop".into(),
             format!("rate {}", f2(rate)),
-            e16_flood(&g, Some(plan), retry, cap),
-        );
+            Some(FaultPlan::new(0x16_0001).with_drop_rate(rate)),
+        ));
     }
-    let plan = FaultPlan::new(0x16_0002).with_truncation(0.20, 2);
-    push(
-        &mut t,
-        "truncate",
+    specs.push((
+        "truncate".into(),
         "rate 0.20, cap 2b".into(),
-        e16_flood(&g, Some(plan), retry, cap),
-    );
-    let plan = FaultPlan::new(0x16_0003).with_sleep_rate(0.10);
-    push(
-        &mut t,
-        "sleep",
+        Some(FaultPlan::new(0x16_0002).with_truncation(0.20, 2)),
+    ));
+    specs.push((
+        "sleep".into(),
         "rate 0.10".into(),
-        e16_flood(&g, Some(plan), retry, cap),
-    );
-    let mut plan = FaultPlan::new(0x16_0004);
+        Some(FaultPlan::new(0x16_0003).with_sleep_rate(0.10)),
+    ));
+    let mut crash_plan = FaultPlan::new(0x16_0004);
     for v in 0..4u32 {
-        plan = plan.with_crash(v, 1, 6);
+        crash_plan = crash_plan.with_crash(v, 1, 6);
     }
-    push(
-        &mut t,
-        "crash",
+    specs.push((
+        "crash".into(),
         "nodes 0–3, rounds 1–5".into(),
-        e16_flood(&g, Some(plan), retry, cap),
-    );
-    let plan = FaultPlan::new(0x16_0005)
-        .with_budget_step(2, Some(4))
-        .with_budget_step(10, None);
-    push(
-        &mut t,
-        "budget",
+        Some(crash_plan),
+    ));
+    specs.push((
+        "budget".into(),
         "4b from round 2".into(),
-        e16_flood(&g, Some(plan), retry, cap),
-    );
-    let plan = FaultPlan::new(0x16_0006).with_error_rate(0.45);
-    push(
-        &mut t,
-        "error+retry",
+        Some(
+            FaultPlan::new(0x16_0005)
+                .with_budget_step(2, Some(4))
+                .with_budget_step(10, None),
+        ),
+    ));
+    specs.push((
+        "error+retry".into(),
         "rate 0.45, ≤12 retries".into(),
-        e16_flood(&g, Some(plan), retry, cap),
-    );
+        Some(FaultPlan::new(0x16_0006).with_error_rate(0.45)),
+    ));
+    let outcomes = sharded_map(specs.len(), &specs, |_, (_, _, plan)| {
+        e16_flood(&g, plan.clone(), retry, cap)
+    });
+    for ((family, param, _), o) in specs.into_iter().zip(outcomes) {
+        push(&mut t, &family, param, o);
+    }
 
     // The application-level story: a full Theorem 1.1 OLDC solve riding
     // the Resilient wrapper through injected transient errors.
@@ -1219,12 +1247,14 @@ pub fn e16_fault_injection(quick: bool) -> Table {
                 "resilient-oldc".into(),
                 "err 0.30".into(),
                 sol.rounds.to_string(),
-                (report.rounds_all_attempts as u64 + report.rounds_retried + report.stalled_rounds)
+                (report.rounds_all_attempts as u64
+                    + report.faults.rounds_retried
+                    + report.faults.stalled_rounds)
                     .to_string(),
-                report.rounds_retried.to_string(),
-                report.stalled_rounds.to_string(),
-                report.messages_dropped.to_string(),
-                report.faulted_nodes.to_string(),
+                report.faults.rounds_retried.to_string(),
+                report.faults.stalled_rounds.to_string(),
+                report.faults.messages_dropped.to_string(),
+                report.faults.faulted_nodes.to_string(),
                 sol.total_bits.to_string(),
                 format!("valid {valid}, restarts {}", report.restarts),
             ]);
@@ -1245,6 +1275,113 @@ pub fn e16_fault_injection(quick: bool) -> Table {
         }
     }
     t.note("Fault draws are pure functions of (seed, round, attempt, slot): rerunning this experiment reproduces every cell, which the CI determinism job byte-diffs. The budget row aborts by design after exhausting retries.");
+    t
+}
+
+/// The E17 job list: repeated topologies across several algorithms, so
+/// the graph cache sees real hits and the shard map sees heterogeneous
+/// job costs. One job per topology runs under a lossy fault plan to keep
+/// the fault-accounting columns of the JSONL stream exercised.
+fn e17_jobs(quick: bool) -> Vec<JobSpec> {
+    let n = if quick { 48 } else { 160 };
+    let reps: u64 = if quick { 2 } else { 4 };
+    let sources = [
+        GraphSource::Regular { n, d: 4, seed: 7 },
+        GraphSource::Gnp {
+            n,
+            p_milli: 80,
+            seed: 11,
+        },
+        GraphSource::Torus {
+            rows: 6,
+            cols: n / 6,
+        },
+        GraphSource::Ring { n },
+    ];
+    let mut jobs = Vec::new();
+    for src in &sources {
+        for seed in 1..=reps {
+            jobs.push(JobSpec {
+                graph: src.clone(),
+                algorithm: Algorithm::Congest,
+                lists: ListSpec::default(),
+                seed,
+                faults: None,
+            });
+        }
+        jobs.push(JobSpec {
+            graph: src.clone(),
+            algorithm: Algorithm::EdgeColoring,
+            lists: ListSpec::default(),
+            seed: 1,
+            faults: None,
+        });
+        jobs.push(JobSpec {
+            graph: src.clone(),
+            algorithm: Algorithm::Congest,
+            lists: ListSpec::default(),
+            seed: 2,
+            faults: Some(FaultSpec {
+                seed: 0x17,
+                drop_milli: 50,
+                max_retries: 8,
+                ..FaultSpec::default()
+            }),
+        });
+    }
+    jobs
+}
+
+/// E17 — fleet batch throughput (DESIGN.md §10). Runs one job list
+/// through [`Fleet`] at shard widths 1/2/4/8, timing each pass and
+/// byte-comparing every JSONL stream against the 1-shard baseline. The
+/// wall-clock columns are the one deliberately non-deterministic part,
+/// so CI never byte-diffs this table; the determinism job instead diffs
+/// `ldc batch` output across `--shards` values, which the last column
+/// checks in-process here.
+pub fn e17_fleet(quick: bool) -> Table {
+    let mut t = Table::new(
+        "E17",
+        "fleet batch runner: throughput vs shard count, with byte-identical JSONL at every width",
+        &[
+            "shards",
+            "jobs",
+            "ok",
+            "cache hits",
+            "cache misses",
+            "wall ms",
+            "jobs/s",
+            "jsonl bytes",
+            "matches 1-shard",
+        ],
+    );
+    let jobs = e17_jobs(quick);
+    let mut baseline: Option<String> = None;
+    for shards in [1usize, 2, 4, 8] {
+        let start = std::time::Instant::now();
+        let run = Fleet::new(shards).run(&jobs);
+        let ms = start.elapsed().as_millis() as u64;
+        let stream = run.to_jsonl();
+        let matches = match &baseline {
+            None => {
+                baseline = Some(stream.clone());
+                "baseline".to_string()
+            }
+            Some(b) => (b == &stream).to_string(),
+        };
+        t.row(vec![
+            shards.to_string(),
+            run.summary.jobs.to_string(),
+            run.summary.ok.to_string(),
+            run.summary.cache_hits.to_string(),
+            run.summary.cache_misses.to_string(),
+            ms.to_string(),
+            ((run.summary.jobs * 1000) / ms.max(1)).to_string(),
+            stream.len().to_string(),
+            matches,
+        ]);
+    }
+    t.note("Wall-ms and jobs/s are timed, so this table is excluded from the CI byte-diff set; shard invariance is still asserted per row (the last column byte-compares each stream to the 1-shard baseline). Throughput gains need multiple cores — a single-core host runs every shard width through a width-1 pool.");
     t
 }
 

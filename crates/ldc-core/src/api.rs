@@ -3,13 +3,21 @@
 //! network, runs the appropriate algorithm from the paper, validates the
 //! output exactly, and reports rounds/message statistics.
 //!
-//! The [`Resilient`] wrapper runs the same solvers on a *faulty* network
-//! (an [`ldc_sim::FaultPlan`] + [`ldc_sim::RetryPolicy`]): transient
-//! round failures are absorbed by the engine's retry loop, and a solver
-//! run the network-level retries could not save is **restarted from its
-//! last consistent round** — which for these deterministic, checkpoint-
-//! free pipelines is round 0 of a fresh attempt with re-keyed fault
-//! draws (see DESIGN.md §9).
+//! [`SolveOptions`] is the *unified* options surface: besides the
+//! algorithmic knobs (bandwidth, profile, seed) it carries the execution
+//! environment — a phase-span [`Tracer`], an optional fault environment
+//! ([`FaultEnv`]: plan + round-retry policy), and an optional engine
+//! [`ExecMode`] override — attached builder-style with
+//! [`SolveOptions::with_trace`] / [`SolveOptions::with_faults`] /
+//! [`SolveOptions::with_exec`]. Every solver entry point takes one
+//! `&SolveOptions`; there are no `_traced` / `_faulted` variants.
+//!
+//! The [`Resilient`] wrapper runs the same solvers on a *faulty* network:
+//! transient round failures are absorbed by the engine's retry loop, and a
+//! solver run the network-level retries could not save is **restarted from
+//! its last consistent round** — which for these deterministic,
+//! checkpoint-free pipelines is round 0 of a fresh attempt with re-keyed
+//! fault draws (see DESIGN.md §9).
 
 use crate::arbdefective::{solve_list_arbdefective, ArbConfig, Substrate};
 use crate::colorspace::Theorem11Solver;
@@ -20,10 +28,22 @@ use crate::params::{practical_kappa, ParamProfile};
 use crate::problem::{Color, LdcInstance, OldcInstance};
 use crate::validate;
 use ldc_graph::{Orientation, ProperColoring};
-use ldc_sim::{Bandwidth, FaultPlan, Metrics, Network, RetryPolicy};
+use ldc_sim::{Bandwidth, ExecMode, FaultPlan, Metrics, Network, RetryPolicy, Tracer};
 
-/// Options shared by the high-level solvers.
-#[derive(Debug, Clone, Copy)]
+/// A fault environment: the seeded plan driving the fault draws plus the
+/// engine's round-retry policy. Carried by [`SolveOptions::faults`].
+#[derive(Debug, Clone)]
+pub struct FaultEnv {
+    /// Seeded, deterministic fault plan attached to the main network.
+    pub plan: FaultPlan,
+    /// Round-retry policy handed to the engine.
+    pub retry: RetryPolicy,
+}
+
+/// Options shared by the high-level solvers: the algorithmic knobs plus
+/// the execution environment (tracer, faults, exec mode). Build with the
+/// `with_*` methods; the default is a flawless untraced network.
+#[derive(Debug, Clone)]
 pub struct SolveOptions {
     /// Bandwidth regime of the simulated network.
     pub bandwidth: Bandwidth,
@@ -31,6 +51,13 @@ pub struct SolveOptions {
     pub profile: ParamProfile,
     /// Seed for all type-keyed selections.
     pub seed: u64,
+    /// Phase-span tracer attached to every network the solve creates
+    /// (disabled — free — by default).
+    pub tracer: Tracer,
+    /// Fault environment for the solver's main network (`None` = flawless).
+    pub faults: Option<FaultEnv>,
+    /// Engine execution-mode override (`None` = engine default).
+    pub exec: Option<ExecMode>,
 }
 
 impl Default for SolveOptions {
@@ -39,7 +66,103 @@ impl Default for SolveOptions {
             bandwidth: Bandwidth::Local,
             profile: ParamProfile::practical_default(),
             seed: 0x1dc,
+            tracer: Tracer::disabled(),
+            faults: None,
+            exec: None,
         }
+    }
+}
+
+impl SolveOptions {
+    /// Replace the bandwidth regime.
+    pub fn with_bandwidth(mut self, bandwidth: Bandwidth) -> Self {
+        self.bandwidth = bandwidth;
+        self
+    }
+
+    /// Replace the parameter profile.
+    pub fn with_profile(mut self, profile: ParamProfile) -> Self {
+        self.profile = profile;
+        self
+    }
+
+    /// Replace the selection seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Attach a phase-span tracer.
+    pub fn with_trace(mut self, tracer: Tracer) -> Self {
+        self.tracer = tracer;
+        self
+    }
+
+    /// Attach a fault environment (plan + round-retry policy).
+    pub fn with_faults(mut self, plan: FaultPlan, retry: RetryPolicy) -> Self {
+        self.faults = Some(FaultEnv { plan, retry });
+        self
+    }
+
+    /// Override the engine execution mode.
+    pub fn with_exec(mut self, exec: ExecMode) -> Self {
+        self.exec = Some(exec);
+        self
+    }
+
+    /// Attach the execution environment these options carry — tracer,
+    /// fault plan + retry policy, exec mode — to `net`. Bandwidth is a
+    /// construction-time property of the network and is not touched.
+    pub fn configure(&self, net: &mut Network<'_>) {
+        net.set_tracer(self.tracer.clone());
+        if let Some(env) = &self.faults {
+            net.set_fault_plan(env.plan.clone());
+            net.set_retry_policy(env.retry);
+        }
+        if let Some(mode) = self.exec {
+            net.set_exec_mode(mode);
+        }
+    }
+}
+
+/// The engine's fault counters, shared by [`Solution`],
+/// [`ResilientReport`], [`crate::congest::CongestReport`], and the batch
+/// runner's JSONL schema (one struct, one meaning everywhere).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultStats {
+    /// Round attempts retried under a fault plan (0 on a clean run).
+    pub rounds_retried: u64,
+    /// Idle backoff rounds charged by retries (0 on a clean run).
+    pub stalled_rounds: u64,
+    /// Messages lost to injected faults (0 on a clean run).
+    pub messages_dropped: u64,
+    /// Node-round crash/sleep events (0 on a clean run).
+    pub faulted_nodes: u64,
+}
+
+impl FaultStats {
+    /// Extract the fault counters from a network's metrics.
+    pub fn from_metrics(m: &Metrics) -> FaultStats {
+        FaultStats {
+            rounds_retried: m.rounds_retried(),
+            stalled_rounds: m.stalled_rounds(),
+            messages_dropped: m.messages_dropped(),
+            faulted_nodes: m.faulted_nodes(),
+        }
+    }
+
+    /// Fold `other` into `self` (sequential composition of runs, or the
+    /// batch runner's fleet-level roll-up).
+    pub fn absorb(&mut self, other: &FaultStats) {
+        self.rounds_retried += other.rounds_retried;
+        self.stalled_rounds += other.stalled_rounds;
+        self.messages_dropped += other.messages_dropped;
+        self.faulted_nodes += other.faulted_nodes;
+    }
+
+    /// True when no fault, retry, or stall was recorded.
+    pub fn is_clean(&self) -> bool {
+        *self == FaultStats::default()
     }
 }
 
@@ -56,48 +179,48 @@ pub struct Solution {
     pub max_message_bits: u64,
     /// Total bits on the wire.
     pub total_bits: u64,
-    /// Round attempts retried under a fault plan (0 on a clean run).
-    pub rounds_retried: u64,
-    /// Idle backoff rounds charged by retries (0 on a clean run).
-    pub stalled_rounds: u64,
-    /// Messages lost to injected faults (0 on a clean run).
-    pub messages_dropped: u64,
-    /// Node-round crash/sleep events (0 on a clean run).
-    pub faulted_nodes: u64,
+    /// Fault accounting for this run (all-zero on a clean network).
+    pub faults: FaultStats,
 }
 
-/// Extract the stats fields of [`Solution`] from a finished network.
-fn solution_stats(net: &Network<'_>) -> (usize, u64, u64, u64, u64, u64, u64) {
+/// Build a [`Solution`] from a finished network's metrics.
+fn solution_from(
+    net: &Network<'_>,
+    colors: Vec<Color>,
+    orientation: Option<Orientation>,
+) -> Solution {
     let m = net.metrics();
-    (
-        net.rounds(),
-        m.max_message_bits(),
-        m.total_bits(),
-        m.rounds_retried(),
-        m.stalled_rounds(),
-        m.messages_dropped(),
-        m.faulted_nodes(),
-    )
+    Solution {
+        colors,
+        orientation,
+        rounds: net.rounds(),
+        max_message_bits: m.max_message_bits(),
+        total_bits: m.total_bits(),
+        faults: FaultStats::from_metrics(m),
+    }
+}
+
+/// One solve attempt: the outcome plus the network's complete metrics —
+/// which the caller receives *even when the attempt failed*, so the
+/// [`Resilient`] wrapper can account abandoned attempts without a
+/// metrics side-channel in the solver signatures.
+struct Attempt {
+    result: Result<Solution, CoreError>,
+    metrics: Metrics,
 }
 
 impl<'g> OldcInstance<'g> {
     /// Solve this oriented list defective coloring instance with the
     /// algorithm of Theorem 1.1. The output is checked by
-    /// [`validate::validate_oldc`] before it is returned.
+    /// [`validate::validate_oldc`] before it is returned. The execution
+    /// environment (tracer, faults, exec mode) comes from `opts`.
     pub fn solve(&self, opts: &SolveOptions) -> Result<Solution, CoreError> {
-        self.solve_impl(opts, None, None)
+        self.attempt(opts).result
     }
 
-    /// [`OldcInstance::solve`] on a faulty network: `faults` (plan +
-    /// round-retry policy) is attached to the network, and `acc` (when
-    /// given) accumulates the network's metrics even if the solve fails —
-    /// the [`Resilient`] wrapper uses it to account abandoned attempts.
-    fn solve_impl(
-        &self,
-        opts: &SolveOptions,
-        faults: Option<(&FaultPlan, RetryPolicy)>,
-        acc: Option<&mut Metrics>,
-    ) -> Result<Solution, CoreError> {
+    /// One attempt under `opts`, returning the network metrics alongside
+    /// the outcome (failed attempts included).
+    fn attempt(&self, opts: &SolveOptions) -> Attempt {
         let g = self.view.graph();
         let n = g.num_nodes();
         let init = ProperColoring::by_id(g);
@@ -115,10 +238,7 @@ impl<'g> OldcInstance<'g> {
             seed: opts.seed,
         };
         let mut net = Network::new(g, opts.bandwidth);
-        if let Some((plan, retry)) = faults {
-            net.set_fault_plan(plan.clone());
-            net.set_retry_policy(retry);
-        }
+        opts.configure(&mut net);
         let result = (|| {
             let out = solve_oldc(&mut net, &ctx, &self.lists)?;
             let colors: Vec<Color> = out
@@ -132,31 +252,12 @@ impl<'g> OldcInstance<'g> {
                     detail: format!("internal: output invalid: {e}"),
                 }
             })?;
-            let (
-                rounds,
-                max_message_bits,
-                total_bits,
-                rounds_retried,
-                stalled_rounds,
-                messages_dropped,
-                faulted_nodes,
-            ) = solution_stats(&net);
-            Ok(Solution {
-                colors,
-                orientation: None,
-                rounds,
-                max_message_bits,
-                total_bits,
-                rounds_retried,
-                stalled_rounds,
-                messages_dropped,
-                faulted_nodes,
-            })
+            Ok(solution_from(&net, colors, None))
         })();
-        if let Some(acc) = acc {
-            acc.extend_from(net.metrics());
+        Attempt {
+            result,
+            metrics: net.metrics().clone(),
         }
-        result
     }
 }
 
@@ -176,10 +277,7 @@ impl<'g> LdcInstance<'g> {
             rounds: 0,
             max_message_bits: 0,
             total_bits: 0,
-            rounds_retried: 0,
-            stalled_rounds: 0,
-            messages_dropped: 0,
-            faulted_nodes: 0,
+            faults: FaultStats::default(),
         })
     }
 
@@ -187,31 +285,36 @@ impl<'g> LdcInstance<'g> {
     /// bidirected oriented instance (β_v = deg(v), the reduction noted
     /// after Theorem 1.2) and solved with Theorem 1.1.
     pub fn solve_distributed(&self, opts: &SolveOptions) -> Result<Solution, CoreError> {
-        self.solve_distributed_impl(opts, None, None)
+        self.attempt_distributed(opts).result
     }
 
-    fn solve_distributed_impl(
-        &self,
-        opts: &SolveOptions,
-        faults: Option<(&FaultPlan, RetryPolicy)>,
-        acc: Option<&mut Metrics>,
-    ) -> Result<Solution, CoreError> {
+    fn attempt_distributed(&self, opts: &SolveOptions) -> Attempt {
         let view = ldc_graph::DirectedView::bidirected(self.graph);
         let inst = OldcInstance::new(view, self.space, self.lists.clone());
-        let sol = inst.solve_impl(opts, faults, acc)?;
-        validate::validate_ldc(self.graph, &self.lists, &sol.colors).map_err(|e| {
-            CoreError::Precondition {
-                node: 0,
-                detail: format!("internal: output invalid: {e}"),
-            }
-        })?;
-        Ok(sol)
+        let mut attempt = inst.attempt(opts);
+        attempt.result = attempt.result.and_then(|sol| {
+            validate::validate_ldc(self.graph, &self.lists, &sol.colors).map_err(|e| {
+                CoreError::Precondition {
+                    node: 0,
+                    detail: format!("internal: output invalid: {e}"),
+                }
+            })?;
+            Ok(sol)
+        });
+        attempt
     }
 
     /// Solve as a **list arbdefective** instance with Theorem 1.3
     /// (requires only the linear condition Σ(d+1) > deg); returns the
-    /// witnessing orientation.
+    /// witnessing orientation. The execution environment of `opts` —
+    /// tracer, fault plan + retries, exec mode — rides on the main
+    /// network (substrate sub-networks stay fault-free, as in
+    /// [`crate::congest::congest_degree_plus_one`]).
     pub fn solve_arbdefective(&self, opts: &SolveOptions) -> Result<Solution, CoreError> {
+        self.attempt_arbdefective(opts).result
+    }
+
+    fn attempt_arbdefective(&self, opts: &SolveOptions) -> Attempt {
         let g = self.graph;
         let init = ProperColoring::by_id(g);
         let cfg = ArbConfig {
@@ -227,40 +330,28 @@ impl<'g> LdcInstance<'g> {
             seed: opts.seed,
         };
         let mut net = Network::new(g, opts.bandwidth);
-        let (colors, orientation, _report) = solve_list_arbdefective(
-            &mut net,
-            self.space.size,
-            &self.lists,
-            &init,
-            &cfg,
-            &Theorem11Solver,
-        )?;
-        validate::validate_arbdefective(g, &self.lists, &colors, &orientation).map_err(|e| {
-            CoreError::Precondition {
-                node: 0,
-                detail: format!("internal: output invalid: {e}"),
-            }
-        })?;
-        let (
-            rounds,
-            max_message_bits,
-            total_bits,
-            rounds_retried,
-            stalled_rounds,
-            messages_dropped,
-            faulted_nodes,
-        ) = solution_stats(&net);
-        Ok(Solution {
-            colors,
-            orientation: Some(orientation),
-            rounds,
-            max_message_bits,
-            total_bits,
-            rounds_retried,
-            stalled_rounds,
-            messages_dropped,
-            faulted_nodes,
-        })
+        opts.configure(&mut net);
+        let result = (|| {
+            let (colors, orientation, _report) = solve_list_arbdefective(
+                &mut net,
+                self.space.size,
+                &self.lists,
+                &init,
+                &cfg,
+                &Theorem11Solver,
+            )?;
+            validate::validate_arbdefective(g, &self.lists, &colors, &orientation).map_err(
+                |e| CoreError::Precondition {
+                    node: 0,
+                    detail: format!("internal: output invalid: {e}"),
+                },
+            )?;
+            Ok(solution_from(&net, colors, Some(orientation)))
+        })();
+        Attempt {
+            result,
+            metrics: net.metrics().clone(),
+        }
     }
 }
 
@@ -284,8 +375,10 @@ impl<'g> LdcInstance<'g> {
 /// Algorithmic errors (preconditions, selection exhaustion, …) are *not*
 /// retried: they indicate a bad instance, not a bad network.
 ///
-/// All attempts — including abandoned ones — are accounted in the
-/// returned [`ResilientReport`].
+/// The wrapper's own plan and retry policy override any [`FaultEnv`]
+/// already carried by the caller's [`SolveOptions`] (each restart needs
+/// its epoch-keyed plan). All attempts — including abandoned ones — are
+/// accounted in the returned [`ResilientReport`].
 #[derive(Debug, Clone)]
 pub struct Resilient {
     /// Base fault plan; restart `k` runs under `plan.with_epoch(k)`.
@@ -316,7 +409,7 @@ impl Resilient {
         inst: &OldcInstance<'_>,
         opts: &SolveOptions,
     ) -> Result<(Solution, ResilientReport), CoreError> {
-        self.drive(|plan, retry, acc| inst.solve_impl(opts, Some((plan, retry)), Some(acc)))
+        self.drive(opts, |o| inst.attempt(o))
     }
 
     /// [`LdcInstance::solve_distributed`] under this fault environment.
@@ -325,31 +418,42 @@ impl Resilient {
         inst: &LdcInstance<'_>,
         opts: &SolveOptions,
     ) -> Result<(Solution, ResilientReport), CoreError> {
-        self.drive(|plan, retry, acc| {
-            inst.solve_distributed_impl(opts, Some((plan, retry)), Some(acc))
-        })
+        self.drive(opts, |o| inst.attempt_distributed(o))
     }
 
-    /// The restart loop shared by the solver entry points.
+    /// [`LdcInstance::solve_arbdefective`] under this fault environment.
+    pub fn solve_arbdefective(
+        &self,
+        inst: &LdcInstance<'_>,
+        opts: &SolveOptions,
+    ) -> Result<(Solution, ResilientReport), CoreError> {
+        self.drive(opts, |o| inst.attempt_arbdefective(o))
+    }
+
+    /// The restart loop shared by the solver entry points: attempt `k`
+    /// runs under `opts` with this wrapper's epoch-`k` fault environment
+    /// attached; every attempt's metrics fold into the report.
     fn drive(
         &self,
-        mut attempt: impl FnMut(&FaultPlan, RetryPolicy, &mut Metrics) -> Result<Solution, CoreError>,
+        opts: &SolveOptions,
+        mut attempt: impl FnMut(&SolveOptions) -> Attempt,
     ) -> Result<(Solution, ResilientReport), CoreError> {
         let mut acc = Metrics::default();
         let mut restarts = 0u32;
         loop {
-            let plan = self.plan.with_epoch(u64::from(restarts));
-            match attempt(&plan, self.retry, &mut acc) {
+            let epoch_opts = opts
+                .clone()
+                .with_faults(self.plan.with_epoch(u64::from(restarts)), self.retry);
+            let Attempt { result, metrics } = attempt(&epoch_opts);
+            acc.extend_from(&metrics);
+            match result {
                 Ok(sol) => {
                     return Ok((
                         sol,
                         ResilientReport {
                             restarts,
                             rounds_all_attempts: acc.rounds(),
-                            rounds_retried: acc.rounds_retried(),
-                            stalled_rounds: acc.stalled_rounds(),
-                            messages_dropped: acc.messages_dropped(),
-                            faulted_nodes: acc.faulted_nodes(),
+                            faults: FaultStats::from_metrics(&acc),
                         },
                     ));
                 }
@@ -369,14 +473,8 @@ pub struct ResilientReport {
     pub restarts: u32,
     /// Rounds executed across every attempt.
     pub rounds_all_attempts: usize,
-    /// Round attempts retried by the engine across every attempt.
-    pub rounds_retried: u64,
-    /// Backoff stall rounds charged across every attempt.
-    pub stalled_rounds: u64,
-    /// Messages lost to faults across every attempt.
-    pub messages_dropped: u64,
-    /// Node-round crash/sleep events across every attempt.
-    pub faulted_nodes: u64,
+    /// Fault counters summed across every attempt.
+    pub faults: FaultStats,
 }
 
 #[cfg(test)]
@@ -398,6 +496,7 @@ mod tests {
         let sol = inst.solve(&SolveOptions::default()).unwrap();
         assert!(sol.rounds > 0);
         assert!(sol.max_message_bits > 0);
+        assert!(sol.faults.is_clean());
     }
 
     #[test]
@@ -434,6 +533,21 @@ mod tests {
         OldcInstance::new(view, ColorSpace::new(space), lists)
     }
 
+    fn rich_ldc_instance(g: &ldc_graph::Graph) -> LdcInstance<'_> {
+        let delta = g.max_degree() as u64;
+        let space = 1 << 13;
+        let lists: Vec<DefectList> = g
+            .nodes()
+            .map(|v| {
+                DefectList::uniform(
+                    (0..3000u64).map(|i| (i * 5 + u64::from(v)) % space),
+                    delta / 2,
+                )
+            })
+            .collect();
+        LdcInstance::new(g, ColorSpace::new(space), lists)
+    }
+
     #[test]
     fn resilient_noop_plan_matches_plain_solve() {
         let g = generators::random_regular(80, 6, 4);
@@ -446,9 +560,67 @@ mod tests {
         assert_eq!(sol.rounds, plain.rounds);
         assert_eq!(sol.total_bits, plain.total_bits);
         assert_eq!(report.restarts, 0);
-        assert_eq!(report.rounds_retried, 0);
-        assert_eq!(report.messages_dropped, 0);
+        assert!(report.faults.is_clean());
         assert_eq!(report.rounds_all_attempts, plain.rounds);
+    }
+
+    #[test]
+    fn solve_with_faults_in_options_matches_clean_run_under_noop_plan() {
+        // The unified surface: faults ride on SolveOptions directly, no
+        // wrapper and no separate entry point.
+        let g = generators::random_regular(80, 6, 4);
+        let inst = rich_oldc_instance(&g);
+        let plain = inst.solve(&SolveOptions::default()).unwrap();
+        let opts = SolveOptions::default()
+            .with_faults(ldc_sim::FaultPlan::new(42), RetryPolicy::default());
+        let sol = inst.solve(&opts).unwrap();
+        assert_eq!(sol.colors, plain.colors);
+        assert_eq!(sol.total_bits, plain.total_bits);
+        assert!(sol.faults.is_clean());
+    }
+
+    #[test]
+    fn resilient_arbdefective_noop_plan_matches_plain_solve() {
+        // Mirror of resilient_noop_plan_matches_plain_solve for the
+        // Theorem 1.3 entry point, which previously had no fault path.
+        let g = generators::gnp(70, 0.08, 6);
+        let inst = rich_ldc_instance(&g);
+        let opts = SolveOptions::default();
+        let plain = inst.solve_arbdefective(&opts).unwrap();
+        let plan = ldc_sim::FaultPlan::new(99); // all rates zero: a no-op
+        let (sol, report) = Resilient::new(plan)
+            .solve_arbdefective(&inst, &opts)
+            .unwrap();
+        assert_eq!(sol.colors, plain.colors);
+        assert_eq!(sol.rounds, plain.rounds);
+        assert_eq!(sol.total_bits, plain.total_bits);
+        assert_eq!(sol.orientation, plain.orientation);
+        assert_eq!(report.restarts, 0);
+        assert!(report.faults.is_clean());
+        assert_eq!(report.rounds_all_attempts, plain.rounds);
+    }
+
+    #[test]
+    fn resilient_arbdefective_absorbs_transient_errors() {
+        let g = generators::gnp(70, 0.08, 6);
+        let inst = rich_ldc_instance(&g);
+        let opts = SolveOptions::default();
+        let plain = inst.solve_arbdefective(&opts).unwrap();
+        let wrapper = Resilient {
+            plan: ldc_sim::FaultPlan::new(0xA2B).with_error_rate(0.2),
+            retry: ldc_sim::RetryPolicy {
+                max_retries: 6,
+                backoff_rounds: 1,
+            },
+            max_restarts: 20,
+        };
+        let (sol, report) = wrapper.solve_arbdefective(&inst, &opts).unwrap();
+        assert_eq!(sol.colors, plain.colors, "recovered run = clean run");
+        assert!(
+            report.faults.rounds_retried > 0,
+            "errors must have been retried"
+        );
+        assert!(report.rounds_all_attempts >= sol.rounds);
     }
 
     #[test]
@@ -470,8 +642,11 @@ mod tests {
         };
         let (sol, report) = wrapper.solve_oldc(&inst, &opts).unwrap();
         assert_eq!(sol.colors, plain.colors, "recovered run = clean run");
-        assert!(report.rounds_retried > 0, "errors must have been retried");
-        assert_eq!(report.stalled_rounds, report.rounds_retried);
+        assert!(
+            report.faults.rounds_retried > 0,
+            "errors must have been retried"
+        );
+        assert_eq!(report.faults.stalled_rounds, report.faults.rounds_retried);
         assert!(report.rounds_all_attempts >= sol.rounds);
     }
 
@@ -499,18 +674,7 @@ mod tests {
     #[test]
     fn resilient_distributed_entry_point_works() {
         let g = generators::gnp(70, 0.08, 6);
-        let delta = g.max_degree() as u64;
-        let space = 1 << 13;
-        let lists: Vec<DefectList> = g
-            .nodes()
-            .map(|v| {
-                DefectList::uniform(
-                    (0..3000u64).map(|i| (i * 5 + u64::from(v)) % space),
-                    delta / 2,
-                )
-            })
-            .collect();
-        let inst = LdcInstance::new(&g, ColorSpace::new(space), lists);
+        let inst = rich_ldc_instance(&g);
         let wrapper = Resilient::new(ldc_sim::FaultPlan::new(11).with_error_rate(0.1));
         let (sol, _report) = wrapper
             .solve_distributed(&inst, &SolveOptions::default())
@@ -525,5 +689,27 @@ mod tests {
         let inst = LdcInstance::new(&g, ColorSpace::new(8), lists);
         assert!(inst.solve_sequential().is_err());
         assert!(inst.solve_arbdefective(&SolveOptions::default()).is_err());
+    }
+
+    #[test]
+    fn fault_stats_absorb_and_clean() {
+        let mut a = FaultStats {
+            rounds_retried: 1,
+            stalled_rounds: 2,
+            messages_dropped: 3,
+            faulted_nodes: 4,
+        };
+        assert!(!a.is_clean());
+        assert!(FaultStats::default().is_clean());
+        a.absorb(&a.clone());
+        assert_eq!(
+            a,
+            FaultStats {
+                rounds_retried: 2,
+                stalled_rounds: 4,
+                messages_dropped: 6,
+                faulted_nodes: 8,
+            }
+        );
     }
 }

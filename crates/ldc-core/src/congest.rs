@@ -19,6 +19,7 @@
 //! `Δ ∈ [ω(log n), o(log² n)]` gap — is the branch below and is what the
 //! E6 experiments exercise).
 
+use crate::api::{FaultStats, SolveOptions};
 use crate::arbdefective::{solve_degree_plus_one, ArbConfig, ArbReport, Substrate};
 use crate::colorspace::{reduce_color_space, OldcSolver, ReductionConfig, Theorem11Solver};
 use crate::ctx::{span, CoreError, OldcCtx};
@@ -52,6 +53,10 @@ pub struct CongestReport {
     pub messages_total: u64,
     /// Total bits across the main and all substrate networks.
     pub bits_total: u64,
+    /// Fault accounting for the *main* network (substrate sub-networks
+    /// run fault-free; all-zero unless the options carried a
+    /// [`crate::api::FaultEnv`]).
+    pub faults: FaultStats,
     /// Arbdefective-driver details (√Δ branch only).
     pub arb: Option<ArbReport>,
 }
@@ -63,7 +68,15 @@ impl CongestReport {
     }
 }
 
-/// Configuration for [`congest_degree_plus_one`].
+/// Algorithmic configuration for [`congest_degree_plus_one`].
+///
+/// The split with [`SolveOptions`]: `CongestConfig` holds the knobs that
+/// define *which computation runs* (CONGEST budget, constant profile,
+/// selection seed, branch/substrate choice) and therefore pins the
+/// checked-in experiment numbers; `SolveOptions` carries only the
+/// *execution environment* (tracer, fault plan + retries, exec mode).
+/// This entry point ignores `SolveOptions::bandwidth` / `profile` /
+/// `seed` — those live here.
 #[derive(Debug, Clone, Copy)]
 pub struct CongestConfig {
     /// CONGEST budget = `bandwidth_factor · ⌈log₂ n⌉` bits per message.
@@ -120,14 +133,25 @@ impl OldcSolver for ReducedTheorem11 {
 /// (Theorem 1.4). `lists[v]` needs more than `deg(v)` colors from
 /// `0..space` with `space ≤ poly(Δ)` for the stated bounds.
 ///
+/// `opts` supplies the execution environment: its [`Tracer`] rides on the
+/// main network and is propagated into every substrate sub-network (so
+/// the span tree accounts for *all* rounds of the pipeline), its
+/// [`crate::api::FaultEnv`] — if any — attaches to the *main* network
+/// only (the fault model targets the long-lived communication graph, not
+/// the solver's internal scratch instances), and its [`ldc_sim::ExecMode`]
+/// override applies to the main network. See [`CongestConfig`] for which
+/// knobs live where.
+///
 /// ```
 /// use ldc_core::congest::{congest_degree_plus_one, CongestConfig};
+/// use ldc_core::SolveOptions;
 /// use ldc_graph::generators;
 ///
 /// let g = generators::random_regular(128, 6, 1);
 /// let lists: Vec<Vec<u64>> = (0..128).map(|_| (0..7).collect()).collect();
-/// let (colors, report) =
-///     congest_degree_plus_one(&g, 7, &lists, &CongestConfig::default()).unwrap();
+/// let (colors, report) = congest_degree_plus_one(
+///     &g, 7, &lists, &CongestConfig::default(), &SolveOptions::default())
+/// .unwrap();
 /// assert!(report.max_message_bits <= report.bandwidth_bits);
 /// for (_, u, v) in g.edges() {
 ///     assert_ne!(colors[u as usize], colors[v as usize]);
@@ -138,50 +162,7 @@ pub fn congest_degree_plus_one(
     space: u64,
     lists: &[Vec<Color>],
     cfg: &CongestConfig,
-) -> Result<(Vec<Color>, CongestReport), CoreError> {
-    congest_degree_plus_one_traced(g, space, lists, cfg, Tracer::disabled())
-}
-
-/// [`congest_degree_plus_one`] with a phase-span [`Tracer`] attached: the
-/// tracer rides on the main network and is propagated into every substrate
-/// sub-network, so the resulting span tree accounts for *all* rounds of the
-/// Theorem 1.4 pipeline.
-pub fn congest_degree_plus_one_traced(
-    g: &ldc_graph::Graph,
-    space: u64,
-    lists: &[Vec<Color>],
-    cfg: &CongestConfig,
-    tracer: Tracer,
-) -> Result<(Vec<Color>, CongestReport), CoreError> {
-    congest_degree_plus_one_inner(g, space, lists, cfg, tracer, None)
-}
-
-/// [`congest_degree_plus_one_traced`] on a faulty *main* network: the
-/// [`FaultPlan`] and [`RetryPolicy`] are attached to the Theorem 1.4
-/// network, so budget-schedule tightenings contend with the CONGEST
-/// budget the theorem already fights for and transient errors exercise
-/// the retry path. Substrate sub-networks (the √Δ branch's per-stage
-/// helpers) run fault-free: the fault model targets the long-lived
-/// communication graph, not the solver's internal scratch instances.
-pub fn congest_degree_plus_one_faulted(
-    g: &ldc_graph::Graph,
-    space: u64,
-    lists: &[Vec<Color>],
-    cfg: &CongestConfig,
-    tracer: Tracer,
-    plan: &FaultPlan,
-    retry: RetryPolicy,
-) -> Result<(Vec<Color>, CongestReport), CoreError> {
-    congest_degree_plus_one_inner(g, space, lists, cfg, tracer, Some((plan, retry)))
-}
-
-fn congest_degree_plus_one_inner(
-    g: &ldc_graph::Graph,
-    space: u64,
-    lists: &[Vec<Color>],
-    cfg: &CongestConfig,
-    tracer: Tracer,
-    faults: Option<(&FaultPlan, RetryPolicy)>,
+    opts: &SolveOptions,
 ) -> Result<(Vec<Color>, CongestReport), CoreError> {
     let n = g.num_nodes();
     assert_eq!(lists.len(), n);
@@ -191,12 +172,9 @@ fn congest_degree_plus_one_inner(
         Bandwidth::Congest { bits_per_message } => bits_per_message,
         Bandwidth::Local => unreachable!(),
     };
+    let tracer = opts.tracer.clone();
     let mut net = Network::new(g, bandwidth);
-    net.set_tracer(tracer.clone());
-    if let Some((plan, retry)) = faults {
-        net.set_fault_plan(plan.clone());
-        net.set_retry_policy(retry);
-    }
+    opts.configure(&mut net);
     let _thm14 = tracer.span(span::THM14);
 
     // Step 1: Linial's O(Δ²)-coloring in O(log* n) rounds.
@@ -232,6 +210,7 @@ fn congest_degree_plus_one_inner(
                 bandwidth_bits: budget,
                 messages_total: net.metrics().total_messages(),
                 bits_total: net.metrics().total_bits(),
+                faults: FaultStats::from_metrics(net.metrics()),
                 arb: None,
             };
             Ok((colors, report))
@@ -266,11 +245,57 @@ fn congest_degree_plus_one_inner(
                 bandwidth_bits: budget,
                 messages_total: net.metrics().total_messages() + arb.substrate_messages,
                 bits_total: net.metrics().total_bits() + arb.substrate_bits,
+                faults: FaultStats::from_metrics(net.metrics()),
                 arb: Some(arb),
             };
             Ok((colors, report))
         }
     }
+}
+
+/// Deprecated spelling of [`congest_degree_plus_one`] with a tracer
+/// argument. The tracer now rides on [`SolveOptions`].
+#[deprecated(note = "use congest_degree_plus_one(g, space, lists, cfg, \
+            &SolveOptions::default().with_trace(tracer))")]
+pub fn congest_degree_plus_one_traced(
+    g: &ldc_graph::Graph,
+    space: u64,
+    lists: &[Vec<Color>],
+    cfg: &CongestConfig,
+    tracer: Tracer,
+) -> Result<(Vec<Color>, CongestReport), CoreError> {
+    congest_degree_plus_one(
+        g,
+        space,
+        lists,
+        cfg,
+        &SolveOptions::default().with_trace(tracer),
+    )
+}
+
+/// Deprecated spelling of [`congest_degree_plus_one`] with tracer, fault
+/// plan, and retry policy arguments. All three now ride on
+/// [`SolveOptions`].
+#[deprecated(note = "use congest_degree_plus_one(g, space, lists, cfg, \
+            &SolveOptions::default().with_trace(tracer).with_faults(plan, retry))")]
+pub fn congest_degree_plus_one_faulted(
+    g: &ldc_graph::Graph,
+    space: u64,
+    lists: &[Vec<Color>],
+    cfg: &CongestConfig,
+    tracer: Tracer,
+    plan: &FaultPlan,
+    retry: RetryPolicy,
+) -> Result<(Vec<Color>, CongestReport), CoreError> {
+    congest_degree_plus_one(
+        g,
+        space,
+        lists,
+        cfg,
+        &SolveOptions::default()
+            .with_trace(tracer)
+            .with_faults(plan.clone(), retry),
+    )
 }
 
 #[cfg(test)]
@@ -301,6 +326,15 @@ mod tests {
             .collect()
     }
 
+    fn plain(
+        g: &ldc_graph::Graph,
+        space: u64,
+        lists: &[Vec<Color>],
+        cfg: &CongestConfig,
+    ) -> Result<(Vec<Color>, CongestReport), CoreError> {
+        congest_degree_plus_one(g, space, lists, cfg, &SolveOptions::default())
+    }
+
     #[test]
     fn sqrt_branch_solves_within_congest_budget() {
         let g = generators::random_regular(300, 8, 6);
@@ -310,10 +344,11 @@ mod tests {
             force_branch: Some(CongestBranch::SqrtDelta),
             ..CongestConfig::default()
         };
-        let (colors, report) = congest_degree_plus_one(&g, space, &lists, &cfg).unwrap();
+        let (colors, report) = plain(&g, space, &lists, &cfg).unwrap();
         assert_eq!(validate_proper_list_coloring(&g, &lists, &colors), Ok(()));
         assert!(report.max_message_bits <= report.bandwidth_bits);
         assert_eq!(report.branch, CongestBranch::SqrtDelta);
+        assert!(report.faults.is_clean());
     }
 
     #[test]
@@ -325,7 +360,7 @@ mod tests {
             force_branch: Some(CongestBranch::ClassIteration),
             ..CongestConfig::default()
         };
-        let (colors, report) = congest_degree_plus_one(&g, space, &lists, &cfg).unwrap();
+        let (colors, report) = plain(&g, space, &lists, &cfg).unwrap();
         assert_eq!(validate_proper_list_coloring(&g, &lists, &colors), Ok(()));
         assert!(report.max_message_bits <= report.bandwidth_bits);
     }
@@ -336,8 +371,7 @@ mod tests {
         let g = generators::random_regular(200, 4, 1);
         let space = 128;
         let lists = degree_plus_one_lists(&g, space, 1);
-        let (_, report) =
-            congest_degree_plus_one(&g, space, &lists, &CongestConfig::default()).unwrap();
+        let (_, report) = plain(&g, space, &lists, &CongestConfig::default()).unwrap();
         assert_eq!(report.branch, CongestBranch::SqrtDelta);
     }
 
@@ -347,8 +381,7 @@ mod tests {
         let g = generators::complete(24);
         let space = 24;
         let lists: Vec<Vec<Color>> = (0..24).map(|_| (0..24).collect()).collect();
-        let (colors, report) =
-            congest_degree_plus_one(&g, space, &lists, &CongestConfig::default()).unwrap();
+        let (colors, report) = plain(&g, space, &lists, &CongestConfig::default()).unwrap();
         validate_proper_list_coloring(&g, &lists, &colors).unwrap();
         assert_eq!(report.branch, CongestBranch::ClassIteration);
         assert!(report.arb.is_none());
@@ -397,7 +430,7 @@ mod tests {
                 substrate,
                 ..CongestConfig::default()
             };
-            let (colors, report) = congest_degree_plus_one(&g, space, &lists, &cfg).unwrap();
+            let (colors, report) = plain(&g, space, &lists, &cfg).unwrap();
             validate_proper_list_coloring(&g, &lists, &colors).unwrap();
             assert!(
                 report.max_message_bits <= report.bandwidth_bits,
@@ -407,52 +440,76 @@ mod tests {
     }
 
     #[test]
-    fn faulted_entry_point_matches_clean_run_under_noop_plan() {
+    fn faulted_options_match_clean_run_under_noop_plan() {
         let g = generators::random_regular(150, 6, 5);
         let space = 64;
         let lists = degree_plus_one_lists(&g, space, 4);
         let cfg = CongestConfig::default();
-        let (clean, clean_report) = congest_degree_plus_one(&g, space, &lists, &cfg).unwrap();
-        let plan = FaultPlan::new(13); // no-op
-        let (colors, report) = super::congest_degree_plus_one_faulted(
-            &g,
-            space,
-            &lists,
-            &cfg,
-            Tracer::disabled(),
-            &plan,
-            RetryPolicy::default(),
-        )
-        .unwrap();
+        let (clean, clean_report) = plain(&g, space, &lists, &cfg).unwrap();
+        let opts = SolveOptions::default().with_faults(FaultPlan::new(13), RetryPolicy::default()); // no-op plan
+        let (colors, report) = congest_degree_plus_one(&g, space, &lists, &cfg, &opts).unwrap();
         assert_eq!(colors, clean);
         assert_eq!(report.rounds_main, clean_report.rounds_main);
         assert_eq!(report.bits_total, clean_report.bits_total);
+        assert!(report.faults.is_clean());
     }
 
     #[test]
-    fn faulted_entry_point_retries_through_transient_errors() {
+    fn faulted_options_retry_through_transient_errors() {
         let g = generators::random_regular(150, 6, 5);
         let space = 64;
         let lists = degree_plus_one_lists(&g, space, 4);
         let cfg = CongestConfig::default();
-        let (clean, _) = congest_degree_plus_one(&g, space, &lists, &cfg).unwrap();
-        let plan = FaultPlan::new(0xFA).with_error_rate(0.2);
-        let (colors, report) = super::congest_degree_plus_one_faulted(
-            &g,
-            space,
-            &lists,
-            &cfg,
-            Tracer::disabled(),
-            &plan,
+        let (clean, _) = plain(&g, space, &lists, &cfg).unwrap();
+        let opts = SolveOptions::default().with_faults(
+            FaultPlan::new(0xFA).with_error_rate(0.2),
             RetryPolicy {
                 max_retries: 25,
                 backoff_rounds: 1,
             },
-        )
-        .unwrap();
+        );
+        let (colors, report) = congest_degree_plus_one(&g, space, &lists, &cfg, &opts).unwrap();
         assert_eq!(colors, clean, "absorbed retries must not change output");
         validate_proper_list_coloring(&g, &lists, &colors).unwrap();
         assert!(report.max_message_bits <= report.bandwidth_bits);
+        assert!(report.faults.rounds_retried > 0);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_shims_match_unified_entry_point() {
+        let g = generators::random_regular(150, 6, 5);
+        let space = 64;
+        let lists = degree_plus_one_lists(&g, space, 4);
+        let cfg = CongestConfig::default();
+        let (clean, clean_report) = plain(&g, space, &lists, &cfg).unwrap();
+
+        let (t_colors, t_report) =
+            congest_degree_plus_one_traced(&g, space, &lists, &cfg, Tracer::disabled()).unwrap();
+        assert_eq!(t_colors, clean);
+        assert_eq!(t_report.bits_total, clean_report.bits_total);
+
+        let plan = FaultPlan::new(0xFA).with_error_rate(0.2);
+        let retry = RetryPolicy {
+            max_retries: 25,
+            backoff_rounds: 1,
+        };
+        let unified = SolveOptions::default().with_faults(plan.clone(), retry);
+        let (u_colors, u_report) =
+            congest_degree_plus_one(&g, space, &lists, &cfg, &unified).unwrap();
+        let (f_colors, f_report) = congest_degree_plus_one_faulted(
+            &g,
+            space,
+            &lists,
+            &cfg,
+            Tracer::disabled(),
+            &plan,
+            retry,
+        )
+        .unwrap();
+        assert_eq!(f_colors, u_colors);
+        assert_eq!(f_report.bits_total, u_report.bits_total);
+        assert_eq!(f_report.faults, u_report.faults);
     }
 
     #[test]
@@ -461,8 +518,7 @@ mod tests {
         let g = generators::random_regular(150, 6, 5);
         let space = 7;
         let lists: Vec<Vec<Color>> = (0..150).map(|_| (0..7).collect()).collect();
-        let (colors, report) =
-            congest_degree_plus_one(&g, space, &lists, &CongestConfig::default()).unwrap();
+        let (colors, report) = plain(&g, space, &lists, &CongestConfig::default()).unwrap();
         assert_eq!(validate_proper_list_coloring(&g, &lists, &colors), Ok(()));
         assert!(report.max_message_bits <= report.bandwidth_bits);
     }

@@ -11,9 +11,8 @@
 //! module makes explicit by running the simulator on `L(G)` and charging
 //! the 2× overhead in the returned report).
 
-use crate::congest::{
-    congest_degree_plus_one, congest_degree_plus_one_traced, CongestConfig, CongestReport,
-};
+use crate::api::SolveOptions;
+use crate::congest::{congest_degree_plus_one, CongestConfig, CongestReport};
 use crate::ctx::CoreError;
 use crate::problem::Color;
 use ldc_graph::{generators, EdgeId, Graph};
@@ -68,17 +67,12 @@ pub fn edge_degree(g: &Graph, e: EdgeId) -> usize {
 
 /// Compute a `(2Δ−1)`-edge coloring of `g` (the `(degree+1)`-list edge
 /// coloring with the full palette `0..2Δ−1`), by running Theorem 1.4 on
-/// the line graph.
-pub fn edge_coloring(g: &Graph, cfg: &CongestConfig) -> Result<EdgeColoring, CoreError> {
-    edge_coloring_traced(g, cfg, Tracer::disabled())
-}
-
-/// [`edge_coloring`] with a phase-span [`Tracer`] attached to the run on
-/// the line graph (spans carry Theorem 1.4's taxonomy).
-pub fn edge_coloring_traced(
+/// the line graph. `opts` carries the execution environment for the run
+/// on `L(G)` (see [`congest_degree_plus_one`]).
+pub fn edge_coloring(
     g: &Graph,
     cfg: &CongestConfig,
-    tracer: Tracer,
+    opts: &SolveOptions,
 ) -> Result<EdgeColoring, CoreError> {
     let lg = generators::line_graph(g);
     let space = (2 * g.max_degree()).saturating_sub(1).max(1) as u64;
@@ -91,10 +85,21 @@ pub fn edge_coloring_traced(
             (0..need.min(space)).collect()
         })
         .collect();
-    let (colors, report) = congest_degree_plus_one_traced(&lg, space, &lists, cfg, tracer)?;
+    let (colors, report) = congest_degree_plus_one(&lg, space, &lists, cfg, opts)?;
     let out = EdgeColoring { colors, report };
     debug_assert!(out.validate(g).is_ok(), "{:?}", out.validate(g));
     Ok(out)
+}
+
+/// Deprecated spelling of [`edge_coloring`] with a tracer argument. The
+/// tracer now rides on [`SolveOptions`].
+#[deprecated(note = "use edge_coloring(g, cfg, &SolveOptions::default().with_trace(tracer))")]
+pub fn edge_coloring_traced(
+    g: &Graph,
+    cfg: &CongestConfig,
+    tracer: Tracer,
+) -> Result<EdgeColoring, CoreError> {
+    edge_coloring(g, cfg, &SolveOptions::default().with_trace(tracer))
 }
 
 /// List edge coloring: `lists[e]` must have more than `edge_degree(e)`
@@ -104,10 +109,11 @@ pub fn list_edge_coloring(
     space: u64,
     lists: &[Vec<Color>],
     cfg: &CongestConfig,
+    opts: &SolveOptions,
 ) -> Result<EdgeColoring, CoreError> {
     assert_eq!(lists.len(), g.num_edges());
     let lg = generators::line_graph(g);
-    let (colors, report) = congest_degree_plus_one(&lg, space, lists, cfg)?;
+    let (colors, report) = congest_degree_plus_one(&lg, space, lists, cfg, opts)?;
     let out = EdgeColoring { colors, report };
     debug_assert!(out.validate(g).is_ok(), "{:?}", out.validate(g));
     Ok(out)
@@ -121,7 +127,7 @@ mod tests {
     #[test]
     fn edge_colors_regular_graph_with_2delta_minus_1() {
         let g = generators::random_regular(80, 6, 4);
-        let ec = edge_coloring(&g, &CongestConfig::default()).unwrap();
+        let ec = edge_coloring(&g, &CongestConfig::default(), &SolveOptions::default()).unwrap();
         ec.validate(&g).unwrap();
         assert!(ec.colors_used() <= 11, "used {} > 2Δ−1", ec.colors_used());
     }
@@ -161,7 +167,14 @@ mod tests {
                 l
             })
             .collect();
-        let ec = list_edge_coloring(&g, space, &lists, &CongestConfig::default()).unwrap();
+        let ec = list_edge_coloring(
+            &g,
+            space,
+            &lists,
+            &CongestConfig::default(),
+            &SolveOptions::default(),
+        )
+        .unwrap();
         ec.validate(&g).unwrap();
         for (e, c) in ec.colors.iter().enumerate() {
             assert!(lists[e].contains(c), "edge {e} got off-list color {c}");
@@ -180,7 +193,7 @@ mod tests {
     #[test]
     fn path_edges_two_colors() {
         let g = generators::path(10);
-        let ec = edge_coloring(&g, &CongestConfig::default()).unwrap();
+        let ec = edge_coloring(&g, &CongestConfig::default(), &SolveOptions::default()).unwrap();
         ec.validate(&g).unwrap();
         assert!(ec.colors_used() <= 3); // 2Δ−1 = 3; optimal is 2
     }

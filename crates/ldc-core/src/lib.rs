@@ -43,7 +43,7 @@ pub mod problem;
 pub mod single_defect;
 pub mod validate;
 
-pub use api::{Resilient, ResilientReport, Solution, SolveOptions};
+pub use api::{FaultEnv, FaultStats, Resilient, ResilientReport, Solution, SolveOptions};
 pub use ctx::{CoreError, OldcCtx};
 pub use params::ParamProfile;
 pub use problem::{Color, ColorSpace, DefectList, LdcInstance, OldcInstance};

@@ -26,9 +26,114 @@ pub fn json_string(s: &str) -> String {
     out
 }
 
+/// Incremental writer for one JSON object. Keys are emitted in insertion
+/// order and values must be pre-rendered JSON where noted, so output is
+/// byte-deterministic — the property the batch runner's JSONL rows and the
+/// CI byte-diffs rely on.
+#[derive(Debug, Clone)]
+pub struct Obj {
+    buf: String,
+    first: bool,
+}
+
+impl Obj {
+    /// Start an empty object (`{`).
+    pub fn new() -> Obj {
+        Obj {
+            buf: String::from("{"),
+            first: true,
+        }
+    }
+
+    fn key(&mut self, key: &str) {
+        if !self.first {
+            self.buf.push(',');
+        }
+        self.first = false;
+        self.buf.push_str(&json_string(key));
+        self.buf.push(':');
+    }
+
+    /// Add a string field (escaped through [`json_string`]).
+    pub fn str(mut self, key: &str, val: &str) -> Obj {
+        self.key(key);
+        self.buf.push_str(&json_string(val));
+        self
+    }
+
+    /// Add an unsigned integer field.
+    pub fn u64(mut self, key: &str, val: u64) -> Obj {
+        self.key(key);
+        self.buf.push_str(&val.to_string());
+        self
+    }
+
+    /// Add a boolean field.
+    pub fn bool(mut self, key: &str, val: bool) -> Obj {
+        self.key(key);
+        self.buf.push_str(if val { "true" } else { "false" });
+        self
+    }
+
+    /// Add a field whose value is already rendered JSON (a nested object,
+    /// array, or number) — written verbatim.
+    pub fn raw(mut self, key: &str, val: &str) -> Obj {
+        self.key(key);
+        self.buf.push_str(val);
+        self
+    }
+
+    /// Close the object and return its JSON text.
+    pub fn finish(mut self) -> String {
+        self.buf.push('}');
+        self.buf
+    }
+}
+
+impl Default for Obj {
+    fn default() -> Self {
+        Obj::new()
+    }
+}
+
+/// Render pre-rendered JSON values as a JSON array.
+pub fn array<I: IntoIterator<Item = String>>(items: I) -> String {
+    let mut out = String::from("[");
+    for (i, item) in items.into_iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&item);
+    }
+    out.push(']');
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn obj_builder_emits_ordered_fields() {
+        let o = Obj::new()
+            .str("name", "a\"b")
+            .u64("count", 3)
+            .bool("ok", true)
+            .raw("nested", &Obj::new().u64("x", 1).finish())
+            .finish();
+        assert_eq!(o, r#"{"name":"a\"b","count":3,"ok":true,"nested":{"x":1}}"#);
+        assert_eq!(Obj::new().finish(), "{}");
+        assert_eq!(Obj::default().finish(), "{}");
+    }
+
+    #[test]
+    fn array_joins_rendered_values() {
+        assert_eq!(array(Vec::new()), "[]");
+        assert_eq!(
+            array(vec!["1".to_string(), "\"x\"".to_string()]),
+            "[1,\"x\"]"
+        );
+    }
 
     #[test]
     fn plain_strings_are_quoted_untouched() {

@@ -161,7 +161,23 @@ impl Pool {
     }
 
     fn execute(&self, threads: usize, chunks: usize, f: &(dyn Fn(usize) + Sync)) {
-        let _serial = lock(&self.dispatch);
+        // One job in flight at a time. If a dispatch is already running —
+        // possibly one this very thread is executing a chunk of (a solver
+        // round inside a fleet job re-entering the pool) — blocking here
+        // would deadlock the in-flight job, whose completion may be waiting
+        // on this thread. The chunks of a nested dispatch simply run inline
+        // instead: the pool is already saturated, so no parallelism is
+        // lost, and chunk functions never depend on *how* they are run.
+        let _serial = match self.dispatch.try_lock() {
+            Ok(guard) => guard,
+            Err(std::sync::TryLockError::Poisoned(e)) => e.into_inner(),
+            Err(std::sync::TryLockError::WouldBlock) => {
+                for c in 0..chunks {
+                    f(c);
+                }
+                return;
+            }
+        };
         self.ensure_workers(threads.min(chunks).saturating_sub(1));
         // SAFETY: `execute` blocks on the completion rendezvous below until
         // `pending == 0`, i.e. until no thread will ever dereference `func`
@@ -348,6 +364,26 @@ mod tests {
         pool_execute(8, 0, |_| unreachable!("no chunks"));
         assert_eq!(hits.load(Ordering::Relaxed), 101);
         assert_eq!(threads_spawned(), before);
+    }
+
+    #[test]
+    fn nested_dispatch_runs_inline_without_deadlock() {
+        // A chunk that itself calls pool_execute (the fleet runner's jobs
+        // contain engine rounds that may go parallel) must not deadlock on
+        // the dispatch lock; the inner job's chunks run inline.
+        let hits = TestCounter::new(0);
+        pool_execute(4, 4, |_| {
+            pool_execute(4, 4, |_| {
+                hits.fetch_add(1, Ordering::Relaxed);
+            });
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 16);
+        // The pool stays usable for top-level dispatches afterwards.
+        let after = TestCounter::new(0);
+        pool_execute(4, 8, |_| {
+            after.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(after.load(Ordering::Relaxed), 8);
     }
 
     #[test]

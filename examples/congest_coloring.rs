@@ -13,6 +13,7 @@
 use ldc::classic;
 use ldc::core::congest::{congest_degree_plus_one, CongestBranch, CongestConfig};
 use ldc::core::validate::validate_proper_list_coloring;
+use ldc::core::SolveOptions;
 use ldc::graph::generators;
 use ldc::sim::{Bandwidth, Network};
 
@@ -30,7 +31,8 @@ fn main() {
         force_branch: Some(CongestBranch::SqrtDelta),
         ..CongestConfig::default()
     };
-    let (colors, report) = congest_degree_plus_one(&g, space, &lists, &cfg).unwrap();
+    let (colors, report) =
+        congest_degree_plus_one(&g, space, &lists, &cfg, &SolveOptions::default()).unwrap();
     validate_proper_list_coloring(&g, &lists, &colors).unwrap();
     println!(
         "{:<34}{:>8}{:>16}   (budget {} bits, substrate {} extra rounds)",

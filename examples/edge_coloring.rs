@@ -13,6 +13,7 @@
 
 use ldc::core::congest::CongestConfig;
 use ldc::core::edge_coloring::{edge_coloring, edge_degree};
+use ldc::core::SolveOptions;
 use ldc::graph::{analysis, generators};
 
 fn main() {
@@ -33,7 +34,7 @@ fn main() {
         substrate: ldc::core::arbdefective::Substrate::Randomized,
         ..CongestConfig::default()
     };
-    let ec = edge_coloring(&g, &cfg).unwrap();
+    let ec = edge_coloring(&g, &cfg, &SolveOptions::default()).unwrap();
     ec.validate(&g).unwrap();
 
     let max_edge_degree = g

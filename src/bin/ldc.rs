@@ -10,12 +10,12 @@
 //! ldc analyze net.col
 //! ```
 
+use ldc::batch::{parse_spec_file, Fleet};
 use ldc::classic;
-use ldc::core::congest::{
-    congest_degree_plus_one_faulted, congest_degree_plus_one_traced, CongestBranch, CongestConfig,
-};
+use ldc::core::congest::{congest_degree_plus_one, CongestBranch, CongestConfig};
 use ldc::core::ctx::span as spans;
 use ldc::core::validate::validate_proper_list_coloring;
+use ldc::core::SolveOptions;
 use ldc::graph::{analysis, generators, io, Graph};
 use ldc::sim::{Bandwidth, FaultPlan, Network, RetryPolicy, Tracer};
 
@@ -37,12 +37,13 @@ fn run(args: &[String]) -> Result<(), String> {
         Some("color") => cmd_color(&args[1..]),
         Some("edge-color") => cmd_edge_color(&args[1..]),
         Some("analyze") => cmd_analyze(&args[1..]),
+        Some("batch") => cmd_batch(&args[1..]),
         _ => Err(usage()),
     }
 }
 
 fn usage() -> String {
-    "usage:\n  ldc gen <ring|path|complete|torus|regular|gnp|tree|powerlaw|hypercube> <params…> [--seed S] [-o FILE]\n  ldc color <FILE> [--algorithm thm14|classic|luby] [--seed S] [--trace FILE] [--faults SPEC] [--retries N]\n  ldc edge-color <FILE> [--seed S] [--trace FILE]\n  ldc analyze <FILE>\n\n  --trace FILE: record a phase-span trace (per-theorem rounds/bits), print\n  the span tree, and write it as JSONL to FILE ('-' prints the tree only).\n\n  --faults SPEC: run under a seeded fault plan (DESIGN.md §9). SPEC is\n  comma-separated key=value pairs: seed=S, drop=RATE, trunc=RATE:CAPBITS,\n  sleep=RATE, error=RATE (e.g. --faults seed=7,drop=0.05,error=0.1).\n  --retries N: round retries per fault (default 3, backoff 1 stall round)."
+    "usage:\n  ldc gen <ring|path|complete|torus|regular|gnp|tree|powerlaw|hypercube> <params…> [--seed S] [-o FILE]\n  ldc color <FILE> [--algorithm thm14|classic|luby] [--seed S] [--trace FILE] [--faults SPEC] [--retries N]\n  ldc edge-color <FILE> [--seed S] [--trace FILE]\n  ldc analyze <FILE>\n  ldc batch <SPEC.json> [--shards N] [--out FILE]\n\n  batch: run every job in SPEC.json (array of job objects, or {\"jobs\": [...]})\n  sharded over the worker pool, and write one JSONL row per job plus a fleet\n  summary line. Output is byte-identical for every --shards value.\n\n  --trace FILE: record a phase-span trace (per-theorem rounds/bits), print\n  the span tree, and write it as JSONL to FILE ('-' prints the tree only).\n\n  --faults SPEC: run under a seeded fault plan (DESIGN.md §9). SPEC is\n  comma-separated key=value pairs: seed=S, drop=RATE, trunc=RATE:CAPBITS,\n  sleep=RATE, error=RATE (e.g. --faults seed=7,drop=0.05,error=0.1).\n  --retries N: round retries per fault (default 3, backoff 1 stall round)."
         .into()
 }
 
@@ -204,20 +205,12 @@ fn cmd_color(args: &[String]) -> Result<(), String> {
                 substrate: ldc::core::arbdefective::Substrate::Randomized,
                 ..CongestConfig::default()
             };
-            let (c, rep) = match &faults {
-                Some(plan) => congest_degree_plus_one_faulted(
-                    &g,
-                    space,
-                    &lists,
-                    &cfg,
-                    tracer.clone(),
-                    plan,
-                    retry,
-                )
-                .map_err(|e| e.to_string())?,
-                None => congest_degree_plus_one_traced(&g, space, &lists, &cfg, tracer.clone())
-                    .map_err(|e| e.to_string())?,
-            };
+            let mut opts = SolveOptions::default().with_trace(tracer.clone());
+            if let Some(plan) = &faults {
+                opts = opts.with_faults(plan.clone(), retry);
+            }
+            let (c, rep) = congest_degree_plus_one(&g, space, &lists, &cfg, &opts)
+                .map_err(|e| e.to_string())?;
             (
                 c,
                 rep.rounds_main,
@@ -299,8 +292,12 @@ fn cmd_edge_color(args: &[String]) -> Result<(), String> {
         substrate: ldc::core::arbdefective::Substrate::Randomized,
         ..CongestConfig::default()
     };
-    let ec = ldc::core::edge_coloring::edge_coloring_traced(&g, &cfg, tracer.clone())
-        .map_err(|e| e.to_string())?;
+    let ec = ldc::core::edge_coloring::edge_coloring(
+        &g,
+        &cfg,
+        &SolveOptions::default().with_trace(tracer.clone()),
+    )
+    .map_err(|e| e.to_string())?;
     ec.validate(&g).map_err(|e| e.to_string())?;
     println!(
         "edge-colored {} edges with {} colors (palette 2Δ−1 = {}), {} rounds on L(G) — VALID",
@@ -311,6 +308,34 @@ fn cmd_edge_color(args: &[String]) -> Result<(), String> {
     );
     if let Some(path) = trace {
         finish_trace(&tracer, &path)?;
+    }
+    Ok(())
+}
+
+fn cmd_batch(args: &[String]) -> Result<(), String> {
+    let pos = positional(args);
+    let path = pos.first().ok_or_else(usage)?;
+    let text = std::fs::read_to_string(path.as_str()).map_err(|e| format!("read {path}: {e}"))?;
+    let jobs = parse_spec_file(&text).map_err(|e| format!("{path}: {e}"))?;
+    let shards: usize = flag(args, "--shards")
+        .map(|s| parse(&s, "shards"))
+        .transpose()?
+        .unwrap_or(4);
+    let run = Fleet::new(shards).run(&jobs);
+    let jsonl = run.to_jsonl();
+    match flag(args, "--out") {
+        Some(out) => {
+            std::fs::write(&out, &jsonl).map_err(|e| format!("write {out}: {e}"))?;
+        }
+        None => print!("{jsonl}"),
+    }
+    let s = &run.summary;
+    eprintln!(
+        "fleet: {} jobs ({} ok, {} failed), graph cache {} hits / {} misses, {} rounds, {} bits",
+        s.jobs, s.ok, s.failed, s.cache_hits, s.cache_misses, s.rounds_total, s.bits_total
+    );
+    if s.failed > 0 {
+        return Err(format!("{} job(s) failed", s.failed));
     }
     Ok(())
 }

@@ -1,6 +1,7 @@
 #![doc = include_str!("../README.md")]
 #![forbid(unsafe_code)]
 
+pub use ldc_batch as batch;
 pub use ldc_classic as classic;
 pub use ldc_core as core;
 pub use ldc_graph as graph;

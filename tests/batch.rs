@@ -1,0 +1,202 @@
+//! Integration tests for the fleet batch runner (DESIGN.md §10): shard
+//! invariance of the JSONL stream, graph-cache accounting, fault roll-up
+//! arithmetic, and equivalence of the deprecated entry-point shims with
+//! the unified `SolveOptions` surface.
+
+use ldc::batch::{Algorithm, FaultSpec, Fleet, GraphSource, JobSpec, ListSpec};
+use ldc::core::congest::{congest_degree_plus_one, CongestConfig};
+use ldc::core::edge_coloring::edge_coloring;
+use ldc::core::{FaultStats, SolveOptions};
+use ldc::sim::{FaultPlan, RetryPolicy, Tracer};
+
+/// A mixed job list: repeated topologies, two algorithms, one faulted job.
+fn mixed_jobs() -> Vec<JobSpec> {
+    let regular = GraphSource::Regular {
+        n: 40,
+        d: 4,
+        seed: 2,
+    };
+    let mut jobs = vec![
+        JobSpec {
+            graph: GraphSource::Ring { n: 24 },
+            algorithm: Algorithm::Congest,
+            lists: ListSpec::default(),
+            seed: 1,
+            faults: None,
+        },
+        JobSpec {
+            graph: regular.clone(),
+            algorithm: Algorithm::Congest,
+            lists: ListSpec::default(),
+            seed: 1,
+            faults: None,
+        },
+        JobSpec {
+            graph: regular.clone(),
+            algorithm: Algorithm::EdgeColoring,
+            lists: ListSpec::default(),
+            seed: 3,
+            faults: None,
+        },
+        JobSpec {
+            graph: regular.clone(),
+            algorithm: Algorithm::Congest,
+            lists: ListSpec::default(),
+            seed: 2,
+            faults: Some(FaultSpec {
+                seed: 0xBA7C4,
+                drop_milli: 50,
+                max_retries: 8,
+                ..FaultSpec::default()
+            }),
+        },
+    ];
+    jobs.push(JobSpec {
+        graph: GraphSource::Torus { rows: 5, cols: 6 },
+        algorithm: Algorithm::Congest,
+        lists: ListSpec::default(),
+        seed: 4,
+        faults: None,
+    });
+    jobs
+}
+
+#[test]
+fn jsonl_stream_is_byte_identical_across_shard_counts() {
+    let jobs = mixed_jobs();
+    let baseline = Fleet::new(1).run(&jobs);
+    assert_eq!(baseline.summary.ok, jobs.len() as u64, "all jobs solve");
+    for shards in [2, 3, 4, 64] {
+        let run = Fleet::new(shards).run(&jobs);
+        assert_eq!(
+            run.to_jsonl(),
+            baseline.to_jsonl(),
+            "stream differs at {shards} shards"
+        );
+        assert_eq!(run.summary, baseline.summary);
+    }
+}
+
+#[test]
+fn graph_cache_counts_hits_and_reuses_builds() {
+    let jobs = mixed_jobs();
+    let run = Fleet::new(2).run(&jobs);
+    // 3 distinct sources (ring, regular, torus); the regular graph is
+    // named by 3 jobs, so exactly 2 of the 5 resolutions are hits.
+    assert_eq!(run.summary.cache_misses, 3);
+    assert_eq!(run.summary.cache_hits, 2);
+
+    // A job running on a cached graph behaves exactly like the same job
+    // running alone on a freshly built graph.
+    let alone = Fleet::new(1).run(&jobs[1..2]);
+    assert_eq!(alone.summary.cache_hits, 0);
+    let cached = &run.outcomes[1];
+    let fresh = &alone.outcomes[0];
+    assert_eq!(cached.rounds, fresh.rounds);
+    assert_eq!(cached.total_bits, fresh.total_bits);
+    assert_eq!(cached.colors_used, fresh.colors_used);
+    assert!(cached.valid && fresh.valid);
+}
+
+#[test]
+fn faulted_fleet_rollup_sums_per_job_reports() {
+    // Two resilient OLDC jobs under transient errors: the fleet summary's
+    // restart and fault counters must equal the sum of the per-job
+    // `ResilientReport`s (the all-attempts totals, not the final attempt).
+    let lists = ListSpec::Uniform {
+        space: 1 << 13,
+        len: 3000,
+        defect: 3,
+        salt: 0,
+    };
+    let jobs: Vec<JobSpec> = [5u64, 6]
+        .iter()
+        .map(|&seed| JobSpec {
+            graph: GraphSource::Regular { n: 80, d: 6, seed },
+            algorithm: Algorithm::Oldc,
+            lists: lists.clone(),
+            seed: 1,
+            faults: Some(FaultSpec {
+                seed: 0xE44 + seed,
+                error_milli: 300,
+                max_retries: 6,
+                max_restarts: 8,
+                ..FaultSpec::default()
+            }),
+        })
+        .collect();
+    let run = Fleet::new(2).run(&jobs);
+    assert_eq!(run.summary.ok, 2, "both resilient solves succeed");
+
+    let mut restarts = 0u64;
+    let mut faults = FaultStats::default();
+    let mut saw_retries = false;
+    for o in &run.outcomes {
+        let r = o.resilient.as_ref().expect("faulted job carries a report");
+        restarts += u64::from(r.restarts);
+        faults.absorb(&r.faults);
+        saw_retries |= r.faults.rounds_retried > 0;
+        assert!(o.row.contains("\"resilient\":"), "row echoes the report");
+    }
+    assert!(saw_retries, "a 30% error rate must trigger retries");
+    assert_eq!(run.summary.restarts, restarts);
+    assert_eq!(run.summary.faults, faults);
+}
+
+#[test]
+#[allow(deprecated)]
+fn deprecated_shims_match_unified_surface() {
+    use ldc::core::congest::{congest_degree_plus_one_faulted, congest_degree_plus_one_traced};
+    use ldc::core::edge_coloring::edge_coloring_traced;
+    use ldc::graph::generators;
+
+    let g = generators::random_regular(60, 4, 8);
+    let space = 4 * (g.max_degree() as u64 + 1);
+    let lists: Vec<Vec<u64>> = g
+        .nodes()
+        .map(|v| {
+            let mut l: Vec<u64> = (0..g.degree(v) as u64 + 1)
+                .map(|i| (u64::from(v) * 29 + i * 83) % space)
+                .collect();
+            l.sort_unstable();
+            l.dedup();
+            let mut c = 0;
+            while l.len() < g.degree(v) + 1 {
+                if !l.contains(&c) {
+                    l.push(c);
+                }
+                c += 1;
+            }
+            l.sort_unstable();
+            l
+        })
+        .collect();
+    let cfg = CongestConfig::default();
+
+    let (c_new, r_new) =
+        congest_degree_plus_one(&g, space, &lists, &cfg, &SolveOptions::default()).unwrap();
+    let (c_old, r_old) =
+        congest_degree_plus_one_traced(&g, space, &lists, &cfg, Tracer::disabled()).unwrap();
+    assert_eq!(c_new, c_old);
+    assert_eq!(r_new.rounds_total(), r_old.rounds_total());
+    assert_eq!(r_new.bits_total, r_old.bits_total);
+
+    let plan = FaultPlan::new(7).with_drop_rate(0.05);
+    let retry = RetryPolicy {
+        max_retries: 8,
+        backoff_rounds: 1,
+    };
+    let opts = SolveOptions::default().with_faults(plan.clone(), retry);
+    let (c_new, r_new) = congest_degree_plus_one(&g, space, &lists, &cfg, &opts).unwrap();
+    let (c_old, r_old) =
+        congest_degree_plus_one_faulted(&g, space, &lists, &cfg, Tracer::disabled(), &plan, retry)
+            .unwrap();
+    assert_eq!(c_new, c_old);
+    assert_eq!(r_new.faults, r_old.faults);
+    assert!(r_new.faults.messages_dropped > 0, "the plan actually fired");
+
+    let ec_new = edge_coloring(&g, &cfg, &SolveOptions::default()).unwrap();
+    let ec_old = edge_coloring_traced(&g, &cfg, Tracer::disabled()).unwrap();
+    assert_eq!(ec_new.colors, ec_old.colors);
+    assert_eq!(ec_new.report.bits_total, ec_old.report.bits_total);
+}

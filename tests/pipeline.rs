@@ -10,7 +10,7 @@ use ldc::core::congest::{congest_degree_plus_one, CongestBranch, CongestConfig};
 use ldc::core::existence::solve_ldc;
 use ldc::core::params::practical_kappa;
 use ldc::core::validate::{validate_arbdefective, validate_ldc, validate_proper_list_coloring};
-use ldc::core::{ColorSpace, DefectList, LdcInstance, ParamProfile};
+use ldc::core::{ColorSpace, DefectList, LdcInstance, ParamProfile, SolveOptions};
 use ldc::graph::{generators, Graph, ProperColoring};
 use ldc::sim::{Bandwidth, Network};
 
@@ -50,9 +50,14 @@ fn theorem_1_4_across_graph_families() {
     for (name, g) in graphs {
         let space = 4 * (g.max_degree() as u64 + 1);
         let lists = degree_plus_one_lists(&g, space, 7);
-        let (colors, report) =
-            congest_degree_plus_one(&g, space, &lists, &CongestConfig::default())
-                .unwrap_or_else(|e| panic!("{name}: {e}"));
+        let (colors, report) = congest_degree_plus_one(
+            &g,
+            space,
+            &lists,
+            &CongestConfig::default(),
+            &SolveOptions::default(),
+        )
+        .unwrap_or_else(|e| panic!("{name}: {e}"));
         validate_proper_list_coloring(&g, &lists, &colors)
             .unwrap_or_else(|e| panic!("{name}: {e}"));
         assert!(
@@ -71,7 +76,14 @@ fn theorem_1_4_agrees_with_all_baselines_on_validity() {
     let lists: Vec<Vec<u64>> = (0..200).map(|_| (0..7).collect()).collect();
 
     // Paper pipeline.
-    let (c1, _) = congest_degree_plus_one(&g, space, &lists, &CongestConfig::default()).unwrap();
+    let (c1, _) = congest_degree_plus_one(
+        &g,
+        space,
+        &lists,
+        &CongestConfig::default(),
+        &SolveOptions::default(),
+    )
+    .unwrap();
     // Classic class iteration.
     let mut net = Network::new(&g, Bandwidth::congest_log(200, 8));
     let lin = classic::linial_coloring(&mut net, None).unwrap();
@@ -208,7 +220,8 @@ fn forced_branches_both_work() {
             force_branch: Some(branch),
             ..CongestConfig::default()
         };
-        let (colors, report) = congest_degree_plus_one(&g, space, &lists, &cfg).unwrap();
+        let (colors, report) =
+            congest_degree_plus_one(&g, space, &lists, &cfg, &SolveOptions::default()).unwrap();
         validate_proper_list_coloring(&g, &lists, &colors).unwrap();
         assert_eq!(report.branch, branch);
     }
@@ -227,7 +240,8 @@ fn theorem_1_4_at_scale() {
         substrate: Substrate::Randomized,
         ..CongestConfig::default()
     };
-    let (colors, report) = congest_degree_plus_one(&g, space, &lists, &cfg).unwrap();
+    let (colors, report) =
+        congest_degree_plus_one(&g, space, &lists, &cfg, &SolveOptions::default()).unwrap();
     validate_proper_list_coloring(&g, &lists, &colors).unwrap();
     assert!(report.max_message_bits <= report.bandwidth_bits);
 }

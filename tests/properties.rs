@@ -345,7 +345,8 @@ fn theorem13_solves_degree_plus_one() {
             ..CongestConfig::default()
         };
         let (colors, rep) =
-            congest_degree_plus_one(&g, space, &lists, &cfg).expect("congest pipeline solves");
+            congest_degree_plus_one(&g, space, &lists, &cfg, &ldc::core::SolveOptions::default())
+                .expect("congest pipeline solves");
         assert_eq!(validate_proper_list_coloring(&g, &lists, &colors), Ok(()));
         assert!(rep.max_message_bits <= rep.bandwidth_bits);
     });

@@ -5,11 +5,10 @@
 //! `Network` inside Theorem 1.3.
 
 use ldc::core::arbdefective::Substrate;
-use ldc::core::congest::{
-    congest_degree_plus_one_traced, CongestBranch, CongestConfig, CongestReport,
-};
+use ldc::core::congest::{congest_degree_plus_one, CongestBranch, CongestConfig, CongestReport};
 use ldc::core::ctx::span as spans;
 use ldc::core::validate::validate_proper_list_coloring;
+use ldc::core::SolveOptions;
 use ldc::graph::{generators, Graph};
 use ldc::sim::{SpanNode, SpanTotals, Tracer};
 
@@ -100,8 +99,14 @@ fn theorem14_sqrt_delta_trace_partitions_engine_metrics() {
     };
 
     let tracer = Tracer::new();
-    let (colors, rep) =
-        congest_degree_plus_one_traced(&g, space, &lists, &cfg, tracer.clone()).unwrap();
+    let (colors, rep) = congest_degree_plus_one(
+        &g,
+        space,
+        &lists,
+        &cfg,
+        &SolveOptions::default().with_trace(tracer.clone()),
+    )
+    .unwrap();
     validate_proper_list_coloring(&g, &lists, &colors).unwrap();
     assert_eq!(rep.branch, CongestBranch::SqrtDelta);
 
@@ -154,8 +159,14 @@ fn theorem14_class_iteration_trace_partitions_engine_metrics() {
     };
 
     let tracer = Tracer::new();
-    let (colors, rep) =
-        congest_degree_plus_one_traced(&g, space, &lists, &cfg, tracer.clone()).unwrap();
+    let (colors, rep) = congest_degree_plus_one(
+        &g,
+        space,
+        &lists,
+        &cfg,
+        &SolveOptions::default().with_trace(tracer.clone()),
+    )
+    .unwrap();
     validate_proper_list_coloring(&g, &lists, &colors).unwrap();
     assert_eq!(rep.branch, CongestBranch::ClassIteration);
 
@@ -177,9 +188,22 @@ fn disabled_tracer_is_transparent() {
         substrate: Substrate::Randomized,
         ..CongestConfig::default()
     };
-    let (c1, r1) =
-        congest_degree_plus_one_traced(&g, space, &lists, &cfg, Tracer::disabled()).unwrap();
-    let (c2, r2) = congest_degree_plus_one_traced(&g, space, &lists, &cfg, Tracer::new()).unwrap();
+    let (c1, r1) = congest_degree_plus_one(
+        &g,
+        space,
+        &lists,
+        &cfg,
+        &SolveOptions::default().with_trace(Tracer::disabled()),
+    )
+    .unwrap();
+    let (c2, r2) = congest_degree_plus_one(
+        &g,
+        space,
+        &lists,
+        &cfg,
+        &SolveOptions::default().with_trace(Tracer::new()),
+    )
+    .unwrap();
     assert_eq!(c1, c2, "tracing must not perturb the algorithm");
     assert_eq!(r1.rounds_total(), r2.rounds_total());
     assert_eq!(r1.bits_total, r2.bits_total);
