@@ -111,6 +111,13 @@ impl MessageSize for ColorAnnounce {
 /// Solve a list arbdefective coloring instance satisfying
 /// `Σ(d_v(x)+1) > deg(v)` for all `v` (the `(degree+1)`-condition of
 /// Theorem 1.3). Returns the coloring and the witnessing orientation.
+///
+/// Kernel-mode wiring: the inner OLDC calls go through the generic
+/// `solver` parameter, so [`crate::colorspace::Theorem11Solver`] runs the
+/// packed/memoized kernels (the default) while
+/// [`crate::colorspace::ReferenceKernelSolver`] re-routes the whole driver
+/// through the naive kernels — `tests/kernels.rs` diffs the two end to end
+/// (colors, orientation, rounds, bits must be byte-identical).
 pub fn solve_list_arbdefective<S: OldcSolver>(
     net: &mut Network<'_>,
     space: u64,

@@ -15,7 +15,8 @@
 //! at every level.
 
 use crate::ctx::{span as spans, CoreError, OldcCtx};
-use crate::oldc::solve_oldc;
+use crate::kernels::KernelMode;
+use crate::oldc::{solve_oldc, solve_oldc_in};
 use crate::problem::{Color, DefectList};
 use ldc_sim::Network;
 
@@ -43,6 +44,24 @@ impl OldcSolver for Theorem11Solver {
         lists: &[DefectList],
     ) -> Result<Vec<Option<Color>>, CoreError> {
         Ok(solve_oldc(net, ctx, lists)?.colors)
+    }
+}
+
+/// [`Theorem11Solver`] routed through the naive reference kernels
+/// ([`KernelMode::Reference`]): no packed sets, no type cache. Outputs are
+/// byte-identical to [`Theorem11Solver`] — the differential full-solve
+/// tests drive both through the same drivers and assert exact equality.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ReferenceKernelSolver;
+
+impl OldcSolver for ReferenceKernelSolver {
+    fn solve(
+        &self,
+        net: &mut Network<'_>,
+        ctx: &OldcCtx<'_, '_>,
+        lists: &[DefectList],
+    ) -> Result<Vec<Option<Color>>, CoreError> {
+        Ok(solve_oldc_in(net, ctx, lists, KernelMode::Reference)?.colors)
     }
 }
 

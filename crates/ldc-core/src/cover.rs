@@ -14,7 +14,7 @@
 //! * [`exact_greedy`] — Lemma 3.5 verbatim for miniature parameters,
 //!   used by unit tests to demonstrate genuine zero-round solvability.
 
-use crate::conflict::psi_g;
+use crate::kernels::psi_g_fast;
 use crate::problem::Color;
 use std::collections::HashMap;
 
@@ -28,7 +28,11 @@ fn splitmix64(state: &mut u64) -> u64 {
 }
 
 /// Hash a color list into a type fingerprint.
-fn list_fingerprint(list: &[Color]) -> u64 {
+///
+/// Used by [`crate::kernels::TypeCache`] to bucket interned lists; the
+/// cache always confirms with a full slice comparison, so the fingerprint
+/// only has to be well-distributed, not collision-free.
+pub fn list_fingerprint(list: &[Color]) -> u64 {
     let mut h = 0xcbf29ce484222325u64 ^ (list.len() as u64);
     for &c in list {
         let mut s = h ^ c.wrapping_mul(0x100000001b3);
@@ -52,6 +56,25 @@ impl SeededSubset {
     /// # Panics
     /// Panics if `k > list.len()`.
     pub fn select(&self, init_color: u64, list: &[Color], k: usize, attempt: u32) -> Vec<Color> {
+        let mut out = Vec::new();
+        self.select_into(init_color, list, k, attempt, &mut out);
+        out
+    }
+
+    /// [`SeededSubset::select`] into a caller-provided buffer: `out` is
+    /// cleared and refilled, so retry loops reuse one allocation across
+    /// attempts instead of building a fresh `Vec` per draw.
+    ///
+    /// # Panics
+    /// Panics if `k > list.len()`.
+    pub fn select_into(
+        &self,
+        init_color: u64,
+        list: &[Color],
+        k: usize,
+        attempt: u32,
+        out: &mut Vec<Color>,
+    ) {
         assert!(
             k <= list.len(),
             "cannot select {k} colors from a list of {}",
@@ -63,16 +86,21 @@ impl SeededSubset {
             .wrapping_add(init_color)
             .wrapping_add(u64::from(attempt).wrapping_mul(0xd1342543de82ef95))
             ^ list_fingerprint(list);
-        // Partial Fisher–Yates over indices.
+        // Partial Fisher–Yates over indices, reusing `out` as the index
+        // scratch: colors are written over the chosen prefix afterwards,
+        // so one buffer serves both roles.
         let n = list.len();
-        let mut idx: Vec<usize> = (0..n).collect();
+        out.clear();
+        out.extend(0..n as u64);
         for i in 0..k {
             let j = i + (splitmix64(&mut state) as usize) % (n - i);
-            idx.swap(i, j);
+            out.swap(i, j);
         }
-        let mut out: Vec<Color> = idx[..k].iter().map(|&i| list[i]).collect();
+        out.truncate(k);
+        for slot in out.iter_mut() {
+            *slot = list[*slot as usize];
+        }
         out.sort_unstable();
-        out
     }
 }
 
@@ -139,8 +167,8 @@ pub fn exact_greedy(
             for c in 0..m {
                 let pick = candidate_sets.iter().find(|cand| {
                     chosen.iter().all(|prev| {
-                        !psi_g(cand, prev, tau_prime, tau, g)
-                            && !psi_g(prev, cand, tau_prime, tau, g)
+                        !psi_g_fast(cand, prev, tau_prime, tau, g)
+                            && !psi_g_fast(prev, cand, tau_prime, tau, g)
                     })
                 })?;
                 chosen.push(pick.clone());
@@ -154,7 +182,7 @@ pub fn exact_greedy(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::conflict::tau_g_conflict;
+    use crate::conflict::{psi_g, tau_g_conflict};
 
     #[test]
     fn seeded_subset_is_deterministic_per_type() {

@@ -1,0 +1,621 @@
+//! Shared solver kernels: packed color sets and the per-solve type cache.
+//!
+//! The round engine stopped being the bottleneck in PR 2 — on dense
+//! instances virtually all wall time is spent in per-node solver kernels
+//! (`conflict_weight` merges, `SeededSubset::select` draws, per-color
+//! membership probes). The Maus–Tonoyan machinery behind Lemma 3.5 says
+//! candidate sets are a pure function of a node's **type**
+//! `(init_color, list, attempt)`, and conflict verdicts are pure functions
+//! of the two candidate sets involved — so in dense instances (few
+//! distinct types, or many repeated pairwise checks) almost all of that
+//! work recomputes identical answers. This module removes the
+//! recomputation without changing a single output byte:
+//!
+//! * [`PackedSet`] — a bitset over the (offset-normalized) color span of a
+//!   sorted list. Membership is O(1) (vs. a binary search), `μ_g` is a
+//!   masked popcount over the `[x−g, x+g]` window, and `g = 0`
+//!   intersection weight is a word-parallel popcount of `A & B`.
+//! * [`conflict_weight_at_least`] — the general `g ≥ 0` conflict test as a
+//!   two-pointer merge that exits as soon as the running weight reaches
+//!   `τ` (the exact weight above the threshold is never needed).
+//! * [`TypeCache`] — a per-solve memo: color lists are interned by
+//!   fingerprint (collision-checked, so a hash collision can only cost a
+//!   missed hit, never a wrong answer), `SeededSubset::select` runs once
+//!   per `(init_color, list, k, attempt)` type, and pairwise
+//!   `τ&g`-conflict verdicts are cached per unordered candidate-set pair.
+//!   Candidate sets produced by the cache are shared `Arc`s, so a set's
+//!   address is a stable identity for the lifetime of the solve (the
+//!   cache holds every `Arc` it ever returned) and both the packed-set
+//!   table and the verdict table key on it.
+//!
+//! Every kernel has a naive counterpart in [`crate::conflict`] /
+//! [`crate::cover`]; `KernelMode::Reference` routes through those
+//! verbatim, and the seeded equivalence suite asserts byte-identical
+//! solver outputs between the two modes (`tests/kernels.rs`).
+
+use crate::conflict::tau_g_conflict;
+use crate::cover::{list_fingerprint, SeededSubset};
+use crate::problem::Color;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Which kernel implementations a solver run uses.
+///
+/// `Fast` is the default everywhere; `Reference` re-routes every kernel
+/// through the naive implementations with no memoization, for differential
+/// testing (outputs must be byte-identical) and for recording the pre-cache
+/// baseline in `BENCH_solver.json`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum KernelMode {
+    /// Packed sets + type-keyed memoization (production default).
+    #[default]
+    Fast,
+    /// Naive kernels, no memoization (differential baseline).
+    Reference,
+}
+
+/// A bitset over the color span of a sorted list, offset-normalized so
+/// that the base is a multiple of 64 — two packed sets over the same color
+/// space are therefore always word-aligned and intersection reduces to
+/// `popcount(A & B)` over the overlapping word range.
+#[derive(Debug, Clone)]
+pub struct PackedSet {
+    /// Base color of word 0 (always a multiple of 64).
+    offset: u64,
+    words: Vec<u64>,
+    len: u64,
+}
+
+impl PackedSet {
+    /// Build from a sorted, deduplicated color slice.
+    pub fn from_sorted(colors: &[Color]) -> Self {
+        debug_assert!(colors.windows(2).all(|w| w[0] < w[1]), "sorted, distinct");
+        let offset = colors.first().map_or(0, |&c| c & !63);
+        let span = colors.last().map_or(0, |&c| c - offset + 1);
+        let mut words = vec![0u64; span.div_ceil(64) as usize];
+        for &c in colors {
+            let r = c - offset;
+            words[(r / 64) as usize] |= 1u64 << (r % 64);
+        }
+        PackedSet {
+            offset,
+            words,
+            len: colors.len() as u64,
+        }
+    }
+
+    /// Number of colors in the set.
+    pub fn len(&self) -> u64 {
+        self.len
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// O(1) membership test (the packed replacement for `binary_search`).
+    pub fn contains(&self, c: Color) -> bool {
+        if c < self.offset {
+            return false;
+        }
+        let r = c - self.offset;
+        let w = (r / 64) as usize;
+        w < self.words.len() && self.words[w] >> (r % 64) & 1 == 1
+    }
+
+    /// `|{c ∈ self : lo ≤ c ≤ hi}|` as a masked popcount — the packed
+    /// `μ_g(x, ·)` with `lo = x−g`, `hi = x+g` (see [`crate::conflict::mu_g`]).
+    pub fn count_range(&self, lo: Color, hi: Color) -> u64 {
+        if self.words.is_empty() || hi < self.offset {
+            return 0;
+        }
+        let top = self.offset + 64 * self.words.len() as u64 - 1;
+        let lo = lo.max(self.offset);
+        let hi = hi.min(top);
+        if lo > hi {
+            return 0;
+        }
+        let (rl, rh) = (lo - self.offset, hi - self.offset);
+        let (wl, wh) = ((rl / 64) as usize, (rh / 64) as usize);
+        let mask_lo = u64::MAX << (rl % 64);
+        // `rh % 64 == 63` must keep all bits; shift by 63 − pos, never 64.
+        let mask_hi = u64::MAX >> (63 - rh % 64);
+        if wl == wh {
+            return (self.words[wl] & mask_lo & mask_hi).count_ones() as u64;
+        }
+        let mut total = (self.words[wl] & mask_lo).count_ones() as u64;
+        for w in &self.words[wl + 1..wh] {
+            total += w.count_ones() as u64;
+        }
+        total + (self.words[wh] & mask_hi).count_ones() as u64
+    }
+
+    /// `|A ∩ B|` by word-parallel popcount — `conflict_weight(A, B, 0)`.
+    pub fn intersection_size(&self, other: &Self) -> u64 {
+        let (a, b) = if self.offset <= other.offset {
+            (self, other)
+        } else {
+            (other, self)
+        };
+        // Offsets are multiples of 64, so the shift is whole words.
+        let shift = ((b.offset - a.offset) / 64) as usize;
+        if shift >= a.words.len() {
+            return 0;
+        }
+        a.words[shift..]
+            .iter()
+            .zip(&b.words)
+            .map(|(x, y)| (x & y).count_ones() as u64)
+            .sum()
+    }
+
+    /// Words this set occupies (cost estimate for the adaptive conflict
+    /// kernel).
+    fn word_count(&self) -> usize {
+        self.words.len()
+    }
+}
+
+/// `conflict_weight(c1, c2, g) ≥ tau`, computed by a single merge-style
+/// sweep over both sorted lists that stops the moment the running weight
+/// reaches `tau` — the verification loops only ever need the verdict, not
+/// the exact weight. Equivalent to [`tau_g_conflict`] (property-tested).
+pub fn conflict_weight_at_least(c1: &[Color], c2: &[Color], tau: u64, g: u64) -> bool {
+    if tau == 0 {
+        return true;
+    }
+    let mut lo = 0usize;
+    let mut hi = 0usize;
+    let mut total = 0u64;
+    for &x in c1 {
+        let lbound = x.saturating_sub(g);
+        let ubound = x.saturating_add(g);
+        while lo < c2.len() && c2[lo] < lbound {
+            lo += 1;
+        }
+        if hi < lo {
+            hi = lo;
+        }
+        while hi < c2.len() && c2[hi] <= ubound {
+            hi += 1;
+        }
+        total += (hi - lo) as u64;
+        if total >= tau {
+            return true;
+        }
+    }
+    false
+}
+
+/// Definition 3.3 with early exits on both levels: member conflicts are
+/// decided by [`conflict_weight_at_least`] and the scan stops at `τ'`
+/// conflicting members. Equivalent to [`crate::conflict::psi_g`].
+pub fn psi_g_fast(k1: &[Vec<Color>], k2: &[Vec<Color>], tau_prime: u64, tau: u64, g: u64) -> bool {
+    let mut conflicting = 0u64;
+    for c in k1 {
+        if k2.iter().any(|c2| conflict_weight_at_least(c, c2, tau, g)) {
+            conflicting += 1;
+            if conflicting >= tau_prime {
+                return true;
+            }
+        }
+    }
+    false
+}
+
+/// Hit/miss accounting of a [`TypeCache`] (deterministic: a pure function
+/// of the instance, so it byte-diffs across runs and thread counts —
+/// experiment E18 tabulates it).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct KernelStats {
+    /// Candidate-set selections requested.
+    pub select_calls: u64,
+    /// Selections actually computed (misses; hits = calls − misses).
+    pub select_misses: u64,
+    /// Pairwise `τ&g`-conflict verdicts requested.
+    pub conflict_calls: u64,
+    /// Verdicts actually computed.
+    pub conflict_misses: u64,
+    /// Distinct interned `(list)` types seen.
+    pub distinct_lists: u64,
+    /// Distinct candidate sets packed.
+    pub distinct_sets: u64,
+}
+
+impl KernelStats {
+    /// Fold another cache's counters into this one (a Theorem 1.1 solve
+    /// aggregates the auxiliary instance's cache and the main one).
+    pub fn absorb(&mut self, other: &KernelStats) {
+        self.select_calls += other.select_calls;
+        self.select_misses += other.select_misses;
+        self.conflict_calls += other.conflict_calls;
+        self.conflict_misses += other.conflict_misses;
+        self.distinct_lists += other.distinct_lists;
+        self.distinct_sets += other.distinct_sets;
+    }
+}
+
+/// Key of a memoized selection: the node type `(init_color, list)` —
+/// with the list replaced by its interned id — plus `(k, attempt)`.
+type SelectKey = (u64, u32, u64, u32);
+
+/// Per-solve memoization of the type-keyed solver kernels.
+///
+/// One cache serves one solver invocation (one `(seed, τ, g)` regime);
+/// everything it returns is a pure function of its inputs, so routing a
+/// solver through it cannot change any output byte — it only skips
+/// recomputation. See the module docs for the keying discipline.
+pub struct TypeCache {
+    mode: KernelMode,
+    strategy: SeededSubset,
+    tau: u64,
+    g: u64,
+    /// fingerprint → interned list ids with that fingerprint (equality is
+    /// verified on lookup, so collisions cannot alias two types).
+    list_ids: HashMap<u64, Vec<u32>>,
+    list_store: Vec<Box<[Color]>>,
+    select_memo: HashMap<SelectKey, Arc<[Color]>>,
+    /// `Arc` address → packed id. Valid because `arcs` pins every interned
+    /// allocation for the cache's lifetime.
+    packed_ids: HashMap<usize, u32>,
+    packed: Vec<PackedSet>,
+    arcs: Vec<Arc<[Color]>>,
+    verdicts: HashMap<(u32, u32), bool>,
+    /// Scratch for `select_into` (reused across every selection).
+    scratch: Vec<Color>,
+    /// Per-node scratch of the grouped frequency loops: packed ids of the
+    /// undecided ports (sorted, then run-length grouped).
+    group_scratch: Vec<u32>,
+    /// Per-node scratch: sorted colors of decided relevant out-neighbors.
+    decided_scratch: Vec<Color>,
+    /// Per-node scratch: one running frequency per candidate color.
+    freq_scratch: Vec<u64>,
+    /// Counters (see [`KernelStats`]).
+    pub stats: KernelStats,
+}
+
+impl TypeCache {
+    /// A cache for one solve under `(strategy, τ, g)`.
+    pub fn new(strategy: SeededSubset, tau: u64, g: u64, mode: KernelMode) -> Self {
+        TypeCache {
+            mode,
+            strategy,
+            tau,
+            g,
+            list_ids: HashMap::new(),
+            list_store: Vec::new(),
+            select_memo: HashMap::new(),
+            packed_ids: HashMap::new(),
+            packed: Vec::new(),
+            arcs: Vec::new(),
+            verdicts: HashMap::new(),
+            scratch: Vec::new(),
+            group_scratch: Vec::new(),
+            decided_scratch: Vec::new(),
+            freq_scratch: Vec::new(),
+            stats: KernelStats::default(),
+        }
+    }
+
+    /// The mode this cache runs in.
+    pub fn mode(&self) -> KernelMode {
+        self.mode
+    }
+
+    /// Candidate-set selection, memoized per `(type, k, attempt)`.
+    ///
+    /// Byte-identical to `Arc::from(strategy.select(...))` in both modes:
+    /// `SeededSubset::select` is a pure function of exactly this key (plus
+    /// the shared seed), so equal keys select equal sets.
+    pub fn select(
+        &mut self,
+        init_color: u64,
+        list: &[Color],
+        k: usize,
+        attempt: u32,
+    ) -> Arc<[Color]> {
+        self.stats.select_calls += 1;
+        if self.mode == KernelMode::Reference {
+            self.stats.select_misses += 1;
+            self.strategy
+                .select_into(init_color, list, k, attempt, &mut self.scratch);
+            return Arc::from(&self.scratch[..]);
+        }
+        let list_id = self.intern_list(list);
+        let key: SelectKey = (init_color, list_id, k as u64, attempt);
+        if let Some(set) = self.select_memo.get(&key) {
+            return set.clone();
+        }
+        self.stats.select_misses += 1;
+        self.strategy
+            .select_into(init_color, list, k, attempt, &mut self.scratch);
+        let set: Arc<[Color]> = Arc::from(&self.scratch[..]);
+        self.select_memo.insert(key, set.clone());
+        set
+    }
+
+    /// Pairwise `τ&g`-conflict verdict (Definition 3.2), cached per
+    /// unordered set pair (`conflict_weight` is symmetric).
+    pub fn conflict(&mut self, a: &Arc<[Color]>, b: &Arc<[Color]>) -> bool {
+        self.stats.conflict_calls += 1;
+        if self.mode == KernelMode::Reference {
+            self.stats.conflict_misses += 1;
+            return tau_g_conflict(a, b, self.tau, self.g);
+        }
+        let ia = self.packed_id(a);
+        let ib = self.packed_id(b);
+        let key = (ia.min(ib), ia.max(ib));
+        if let Some(&v) = self.verdicts.get(&key) {
+            return v;
+        }
+        self.stats.conflict_misses += 1;
+        let verdict = if self.g == 0 {
+            // Adaptive: popcount when the word spans are cheaper than the
+            // merge, the early-exit merge otherwise. Same verdict either
+            // way (both equal `conflict_weight ≥ τ`).
+            let (pa, pb) = (&self.packed[ia as usize], &self.packed[ib as usize]);
+            let words = pa.word_count().min(pb.word_count());
+            if words <= a.len() + b.len() {
+                pa.intersection_size(pb) >= self.tau
+            } else {
+                conflict_weight_at_least(a, b, self.tau, self.g)
+            }
+        } else {
+            conflict_weight_at_least(a, b, self.tau, self.g)
+        };
+        self.verdicts.insert(key, verdict);
+        verdict
+    }
+
+    /// Intern a candidate set by address and return its packed id
+    /// (`Fast` mode only). The id indexes a dense table, so the hot
+    /// per-color loops pay array indexing instead of hashing.
+    pub fn packed_id(&mut self, set: &Arc<[Color]>) -> u32 {
+        let key = Arc::as_ptr(set) as *const Color as usize;
+        if let Some(&id) = self.packed_ids.get(&key) {
+            return id;
+        }
+        let id = self.packed.len() as u32;
+        self.packed.push(PackedSet::from_sorted(set));
+        self.arcs.push(set.clone());
+        self.packed_ids.insert(key, id);
+        self.stats.distinct_sets += 1;
+        id
+    }
+
+    /// O(1) membership in an interned set.
+    pub fn packed_contains(&self, id: u32, x: Color) -> bool {
+        self.packed[id as usize].contains(x)
+    }
+
+    /// Packed `μ_g(x, ·)` of an interned set (uses the cache's `g`).
+    pub fn packed_mu(&self, id: u32, x: Color) -> u64 {
+        self.packed[id as usize].count_range(x.saturating_sub(self.g), x.saturating_add(self.g))
+    }
+
+    /// The grouped frequency pass shared by the decision loops: given the
+    /// relevant ports of one node — classified as either a decided color
+    /// or an undecided neighbor's candidate set — compute, for each
+    /// candidate color `x` of `cand`, the frequency
+    /// `f(x) = #{decided ports: |c − x| ≤ g} + Σ_{undecided sets} μ_g(x, C)`
+    /// and pick the minimizing `(f, x)` (ties toward the smaller color) —
+    /// exactly the scan the naive loops perform, regrouped twice: ports
+    /// sharing a candidate set contribute `multiplicity · μ_g` in one
+    /// probe, and the set loop is outermost so each packed set streams
+    /// through one frequency array instead of being re-probed per color
+    /// (`f` is a commutative `u64` sum, so the regrouping is byte-exact).
+    ///
+    /// `ports` yields `(decided_color, candidate_set)` per relevant port.
+    pub fn best_color<'p>(
+        &mut self,
+        cand: &[Color],
+        ports: impl Iterator<Item = (Option<Color>, Option<&'p Arc<[Color]>>)>,
+    ) -> Option<(u64, Color)> {
+        let mut ids = std::mem::take(&mut self.group_scratch);
+        let mut decided = std::mem::take(&mut self.decided_scratch);
+        let mut freq = std::mem::take(&mut self.freq_scratch);
+        ids.clear();
+        decided.clear();
+        freq.clear();
+        freq.resize(cand.len(), 0);
+        for (dec, set) in ports {
+            if let Some(c) = dec {
+                decided.push(c);
+            } else if let Some(cu) = set {
+                ids.push(self.packed_id(cu));
+            }
+        }
+        decided.sort_unstable();
+        ids.sort_unstable();
+        let mut at = 0usize;
+        while at < ids.len() {
+            let id = ids[at];
+            let mut mult = 0u64;
+            while at < ids.len() && ids[at] == id {
+                mult += 1;
+                at += 1;
+            }
+            let set = &self.packed[id as usize];
+            if self.g == 0 {
+                for (f, &x) in freq.iter_mut().zip(cand) {
+                    *f += mult * u64::from(set.contains(x));
+                }
+            } else {
+                for (f, &x) in freq.iter_mut().zip(cand) {
+                    *f +=
+                        mult * set.count_range(x.saturating_sub(self.g), x.saturating_add(self.g));
+                }
+            }
+        }
+        let mut best: Option<(u64, Color)> = None;
+        for (&x, &fs) in cand.iter().zip(freq.iter()) {
+            let lo = x.saturating_sub(self.g);
+            let hi = x.saturating_add(self.g);
+            let start = decided.partition_point(|&c| c < lo);
+            let end = decided.partition_point(|&c| c <= hi);
+            let f = fs + (end - start) as u64;
+            if best.map_or(true, |(bf, bx)| f < bf || (f == bf && x < bx)) {
+                best = Some((f, x));
+            }
+        }
+        self.group_scratch = ids;
+        self.decided_scratch = decided;
+        self.freq_scratch = freq;
+        best
+    }
+
+    /// Interning of a color list (by contents, not address): fingerprint
+    /// lookup plus an equality check against every stored list sharing the
+    /// fingerprint.
+    fn intern_list(&mut self, list: &[Color]) -> u32 {
+        let fp = list_fingerprint(list);
+        let bucket = self.list_ids.entry(fp).or_default();
+        for &id in bucket.iter() {
+            if *self.list_store[id as usize] == *list {
+                return id;
+            }
+        }
+        let id = self.list_store.len() as u32;
+        self.list_store.push(list.into());
+        bucket.push(id);
+        self.stats.distinct_lists += 1;
+        id
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::conflict::{conflict_weight, mu_g, psi_g};
+
+    fn mk(colors: &[u64]) -> Vec<u64> {
+        let mut v = colors.to_vec();
+        v.sort_unstable();
+        v.dedup();
+        v
+    }
+
+    #[test]
+    fn packed_membership_matches_binary_search() {
+        let list = mk(&[3, 64, 65, 127, 128, 1000, 1001]);
+        let set = PackedSet::from_sorted(&list);
+        assert_eq!(set.len(), list.len() as u64);
+        for x in 0..1100u64 {
+            assert_eq!(set.contains(x), list.binary_search(&x).is_ok(), "x = {x}");
+        }
+    }
+
+    #[test]
+    fn packed_count_range_matches_mu() {
+        let list = mk(&[0, 1, 63, 64, 65, 127, 200, 201, 202]);
+        let set = PackedSet::from_sorted(&list);
+        for x in 0..260u64 {
+            for g in [0u64, 1, 2, 63, 64, 500] {
+                assert_eq!(
+                    set.count_range(x.saturating_sub(g), x + g),
+                    mu_g(x, &list, g),
+                    "x = {x}, g = {g}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn packed_intersection_respects_offsets() {
+        // Offset-normalization edge cases: bases far apart, word-boundary
+        // straddles, and a high-offset pair (the aux instances live at
+        // tiny colors, the main instance anywhere).
+        let base = 1u64 << 40;
+        let a = mk(&[base + 1, base + 64, base + 65, base + 200]);
+        let b = mk(&[base + 64, base + 200, base + 201]);
+        let (pa, pb) = (PackedSet::from_sorted(&a), PackedSet::from_sorted(&b));
+        assert_eq!(pa.intersection_size(&pb), conflict_weight(&a, &b, 0));
+        assert_eq!(pb.intersection_size(&pa), conflict_weight(&a, &b, 0));
+        // Disjoint spans.
+        let c = mk(&[5, 9]);
+        let pc = PackedSet::from_sorted(&c);
+        assert_eq!(pa.intersection_size(&pc), 0);
+        assert_eq!(pc.intersection_size(&pa), 0);
+    }
+
+    #[test]
+    fn early_exit_merge_matches_threshold() {
+        let a = mk(&[0, 3, 6, 7, 20, 21, 22]);
+        let b = mk(&[1, 2, 6, 19, 22, 23]);
+        for g in 0..6u64 {
+            let w = conflict_weight(&a, &b, g);
+            for tau in 0..w + 3 {
+                assert_eq!(
+                    conflict_weight_at_least(&a, &b, tau, g),
+                    w >= tau,
+                    "g = {g}, tau = {tau}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn psi_fast_matches_naive() {
+        let k1 = vec![mk(&[1, 2]), mk(&[10, 11]), mk(&[20, 21])];
+        let k2 = vec![mk(&[1, 2]), mk(&[20, 22])];
+        for tp in 1..4 {
+            for tau in 1..4 {
+                for g in 0..3 {
+                    assert_eq!(
+                        psi_g_fast(&k1, &k2, tp, tau, g),
+                        psi_g(&k1, &k2, tp, tau, g),
+                        "τ' = {tp}, τ = {tau}, g = {g}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn cache_select_is_byte_identical_and_memoized() {
+        let strategy = SeededSubset { seed: 99 };
+        let list: Vec<u64> = (0..200).map(|i| i * 5).collect();
+        let mut fast = TypeCache::new(strategy, 4, 0, KernelMode::Fast);
+        let mut refc = TypeCache::new(strategy, 4, 0, KernelMode::Reference);
+        let a1 = fast.select(7, &list, 12, 0);
+        let a2 = fast.select(7, &list, 12, 0);
+        let r1 = refc.select(7, &list, 12, 0);
+        assert_eq!(&a1[..], &strategy.select(7, &list, 12, 0)[..]);
+        assert_eq!(a1, r1);
+        assert!(Arc::ptr_eq(&a1, &a2), "second call must hit the memo");
+        assert_eq!(fast.stats.select_calls, 2);
+        assert_eq!(fast.stats.select_misses, 1);
+        let _ = refc.select(7, &list, 12, 0);
+        assert_eq!(refc.stats.select_misses, 2, "reference mode never memoizes");
+    }
+
+    #[test]
+    fn cache_conflict_verdicts_match_and_memoize() {
+        let strategy = SeededSubset { seed: 5 };
+        for g in [0u64, 2] {
+            let mut cache = TypeCache::new(strategy, 3, g, KernelMode::Fast);
+            let a: Arc<[u64]> = Arc::from(&mk(&[1, 4, 9, 16, 25])[..]);
+            let b: Arc<[u64]> = Arc::from(&mk(&[2, 3, 5, 8, 13, 21])[..]);
+            let expect = tau_g_conflict(&a, &b, 3, g);
+            assert_eq!(cache.conflict(&a, &b), expect);
+            assert_eq!(cache.conflict(&b, &a), expect, "symmetric key");
+            assert_eq!(cache.stats.conflict_calls, 2);
+            assert_eq!(cache.stats.conflict_misses, 1);
+        }
+    }
+
+    #[test]
+    fn list_interning_is_collision_checked() {
+        let strategy = SeededSubset { seed: 1 };
+        let mut cache = TypeCache::new(strategy, 2, 0, KernelMode::Fast);
+        let l1: Vec<u64> = (0..50).collect();
+        let l2: Vec<u64> = (0..50).map(|i| i + 1).collect();
+        let a = cache.intern_list(&l1);
+        let b = cache.intern_list(&l2);
+        let c = cache.intern_list(&l1);
+        assert_ne!(a, b);
+        assert_eq!(a, c);
+        assert_eq!(cache.stats.distinct_lists, 2);
+    }
+}

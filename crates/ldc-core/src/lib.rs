@@ -35,6 +35,7 @@ pub mod ctx;
 pub mod edge_coloring;
 pub mod euler;
 pub mod existence;
+pub mod kernels;
 pub mod mt20;
 pub mod multi_defect;
 pub mod oldc;
@@ -45,5 +46,6 @@ pub mod validate;
 
 pub use api::{FaultEnv, FaultStats, Resilient, ResilientReport, Solution, SolveOptions};
 pub use ctx::{CoreError, OldcCtx};
+pub use kernels::{KernelMode, KernelStats};
 pub use params::ParamProfile;
 pub use problem::{Color, ColorSpace, DefectList, LdcInstance, OldcInstance};

@@ -8,8 +8,9 @@
 //! requirement (the factor Theorem 1.1 later improves to `polyloglog β`).
 
 use crate::ctx::{span, CoreError, OldcCtx};
+use crate::kernels::KernelMode;
 use crate::problem::{Color, DefectList};
-use crate::single_defect::{solve_single_defect, SingleDefectOutcome};
+use crate::single_defect::{solve_single_defect_in, SingleDefectOutcome};
 use ldc_sim::Network;
 
 /// Round `x` down to a power of two (`x ≥ 1`).
@@ -49,6 +50,18 @@ pub fn solve_multi_defect(
     ctx: &OldcCtx<'_, '_>,
     lists: &[DefectList],
     g: u64,
+) -> Result<MultiDefectOutcome, CoreError> {
+    solve_multi_defect_in(net, ctx, lists, g, KernelMode::default())
+}
+
+/// [`solve_multi_defect`] with an explicit [`KernelMode`] for the
+/// underlying §3.2 engine (the bucket choice itself is kernel-free).
+pub fn solve_multi_defect_in(
+    net: &mut Network<'_>,
+    ctx: &OldcCtx<'_, '_>,
+    lists: &[DefectList],
+    g: u64,
+    mode: KernelMode,
 ) -> Result<MultiDefectOutcome, CoreError> {
     let graph = ctx.view.graph();
     let n = graph.num_nodes();
@@ -141,7 +154,7 @@ pub fn solve_multi_defect(
         };
     }
 
-    let inner = solve_single_defect(net, ctx, &sub_lists, &sub_defects, g)?;
+    let inner = solve_single_defect_in(net, ctx, &sub_lists, &sub_defects, g, mode)?;
     Ok(MultiDefectOutcome {
         inner,
         chosen_defect: sub_defects,

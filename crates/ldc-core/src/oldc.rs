@@ -20,10 +20,10 @@
 //!    candidate set competing only *within* the class; descending classes
 //!    pick the final color by the frequency argument.
 
-use crate::conflict::tau_g_conflict;
 use crate::cover::SeededSubset;
 use crate::ctx::{span, CandidateMsg, CensusMsg, CoreError, DecisionMsg, OldcCtx};
-use crate::multi_defect::solve_multi_defect;
+use crate::kernels::{KernelMode, KernelStats, TypeCache};
+use crate::multi_defect::solve_multi_defect_in;
 use crate::params::k_of_class;
 use crate::problem::{Color, DefectList};
 use ldc_graph::NodeId;
@@ -50,6 +50,9 @@ pub struct OldcStats {
     pub selection_retries: u64,
     /// Colors pruned in Phase I (against lower-class candidate sets).
     pub pruned_colors: u64,
+    /// Kernel-cache accounting (selections, conflict verdicts, interning);
+    /// deterministic, and independent of the outputs either way.
+    pub kernels: KernelStats,
 }
 
 #[derive(Clone)]
@@ -89,6 +92,19 @@ pub fn solve_with_classes(
     net: &mut Network<'_>,
     ctx: &OldcCtx<'_, '_>,
     inputs: &[ClassedInput],
+) -> Result<(Vec<Option<Color>>, OldcStats), CoreError> {
+    solve_with_classes_in(net, ctx, inputs, KernelMode::default())
+}
+
+/// [`solve_with_classes`] with an explicit [`KernelMode`]. Both modes
+/// produce byte-identical colors, stats (minus the cache counters), rounds,
+/// and message bits; `Reference` exists for differential tests and the
+/// pre-cache baseline rows of `BENCH_solver.json`.
+pub fn solve_with_classes_in(
+    net: &mut Network<'_>,
+    ctx: &OldcCtx<'_, '_>,
+    inputs: &[ClassedInput],
+    mode: KernelMode,
 ) -> Result<(Vec<Option<Color>>, OldcStats), CoreError> {
     let graph = ctx.view.graph();
     let view = ctx.view;
@@ -164,6 +180,11 @@ pub fn solve_with_classes(
     let strategy = SeededSubset {
         seed: ctx.seed ^ 0x517cc1b727220a95,
     };
+    // One type cache per solve: this engine runs with g = 0, and τ is fixed
+    // for its whole lifetime, so selections and conflict verdicts are pure
+    // functions of their (type-)keys — see `kernels` for why every memo hit
+    // is byte-identical to recomputation.
+    let mut cache = TypeCache::new(strategy, tau, 0, mode);
     let mut stats = OldcStats::default();
 
     // ---------------- Phase 0: laggard candidate sets. ----------------------
@@ -194,7 +215,7 @@ pub fn solve_with_classes(
                     ),
                 });
             }
-            s.cand = Some(Arc::from(strategy.select(s.init_color, &s.list, k_w, 0)));
+            s.cand = Some(cache.select(s.init_color, &s.list, k_w, 0));
         }
         net.exchange(
             &mut states,
@@ -228,6 +249,11 @@ pub fn solve_with_classes(
     }
 
     // ---------------- Phase I: ascending classes. --------------------------
+    // Scratch of the grouped pruning pass (Fast mode), hoisted across
+    // classes and nodes.
+    let mut group_ids: Vec<u32> = Vec::new();
+    let mut groups: Vec<(u32, u64)> = Vec::new();
+    let mut first_failed: Option<usize> = None;
     for class in 1..=h {
         let _phase = tracer.span(span::phase_i(class));
         // Prune + size the candidate set for this class's nodes.
@@ -239,29 +265,73 @@ pub fn solve_with_classes(
             // their committed candidate set.
             let budget = s.defect / 4;
             let before = s.list.len();
-            let nb_relevant = &s.nb_relevant;
-            let nb_class = &s.nb_class;
-            let nb_cand = &s.nb_cand;
-            s.list.retain(|&x| {
-                let mut cnt = 0u64;
-                for p in 0..nb_relevant.len() {
-                    if !(nb_relevant[p] && view.is_out_port(v as NodeId, p)) {
-                        continue;
-                    }
-                    if nb_class[p] >= class {
-                        continue;
-                    }
-                    if let Some(cu) = &nb_cand[p] {
-                        if cu.binary_search(&x).is_ok() {
-                            cnt += 1;
-                            if cnt > budget {
-                                return false;
+            match mode {
+                KernelMode::Reference => {
+                    let nb_relevant = &s.nb_relevant;
+                    let nb_class = &s.nb_class;
+                    let nb_cand = &s.nb_cand;
+                    s.list.retain(|&x| {
+                        let mut cnt = 0u64;
+                        for p in 0..nb_relevant.len() {
+                            if !(nb_relevant[p] && view.is_out_port(v as NodeId, p)) {
+                                continue;
+                            }
+                            if nb_class[p] >= class {
+                                continue;
+                            }
+                            if let Some(cu) = &nb_cand[p] {
+                                if cu.binary_search(&x).is_ok() {
+                                    cnt += 1;
+                                    if cnt > budget {
+                                        return false;
+                                    }
+                                }
                             }
                         }
-                    }
+                        true
+                    });
                 }
-                true
-            });
+                KernelMode::Fast => {
+                    // Group the lower-class out-ports by distinct candidate
+                    // set: ports sharing a set contribute `multiplicity` per
+                    // membership hit, and membership is one packed probe.
+                    // The count compared to `budget` is the same sum the
+                    // reference loop accumulates port by port.
+                    group_ids.clear();
+                    for p in 0..s.nb_relevant.len() {
+                        if !(s.nb_relevant[p] && view.is_out_port(v as NodeId, p)) {
+                            continue;
+                        }
+                        if s.nb_class[p] >= class {
+                            continue;
+                        }
+                        if let Some(cu) = &s.nb_cand[p] {
+                            group_ids.push(cache.packed_id(cu));
+                        }
+                    }
+                    group_ids.sort_unstable();
+                    groups.clear();
+                    for &id in group_ids.iter() {
+                        match groups.last_mut() {
+                            Some((gid, mult)) if *gid == id => *mult += 1,
+                            _ => groups.push((id, 1)),
+                        }
+                    }
+                    let cache_ref = &cache;
+                    s.list.retain(|&x| {
+                        let mut cnt = 0u64;
+                        for &(id, mult) in groups.iter() {
+                            if cache_ref.packed_contains(id, x) {
+                                cnt += mult;
+                                if cnt > budget {
+                                    return false;
+                                }
+                            }
+                        }
+                        true
+                    });
+                }
+            }
             s.pruned = (before - s.list.len()) as u64;
             stats.pruned_colors += s.pruned;
             tracer.add(span::CTR_PRUNED_COLORS, s.pruned);
@@ -285,7 +355,9 @@ pub fn solve_with_classes(
         loop {
             rounds += 1;
             if rounds > MAX_SELECTION_ROUNDS {
-                let node = states.iter().position(|s| s.failed).unwrap_or(0);
+                // `first_failed` was tracked during the previous
+                // verification pass (satellite: no O(n) rescan here).
+                let node = first_failed.unwrap_or(0);
                 return Err(CoreError::SelectionExhausted {
                     node: node as NodeId,
                     attempts: MAX_SELECTION_ROUNDS,
@@ -293,12 +365,7 @@ pub fn solve_with_classes(
             }
             for s in states.iter_mut() {
                 if s.active && !s.trivial && s.class == class && (s.cand.is_none() || s.failed) {
-                    s.cand = Some(Arc::from(strategy.select(
-                        s.init_color,
-                        &s.list,
-                        s.k,
-                        s.attempt,
-                    )));
+                    s.cand = Some(cache.select(s.init_color, &s.list, s.k, s.attempt));
                     s.failed = false;
                 }
             }
@@ -319,7 +386,7 @@ pub fn solve_with_classes(
                         });
                     }
                 },
-                |v, s, inbox| {
+                |_, s, inbox| {
                     if !s.active {
                         return;
                     }
@@ -329,30 +396,42 @@ pub fn solve_with_classes(
                             s.nb_class[p] = m.class;
                         }
                     }
-                    if s.class != class || s.committed || s.trivial {
-                        // Not this class's verification (or already done).
-                        return;
-                    }
-                    let cand = s.cand.as_ref().expect("selected above");
-                    let mut conflicts = 0u64;
-                    for p in 0..s.nb_relevant.len() {
-                        s.nb_conflicting[p] = false;
-                        if !(s.nb_relevant[p] && view.is_out_port(v, p) && s.nb_class[p] == class) {
-                            continue;
-                        }
-                        if let Some(cu) = &s.nb_cand[p] {
-                            if tau_g_conflict(cand, cu, tau, 0) {
-                                s.nb_conflicting[p] = true;
-                                conflicts += 1;
-                            }
-                        }
-                    }
-                    if conflicts > s.defect / 4 {
-                        s.failed = true;
-                        s.attempt += 1;
-                    }
                 },
             )?;
+            // Verification pass, sequential (outside the consume closure so
+            // the shared cache can memoize verdicts across nodes; pure local
+            // recomputation — rounds and message bits are untouched). The
+            // candidate `Arc`s received above are clones of cache-produced
+            // sets, so in Fast mode each unordered pair of distinct sets is
+            // checked once per solve instead of once per edge.
+            first_failed = None;
+            for (v, s) in states.iter_mut().enumerate() {
+                if !s.active || s.trivial || s.class != class || s.committed {
+                    continue;
+                }
+                let cand = s.cand.clone().expect("selected above");
+                let mut conflicts = 0u64;
+                for p in 0..s.nb_relevant.len() {
+                    s.nb_conflicting[p] = false;
+                    if !(s.nb_relevant[p]
+                        && view.is_out_port(v as NodeId, p)
+                        && s.nb_class[p] == class)
+                    {
+                        continue;
+                    }
+                    if let Some(cu) = &s.nb_cand[p] {
+                        if cache.conflict(&cand, cu) {
+                            s.nb_conflicting[p] = true;
+                            conflicts += 1;
+                        }
+                    }
+                }
+                if conflicts > s.defect / 4 {
+                    s.failed = true;
+                    s.attempt += 1;
+                    first_failed.get_or_insert(v);
+                }
+            }
             let failures = states
                 .iter()
                 .filter(|s| s.class == class && s.failed)
@@ -415,28 +494,49 @@ pub fn solve_with_classes(
             if !(s.active && !s.trivial && s.class == class) {
                 continue;
             }
-            let cand = s.cand.as_ref().expect("committed in Phase I");
-            let mut best: Option<(u64, Color)> = None;
-            for &x in cand.iter() {
-                let mut f = 0u64;
-                for p in 0..s.nb_relevant.len() {
-                    if !(s.nb_relevant[p] && view.is_out_port(v as NodeId, p)) {
-                        continue;
-                    }
-                    if let Some(c) = s.nb_decided[p] {
-                        f += u64::from(c == x);
-                    } else if s.nb_class[p] == class && !s.nb_conflicting[p] {
-                        if let Some(cu) = &s.nb_cand[p] {
-                            f += u64::from(cu.binary_search(&x).is_ok());
+            let cand = s.cand.clone().expect("committed in Phase I");
+            let best = match mode {
+                KernelMode::Reference => {
+                    let mut best: Option<(u64, Color)> = None;
+                    for &x in cand.iter() {
+                        let mut f = 0u64;
+                        for p in 0..s.nb_relevant.len() {
+                            if !(s.nb_relevant[p] && view.is_out_port(v as NodeId, p)) {
+                                continue;
+                            }
+                            if let Some(c) = s.nb_decided[p] {
+                                f += u64::from(c == x);
+                            } else if s.nb_class[p] == class && !s.nb_conflicting[p] {
+                                if let Some(cu) = &s.nb_cand[p] {
+                                    f += u64::from(cu.binary_search(&x).is_ok());
+                                }
+                            }
+                            // Lower classes: covered by Phase I pruning;
+                            // conflicting same-class neighbors: covered by
+                            // the d/4 budget.
+                        }
+                        if best.map_or(true, |(bf, bx)| f < bf || (f == bf && x < bx)) {
+                            best = Some((f, x));
                         }
                     }
-                    // Lower classes: covered by Phase I pruning; conflicting
-                    // same-class neighbors: covered by the d/4 budget.
+                    best
                 }
-                if best.map_or(true, |(bf, bx)| f < bf || (f == bf && x < bx)) {
-                    best = Some((f, x));
-                }
-            }
+                KernelMode::Fast => cache.best_color(
+                    &cand,
+                    (0..s.nb_relevant.len()).filter_map(|p| {
+                        if !(s.nb_relevant[p] && view.is_out_port(v as NodeId, p)) {
+                            return None;
+                        }
+                        if let Some(c) = s.nb_decided[p] {
+                            Some((Some(c), None))
+                        } else if s.nb_class[p] == class && !s.nb_conflicting[p] {
+                            s.nb_cand[p].as_ref().map(|cu| (None, Some(cu)))
+                        } else {
+                            None
+                        }
+                    }),
+                ),
+            };
             let (f, x) = best.expect("k ≥ 1 candidate colors");
             if f > s.defect / 2 {
                 stuck.get_or_insert((v as NodeId, f, s.defect / 2));
@@ -514,25 +614,43 @@ pub fn solve_with_classes(
                     continue;
                 }
                 let cand = s.cand.clone().expect("committed in Phase 0");
-                let mut best: Option<(u64, Color)> = None;
-                for &x in cand.iter() {
-                    let mut f = 0u64;
-                    for p in 0..s.nb_relevant.len() {
-                        if !(s.nb_relevant[p] && view.is_out_port(v as NodeId, p)) {
-                            continue;
+                let best = match mode {
+                    KernelMode::Reference => {
+                        let mut best: Option<(u64, Color)> = None;
+                        for &x in cand.iter() {
+                            let mut f = 0u64;
+                            for p in 0..s.nb_relevant.len() {
+                                if !(s.nb_relevant[p] && view.is_out_port(v as NodeId, p)) {
+                                    continue;
+                                }
+                                if let Some(c) = s.nb_decided[p] {
+                                    f += u64::from(c == x);
+                                } else if let Some(cu) = &s.nb_cand[p] {
+                                    // Undecided laggard out-neighbor: charge
+                                    // its whole candidate set.
+                                    f += u64::from(cu.binary_search(&x).is_ok());
+                                }
+                            }
+                            if best.map_or(true, |(bf, bx)| f < bf || (f == bf && x < bx)) {
+                                best = Some((f, x));
+                            }
                         }
-                        if let Some(c) = s.nb_decided[p] {
-                            f += u64::from(c == x);
-                        } else if let Some(cu) = &s.nb_cand[p] {
-                            // Undecided laggard out-neighbor: charge its
-                            // whole candidate set.
-                            f += u64::from(cu.binary_search(&x).is_ok());
-                        }
+                        best
                     }
-                    if best.map_or(true, |(bf, bx)| f < bf || (f == bf && x < bx)) {
-                        best = Some((f, x));
-                    }
-                }
+                    KernelMode::Fast => cache.best_color(
+                        &cand,
+                        (0..s.nb_relevant.len()).filter_map(|p| {
+                            if !(s.nb_relevant[p] && view.is_out_port(v as NodeId, p)) {
+                                return None;
+                            }
+                            if let Some(c) = s.nb_decided[p] {
+                                Some((Some(c), None))
+                            } else {
+                                s.nb_cand[p].as_ref().map(|cu| (None, Some(cu)))
+                            }
+                        }),
+                    ),
+                };
                 let (f, x) = best.expect("laggard candidate sets are non-empty");
                 if f <= s.defect {
                     s.decided = Some(x);
@@ -568,6 +686,7 @@ pub fn solve_with_classes(
         }
     }
 
+    stats.kernels = cache.stats;
     Ok((states.iter().map(|s| s.decided).collect(), stats))
 }
 
@@ -605,6 +724,17 @@ pub fn solve_oldc(
     net: &mut Network<'_>,
     ctx: &OldcCtx<'_, '_>,
     lists: &[DefectList],
+) -> Result<OldcOutcome, CoreError> {
+    solve_oldc_in(net, ctx, lists, KernelMode::default())
+}
+
+/// [`solve_oldc`] with an explicit [`KernelMode`] (threaded through the
+/// auxiliary Lemma 3.6 instance and the Lemma 3.7 engine alike).
+pub fn solve_oldc_in(
+    net: &mut Network<'_>,
+    ctx: &OldcCtx<'_, '_>,
+    lists: &[DefectList],
+    mode: KernelMode,
 ) -> Result<OldcOutcome, CoreError> {
     let graph = ctx.view.graph();
     let view = ctx.view;
@@ -768,7 +898,7 @@ pub fn solve_oldc(
     };
     let aux = {
         let _aux_span = tracer.span(span::AUX_CLASSES);
-        solve_multi_defect(net, &aux_ctx, &aux_lists, g_aux)?
+        solve_multi_defect_in(net, &aux_ctx, &aux_lists, g_aux, mode)?
     };
 
     // Build Lemma 3.7 inputs from the class assignment.
@@ -795,7 +925,8 @@ pub fn solve_oldc(
         };
     }
 
-    let (colors, stats) = solve_with_classes(net, ctx, &inputs)?;
+    let (colors, mut stats) = solve_with_classes_in(net, ctx, &inputs, mode)?;
+    stats.kernels.absorb(&aux.inner.kernels);
     Ok(OldcOutcome {
         colors,
         stats,

@@ -20,9 +20,10 @@
 //!    `f_v(x) = Σ_{u: i_u ≤ i_v} μ_g(x, C_u) + #{decided u: |x_u−x| ≤ g}`,
 //!    which the pigeonhole of §3.2.3 bounds by `d_v`.
 
-use crate::conflict::{best_residue, mu_g, residue_restrict, tau_g_conflict};
+use crate::conflict::{best_residue, mu_g, residue_restrict};
 use crate::cover::SeededSubset;
 use crate::ctx::{span, CandidateMsg, CensusMsg, CoreError, DecisionMsg, OldcCtx};
+use crate::kernels::{KernelMode, KernelStats, TypeCache};
 use crate::params::{gamma_class, k_of_class};
 use crate::problem::Color;
 use ldc_graph::NodeId;
@@ -42,6 +43,8 @@ pub struct SingleDefectOutcome {
     pub selection_retries: u64,
     /// Number of verification exchanges used by the selection loop.
     pub selection_rounds: u32,
+    /// Kernel-cache accounting (selections, conflict verdicts, interning).
+    pub kernels: KernelStats,
 }
 
 #[derive(Clone)]
@@ -80,6 +83,19 @@ pub fn solve_single_defect(
     lists: &[Vec<Color>],
     defects: &[u64],
     g: u64,
+) -> Result<SingleDefectOutcome, CoreError> {
+    solve_single_defect_in(net, ctx, lists, defects, g, KernelMode::default())
+}
+
+/// [`solve_single_defect`] with an explicit [`KernelMode`]. Both modes
+/// produce byte-identical colors, retries, rounds, and message bits.
+pub fn solve_single_defect_in(
+    net: &mut Network<'_>,
+    ctx: &OldcCtx<'_, '_>,
+    lists: &[Vec<Color>],
+    defects: &[u64],
+    g: u64,
+    mode: KernelMode,
 ) -> Result<SingleDefectOutcome, CoreError> {
     let graph = ctx.view.graph();
     let n = graph.num_nodes();
@@ -195,15 +211,19 @@ pub fn solve_single_defect(
     // --- 4. P2 selection + P1 verification loop. ---------------------------
     let selection_span = tracer.span(span::SELECTION);
     let strategy = SeededSubset { seed: ctx.seed };
+    // One type cache per solve: τ and g are fixed from here on, so the
+    // memoized selections and conflict verdicts are pure functions of their
+    // keys (see `kernels`).
+    let mut cache = TypeCache::new(strategy, tau, g, mode);
     let mut selection_retries = 0u64;
     let mut selection_rounds = 0u32;
+    let mut first_failed: Option<usize> = None;
     loop {
         selection_rounds += 1;
         if selection_rounds > MAX_SELECTION_ROUNDS {
-            let node = states
-                .iter()
-                .position(|s| s.failed)
-                .expect("loop only continues while some node failed");
+            // Tracked during the previous verification pass (satellite: no
+            // O(n) rescan here).
+            let node = first_failed.expect("loop only continues while some node failed");
             return Err(CoreError::SelectionExhausted {
                 node: node as NodeId,
                 attempts: MAX_SELECTION_ROUNDS,
@@ -211,7 +231,7 @@ pub fn solve_single_defect(
         }
         for s in states.iter_mut().filter(|s| s.active && !s.trivial) {
             if s.cand.is_empty() || s.failed {
-                s.cand = Arc::from(strategy.select(s.init_color, &s.restricted, s.k, s.attempt));
+                s.cand = cache.select(s.init_color, &s.restricted, s.k, s.attempt);
                 s.failed = false;
             }
         }
@@ -232,7 +252,7 @@ pub fn solve_single_defect(
                     });
                 }
             },
-            |v, s, inbox| {
+            |_, s, inbox| {
                 if !s.active || s.trivial {
                     return;
                 }
@@ -242,28 +262,38 @@ pub fn solve_single_defect(
                         s.nb_cand[p] = Some(m.set.clone());
                     }
                 }
-                // P1 budget: ≤ ⌊d/2⌋ conflicting same-or-lower-class
-                // out-neighbors.
-                let mut conflicts = 0u64;
-                for p in 0..s.nb_relevant.len() {
-                    if !(s.nb_relevant[p] && view.is_out_port(v, p)) {
-                        continue;
-                    }
-                    if s.nb_class[p] > s.class {
-                        continue;
-                    }
-                    if let Some(cu) = &s.nb_cand[p] {
-                        if tau_g_conflict(&s.cand, cu, tau, g) {
-                            conflicts += 1;
-                        }
-                    }
-                }
-                if conflicts > s.defect / 2 {
-                    s.failed = true;
-                    s.attempt += 1;
-                }
             },
         )?;
+        // P1 budget check, sequential (outside the consume closure so the
+        // shared cache memoizes verdicts across nodes; pure local
+        // recomputation — rounds and message bits are untouched): at most
+        // ⌊d/2⌋ conflicting same-or-lower-class out-neighbors.
+        first_failed = None;
+        for (v, s) in states.iter_mut().enumerate() {
+            if !s.active || s.trivial {
+                continue;
+            }
+            let cand = s.cand.clone();
+            let mut conflicts = 0u64;
+            for p in 0..s.nb_relevant.len() {
+                if !(s.nb_relevant[p] && view.is_out_port(v as NodeId, p)) {
+                    continue;
+                }
+                if s.nb_class[p] > s.class {
+                    continue;
+                }
+                if let Some(cu) = &s.nb_cand[p] {
+                    if cache.conflict(&cand, cu) {
+                        conflicts += 1;
+                    }
+                }
+            }
+            if conflicts > s.defect / 2 {
+                s.failed = true;
+                s.attempt += 1;
+                first_failed.get_or_insert(v);
+            }
+        }
         let failures = states.iter().filter(|s| s.failed).count() as u64;
         selection_retries += failures;
         tracer.add(span::CTR_SELECTION_RETRIES, failures);
@@ -313,25 +343,46 @@ pub fn solve_single_defect(
             if !(s.active && !s.trivial && s.class == class) {
                 continue;
             }
-            let mut best: Option<(u64, Color)> = None;
-            for &x in s.cand.iter() {
-                let mut f = 0u64;
-                for p in 0..s.nb_relevant.len() {
-                    if !(s.nb_relevant[p] && view.is_out_port(v as NodeId, p)) {
-                        continue;
-                    }
-                    if let Some(c) = s.nb_decided[p] {
-                        f += u64::from(c.abs_diff(x) <= g);
-                    } else if s.nb_class[p] <= s.class {
-                        if let Some(cu) = &s.nb_cand[p] {
-                            f += mu_g(x, cu, g);
+            let cand = s.cand.clone();
+            let best = match mode {
+                KernelMode::Reference => {
+                    let mut best: Option<(u64, Color)> = None;
+                    for &x in cand.iter() {
+                        let mut f = 0u64;
+                        for p in 0..s.nb_relevant.len() {
+                            if !(s.nb_relevant[p] && view.is_out_port(v as NodeId, p)) {
+                                continue;
+                            }
+                            if let Some(c) = s.nb_decided[p] {
+                                f += u64::from(c.abs_diff(x) <= g);
+                            } else if s.nb_class[p] <= s.class {
+                                if let Some(cu) = &s.nb_cand[p] {
+                                    f += mu_g(x, cu, g);
+                                }
+                            }
+                        }
+                        if best.map_or(true, |(bf, bx)| f < bf || (f == bf && x < bx)) {
+                            best = Some((f, x));
                         }
                     }
+                    best
                 }
-                if best.map_or(true, |(bf, bx)| f < bf || (f == bf && x < bx)) {
-                    best = Some((f, x));
-                }
-            }
+                KernelMode::Fast => cache.best_color(
+                    &cand,
+                    (0..s.nb_relevant.len()).filter_map(|p| {
+                        if !(s.nb_relevant[p] && view.is_out_port(v as NodeId, p)) {
+                            return None;
+                        }
+                        if let Some(c) = s.nb_decided[p] {
+                            Some((Some(c), None))
+                        } else if s.nb_class[p] <= s.class {
+                            s.nb_cand[p].as_ref().map(|cu| (None, Some(cu)))
+                        } else {
+                            None
+                        }
+                    }),
+                ),
+            };
             let (f, x) = best.expect("candidate set is non-empty");
             if f > s.defect {
                 stuck.get_or_insert((v as NodeId, f, s.defect));
@@ -374,6 +425,7 @@ pub fn solve_single_defect(
         colors,
         selection_retries,
         selection_rounds,
+        kernels: cache.stats,
     })
 }
 

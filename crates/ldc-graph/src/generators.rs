@@ -63,6 +63,26 @@ pub fn complete_bipartite(a: usize, b: usize) -> Graph {
     builder.build().expect("complete bipartite is simple")
 }
 
+/// The complete multipartite graph with `parts` parts of `size` nodes each
+/// (part `i` holds nodes `i*size .. (i+1)*size`): every pair of nodes from
+/// different parts is adjacent. Same-part nodes are interchangeable, which
+/// makes this the canonical dense instance with few node *types*.
+pub fn complete_multipartite(parts: usize, size: usize) -> Graph {
+    let n = parts * size;
+    let cross = parts * (parts.saturating_sub(1)) / 2 * size * size;
+    let mut builder = GraphBuilder::with_capacity(n, cross);
+    for pu in 0..parts {
+        for pv in (pu + 1)..parts {
+            for u in 0..size {
+                for v in 0..size {
+                    builder.add_edge((pu * size + u) as NodeId, (pv * size + v) as NodeId);
+                }
+            }
+        }
+    }
+    builder.build().expect("complete multipartite is simple")
+}
+
 /// Erdős–Rényi `G(n, p)`.
 pub fn gnp(n: usize, p: f64, seed: u64) -> Graph {
     assert!((0.0..=1.0).contains(&p), "p must be a probability");
@@ -566,6 +586,23 @@ mod tests {
         assert_eq!(g.num_edges(), 12);
         assert_eq!(g.degree(0), 4);
         assert_eq!(g.degree(3), 3);
+    }
+
+    #[test]
+    fn complete_multipartite_degrees() {
+        let g = complete_multipartite(4, 3);
+        assert_eq!(g.num_nodes(), 12);
+        // Each node is adjacent to everything outside its part.
+        assert_eq!(g.num_edges(), 4 * 3 / 2 * 9);
+        for v in g.nodes() {
+            assert_eq!(g.degree(v), 9);
+        }
+        // Same-part nodes are non-adjacent, cross-part nodes adjacent.
+        assert!(!g.neighbors(0).contains(&1));
+        assert!(g.neighbors(0).contains(&3));
+        // Degenerate shapes.
+        assert_eq!(complete_multipartite(1, 5).num_edges(), 0);
+        assert_eq!(complete_multipartite(3, 1).num_edges(), 3);
     }
 
     #[test]

@@ -191,6 +191,27 @@ struct ChunkOutcome {
     violation: Option<(NodeId, usize, u64)>,
 }
 
+/// Half-edge slots a parallel chunk should carry. Chunks are sized by
+/// *work* (slots), not node count: on a dense graph (`dense_complete_1000`:
+/// 1000 nodes, ~1M slots) a per-thread split yields 2 huge chunks and the
+/// pool's work-stealing cursor has nothing to balance — pooled mode
+/// measured *slower* than serial there. ~16k-slot chunks give the cursor
+/// dozens of units to hand out, while sparse graphs (where per-node slot
+/// counts are tiny) still collapse to one chunk per thread.
+const CHUNK_SLOT_TARGET: usize = 1 << 14;
+
+/// Number of parallel chunks for a round with `total_slots` half-edge
+/// slots: enough chunks that each carries roughly [`CHUNK_SLOT_TARGET`]
+/// slots, never fewer than one per thread, and never more than nodes or
+/// [`MAX_CHUNKS`]. Chunk count only shapes the parallel split — violation
+/// selection and stats reduction are chunk-count independent.
+pub(crate) fn chunk_count(total_slots: usize, threads: usize, n: usize) -> usize {
+    (total_slots / CHUNK_SLOT_TARGET)
+        .max(threads)
+        .min(n)
+        .clamp(1, MAX_CHUNKS)
+}
+
 /// `0, 1, 2, …` — unit chunk bounds for per-chunk outcome slots.
 static IOTA: [usize; MAX_CHUNKS + 1] = {
     let mut a = [0usize; MAX_CHUNKS + 1];
@@ -558,7 +579,7 @@ impl<'g> Network<'g> {
             && total_slots >= self.parallel_threshold
             && n > 1;
         let chunks = if parallel {
-            self.threads.min(n).min(MAX_CHUNKS)
+            chunk_count(total_slots, self.threads, n)
         } else {
             1
         };
@@ -764,6 +785,24 @@ impl<'g> Network<'g> {
 mod tests {
     use super::*;
     use ldc_graph::generators;
+
+    #[test]
+    fn chunk_count_is_keyed_by_slots_not_nodes() {
+        // Dense clique shape (1000 nodes, ~1M slots, 2 threads): work-based
+        // sizing must produce many chunks for the pool cursor to balance,
+        // not one per thread.
+        assert_eq!(
+            chunk_count(999_000, 2, 1000),
+            (999_000 / CHUNK_SLOT_TARGET).min(MAX_CHUNKS)
+        );
+        assert!(chunk_count(999_000, 2, 1000) > 2);
+        // Sparse ring shape: few slots collapse to one chunk per thread.
+        assert_eq!(chunk_count(400, 2, 200), 2);
+        // Never more chunks than nodes, never more than MAX_CHUNKS, never 0.
+        assert_eq!(chunk_count(1 << 20, 4, 3), 3);
+        assert!(chunk_count(usize::MAX / 2, 8, usize::MAX / 2) <= MAX_CHUNKS);
+        assert_eq!(chunk_count(0, 1, 1), 1);
+    }
 
     /// Flood the maximum node id: after diam(G) rounds every node knows it.
     #[test]
