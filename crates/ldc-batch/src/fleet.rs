@@ -11,6 +11,7 @@
 use crate::spec::{Algorithm, JobSpec};
 use ldc_core::congest::{congest_degree_plus_one, CongestConfig};
 use ldc_core::edge_coloring::edge_coloring;
+use ldc_core::kernels::KernelStats;
 use ldc_core::problem::ColorSpace;
 use ldc_core::validate::validate_proper_list_coloring;
 use ldc_core::{
@@ -19,6 +20,7 @@ use ldc_core::{
 use ldc_graph::{DirectedView, Graph};
 use ldc_sim::json::Obj;
 use ldc_sim::pool::{pool_execute, DisjointChunks, MAX_CHUNKS};
+use ldc_sim::telemetry::{Histogram, Registry};
 use std::collections::{BTreeSet, HashMap};
 
 /// Run `f` over `items`, sharded across the worker pool, and return the
@@ -73,10 +75,16 @@ pub struct JobOutcome {
     pub colors_used: u64,
     /// Fault counters for the run (final attempt for resilient solves).
     pub faults: FaultStats,
+    /// Kernel cache counters for the run (all-zero on error rows).
+    pub kernels: KernelStats,
     /// Restart accounting, for faulted instance-algorithm jobs.
     pub resilient: Option<ResilientReport>,
     /// The error message, when `!ok`.
     pub error: Option<String>,
+    /// Wall-clock time of the job, in nanoseconds. **Timing, not data**:
+    /// never rendered into the row — it feeds the latency histogram of
+    /// [`FleetRun::latency_histogram`] (telemetry timing section only).
+    pub wall_nanos: u64,
 }
 
 /// Fleet-level roll-up across all jobs of a run.
@@ -101,6 +109,9 @@ pub struct FleetSummary {
     /// Fault counters summed over all jobs (resilient jobs contribute
     /// their all-attempts totals).
     pub faults: FaultStats,
+    /// Kernel cache counters summed over all jobs (ROADMAP item 2's
+    /// fleet-wide cache-hit accounting).
+    pub kernels: KernelStats,
 }
 
 /// A finished fleet run: per-job outcomes in job order plus the roll-up.
@@ -133,10 +144,50 @@ impl FleetRun {
             .u64("bits_total", s.bits_total)
             .u64("restarts", s.restarts)
             .raw("faults", &fault_stats_json(&s.faults))
+            .raw("kernels", &kernel_stats_json(&s.kernels))
             .finish();
         out.push_str(&Obj::new().raw("fleet", &fleet).finish());
         out.push('\n');
         out
+    }
+
+    /// Export the run into a telemetry [`Registry`]: fleet roll-up
+    /// counters plus per-job rounds/bits histograms. Every quantity is
+    /// shard- and exec-mode-independent, so two runs of the same job list
+    /// snapshot to identical bytes — wall-clock stays out (see
+    /// [`FleetRun::latency_histogram`]).
+    pub fn telemetry(&self, reg: &mut Registry) {
+        let s = &self.summary;
+        reg.counter_add("fleet.jobs", s.jobs);
+        reg.counter_add("fleet.ok", s.ok);
+        reg.counter_add("fleet.failed", s.failed);
+        reg.counter_add("fleet.cache_hits", s.cache_hits);
+        reg.counter_add("fleet.cache_misses", s.cache_misses);
+        reg.counter_add("fleet.rounds_total", s.rounds_total);
+        reg.counter_add("fleet.bits_total", s.bits_total);
+        reg.counter_add("fleet.restarts", s.restarts);
+        reg.counter_add("fleet.faults.rounds_retried", s.faults.rounds_retried);
+        reg.counter_add("fleet.faults.stalled_rounds", s.faults.stalled_rounds);
+        reg.counter_add("fleet.faults.messages_dropped", s.faults.messages_dropped);
+        reg.counter_add("fleet.faults.faulted_nodes", s.faults.faulted_nodes);
+        reg.counter_add("fleet.kernels.select_calls", s.kernels.select_calls);
+        reg.counter_add("fleet.kernels.select_misses", s.kernels.select_misses);
+        reg.counter_add("fleet.kernels.conflict_calls", s.kernels.conflict_calls);
+        reg.counter_add("fleet.kernels.conflict_misses", s.kernels.conflict_misses);
+        for o in &self.outcomes {
+            reg.hist_record("fleet.job_rounds", o.rounds);
+            reg.hist_record("fleet.job_bits", o.total_bits);
+        }
+    }
+
+    /// Per-job wall-clock latencies as a histogram (p50/p95/p99 feed the
+    /// roll-up's *timing* section; never part of rows or `det` output).
+    pub fn latency_histogram(&self) -> Histogram {
+        let mut h = Histogram::new();
+        for o in &self.outcomes {
+            h.record(o.wall_nanos);
+        }
+        h
     }
 }
 
@@ -194,6 +245,7 @@ impl Fleet {
             }
             summary.rounds_total += o.rounds;
             summary.bits_total += o.total_bits;
+            summary.kernels.absorb(&o.kernels);
             match &o.resilient {
                 Some(r) => {
                     summary.restarts += u64::from(r.restarts);
@@ -215,6 +267,15 @@ fn fault_stats_json(f: &FaultStats) -> String {
         .finish()
 }
 
+fn kernel_stats_json(k: &KernelStats) -> String {
+    Obj::new()
+        .u64("select_calls", k.select_calls)
+        .u64("select_misses", k.select_misses)
+        .u64("conflict_calls", k.conflict_calls)
+        .u64("conflict_misses", k.conflict_misses)
+        .finish()
+}
+
 fn error_outcome(index: usize, job: &JobSpec, error: String) -> JobOutcome {
     let row = Obj::new()
         .u64("job", index as u64)
@@ -231,8 +292,10 @@ fn error_outcome(index: usize, job: &JobSpec, error: String) -> JobOutcome {
         total_bits: 0,
         colors_used: 0,
         faults: FaultStats::default(),
+        kernels: KernelStats::default(),
         resilient: None,
         error: Some(error),
+        wall_nanos: 0,
     }
 }
 
@@ -244,6 +307,7 @@ struct RunStats {
     colors_used: u64,
     valid: bool,
     faults: FaultStats,
+    kernels: KernelStats,
     resilient: Option<ResilientReport>,
 }
 
@@ -260,11 +324,13 @@ fn stats_from_solution(sol: &Solution, resilient: Option<ResilientReport>) -> Ru
         // Instance solvers validate exactly before returning Ok.
         valid: true,
         faults: sol.faults,
+        kernels: sol.kernels,
         resilient,
     }
 }
 
 fn run_job(index: usize, job: &JobSpec, g: &Graph) -> JobOutcome {
+    let started = std::time::Instant::now();
     let opts = SolveOptions::default().with_seed(job.seed);
     let space = job.lists.space(g);
     let fault_env = job.faults.as_ref();
@@ -336,6 +402,7 @@ fn run_job(index: usize, job: &JobSpec, g: &Graph) -> JobOutcome {
                     colors_used: distinct(&colors),
                     valid: validate_proper_list_coloring(g, &lists, &colors).is_ok(),
                     faults: report.faults,
+                    kernels: report.kernels,
                     resilient: None,
                 })
                 .map_err(|e| e.to_string())
@@ -357,6 +424,7 @@ fn run_job(index: usize, job: &JobSpec, g: &Graph) -> JobOutcome {
                     colors_used: ec.colors_used() as u64,
                     valid: ec.validate(g).is_ok(),
                     faults: ec.report.faults,
+                    kernels: ec.report.kernels,
                     resilient: None,
                 })
                 .map_err(|e| e.to_string())
@@ -364,7 +432,11 @@ fn run_job(index: usize, job: &JobSpec, g: &Graph) -> JobOutcome {
     };
 
     match result {
-        Err(e) => error_outcome(index, job, e),
+        Err(e) => {
+            let mut o = error_outcome(index, job, e);
+            o.wall_nanos = started.elapsed().as_nanos() as u64;
+            o
+        }
         Ok(stats) => {
             let mut row = Obj::new()
                 .u64("job", index as u64)
@@ -378,7 +450,8 @@ fn run_job(index: usize, job: &JobSpec, g: &Graph) -> JobOutcome {
                 .u64("total_bits", stats.total_bits)
                 .u64("colors_used", stats.colors_used)
                 .bool("valid", stats.valid)
-                .raw("faults", &fault_stats_json(&stats.faults));
+                .raw("faults", &fault_stats_json(&stats.faults))
+                .raw("kernels", &kernel_stats_json(&stats.kernels));
             if let Some(r) = &stats.resilient {
                 row = row.raw(
                     "resilient",
@@ -398,8 +471,10 @@ fn run_job(index: usize, job: &JobSpec, g: &Graph) -> JobOutcome {
                 total_bits: stats.total_bits,
                 colors_used: stats.colors_used,
                 faults: stats.faults,
+                kernels: stats.kernels,
                 resilient: stats.resilient,
                 error: None,
+                wall_nanos: started.elapsed().as_nanos() as u64,
             }
         }
     }

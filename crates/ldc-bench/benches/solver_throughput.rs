@@ -166,6 +166,17 @@ struct Case {
     slots: usize,
     median_secs: f64,
     node_steps_per_sec: f64,
+    select_hit_pct: f64,
+    conflict_hit_pct: f64,
+}
+
+/// Cache hit rate in percent (`0` when the kernel never ran).
+fn hit_pct(calls: u64, misses: u64) -> f64 {
+    if calls == 0 {
+        0.0
+    } else {
+        (calls - misses) as f64 * 100.0 / calls as f64
+    }
 }
 
 fn main() {
@@ -221,6 +232,12 @@ fn main() {
         );
 
         for (mname, mode) in modes {
+            // Kernel cache hit rates are a pure function of the instance
+            // (E18 tabulates them); read them off this mode's warm-up.
+            let kernels = match mode {
+                KernelMode::Fast => out_fast.stats.kernels,
+                KernelMode::Reference => out_ref.stats.kernels,
+            };
             let mut times: Vec<f64> = (0..samples)
                 .map(|_| {
                     let (out, _, secs) = run_solve(w, mode);
@@ -232,10 +249,12 @@ fn main() {
             let median = times[times.len() / 2];
             let steps = n as f64 * rounds as f64;
             println!(
-                "{:<38} median {:>9.3} ms  {:>9.3} M node-steps/s",
+                "{:<38} median {:>9.3} ms  {:>9.3} M node-steps/s  select {:>5.1}%  conflict {:>5.1}%",
                 format!("{}/{mname}", w.name),
                 median * 1000.0,
-                steps / median / 1e6
+                steps / median / 1e6,
+                hit_pct(kernels.select_calls, kernels.select_misses),
+                hit_pct(kernels.conflict_calls, kernels.conflict_misses),
             );
             cases.push(Case {
                 name: w.name.clone(),
@@ -245,6 +264,8 @@ fn main() {
                 slots,
                 median_secs: median,
                 node_steps_per_sec: steps / median,
+                select_hit_pct: hit_pct(kernels.select_calls, kernels.select_misses),
+                conflict_hit_pct: hit_pct(kernels.conflict_calls, kernels.conflict_misses),
             });
         }
     }
@@ -267,7 +288,7 @@ fn main() {
     out.push_str("  \"cases\": [\n");
     for (i, c) in cases.iter().enumerate() {
         out.push_str(&format!(
-            "    {{\"workload\": {}, \"mode\": {}, \"nodes\": {}, \"slots\": {}, \"rounds\": {}, \"median_secs\": {:.6}, \"node_steps_per_sec\": {:.0}}}{}\n",
+            "    {{\"workload\": {}, \"mode\": {}, \"nodes\": {}, \"slots\": {}, \"rounds\": {}, \"median_secs\": {:.6}, \"node_steps_per_sec\": {:.0}, \"select_hit_pct\": {:.1}, \"conflict_hit_pct\": {:.1}}}{}\n",
             json_string(&c.name),
             json_string(c.mode),
             c.nodes,
@@ -275,6 +296,8 @@ fn main() {
             c.rounds,
             c.median_secs,
             c.node_steps_per_sec,
+            c.select_hit_pct,
+            c.conflict_hit_pct,
             if i + 1 < cases.len() { "," } else { "" }
         ));
     }

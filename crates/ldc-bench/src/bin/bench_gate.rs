@@ -5,7 +5,8 @@
 //!
 //! ```text
 //! bench_gate --baseline BENCH_engine.quick.json \
-//!            --fresh target/BENCH_engine.quick.json [--tolerance 0.25]
+//!            --fresh target/BENCH_engine.quick.json [--tolerance 0.25] \
+//!            [--history BENCH_history.jsonl]
 //! ```
 //!
 //! Rows are matched by `(workload, mode)`. The gate fails (exit code 1)
@@ -15,11 +16,19 @@
 //! Fresh rows with no baseline counterpart are reported but don't fail
 //! the gate — they become gated once the baseline is refreshed.
 //!
+//! With `--history FILE`, the fresh run's cases are appended to the
+//! longitudinal history as one manifest-stamped JSONL row (see
+//! `ldc_bench::history`); appending happens before the pass/fail verdict,
+//! so regressions land in the trajectory too. `ldc report` renders the
+//! trend.
+//!
 //! The parser is deliberately matched to the writer in
 //! `benches/engine_throughput.rs` (both hand-rolled; the workspace has no
 //! JSON dependency): flat string/number fields inside the `"cases"`
 //! array.
 
+use ldc_bench::history::{render_row, HistoryCase};
+use ldc_sim::telemetry::RunManifest;
 use std::process::ExitCode;
 
 /// One benchmark case: the identity key plus the gated statistic.
@@ -134,11 +143,11 @@ fn main() -> ExitCode {
             .map(String::as_str)
     };
     let Some(baseline_path) = arg_after("--baseline") else {
-        eprintln!("usage: bench_gate --baseline <json> --fresh <json> [--tolerance 0.25]");
+        eprintln!("usage: bench_gate --baseline <json> --fresh <json> [--tolerance 0.25] [--history <jsonl>]");
         return ExitCode::from(2);
     };
     let Some(fresh_path) = arg_after("--fresh") else {
-        eprintln!("usage: bench_gate --baseline <json> --fresh <json> [--tolerance 0.25]");
+        eprintln!("usage: bench_gate --baseline <json> --fresh <json> [--tolerance 0.25] [--history <jsonl>]");
         return ExitCode::from(2);
     };
     let tolerance: f64 = arg_after("--tolerance")
@@ -150,10 +159,39 @@ fn main() -> ExitCode {
             .unwrap_or_else(|e| panic!("bench_gate: cannot read {path}: {e}"))
     };
     let baseline = parse_rows(&read(baseline_path));
-    let fresh = parse_rows(&read(fresh_path));
+    let fresh_text = read(fresh_path);
+    let fresh = parse_rows(&fresh_text);
     if baseline.is_empty() {
         eprintln!("bench_gate: no cases parsed from baseline {baseline_path}");
         return ExitCode::from(2);
+    }
+
+    // Append the fresh run to the longitudinal history before gating, so
+    // regressions become part of the trajectory rather than vanishing.
+    if let Some(history_path) = arg_after("--history") {
+        let bench = str_field(&fresh_text, "bench").unwrap_or_else(|| "unknown".into());
+        let manifest = RunManifest::capture("bench", 0, &bench);
+        let cases: Vec<HistoryCase> = fresh
+            .iter()
+            .map(|r| HistoryCase {
+                workload: r.workload.clone(),
+                mode: r.mode.clone(),
+                median_secs: r.median_secs,
+            })
+            .collect();
+        let line = render_row(&bench, &manifest, &cases);
+        let mut text = std::fs::read_to_string(history_path).unwrap_or_default();
+        if !text.is_empty() && !text.ends_with('\n') {
+            text.push('\n');
+        }
+        text.push_str(&line);
+        text.push('\n');
+        std::fs::write(history_path, text)
+            .unwrap_or_else(|e| panic!("bench_gate: cannot write {history_path}: {e}"));
+        println!(
+            "bench_gate: appended {} cases of bench {bench} to {history_path}",
+            cases.len()
+        );
     }
 
     println!("bench_gate: {baseline_path} vs {fresh_path} (tolerance {tolerance})");

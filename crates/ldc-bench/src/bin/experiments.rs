@@ -4,13 +4,23 @@
 //! cargo run -p ldc-bench --release --bin experiments -- --exp all
 //! cargo run -p ldc-bench --release --bin experiments -- --exp E6 --quick
 //! cargo run -p ldc-bench --release --bin experiments -- --exp E6 --trace e6-trace.jsonl
+//! cargo run -p ldc-bench --release --bin experiments -- --exp all --telemetry tel.jsonl
 //! ```
 //!
 //! `--trace FILE` writes the phase-span trees collected by the
 //! trace-instrumented experiments (E2, E5, E6) as JSONL — one object per
-//! span — and prints each tree's human-readable report to stderr.
+//! span — and prints each tree's human-readable report to stderr. Span
+//! lines carry no wall-clock unless `--timings` is also given (keeping
+//! the default output byte-diffable across runs).
+//!
+//! `--telemetry FILE` writes a run-manifest-stamped telemetry JSONL: one
+//! event per experiment, with the table's shape in the deterministic
+//! section and wall-clock in the timing section (see
+//! `ldc_sim::telemetry`).
 
 use ldc_bench::experiments;
+use ldc_sim::json::Obj;
+use ldc_sim::telemetry::{timing_f64, EventSink, RunManifest};
 use std::io::Write;
 
 fn main() {
@@ -18,6 +28,8 @@ fn main() {
     let mut exp = "all".to_string();
     let mut quick = false;
     let mut trace: Option<String> = None;
+    let mut telemetry: Option<String> = None;
+    let mut timings = false;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -30,6 +42,11 @@ fn main() {
                 i += 1;
                 trace = Some(args.get(i).cloned().unwrap_or_else(|| usage()));
             }
+            "--telemetry" => {
+                i += 1;
+                telemetry = Some(args.get(i).cloned().unwrap_or_else(|| usage()));
+            }
+            "--timings" => timings = true,
             "--help" | "-h" => {
                 usage();
             }
@@ -52,16 +69,38 @@ fn main() {
             std::process::exit(2);
         })
     });
+    let mut sink = telemetry.as_deref().map(|_| {
+        let mut s = EventSink::new();
+        let mode = if quick { "quick" } else { "full" };
+        s.set_manifest(&RunManifest::capture(mode, 0, &exp));
+        s
+    });
     for id in ids {
+        let started = std::time::Instant::now();
         match experiments::run_traced(id, quick) {
             Some((table, trees)) => {
                 table.emit();
                 if let Some(out) = trace_out.as_mut() {
                     for tree in &trees {
-                        out.write_all(tree.to_jsonl().as_bytes())
+                        out.write_all(tree.to_jsonl(timings).as_bytes())
                             .expect("write trace file");
                         eprintln!("{}", tree.render());
                     }
+                }
+                if let Some(s) = sink.as_mut() {
+                    let det = Obj::new()
+                        .str("table", &table.id)
+                        .u64("rows", table.rows.len() as u64)
+                        .u64("cols", table.headers.len() as u64)
+                        .u64("notes", table.notes.len() as u64)
+                        .finish();
+                    let timing = Obj::new()
+                        .raw(
+                            "wall_ms",
+                            &timing_f64(started.elapsed().as_secs_f64() * 1000.0),
+                        )
+                        .finish();
+                    s.emit(id, det, timing);
                 }
             }
             None => {
@@ -76,11 +115,21 @@ fn main() {
     if let Some(path) = trace {
         eprintln!("wrote span trace to {path}");
     }
+    if let (Some(s), Some(path)) = (&sink, &telemetry) {
+        s.write_to(path).unwrap_or_else(|e| {
+            eprintln!("cannot write telemetry file {path}: {e}");
+            std::process::exit(2);
+        });
+        eprintln!("wrote telemetry to {path} ({} events)", s.len());
+    }
 }
 
 fn usage() -> ! {
     let first = experiments::ALL.first().expect("non-empty suite");
     let last = experiments::ALL.last().expect("non-empty suite");
-    eprintln!("usage: experiments [--exp {first}..{last}|all] [--quick] [--trace FILE]");
+    eprintln!(
+        "usage: experiments [--exp {first}..{last}|all] [--quick] [--trace FILE] [--timings] \
+         [--telemetry FILE]"
+    );
     std::process::exit(2);
 }

@@ -1329,6 +1329,25 @@ fn e17_jobs(quick: bool) -> Vec<JobSpec> {
             }),
         });
     }
+    // One direct OLDC job: congest on these small-Δ graphs takes the
+    // class-iteration branch and never touches the kernel caches, so
+    // without it the fleet-wide sel/conf hit-rate columns read "-".
+    jobs.push(JobSpec {
+        graph: GraphSource::Regular {
+            n: 80,
+            d: 6,
+            seed: 5,
+        },
+        algorithm: Algorithm::Oldc,
+        lists: ListSpec::Uniform {
+            space: 1 << 13,
+            len: 3000,
+            defect: 3,
+            salt: 0,
+        },
+        seed: 1,
+        faults: None,
+    });
     jobs
 }
 
@@ -1349,6 +1368,8 @@ pub fn e17_fleet(quick: bool) -> Table {
             "ok",
             "cache hits",
             "cache misses",
+            "sel hit %",
+            "conf hit %",
             "wall ms",
             "jobs/s",
             "jsonl bytes",
@@ -1369,19 +1390,29 @@ pub fn e17_fleet(quick: bool) -> Table {
             }
             Some(b) => (b == &stream).to_string(),
         };
+        let k = &run.summary.kernels;
+        let pct = |calls: u64, misses: u64| {
+            if calls == 0 {
+                "-".to_string()
+            } else {
+                format!("{:.1}", (calls - misses) as f64 * 100.0 / calls as f64)
+            }
+        };
         t.row(vec![
             shards.to_string(),
             run.summary.jobs.to_string(),
             run.summary.ok.to_string(),
             run.summary.cache_hits.to_string(),
             run.summary.cache_misses.to_string(),
+            pct(k.select_calls, k.select_misses),
+            pct(k.conflict_calls, k.conflict_misses),
             ms.to_string(),
             ((run.summary.jobs * 1000) / ms.max(1)).to_string(),
             stream.len().to_string(),
             matches,
         ]);
     }
-    t.note("Wall-ms and jobs/s are timed, so this table is excluded from the CI byte-diff set; shard invariance is still asserted per row (the last column byte-compares each stream to the 1-shard baseline). Throughput gains need multiple cores — a single-core host runs every shard width through a width-1 pool.");
+    t.note("Wall-ms and jobs/s are timed, so this table is excluded from the CI byte-diff set; shard invariance is still asserted per row (the last column byte-compares each stream to the 1-shard baseline). Sel/conf hit % are the fleet-wide kernel cache hit rates (deterministic — identical at every width). Throughput gains need multiple cores — a single-core host runs every shard width through a width-1 pool.");
     t
 }
 

@@ -1,0 +1,238 @@
+//! Longitudinal bench history: manifest-stamped JSONL rows appended by
+//! `bench_gate --history`, read back by `ldc report`.
+//!
+//! One line per bench run:
+//!
+//! ```text
+//! {"bench":"engine","manifest":{…},"cases":[{"workload":…,"mode":…,"median_secs":…},…]}
+//! ```
+//!
+//! The manifest ([`ldc_sim::telemetry::RunManifest`]) pins each row to a
+//! commit, toolchain, and thread count, so trend tables can distinguish a
+//! regression from a machine change. Rows are append-only — the file is
+//! checked in and grows one row per gated bench run, giving the repo a
+//! perf trajectory across PRs instead of a single point-in-time baseline.
+
+use crate::table::Table;
+use ldc_batch::jsonin::Value;
+use ldc_sim::json::{array, Obj};
+use ldc_sim::telemetry::RunManifest;
+
+/// One measured case inside a history row.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistoryCase {
+    /// Workload label (e.g. `sparse_gnp_10k`).
+    pub workload: String,
+    /// Execution/kernel mode label (e.g. `pooled`, `cached`).
+    pub mode: String,
+    /// Median seconds over the run's samples.
+    pub median_secs: f64,
+}
+
+/// One parsed history row: a bench name, its manifest, and its cases.
+#[derive(Debug, Clone)]
+pub struct HistoryRow {
+    /// Bench name (`engine` or `solver` today).
+    pub bench: String,
+    /// The stamped run manifest.
+    pub manifest: RunManifest,
+    /// Measured cases, in file order.
+    pub cases: Vec<HistoryCase>,
+}
+
+/// Render one history row as a single JSONL line (no trailing newline).
+pub fn render_row(bench: &str, manifest: &RunManifest, cases: &[HistoryCase]) -> String {
+    let rendered = array(cases.iter().map(|c| {
+        Obj::new()
+            .str("workload", &c.workload)
+            .str("mode", &c.mode)
+            .raw("median_secs", &format!("{:.6}", c.median_secs))
+            .finish()
+    }));
+    Obj::new()
+        .str("bench", bench)
+        .raw("manifest", &manifest.to_json())
+        .raw("cases", &rendered)
+        .finish()
+}
+
+fn str_of(v: &Value, key: &str) -> Result<String, String> {
+    v.get(key)
+        .and_then(Value::as_str)
+        .map(str::to_string)
+        .ok_or_else(|| format!("missing string field {key:?}"))
+}
+
+/// Parse a history JSONL stream. Blank lines are skipped; a malformed
+/// line is an error (the file is checked in — corruption should fail
+/// loudly, not vanish from trend tables).
+pub fn parse(text: &str) -> Result<Vec<HistoryRow>, String> {
+    let mut rows = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let v = Value::parse(line).map_err(|e| format!("history line {}: {e}", i + 1))?;
+        let m = v
+            .get("manifest")
+            .ok_or_else(|| format!("history line {}: missing manifest", i + 1))?;
+        let manifest = RunManifest {
+            commit: str_of(m, "commit").map_err(|e| format!("history line {}: {e}", i + 1))?,
+            rustc: str_of(m, "rustc").map_err(|e| format!("history line {}: {e}", i + 1))?,
+            threads: m.get("threads").and_then(Value::as_u64).unwrap_or(0),
+            exec_mode: str_of(m, "exec_mode")
+                .map_err(|e| format!("history line {}: {e}", i + 1))?,
+            seed: m.get("seed").and_then(Value::as_u64).unwrap_or(0),
+            workload: str_of(m, "workload").map_err(|e| format!("history line {}: {e}", i + 1))?,
+        };
+        let cases = v
+            .get("cases")
+            .and_then(Value::as_arr)
+            .ok_or_else(|| format!("history line {}: missing cases", i + 1))?
+            .iter()
+            .map(|c| {
+                Ok(HistoryCase {
+                    workload: str_of(c, "workload")?,
+                    mode: str_of(c, "mode")?,
+                    median_secs: c
+                        .get("median_secs")
+                        .and_then(Value::as_f64)
+                        .ok_or("missing median_secs")?,
+                })
+            })
+            .collect::<Result<Vec<_>, String>>()
+            .map_err(|e| format!("history line {}: {e}", i + 1))?;
+        rows.push(HistoryRow {
+            bench: str_of(&v, "bench").map_err(|e| format!("history line {}: {e}", i + 1))?,
+            manifest,
+            cases,
+        });
+    }
+    Ok(rows)
+}
+
+/// Trend table for one bench: per `(workload, mode)` the latest median,
+/// the previous row's median, and the delta in percent (`-` when the
+/// case has no earlier observation).
+pub fn trend_table(rows: &[HistoryRow], bench: &str) -> Table {
+    let bench_rows: Vec<&HistoryRow> = rows.iter().filter(|r| r.bench == bench).collect();
+    let mut t = Table::new(
+        &format!("report:{bench}"),
+        &format!(
+            "median trend over {} history rows (latest vs previous)",
+            bench_rows.len()
+        ),
+        &[
+            "workload", "mode", "median s", "prev s", "delta %", "commit",
+        ],
+    );
+    let Some(latest) = bench_rows.last() else {
+        t.note("no history rows for this bench");
+        return t;
+    };
+    for c in &latest.cases {
+        let prev = bench_rows[..bench_rows.len() - 1]
+            .iter()
+            .rev()
+            .find_map(|r| {
+                r.cases
+                    .iter()
+                    .find(|p| p.workload == c.workload && p.mode == c.mode)
+            });
+        let (prev_s, delta) = match prev {
+            Some(p) if p.median_secs > 0.0 => (
+                format!("{:.6}", p.median_secs),
+                format!(
+                    "{:+.1}",
+                    (c.median_secs - p.median_secs) / p.median_secs * 100.0
+                ),
+            ),
+            _ => ("-".into(), "-".into()),
+        };
+        t.row(vec![
+            c.workload.clone(),
+            c.mode.clone(),
+            format!("{:.6}", c.median_secs),
+            prev_s,
+            delta,
+            short_commit(&latest.manifest.commit),
+        ]);
+    }
+    t
+}
+
+fn short_commit(c: &str) -> String {
+    if c.len() > 10 && c.bytes().all(|b| b.is_ascii_hexdigit()) {
+        c[..10].to_string()
+    } else {
+        c.to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn manifest(commit: &str) -> RunManifest {
+        RunManifest {
+            commit: commit.into(),
+            rustc: "rustc 1.75.0".into(),
+            threads: 2,
+            exec_mode: "bench".into(),
+            seed: 0,
+            workload: "engine".into(),
+        }
+    }
+
+    fn case(w: &str, m: &str, s: f64) -> HistoryCase {
+        HistoryCase {
+            workload: w.into(),
+            mode: m.into(),
+            median_secs: s,
+        }
+    }
+
+    #[test]
+    fn render_parse_round_trip() {
+        let line = render_row(
+            "engine",
+            &manifest("aaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaa"),
+            &[case("ring_20k", "pooled", 0.002497)],
+        );
+        let rows = parse(&line).unwrap();
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].bench, "engine");
+        assert_eq!(rows[0].manifest.threads, 2);
+        assert_eq!(rows[0].cases, vec![case("ring_20k", "pooled", 0.002497)]);
+        // Re-render is byte-identical: the schema is closed.
+        assert_eq!(
+            render_row("engine", &rows[0].manifest, &rows[0].cases),
+            line
+        );
+    }
+
+    #[test]
+    fn parse_rejects_malformed_lines() {
+        assert!(parse("{\"bench\":\"engine\"}").is_err());
+        assert!(parse("not json").is_err());
+        assert!(parse("\n\n").unwrap().is_empty());
+    }
+
+    #[test]
+    fn trend_table_reports_deltas_vs_previous() {
+        let r1 = render_row("engine", &manifest("one"), &[case("w", "pooled", 0.010000)]);
+        let r2 = render_row("engine", &manifest("two"), &[case("w", "pooled", 0.012000)]);
+        let rows = parse(&format!("{r1}\n{r2}\n")).unwrap();
+        let rendered = trend_table(&rows, "engine").render();
+        assert!(rendered.contains("0.012000"));
+        assert!(rendered.contains("0.010000"));
+        assert!(rendered.contains("+20.0"));
+        // First-ever case has no previous: delta column shows '-'.
+        let only = parse(&r1).unwrap();
+        let rendered = trend_table(&only, "engine").render();
+        assert!(rendered.contains('-'));
+        // Unknown bench renders an empty table, not a panic.
+        let none = trend_table(&rows, "nope").render();
+        assert!(none.contains("no history rows"));
+    }
+}

@@ -16,6 +16,7 @@
 #![warn(missing_docs)]
 
 pub mod experiments;
+pub mod history;
 pub mod table;
 pub mod workloads;
 

@@ -23,6 +23,7 @@ use crate::arbdefective::{solve_list_arbdefective, ArbConfig, Substrate};
 use crate::colorspace::Theorem11Solver;
 use crate::ctx::{CoreError, OldcCtx};
 use crate::existence;
+use crate::kernels::KernelStats;
 use crate::oldc::solve_oldc;
 use crate::params::{practical_kappa, ParamProfile};
 use crate::problem::{Color, LdcInstance, OldcInstance};
@@ -181,6 +182,9 @@ pub struct Solution {
     pub total_bits: u64,
     /// Fault accounting for this run (all-zero on a clean network).
     pub faults: FaultStats,
+    /// Kernel cache statistics of the solve (all-zero for paths that never
+    /// run the type-keyed kernels, e.g. the sequential existence search).
+    pub kernels: KernelStats,
 }
 
 /// Build a [`Solution`] from a finished network's metrics.
@@ -188,6 +192,7 @@ fn solution_from(
     net: &Network<'_>,
     colors: Vec<Color>,
     orientation: Option<Orientation>,
+    kernels: KernelStats,
 ) -> Solution {
     let m = net.metrics();
     Solution {
@@ -197,6 +202,7 @@ fn solution_from(
         max_message_bits: m.max_message_bits(),
         total_bits: m.total_bits(),
         faults: FaultStats::from_metrics(m),
+        kernels,
     }
 }
 
@@ -241,6 +247,7 @@ impl<'g> OldcInstance<'g> {
         opts.configure(&mut net);
         let result = (|| {
             let out = solve_oldc(&mut net, &ctx, &self.lists)?;
+            let kernels = out.stats.kernels;
             let colors: Vec<Color> = out
                 .colors
                 .into_iter()
@@ -252,7 +259,7 @@ impl<'g> OldcInstance<'g> {
                     detail: format!("internal: output invalid: {e}"),
                 }
             })?;
-            Ok(solution_from(&net, colors, None))
+            Ok(solution_from(&net, colors, None, kernels))
         })();
         Attempt {
             result,
@@ -278,6 +285,7 @@ impl<'g> LdcInstance<'g> {
             max_message_bits: 0,
             total_bits: 0,
             faults: FaultStats::default(),
+            kernels: KernelStats::default(),
         })
     }
 
@@ -332,7 +340,7 @@ impl<'g> LdcInstance<'g> {
         let mut net = Network::new(g, opts.bandwidth);
         opts.configure(&mut net);
         let result = (|| {
-            let (colors, orientation, _report) = solve_list_arbdefective(
+            let (colors, orientation, report) = solve_list_arbdefective(
                 &mut net,
                 self.space.size,
                 &self.lists,
@@ -346,7 +354,12 @@ impl<'g> LdcInstance<'g> {
                     detail: format!("internal: output invalid: {e}"),
                 },
             )?;
-            Ok(solution_from(&net, colors, Some(orientation)))
+            Ok(solution_from(
+                &net,
+                colors,
+                Some(orientation),
+                report.kernels,
+            ))
         })();
         Attempt {
             result,

@@ -26,6 +26,7 @@
 
 use crate::colorspace::OldcSolver;
 use crate::ctx::{span, CoreError, OldcCtx};
+use crate::kernels::KernelStats;
 use crate::params::ParamProfile;
 use crate::problem::{Color, DefectList};
 use ldc_graph::orientation::EdgeDir;
@@ -84,6 +85,9 @@ pub struct ArbReport {
     pub substrate_messages: u64,
     /// Bits sent inside substrate calls (including recursive ones).
     pub substrate_bits: u64,
+    /// Kernel cache statistics folded over every OLDC solve (per-bucket
+    /// calls and recursive substrate calls alike).
+    pub kernels: KernelStats,
 }
 
 impl ArbReport {
@@ -266,6 +270,7 @@ pub fn solve_list_arbdefective<S: OldcSolver>(
         report.max_message_bits = report.max_message_bits.max(sub_report.max_bits);
         report.substrate_messages += sub_report.messages;
         report.substrate_bits += sub_report.bits;
+        report.kernels.absorb(&sub_report.kernels);
         let q = buckets_sub.q;
 
         // Map the stage orientation back to the full graph.
@@ -327,7 +332,7 @@ pub fn solve_list_arbdefective<S: OldcSolver>(
                 profile: cfg.profile,
                 seed: cfg.seed ^ (u64::from(report.oldc_calls) << 32),
             };
-            let picked = solver.solve(net, &ctx, &call_lists)?;
+            let picked = solver.solve_stats(net, &ctx, &call_lists, &mut report.kernels)?;
 
             let mut fresh: Vec<Option<Color>> = vec![None; n];
             for v in 0..n {
@@ -401,6 +406,7 @@ struct SubStats {
     max_bits: u64,
     messages: u64,
     bits: u64,
+    kernels: KernelStats,
 }
 
 impl SubStats {
@@ -410,6 +416,7 @@ impl SubStats {
             max_bits: net.metrics().max_message_bits(),
             messages: net.metrics().total_messages(),
             bits: net.metrics().total_bits(),
+            kernels: KernelStats::default(),
         }
     }
 }
@@ -502,6 +509,7 @@ fn arbdefective_substrate_inner<S: OldcSolver>(
         max_bits: rep.max_message_bits,
         messages: sub_net.metrics().total_messages() + rep.substrate_messages,
         bits: sub_net.metrics().total_bits() + rep.substrate_bits,
+        kernels: rep.kernels,
     };
     Ok((a, orientation, stats))
 }

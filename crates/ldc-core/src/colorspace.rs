@@ -15,7 +15,7 @@
 //! at every level.
 
 use crate::ctx::{span as spans, CoreError, OldcCtx};
-use crate::kernels::KernelMode;
+use crate::kernels::{KernelMode, KernelStats};
 use crate::oldc::{solve_oldc, solve_oldc_in};
 use crate::problem::{Color, DefectList};
 use ldc_sim::Network;
@@ -30,6 +30,22 @@ pub trait OldcSolver: Sync {
         ctx: &OldcCtx<'_, '_>,
         lists: &[DefectList],
     ) -> Result<Vec<Option<Color>>, CoreError>;
+
+    /// [`OldcSolver::solve`], additionally folding the solve's kernel
+    /// cache statistics into `kernels`. The default delegates to `solve`
+    /// and reports nothing — solvers with a [`crate::kernels::TypeCache`]
+    /// underneath override it so hit rates survive past the call (they
+    /// feed per-solve telemetry and the fleet-wide roll-up).
+    fn solve_stats(
+        &self,
+        net: &mut Network<'_>,
+        ctx: &OldcCtx<'_, '_>,
+        lists: &[DefectList],
+        kernels: &mut KernelStats,
+    ) -> Result<Vec<Option<Color>>, CoreError> {
+        let _ = kernels;
+        self.solve(net, ctx, lists)
+    }
 }
 
 /// Theorem 1.1's algorithm as a solver (the `𝒜` used by Theorem 1.4).
@@ -44,6 +60,18 @@ impl OldcSolver for Theorem11Solver {
         lists: &[DefectList],
     ) -> Result<Vec<Option<Color>>, CoreError> {
         Ok(solve_oldc(net, ctx, lists)?.colors)
+    }
+
+    fn solve_stats(
+        &self,
+        net: &mut Network<'_>,
+        ctx: &OldcCtx<'_, '_>,
+        lists: &[DefectList],
+        kernels: &mut KernelStats,
+    ) -> Result<Vec<Option<Color>>, CoreError> {
+        let out = solve_oldc(net, ctx, lists)?;
+        kernels.absorb(&out.stats.kernels);
+        Ok(out.colors)
     }
 }
 
@@ -62,6 +90,18 @@ impl OldcSolver for ReferenceKernelSolver {
         lists: &[DefectList],
     ) -> Result<Vec<Option<Color>>, CoreError> {
         Ok(solve_oldc_in(net, ctx, lists, KernelMode::Reference)?.colors)
+    }
+
+    fn solve_stats(
+        &self,
+        net: &mut Network<'_>,
+        ctx: &OldcCtx<'_, '_>,
+        lists: &[DefectList],
+        kernels: &mut KernelStats,
+    ) -> Result<Vec<Option<Color>>, CoreError> {
+        let out = solve_oldc_in(net, ctx, lists, KernelMode::Reference)?;
+        kernels.absorb(&out.stats.kernels);
+        Ok(out.colors)
     }
 }
 
@@ -91,6 +131,21 @@ pub fn reduce_color_space<S: OldcSolver>(
     cfg: ReductionConfig,
     inner: &S,
 ) -> Result<Vec<Option<Color>>, CoreError> {
+    let mut scratch = KernelStats::default();
+    reduce_color_space_stats(net, ctx, lists, cfg, inner, &mut scratch)
+}
+
+/// [`reduce_color_space`] that also folds every inner solve's kernel cache
+/// statistics into `kernels` (auxiliary block-choice solves and the base
+/// solve alike).
+pub fn reduce_color_space_stats<S: OldcSolver>(
+    net: &mut Network<'_>,
+    ctx: &OldcCtx<'_, '_>,
+    lists: &[DefectList],
+    cfg: ReductionConfig,
+    inner: &S,
+    kernels: &mut KernelStats,
+) -> Result<Vec<Option<Color>>, CoreError> {
     assert!(cfg.p >= 2, "need at least two blocks per level");
     let n = ctx.view.graph().num_nodes();
     assert_eq!(lists.len(), n);
@@ -105,7 +160,7 @@ pub fn reduce_color_space<S: OldcSolver>(
         }
     }
     if levels <= 1 {
-        return inner.solve(net, ctx, lists);
+        return inner.solve_stats(net, ctx, lists, kernels);
     }
     let tracer = net.tracer().clone();
     let _thm12 = tracer.span(spans::THM12);
@@ -161,7 +216,7 @@ pub fn reduce_color_space<S: OldcSolver>(
             ..*ctx
         };
         tracer.add(spans::CTR_OLDC_CALLS, 1);
-        let picks = inner.solve(net, &aux_ctx, &aux_lists)?;
+        let picks = inner.solve_stats(net, &aux_ctx, &aux_lists, kernels)?;
 
         // Refine: shrink lists/spans, derive new groups.
         for v in 0..n {
@@ -208,7 +263,7 @@ pub fn reduce_color_space<S: OldcSolver>(
     let base = {
         let _base = tracer.span(spans::BASE_SOLVE);
         tracer.add(spans::CTR_OLDC_CALLS, 1);
-        inner.solve(net, &base_ctx, &translated)?
+        inner.solve_stats(net, &base_ctx, &translated, kernels)?
     };
     Ok((0..n).map(|v| base[v].map(|c| c + offset[v])).collect())
 }

@@ -21,8 +21,11 @@
 
 use crate::api::{FaultStats, SolveOptions};
 use crate::arbdefective::{solve_degree_plus_one, ArbConfig, ArbReport, Substrate};
-use crate::colorspace::{reduce_color_space, OldcSolver, ReductionConfig, Theorem11Solver};
+use crate::colorspace::{
+    reduce_color_space, reduce_color_space_stats, OldcSolver, ReductionConfig, Theorem11Solver,
+};
 use crate::ctx::{span, CoreError, OldcCtx};
+use crate::kernels::KernelStats;
 use crate::params::{practical_kappa, ParamProfile};
 use crate::problem::{Color, DefectList};
 use ldc_sim::{Bandwidth, FaultPlan, Network, RetryPolicy, Tracer};
@@ -59,6 +62,10 @@ pub struct CongestReport {
     pub faults: FaultStats,
     /// Arbdefective-driver details (√Δ branch only).
     pub arb: Option<ArbReport>,
+    /// Kernel cache statistics folded over every OLDC solve of the
+    /// pipeline (all-zero for the classic branch, which never runs the
+    /// type-keyed kernels).
+    pub kernels: KernelStats,
 }
 
 impl CongestReport {
@@ -126,6 +133,21 @@ impl OldcSolver for ReducedTheorem11 {
             kappa_p: self.kappa_p,
         };
         reduce_color_space(net, ctx, lists, cfg, &Theorem11Solver)
+    }
+
+    fn solve_stats(
+        &self,
+        net: &mut Network<'_>,
+        ctx: &OldcCtx<'_, '_>,
+        lists: &[DefectList],
+        kernels: &mut KernelStats,
+    ) -> Result<Vec<Option<Color>>, CoreError> {
+        let cfg = ReductionConfig {
+            p: self.p,
+            nu: 1.0,
+            kappa_p: self.kappa_p,
+        };
+        reduce_color_space_stats(net, ctx, lists, cfg, &Theorem11Solver, kernels)
     }
 }
 
@@ -212,6 +234,7 @@ pub fn congest_degree_plus_one(
                 bits_total: net.metrics().total_bits(),
                 faults: FaultStats::from_metrics(net.metrics()),
                 arb: None,
+                kernels: KernelStats::default(),
             };
             Ok((colors, report))
         }
@@ -246,6 +269,7 @@ pub fn congest_degree_plus_one(
                 messages_total: net.metrics().total_messages() + arb.substrate_messages,
                 bits_total: net.metrics().total_bits() + arb.substrate_bits,
                 faults: FaultStats::from_metrics(net.metrics()),
+                kernels: arb.kernels,
                 arb: Some(arb),
             };
             Ok((colors, report))

@@ -63,10 +63,12 @@ pub mod metrics;
 pub mod par;
 #[allow(unsafe_code)]
 pub mod pool;
+pub mod telemetry;
 pub mod trace;
 
 pub use engine::{Bandwidth, ExecMode, Inbox, Network, Outbox, SimError};
 pub use faults::{CrashWindow, FaultPlan, RetryPolicy};
 pub use message::{bits_for_value, MessageSize};
 pub use metrics::{Metrics, RoundStats};
+pub use telemetry::{strip_timing, EventSink, Histogram, Registry, RunManifest};
 pub use trace::{SpanGuard, SpanNode, SpanTotals, Tracer};

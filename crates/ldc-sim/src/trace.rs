@@ -436,18 +436,28 @@ impl SpanNode {
     /// path, self metrics, rolled-up subtree metrics, and counters. The
     /// output is hand-rendered (the workspace builds without serde) and
     /// escapes span names.
-    pub fn to_jsonl(&self) -> String {
+    ///
+    /// Wall-clock (`"wall_nanos"`) is emitted only when `timings` is true:
+    /// without it every field is engine-deterministic, so two runs of the
+    /// same workload produce byte-identical JSONL (the property the CI
+    /// determinism double-run diffs; the CLIs expose it as `--timings`).
+    pub fn to_jsonl(&self, timings: bool) -> String {
         let mut out = String::new();
         for (path, node) in self.walk() {
             let t = node.total();
+            let wall = if timings {
+                format!("\"wall_nanos\":{},", node.wall_nanos)
+            } else {
+                String::new()
+            };
             out.push_str(&format!(
-                "{{\"path\":{},\"rounds\":{},\"messages\":{},\"total_bits\":{},\"max_message_bits\":{},\"wall_nanos\":{},\"subtree_rounds\":{},\"subtree_bits\":{},\"counters\":{{",
+                "{{\"path\":{},\"rounds\":{},\"messages\":{},\"total_bits\":{},\"max_message_bits\":{},{}\"subtree_rounds\":{},\"subtree_bits\":{},\"counters\":{{",
                 json_string(&path),
                 node.rounds,
                 node.messages,
                 node.total_bits,
                 node.max_message_bits,
-                node.wall_nanos,
+                wall,
                 t.rounds,
                 t.total_bits,
             ));
@@ -620,11 +630,16 @@ mod tests {
             let _a = t.span("a\"quote");
             t.on_round(&round(1, 3));
         }
-        let jsonl = t.report().to_jsonl();
+        let jsonl = t.report().to_jsonl(false);
         assert_eq!(jsonl.lines().count(), 2); // run + a"quote
         assert!(jsonl.contains("\\\"quote"));
         assert!(jsonl.contains("\"rounds\":1"));
         assert!(jsonl.contains("\"subtree_rounds\":1"));
+        // Deterministic by default: no wall-clock field …
+        assert!(!jsonl.contains("wall_nanos"));
+        // … unless timings are requested explicitly.
+        let timed = t.report().to_jsonl(true);
+        assert!(timed.contains("\"wall_nanos\":"));
     }
 
     #[test]

@@ -116,7 +116,7 @@ fn run_case(r: &mut Rng) {
 
     // The JSONL sink carries the same accounting: one line per span, and
     // the root line's subtree totals are the engine totals.
-    let jsonl = tree.to_jsonl();
+    let jsonl = tree.to_jsonl(false);
     assert_eq!(jsonl.lines().count(), tree.walk().len());
     let root_line = jsonl.lines().next().expect("root line");
     assert!(root_line.contains(&format!("\"subtree_rounds\":{expect_rounds}")));

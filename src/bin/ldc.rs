@@ -11,12 +11,15 @@
 //! ```
 
 use ldc::batch::{parse_spec_file, Fleet};
+use ldc::bench::history;
 use ldc::classic;
 use ldc::core::congest::{congest_degree_plus_one, CongestBranch, CongestConfig};
 use ldc::core::ctx::span as spans;
 use ldc::core::validate::validate_proper_list_coloring;
 use ldc::core::SolveOptions;
 use ldc::graph::{analysis, generators, io, Graph};
+use ldc::sim::json::Obj;
+use ldc::sim::telemetry::{strip_timing, timing_f64, EventSink, Registry, RunManifest};
 use ldc::sim::{Bandwidth, FaultPlan, Network, RetryPolicy, Tracer};
 
 fn main() {
@@ -38,30 +41,39 @@ fn run(args: &[String]) -> Result<(), String> {
         Some("edge-color") => cmd_edge_color(&args[1..]),
         Some("analyze") => cmd_analyze(&args[1..]),
         Some("batch") => cmd_batch(&args[1..]),
+        Some("report") => cmd_report(&args[1..]),
         _ => Err(usage()),
     }
 }
 
 fn usage() -> String {
-    "usage:\n  ldc gen <ring|path|complete|torus|regular|gnp|tree|powerlaw|hypercube> <params…> [--seed S] [-o FILE]\n  ldc color <FILE> [--algorithm thm14|classic|luby] [--seed S] [--trace FILE] [--faults SPEC] [--retries N]\n  ldc edge-color <FILE> [--seed S] [--trace FILE]\n  ldc analyze <FILE>\n  ldc batch <SPEC.json> [--shards N] [--out FILE]\n\n  batch: run every job in SPEC.json (array of job objects, or {\"jobs\": [...]})\n  sharded over the worker pool, and write one JSONL row per job plus a fleet\n  summary line. Output is byte-identical for every --shards value.\n\n  --trace FILE: record a phase-span trace (per-theorem rounds/bits), print\n  the span tree, and write it as JSONL to FILE ('-' prints the tree only).\n\n  --faults SPEC: run under a seeded fault plan (DESIGN.md §9). SPEC is\n  comma-separated key=value pairs: seed=S, drop=RATE, trunc=RATE:CAPBITS,\n  sleep=RATE, error=RATE (e.g. --faults seed=7,drop=0.05,error=0.1).\n  --retries N: round retries per fault (default 3, backoff 1 stall round)."
+    "usage:\n  ldc gen <ring|path|complete|torus|regular|gnp|tree|powerlaw|hypercube> <params…> [--seed S] [-o FILE]\n  ldc color <FILE> [--algorithm thm14|classic|luby] [--seed S] [--trace FILE] [--timings] [--faults SPEC] [--retries N]\n  ldc edge-color <FILE> [--seed S] [--trace FILE] [--timings]\n  ldc analyze <FILE>\n  ldc batch <SPEC.json> [--shards N] [--out FILE] [--telemetry FILE]\n  ldc report [--history FILE] [--telemetry FILE] [--strip-timing FILE]\n\n  batch: run every job in SPEC.json (array of job objects, or {\"jobs\": [...]})\n  sharded over the worker pool, and write one JSONL row per job plus a fleet\n  summary line. Output is byte-identical for every --shards value.\n  --telemetry FILE: also write a manifest-stamped telemetry JSONL whose\n  deterministic section is byte-identical across shard counts.\n\n  report: render bench-history trend tables (default --history\n  BENCH_history.jsonl) and/or summarize a telemetry JSONL; --strip-timing\n  prints only the deterministic sections of a telemetry file (CI diffs it).\n\n  --trace FILE: record a phase-span trace (per-theorem rounds/bits), print\n  the span tree, and write it as JSONL to FILE ('-' prints the tree only).\n  --timings: include wall-clock fields in the trace JSONL (off by default,\n  keeping trace output byte-diffable).\n\n  --faults SPEC: run under a seeded fault plan (DESIGN.md §9). SPEC is\n  comma-separated key=value pairs: seed=S, drop=RATE, trunc=RATE:CAPBITS,\n  sleep=RATE, error=RATE (e.g. --faults seed=7,drop=0.05,error=0.1).\n  --retries N: round retries per fault (default 3, backoff 1 stall round)."
         .into()
 }
 
 /// Print the collected span tree and, unless `path` is `-`, export JSONL.
-fn finish_trace(tracer: &Tracer, path: &str) -> Result<(), String> {
+fn finish_trace(tracer: &Tracer, path: &str, timings: bool) -> Result<(), String> {
     let tree = tracer.report();
     print!("{}", tree.render());
     if path != "-" {
-        std::fs::write(path, tree.to_jsonl()).map_err(|e| format!("write {path}: {e}"))?;
+        std::fs::write(path, tree.to_jsonl(timings)).map_err(|e| format!("write {path}: {e}"))?;
         println!("wrote span trace to {path}");
     }
     Ok(())
 }
 
+/// Flags that take no value (everything else is `--flag VALUE`).
+const BOOL_FLAGS: &[&str] = &["--timings"];
+
 fn flag(args: &[String], name: &str) -> Option<String> {
     args.iter()
         .position(|a| a == name)
         .and_then(|i| args.get(i + 1).cloned())
+}
+
+fn bool_flag(args: &[String], name: &str) -> bool {
+    debug_assert!(BOOL_FLAGS.contains(&name));
+    args.iter().any(|a| a == name)
 }
 
 fn positional(args: &[String]) -> Vec<&String> {
@@ -70,6 +82,9 @@ fn positional(args: &[String]) -> Vec<&String> {
     for a in args {
         if skip {
             skip = false;
+            continue;
+        }
+        if BOOL_FLAGS.contains(&a.as_str()) {
             continue;
         }
         if a.starts_with("--") || a == "-o" {
@@ -268,7 +283,7 @@ fn cmd_color(args: &[String]) -> Result<(), String> {
         );
     }
     if let Some(path) = trace {
-        finish_trace(&tracer, &path)?;
+        finish_trace(&tracer, &path, bool_flag(args, "--timings"))?;
     }
     Ok(())
 }
@@ -307,7 +322,7 @@ fn cmd_edge_color(args: &[String]) -> Result<(), String> {
         ec.report.rounds_main,
     );
     if let Some(path) = trace {
-        finish_trace(&tracer, &path)?;
+        finish_trace(&tracer, &path, bool_flag(args, "--timings"))?;
     }
     Ok(())
 }
@@ -321,13 +336,35 @@ fn cmd_batch(args: &[String]) -> Result<(), String> {
         .map(|s| parse(&s, "shards"))
         .transpose()?
         .unwrap_or(4);
+    let started = std::time::Instant::now();
     let run = Fleet::new(shards).run(&jobs);
+    let wall = started.elapsed();
     let jsonl = run.to_jsonl();
     match flag(args, "--out") {
         Some(out) => {
             std::fs::write(&out, &jsonl).map_err(|e| format!("write {out}: {e}"))?;
         }
         None => print!("{jsonl}"),
+    }
+    if let Some(tel) = flag(args, "--telemetry") {
+        let mut sink = EventSink::new();
+        sink.set_manifest(&RunManifest::capture("batch", 0, path));
+        let mut reg = Registry::new();
+        run.telemetry(&mut reg);
+        let lat = run.latency_histogram();
+        // Shards and wall-clock live in the timing section: the det section
+        // must be byte-identical for every --shards value.
+        let timing = Obj::new()
+            .u64("shards", shards as u64)
+            .raw("wall_ms", &timing_f64(wall.as_secs_f64() * 1000.0))
+            .u64("latency_p50_ns", lat.percentile(0.50))
+            .u64("latency_p95_ns", lat.percentile(0.95))
+            .u64("latency_p99_ns", lat.percentile(0.99))
+            .finish();
+        sink.emit("fleet", reg.to_json(), timing);
+        sink.write_to(&tel)
+            .map_err(|e| format!("write {tel}: {e}"))?;
+        eprintln!("wrote telemetry to {tel}");
     }
     let s = &run.summary;
     eprintln!(
@@ -337,6 +374,87 @@ fn cmd_batch(args: &[String]) -> Result<(), String> {
     if s.failed > 0 {
         return Err(format!("{} job(s) failed", s.failed));
     }
+    Ok(())
+}
+
+/// `ldc report` — trend tables from the checked-in bench history, plus
+/// telemetry-file helpers for CI.
+fn cmd_report(args: &[String]) -> Result<(), String> {
+    // --strip-timing FILE: print only the deterministic sections of a
+    // telemetry JSONL (manifest and timing removed) so CI can byte-diff
+    // two runs. Exclusive mode: prints nothing else.
+    if let Some(path) = flag(args, "--strip-timing") {
+        let text = std::fs::read_to_string(&path).map_err(|e| format!("read {path}: {e}"))?;
+        print!("{}", strip_timing(&text));
+        return Ok(());
+    }
+    let mut reported = false;
+    if let Some(path) = flag(args, "--telemetry") {
+        let text = std::fs::read_to_string(&path).map_err(|e| format!("read {path}: {e}"))?;
+        summarize_telemetry(&path, &text)?;
+        reported = true;
+    }
+    let explicit = flag(args, "--history");
+    let history_path = explicit
+        .clone()
+        .unwrap_or_else(|| "BENCH_history.jsonl".into());
+    match std::fs::read_to_string(&history_path) {
+        Ok(text) => {
+            let rows = history::parse(&text)?;
+            let mut benches: Vec<&str> = Vec::new();
+            for r in &rows {
+                if !benches.contains(&r.bench.as_str()) {
+                    benches.push(&r.bench);
+                }
+            }
+            if benches.is_empty() {
+                println!("{history_path}: no history rows yet");
+            }
+            for bench in benches {
+                print!("{}", history::trend_table(&rows, bench).render());
+            }
+        }
+        // A missing default history file is only an error when nothing
+        // else was asked for; an explicit --history must exist.
+        Err(e) if explicit.is_none() && reported => {
+            let _ = e;
+        }
+        Err(e) => return Err(format!("read {history_path}: {e}")),
+    }
+    Ok(())
+}
+
+/// Print a one-line-per-event digest of a telemetry JSONL.
+fn summarize_telemetry(path: &str, text: &str) -> Result<(), String> {
+    use ldc::batch::jsonin::Value;
+    let mut events = 0usize;
+    let mut lines = String::new();
+    for (i, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let v = Value::parse(line).map_err(|e| format!("{path} line {}: {e}", i + 1))?;
+        if let Some(m) = v.get("manifest") {
+            let commit = m.get("commit").and_then(Value::as_str).unwrap_or("?");
+            let workload = m.get("workload").and_then(Value::as_str).unwrap_or("?");
+            lines.push_str(&format!(
+                "  manifest: commit {commit}, workload {workload}\n"
+            ));
+            continue;
+        }
+        let name = v.get("event").and_then(Value::as_str).unwrap_or("?");
+        let wall = v
+            .get("timing")
+            .and_then(|t| t.get("wall_ms"))
+            .and_then(Value::as_f64);
+        match wall {
+            Some(ms) => lines.push_str(&format!("  event {name}: wall {ms:.3} ms\n")),
+            None => lines.push_str(&format!("  event {name}\n")),
+        }
+        events += 1;
+    }
+    println!("telemetry {path}: {events} event(s)");
+    print!("{lines}");
     Ok(())
 }
 

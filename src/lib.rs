@@ -2,6 +2,7 @@
 #![forbid(unsafe_code)]
 
 pub use ldc_batch as batch;
+pub use ldc_bench as bench;
 pub use ldc_classic as classic;
 pub use ldc_core as core;
 pub use ldc_graph as graph;
