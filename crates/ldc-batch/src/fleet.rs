@@ -11,7 +11,7 @@
 use crate::spec::{Algorithm, JobSpec};
 use ldc_core::congest::{congest_degree_plus_one, CongestConfig};
 use ldc_core::edge_coloring::edge_coloring;
-use ldc_core::kernels::KernelStats;
+use ldc_core::kernels::{KernelStats, SharedCacheStats, SharedTypeCache};
 use ldc_core::problem::ColorSpace;
 use ldc_core::validate::validate_proper_list_coloring;
 use ldc_core::{
@@ -22,6 +22,7 @@ use ldc_sim::json::Obj;
 use ldc_sim::pool::{pool_execute, DisjointChunks, MAX_CHUNKS};
 use ldc_sim::telemetry::{Histogram, Registry};
 use std::collections::{BTreeSet, HashMap};
+use std::sync::Arc;
 
 /// Run `f` over `items`, sharded across the worker pool, and return the
 /// results **in item order** regardless of which shard ran which item.
@@ -112,6 +113,12 @@ pub struct FleetSummary {
     /// Kernel cache counters summed over all jobs (ROADMAP item 2's
     /// fleet-wide cache-hit accounting).
     pub kernels: KernelStats,
+    /// Fleet-shared kernel cache snapshot (all-zero unless the fleet ran
+    /// with [`Fleet::with_shared_kernels`]). **Scheduling-sensitive** at
+    /// `shards > 1` — concurrent jobs race to publish entries — so it is
+    /// reported here and in E17's table, never in the JSONL stream
+    /// (which stays byte-identical across shard counts).
+    pub shared: SharedCacheStats,
 }
 
 /// A finished fleet run: per-job outcomes in job order plus the roll-up.
@@ -174,6 +181,16 @@ impl FleetRun {
         reg.counter_add("fleet.kernels.select_misses", s.kernels.select_misses);
         reg.counter_add("fleet.kernels.conflict_calls", s.kernels.conflict_calls);
         reg.counter_add("fleet.kernels.conflict_misses", s.kernels.conflict_misses);
+        reg.counter_add("fleet.kernels.evictions", s.kernels.evictions);
+        // Shared-cache counters only exist when a shared cache ran; they
+        // are scheduling-sensitive at shards > 1 (see `FleetSummary`), so
+        // a no-shared run's registry stays byte-stable.
+        if s.shared != SharedCacheStats::default() {
+            reg.counter_add("fleet.shared.hits", s.shared.hits);
+            reg.counter_add("fleet.shared.misses", s.shared.misses);
+            reg.counter_add("fleet.shared.entries", s.shared.entries);
+            reg.counter_add("fleet.shared.evictions", s.shared.evictions);
+        }
         for o in &self.outcomes {
             reg.hist_record("fleet.job_rounds", o.rounds);
             reg.hist_record("fleet.job_bits", o.total_bits);
@@ -197,12 +214,39 @@ impl FleetRun {
 pub struct Fleet {
     /// Requested shard count.
     pub shards: usize,
+    /// Worker threads for each solver's batched per-node phases
+    /// (forwarded to [`SolveOptions::with_solver_threads`]). Rows are
+    /// byte-identical at every value.
+    pub solver_threads: usize,
+    /// Share one [`SharedTypeCache`] across all jobs of the run, so
+    /// same-shaped jobs hit warm subset-selection and conflict-verdict
+    /// entries. Rows are byte-identical with or without it (a shared hit
+    /// only skips recomputation; the private call/miss counters are
+    /// unchanged) — the sharing shows up in [`FleetSummary::shared`].
+    pub shared_kernels: bool,
 }
 
 impl Fleet {
-    /// A fleet with the given shard count.
+    /// A fleet with the given shard count (solver threads 1, private
+    /// kernel caches).
     pub fn new(shards: usize) -> Fleet {
-        Fleet { shards }
+        Fleet {
+            shards,
+            solver_threads: 1,
+            shared_kernels: false,
+        }
+    }
+
+    /// Set the per-solver worker-thread count (clamped to ≥ 1).
+    pub fn with_solver_threads(mut self, threads: usize) -> Fleet {
+        self.solver_threads = threads.max(1);
+        self
+    }
+
+    /// Share one kernel cache across all jobs of the run.
+    pub fn with_shared_kernels(mut self, shared: bool) -> Fleet {
+        self.shared_kernels = shared;
+        self
     }
 
     /// Execute every job and collect the deterministic result stream.
@@ -226,8 +270,10 @@ impl Fleet {
             })
             .collect();
 
+        let shared: Option<Arc<SharedTypeCache>> =
+            self.shared_kernels.then(SharedTypeCache::with_defaults);
         let outcomes = sharded_map(self.shards, jobs, |i, job| match &cache[&keys[i]] {
-            Ok(g) => run_job(i, job, g),
+            Ok(g) => run_job(i, job, g, self.solver_threads, shared.as_ref()),
             Err(e) => error_outcome(i, job, format!("graph: {e}")),
         });
 
@@ -253,6 +299,9 @@ impl Fleet {
                 }
                 None => summary.faults.absorb(&o.faults),
             }
+        }
+        if let Some(sc) = &shared {
+            summary.shared = sc.snapshot();
         }
         FleetRun { outcomes, summary }
     }
@@ -329,9 +378,20 @@ fn stats_from_solution(sol: &Solution, resilient: Option<ResilientReport>) -> Ru
     }
 }
 
-fn run_job(index: usize, job: &JobSpec, g: &Graph) -> JobOutcome {
+fn run_job(
+    index: usize,
+    job: &JobSpec,
+    g: &Graph,
+    solver_threads: usize,
+    shared: Option<&Arc<SharedTypeCache>>,
+) -> JobOutcome {
     let started = std::time::Instant::now();
-    let opts = SolveOptions::default().with_seed(job.seed);
+    let mut opts = SolveOptions::default()
+        .with_seed(job.seed)
+        .with_solver_threads(solver_threads);
+    if let Some(sc) = shared {
+        opts = opts.with_shared_kernels(sc.clone());
+    }
     let space = job.lists.space(g);
     let fault_env = job.faults.as_ref();
 
@@ -497,6 +557,69 @@ mod tests {
         }
         let empty: Vec<usize> = Vec::new();
         assert!(sharded_map(4, &empty, |_, &x| x).is_empty());
+    }
+
+    #[test]
+    fn shared_cache_and_solver_threads_leave_rows_byte_identical() {
+        // A mixed job list with repeated shapes (same graph/lists/seed
+        // appearing more than once), so the shared cache sees genuinely
+        // warm repeats — then every (shards, threads, shared) combination
+        // must reproduce the plain serial stream byte for byte.
+        let oldc = |seed: u64| JobSpec {
+            graph: GraphSource::Regular {
+                n: 48,
+                d: 6,
+                seed: 5,
+            },
+            algorithm: Algorithm::Oldc,
+            lists: ListSpec::Uniform {
+                space: 1 << 12,
+                len: 1500,
+                defect: 3,
+                salt: 0,
+            },
+            seed,
+            faults: None,
+        };
+        let mut jobs = vec![oldc(1), oldc(2)];
+        for n in [12usize, 16] {
+            jobs.push(JobSpec {
+                graph: GraphSource::Ring { n },
+                algorithm: Algorithm::Congest,
+                lists: ListSpec::default(),
+                seed: 1,
+                faults: None,
+            });
+        }
+        // Exact repeats of the first two jobs: fully warm shared entries.
+        jobs.push(oldc(1));
+        jobs.push(oldc(2));
+
+        let base = Fleet::new(1).run(&jobs);
+        assert_eq!(base.summary.failed, 0, "fixture jobs must solve");
+        assert_eq!(
+            base.summary.shared,
+            SharedCacheStats::default(),
+            "private-cache run reports no shared traffic"
+        );
+        let base_jsonl = base.to_jsonl();
+        for (shards, threads, shared) in [(1, 1, true), (1, 4, false), (4, 1, true), (2, 4, true)] {
+            let run = Fleet::new(shards)
+                .with_solver_threads(threads)
+                .with_shared_kernels(shared)
+                .run(&jobs);
+            assert_eq!(
+                run.to_jsonl(),
+                base_jsonl,
+                "stream diverged at shards={shards} threads={threads} shared={shared}"
+            );
+            if shared {
+                assert!(
+                    run.summary.shared.hits > 0,
+                    "repeated job shapes must warm the shared cache (shards={shards})"
+                );
+            }
+        }
     }
 
     #[test]

@@ -516,6 +516,11 @@ impl FaultSpec {
 
 /// One unit of batch work: a graph, an algorithm, list generation rules,
 /// a solver seed, and an optional fault environment.
+///
+/// Execution knobs — shard count, solver pool width, the fleet-shared
+/// kernel cache — live on [`crate::Fleet`], not here: they change how a
+/// job runs, never what it computes, so the JSON schema (and the
+/// per-row spec echo) stays byte-stable across runner configurations.
 #[derive(Debug, Clone, PartialEq)]
 pub struct JobSpec {
     /// The graph to color.

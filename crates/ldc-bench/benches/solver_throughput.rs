@@ -1,6 +1,7 @@
-//! OLDC solver throughput bench: times full `solve_oldc_in` runs under
+//! OLDC solver throughput bench: times full `solve_oldc_cfg` runs under
 //! `KernelMode::Fast` (type-keyed cache + packed kernels) against
-//! `KernelMode::Reference` (the pre-cache naive loops) and writes
+//! `KernelMode::Reference` (the pre-cache naive loops), sweeps the
+//! batched phases over worker-thread counts, and writes
 //! `BENCH_solver.json` at the repo root (experiment E18).
 //!
 //! Workloads cover the regimes the kernel cache targets:
@@ -13,19 +14,24 @@
 //!   per-type work.
 //! - `dense_gnp`         — dense random graph, per-node lists.
 //! - `many_types_adversarial` — all-distinct lists and init colors; the
-//!   cache can only intern, so this row bounds its overhead.
+//!   cache can only intern, so this row bounds its overhead. An extra
+//!   `cached_cap64` row reruns it with `list_capacity = 64`, showing the
+//!   intern bound evicting (the `evictions` column) without changing the
+//!   output.
 //!
-//! The warm-up solve doubles as the correctness gate: cached and
-//! reference colors must be **byte-identical** before any timing counts.
+//! The warm-up solves double as the correctness gate: cached and
+//! reference colors must be **byte-identical** — at every swept thread
+//! count — before any timing counts.
 //!
 //! Same self-contained harness as `engine_throughput` (hermetic build, no
 //! criterion): `--quick` shrinks instances for the CI smoke step, a
 //! substring argument filters cases, and full unfiltered runs overwrite
 //! the checked-in baseline.
 
+use ldc_bench::hit_pct;
 use ldc_bench::workloads::uniform_oldc_lists;
-use ldc_core::kernels::KernelMode;
-use ldc_core::oldc::solve_oldc_in;
+use ldc_core::kernels::{KernelConfig, KernelMode};
+use ldc_core::oldc::solve_oldc_cfg;
 use ldc_core::oldc::OldcOutcome;
 use ldc_core::params::ParamProfile;
 use ldc_core::problem::DefectList;
@@ -137,7 +143,7 @@ fn many_types(n: usize, p: f64, defect: u64, len: u64) -> Workload {
 }
 
 /// One full solve on a fresh network; returns the outcome, rounds, seconds.
-fn run_solve(w: &Workload, mode: KernelMode) -> (OldcOutcome, u64, f64) {
+fn run_solve(w: &Workload, cfg: &KernelConfig) -> (OldcOutcome, u64, f64) {
     let view = DirectedView::bidirected(&w.graph);
     let active = vec![true; w.graph.num_nodes()];
     let group = vec![0u64; w.graph.num_nodes()];
@@ -153,7 +159,7 @@ fn run_solve(w: &Workload, mode: KernelMode) -> (OldcOutcome, u64, f64) {
     };
     let mut net = Network::new(&w.graph, Bandwidth::Local);
     let t0 = Instant::now();
-    let out = solve_oldc_in(&mut net, &ctx, &w.lists, mode).expect("workload must be solvable");
+    let out = solve_oldc_cfg(&mut net, &ctx, &w.lists, cfg).expect("workload must be solvable");
     let secs = t0.elapsed().as_secs_f64();
     (out, net.rounds() as u64, secs)
 }
@@ -161,6 +167,7 @@ fn run_solve(w: &Workload, mode: KernelMode) -> (OldcOutcome, u64, f64) {
 struct Case {
     name: String,
     mode: &'static str,
+    threads: usize,
     rounds: u64,
     nodes: usize,
     slots: usize,
@@ -168,15 +175,53 @@ struct Case {
     node_steps_per_sec: f64,
     select_hit_pct: f64,
     conflict_hit_pct: f64,
+    evictions: u64,
 }
 
-/// Cache hit rate in percent (`0` when the kernel never ran).
-fn hit_pct(calls: u64, misses: u64) -> f64 {
-    if calls == 0 {
-        0.0
-    } else {
-        (calls - misses) as f64 * 100.0 / calls as f64
-    }
+/// Time `samples` solves of `w` under `cfg` and append the row.
+#[allow(clippy::too_many_arguments)]
+fn bench_case(
+    cases: &mut Vec<Case>,
+    w: &Workload,
+    cfg: &KernelConfig,
+    mname: &'static str,
+    rounds: u64,
+    samples: usize,
+    kernels: &ldc_core::kernels::KernelStats,
+    slots: usize,
+) {
+    let n = w.graph.num_nodes();
+    let mut times: Vec<f64> = (0..samples)
+        .map(|_| {
+            let (out, _, secs) = run_solve(w, cfg);
+            black_box(out.colors);
+            secs
+        })
+        .collect();
+    times.sort_by(|a, b| a.partial_cmp(b).expect("finite times"));
+    let median = times[times.len() / 2];
+    let steps = n as f64 * rounds as f64;
+    println!(
+        "{:<44} median {:>9.3} ms  {:>9.3} M node-steps/s  select {:>5.1}%  conflict {:>5.1}%",
+        format!("{}/{mname}@t{}", w.name, cfg.threads),
+        median * 1000.0,
+        steps / median / 1e6,
+        hit_pct(kernels.select_calls, kernels.select_misses),
+        hit_pct(kernels.conflict_calls, kernels.conflict_misses),
+    );
+    cases.push(Case {
+        name: w.name.clone(),
+        mode: mname,
+        threads: cfg.threads,
+        rounds,
+        nodes: n,
+        slots,
+        median_secs: median,
+        node_steps_per_sec: steps / median,
+        select_hit_pct: hit_pct(kernels.select_calls, kernels.select_misses),
+        conflict_hit_pct: hit_pct(kernels.conflict_calls, kernels.conflict_misses),
+        evictions: kernels.evictions,
+    });
 }
 
 fn main() {
@@ -184,6 +229,7 @@ fn main() {
     let quick = args.iter().any(|a| a == "--quick");
     let filter = args.iter().find(|a| !a.starts_with("--")).cloned();
     let samples = if quick { 2 } else { 3 };
+    let thread_counts: &[usize] = if quick { &[1, 4] } else { &[1, 2, 4, 8] };
 
     let workloads: Vec<Workload> = if quick {
         vec![
@@ -201,24 +247,20 @@ fn main() {
         ]
     };
 
-    let modes = [
-        ("cached", KernelMode::Fast),
-        ("reference", KernelMode::Reference),
-    ];
-
     let mut cases: Vec<Case> = Vec::new();
     for w in &workloads {
-        let n = w.graph.num_nodes();
         let slots: usize = w.graph.nodes().map(|v| w.graph.degree(v)).sum();
         if let Some(f) = &filter {
             if !w.name.contains(f.as_str()) {
                 continue;
             }
         }
-        // Warm-up both modes once and gate on byte-identical colors — a
-        // fast-but-wrong kernel must fail the bench, not win it.
-        let (out_fast, rounds, _) = run_solve(w, KernelMode::Fast);
-        let (out_ref, rounds_ref, _) = run_solve(w, KernelMode::Reference);
+        // Warm-up both modes at every swept thread count and gate on
+        // byte-identical colors — a fast-but-wrong kernel (or a chunked
+        // phase whose merge order leaks into the output) must fail the
+        // bench, not win it.
+        let (out_fast, rounds, _) = run_solve(w, &KernelConfig::default());
+        let (out_ref, rounds_ref, _) = run_solve(w, &KernelConfig::from(KernelMode::Reference));
         assert_eq!(
             out_fast.colors, out_ref.colors,
             "{}: cached and reference colorings diverged",
@@ -230,49 +272,86 @@ fn main() {
             "{}: degenerate instance — the conflict kernels never ran",
             w.name
         );
+        for &t in thread_counts {
+            if t == 1 {
+                continue;
+            }
+            for mode in [KernelMode::Fast, KernelMode::Reference] {
+                let cfg = KernelConfig::from(mode).with_threads(t);
+                let (out_t, rounds_t, _) = run_solve(w, &cfg);
+                assert_eq!(
+                    out_t.colors, out_fast.colors,
+                    "{}: {mode:?} colors diverged at {t} threads",
+                    w.name
+                );
+                assert_eq!(
+                    rounds_t, rounds,
+                    "{}: {mode:?} rounds diverged at {t} threads",
+                    w.name
+                );
+            }
+        }
 
-        for (mname, mode) in modes {
-            // Kernel cache hit rates are a pure function of the instance
-            // (E18 tabulates them); read them off this mode's warm-up.
-            let kernels = match mode {
-                KernelMode::Fast => out_fast.stats.kernels,
-                KernelMode::Reference => out_ref.stats.kernels,
-            };
-            let mut times: Vec<f64> = (0..samples)
-                .map(|_| {
-                    let (out, _, secs) = run_solve(w, mode);
-                    black_box(out.colors);
-                    secs
-                })
-                .collect();
-            times.sort_by(|a, b| a.partial_cmp(b).expect("finite times"));
-            let median = times[times.len() / 2];
-            let steps = n as f64 * rounds as f64;
-            println!(
-                "{:<38} median {:>9.3} ms  {:>9.3} M node-steps/s  select {:>5.1}%  conflict {:>5.1}%",
-                format!("{}/{mname}", w.name),
-                median * 1000.0,
-                steps / median / 1e6,
-                hit_pct(kernels.select_calls, kernels.select_misses),
-                hit_pct(kernels.conflict_calls, kernels.conflict_misses),
-            );
-            cases.push(Case {
-                name: w.name.clone(),
-                mode: mname,
+        // Cached rows sweep the thread counts; the reference row is the
+        // t=1 anchor the speedup ratios are read against.
+        for &t in thread_counts {
+            let cfg = KernelConfig::default().with_threads(t);
+            bench_case(
+                &mut cases,
+                w,
+                &cfg,
+                "cached",
                 rounds,
-                nodes: n,
+                samples,
+                &out_fast.stats.kernels,
                 slots,
-                median_secs: median,
-                node_steps_per_sec: steps / median,
-                select_hit_pct: hit_pct(kernels.select_calls, kernels.select_misses),
-                conflict_hit_pct: hit_pct(kernels.conflict_calls, kernels.conflict_misses),
-            });
+            );
+        }
+        bench_case(
+            &mut cases,
+            w,
+            &KernelConfig::from(KernelMode::Reference),
+            "reference",
+            rounds,
+            samples,
+            &out_ref.stats.kernels,
+            slots,
+        );
+
+        // The intern bound at work: rerun the adversarial workload with a
+        // small list capacity. Output is unchanged (the reset only drops
+        // memo state); the row's evictions column is the demonstration.
+        if w.name.starts_with("many_types") {
+            let cfg = KernelConfig::default().with_list_capacity(64);
+            let (out_cap, rounds_cap, _) = run_solve(w, &cfg);
+            assert_eq!(
+                out_cap.colors, out_fast.colors,
+                "{}: capped intern store changed the coloring",
+                w.name
+            );
+            assert_eq!(rounds_cap, rounds, "{}: capped rounds diverged", w.name);
+            assert!(
+                out_cap.stats.kernels.evictions > 0,
+                "{}: capacity 64 over all-distinct lists must evict",
+                w.name
+            );
+            bench_case(
+                &mut cases,
+                w,
+                &cfg,
+                "cached_cap64",
+                rounds,
+                samples,
+                &out_cap.stats.kernels,
+                slots,
+            );
         }
     }
 
     // Persist the trajectory point (same layout as BENCH_engine.json, so
-    // `bench_gate` parses both). Only full unfiltered runs overwrite the
-    // checked-in baseline; smoke runs write a scratch copy.
+    // `bench_gate` parses both; `threads` folds into the gate key). Only
+    // full unfiltered runs overwrite the checked-in baseline; smoke runs
+    // write a scratch copy.
     let repo_root = concat!(env!("CARGO_MANIFEST_DIR"), "/../..");
     let path = if quick || filter.is_some() {
         format!("{repo_root}/target/BENCH_solver.quick.json")
@@ -288,9 +367,10 @@ fn main() {
     out.push_str("  \"cases\": [\n");
     for (i, c) in cases.iter().enumerate() {
         out.push_str(&format!(
-            "    {{\"workload\": {}, \"mode\": {}, \"nodes\": {}, \"slots\": {}, \"rounds\": {}, \"median_secs\": {:.6}, \"node_steps_per_sec\": {:.0}, \"select_hit_pct\": {:.1}, \"conflict_hit_pct\": {:.1}}}{}\n",
+            "    {{\"workload\": {}, \"mode\": {}, \"threads\": {}, \"nodes\": {}, \"slots\": {}, \"rounds\": {}, \"median_secs\": {:.6}, \"node_steps_per_sec\": {:.0}, \"select_hit_pct\": {:.1}, \"conflict_hit_pct\": {:.1}, \"evictions\": {}}}{}\n",
             json_string(&c.name),
             json_string(c.mode),
+            c.threads,
             c.nodes,
             c.slots,
             c.rounds,
@@ -298,6 +378,7 @@ fn main() {
             c.node_steps_per_sec,
             c.select_hit_pct,
             c.conflict_hit_pct,
+            c.evictions,
             if i + 1 < cases.len() { "," } else { "" }
         ));
     }

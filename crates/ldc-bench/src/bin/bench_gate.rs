@@ -76,6 +76,15 @@ fn parse_rows(json: &str) -> Vec<Row> {
             str_field(obj, "mode"),
             num_field(obj, "median_secs"),
         ) {
+            // Thread-sweep rows (solver bench) carry a `threads` field;
+            // fold it into the mode key so each pool width is gated and
+            // tracked in the history separately. Absent or 1 → bare mode,
+            // which keeps engine-bench and pre-sweep baselines parsing
+            // unchanged.
+            let mode = match num_field(obj, "threads") {
+                Some(t) if t != 1.0 => format!("{mode}@t{t:.0}"),
+                _ => mode,
+            };
             rows.push(Row {
                 workload,
                 mode,

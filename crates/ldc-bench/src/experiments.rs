@@ -1329,47 +1329,58 @@ fn e17_jobs(quick: bool) -> Vec<JobSpec> {
             }),
         });
     }
-    // One direct OLDC job: congest on these small-Δ graphs takes the
+    // Direct OLDC jobs: congest on these small-Δ graphs takes the
     // class-iteration branch and never touches the kernel caches, so
-    // without it the fleet-wide sel/conf hit-rate columns read "-".
-    jobs.push(JobSpec {
-        graph: GraphSource::Regular {
-            n: 80,
-            d: 6,
-            seed: 5,
-        },
-        algorithm: Algorithm::Oldc,
-        lists: ListSpec::Uniform {
-            space: 1 << 13,
-            len: 3000,
-            defect: 3,
-            salt: 0,
-        },
-        seed: 1,
-        faults: None,
-    });
+    // without them the fleet-wide sel/conf hit-rate columns read "-".
+    // The seed-1 instance runs twice — a fleet re-running a config is
+    // the shared kernel cache's target shape, and the repeat hits the
+    // warm subset-selection and conflict-verdict entries wholesale
+    // (different seeds draw disjoint subsets, so only an identical
+    // (shape, seed) pair demonstrates sharing).
+    for seed in [1u64, 2, 1] {
+        jobs.push(JobSpec {
+            graph: GraphSource::Regular {
+                n: 80,
+                d: 6,
+                seed: 5,
+            },
+            algorithm: Algorithm::Oldc,
+            lists: ListSpec::Uniform {
+                space: 1 << 13,
+                len: 3000,
+                defect: 3,
+                salt: 0,
+            },
+            seed,
+            faults: None,
+        });
+    }
     jobs
 }
 
 /// E17 — fleet batch throughput (DESIGN.md §10). Runs one job list
-/// through [`Fleet`] at shard widths 1/2/4/8, timing each pass and
+/// through [`Fleet`] at shard widths 1/2/4/8, then with solver threads
+/// and the fleet-shared kernel cache, timing each pass and
 /// byte-comparing every JSONL stream against the 1-shard baseline. The
 /// wall-clock columns are the one deliberately non-deterministic part,
 /// so CI never byte-diffs this table; the determinism job instead diffs
-/// `ldc batch` output across `--shards` values, which the last column
-/// checks in-process here.
+/// `ldc batch` output across `--shards` / `--solver-threads` values,
+/// which the last column checks in-process here.
 pub fn e17_fleet(quick: bool) -> Table {
     let mut t = Table::new(
         "E17",
-        "fleet batch runner: throughput vs shard count, with byte-identical JSONL at every width",
+        "fleet batch runner: throughput vs shards/threads/shared cache, with byte-identical JSONL everywhere",
         &[
             "shards",
+            "threads",
+            "shared",
             "jobs",
             "ok",
             "cache hits",
             "cache misses",
             "sel hit %",
             "conf hit %",
+            "shared hit %",
             "wall ms",
             "jobs/s",
             "jsonl bytes",
@@ -1378,9 +1389,24 @@ pub fn e17_fleet(quick: bool) -> Table {
     );
     let jobs = e17_jobs(quick);
     let mut baseline: Option<String> = None;
-    for shards in [1usize, 2, 4, 8] {
+    // (shards, solver threads, shared cache): the shard sweep first, then
+    // the solver-thread and shared-cache variants — every stream must
+    // byte-match the plain 1-shard baseline.
+    let configs: [(usize, usize, bool); 7] = [
+        (1, 1, false),
+        (2, 1, false),
+        (4, 1, false),
+        (8, 1, false),
+        (1, 4, false),
+        (1, 1, true),
+        (4, 4, true),
+    ];
+    for (shards, threads, shared) in configs {
         let start = std::time::Instant::now();
-        let run = Fleet::new(shards).run(&jobs);
+        let run = Fleet::new(shards)
+            .with_solver_threads(threads)
+            .with_shared_kernels(shared)
+            .run(&jobs);
         let ms = start.elapsed().as_millis() as u64;
         let stream = run.to_jsonl();
         let matches = match &baseline {
@@ -1391,28 +1417,25 @@ pub fn e17_fleet(quick: bool) -> Table {
             Some(b) => (b == &stream).to_string(),
         };
         let k = &run.summary.kernels;
-        let pct = |calls: u64, misses: u64| {
-            if calls == 0 {
-                "-".to_string()
-            } else {
-                format!("{:.1}", (calls - misses) as f64 * 100.0 / calls as f64)
-            }
-        };
+        let sc = &run.summary.shared;
         t.row(vec![
             shards.to_string(),
+            threads.to_string(),
+            if shared { "yes" } else { "no" }.to_string(),
             run.summary.jobs.to_string(),
             run.summary.ok.to_string(),
             run.summary.cache_hits.to_string(),
             run.summary.cache_misses.to_string(),
-            pct(k.select_calls, k.select_misses),
-            pct(k.conflict_calls, k.conflict_misses),
+            crate::table::hit_pct_cell(k.select_calls, k.select_misses),
+            crate::table::hit_pct_cell(k.conflict_calls, k.conflict_misses),
+            crate::table::hit_pct_cell(sc.hits + sc.misses, sc.misses),
             ms.to_string(),
             ((run.summary.jobs * 1000) / ms.max(1)).to_string(),
             stream.len().to_string(),
             matches,
         ]);
     }
-    t.note("Wall-ms and jobs/s are timed, so this table is excluded from the CI byte-diff set; shard invariance is still asserted per row (the last column byte-compares each stream to the 1-shard baseline). Sel/conf hit % are the fleet-wide kernel cache hit rates (deterministic — identical at every width). Throughput gains need multiple cores — a single-core host runs every shard width through a width-1 pool.");
+    t.note("Wall-ms and jobs/s are timed, so this table is excluded from the CI byte-diff set; invariance is still asserted per row (the last column byte-compares each stream to the plain 1-shard baseline, across shard widths, solver threads, and the shared kernel cache). Sel/conf hit % are the fleet-wide private cache hit rates — identical in every row because a shared-cache hit only skips recomputation, never a private miss count. Shared hit % is the fleet-shared cache's rate ('-' when disabled); it is scheduling-sensitive at shards > 1. Throughput gains need multiple cores — a single-core host runs every width through a width-1 pool.");
     t
 }
 

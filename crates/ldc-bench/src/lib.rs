@@ -20,4 +20,4 @@ pub mod history;
 pub mod table;
 pub mod workloads;
 
-pub use table::Table;
+pub use table::{hit_pct, hit_pct_cell, Table};

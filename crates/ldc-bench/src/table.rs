@@ -1,5 +1,26 @@
 //! Minimal aligned-text + JSON table output.
 
+/// Cache hit rate in percent. The zero-call case is exactly `0.0` (not
+/// NaN) — every hit-rate column in the bench suite divides through this
+/// one function, so "never ran" renders the same everywhere.
+pub fn hit_pct(calls: u64, misses: u64) -> f64 {
+    if calls == 0 {
+        0.0
+    } else {
+        (calls - misses) as f64 * 100.0 / calls as f64
+    }
+}
+
+/// [`hit_pct`] as a table cell: `-` when the kernel never ran, else one
+/// decimal place (`"93.8"`).
+pub fn hit_pct_cell(calls: u64, misses: u64) -> String {
+    if calls == 0 {
+        "-".to_string()
+    } else {
+        format!("{:.1}", hit_pct(calls, misses))
+    }
+}
+
 /// One experiment table: id, claim under test, column headers, rows, notes.
 #[derive(Debug, Clone)]
 pub struct Table {
@@ -139,6 +160,30 @@ fn json_string_array(items: &[String], indent: &str) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn hit_pct_zero_calls_is_deterministic_everywhere() {
+        // The zero-call kernel renders `-` in tables and 0.0 in JSON —
+        // never NaN, never a guard that one call site forgot.
+        assert_eq!(hit_pct(0, 0), 0.0);
+        assert!(hit_pct(0, 0).is_finite());
+        assert_eq!(hit_pct_cell(0, 0), "-");
+        assert_eq!(hit_pct(8, 2), 75.0);
+        assert_eq!(hit_pct_cell(8, 2), "75.0");
+        // 1/16 is exactly 6.25; `{:.1}` resolves the tie to even.
+        assert_eq!(hit_pct_cell(16, 15), "6.2", "one decimal, rounded");
+        assert_eq!(hit_pct_cell(3, 2), "33.3");
+        assert_eq!(hit_pct(5, 5), 0.0, "all-miss is 0, not -");
+        assert_eq!(hit_pct_cell(5, 5), "0.0");
+
+        // And a rendered table keeps the `-` cell aligned, not blank.
+        let mut t = Table::new("EX", "zero-call hit rate", &["sel hit %"]);
+        t.row(vec![hit_pct_cell(0, 0)]);
+        t.row(vec![hit_pct_cell(200, 10)]);
+        let r = t.render();
+        assert!(r.contains("-"));
+        assert!(r.contains("95.0"));
+    }
 
     #[test]
     fn renders_aligned() {

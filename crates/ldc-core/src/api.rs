@@ -20,16 +20,17 @@
 //! fault draws (see DESIGN.md §9).
 
 use crate::arbdefective::{solve_list_arbdefective, ArbConfig, Substrate};
-use crate::colorspace::Theorem11Solver;
+use crate::colorspace::ConfiguredSolver;
 use crate::ctx::{CoreError, OldcCtx};
 use crate::existence;
-use crate::kernels::KernelStats;
-use crate::oldc::solve_oldc;
+use crate::kernels::{KernelConfig, KernelStats, SharedTypeCache};
+use crate::oldc::solve_oldc_cfg;
 use crate::params::{practical_kappa, ParamProfile};
 use crate::problem::{Color, LdcInstance, OldcInstance};
 use crate::validate;
 use ldc_graph::{Orientation, ProperColoring};
 use ldc_sim::{Bandwidth, ExecMode, FaultPlan, Metrics, Network, RetryPolicy, Tracer};
+use std::sync::Arc;
 
 /// A fault environment: the seeded plan driving the fault draws plus the
 /// engine's round-retry policy. Carried by [`SolveOptions::faults`].
@@ -59,6 +60,15 @@ pub struct SolveOptions {
     pub faults: Option<FaultEnv>,
     /// Engine execution-mode override (`None` = engine default).
     pub exec: Option<ExecMode>,
+    /// Worker threads for the solver's batched per-node phases (subset
+    /// selection, conflict verification, `best_color`). `1` (the default)
+    /// runs them inline; outputs and kernel call/miss counters are
+    /// byte-identical at every thread count (DESIGN.md §13).
+    pub solver_threads: usize,
+    /// Fleet-shared kernel cache: warm subset-selection and
+    /// conflict-verdict entries are reused across solves that share it.
+    /// `None` (the default) keeps every solve's cache private.
+    pub shared_kernels: Option<Arc<SharedTypeCache>>,
 }
 
 impl Default for SolveOptions {
@@ -70,6 +80,8 @@ impl Default for SolveOptions {
             tracer: Tracer::disabled(),
             faults: None,
             exec: None,
+            solver_threads: 1,
+            shared_kernels: None,
         }
     }
 }
@@ -109,6 +121,29 @@ impl SolveOptions {
     pub fn with_exec(mut self, exec: ExecMode) -> Self {
         self.exec = Some(exec);
         self
+    }
+
+    /// Set the worker-thread count for the solver's batched phases
+    /// (clamped to ≥ 1).
+    pub fn with_solver_threads(mut self, threads: usize) -> Self {
+        self.solver_threads = threads.max(1);
+        self
+    }
+
+    /// Attach a fleet-shared kernel cache.
+    pub fn with_shared_kernels(mut self, shared: Arc<SharedTypeCache>) -> Self {
+        self.shared_kernels = Some(shared);
+        self
+    }
+
+    /// The [`KernelConfig`] these options describe (default kernel mode;
+    /// thread count and shared cache from the options).
+    pub fn kernel_config(&self) -> KernelConfig {
+        let cfg = KernelConfig::default().with_threads(self.solver_threads);
+        match &self.shared_kernels {
+            Some(shared) => cfg.with_shared(shared.clone()),
+            None => cfg,
+        }
     }
 
     /// Attach the execution environment these options carry — tracer,
@@ -246,7 +281,7 @@ impl<'g> OldcInstance<'g> {
         let mut net = Network::new(g, opts.bandwidth);
         opts.configure(&mut net);
         let result = (|| {
-            let out = solve_oldc(&mut net, &ctx, &self.lists)?;
+            let out = solve_oldc_cfg(&mut net, &ctx, &self.lists, &opts.kernel_config())?;
             let kernels = out.stats.kernels;
             let colors: Vec<Color> = out
                 .colors
@@ -346,7 +381,7 @@ impl<'g> LdcInstance<'g> {
                 &self.lists,
                 &init,
                 &cfg,
-                &Theorem11Solver,
+                &ConfiguredSolver(opts.kernel_config()),
             )?;
             validate::validate_arbdefective(g, &self.lists, &colors, &orientation).map_err(
                 |e| CoreError::Precondition {

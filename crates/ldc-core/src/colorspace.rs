@@ -15,8 +15,8 @@
 //! at every level.
 
 use crate::ctx::{span as spans, CoreError, OldcCtx};
-use crate::kernels::{KernelMode, KernelStats};
-use crate::oldc::{solve_oldc, solve_oldc_in};
+use crate::kernels::{KernelConfig, KernelMode, KernelStats};
+use crate::oldc::{solve_oldc, solve_oldc_cfg, solve_oldc_in};
 use crate::problem::{Color, DefectList};
 use ldc_sim::Network;
 
@@ -100,6 +100,38 @@ impl OldcSolver for ReferenceKernelSolver {
         kernels: &mut KernelStats,
     ) -> Result<Vec<Option<Color>>, CoreError> {
         let out = solve_oldc_in(net, ctx, lists, KernelMode::Reference)?;
+        kernels.absorb(&out.stats.kernels);
+        Ok(out.colors)
+    }
+}
+
+/// [`Theorem11Solver`] carrying a full [`KernelConfig`] — kernel mode,
+/// worker threads for the batched solver phases, optional
+/// [`crate::kernels::SharedTypeCache`]. Outputs and the call/miss kernel
+/// counters are byte-identical to [`Theorem11Solver`] for every
+/// configuration; only wall-clock (threads) and recomputation (shared
+/// cache) change.
+#[derive(Debug, Clone, Default)]
+pub struct ConfiguredSolver(pub KernelConfig);
+
+impl OldcSolver for ConfiguredSolver {
+    fn solve(
+        &self,
+        net: &mut Network<'_>,
+        ctx: &OldcCtx<'_, '_>,
+        lists: &[DefectList],
+    ) -> Result<Vec<Option<Color>>, CoreError> {
+        Ok(solve_oldc_cfg(net, ctx, lists, &self.0)?.colors)
+    }
+
+    fn solve_stats(
+        &self,
+        net: &mut Network<'_>,
+        ctx: &OldcCtx<'_, '_>,
+        lists: &[DefectList],
+        kernels: &mut KernelStats,
+    ) -> Result<Vec<Option<Color>>, CoreError> {
+        let out = solve_oldc_cfg(net, ctx, lists, &self.0)?;
         kernels.absorb(&out.stats.kernels);
         Ok(out.colors)
     }

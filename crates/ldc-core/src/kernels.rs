@@ -28,6 +28,17 @@
 //!   cache holds every `Arc` it ever returned) and both the packed-set
 //!   table and the verdict table key on it.
 //!
+//! * Batched entry points ([`TypeCache::select_batch`],
+//!   [`TypeCache::conflict_batch`], [`TypeCache::best_color_batch`]) that
+//!   fan the *pure* miss computations out over the `ldc_sim::pool`
+//!   workers and publish results in request order — byte-identical to
+//!   the equivalent sequence of single calls at every thread count.
+//! * [`SharedTypeCache`] — an optional fleet-wide layer behind a sharded
+//!   lock map: selections and conflict verdicts interned by *content*
+//!   keys (strategy seed, list/set bytes, thresholds), so same-shaped
+//!   jobs in a batch warm each other. A shared hit never changes private
+//!   counter streams — it only skips recomputation.
+//!
 //! Every kernel has a naive counterpart in [`crate::conflict`] /
 //! [`crate::cover`]; `KernelMode::Reference` routes through those
 //! verbatim, and the seeded equivalence suite asserts byte-identical
@@ -36,8 +47,16 @@
 use crate::conflict::tau_g_conflict;
 use crate::cover::{list_fingerprint, SeededSubset};
 use crate::problem::Color;
+use ldc_sim::pool::{pool_execute, DisjointChunks, MAX_CHUNKS};
 use std::collections::HashMap;
-use std::sync::Arc;
+use std::hash::{BuildHasherDefault, Hasher};
+use std::sync::{Arc, Mutex};
+
+/// A pair of interned candidate sets, as gathered for
+/// [`TypeCache::conflict_batch`] — both halves are `Arc` clones of lists
+/// previously returned by the selection kernels, so a batch holds them
+/// without copying color data.
+pub type ListPair = (Arc<[Color]>, Arc<[Color]>);
 
 /// Which kernel implementations a solver run uses.
 ///
@@ -204,9 +223,15 @@ pub fn psi_g_fast(k1: &[Vec<Color>], k2: &[Vec<Color>], tau_prime: u64, tau: u64
     false
 }
 
-/// Hit/miss accounting of a [`TypeCache`] (deterministic: a pure function
-/// of the instance, so it byte-diffs across runs and thread counts —
-/// experiment E18 tabulates it).
+/// Hit/miss accounting of a [`TypeCache`].
+///
+/// The call/miss/distinct/eviction counters are deterministic — pure
+/// functions of the instance and the request sequence, so they byte-diff
+/// across runs, thread counts, and with the shared cache on or off
+/// (experiment E18 tabulates them). `shared_hits` / `shared_misses`
+/// split the same private misses by whether the fleet-shared cache
+/// resolved them; that split depends on job scheduling once fleet shards
+/// overlap, so it is kept out of byte-diffed artifacts.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct KernelStats {
     /// Candidate-set selections requested.
@@ -221,6 +246,14 @@ pub struct KernelStats {
     pub distinct_lists: u64,
     /// Distinct candidate sets packed.
     pub distinct_sets: u64,
+    /// Interned lists dropped by capacity-bound epoch resets.
+    pub evictions: u64,
+    /// Private misses resolved from the fleet-shared cache
+    /// (scheduling-dependent; see the struct docs).
+    pub shared_hits: u64,
+    /// Private misses the fleet-shared cache also missed (computed
+    /// locally, then published to it).
+    pub shared_misses: u64,
 }
 
 impl KernelStats {
@@ -233,12 +266,292 @@ impl KernelStats {
         self.conflict_misses += other.conflict_misses;
         self.distinct_lists += other.distinct_lists;
         self.distinct_sets += other.distinct_sets;
+        self.evictions += other.evictions;
+        self.shared_hits += other.shared_hits;
+        self.shared_misses += other.shared_misses;
     }
 }
 
 /// Key of a memoized selection: the node type `(init_color, list)` —
 /// with the list replaced by its interned id — plus `(k, attempt)`.
 type SelectKey = (u64, u32, u64, u32);
+
+/// Deterministic FxHash-style hasher for the kernel maps. The shared
+/// cache must pick the same shard for the same key in every process (so
+/// no `RandomState`), and the per-call memo probes are small fixed-shape
+/// keys where SipHash costs more than the bucket walk it guards.
+#[derive(Default)]
+pub struct DetHasher(u64);
+
+impl Hasher for DetHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 = (self.0 ^ u64::from(b)).wrapping_mul(0x100_0000_01b3);
+        }
+    }
+
+    fn write_u64(&mut self, v: u64) {
+        self.0 = (self.0 ^ v)
+            .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+            .rotate_left(23);
+    }
+
+    fn write_u32(&mut self, v: u32) {
+        self.write_u64(u64::from(v));
+    }
+
+    fn write_usize(&mut self, v: usize) {
+        self.write_u64(v as u64);
+    }
+}
+
+/// Hash map with deterministic, cross-process-stable hashing.
+type DetMap<K, V> = HashMap<K, V, BuildHasherDefault<DetHasher>>;
+
+/// Default bound on interned lists per [`TypeCache`]: generous enough
+/// that no benchmark workload short of the adversarial all-distinct-lists
+/// one ever trips it, small enough that a long fleet run cannot leak.
+pub const DEFAULT_LIST_CAPACITY: usize = 1 << 15;
+
+/// Work threshold (in total color slots) below which a batched kernel
+/// phase runs inline — the same idiom as the engine's slots-per-chunk
+/// constant: fan-out only pays once a phase carries real volume.
+const PAR_WORK_THRESHOLD: u64 = 1 << 15;
+
+/// How a solve runs its kernels: implementation mode, worker threads for
+/// the batched phases, the interned-list capacity bound, and an optional
+/// fleet-shared cache. `KernelConfig::from(mode)` reproduces the
+/// historical sequential, private-cache behavior exactly.
+#[derive(Debug, Clone)]
+pub struct KernelConfig {
+    /// Kernel implementations (fast vs. reference).
+    pub mode: KernelMode,
+    /// Worker threads for the batched kernel phases (1 = sequential; the
+    /// outputs are byte-identical at every value).
+    pub threads: usize,
+    /// Interned-list capacity; reaching it triggers a deterministic
+    /// epoch reset (see [`TypeCache`]).
+    pub list_capacity: usize,
+    /// Fleet-shared kernel cache, if any.
+    pub shared: Option<Arc<SharedTypeCache>>,
+}
+
+impl Default for KernelConfig {
+    fn default() -> Self {
+        KernelConfig {
+            mode: KernelMode::default(),
+            threads: 1,
+            list_capacity: DEFAULT_LIST_CAPACITY,
+            shared: None,
+        }
+    }
+}
+
+impl From<KernelMode> for KernelConfig {
+    fn from(mode: KernelMode) -> Self {
+        KernelConfig {
+            mode,
+            ..KernelConfig::default()
+        }
+    }
+}
+
+impl KernelConfig {
+    /// Set the worker-thread count for the batched phases.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// Set the interned-list capacity bound.
+    pub fn with_list_capacity(mut self, cap: usize) -> Self {
+        self.list_capacity = cap.max(1);
+        self
+    }
+
+    /// Attach a fleet-shared cache.
+    pub fn with_shared(mut self, shared: Arc<SharedTypeCache>) -> Self {
+        self.shared = Some(shared);
+        self
+    }
+}
+
+/// Merged totals of a [`SharedTypeCache`] (shards folded in index order).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SharedCacheStats {
+    /// Lookups that found an entry.
+    pub hits: u64,
+    /// Lookups that missed.
+    pub misses: u64,
+    /// Entries currently resident (selections + verdicts).
+    pub entries: u64,
+    /// Entries dropped by per-shard epoch resets.
+    pub evictions: u64,
+}
+
+/// Shared selection key: `(strategy seed, init_color, k, attempt, list)`
+/// — everything `SeededSubset::select` is a function of, with the list
+/// compared by contents (`Arc<[Color]>` hashes and compares through the
+/// slice), so a hit is always byte-identical to recomputation.
+type SharedSelectKey = (u64, u64, u64, u32, Arc<[Color]>);
+
+/// Shared verdict key: `(τ, g, smaller set, larger set)` with the pair
+/// ordered lexicographically by contents (`conflict_weight` is
+/// symmetric).
+type SharedVerdictKey = (u64, u64, Arc<[Color]>, Arc<[Color]>);
+
+#[derive(Default)]
+struct SharedShard {
+    select: DetMap<SharedSelectKey, Arc<[Color]>>,
+    verdicts: DetMap<SharedVerdictKey, bool>,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+}
+
+/// A fleet-wide kernel cache: candidate-set selections and conflict
+/// verdicts interned behind a sharded lock map so same-shaped jobs in a
+/// batch warm each other's subset-selection and conflict-verdict
+/// entries.
+///
+/// Keys embed everything the kernels are functions of (see
+/// [`SharedSelectKey`] / [`SharedVerdictKey`]), so one cache can serve
+/// solver invocations with different seeds, thresholds, and spacings.
+/// The shard of a key is its deterministic [`DetHasher`] hash modulo the
+/// shard count; each shard's maps are capacity-bounded with a clear-all
+/// epoch reset, and [`SharedTypeCache::snapshot`] merges per-shard stats
+/// in shard-index order.
+///
+/// The shared layer never alters private [`KernelStats`] accounting: a
+/// shared hit still counts as a private miss (only the recomputation is
+/// skipped and the result is installed into the private memo), so every
+/// per-job stat row byte-matches with the shared cache on or off. Only
+/// the `shared_hits` / `shared_misses` split — and this cache's own
+/// [`SharedCacheStats`] — reveal sharing, and those are
+/// scheduling-dependent once fleet shards overlap in time.
+pub struct SharedTypeCache {
+    shards: Vec<Mutex<SharedShard>>,
+    shard_capacity: usize,
+}
+
+impl std::fmt::Debug for SharedTypeCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SharedTypeCache")
+            .field("shards", &self.shards.len())
+            .field("shard_capacity", &self.shard_capacity)
+            .finish()
+    }
+}
+
+impl SharedTypeCache {
+    /// A cache with `shards` lock shards, each holding at most
+    /// `shard_capacity` entries per map (selections and verdicts are
+    /// bounded independently; reaching a bound clears that map).
+    pub fn new(shards: usize, shard_capacity: usize) -> Arc<Self> {
+        Arc::new(SharedTypeCache {
+            shards: (0..shards.clamp(1, 256))
+                .map(|_| Mutex::new(SharedShard::default()))
+                .collect(),
+            shard_capacity: shard_capacity.max(1),
+        })
+    }
+
+    /// The default fleet configuration: 16 shards × 2¹⁴ entries.
+    pub fn with_defaults() -> Arc<Self> {
+        Self::new(16, 1 << 14)
+    }
+
+    fn hash_key<K: std::hash::Hash>(key: &K) -> u64 {
+        let mut h = DetHasher::default();
+        key.hash(&mut h);
+        h.finish()
+    }
+
+    fn shard(&self, hash: u64) -> std::sync::MutexGuard<'_, SharedShard> {
+        let i = (hash % self.shards.len() as u64) as usize;
+        self.shards[i].lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn select_get(&self, key: &SharedSelectKey) -> Option<Arc<[Color]>> {
+        let mut s = self.shard(Self::hash_key(key));
+        match s.select.get(key) {
+            Some(set) => {
+                let set = set.clone();
+                s.hits += 1;
+                Some(set)
+            }
+            None => {
+                s.misses += 1;
+                None
+            }
+        }
+    }
+
+    fn select_put(&self, key: SharedSelectKey, set: Arc<[Color]>) {
+        let cap = self.shard_capacity;
+        let mut s = self.shard(Self::hash_key(&key));
+        if s.select.len() >= cap {
+            s.evictions += s.select.len() as u64;
+            s.select.clear();
+        }
+        s.select.insert(key, set);
+    }
+
+    fn verdict_key(tau: u64, g: u64, a: &Arc<[Color]>, b: &Arc<[Color]>) -> SharedVerdictKey {
+        if a.as_ref() <= b.as_ref() {
+            (tau, g, a.clone(), b.clone())
+        } else {
+            (tau, g, b.clone(), a.clone())
+        }
+    }
+
+    fn verdict_get(&self, key: &SharedVerdictKey) -> Option<bool> {
+        let mut s = self.shard(Self::hash_key(key));
+        match s.verdicts.get(key).copied() {
+            Some(v) => {
+                s.hits += 1;
+                Some(v)
+            }
+            None => {
+                s.misses += 1;
+                None
+            }
+        }
+    }
+
+    fn verdict_put(&self, key: SharedVerdictKey, verdict: bool) {
+        let cap = self.shard_capacity;
+        let mut s = self.shard(Self::hash_key(&key));
+        if s.verdicts.len() >= cap {
+            s.evictions += s.verdicts.len() as u64;
+            s.verdicts.clear();
+        }
+        s.verdicts.insert(key, verdict);
+    }
+
+    /// Merged totals over all shards, folded in shard-index order
+    /// (deterministic once the fleet is quiescent).
+    pub fn snapshot(&self) -> SharedCacheStats {
+        let mut out = SharedCacheStats::default();
+        for m in &self.shards {
+            let s = m.lock().unwrap_or_else(|e| e.into_inner());
+            out.hits += s.hits;
+            out.misses += s.misses;
+            out.entries += (s.select.len() + s.verdicts.len()) as u64;
+            out.evictions += s.evictions;
+        }
+        out
+    }
+}
+
+/// Chunk boundaries splitting `items` into `chunks` near-equal ranges.
+fn chunk_bounds(items: usize, chunks: usize) -> Vec<usize> {
+    (0..=chunks).map(|c| c * items / chunks).collect()
+}
 
 /// Per-solve memoization of the type-keyed solver kernels.
 ///
@@ -251,10 +564,18 @@ pub struct TypeCache {
     strategy: SeededSubset,
     tau: u64,
     g: u64,
+    /// Worker threads for the batched phases (1 = always inline).
+    threads: usize,
+    /// Interned-list capacity; reaching it resets the list epoch.
+    list_capacity: usize,
+    /// Bumped on every capacity-bound epoch reset.
+    list_epoch: u64,
+    /// Fleet-shared cache, consulted on private misses.
+    shared: Option<Arc<SharedTypeCache>>,
     /// fingerprint → interned list ids with that fingerprint (equality is
     /// verified on lookup, so collisions cannot alias two types).
     list_ids: HashMap<u64, Vec<u32>>,
-    list_store: Vec<Box<[Color]>>,
+    list_store: Vec<Arc<[Color]>>,
     select_memo: HashMap<SelectKey, Arc<[Color]>>,
     /// `Arc` address → packed id. Valid because `arcs` pins every interned
     /// allocation for the cache's lifetime.
@@ -276,13 +597,24 @@ pub struct TypeCache {
 }
 
 impl TypeCache {
-    /// A cache for one solve under `(strategy, τ, g)`.
+    /// A cache for one solve under `(strategy, τ, g)` with the default
+    /// configuration for `mode` (sequential, private, default capacity).
     pub fn new(strategy: SeededSubset, tau: u64, g: u64, mode: KernelMode) -> Self {
+        Self::with_config(strategy, tau, g, &KernelConfig::from(mode))
+    }
+
+    /// A cache for one solve under `(strategy, τ, g)` with an explicit
+    /// [`KernelConfig`] (threads, list capacity, shared cache).
+    pub fn with_config(strategy: SeededSubset, tau: u64, g: u64, cfg: &KernelConfig) -> Self {
         TypeCache {
-            mode,
+            mode: cfg.mode,
             strategy,
             tau,
             g,
+            threads: cfg.threads.max(1),
+            list_capacity: cfg.list_capacity.max(1),
+            list_epoch: 0,
+            shared: cfg.shared.clone(),
             list_ids: HashMap::new(),
             list_store: Vec::new(),
             select_memo: HashMap::new(),
@@ -328,6 +660,27 @@ impl TypeCache {
             return set.clone();
         }
         self.stats.select_misses += 1;
+        if let Some(shared) = self.shared.clone() {
+            let skey: SharedSelectKey = (
+                self.strategy.seed,
+                init_color,
+                k as u64,
+                attempt,
+                self.list_store[list_id as usize].clone(),
+            );
+            if let Some(set) = shared.select_get(&skey) {
+                self.stats.shared_hits += 1;
+                self.select_memo.insert(key, set.clone());
+                return set;
+            }
+            self.stats.shared_misses += 1;
+            self.strategy
+                .select_into(init_color, list, k, attempt, &mut self.scratch);
+            let set: Arc<[Color]> = Arc::from(&self.scratch[..]);
+            self.select_memo.insert(key, set.clone());
+            shared.select_put(skey, set.clone());
+            return set;
+        }
         self.strategy
             .select_into(init_color, list, k, attempt, &mut self.scratch);
         let set: Arc<[Color]> = Arc::from(&self.scratch[..]);
@@ -350,22 +703,39 @@ impl TypeCache {
             return v;
         }
         self.stats.conflict_misses += 1;
-        let verdict = if self.g == 0 {
-            // Adaptive: popcount when the word spans are cheaper than the
-            // merge, the early-exit merge otherwise. Same verdict either
-            // way (both equal `conflict_weight ≥ τ`).
+        if let Some(shared) = self.shared.clone() {
+            let skey = SharedTypeCache::verdict_key(self.tau, self.g, a, b);
+            if let Some(v) = shared.verdict_get(&skey) {
+                self.stats.shared_hits += 1;
+                self.verdicts.insert(key, v);
+                return v;
+            }
+            self.stats.shared_misses += 1;
+            let verdict = self.compute_verdict(ia, ib);
+            self.verdicts.insert(key, verdict);
+            shared.verdict_put(skey, verdict);
+            return verdict;
+        }
+        let verdict = self.compute_verdict(ia, ib);
+        self.verdicts.insert(key, verdict);
+        verdict
+    }
+
+    /// The raw verdict of two interned sets: adaptive popcount when `g`
+    /// is 0 and the word spans are cheaper than the merge, the early-exit
+    /// merge otherwise. Same verdict either way (both equal
+    /// `conflict_weight ≥ τ`). `&self` only — callable from the parallel
+    /// batch pass.
+    fn compute_verdict(&self, ia: u32, ib: u32) -> bool {
+        let (a, b) = (&self.arcs[ia as usize], &self.arcs[ib as usize]);
+        if self.g == 0 {
             let (pa, pb) = (&self.packed[ia as usize], &self.packed[ib as usize]);
             let words = pa.word_count().min(pb.word_count());
             if words <= a.len() + b.len() {
-                pa.intersection_size(pb) >= self.tau
-            } else {
-                conflict_weight_at_least(a, b, self.tau, self.g)
+                return pa.intersection_size(pb) >= self.tau;
             }
-        } else {
-            conflict_weight_at_least(a, b, self.tau, self.g)
-        };
-        self.verdicts.insert(key, verdict);
-        verdict
+        }
+        conflict_weight_at_least(a, b, self.tau, self.g)
     }
 
     /// Intern a candidate set by address and return its packed id
@@ -417,8 +787,6 @@ impl TypeCache {
         let mut freq = std::mem::take(&mut self.freq_scratch);
         ids.clear();
         decided.clear();
-        freq.clear();
-        freq.resize(cand.len(), 0);
         for (dec, set) in ports {
             if let Some(c) = dec {
                 decided.push(c);
@@ -426,6 +794,35 @@ impl TypeCache {
                 ids.push(self.packed_id(cu));
             }
         }
+        let best = Self::best_color_core(
+            &self.packed,
+            self.g,
+            cand,
+            &mut ids,
+            &mut decided,
+            &mut freq,
+        );
+        self.group_scratch = ids;
+        self.decided_scratch = decided;
+        self.freq_scratch = freq;
+        best
+    }
+
+    /// The frequency pass of [`Self::best_color`], over already-gathered
+    /// inputs: `ids` / `decided` are the (unsorted) packed ids and decided
+    /// colors of the node's relevant ports; `freq` is scratch. A pure
+    /// function of its arguments — the batch pass calls it from worker
+    /// threads with per-chunk scratch.
+    fn best_color_core(
+        packed: &[PackedSet],
+        g: u64,
+        cand: &[Color],
+        ids: &mut [u32],
+        decided: &mut [Color],
+        freq: &mut Vec<u64>,
+    ) -> Option<(u64, Color)> {
+        freq.clear();
+        freq.resize(cand.len(), 0);
         decided.sort_unstable();
         ids.sort_unstable();
         let mut at = 0usize;
@@ -436,22 +833,21 @@ impl TypeCache {
                 mult += 1;
                 at += 1;
             }
-            let set = &self.packed[id as usize];
-            if self.g == 0 {
+            let set = &packed[id as usize];
+            if g == 0 {
                 for (f, &x) in freq.iter_mut().zip(cand) {
                     *f += mult * u64::from(set.contains(x));
                 }
             } else {
                 for (f, &x) in freq.iter_mut().zip(cand) {
-                    *f +=
-                        mult * set.count_range(x.saturating_sub(self.g), x.saturating_add(self.g));
+                    *f += mult * set.count_range(x.saturating_sub(g), x.saturating_add(g));
                 }
             }
         }
         let mut best: Option<(u64, Color)> = None;
         for (&x, &fs) in cand.iter().zip(freq.iter()) {
-            let lo = x.saturating_sub(self.g);
-            let hi = x.saturating_add(self.g);
+            let lo = x.saturating_sub(g);
+            let hi = x.saturating_add(g);
             let start = decided.partition_point(|&c| c < lo);
             let end = decided.partition_point(|&c| c <= hi);
             let f = fs + (end - start) as u64;
@@ -459,9 +855,6 @@ impl TypeCache {
                 best = Some((f, x));
             }
         }
-        self.group_scratch = ids;
-        self.decided_scratch = decided;
-        self.freq_scratch = freq;
         best
     }
 
@@ -470,17 +863,444 @@ impl TypeCache {
     /// fingerprint.
     fn intern_list(&mut self, list: &[Color]) -> u32 {
         let fp = list_fingerprint(list);
-        let bucket = self.list_ids.entry(fp).or_default();
-        for &id in bucket.iter() {
-            if *self.list_store[id as usize] == *list {
-                return id;
+        if let Some(bucket) = self.list_ids.get(&fp) {
+            for &id in bucket.iter() {
+                if *self.list_store[id as usize] == *list {
+                    return id;
+                }
             }
         }
+        // A new list at the capacity bound resets the list epoch: the
+        // interned lists, their fingerprint buckets, and the select memo
+        // (its keys embed list ids) are dropped together. The reset is a
+        // pure function of the interning sequence, so thread counts and
+        // shared-cache state cannot change when it fires.
+        if self.list_store.len() >= self.list_capacity {
+            self.stats.evictions += self.list_store.len() as u64;
+            self.list_epoch += 1;
+            self.list_ids.clear();
+            self.list_store.clear();
+            self.select_memo.clear();
+        }
         let id = self.list_store.len() as u32;
-        self.list_store.push(list.into());
-        bucket.push(id);
+        self.list_store.push(Arc::from(list));
+        self.list_ids.entry(fp).or_default().push(id);
         self.stats.distinct_lists += 1;
         id
+    }
+
+    /// Chunk count for a batched phase over `items` units carrying `work`
+    /// total color slots: 1 (inline) unless the configured thread count
+    /// and the work volume justify fan-out.
+    fn par_chunks(&self, items: usize, work: u64) -> usize {
+        if self.threads <= 1 || items < 2 || work < PAR_WORK_THRESHOLD {
+            1
+        } else {
+            self.threads.min(MAX_CHUNKS).min(items)
+        }
+    }
+
+    /// Batched [`Self::select`]: results, stats, and memo state are
+    /// byte-identical to calling `select` once per request in order, but
+    /// the selections neither memo layer holds are computed out-of-order
+    /// across the worker pool — `SeededSubset::select_into` is a pure
+    /// function of the request (plus the shared seed), so computing
+    /// misses in parallel and publishing them in queue order is
+    /// indistinguishable from the sequential loop. Two requests with the
+    /// same key cost one computation and one miss, exactly as the second
+    /// sequential call would have hit the memo entry of the first.
+    pub fn select_batch(&mut self, reqs: &[SelectReq<'_>]) -> Vec<Arc<[Color]>> {
+        if self.mode == KernelMode::Reference {
+            return self.select_batch_reference(reqs);
+        }
+        enum Slot {
+            Done(Arc<[Color]>),
+            Pending(u32),
+        }
+        // Pass 1 (sequential, request order): count calls, intern lists,
+        // probe the private memo and the shared cache, queue the rest.
+        let mut slots: Vec<Slot> = Vec::with_capacity(reqs.len());
+        let mut pending: Vec<PendingSelect> = Vec::new();
+        let mut pending_of: DetMap<SelectKey, u32> = DetMap::default();
+        let mut epoch = self.list_epoch;
+        for r in reqs {
+            self.stats.select_calls += 1;
+            let list_id = self.intern_list(r.list);
+            if self.list_epoch != epoch {
+                // An epoch reset wiped the select memo; queued keys from
+                // the old epoch must not alias re-issued list ids, so the
+                // key → queue-index map restarts with the epoch (already
+                // queued computations still run and resolve their slots).
+                epoch = self.list_epoch;
+                pending_of.clear();
+            }
+            let key: SelectKey = (r.init_color, list_id, r.k as u64, r.attempt);
+            if let Some(set) = self.select_memo.get(&key) {
+                slots.push(Slot::Done(set.clone()));
+                continue;
+            }
+            if let Some(&pi) = pending_of.get(&key) {
+                slots.push(Slot::Pending(pi));
+                continue;
+            }
+            self.stats.select_misses += 1;
+            let list = self.list_store[list_id as usize].clone();
+            let shared_key = if let Some(shared) = self.shared.clone() {
+                let skey: SharedSelectKey = (
+                    self.strategy.seed,
+                    r.init_color,
+                    r.k as u64,
+                    r.attempt,
+                    list.clone(),
+                );
+                if let Some(set) = shared.select_get(&skey) {
+                    self.stats.shared_hits += 1;
+                    self.select_memo.insert(key, set.clone());
+                    slots.push(Slot::Done(set));
+                    continue;
+                }
+                self.stats.shared_misses += 1;
+                Some(skey)
+            } else {
+                None
+            };
+            pending_of.insert(key, pending.len() as u32);
+            slots.push(Slot::Pending(pending.len() as u32));
+            pending.push(PendingSelect {
+                key,
+                epoch,
+                init_color: r.init_color,
+                k: r.k,
+                attempt: r.attempt,
+                list,
+                shared_key,
+            });
+        }
+        // Pass 2 (parallel): compute the queued selections.
+        let computed = self.compute_selections(&pending);
+        // Pass 3 (sequential, queue order): publish. Entries queued
+        // before an epoch reset are not re-inserted into the memo — the
+        // sequential loop would have inserted and then wiped them.
+        for (p, set) in pending.into_iter().zip(computed.iter()) {
+            if p.epoch == self.list_epoch {
+                self.select_memo.insert(p.key, set.clone());
+            }
+            if let (Some(skey), Some(shared)) = (p.shared_key, self.shared.as_ref()) {
+                shared.select_put(skey, set.clone());
+            }
+        }
+        slots
+            .into_iter()
+            .map(|s| match s {
+                Slot::Done(set) => set,
+                Slot::Pending(pi) => computed[pi as usize].clone(),
+            })
+            .collect()
+    }
+
+    /// Reference-mode batch: every request computes (no memoization), in
+    /// parallel — the computation is pure, the results land in request
+    /// order.
+    fn select_batch_reference(&mut self, reqs: &[SelectReq<'_>]) -> Vec<Arc<[Color]>> {
+        self.stats.select_calls += reqs.len() as u64;
+        self.stats.select_misses += reqs.len() as u64;
+        if reqs.is_empty() {
+            return Vec::new();
+        }
+        let work: u64 = reqs.iter().map(|r| r.list.len() as u64).sum();
+        let chunks = self.par_chunks(reqs.len(), work);
+        let bounds = chunk_bounds(reqs.len(), chunks);
+        let mut out: Vec<Option<Arc<[Color]>>> = vec![None; reqs.len()];
+        let slots = DisjointChunks::new(&mut out, &bounds);
+        let strategy = self.strategy;
+        pool_execute(self.threads, chunks, |c| {
+            let mut scratch: Vec<Color> = Vec::new();
+            let start = bounds[c];
+            for (off, slot) in slots.take(c).iter_mut().enumerate() {
+                let r = &reqs[start + off];
+                strategy.select_into(r.init_color, r.list, r.k, r.attempt, &mut scratch);
+                *slot = Some(Arc::from(&scratch[..]));
+            }
+        });
+        out.into_iter().map(|s| s.expect("chunk filled")).collect()
+    }
+
+    /// Pass 2 of [`Self::select_batch`]: compute the queued selections,
+    /// fanning out over the pool when the volume warrants it. Chunks
+    /// write disjoint result ranges with per-chunk scratch; results land
+    /// in queue order regardless of thread count.
+    fn compute_selections(&self, pending: &[PendingSelect]) -> Vec<Arc<[Color]>> {
+        if pending.is_empty() {
+            return Vec::new();
+        }
+        let work: u64 = pending.iter().map(|p| p.list.len() as u64).sum();
+        let chunks = self.par_chunks(pending.len(), work);
+        let bounds = chunk_bounds(pending.len(), chunks);
+        let mut out: Vec<Option<Arc<[Color]>>> = vec![None; pending.len()];
+        let slots = DisjointChunks::new(&mut out, &bounds);
+        let strategy = self.strategy;
+        pool_execute(self.threads, chunks, |c| {
+            let mut scratch: Vec<Color> = Vec::new();
+            let start = bounds[c];
+            for (off, slot) in slots.take(c).iter_mut().enumerate() {
+                let p = &pending[start + off];
+                strategy.select_into(p.init_color, &p.list, p.k, p.attempt, &mut scratch);
+                *slot = Some(Arc::from(&scratch[..]));
+            }
+        });
+        out.into_iter().map(|s| s.expect("chunk filled")).collect()
+    }
+
+    /// Batched [`Self::conflict`]: verdicts, stats, and memo state are
+    /// byte-identical to calling `conflict` over `pairs` in order; the
+    /// verdicts neither memo layer holds are pure functions of the two
+    /// interned sets and fan out over the pool (the packed tables are
+    /// frozen for the pass — [`Self::compute_verdict`] takes `&self`).
+    pub fn conflict_batch(&mut self, pairs: &[ListPair]) -> Vec<bool> {
+        if self.mode == KernelMode::Reference {
+            return self.conflict_batch_reference(pairs);
+        }
+        enum Slot {
+            Done(bool),
+            Pending(u32),
+        }
+        // Pass 1 (sequential, pair order): intern, probe, queue.
+        let mut slots: Vec<Slot> = Vec::with_capacity(pairs.len());
+        let mut pending: Vec<PendingVerdict> = Vec::new();
+        let mut pending_of: DetMap<(u32, u32), u32> = DetMap::default();
+        for (a, b) in pairs {
+            self.stats.conflict_calls += 1;
+            let ia = self.packed_id(a);
+            let ib = self.packed_id(b);
+            let key = (ia.min(ib), ia.max(ib));
+            if let Some(&v) = self.verdicts.get(&key) {
+                slots.push(Slot::Done(v));
+                continue;
+            }
+            if let Some(&pi) = pending_of.get(&key) {
+                slots.push(Slot::Pending(pi));
+                continue;
+            }
+            self.stats.conflict_misses += 1;
+            let shared_key = if let Some(shared) = self.shared.clone() {
+                let skey = SharedTypeCache::verdict_key(self.tau, self.g, a, b);
+                if let Some(v) = shared.verdict_get(&skey) {
+                    self.stats.shared_hits += 1;
+                    self.verdicts.insert(key, v);
+                    slots.push(Slot::Done(v));
+                    continue;
+                }
+                self.stats.shared_misses += 1;
+                Some(skey)
+            } else {
+                None
+            };
+            pending_of.insert(key, pending.len() as u32);
+            slots.push(Slot::Pending(pending.len() as u32));
+            pending.push(PendingVerdict { key, shared_key });
+        }
+        // Pass 2 (parallel): compute the missing verdicts.
+        let mut computed: Vec<bool> = vec![false; pending.len()];
+        if !pending.is_empty() {
+            let work: u64 = pending
+                .iter()
+                .map(|p| {
+                    (self.arcs[p.key.0 as usize].len() + self.arcs[p.key.1 as usize].len()) as u64
+                })
+                .sum();
+            let chunks = self.par_chunks(pending.len(), work);
+            let bounds = chunk_bounds(pending.len(), chunks);
+            let vslots = DisjointChunks::new(&mut computed, &bounds);
+            let this: &TypeCache = self;
+            pool_execute(this.threads, chunks, |c| {
+                let start = bounds[c];
+                for (off, slot) in vslots.take(c).iter_mut().enumerate() {
+                    let (i, j) = pending[start + off].key;
+                    *slot = this.compute_verdict(i, j);
+                }
+            });
+        }
+        // Pass 3 (sequential, queue order): publish.
+        for (p, &v) in pending.into_iter().zip(computed.iter()) {
+            self.verdicts.insert(p.key, v);
+            if let (Some(skey), Some(shared)) = (p.shared_key, self.shared.as_ref()) {
+                shared.verdict_put(skey, v);
+            }
+        }
+        slots
+            .into_iter()
+            .map(|s| match s {
+                Slot::Done(v) => v,
+                Slot::Pending(pi) => computed[pi as usize],
+            })
+            .collect()
+    }
+
+    /// Reference-mode batch: every pair computes via the naive kernel, in
+    /// parallel, results in pair order.
+    fn conflict_batch_reference(&mut self, pairs: &[ListPair]) -> Vec<bool> {
+        self.stats.conflict_calls += pairs.len() as u64;
+        self.stats.conflict_misses += pairs.len() as u64;
+        if pairs.is_empty() {
+            return Vec::new();
+        }
+        let work: u64 = pairs.iter().map(|(a, b)| (a.len() + b.len()) as u64).sum();
+        let chunks = self.par_chunks(pairs.len(), work);
+        let bounds = chunk_bounds(pairs.len(), chunks);
+        let mut out: Vec<bool> = vec![false; pairs.len()];
+        let slots = DisjointChunks::new(&mut out, &bounds);
+        let (tau, g) = (self.tau, self.g);
+        pool_execute(self.threads, chunks, |c| {
+            let start = bounds[c];
+            for (off, slot) in slots.take(c).iter_mut().enumerate() {
+                let (a, b) = &pairs[start + off];
+                *slot = tau_g_conflict(a, b, tau, g);
+            }
+        });
+        out
+    }
+
+    /// Append one node's decision job to `batch` (`ports` exactly as in
+    /// [`Self::best_color`]). Jobs must be pushed in node order — the
+    /// packed-id interning this performs is part of the deterministic
+    /// stats stream.
+    pub fn push_decision<'p>(
+        &mut self,
+        batch: &mut DecisionBatch,
+        cand: &Arc<[Color]>,
+        ports: impl Iterator<Item = (Option<Color>, Option<&'p Arc<[Color]>>)>,
+    ) {
+        let d0 = batch.decided.len() as u32;
+        let i0 = batch.ids.len() as u32;
+        for (dec, set) in ports {
+            if let Some(c) = dec {
+                batch.decided.push(c);
+            } else if let Some(cu) = set {
+                batch.ids.push(self.packed_id(cu));
+            }
+        }
+        batch.jobs.push(DecisionJob {
+            cand: cand.clone(),
+            decided: (d0, batch.decided.len() as u32),
+            ids: (i0, batch.ids.len() as u32),
+        });
+    }
+
+    /// Run every gathered decision job; results land in push order,
+    /// byte-identical to calling [`Self::best_color`] per job in order —
+    /// the frequency pass is a pure function of the gathered inputs, so
+    /// per-chunk scratch and out-of-order chunk execution cannot change
+    /// any verdict.
+    pub fn best_color_batch(&self, batch: &DecisionBatch) -> Vec<Option<(u64, Color)>> {
+        if batch.jobs.is_empty() {
+            return Vec::new();
+        }
+        let work: u64 = batch
+            .jobs
+            .iter()
+            .map(|j| j.cand.len() as u64 * (1 + u64::from(j.ids.1 - j.ids.0)))
+            .sum();
+        let chunks = self.par_chunks(batch.jobs.len(), work);
+        let bounds = chunk_bounds(batch.jobs.len(), chunks);
+        let mut out: Vec<Option<(u64, Color)>> = vec![None; batch.jobs.len()];
+        let slots = DisjointChunks::new(&mut out, &bounds);
+        let this: &TypeCache = self;
+        pool_execute(this.threads, chunks, |c| {
+            let mut ids: Vec<u32> = Vec::new();
+            let mut decided: Vec<Color> = Vec::new();
+            let mut freq: Vec<u64> = Vec::new();
+            let start = bounds[c];
+            for (off, slot) in slots.take(c).iter_mut().enumerate() {
+                let j = &batch.jobs[start + off];
+                ids.clear();
+                ids.extend_from_slice(&batch.ids[j.ids.0 as usize..j.ids.1 as usize]);
+                decided.clear();
+                decided
+                    .extend_from_slice(&batch.decided[j.decided.0 as usize..j.decided.1 as usize]);
+                *slot = Self::best_color_core(
+                    &this.packed,
+                    this.g,
+                    &j.cand,
+                    &mut ids,
+                    &mut decided,
+                    &mut freq,
+                );
+            }
+        });
+        out
+    }
+}
+
+/// One request of a batched candidate-set selection
+/// ([`TypeCache::select_batch`]).
+#[derive(Debug, Clone, Copy)]
+pub struct SelectReq<'a> {
+    /// The node type's initial color.
+    pub init_color: u64,
+    /// The node type's (sorted) color list.
+    pub list: &'a [Color],
+    /// Subset size.
+    pub k: usize,
+    /// Retry attempt.
+    pub attempt: u32,
+}
+
+/// A queued selection of [`TypeCache::select_batch`]: everything the
+/// parallel pass needs, captured by value (the list `Arc` stays valid
+/// even if an epoch reset recycles its id).
+struct PendingSelect {
+    key: SelectKey,
+    epoch: u64,
+    init_color: u64,
+    k: usize,
+    attempt: u32,
+    list: Arc<[Color]>,
+    shared_key: Option<SharedSelectKey>,
+}
+
+/// A queued verdict of [`TypeCache::conflict_batch`].
+struct PendingVerdict {
+    key: (u32, u32),
+    shared_key: Option<SharedVerdictKey>,
+}
+
+/// Gathered decision jobs for [`TypeCache::best_color_batch`]: per job a
+/// candidate set plus ranges into shared arenas of decided colors and
+/// packed ids of undecided neighbor sets.
+#[derive(Default)]
+pub struct DecisionBatch {
+    jobs: Vec<DecisionJob>,
+    decided: Vec<Color>,
+    ids: Vec<u32>,
+}
+
+struct DecisionJob {
+    cand: Arc<[Color]>,
+    decided: (u32, u32),
+    ids: (u32, u32),
+}
+
+impl DecisionBatch {
+    /// An empty batch.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Jobs gathered so far.
+    pub fn len(&self) -> usize {
+        self.jobs.len()
+    }
+
+    /// Whether any job has been gathered.
+    pub fn is_empty(&self) -> bool {
+        self.jobs.is_empty()
+    }
+
+    /// Drop all gathered jobs, keeping the arena allocations.
+    pub fn clear(&mut self) {
+        self.jobs.clear();
+        self.decided.clear();
+        self.ids.clear();
     }
 }
 
@@ -617,5 +1437,248 @@ mod tests {
         assert_ne!(a, b);
         assert_eq!(a, c);
         assert_eq!(cache.stats.distinct_lists, 2);
+    }
+
+    /// A batch of mixed-type requests spanning memo hits, in-batch
+    /// duplicates, and misses.
+    fn sample_reqs(lists: &[Vec<u64>]) -> Vec<(u64, usize, usize, u32)> {
+        let mut reqs = Vec::new();
+        for round in 0..3u64 {
+            for (li, _list) in lists.iter().enumerate() {
+                reqs.push((round * 7 + li as u64, li, 5 + li % 3, (round % 2) as u32));
+                // In-batch duplicate of the same type.
+                reqs.push((round * 7 + li as u64, li, 5 + li % 3, (round % 2) as u32));
+            }
+        }
+        reqs
+    }
+
+    #[test]
+    fn select_batch_matches_sequential_at_every_thread_count() {
+        let strategy = SeededSubset { seed: 12 };
+        let lists: Vec<Vec<u64>> = (0..6)
+            .map(|j| (0..120u64).map(|i| i * 3 + j).collect())
+            .collect();
+        let reqs = sample_reqs(&lists);
+        for mode in [KernelMode::Fast, KernelMode::Reference] {
+            let mut seq = TypeCache::new(strategy, 4, 0, mode);
+            let expected: Vec<Arc<[u64]>> = reqs
+                .iter()
+                .map(|&(ic, li, k, at)| seq.select(ic, &lists[li], k, at))
+                .collect();
+            for threads in [1usize, 2, 4, 8] {
+                let cfg = KernelConfig::from(mode).with_threads(threads);
+                let mut batch = TypeCache::with_config(strategy, 4, 0, &cfg);
+                let batch_reqs: Vec<SelectReq<'_>> = reqs
+                    .iter()
+                    .map(|&(ic, li, k, at)| SelectReq {
+                        init_color: ic,
+                        list: &lists[li],
+                        k,
+                        attempt: at,
+                    })
+                    .collect();
+                let got = batch.select_batch(&batch_reqs);
+                for (g, e) in got.iter().zip(&expected) {
+                    assert_eq!(&g[..], &e[..], "threads = {threads}, mode = {mode:?}");
+                }
+                assert_eq!(
+                    batch.stats, seq.stats,
+                    "threads = {threads}, mode = {mode:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn conflict_batch_matches_sequential_at_every_thread_count() {
+        let strategy = SeededSubset { seed: 3 };
+        let sets: Vec<Arc<[u64]>> = (0..8)
+            .map(|j| {
+                let v: Vec<u64> = (0..90u64).map(|i| i * (j + 2)).collect();
+                Arc::from(&v[..])
+            })
+            .collect();
+        let mut pairs: Vec<ListPair> = Vec::new();
+        for i in 0..sets.len() {
+            for j in 0..sets.len() {
+                pairs.push((sets[i].clone(), sets[j].clone()));
+            }
+        }
+        for g in [0u64, 2] {
+            for mode in [KernelMode::Fast, KernelMode::Reference] {
+                let mut seq = TypeCache::new(strategy, 5, g, mode);
+                let expected: Vec<bool> = pairs.iter().map(|(a, b)| seq.conflict(a, b)).collect();
+                for threads in [1usize, 4] {
+                    let cfg = KernelConfig::from(mode).with_threads(threads);
+                    let mut batch = TypeCache::with_config(strategy, 5, g, &cfg);
+                    assert_eq!(
+                        batch.conflict_batch(&pairs),
+                        expected,
+                        "threads = {threads}"
+                    );
+                    assert_eq!(batch.stats, seq.stats, "threads = {threads}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn best_color_batch_matches_sequential() {
+        let strategy = SeededSubset { seed: 8 };
+        let sets: Vec<Arc<[u64]>> = (0..5)
+            .map(|j| {
+                let v: Vec<u64> = (0..40u64).map(|i| i * 2 + j).collect();
+                Arc::from(&v[..])
+            })
+            .collect();
+        let cand: Arc<[u64]> = Arc::from(&(0..30u64).map(|i| i * 3).collect::<Vec<_>>()[..]);
+        for g in [0u64, 1] {
+            let mut seq = TypeCache::new(strategy, 3, g, KernelMode::Fast);
+            let mut expected = Vec::new();
+            for node in 0..12usize {
+                let ports = (0..sets.len()).map(|p| {
+                    if (node + p) % 3 == 0 {
+                        (Some((node * 5 + p) as u64), None)
+                    } else {
+                        (None, Some(&sets[(node + p) % sets.len()]))
+                    }
+                });
+                expected.push(seq.best_color(&cand, ports));
+            }
+            for threads in [1usize, 4] {
+                let cfg = KernelConfig::from(KernelMode::Fast).with_threads(threads);
+                let mut par = TypeCache::with_config(strategy, 3, g, &cfg);
+                let mut batch = DecisionBatch::new();
+                for node in 0..12usize {
+                    let ports = (0..sets.len()).map(|p| {
+                        if (node + p) % 3 == 0 {
+                            (Some((node * 5 + p) as u64), None)
+                        } else {
+                            (None, Some(&sets[(node + p) % sets.len()]))
+                        }
+                    });
+                    par.push_decision(&mut batch, &cand, ports);
+                }
+                assert_eq!(
+                    par.best_color_batch(&batch),
+                    expected,
+                    "threads = {threads}"
+                );
+                assert_eq!(par.stats, seq.stats, "threads = {threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn shared_cache_warms_across_caches_without_touching_private_counters() {
+        let strategy = SeededSubset { seed: 21 };
+        let list: Vec<u64> = (0..150u64).map(|i| i * 4).collect();
+        let a: Arc<[u64]> = Arc::from(&mk(&[1, 4, 9, 16, 25, 36])[..]);
+        let b: Arc<[u64]> = Arc::from(&mk(&[2, 3, 5, 8, 13, 21, 34])[..]);
+
+        // Baseline: two private caches, no sharing.
+        let run_private = |_: ()| {
+            let mut c = TypeCache::new(strategy, 3, 0, KernelMode::Fast);
+            let s = c.select(9, &list, 10, 0);
+            let v = c.conflict(&a, &b);
+            (s, v, c.stats)
+        };
+        let (s1, v1, stats1) = run_private(());
+
+        let shared = SharedTypeCache::new(4, 1024);
+        let cfg = KernelConfig::default().with_shared(shared.clone());
+        let mut first = TypeCache::with_config(strategy, 3, 0, &cfg);
+        let fs = first.select(9, &list, 10, 0);
+        let fv = first.conflict(&a, &b);
+        assert_eq!(&fs[..], &s1[..]);
+        assert_eq!(fv, v1);
+        assert_eq!(first.stats.shared_hits, 0);
+        assert_eq!(first.stats.shared_misses, 2);
+
+        let mut second = TypeCache::with_config(strategy, 3, 0, &cfg);
+        let ss = second.select(9, &list, 10, 0);
+        let sv = second.conflict(&a, &b);
+        assert_eq!(&ss[..], &s1[..], "shared hit must be byte-identical");
+        assert_eq!(sv, v1);
+        assert_eq!(
+            second.stats.shared_hits, 2,
+            "second cache hits warm entries"
+        );
+        assert_eq!(second.stats.shared_misses, 0);
+
+        // The deterministic counter stream is identical with sharing on
+        // or off: a shared hit is still a private miss.
+        for st in [first.stats, second.stats] {
+            assert_eq!(st.select_calls, stats1.select_calls);
+            assert_eq!(st.select_misses, stats1.select_misses);
+            assert_eq!(st.conflict_calls, stats1.conflict_calls);
+            assert_eq!(st.conflict_misses, stats1.conflict_misses);
+        }
+        let snap = shared.snapshot();
+        assert_eq!(snap.hits, 2);
+        assert_eq!(snap.misses, 2);
+        assert_eq!(snap.entries, 2);
+    }
+
+    #[test]
+    fn list_capacity_bound_evicts_deterministically() {
+        let strategy = SeededSubset { seed: 2 };
+        let cfg = KernelConfig::default().with_list_capacity(4);
+        let mut cache = TypeCache::with_config(strategy, 2, 0, &cfg);
+        let lists: Vec<Vec<u64>> = (0..10)
+            .map(|j| (0..40u64).map(|i| i * 2 + j).collect())
+            .collect();
+        for list in &lists {
+            let got = cache.select(5, list, 8, 0);
+            assert_eq!(&got[..], &strategy.select(5, list, 8, 0)[..]);
+        }
+        // 10 distinct lists through a 4-slot store: resets at the 5th and
+        // 9th interning, dropping 4 lists each time.
+        assert_eq!(cache.stats.evictions, 8);
+        assert_eq!(cache.stats.select_misses, 10);
+        // Correctness survives the reset: a re-interned list still
+        // selects the same bytes (and re-misses, since the memo reset).
+        let again = cache.select(5, &lists[0], 8, 0);
+        assert_eq!(&again[..], &strategy.select(5, &lists[0], 8, 0)[..]);
+
+        // A run that never reaches capacity reports zero evictions.
+        let mut roomy = TypeCache::new(strategy, 2, 0, KernelMode::Fast);
+        for list in &lists {
+            roomy.select(5, list, 8, 0);
+        }
+        assert_eq!(roomy.stats.evictions, 0);
+    }
+
+    #[test]
+    fn select_batch_survives_mid_batch_epoch_reset() {
+        let strategy = SeededSubset { seed: 4 };
+        let lists: Vec<Vec<u64>> = (0..9)
+            .map(|j| (0..30u64).map(|i| i * 3 + j).collect())
+            .collect();
+        // Same list revisited across the reset boundary: ids recycle, so
+        // the queue map must not alias old and new keys.
+        let order: Vec<usize> = vec![0, 1, 2, 0, 3, 4, 5, 6, 0, 7, 8, 0];
+        let cfg = KernelConfig::default().with_list_capacity(3);
+        let mut seq = TypeCache::with_config(strategy, 2, 0, &cfg);
+        let expected: Vec<Arc<[u64]>> = order
+            .iter()
+            .map(|&li| seq.select(11, &lists[li], 6, 0))
+            .collect();
+        let mut batch = TypeCache::with_config(strategy, 2, 0, &cfg);
+        let reqs: Vec<SelectReq<'_>> = order
+            .iter()
+            .map(|&li| SelectReq {
+                init_color: 11,
+                list: &lists[li],
+                k: 6,
+                attempt: 0,
+            })
+            .collect();
+        let got = batch.select_batch(&reqs);
+        for (g, e) in got.iter().zip(&expected) {
+            assert_eq!(&g[..], &e[..]);
+        }
+        assert_eq!(batch.stats, seq.stats);
     }
 }

@@ -8,9 +8,9 @@
 //! requirement (the factor Theorem 1.1 later improves to `polyloglog β`).
 
 use crate::ctx::{span, CoreError, OldcCtx};
-use crate::kernels::KernelMode;
+use crate::kernels::{KernelConfig, KernelMode};
 use crate::problem::{Color, DefectList};
-use crate::single_defect::{solve_single_defect_in, SingleDefectOutcome};
+use crate::single_defect::{solve_single_defect_cfg, SingleDefectOutcome};
 use ldc_sim::Network;
 
 /// Round `x` down to a power of two (`x ≥ 1`).
@@ -62,6 +62,18 @@ pub fn solve_multi_defect_in(
     lists: &[DefectList],
     g: u64,
     mode: KernelMode,
+) -> Result<MultiDefectOutcome, CoreError> {
+    solve_multi_defect_cfg(net, ctx, lists, g, &KernelConfig::from(mode))
+}
+
+/// [`solve_multi_defect`] with a full [`KernelConfig`] for the underlying
+/// §3.2 engine (the bucket choice itself is kernel-free).
+pub fn solve_multi_defect_cfg(
+    net: &mut Network<'_>,
+    ctx: &OldcCtx<'_, '_>,
+    lists: &[DefectList],
+    g: u64,
+    cfg: &KernelConfig,
 ) -> Result<MultiDefectOutcome, CoreError> {
     let graph = ctx.view.graph();
     let n = graph.num_nodes();
@@ -154,7 +166,7 @@ pub fn solve_multi_defect_in(
         };
     }
 
-    let inner = solve_single_defect_in(net, ctx, &sub_lists, &sub_defects, g, mode)?;
+    let inner = solve_single_defect_cfg(net, ctx, &sub_lists, &sub_defects, g, cfg)?;
     Ok(MultiDefectOutcome {
         inner,
         chosen_defect: sub_defects,

@@ -22,8 +22,10 @@
 
 use crate::cover::SeededSubset;
 use crate::ctx::{span, CandidateMsg, CensusMsg, CoreError, DecisionMsg, OldcCtx};
-use crate::kernels::{KernelMode, KernelStats, TypeCache};
-use crate::multi_defect::solve_multi_defect_in;
+use crate::kernels::{
+    DecisionBatch, KernelConfig, KernelMode, KernelStats, ListPair, SelectReq, TypeCache,
+};
+use crate::multi_defect::solve_multi_defect_cfg;
 use crate::params::k_of_class;
 use crate::problem::{Color, DefectList};
 use ldc_graph::NodeId;
@@ -106,6 +108,23 @@ pub fn solve_with_classes_in(
     inputs: &[ClassedInput],
     mode: KernelMode,
 ) -> Result<(Vec<Option<Color>>, OldcStats), CoreError> {
+    solve_with_classes_cfg(net, ctx, inputs, &KernelConfig::from(mode))
+}
+
+/// [`solve_with_classes`] with a full [`KernelConfig`]: kernel mode,
+/// worker threads for the batched selection / verification / decision
+/// phases, the interned-list bound, and an optional fleet-shared cache.
+/// Colors, stats (minus the scheduling-dependent shared-hit split),
+/// rounds, and message bits are byte-identical across every
+/// configuration — the batches gather in node order, compute pure kernel
+/// functions in parallel, and publish in node order.
+pub fn solve_with_classes_cfg(
+    net: &mut Network<'_>,
+    ctx: &OldcCtx<'_, '_>,
+    inputs: &[ClassedInput],
+    cfg: &KernelConfig,
+) -> Result<(Vec<Option<Color>>, OldcStats), CoreError> {
+    let mode = cfg.mode;
     let graph = ctx.view.graph();
     let view = ctx.view;
     let n = graph.num_nodes();
@@ -184,7 +203,7 @@ pub fn solve_with_classes_in(
     // for its whole lifetime, so selections and conflict verdicts are pure
     // functions of their (type-)keys — see `kernels` for why every memo hit
     // is byte-identical to recomputation.
-    let mut cache = TypeCache::new(strategy, tau, 0, mode);
+    let mut cache = TypeCache::with_config(strategy, tau, 0, cfg);
     let mut stats = OldcStats::default();
 
     // ---------------- Phase 0: laggard candidate sets. ----------------------
@@ -363,11 +382,36 @@ pub fn solve_with_classes_in(
                     attempts: MAX_SELECTION_ROUNDS,
                 });
             }
-            for s in states.iter_mut() {
-                if s.active && !s.trivial && s.class == class && (s.cand.is_none() || s.failed) {
-                    s.cand = Some(cache.select(s.init_color, &s.list, s.k, s.attempt));
-                    s.failed = false;
-                }
+            // Batched selection: requests gather in node order and resolve
+            // through `select_batch` — byte- and stats-identical to the
+            // sequential per-node `cache.select` loop at every thread count
+            // (misses are pure draws, computed in parallel, published in
+            // node order).
+            let sel_nodes: Vec<usize> = states
+                .iter()
+                .enumerate()
+                .filter(|(_, s)| {
+                    s.active && !s.trivial && s.class == class && (s.cand.is_none() || s.failed)
+                })
+                .map(|(v, _)| v)
+                .collect();
+            let sel_reqs: Vec<SelectReq<'_>> = sel_nodes
+                .iter()
+                .map(|&v| {
+                    let s = &states[v];
+                    SelectReq {
+                        init_color: s.init_color,
+                        list: &s.list,
+                        k: s.k,
+                        attempt: s.attempt,
+                    }
+                })
+                .collect();
+            let sel_sets = cache.select_batch(&sel_reqs);
+            drop(sel_reqs);
+            for (&v, set) in sel_nodes.iter().zip(sel_sets) {
+                states[v].cand = Some(set);
+                states[v].failed = false;
             }
             net.exchange(
                 &mut states,
@@ -398,18 +442,40 @@ pub fn solve_with_classes_in(
                     }
                 },
             )?;
-            // Verification pass, sequential (outside the consume closure so
-            // the shared cache can memoize verdicts across nodes; pure local
-            // recomputation — rounds and message bits are untouched). The
-            // candidate `Arc`s received above are clones of cache-produced
-            // sets, so in Fast mode each unordered pair of distinct sets is
-            // checked once per solve instead of once per edge.
+            // Verification pass (outside the consume closure so the cache
+            // can memoize verdicts across nodes; pure local recomputation —
+            // rounds and message bits are untouched). The candidate `Arc`s
+            // received above are clones of cache-produced sets, so in Fast
+            // mode each unordered pair of distinct sets is checked once per
+            // solve instead of once per edge. The checked pairs gather in
+            // node/port order, resolve through `conflict_batch` (byte- and
+            // stats-identical to sequential `cache.conflict` calls), and
+            // the verdicts apply in the same order.
+            let mut pairs: Vec<ListPair> = Vec::new();
+            for (v, s) in states.iter().enumerate() {
+                if !s.active || s.trivial || s.class != class || s.committed {
+                    continue;
+                }
+                let cand = s.cand.as_ref().expect("selected above");
+                for p in 0..s.nb_relevant.len() {
+                    if !(s.nb_relevant[p]
+                        && view.is_out_port(v as NodeId, p)
+                        && s.nb_class[p] == class)
+                    {
+                        continue;
+                    }
+                    if let Some(cu) = &s.nb_cand[p] {
+                        pairs.push((cand.clone(), cu.clone()));
+                    }
+                }
+            }
+            let verdicts = cache.conflict_batch(&pairs);
+            let mut at = 0usize;
             first_failed = None;
             for (v, s) in states.iter_mut().enumerate() {
                 if !s.active || s.trivial || s.class != class || s.committed {
                     continue;
                 }
-                let cand = s.cand.clone().expect("selected above");
                 let mut conflicts = 0u64;
                 for p in 0..s.nb_relevant.len() {
                     s.nb_conflicting[p] = false;
@@ -419,11 +485,12 @@ pub fn solve_with_classes_in(
                     {
                         continue;
                     }
-                    if let Some(cu) = &s.nb_cand[p] {
-                        if cache.conflict(&cand, cu) {
+                    if s.nb_cand[p].is_some() {
+                        if verdicts[at] {
                             s.nb_conflicting[p] = true;
                             conflicts += 1;
                         }
+                        at += 1;
                     }
                 }
                 if conflicts > s.defect / 4 {
@@ -432,6 +499,7 @@ pub fn solve_with_classes_in(
                     first_failed.get_or_insert(v);
                 }
             }
+            debug_assert_eq!(at, verdicts.len(), "gather/apply passes agree");
             let failures = states
                 .iter()
                 .filter(|s| s.class == class && s.failed)
@@ -490,13 +558,13 @@ pub fn solve_with_classes_in(
                 .count() as u64,
         );
         let mut stuck: Option<(NodeId, u64, u64)> = None;
-        for (v, s) in states.iter_mut().enumerate() {
-            if !(s.active && !s.trivial && s.class == class) {
-                continue;
-            }
-            let cand = s.cand.clone().expect("committed in Phase I");
-            let best = match mode {
-                KernelMode::Reference => {
+        match mode {
+            KernelMode::Reference => {
+                for (v, s) in states.iter_mut().enumerate() {
+                    if !(s.active && !s.trivial && s.class == class) {
+                        continue;
+                    }
+                    let cand = s.cand.clone().expect("committed in Phase I");
                     let mut best: Option<(u64, Color)> = None;
                     for &x in cand.iter() {
                         let mut f = 0u64;
@@ -519,30 +587,58 @@ pub fn solve_with_classes_in(
                             best = Some((f, x));
                         }
                     }
-                    best
+                    let (f, x) = best.expect("k ≥ 1 candidate colors");
+                    if f > s.defect / 2 {
+                        stuck.get_or_insert((v as NodeId, f, s.defect / 2));
+                        continue;
+                    }
+                    s.decided = Some(x);
                 }
-                KernelMode::Fast => cache.best_color(
-                    &cand,
-                    (0..s.nb_relevant.len()).filter_map(|p| {
-                        if !(s.nb_relevant[p] && view.is_out_port(v as NodeId, p)) {
-                            return None;
-                        }
-                        if let Some(c) = s.nb_decided[p] {
-                            Some((Some(c), None))
-                        } else if s.nb_class[p] == class && !s.nb_conflicting[p] {
-                            s.nb_cand[p].as_ref().map(|cu| (None, Some(cu)))
-                        } else {
-                            None
-                        }
-                    }),
-                ),
-            };
-            let (f, x) = best.expect("k ≥ 1 candidate colors");
-            if f > s.defect / 2 {
-                stuck.get_or_insert((v as NodeId, f, s.defect / 2));
-                continue;
             }
-            s.decided = Some(x);
+            KernelMode::Fast => {
+                // Batched decisions: jobs gather in node order (the
+                // packed-id interning inside `push_decision` is part of
+                // the deterministic stats stream), run through
+                // `best_color_batch`, and apply in node order — so the
+                // first stuck node matches the sequential scan.
+                let mut batch = DecisionBatch::new();
+                let mut dec_nodes: Vec<usize> = Vec::new();
+                for (v, s) in states.iter().enumerate() {
+                    if !(s.active && !s.trivial && s.class == class) {
+                        continue;
+                    }
+                    dec_nodes.push(v);
+                    cache.push_decision(
+                        &mut batch,
+                        s.cand.as_ref().expect("committed in Phase I"),
+                        (0..s.nb_relevant.len()).filter_map(|p| {
+                            if !(s.nb_relevant[p] && view.is_out_port(v as NodeId, p)) {
+                                return None;
+                            }
+                            if let Some(c) = s.nb_decided[p] {
+                                Some((Some(c), None))
+                            } else if s.nb_class[p] == class && !s.nb_conflicting[p] {
+                                s.nb_cand[p].as_ref().map(|cu| (None, Some(cu)))
+                            } else {
+                                None
+                            }
+                            // Lower classes: covered by Phase I pruning;
+                            // conflicting same-class neighbors: covered by
+                            // the d/4 budget.
+                        }),
+                    );
+                }
+                let results = cache.best_color_batch(&batch);
+                for (&v, best) in dec_nodes.iter().zip(results) {
+                    let s = &mut states[v];
+                    let (f, x) = best.expect("k ≥ 1 candidate colors");
+                    if f > s.defect / 2 {
+                        stuck.get_or_insert((v as NodeId, f, s.defect / 2));
+                        continue;
+                    }
+                    s.decided = Some(x);
+                }
+            }
         }
         if let Some((node, best, budget)) = stuck {
             return Err(CoreError::PigeonholeFailed { node, best, budget });
@@ -736,6 +832,18 @@ pub fn solve_oldc_in(
     lists: &[DefectList],
     mode: KernelMode,
 ) -> Result<OldcOutcome, CoreError> {
+    solve_oldc_cfg(net, ctx, lists, &KernelConfig::from(mode))
+}
+
+/// [`solve_oldc`] with a full [`KernelConfig`] (threaded through the
+/// auxiliary Lemma 3.6 instance and the Lemma 3.7 engine alike). Outputs
+/// are byte-identical across thread counts and shared-cache settings.
+pub fn solve_oldc_cfg(
+    net: &mut Network<'_>,
+    ctx: &OldcCtx<'_, '_>,
+    lists: &[DefectList],
+    cfg: &KernelConfig,
+) -> Result<OldcOutcome, CoreError> {
     let graph = ctx.view.graph();
     let view = ctx.view;
     let n = graph.num_nodes();
@@ -898,7 +1006,7 @@ pub fn solve_oldc_in(
     };
     let aux = {
         let _aux_span = tracer.span(span::AUX_CLASSES);
-        solve_multi_defect_in(net, &aux_ctx, &aux_lists, g_aux, mode)?
+        solve_multi_defect_cfg(net, &aux_ctx, &aux_lists, g_aux, cfg)?
     };
 
     // Build Lemma 3.7 inputs from the class assignment.
@@ -925,7 +1033,7 @@ pub fn solve_oldc_in(
         };
     }
 
-    let (colors, mut stats) = solve_with_classes_in(net, ctx, &inputs, mode)?;
+    let (colors, mut stats) = solve_with_classes_cfg(net, ctx, &inputs, cfg)?;
     stats.kernels.absorb(&aux.inner.kernels);
     Ok(OldcOutcome {
         colors,

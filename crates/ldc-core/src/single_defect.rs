@@ -23,7 +23,9 @@
 use crate::conflict::{best_residue, mu_g, residue_restrict};
 use crate::cover::SeededSubset;
 use crate::ctx::{span, CandidateMsg, CensusMsg, CoreError, DecisionMsg, OldcCtx};
-use crate::kernels::{KernelMode, KernelStats, TypeCache};
+use crate::kernels::{
+    DecisionBatch, KernelConfig, KernelMode, KernelStats, ListPair, SelectReq, TypeCache,
+};
 use crate::params::{gamma_class, k_of_class};
 use crate::problem::Color;
 use ldc_graph::NodeId;
@@ -97,6 +99,23 @@ pub fn solve_single_defect_in(
     g: u64,
     mode: KernelMode,
 ) -> Result<SingleDefectOutcome, CoreError> {
+    solve_single_defect_cfg(net, ctx, lists, defects, g, &KernelConfig::from(mode))
+}
+
+/// [`solve_single_defect`] with a full [`KernelConfig`] (kernel mode,
+/// worker threads for the batched phases, shared cache). Colors, retries,
+/// rounds, and message bits are byte-identical across every
+/// configuration — batches gather in node order, compute pure kernel
+/// functions in parallel, and publish in node order.
+pub fn solve_single_defect_cfg(
+    net: &mut Network<'_>,
+    ctx: &OldcCtx<'_, '_>,
+    lists: &[Vec<Color>],
+    defects: &[u64],
+    g: u64,
+    cfg: &KernelConfig,
+) -> Result<SingleDefectOutcome, CoreError> {
+    let mode = cfg.mode;
     let graph = ctx.view.graph();
     let n = graph.num_nodes();
     assert_eq!(lists.len(), n);
@@ -214,7 +233,7 @@ pub fn solve_single_defect_in(
     // One type cache per solve: τ and g are fixed from here on, so the
     // memoized selections and conflict verdicts are pure functions of their
     // keys (see `kernels`).
-    let mut cache = TypeCache::new(strategy, tau, g, mode);
+    let mut cache = TypeCache::with_config(strategy, tau, g, cfg);
     let mut selection_retries = 0u64;
     let mut selection_rounds = 0u32;
     let mut first_failed: Option<usize> = None;
@@ -229,11 +248,31 @@ pub fn solve_single_defect_in(
                 attempts: MAX_SELECTION_ROUNDS,
             });
         }
-        for s in states.iter_mut().filter(|s| s.active && !s.trivial) {
-            if s.cand.is_empty() || s.failed {
-                s.cand = cache.select(s.init_color, &s.restricted, s.k, s.attempt);
-                s.failed = false;
-            }
+        // Batched selection (byte- and stats-identical to sequential
+        // per-node `cache.select` calls in node order — see `oldc`).
+        let sel_nodes: Vec<usize> = states
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.active && !s.trivial && (s.cand.is_empty() || s.failed))
+            .map(|(v, _)| v)
+            .collect();
+        let sel_reqs: Vec<SelectReq<'_>> = sel_nodes
+            .iter()
+            .map(|&v| {
+                let s = &states[v];
+                SelectReq {
+                    init_color: s.init_color,
+                    list: &s.restricted,
+                    k: s.k,
+                    attempt: s.attempt,
+                }
+            })
+            .collect();
+        let sel_sets = cache.select_batch(&sel_reqs);
+        drop(sel_reqs);
+        for (&v, set) in sel_nodes.iter().zip(sel_sets) {
+            states[v].cand = set;
+            states[v].failed = false;
         }
         net.exchange(
             &mut states,
@@ -264,17 +303,17 @@ pub fn solve_single_defect_in(
                 }
             },
         )?;
-        // P1 budget check, sequential (outside the consume closure so the
-        // shared cache memoizes verdicts across nodes; pure local
-        // recomputation — rounds and message bits are untouched): at most
-        // ⌊d/2⌋ conflicting same-or-lower-class out-neighbors.
-        first_failed = None;
-        for (v, s) in states.iter_mut().enumerate() {
+        // P1 budget check (outside the consume closure so the cache
+        // memoizes verdicts across nodes; pure local recomputation —
+        // rounds and message bits are untouched): at most ⌊d/2⌋
+        // conflicting same-or-lower-class out-neighbors. Pairs gather in
+        // node/port order, resolve through `conflict_batch`, and apply in
+        // the same order.
+        let mut pairs: Vec<ListPair> = Vec::new();
+        for (v, s) in states.iter().enumerate() {
             if !s.active || s.trivial {
                 continue;
             }
-            let cand = s.cand.clone();
-            let mut conflicts = 0u64;
             for p in 0..s.nb_relevant.len() {
                 if !(s.nb_relevant[p] && view.is_out_port(v as NodeId, p)) {
                     continue;
@@ -283,9 +322,30 @@ pub fn solve_single_defect_in(
                     continue;
                 }
                 if let Some(cu) = &s.nb_cand[p] {
-                    if cache.conflict(&cand, cu) {
+                    pairs.push((s.cand.clone(), cu.clone()));
+                }
+            }
+        }
+        let verdicts = cache.conflict_batch(&pairs);
+        let mut at = 0usize;
+        first_failed = None;
+        for (v, s) in states.iter_mut().enumerate() {
+            if !s.active || s.trivial {
+                continue;
+            }
+            let mut conflicts = 0u64;
+            for p in 0..s.nb_relevant.len() {
+                if !(s.nb_relevant[p] && view.is_out_port(v as NodeId, p)) {
+                    continue;
+                }
+                if s.nb_class[p] > s.class {
+                    continue;
+                }
+                if s.nb_cand[p].is_some() {
+                    if verdicts[at] {
                         conflicts += 1;
                     }
+                    at += 1;
                 }
             }
             if conflicts > s.defect / 2 {
@@ -294,6 +354,7 @@ pub fn solve_single_defect_in(
                 first_failed.get_or_insert(v);
             }
         }
+        debug_assert_eq!(at, verdicts.len(), "gather/apply passes agree");
         let failures = states.iter().filter(|s| s.failed).count() as u64;
         selection_retries += failures;
         tracer.add(span::CTR_SELECTION_RETRIES, failures);
@@ -339,13 +400,13 @@ pub fn solve_single_defect_in(
     for class in (1..=h).rev() {
         // Pick colors locally.
         let mut stuck: Option<(NodeId, u64, u64)> = None;
-        for (v, s) in states.iter_mut().enumerate() {
-            if !(s.active && !s.trivial && s.class == class) {
-                continue;
-            }
-            let cand = s.cand.clone();
-            let best = match mode {
-                KernelMode::Reference => {
+        match mode {
+            KernelMode::Reference => {
+                for (v, s) in states.iter_mut().enumerate() {
+                    if !(s.active && !s.trivial && s.class == class) {
+                        continue;
+                    }
+                    let cand = s.cand.clone();
                     let mut best: Option<(u64, Color)> = None;
                     for &x in cand.iter() {
                         let mut f = 0u64;
@@ -365,30 +426,53 @@ pub fn solve_single_defect_in(
                             best = Some((f, x));
                         }
                     }
-                    best
+                    let (f, x) = best.expect("candidate set is non-empty");
+                    if f > s.defect {
+                        stuck.get_or_insert((v as NodeId, f, s.defect));
+                        continue;
+                    }
+                    s.decided = Some(x);
                 }
-                KernelMode::Fast => cache.best_color(
-                    &cand,
-                    (0..s.nb_relevant.len()).filter_map(|p| {
-                        if !(s.nb_relevant[p] && view.is_out_port(v as NodeId, p)) {
-                            return None;
-                        }
-                        if let Some(c) = s.nb_decided[p] {
-                            Some((Some(c), None))
-                        } else if s.nb_class[p] <= s.class {
-                            s.nb_cand[p].as_ref().map(|cu| (None, Some(cu)))
-                        } else {
-                            None
-                        }
-                    }),
-                ),
-            };
-            let (f, x) = best.expect("candidate set is non-empty");
-            if f > s.defect {
-                stuck.get_or_insert((v as NodeId, f, s.defect));
-                continue;
             }
-            s.decided = Some(x);
+            KernelMode::Fast => {
+                // Batched decisions: gather every node's frequency job in
+                // node order, evaluate in parallel chunks, apply in node
+                // order — identical to the per-node sequential pass.
+                let mut batch = DecisionBatch::new();
+                let mut dec_nodes: Vec<usize> = Vec::new();
+                for (v, s) in states.iter().enumerate() {
+                    if !(s.active && !s.trivial && s.class == class) {
+                        continue;
+                    }
+                    dec_nodes.push(v);
+                    cache.push_decision(
+                        &mut batch,
+                        &s.cand,
+                        (0..s.nb_relevant.len()).filter_map(|p| {
+                            if !(s.nb_relevant[p] && view.is_out_port(v as NodeId, p)) {
+                                return None;
+                            }
+                            if let Some(c) = s.nb_decided[p] {
+                                Some((Some(c), None))
+                            } else if s.nb_class[p] <= s.class {
+                                s.nb_cand[p].as_ref().map(|cu| (None, Some(cu)))
+                            } else {
+                                None
+                            }
+                        }),
+                    );
+                }
+                let results = cache.best_color_batch(&batch);
+                for (&v, best) in dec_nodes.iter().zip(results) {
+                    let s = &mut states[v];
+                    let (f, x) = best.expect("candidate set is non-empty");
+                    if f > s.defect {
+                        stuck.get_or_insert((v as NodeId, f, s.defect));
+                        continue;
+                    }
+                    s.decided = Some(x);
+                }
+            }
         }
         if let Some((node, best, budget)) = stuck {
             return Err(CoreError::PigeonholeFailed { node, best, budget });

@@ -129,15 +129,13 @@ impl Metrics {
     /// # Panics
     /// Panics if `q` is NaN.
     pub fn max_bits_percentile(&self, q: f64) -> u64 {
-        assert!(!q.is_nan(), "percentile q must not be NaN");
-        let q = q.clamp(0.0, 100.0);
+        let idx = crate::telemetry::nearest_rank(self.per_round.len() as u64, q) as usize;
         if self.per_round.is_empty() {
             return 0;
         }
         let mut v: Vec<u64> = self.per_round.iter().map(|r| r.max_message_bits).collect();
         v.sort_unstable();
-        let idx = ((q / 100.0) * (v.len() - 1) as f64).round() as usize;
-        v[idx.min(v.len() - 1)]
+        v[idx]
     }
 }
 
@@ -241,6 +239,40 @@ mod tests {
         // Above 100 clamps to the maximum.
         assert_eq!(m.max_bits_percentile(150.0), 9);
         assert_eq!(m.max_bits_percentile(f64::INFINITY), 9);
+    }
+
+    #[test]
+    fn max_bits_percentile_matches_sorted_sample_oracle() {
+        // Same splitmix step as the telemetry property test: both
+        // percentile surfaces rank through `telemetry::nearest_rank`, so
+        // the oracle is literally "sort, index with the shared rank".
+        fn prng(state: &mut u64) -> u64 {
+            *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = *state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        }
+        let mut state = 0x1dc9;
+        for &rounds in &[1usize, 2, 3, 17, 64] {
+            let mut m = Metrics::default();
+            let mut bits: Vec<u64> = Vec::new();
+            for _ in 0..rounds {
+                let b = prng(&mut state) % 10_000;
+                bits.push(b);
+                m.push_round(RoundStats {
+                    messages: 1,
+                    total_bits: b,
+                    max_message_bits: b,
+                    ..Default::default()
+                });
+            }
+            bits.sort_unstable();
+            for q in [0.0, 1.0, 12.5, 25.0, 50.0, 75.0, 95.0, 99.0, 100.0] {
+                let idx = crate::telemetry::nearest_rank(rounds as u64, q) as usize;
+                assert_eq!(m.max_bits_percentile(q), bits[idx], "rounds={rounds} q={q}");
+            }
+        }
     }
 
     #[test]

@@ -82,6 +82,25 @@ fn bucket_upper(k: usize) -> u64 {
     }
 }
 
+/// Nearest-rank index of the `q`-th percentile over `count` sorted
+/// samples: `round(q/100 · (count − 1))`. This is **the** percentile
+/// convention of the crate — [`Histogram::percentile`] and
+/// [`crate::Metrics::max_bits_percentile`] both rank with it, so the two
+/// never disagree on which sample a quantile names. `q` is clamped into
+/// `[0, 100]` (out-of-range values yield the minimum / maximum index);
+/// `count == 0` yields 0. The index is always `< count` for `count > 0`.
+///
+/// # Panics
+/// Panics if `q` is NaN.
+pub fn nearest_rank(count: u64, q: f64) -> u64 {
+    assert!(!q.is_nan(), "percentile q must not be NaN");
+    if count == 0 {
+        return 0;
+    }
+    let q = q.clamp(0.0, 100.0);
+    ((q / 100.0) * (count - 1) as f64).round() as u64
+}
+
 impl Histogram {
     /// An empty histogram.
     pub fn new() -> Histogram {
@@ -140,12 +159,11 @@ impl Histogram {
     /// # Panics
     /// Panics if `q` is NaN.
     pub fn percentile(&self, q: f64) -> u64 {
-        assert!(!q.is_nan(), "percentile q must not be NaN");
         if self.count == 0 {
-            return 0;
+            // Still rank first: NaN must panic even on empty histograms.
+            return nearest_rank(0, q);
         }
-        let q = q.clamp(0.0, 100.0);
-        let rank = ((q / 100.0) * (self.count - 1) as f64).round() as u64;
+        let rank = nearest_rank(self.count, q);
         let mut seen = 0u64;
         for (k, &c) in self.counts.iter().enumerate() {
             seen += c;
@@ -539,6 +557,63 @@ mod tests {
         let mut other_way = b.clone();
         other_way.merge(&a);
         assert_eq!(other_way.to_json(), merged.to_json());
+    }
+
+    /// Splitmix-style step for the property tests below — seeded and
+    /// std-only, so the sample sets are reproducible.
+    fn prng(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    #[test]
+    fn histogram_percentile_matches_sorted_sample_oracle() {
+        // The exact spec: rank with `nearest_rank`, answer with the
+        // rank-th sorted sample's bucket upper bound, clamped into the
+        // observed range. Sample sets cover single samples, duplicates,
+        // and the saturating top bucket (u64::MAX).
+        let mut state = 0x1dc7;
+        for &len in &[1usize, 2, 3, 17, 100] {
+            let mut samples: Vec<u64> = (0..len)
+                .map(|_| match prng(&mut state) % 4 {
+                    0 => prng(&mut state) % 16,
+                    1 => prng(&mut state) % 100_000,
+                    2 => prng(&mut state),
+                    _ => u64::MAX - prng(&mut state) % 3,
+                })
+                .collect();
+            let mut h = Histogram::new();
+            for &s in &samples {
+                h.record(s);
+            }
+            samples.sort_unstable();
+            let (lo, hi) = (samples[0], samples[len - 1]);
+            for q in [0.0, 1.0, 12.5, 25.0, 50.0, 75.0, 95.0, 99.0, 100.0] {
+                let idx = nearest_rank(len as u64, q) as usize;
+                assert!(idx < len, "rank stays in range");
+                let expect = bucket_upper(bucket_of(samples[idx])).clamp(lo, hi);
+                assert_eq!(h.percentile(q), expect, "len={len} q={q}");
+            }
+            // q = 100 names the largest sample exactly (clamp to max).
+            assert_eq!(h.percentile(100.0), hi, "len={len}");
+        }
+    }
+
+    #[test]
+    fn nearest_rank_spec() {
+        assert_eq!(nearest_rank(0, 50.0), 0);
+        assert_eq!(nearest_rank(1, 0.0), 0);
+        assert_eq!(nearest_rank(1, 100.0), 0);
+        assert_eq!(nearest_rank(5, 50.0), 2);
+        assert_eq!(nearest_rank(5, 100.0), 4);
+        assert_eq!(nearest_rank(5, -10.0), 0, "clamped below");
+        assert_eq!(nearest_rank(5, 400.0), 4, "clamped above");
+        assert_eq!(nearest_rank(4, 50.0), 2, "0.5 ranks round half-up");
+        let r = std::panic::catch_unwind(|| nearest_rank(3, f64::NAN));
+        assert!(r.is_err(), "NaN q panics even mid-range");
     }
 
     #[test]

@@ -47,7 +47,7 @@ fn run(args: &[String]) -> Result<(), String> {
 }
 
 fn usage() -> String {
-    "usage:\n  ldc gen <ring|path|complete|torus|regular|gnp|tree|powerlaw|hypercube> <params…> [--seed S] [-o FILE]\n  ldc color <FILE> [--algorithm thm14|classic|luby] [--seed S] [--trace FILE] [--timings] [--faults SPEC] [--retries N]\n  ldc edge-color <FILE> [--seed S] [--trace FILE] [--timings]\n  ldc analyze <FILE>\n  ldc batch <SPEC.json> [--shards N] [--out FILE] [--telemetry FILE]\n  ldc report [--history FILE] [--telemetry FILE] [--strip-timing FILE]\n\n  batch: run every job in SPEC.json (array of job objects, or {\"jobs\": [...]})\n  sharded over the worker pool, and write one JSONL row per job plus a fleet\n  summary line. Output is byte-identical for every --shards value.\n  --telemetry FILE: also write a manifest-stamped telemetry JSONL whose\n  deterministic section is byte-identical across shard counts.\n\n  report: render bench-history trend tables (default --history\n  BENCH_history.jsonl) and/or summarize a telemetry JSONL; --strip-timing\n  prints only the deterministic sections of a telemetry file (CI diffs it).\n\n  --trace FILE: record a phase-span trace (per-theorem rounds/bits), print\n  the span tree, and write it as JSONL to FILE ('-' prints the tree only).\n  --timings: include wall-clock fields in the trace JSONL (off by default,\n  keeping trace output byte-diffable).\n\n  --faults SPEC: run under a seeded fault plan (DESIGN.md §9). SPEC is\n  comma-separated key=value pairs: seed=S, drop=RATE, trunc=RATE:CAPBITS,\n  sleep=RATE, error=RATE (e.g. --faults seed=7,drop=0.05,error=0.1).\n  --retries N: round retries per fault (default 3, backoff 1 stall round)."
+    "usage:\n  ldc gen <ring|path|complete|torus|regular|gnp|tree|powerlaw|hypercube> <params…> [--seed S] [-o FILE]\n  ldc color <FILE> [--algorithm thm14|classic|luby] [--seed S] [--trace FILE] [--timings] [--faults SPEC] [--retries N]\n  ldc edge-color <FILE> [--seed S] [--trace FILE] [--timings]\n  ldc analyze <FILE>\n  ldc batch <SPEC.json> [--shards N] [--solver-threads N] [--shared-cache] [--out FILE] [--telemetry FILE]\n  ldc report [--history FILE] [--telemetry FILE] [--strip-timing FILE]\n\n  batch: run every job in SPEC.json (array of job objects, or {\"jobs\": [...]})\n  sharded over the worker pool, and write one JSONL row per job plus a fleet\n  summary line. Output is byte-identical for every --shards value, every\n  --solver-threads value, and with or without --shared-cache.\n  --solver-threads N: worker threads for each solver's batched per-node\n  phases (default 1). --shared-cache: share one kernel cache across the\n  whole run so same-shaped jobs skip recomputation (stats on stderr).\n  --telemetry FILE: also write a manifest-stamped telemetry JSONL whose\n  deterministic section is byte-identical across shard counts (with\n  --shared-cache, only at --shards 1 — shared hits race otherwise).\n\n  report: render bench-history trend tables (default --history\n  BENCH_history.jsonl) and/or summarize a telemetry JSONL; --strip-timing\n  prints only the deterministic sections of a telemetry file (CI diffs it).\n\n  --trace FILE: record a phase-span trace (per-theorem rounds/bits), print\n  the span tree, and write it as JSONL to FILE ('-' prints the tree only).\n  --timings: include wall-clock fields in the trace JSONL (off by default,\n  keeping trace output byte-diffable).\n\n  --faults SPEC: run under a seeded fault plan (DESIGN.md §9). SPEC is\n  comma-separated key=value pairs: seed=S, drop=RATE, trunc=RATE:CAPBITS,\n  sleep=RATE, error=RATE (e.g. --faults seed=7,drop=0.05,error=0.1).\n  --retries N: round retries per fault (default 3, backoff 1 stall round)."
         .into()
 }
 
@@ -63,7 +63,7 @@ fn finish_trace(tracer: &Tracer, path: &str, timings: bool) -> Result<(), String
 }
 
 /// Flags that take no value (everything else is `--flag VALUE`).
-const BOOL_FLAGS: &[&str] = &["--timings"];
+const BOOL_FLAGS: &[&str] = &["--timings", "--shared-cache"];
 
 fn flag(args: &[String], name: &str) -> Option<String> {
     args.iter()
@@ -336,8 +336,16 @@ fn cmd_batch(args: &[String]) -> Result<(), String> {
         .map(|s| parse(&s, "shards"))
         .transpose()?
         .unwrap_or(4);
+    let solver_threads: usize = flag(args, "--solver-threads")
+        .map(|s| parse(&s, "solver-threads"))
+        .transpose()?
+        .unwrap_or(1);
+    let shared_cache = bool_flag(args, "--shared-cache");
     let started = std::time::Instant::now();
-    let run = Fleet::new(shards).run(&jobs);
+    let run = Fleet::new(shards)
+        .with_solver_threads(solver_threads)
+        .with_shared_kernels(shared_cache)
+        .run(&jobs);
     let wall = started.elapsed();
     let jsonl = run.to_jsonl();
     match flag(args, "--out") {
@@ -357,9 +365,9 @@ fn cmd_batch(args: &[String]) -> Result<(), String> {
         let timing = Obj::new()
             .u64("shards", shards as u64)
             .raw("wall_ms", &timing_f64(wall.as_secs_f64() * 1000.0))
-            .u64("latency_p50_ns", lat.percentile(0.50))
-            .u64("latency_p95_ns", lat.percentile(0.95))
-            .u64("latency_p99_ns", lat.percentile(0.99))
+            .u64("latency_p50_ns", lat.percentile(50.0))
+            .u64("latency_p95_ns", lat.percentile(95.0))
+            .u64("latency_p99_ns", lat.percentile(99.0))
             .finish();
         sink.emit("fleet", reg.to_json(), timing);
         sink.write_to(&tel)
@@ -371,6 +379,12 @@ fn cmd_batch(args: &[String]) -> Result<(), String> {
         "fleet: {} jobs ({} ok, {} failed), graph cache {} hits / {} misses, {} rounds, {} bits",
         s.jobs, s.ok, s.failed, s.cache_hits, s.cache_misses, s.rounds_total, s.bits_total
     );
+    if shared_cache {
+        eprintln!(
+            "shared kernel cache: {} hits / {} misses, {} entries, {} evictions",
+            s.shared.hits, s.shared.misses, s.shared.entries, s.shared.evictions
+        );
+    }
     if s.failed > 0 {
         return Err(format!("{} job(s) failed", s.failed));
     }
