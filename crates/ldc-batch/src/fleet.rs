@@ -11,7 +11,7 @@
 use crate::spec::{Algorithm, JobSpec};
 use ldc_core::congest::{congest_degree_plus_one, CongestConfig};
 use ldc_core::edge_coloring::edge_coloring;
-use ldc_core::kernels::{KernelStats, SharedCacheStats, SharedTypeCache};
+use ldc_core::kernels::{KernelMode, KernelStats, SharedCacheStats, SharedTypeCache};
 use ldc_core::problem::ColorSpace;
 use ldc_core::validate::validate_proper_list_coloring;
 use ldc_core::{
@@ -21,6 +21,7 @@ use ldc_graph::{DirectedView, Graph};
 use ldc_sim::json::Obj;
 use ldc_sim::pool::{pool_execute, DisjointChunks, MAX_CHUNKS};
 use ldc_sim::telemetry::{Histogram, Registry};
+use ldc_sim::ExecMode;
 use std::collections::{BTreeSet, HashMap};
 use std::sync::Arc;
 
@@ -224,6 +225,16 @@ pub struct Fleet {
     /// only skips recomputation; the private call/miss counters are
     /// unchanged) — the sharing shows up in [`FleetSummary::shared`].
     pub shared_kernels: bool,
+    /// Engine execution-mode override forwarded to every job's
+    /// [`SolveOptions::with_exec`] (`None` = engine default). Rows are
+    /// byte-identical at every mode — this knob exists so the soak
+    /// harness can prove exactly that.
+    pub exec: Option<ExecMode>,
+    /// Kernel mode for every job's solve ([`KernelMode::Fast`] by
+    /// default). `Reference` re-routes the hot paths through the naive
+    /// loops: colors/rounds/bits are identical, only the kernel cache
+    /// counters differ.
+    pub kernel_mode: KernelMode,
 }
 
 impl Fleet {
@@ -234,6 +245,8 @@ impl Fleet {
             shards,
             solver_threads: 1,
             shared_kernels: false,
+            exec: None,
+            kernel_mode: KernelMode::default(),
         }
     }
 
@@ -246,6 +259,18 @@ impl Fleet {
     /// Share one kernel cache across all jobs of the run.
     pub fn with_shared_kernels(mut self, shared: bool) -> Fleet {
         self.shared_kernels = shared;
+        self
+    }
+
+    /// Override the engine execution mode for every job.
+    pub fn with_exec(mut self, exec: ExecMode) -> Fleet {
+        self.exec = Some(exec);
+        self
+    }
+
+    /// Set the kernel mode for every job's solve.
+    pub fn with_kernel_mode(mut self, mode: KernelMode) -> Fleet {
+        self.kernel_mode = mode;
         self
     }
 
@@ -273,7 +298,7 @@ impl Fleet {
         let shared: Option<Arc<SharedTypeCache>> =
             self.shared_kernels.then(SharedTypeCache::with_defaults);
         let outcomes = sharded_map(self.shards, jobs, |i, job| match &cache[&keys[i]] {
-            Ok(g) => run_job(i, job, g, self.solver_threads, shared.as_ref()),
+            Ok(g) => run_job(i, job, g, self, shared.as_ref()),
             Err(e) => error_outcome(i, job, format!("graph: {e}")),
         });
 
@@ -382,13 +407,17 @@ fn run_job(
     index: usize,
     job: &JobSpec,
     g: &Graph,
-    solver_threads: usize,
+    fleet: &Fleet,
     shared: Option<&Arc<SharedTypeCache>>,
 ) -> JobOutcome {
     let started = std::time::Instant::now();
     let mut opts = SolveOptions::default()
         .with_seed(job.seed)
-        .with_solver_threads(solver_threads);
+        .with_solver_threads(fleet.solver_threads)
+        .with_kernel_mode(fleet.kernel_mode);
+    if let Some(exec) = fleet.exec {
+        opts = opts.with_exec(exec);
+    }
     if let Some(sc) = shared {
         opts = opts.with_shared_kernels(sc.clone());
     }

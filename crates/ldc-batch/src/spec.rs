@@ -57,6 +57,13 @@ pub enum GraphSource {
         /// Generator seed.
         seed: u64,
     },
+    /// Complete multipartite graph: `parts` parts of `size` nodes each.
+    Multipartite {
+        /// Number of parts.
+        parts: usize,
+        /// Nodes per part.
+        size: usize,
+    },
     /// Complete `arity`-ary tree on `n` nodes.
     Tree {
         /// Node count.
@@ -97,6 +104,9 @@ impl GraphSource {
             GraphSource::Gnp { n, p_milli, seed } => {
                 generators::gnp(*n, *p_milli as f64 / 1000.0, *seed)
             }
+            GraphSource::Multipartite { parts, size } => {
+                generators::complete_multipartite(*parts, *size)
+            }
             GraphSource::Tree { n, arity } => generators::complete_tree(*n, *arity),
             GraphSource::Hypercube { dim } => generators::hypercube(*dim),
             GraphSource::Powerlaw { n, m, seed } => {
@@ -135,6 +145,10 @@ impl GraphSource {
                 .u64("n", *n as u64)
                 .u64("p_milli", *p_milli)
                 .u64("seed", *seed)
+                .finish(),
+            GraphSource::Multipartite { parts, size } => family("multipartite")
+                .u64("parts", *parts as u64)
+                .u64("size", *size as u64)
                 .finish(),
             GraphSource::Tree { n, arity } => family("tree")
                 .u64("n", *n as u64)
@@ -177,6 +191,10 @@ impl GraphSource {
                 n: n()?,
                 p_milli: v.require("p_milli")?.as_u64().ok_or("bad p_milli")?,
                 seed: v.u64_or("seed", 1)?,
+            },
+            "multipartite" => GraphSource::Multipartite {
+                parts: v.require("parts")?.as_u64().ok_or("bad parts")? as usize,
+                size: v.require("size")?.as_u64().ok_or("bad size")? as usize,
             },
             "tree" => GraphSource::Tree {
                 n: n()?,
@@ -443,6 +461,24 @@ pub struct FaultSpec {
     pub backoff_rounds: u32,
     /// Solver restarts ([`ldc_core::Resilient`]) for instance algorithms.
     pub max_restarts: u32,
+    /// Crash windows: nodes `0..crash_nodes` are down for rounds
+    /// `crash_from..crash_until` (0 = no crash windows). Deterministic by
+    /// round, **not** re-drawn on retries or restarts — use it only where
+    /// the algorithm tolerates the outage.
+    pub crash_nodes: u64,
+    /// First crashed round (with `crash_nodes > 0`).
+    pub crash_from: u64,
+    /// First recovered round, exclusive (with `crash_nodes > 0`).
+    pub crash_until: u64,
+    /// Bandwidth schedule: clamp the per-message budget to `bw_cap` bits
+    /// from round `bw_from`, restoring the configured bandwidth at round
+    /// `bw_until` (0 = no schedule). Like crash windows, the schedule is
+    /// round-keyed and survives retries.
+    pub bw_cap: u64,
+    /// First clamped round (with `bw_cap > 0`).
+    pub bw_from: u64,
+    /// First restored round (with `bw_cap > 0`).
+    pub bw_until: u64,
 }
 
 impl Default for FaultSpec {
@@ -457,6 +493,12 @@ impl Default for FaultSpec {
             max_retries: 3,
             backoff_rounds: 1,
             max_restarts: 3,
+            crash_nodes: 0,
+            crash_from: 0,
+            crash_until: 0,
+            bw_cap: 0,
+            bw_from: 0,
+            bw_until: 0,
         }
     }
 }
@@ -471,6 +513,18 @@ impl FaultSpec {
         if self.trunc_milli > 0 {
             plan = plan.with_truncation(self.trunc_milli as f64 / 1000.0, self.trunc_cap);
         }
+        for node in 0..self.crash_nodes {
+            plan = plan.with_crash(
+                node as u32,
+                self.crash_from as usize,
+                self.crash_until as usize,
+            );
+        }
+        if self.bw_cap > 0 {
+            plan = plan
+                .with_budget_step(self.bw_from as usize, Some(self.bw_cap))
+                .with_budget_step(self.bw_until as usize, None);
+        }
         plan
     }
 
@@ -482,9 +536,11 @@ impl FaultSpec {
         }
     }
 
-    /// Canonical JSON form.
+    /// Canonical JSON form. The crash-window and bandwidth-schedule
+    /// fields are rendered only when active, so echoes of specs that
+    /// predate them (e.g. the checked-in CI goldens) are byte-unchanged.
     pub fn to_json(&self) -> String {
-        Obj::new()
+        let mut o = Obj::new()
             .u64("seed", self.seed)
             .u64("drop_milli", self.drop_milli)
             .u64("trunc_milli", self.trunc_milli)
@@ -493,8 +549,20 @@ impl FaultSpec {
             .u64("error_milli", self.error_milli)
             .u64("max_retries", u64::from(self.max_retries))
             .u64("backoff_rounds", u64::from(self.backoff_rounds))
-            .u64("max_restarts", u64::from(self.max_restarts))
-            .finish()
+            .u64("max_restarts", u64::from(self.max_restarts));
+        if self.crash_nodes > 0 {
+            o = o
+                .u64("crash_nodes", self.crash_nodes)
+                .u64("crash_from", self.crash_from)
+                .u64("crash_until", self.crash_until);
+        }
+        if self.bw_cap > 0 {
+            o = o
+                .u64("bw_cap", self.bw_cap)
+                .u64("bw_from", self.bw_from)
+                .u64("bw_until", self.bw_until);
+        }
+        o.finish()
     }
 
     /// Parse from a spec-file object.
@@ -510,6 +578,12 @@ impl FaultSpec {
             max_retries: v.u64_or("max_retries", u64::from(d.max_retries))? as u32,
             backoff_rounds: v.u64_or("backoff_rounds", u64::from(d.backoff_rounds))? as u32,
             max_restarts: v.u64_or("max_restarts", u64::from(d.max_restarts))? as u32,
+            crash_nodes: v.u64_or("crash_nodes", 0)?,
+            crash_from: v.u64_or("crash_from", 0)?,
+            crash_until: v.u64_or("crash_until", 0)?,
+            bw_cap: v.u64_or("bw_cap", 0)?,
+            bw_from: v.u64_or("bw_from", 0)?,
+            bw_until: v.u64_or("bw_until", 0)?,
         })
     }
 }
@@ -613,6 +687,7 @@ mod tests {
                 p_milli: 150,
                 seed: 3,
             },
+            GraphSource::Multipartite { parts: 4, size: 3 },
             GraphSource::Tree { n: 15, arity: 2 },
             GraphSource::Hypercube { dim: 3 },
             GraphSource::Powerlaw {
@@ -720,5 +795,43 @@ mod tests {
         // Rates survive the milli encoding exactly.
         let echo = FaultSpec::from_json(&Value::parse(&f.to_json()).unwrap()).unwrap();
         assert_eq!(echo, f);
+    }
+
+    #[test]
+    fn crash_and_bandwidth_fields_round_trip_and_shape_the_plan() {
+        // Absent fields stay out of the echo: pre-existing spec echoes
+        // (the CI goldens) must not grow new keys.
+        let plain = FaultSpec::default();
+        assert!(!plain.to_json().contains("crash_nodes"));
+        assert!(!plain.to_json().contains("bw_cap"));
+        assert!(plain.plan().is_noop());
+
+        let f = FaultSpec {
+            crash_nodes: 2,
+            crash_from: 1,
+            crash_until: 3,
+            bw_cap: 1 << 20,
+            bw_from: 2,
+            bw_until: 6,
+            ..FaultSpec::default()
+        };
+        let echo = FaultSpec::from_json(&Value::parse(&f.to_json()).unwrap()).unwrap();
+        assert_eq!(echo, f);
+        let plan = f.plan();
+        assert!(!plan.is_noop());
+        // Nodes 0 and 1 are down exactly for rounds 1..3.
+        assert!(plan.faulted(1, 0, 0) && plan.faulted(2, 0, 1));
+        assert!(!plan.faulted(0, 0, 0) && !plan.faulted(3, 0, 1));
+        assert!(!plan.faulted(1, 0, 2), "node 2 is outside the window");
+        // The budget clamps inside [2, 6) and restores after.
+        use ldc_sim::Bandwidth;
+        assert_eq!(plan.bandwidth_at(1, Bandwidth::Local), Bandwidth::Local);
+        assert_eq!(
+            plan.bandwidth_at(3, Bandwidth::Local),
+            Bandwidth::Congest {
+                bits_per_message: 1 << 20
+            }
+        );
+        assert_eq!(plan.bandwidth_at(6, Bandwidth::Local), Bandwidth::Local);
     }
 }

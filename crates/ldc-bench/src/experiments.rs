@@ -7,6 +7,10 @@
 //! byte-for-byte across runs. E17 exercises the [`Fleet`] batch runner
 //! (DESIGN.md §10): it times the same job list at several shard widths
 //! and asserts the JSONL stream is byte-identical at every width.
+//!
+//! E19 (the seeded soak matrix, DESIGN.md §14) is *not* an `--exp`
+//! entry: it lives in [`crate::soak`] and runs via `ldc soak`, because
+//! its deliverable is an invariant verdict rather than a table.
 
 use crate::table::Table;
 use crate::workloads::{degree_plus_one_lists, f2, uniform_oldc_lists, CtxOwner};

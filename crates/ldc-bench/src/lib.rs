@@ -17,6 +17,7 @@
 
 pub mod experiments;
 pub mod history;
+pub mod soak;
 pub mod table;
 pub mod workloads;
 

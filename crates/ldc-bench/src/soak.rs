@@ -1,0 +1,1261 @@
+//! `ldc soak` — the seeded scenario-matrix soak harness (DESIGN.md §14,
+//! ROADMAP item 5).
+//!
+//! The workspace's reliability ingredients — deterministic fault plans,
+//! the byte-identical batch [`Fleet`], shared-cache/threaded solver paths,
+//! telemetry manifests — were only ever crossed in hand-picked experiments
+//! (E16/E17). The combinatorial space where real bugs live is
+//! faults × exec mode × threads × shared cache × shard count, and this
+//! module sweeps it: a deterministic scenario matrix over graph families ×
+//! algorithms × fault families × execution knobs, each scenario run
+//! through the fleet several ways and held to the invariant catalog:
+//!
+//! 1. **validity** — every job solves and passes its validator
+//!    ([`Expect::Solve`]), or at minimum fails *closed* — deterministic
+//!    error, never an invalid coloring ([`Expect::FailClosed`], the
+//!    contract for the engine's silent, non-retried fault classes).
+//! 2. **det_rows** — the JSONL stream is byte-identical across shard
+//!    counts and across a second run with different exec mode, solver
+//!    threads, and shared-cache setting (DESIGN.md §10's contract).
+//! 3. **ref_equiv** — a [`KernelMode::Reference`] re-run produces the
+//!    same solve outcome (rounds/bits/colors/validity/faults); only the
+//!    kernel cache counters may differ.
+//! 4. **stats_sum** — the fleet summary equals the fold of its per-job
+//!    outcomes, and cache/kernel counters are internally consistent.
+//! 5. **wire_alloc** — the engine's steady state on each scenario graph
+//!    allocates exactly one wire buffer per message type (zero-alloc hot
+//!    path, same assertion as the engine-mode tests).
+//!
+//! Every scenario's seed is splitmix-derived from `(suite_seed,
+//! scenario_index)`, and `--only SCENARIO_ID` re-expands the full matrix
+//! before filtering, so any failure reproduces with the one-line command
+//! embedded in its violation record. Two tiers: `Smoke` (a curated slice,
+//! PR CI) and `Full` (the whole matrix plus long-soak repeat scenarios
+//! for the shared-cache warm/churn paths, nightly).
+
+use ldc_batch::fleet::{Fleet, FleetRun};
+use ldc_batch::spec::{Algorithm, FaultSpec, GraphSource, JobSpec, ListSpec};
+use ldc_core::kernels::KernelMode;
+use ldc_graph::Graph;
+use ldc_sim::json::Obj;
+use ldc_sim::telemetry::{timing_f64, EventSink, RunManifest};
+use ldc_sim::{Bandwidth, ExecMode, Network, Outbox};
+use std::collections::HashMap;
+
+/// Default suite seed: every CI run uses it unless `--seed` overrides.
+pub const DEFAULT_SUITE_SEED: u64 = 0x50AC_2304_9666;
+
+/// Invariant family: validator-clean colorings.
+pub const INV_VALIDITY: &str = "validity";
+/// Invariant family: byte-identical rows across shards/exec/threads/cache.
+pub const INV_DET_ROWS: &str = "det_rows";
+/// Invariant family: Reference-vs-Fast solve equality.
+pub const INV_REF_EQUIV: &str = "ref_equiv";
+/// Invariant family: summary equals the fold of its outcomes.
+pub const INV_STATS_SUM: &str = "stats_sum";
+/// Invariant family: zero-alloc engine steady state.
+pub const INV_WIRE_ALLOC: &str = "wire_alloc";
+/// The invariant catalog, in roll-up order.
+pub const FAMILIES: [&str; 5] = [
+    INV_VALIDITY,
+    INV_DET_ROWS,
+    INV_REF_EQUIV,
+    INV_STATS_SUM,
+    INV_WIRE_ALLOC,
+];
+
+/// What a scenario's jobs must deliver.
+///
+/// The engine's silent fault classes (drops, truncations, node crashes)
+/// are *not* retried — a perturbed message is simply gone, and a pipeline
+/// whose setup phase loses a critical message fails with an algorithmic
+/// error that [`ldc_core::Resilient`] deliberately refuses to restart
+/// (bad instance, not bad network). The repo's reliability claim for
+/// those classes is therefore **fail-closed determinism**: a job either
+/// solves validly, errors, or (for the pipeline algorithms, which report
+/// rather than enforce validity) flags its own output `valid:false` —
+/// identically across every shard count, exec mode, thread count, cache
+/// setting, and kernel mode. What it never does is drift between
+/// variants. Fault classes the stack *does* heal (none, the
+/// generous bandwidth schedule, seeded error injection under restarts,
+/// the proven drop configs from the CI golden) carry the stronger
+/// must-solve expectation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Expect {
+    /// Every job solves and validates.
+    #[default]
+    Solve,
+    /// Jobs may error or flag their output invalid, but the flags must be
+    /// coherent (an error message exactly when `!ok`) — and the
+    /// determinism invariants still hold bit-for-bit.
+    FailClosed,
+}
+
+impl Expect {
+    /// The JSONL / roll-up token.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Expect::Solve => "solve",
+            Expect::FailClosed => "fail_closed",
+        }
+    }
+}
+
+/// Which slice of the matrix to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Tier {
+    /// The curated PR-CI slice (every graph family, algorithm, fault
+    /// family, and exec mode appears; minutes of wall-clock).
+    #[default]
+    Smoke,
+    /// The whole matrix plus the long-soak repeat scenarios (nightly).
+    Full,
+}
+
+impl Tier {
+    /// The CLI / file-name token.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Tier::Smoke => "smoke",
+            Tier::Full => "full",
+        }
+    }
+}
+
+/// Test seam: doctor the first scenario's data *after* the fleet runs and
+/// *before* the invariant checks, proving each checker actually fires and
+/// the harness exits nonzero with a repro line. Not reachable from the
+/// CLI — only tests construct a non-`None` value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Sabotage {
+    /// Honest run.
+    #[default]
+    None,
+    /// Flip a job's `valid` flag — `validity` must fire.
+    WrongColor,
+    /// Append a byte to one sharded-variant row — `det_rows` must fire.
+    MutateDetLine,
+    /// Bump the Reference re-run's round count — `ref_equiv` must fire.
+    RefFastMismatch,
+    /// Bump the summary's round total — `stats_sum` must fire.
+    SkewStats,
+}
+
+/// Harness configuration (the CLI's `ldc soak` flags).
+#[derive(Debug, Clone)]
+pub struct SoakConfig {
+    /// Which slice runs.
+    pub tier: Tier,
+    /// Seed the whole matrix derives from.
+    pub suite_seed: u64,
+    /// Run exactly the scenario with this id (searched in the *full*
+    /// matrix regardless of tier, so every repro line works).
+    pub only: Option<String>,
+    /// Shard count of the sharded determinism variant (the base run is
+    /// always 1 shard; rows must match at any value here).
+    pub variant_shards: usize,
+    /// Test seam; see [`Sabotage`].
+    pub sabotage: Sabotage,
+}
+
+impl Default for SoakConfig {
+    fn default() -> Self {
+        SoakConfig {
+            tier: Tier::Smoke,
+            suite_seed: DEFAULT_SUITE_SEED,
+            only: None,
+            variant_shards: 4,
+            sabotage: Sabotage::None,
+        }
+    }
+}
+
+/// One expanded scenario: a job list plus the execution knobs of its base
+/// run. The determinism variants (other shard count / exec mode / thread
+/// count / cache setting, Reference kernels) are derived in
+/// [`run_soak`], not stored.
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    /// Unique id, e.g. `ring48-oldc-drop-sc2-sh` (see DESIGN.md §14).
+    pub id: String,
+    /// Position in the full matrix (feeds the seed derivation).
+    pub index: usize,
+    /// Member of the smoke tier?
+    pub smoke: bool,
+    /// The jobs the fleet runs.
+    pub jobs: Vec<JobSpec>,
+    /// Base-run exec mode.
+    pub exec: ExecMode,
+    /// Base-run solver threads.
+    pub solver_threads: usize,
+    /// Base-run shared-kernel-cache setting.
+    pub shared_kernels: bool,
+    /// What the jobs must deliver (see [`Expect`]).
+    pub expect: Expect,
+    /// `splitmix(suite_seed, index)` — all job and fault seeds chain off
+    /// this.
+    pub seed: u64,
+}
+
+/// One failed invariant check, with its one-line repro.
+#[derive(Debug, Clone)]
+pub struct Violation {
+    /// Scenario id.
+    pub scenario: String,
+    /// Invariant family (one of [`FAMILIES`]).
+    pub invariant: &'static str,
+    /// What diverged.
+    pub detail: String,
+    /// `ldc soak --seed S --only ID` — paste to reproduce.
+    pub repro: String,
+}
+
+/// Per-scenario roll-up row.
+#[derive(Debug, Clone)]
+pub struct ScenarioResult {
+    /// Scenario id.
+    pub id: String,
+    /// Position in the full matrix.
+    pub index: usize,
+    /// Jobs in the base run.
+    pub jobs: usize,
+    /// Jobs that failed closed (0 under [`Expect::Solve`] unless the
+    /// scenario violated).
+    pub jobs_failed: u64,
+    /// The scenario's expectation.
+    pub expect: Expect,
+    /// All invariants held?
+    pub ok: bool,
+    /// Individual checks performed for this scenario.
+    pub invariants_checked: u64,
+    /// Rounds summed over the base run.
+    pub rounds_total: u64,
+    /// Bits summed over the base run.
+    pub bits_total: u64,
+    /// Wall-clock of the scenario (all variants), timing section only.
+    pub wall_nanos: u64,
+}
+
+/// A finished soak run.
+#[derive(Debug, Clone)]
+pub struct SoakReport {
+    /// Tier that ran.
+    pub tier: Tier,
+    /// The suite seed.
+    pub suite_seed: u64,
+    /// Per-scenario results, in matrix order.
+    pub results: Vec<ScenarioResult>,
+    /// Every failed check, in discovery order.
+    pub violations: Vec<Violation>,
+    /// Checks performed per invariant family, [`FAMILIES`] order.
+    pub family_checked: [u64; FAMILIES.len()],
+}
+
+impl SoakReport {
+    /// `true` iff no invariant fired.
+    pub fn passed(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// Total individual checks.
+    pub fn invariants_checked(&self) -> u64 {
+        self.family_checked.iter().sum()
+    }
+
+    /// The manifest-stamped JSONL stream: one `scenario` event per row
+    /// (deterministic `det` section, wall-clock in `timing`) and a final
+    /// `rollup` event. With `manifest == None` the stream starts at the
+    /// first event (tests); the CLI always stamps one.
+    pub fn to_jsonl(&self, manifest: Option<&RunManifest>) -> String {
+        let mut sink = EventSink::new();
+        if let Some(m) = manifest {
+            sink.set_manifest(m);
+        }
+        for r in &self.results {
+            let viols = self
+                .violations
+                .iter()
+                .filter(|v| v.scenario == r.id)
+                .count() as u64;
+            let det = Obj::new()
+                .str("id", &r.id)
+                .u64("index", r.index as u64)
+                .str("expect", r.expect.name())
+                .u64("jobs", r.jobs as u64)
+                .u64("jobs_failed", r.jobs_failed)
+                .u64("invariants", r.invariants_checked)
+                .u64("violations", viols)
+                .u64("rounds_total", r.rounds_total)
+                .u64("bits_total", r.bits_total)
+                .bool("ok", r.ok)
+                .finish();
+            let timing = Obj::new()
+                .raw("wall_ms", &timing_f64(r.wall_nanos as f64 / 1_000_000.0))
+                .finish();
+            sink.emit("scenario", det, timing);
+        }
+        let mut families = Obj::new();
+        for (name, checked) in FAMILIES.iter().zip(self.family_checked) {
+            families = families.u64(name, checked);
+        }
+        let det = Obj::new()
+            .str("tier", self.tier.name())
+            .u64("suite_seed", self.suite_seed)
+            .u64("scenarios", self.results.len() as u64)
+            .u64("invariants", self.invariants_checked())
+            .u64("violations", self.violations.len() as u64)
+            .raw("families", &families.finish())
+            .bool("ok", self.passed())
+            .finish();
+        let total_nanos: u64 = self.results.iter().map(|r| r.wall_nanos).sum();
+        let timing = Obj::new()
+            .raw("wall_ms", &timing_f64(total_nanos as f64 / 1_000_000.0))
+            .finish();
+        sink.emit("rollup", det, timing);
+        sink.to_jsonl()
+    }
+
+    /// The human roll-up: totals per invariant family, then either an
+    /// all-clean line or the first failure with its repro command.
+    pub fn rollup(&self) -> String {
+        let mut out = format!(
+            "soak[{}] seed {}: {} scenarios, {} invariant checks, {} violation(s)\n",
+            self.tier.name(),
+            self.suite_seed,
+            self.results.len(),
+            self.invariants_checked(),
+            self.violations.len(),
+        );
+        let per: Vec<String> = FAMILIES
+            .iter()
+            .zip(self.family_checked)
+            .map(|(name, checked)| format!("{name} {checked}"))
+            .collect();
+        out.push_str(&format!("  checks: {}\n", per.join(", ")));
+        let failed_closed: u64 = self.results.iter().map(|r| r.jobs_failed).sum();
+        if failed_closed > 0 {
+            out.push_str(&format!(
+                "  {failed_closed} job(s) failed closed in stress scenarios (deterministic errors, nothing silently wrong)\n"
+            ));
+        }
+        match self.violations.first() {
+            None => out.push_str("  ALL CLEAN\n"),
+            Some(v) => {
+                out.push_str(&format!(
+                    "  FIRST FAILURE: {} [{}] {}\n  repro: {}\n",
+                    v.scenario, v.invariant, v.detail, v.repro
+                ));
+            }
+        }
+        out
+    }
+}
+
+/// splitmix64 (Blackman & Vigna) — the same mixer the workspace RNG seeds
+/// through, reimplemented here so scenario seeds are self-contained.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// The seed of scenario `index` under `suite_seed`.
+pub fn scenario_seed(suite_seed: u64, index: usize) -> u64 {
+    let mut s = suite_seed ^ (index as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    splitmix64(&mut s)
+}
+
+/// The graph families of the matrix (small on purpose: the soak sweeps
+/// configuration space, not problem size).
+fn graph_families() -> Vec<(&'static str, GraphSource)> {
+    vec![
+        ("ring48", GraphSource::Ring { n: 48 }),
+        (
+            "gnp48",
+            GraphSource::Gnp {
+                n: 48,
+                p_milli: 80,
+                seed: 11,
+            },
+        ),
+        ("k24", GraphSource::Complete { n: 24 }),
+        ("multi4x6", GraphSource::Multipartite { parts: 4, size: 6 }),
+    ]
+}
+
+/// The algorithm axis.
+fn algorithm_axis() -> [(&'static str, Algorithm); 4] {
+    [
+        ("oldc", Algorithm::Oldc),
+        ("arb", Algorithm::Arbdefective),
+        ("congest", Algorithm::Congest),
+        ("edge", Algorithm::EdgeColoring),
+    ]
+}
+
+/// The fault-family axis. Parameters are picked so every algorithm
+/// tolerates the plan (attempt-keyed drop/trunc rates heal under retries;
+/// the crash window ends early enough for the pipelines to recover; the
+/// bandwidth schedule's cap is generous, exercising the schedule path
+/// without forcing aborts — E16 shows a tight cap aborts by design).
+fn fault_axis(seed: u64) -> [(&'static str, Option<FaultSpec>); 5] {
+    let tolerant = FaultSpec {
+        seed,
+        max_retries: 8,
+        backoff_rounds: 1,
+        max_restarts: 4,
+        ..FaultSpec::default()
+    };
+    [
+        ("none", None),
+        (
+            "drop",
+            Some(FaultSpec {
+                drop_milli: 50,
+                ..tolerant
+            }),
+        ),
+        (
+            "trunc",
+            Some(FaultSpec {
+                trunc_milli: 60,
+                trunc_cap: 96,
+                ..tolerant
+            }),
+        ),
+        (
+            "crash",
+            Some(FaultSpec {
+                crash_nodes: 2,
+                crash_from: 6,
+                crash_until: 8,
+                ..tolerant
+            }),
+        ),
+        (
+            "bw",
+            Some(FaultSpec {
+                bw_cap: 1 << 20,
+                bw_from: 2,
+                bw_until: 6,
+                max_retries: 4,
+                ..tolerant
+            }),
+        ),
+    ]
+}
+
+/// The list shape each algorithm solves (rich enough that every graph in
+/// the matrix is solvable; congest runs the `(degree+1)`-list regime and
+/// edge-coloring builds its own palette).
+fn lists_for(algo: Algorithm) -> ListSpec {
+    match algo {
+        Algorithm::Oldc => ListSpec::Uniform {
+            space: 1 << 12,
+            len: 1200,
+            defect: 3,
+            salt: 0,
+        },
+        Algorithm::Arbdefective | Algorithm::LdcDistributed => ListSpec::Uniform {
+            space: 1 << 10,
+            len: 500,
+            defect: 2,
+            salt: 1,
+        },
+        Algorithm::Congest | Algorithm::EdgeColoring => ListSpec::default(),
+    }
+}
+
+const EXECS: [(&str, ExecMode); 3] = [
+    ("po", ExecMode::Pooled),
+    ("sc", ExecMode::Scoped),
+    ("se", ExecMode::Sequential),
+];
+const THREADS: [usize; 4] = [1, 2, 4, 8];
+
+/// Is this grid cell in the curated smoke slice? Chosen so the smoke
+/// tier covers every graph family, every algorithm, every fault family,
+/// and (via the round-robin knob assignment) every exec mode and both
+/// cache settings, in ~30 scenarios.
+fn in_smoke(graph: &str, algo: &str, fault: &str) -> bool {
+    match graph {
+        "ring48" => true,
+        "gnp48" => matches!(
+            (algo, fault),
+            ("oldc", "none") | ("congest", "drop") | ("edge", "none") | ("arb", "none")
+        ),
+        "k24" => matches!(
+            (algo, fault),
+            ("arb", "trunc") | ("edge", "drop") | ("congest", "none") | ("oldc", "bw")
+        ),
+        "multi4x6" => matches!(
+            (algo, fault),
+            ("congest", "crash") | ("oldc", "none") | ("arb", "drop") | ("edge", "bw")
+        ),
+        _ => false,
+    }
+}
+
+/// Expand the **full** deterministic matrix under `suite_seed`. The tier
+/// and `--only` filters select from this list, so scenario ids and seeds
+/// never depend on which slice runs. Layout: two seed replicas of the
+/// graph × algorithm × fault grid, then the exec-mode sweep, then the
+/// long-soak repeat scenarios (replica 2 and later are full-tier only).
+pub fn expand(suite_seed: u64) -> Vec<Scenario> {
+    let mut out: Vec<Scenario> = Vec::new();
+
+    // Grid replicas: every (graph, algorithm, fault) cell, exec knobs
+    // assigned round-robin by global index so each combination of
+    // exec × threads × cache recurs across the grid.
+    for replica in 1..=2u32 {
+        for (gname, graph) in graph_families() {
+            for (aname, algo) in algorithm_axis() {
+                for fname in ["none", "drop", "trunc", "crash", "bw"] {
+                    let index = out.len();
+                    let seed = scenario_seed(suite_seed, index);
+                    let mut chain = seed;
+                    let fault = fault_axis(splitmix64(&mut chain))
+                        .into_iter()
+                        .find(|(n, _)| *n == fname)
+                        .expect("fault family exists")
+                        .1;
+                    let jobs: Vec<JobSpec> = (0..2)
+                        .map(|_| JobSpec {
+                            graph: graph.clone(),
+                            algorithm: algo,
+                            lists: lists_for(algo),
+                            seed: splitmix64(&mut chain),
+                            faults: fault,
+                        })
+                        .collect();
+                    let (ename, exec) = EXECS[index % EXECS.len()];
+                    let threads = THREADS[index % THREADS.len()];
+                    let shared = index % 2 == 1;
+                    let rep = if replica == 1 {
+                        String::new()
+                    } else {
+                        format!("-r{replica}")
+                    };
+                    // Silent fault classes are fail-closed (see
+                    // [`Expect`]); `none` and the generous bandwidth
+                    // schedule must solve through.
+                    let expect = match fname {
+                        "none" | "bw" => Expect::Solve,
+                        _ => Expect::FailClosed,
+                    };
+                    out.push(Scenario {
+                        id: format!(
+                            "{gname}-{aname}-{fname}-{ename}{threads}{}{rep}",
+                            if shared { "-sh" } else { "" }
+                        ),
+                        index,
+                        smoke: replica == 1 && in_smoke(gname, aname, fname),
+                        jobs,
+                        exec,
+                        solver_threads: threads,
+                        shared_kernels: shared,
+                        expect,
+                        seed,
+                    });
+                }
+            }
+        }
+    }
+
+    // Proven fault-recovery configs, pinned with the must-solve
+    // expectation: the CI golden's congest-under-drops shape, and the
+    // E16 resilient pattern — seeded error injection healed by engine
+    // retries plus solver restarts (errors ARE network faults, so
+    // `Resilient` re-keys the plan and replays).
+    for (id, graph, algo, fault) in [
+        (
+            "proven-congest-drop-ring48",
+            GraphSource::Ring { n: 48 },
+            Algorithm::Congest,
+            FaultSpec {
+                drop_milli: 50,
+                max_retries: 8,
+                ..FaultSpec::default()
+            },
+        ),
+        (
+            "proven-congest-drop-gnp48",
+            GraphSource::Gnp {
+                n: 48,
+                p_milli: 80,
+                seed: 11,
+            },
+            Algorithm::Congest,
+            FaultSpec {
+                drop_milli: 50,
+                max_retries: 8,
+                ..FaultSpec::default()
+            },
+        ),
+        (
+            "proven-oldc-error-ring48",
+            GraphSource::Ring { n: 48 },
+            Algorithm::Oldc,
+            FaultSpec {
+                error_milli: 150,
+                max_retries: 4,
+                backoff_rounds: 1,
+                max_restarts: 6,
+                ..FaultSpec::default()
+            },
+        ),
+        (
+            "proven-arb-error-gnp48",
+            GraphSource::Gnp {
+                n: 48,
+                p_milli: 80,
+                seed: 11,
+            },
+            Algorithm::Arbdefective,
+            FaultSpec {
+                error_milli: 150,
+                max_retries: 4,
+                backoff_rounds: 1,
+                max_restarts: 6,
+                ..FaultSpec::default()
+            },
+        ),
+    ] {
+        let index = out.len();
+        let seed = scenario_seed(suite_seed, index);
+        let mut chain = seed;
+        let jobs: Vec<JobSpec> = (0..2)
+            .map(|_| JobSpec {
+                graph: graph.clone(),
+                algorithm: algo,
+                lists: lists_for(algo),
+                seed: splitmix64(&mut chain),
+                faults: Some(FaultSpec {
+                    seed: splitmix64(&mut chain),
+                    ..fault
+                }),
+            })
+            .collect();
+        out.push(Scenario {
+            id: id.into(),
+            index,
+            smoke: true,
+            jobs,
+            exec: EXECS[index % EXECS.len()].1,
+            solver_threads: THREADS[index % THREADS.len()],
+            shared_kernels: index % 2 == 1,
+            expect: Expect::Solve,
+            seed,
+        });
+    }
+
+    // Exec-mode sweep: every exec × threads pair on one fixed spec per
+    // pipeline kind, so mode equivalence is pinned on identical inputs
+    // (the per-scenario alt-variant check then proves byte equality).
+    for (aname, algo, graph) in [
+        (
+            "congest",
+            Algorithm::Congest,
+            GraphSource::Gnp {
+                n: 48,
+                p_milli: 80,
+                seed: 11,
+            },
+        ),
+        ("oldc", Algorithm::Oldc, GraphSource::Ring { n: 48 }),
+    ] {
+        for (ename, exec) in EXECS {
+            for threads in THREADS {
+                let index = out.len();
+                let seed = scenario_seed(suite_seed, index);
+                let mut chain = seed;
+                let jobs: Vec<JobSpec> = (0..2)
+                    .map(|_| JobSpec {
+                        graph: graph.clone(),
+                        algorithm: algo,
+                        lists: lists_for(algo),
+                        seed: splitmix64(&mut chain),
+                        faults: None,
+                    })
+                    .collect();
+                out.push(Scenario {
+                    id: format!("sweep-{aname}-{ename}{threads}"),
+                    index,
+                    smoke: false,
+                    jobs,
+                    exec,
+                    solver_threads: threads,
+                    shared_kernels: true,
+                    expect: Expect::Solve,
+                    seed,
+                });
+            }
+        }
+    }
+
+    // Long-soak repeats: many same- or varied-shape jobs in one fleet so
+    // the shared kernel cache sees wholesale warm hits ("warm"), steady
+    // type churn through the eviction path ("churn"), and a long
+    // mixed-pipeline stream ("stream").
+    for (tag, salts) in [
+        ("warm", 4u64),   // 36 jobs over 4 list shapes: mostly warm hits
+        ("churn", 36u64), // every job a fresh shape: churn/evict path
+    ] {
+        let index = out.len();
+        let seed = scenario_seed(suite_seed, index);
+        let mut chain = seed;
+        let jobs: Vec<JobSpec> = (0..36u64)
+            .map(|j| JobSpec {
+                graph: GraphSource::Gnp {
+                    n: 48,
+                    p_milli: 80,
+                    seed: 11,
+                },
+                algorithm: Algorithm::Oldc,
+                lists: ListSpec::Uniform {
+                    space: 1 << 12,
+                    len: 1200,
+                    defect: 3,
+                    salt: j % salts,
+                },
+                seed: splitmix64(&mut chain),
+                faults: None,
+            })
+            .collect();
+        out.push(Scenario {
+            id: format!("soakrep-{tag}-oldc"),
+            index,
+            smoke: false,
+            jobs,
+            exec: ExecMode::Pooled,
+            solver_threads: 2,
+            shared_kernels: true,
+            expect: Expect::Solve,
+            seed,
+        });
+    }
+    {
+        let index = out.len();
+        let seed = scenario_seed(suite_seed, index);
+        let mut chain = seed;
+        let jobs: Vec<JobSpec> = (0..24usize)
+            .map(|j| JobSpec {
+                graph: if j % 2 == 0 {
+                    GraphSource::Ring { n: 48 }
+                } else {
+                    GraphSource::Gnp {
+                        n: 48,
+                        p_milli: 80,
+                        seed: 11,
+                    }
+                },
+                algorithm: Algorithm::Congest,
+                lists: ListSpec::default(),
+                seed: splitmix64(&mut chain),
+                faults: None,
+            })
+            .collect();
+        out.push(Scenario {
+            id: "soakrep-stream-congest".into(),
+            index,
+            smoke: false,
+            jobs,
+            exec: ExecMode::Pooled,
+            solver_threads: 1,
+            shared_kernels: true,
+            expect: Expect::Solve,
+            seed,
+        });
+    }
+    out
+}
+
+// ---------------------------------------------------------------------
+// Invariant checkers. Each is a pure function from run data to
+// `(checks_performed, violation_details)` so the test suite can feed
+// doctored inputs and watch them fire.
+// ---------------------------------------------------------------------
+
+/// `validity`: under [`Expect::Solve`] every job solved and validated;
+/// under [`Expect::FailClosed`] any deterministic outcome is accepted as
+/// long as its flags are coherent (error message exactly when `!ok`).
+pub fn check_validity(run: &FleetRun, expect: Expect) -> (u64, Vec<String>) {
+    let mut details = Vec::new();
+    for o in &run.outcomes {
+        if o.ok != o.error.is_none() {
+            details.push(format!("job {}: ok/error flags incoherent", o.index));
+            continue;
+        }
+        if expect == Expect::FailClosed {
+            continue;
+        }
+        if !o.ok {
+            details.push(format!(
+                "job {} errored: {}",
+                o.index,
+                o.error.as_deref().unwrap_or("?")
+            ));
+        } else if !o.valid {
+            details.push(format!("job {} solved but failed validation", o.index));
+        }
+    }
+    (run.outcomes.len() as u64, details)
+}
+
+/// `det_rows`: the two streams are byte-identical, line by line.
+/// `variant` names the knob change for the report (e.g. `shards=4`).
+pub fn check_rows_identical(
+    variant: &str,
+    base: &FleetRun,
+    other: &FleetRun,
+) -> (u64, Vec<String>) {
+    let a = base.to_jsonl();
+    let b = other.to_jsonl();
+    let mut details = Vec::new();
+    let mut checked = 0u64;
+    for (i, (la, lb)) in a.lines().zip(b.lines()).enumerate() {
+        checked += 1;
+        if la != lb {
+            details.push(format!("{variant}: line {i} diverged"));
+            break;
+        }
+    }
+    if details.is_empty() && a.lines().count() != b.lines().count() {
+        details.push(format!("{variant}: line counts diverged"));
+    }
+    (checked, details)
+}
+
+/// `ref_equiv`: a Reference-kernel re-run reproduces every structured
+/// solve outcome. Rows are *not* compared — the kernel cache counters in
+/// them differ between modes by design.
+pub fn check_solve_equal(base: &FleetRun, reference: &FleetRun) -> (u64, Vec<String>) {
+    let mut details = Vec::new();
+    let mut checked = 0u64;
+    for (a, b) in base.outcomes.iter().zip(&reference.outcomes) {
+        checked += 1;
+        let same = a.ok == b.ok
+            && a.valid == b.valid
+            && a.rounds == b.rounds
+            && a.total_bits == b.total_bits
+            && a.colors_used == b.colors_used
+            && a.faults == b.faults
+            && a.error == b.error;
+        if !same {
+            details.push(format!(
+                "job {}: fast (ok={} rounds={} bits={} colors={}) vs reference (ok={} rounds={} bits={} colors={})",
+                a.index, a.ok, a.rounds, a.total_bits, a.colors_used,
+                b.ok, b.rounds, b.total_bits, b.colors_used
+            ));
+        }
+    }
+    if base.outcomes.len() != reference.outcomes.len() {
+        details.push("outcome counts diverged".into());
+    }
+    (checked, details)
+}
+
+/// `stats_sum`: the fleet summary is exactly the fold of its outcomes
+/// (same aggregation rule as `Fleet::run`), cache hit/miss counts cover
+/// every job, and kernel counters are internally consistent.
+pub fn check_stats_consistency(run: &FleetRun) -> (u64, Vec<String>) {
+    let mut details = Vec::new();
+    let s = &run.summary;
+    let mut ok = 0u64;
+    let mut failed = 0u64;
+    let mut rounds = 0u64;
+    let mut bits = 0u64;
+    let mut restarts = 0u64;
+    let mut faults = ldc_core::FaultStats::default();
+    let mut kernels = ldc_core::kernels::KernelStats::default();
+    for o in &run.outcomes {
+        if o.ok {
+            ok += 1;
+        } else {
+            failed += 1;
+        }
+        rounds += o.rounds;
+        bits += o.total_bits;
+        kernels.absorb(&o.kernels);
+        match &o.resilient {
+            Some(r) => {
+                restarts += u64::from(r.restarts);
+                faults.absorb(&r.faults);
+            }
+            None => faults.absorb(&o.faults),
+        }
+        if o.kernels.select_misses > o.kernels.select_calls
+            || o.kernels.conflict_misses > o.kernels.conflict_calls
+        {
+            details.push(format!("job {}: kernel misses exceed calls", o.index));
+        }
+    }
+    let folds: [(&str, u64, u64); 8] = [
+        ("jobs", s.jobs, run.outcomes.len() as u64),
+        ("ok", s.ok, ok),
+        ("failed", s.failed, failed),
+        ("rounds_total", s.rounds_total, rounds),
+        ("bits_total", s.bits_total, bits),
+        ("restarts", s.restarts, restarts),
+        (
+            "cache_hits+misses",
+            s.cache_hits + s.cache_misses,
+            run.outcomes.len() as u64,
+        ),
+        (
+            "kernels.select_calls",
+            s.kernels.select_calls,
+            kernels.select_calls,
+        ),
+    ];
+    let mut checked = run.outcomes.len() as u64;
+    for (name, got, want) in folds {
+        checked += 1;
+        if got != want {
+            details.push(format!("summary.{name} = {got}, fold of outcomes = {want}"));
+        }
+    }
+    checked += 2;
+    if s.faults != faults {
+        details.push("summary.faults differs from fold of outcomes".into());
+    }
+    if s.kernels != kernels {
+        details.push("summary.kernels differs from fold of outcomes".into());
+    }
+    (checked, details)
+}
+
+/// `wire_alloc`: the engine's steady state on `g` allocates exactly one
+/// wire buffer across many broadcast rounds (the zero-alloc contract the
+/// engine-mode tests pin; re-checked here on every scenario graph).
+pub fn check_wire_reuse(g: &Graph) -> (u64, Vec<String>) {
+    let mut net = Network::new(g, Bandwidth::Local);
+    let mut states: Vec<u64> = (0..g.num_nodes() as u64).collect();
+    for round in 0..12 {
+        let r = net.exchange(
+            &mut states,
+            |_, s, out: &mut Outbox<'_, u64>| out.broadcast(s),
+            |v, s, inbox| {
+                let mut acc = *s ^ u64::from(v);
+                for (port, m) in inbox.iter() {
+                    acc = acc
+                        .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+                        .wrapping_add(*m ^ port as u64);
+                }
+                *s = acc;
+            },
+        );
+        if let Err(e) = r {
+            return (1, vec![format!("engine round {round} failed: {e}")]);
+        }
+    }
+    let allocs = net.wire_allocations();
+    if allocs == 1 {
+        (1, Vec::new())
+    } else {
+        (
+            1,
+            vec![format!(
+                "wire allocations = {allocs} after 12 rounds (want exactly 1)"
+            )],
+        )
+    }
+}
+
+/// The fleet for one (scenario, variant) combination.
+fn fleet_for(
+    shards: usize,
+    exec: ExecMode,
+    threads: usize,
+    shared: bool,
+    mode: KernelMode,
+) -> Fleet {
+    Fleet::new(shards)
+        .with_solver_threads(threads)
+        .with_shared_kernels(shared)
+        .with_exec(exec)
+        .with_kernel_mode(mode)
+}
+
+/// The alternate exec mode of the determinism variant.
+fn alt_exec(exec: ExecMode) -> ExecMode {
+    match exec {
+        ExecMode::Pooled => ExecMode::Scoped,
+        ExecMode::Scoped => ExecMode::Sequential,
+        ExecMode::Sequential => ExecMode::Pooled,
+    }
+}
+
+/// Run one scenario through all variants and the invariant catalog.
+fn run_scenario(
+    cfg: &SoakConfig,
+    s: &Scenario,
+    sabotage: Sabotage,
+    wire_memo: &mut HashMap<u64, (u64, Vec<String>)>,
+    family_checked: &mut [u64; FAMILIES.len()],
+) -> (ScenarioResult, Vec<Violation>) {
+    let started = std::time::Instant::now();
+    let mut base = fleet_for(
+        1,
+        s.exec,
+        s.solver_threads,
+        s.shared_kernels,
+        KernelMode::Fast,
+    )
+    .run(&s.jobs);
+    let mut sharded = fleet_for(
+        cfg.variant_shards,
+        s.exec,
+        s.solver_threads,
+        s.shared_kernels,
+        KernelMode::Fast,
+    )
+    .run(&s.jobs);
+    let alt = fleet_for(
+        1,
+        alt_exec(s.exec),
+        if s.solver_threads == 1 { 4 } else { 1 },
+        !s.shared_kernels,
+        KernelMode::Fast,
+    )
+    .run(&s.jobs);
+    let mut reference = fleet_for(
+        1,
+        s.exec,
+        s.solver_threads,
+        s.shared_kernels,
+        KernelMode::Reference,
+    )
+    .run(&s.jobs);
+
+    match sabotage {
+        Sabotage::None => {}
+        Sabotage::WrongColor => base.outcomes[0].valid = false,
+        Sabotage::MutateDetLine => sharded.outcomes[0].row.push('X'),
+        Sabotage::RefFastMismatch => reference.outcomes[0].rounds += 1,
+        Sabotage::SkewStats => base.summary.rounds_total += 1,
+    }
+
+    let repro = format!("ldc soak --seed {} --only {}", cfg.suite_seed, s.id);
+    let mut violations = Vec::new();
+    let mut invariants_checked = 0u64;
+    let mut record = |family: &'static str,
+                      (checked, details): (u64, Vec<String>),
+                      violations: &mut Vec<Violation>,
+                      family_checked: &mut [u64; FAMILIES.len()]| {
+        let slot = FAMILIES.iter().position(|f| *f == family).expect("family");
+        family_checked[slot] += checked;
+        invariants_checked += checked;
+        for detail in details {
+            violations.push(Violation {
+                scenario: s.id.clone(),
+                invariant: family,
+                detail,
+                repro: repro.clone(),
+            });
+        }
+    };
+
+    record(
+        INV_VALIDITY,
+        check_validity(&base, s.expect),
+        &mut violations,
+        family_checked,
+    );
+    record(
+        INV_DET_ROWS,
+        check_rows_identical(&format!("shards={}", cfg.variant_shards), &base, &sharded),
+        &mut violations,
+        family_checked,
+    );
+    record(
+        INV_DET_ROWS,
+        check_rows_identical("alt exec/threads/cache", &base, &alt),
+        &mut violations,
+        family_checked,
+    );
+    record(
+        INV_REF_EQUIV,
+        check_solve_equal(&base, &reference),
+        &mut violations,
+        family_checked,
+    );
+    record(
+        INV_STATS_SUM,
+        check_stats_consistency(&base),
+        &mut violations,
+        family_checked,
+    );
+    // One wire-reuse probe per distinct graph in the whole run.
+    for job in &s.jobs {
+        let key = job.graph.cache_key();
+        if let std::collections::hash_map::Entry::Vacant(slot) = wire_memo.entry(key) {
+            let probe = match job.graph.build() {
+                Ok(g) => check_wire_reuse(&g),
+                Err(e) => (1, vec![format!("graph build failed: {e}")]),
+            };
+            slot.insert(probe.clone());
+            record(INV_WIRE_ALLOC, probe, &mut violations, family_checked);
+        }
+    }
+
+    let result = ScenarioResult {
+        id: s.id.clone(),
+        index: s.index,
+        jobs: s.jobs.len(),
+        jobs_failed: base.summary.failed,
+        expect: s.expect,
+        ok: violations.is_empty(),
+        invariants_checked,
+        rounds_total: base.summary.rounds_total,
+        bits_total: base.summary.bits_total,
+        wall_nanos: started.elapsed().as_nanos() as u64,
+    };
+    (result, violations)
+}
+
+/// Run the soak. `Err` is reserved for configuration errors (an unknown
+/// `--only` id); invariant violations land in the report, whose
+/// [`SoakReport::passed`] the CLI turns into its exit code.
+pub fn run_soak(cfg: &SoakConfig) -> Result<SoakReport, String> {
+    let all = expand(cfg.suite_seed);
+    let picked: Vec<&Scenario> = match &cfg.only {
+        Some(id) => {
+            let hit: Vec<&Scenario> = all.iter().filter(|s| s.id == *id).collect();
+            if hit.is_empty() {
+                return Err(format!(
+                    "no scenario {id:?} in the matrix (see `ldc soak --list`)"
+                ));
+            }
+            hit
+        }
+        None => all
+            .iter()
+            .filter(|s| cfg.tier == Tier::Full || s.smoke)
+            .collect(),
+    };
+    let mut results = Vec::with_capacity(picked.len());
+    let mut violations = Vec::new();
+    let mut family_checked = [0u64; FAMILIES.len()];
+    let mut wire_memo: HashMap<u64, (u64, Vec<String>)> = HashMap::new();
+    for (pos, s) in picked.iter().enumerate() {
+        let sabotage = if pos == 0 {
+            cfg.sabotage
+        } else {
+            Sabotage::None
+        };
+        let (result, mut viols) =
+            run_scenario(cfg, s, sabotage, &mut wire_memo, &mut family_checked);
+        results.push(result);
+        violations.append(&mut viols);
+    }
+    Ok(SoakReport {
+        tier: cfg.tier,
+        suite_seed: cfg.suite_seed,
+        results,
+        violations,
+        family_checked,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeSet;
+
+    #[test]
+    fn expansion_is_deterministic_and_duplicate_free() {
+        let a = expand(DEFAULT_SUITE_SEED);
+        let b = expand(DEFAULT_SUITE_SEED);
+        assert_eq!(a.len(), b.len());
+        let ids: BTreeSet<&str> = a.iter().map(|s| s.id.as_str()).collect();
+        assert_eq!(ids.len(), a.len(), "scenario ids must be unique");
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.id, y.id);
+            assert_eq!(x.seed, y.seed);
+            assert_eq!(x.jobs.len(), y.jobs.len());
+            for (jx, jy) in x.jobs.iter().zip(&y.jobs) {
+                assert_eq!(jx.to_json(), jy.to_json());
+            }
+        }
+        // A different suite seed keeps the ids (the matrix shape is
+        // seed-independent) but rekeys every scenario.
+        let c = expand(DEFAULT_SUITE_SEED ^ 1);
+        assert_eq!(c.len(), a.len());
+        assert!(a.iter().zip(&c).all(|(x, y)| x.id == y.id));
+        assert!(a.iter().zip(&c).any(|(x, y)| x.seed != y.seed));
+    }
+
+    #[test]
+    fn smoke_slice_covers_the_axes() {
+        let all = expand(DEFAULT_SUITE_SEED);
+        let smoke: Vec<&Scenario> = all.iter().filter(|s| s.smoke).collect();
+        assert!(
+            smoke.len() >= 30,
+            "smoke tier must expand ≥ 30 scenarios, got {}",
+            smoke.len()
+        );
+        assert!(
+            all.len() > 150,
+            "full matrix is the soak, got {}",
+            all.len()
+        );
+        for needle in ["oldc", "arb", "congest", "edge"] {
+            assert!(
+                smoke.iter().any(|s| s.id.contains(&format!("-{needle}-"))),
+                "smoke misses algorithm {needle}"
+            );
+        }
+        for needle in ["none", "drop", "trunc", "crash", "bw"] {
+            assert!(
+                smoke.iter().any(|s| s.id.contains(&format!("-{needle}-"))),
+                "smoke misses fault family {needle}"
+            );
+        }
+        for graph in ["ring48", "gnp48", "k24", "multi4x6"] {
+            assert!(
+                smoke.iter().any(|s| s.id.starts_with(graph)),
+                "smoke misses graph {graph}"
+            );
+        }
+        let execs: BTreeSet<&str> = smoke
+            .iter()
+            .map(|s| match s.exec {
+                ExecMode::Pooled => "po",
+                ExecMode::Scoped => "sc",
+                ExecMode::Sequential => "se",
+            })
+            .collect();
+        assert_eq!(execs.len(), 3, "smoke misses an exec mode");
+        assert!(smoke.iter().any(|s| s.shared_kernels));
+        assert!(smoke.iter().any(|s| !s.shared_kernels));
+    }
+
+    #[test]
+    fn scenario_seeds_differ_and_rederive() {
+        let seeds: BTreeSet<u64> = (0..64).map(|i| scenario_seed(7, i)).collect();
+        assert_eq!(seeds.len(), 64, "seed derivation must not collide");
+        assert_eq!(scenario_seed(7, 3), scenario_seed(7, 3));
+        assert_ne!(scenario_seed(7, 3), scenario_seed(8, 3));
+    }
+
+    #[test]
+    fn only_selects_exactly_one_scenario() {
+        let all = expand(DEFAULT_SUITE_SEED);
+        let id = all[5].id.clone();
+        let cfg = SoakConfig {
+            only: Some(id.clone()),
+            ..SoakConfig::default()
+        };
+        let report = run_soak(&cfg).unwrap();
+        assert_eq!(report.results.len(), 1);
+        assert_eq!(report.results[0].id, id);
+        let missing = SoakConfig {
+            only: Some("no-such-scenario".into()),
+            ..SoakConfig::default()
+        };
+        assert!(run_soak(&missing).is_err());
+    }
+}

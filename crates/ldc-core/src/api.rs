@@ -23,7 +23,7 @@ use crate::arbdefective::{solve_list_arbdefective, ArbConfig, Substrate};
 use crate::colorspace::ConfiguredSolver;
 use crate::ctx::{CoreError, OldcCtx};
 use crate::existence;
-use crate::kernels::{KernelConfig, KernelStats, SharedTypeCache};
+use crate::kernels::{KernelConfig, KernelMode, KernelStats, SharedTypeCache};
 use crate::oldc::solve_oldc_cfg;
 use crate::params::{practical_kappa, ParamProfile};
 use crate::problem::{Color, LdcInstance, OldcInstance};
@@ -69,6 +69,12 @@ pub struct SolveOptions {
     /// conflict-verdict entries are reused across solves that share it.
     /// `None` (the default) keeps every solve's cache private.
     pub shared_kernels: Option<Arc<SharedTypeCache>>,
+    /// Kernel implementations ([`KernelMode::Fast`] by default).
+    /// [`KernelMode::Reference`] re-routes every kernel through the naive
+    /// loops — colors, rounds, and bits are byte-identical to `Fast`
+    /// (differential testing; the soak harness checks it on every
+    /// scenario), only the cache counters differ.
+    pub kernel_mode: KernelMode,
 }
 
 impl Default for SolveOptions {
@@ -82,6 +88,7 @@ impl Default for SolveOptions {
             exec: None,
             solver_threads: 1,
             shared_kernels: None,
+            kernel_mode: KernelMode::default(),
         }
     }
 }
@@ -136,14 +143,20 @@ impl SolveOptions {
         self
     }
 
-    /// The [`KernelConfig`] these options describe (default kernel mode;
-    /// thread count and shared cache from the options).
+    /// Select the kernel implementations (fast vs. reference).
+    pub fn with_kernel_mode(mut self, mode: KernelMode) -> Self {
+        self.kernel_mode = mode;
+        self
+    }
+
+    /// The [`KernelConfig`] these options describe (kernel mode, thread
+    /// count, and shared cache from the options).
     pub fn kernel_config(&self) -> KernelConfig {
-        let cfg = KernelConfig::default().with_threads(self.solver_threads);
-        match &self.shared_kernels {
-            Some(shared) => cfg.with_shared(shared.clone()),
-            None => cfg,
+        let mut cfg = KernelConfig::from(self.kernel_mode).with_threads(self.solver_threads);
+        if let Some(shared) = &self.shared_kernels {
+            cfg = cfg.with_shared(shared.clone());
         }
+        cfg
     }
 
     /// Attach the execution environment these options carry — tracer,

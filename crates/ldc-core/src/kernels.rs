@@ -419,7 +419,7 @@ struct SharedShard {
 /// entries.
 ///
 /// Keys embed everything the kernels are functions of (see
-/// [`SharedSelectKey`] / [`SharedVerdictKey`]), so one cache can serve
+/// `SharedSelectKey` / `SharedVerdictKey`), so one cache can serve
 /// solver invocations with different seeds, thresholds, and spacings.
 /// The shard of a key is its deterministic [`DetHasher`] hash modulo the
 /// shard count; each shard's maps are capacity-bounded with a clear-all
@@ -1055,7 +1055,7 @@ impl TypeCache {
     /// byte-identical to calling `conflict` over `pairs` in order; the
     /// verdicts neither memo layer holds are pure functions of the two
     /// interned sets and fan out over the pool (the packed tables are
-    /// frozen for the pass — [`Self::compute_verdict`] takes `&self`).
+    /// frozen for the pass — `Self::compute_verdict` takes `&self`).
     pub fn conflict_batch(&mut self, pairs: &[ListPair]) -> Vec<bool> {
         if self.mode == KernelMode::Reference {
             return self.conflict_batch_reference(pairs);

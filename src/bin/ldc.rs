@@ -41,13 +41,14 @@ fn run(args: &[String]) -> Result<(), String> {
         Some("edge-color") => cmd_edge_color(&args[1..]),
         Some("analyze") => cmd_analyze(&args[1..]),
         Some("batch") => cmd_batch(&args[1..]),
+        Some("soak") => cmd_soak(&args[1..]),
         Some("report") => cmd_report(&args[1..]),
         _ => Err(usage()),
     }
 }
 
 fn usage() -> String {
-    "usage:\n  ldc gen <ring|path|complete|torus|regular|gnp|tree|powerlaw|hypercube> <params…> [--seed S] [-o FILE]\n  ldc color <FILE> [--algorithm thm14|classic|luby] [--seed S] [--trace FILE] [--timings] [--faults SPEC] [--retries N]\n  ldc edge-color <FILE> [--seed S] [--trace FILE] [--timings]\n  ldc analyze <FILE>\n  ldc batch <SPEC.json> [--shards N] [--solver-threads N] [--shared-cache] [--out FILE] [--telemetry FILE]\n  ldc report [--history FILE] [--telemetry FILE] [--strip-timing FILE]\n\n  batch: run every job in SPEC.json (array of job objects, or {\"jobs\": [...]})\n  sharded over the worker pool, and write one JSONL row per job plus a fleet\n  summary line. Output is byte-identical for every --shards value, every\n  --solver-threads value, and with or without --shared-cache.\n  --solver-threads N: worker threads for each solver's batched per-node\n  phases (default 1). --shared-cache: share one kernel cache across the\n  whole run so same-shaped jobs skip recomputation (stats on stderr).\n  --telemetry FILE: also write a manifest-stamped telemetry JSONL whose\n  deterministic section is byte-identical across shard counts (with\n  --shared-cache, only at --shards 1 — shared hits race otherwise).\n\n  report: render bench-history trend tables (default --history\n  BENCH_history.jsonl) and/or summarize a telemetry JSONL; --strip-timing\n  prints only the deterministic sections of a telemetry file (CI diffs it).\n\n  --trace FILE: record a phase-span trace (per-theorem rounds/bits), print\n  the span tree, and write it as JSONL to FILE ('-' prints the tree only).\n  --timings: include wall-clock fields in the trace JSONL (off by default,\n  keeping trace output byte-diffable).\n\n  --faults SPEC: run under a seeded fault plan (DESIGN.md §9). SPEC is\n  comma-separated key=value pairs: seed=S, drop=RATE, trunc=RATE:CAPBITS,\n  sleep=RATE, error=RATE (e.g. --faults seed=7,drop=0.05,error=0.1).\n  --retries N: round retries per fault (default 3, backoff 1 stall round)."
+    "usage:\n  ldc gen <ring|path|complete|torus|regular|gnp|tree|powerlaw|hypercube> <params…> [--seed S] [-o FILE]\n  ldc color <FILE> [--algorithm thm14|classic|luby] [--seed S] [--trace FILE] [--timings] [--faults SPEC] [--retries N]\n  ldc edge-color <FILE> [--seed S] [--trace FILE] [--timings]\n  ldc analyze <FILE>\n  ldc batch <SPEC.json> [--shards N] [--solver-threads N] [--shared-cache] [--out FILE] [--telemetry FILE]\n  ldc soak [--smoke|--full] [--only ID] [--seed S] [--shards N] [--out-dir DIR] [--list]\n  ldc report [--history FILE] [--telemetry FILE] [--strip-timing FILE]\n\n  batch: run every job in SPEC.json (array of job objects, or {\"jobs\": [...]})\n  sharded over the worker pool, and write one JSONL row per job plus a fleet\n  summary line. Output is byte-identical for every --shards value, every\n  --solver-threads value, and with or without --shared-cache.\n  --solver-threads N: worker threads for each solver's batched per-node\n  phases (default 1). --shared-cache: share one kernel cache across the\n  whole run so same-shaped jobs skip recomputation (stats on stderr).\n  --telemetry FILE: also write a manifest-stamped telemetry JSONL whose\n  deterministic section is byte-identical across shard counts (with\n  --shared-cache, only at --shards 1 — shared hits race otherwise).\n\n  soak: expand the seeded scenario matrix (DESIGN.md §14) and hold every\n  scenario to the invariant catalog — validity, byte-identical rows across\n  shards/exec/threads/cache, Reference-vs-Fast equality, stats\n  sum-consistency, zero-alloc engine steady state. --smoke (default) runs\n  the curated PR slice, --full the whole matrix (nightly). Results stream\n  to DIR/soak_<tier>.jsonl (default target/soak); exit is nonzero on any\n  violation, printing a one-line repro (`ldc soak --seed S --only ID`).\n  --shards N sets the sharded determinism variant (default 4; det output\n  is byte-identical at every value). --list prints scenario ids.\n\n  report: render bench-history trend tables (default --history\n  BENCH_history.jsonl) and/or summarize a telemetry JSONL; --strip-timing\n  prints only the deterministic sections of a telemetry file (CI diffs it).\n\n  --trace FILE: record a phase-span trace (per-theorem rounds/bits), print\n  the span tree, and write it as JSONL to FILE ('-' prints the tree only).\n  --timings: include wall-clock fields in the trace JSONL (off by default,\n  keeping trace output byte-diffable).\n\n  --faults SPEC: run under a seeded fault plan (DESIGN.md §9). SPEC is\n  comma-separated key=value pairs: seed=S, drop=RATE, trunc=RATE:CAPBITS,\n  sleep=RATE, error=RATE (e.g. --faults seed=7,drop=0.05,error=0.1).\n  --retries N: round retries per fault (default 3, backoff 1 stall round)."
         .into()
 }
 
@@ -63,7 +64,7 @@ fn finish_trace(tracer: &Tracer, path: &str, timings: bool) -> Result<(), String
 }
 
 /// Flags that take no value (everything else is `--flag VALUE`).
-const BOOL_FLAGS: &[&str] = &["--timings", "--shared-cache"];
+const BOOL_FLAGS: &[&str] = &["--timings", "--shared-cache", "--smoke", "--full", "--list"];
 
 fn flag(args: &[String], name: &str) -> Option<String> {
     args.iter()
@@ -389,6 +390,61 @@ fn cmd_batch(args: &[String]) -> Result<(), String> {
         return Err(format!("{} job(s) failed", s.failed));
     }
     Ok(())
+}
+
+/// `ldc soak` — the scenario-matrix soak harness (DESIGN.md §14). Exit
+/// code 2 on any invariant violation, with a one-line repro printed.
+fn cmd_soak(args: &[String]) -> Result<(), String> {
+    use ldc::bench::soak::{expand, run_soak, SoakConfig, Tier, DEFAULT_SUITE_SEED};
+    let tier = if bool_flag(args, "--full") {
+        Tier::Full
+    } else {
+        Tier::Smoke
+    };
+    let suite_seed: u64 = flag(args, "--seed")
+        .map(|s| parse(&s, "seed"))
+        .transpose()?
+        .unwrap_or(DEFAULT_SUITE_SEED);
+    if bool_flag(args, "--list") {
+        let all = expand(suite_seed);
+        for s in &all {
+            println!("{}{}", s.id, if s.smoke { "  [smoke]" } else { "" });
+        }
+        let smoke = all.iter().filter(|s| s.smoke).count();
+        eprintln!("{} scenarios ({} in the smoke tier)", all.len(), smoke);
+        return Ok(());
+    }
+    let cfg = SoakConfig {
+        tier,
+        suite_seed,
+        only: flag(args, "--only"),
+        variant_shards: flag(args, "--shards")
+            .map(|s| parse(&s, "shards"))
+            .transpose()?
+            .unwrap_or(4),
+        ..SoakConfig::default()
+    };
+    let report = run_soak(&cfg)?;
+    let out_dir = flag(args, "--out-dir").unwrap_or_else(|| "target/soak".into());
+    std::fs::create_dir_all(&out_dir).map_err(|e| format!("mkdir {out_dir}: {e}"))?;
+    let out_path = format!("{out_dir}/soak_{}.jsonl", tier.name());
+    let manifest = RunManifest::capture("soak", suite_seed, tier.name());
+    std::fs::write(&out_path, report.to_jsonl(Some(&manifest)))
+        .map_err(|e| format!("write {out_path}: {e}"))?;
+    print!("{}", report.rollup());
+    eprintln!("wrote {out_path}");
+    if report.passed() {
+        Ok(())
+    } else {
+        let v = &report.violations[0];
+        Err(format!(
+            "{} invariant violation(s); first: {} [{}] — repro: {}",
+            report.violations.len(),
+            v.scenario,
+            v.invariant,
+            v.repro
+        ))
+    }
 }
 
 /// `ldc report` — trend tables from the checked-in bench history, plus
