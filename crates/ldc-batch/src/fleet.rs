@@ -56,6 +56,61 @@ where
         .collect()
 }
 
+/// FNV-keyed graph cache: one built (or failed) graph per distinct
+/// [`GraphSource`](crate::spec::GraphSource). [`Fleet::run`] resolves through it sequentially in
+/// job order (so hit/miss counts never depend on scheduling), and the
+/// `ldcd` daemon keeps one behind a mutex for the whole process lifetime
+/// — a served job never rebuilds a graph a previous request already
+/// built. Build *failures* are cached too: a bad source errors once and
+/// every later reference reuses the message.
+#[derive(Debug, Clone, Default)]
+pub struct GraphCache {
+    map: HashMap<u64, Arc<Result<Graph, String>>>,
+    hits: u64,
+    misses: u64,
+}
+
+impl GraphCache {
+    /// An empty cache.
+    pub fn new() -> GraphCache {
+        GraphCache::default()
+    }
+
+    /// Resolve `src`, building it on first sight.
+    pub fn resolve(&mut self, src: &crate::spec::GraphSource) -> Arc<Result<Graph, String>> {
+        match self.map.entry(src.cache_key()) {
+            std::collections::hash_map::Entry::Vacant(slot) => {
+                self.misses += 1;
+                slot.insert(Arc::new(src.build())).clone()
+            }
+            std::collections::hash_map::Entry::Occupied(slot) => {
+                self.hits += 1;
+                slot.get().clone()
+            }
+        }
+    }
+
+    /// Resolutions that found an already-built graph.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Resolutions that built (or failed to build) a graph.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Distinct graphs held.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether nothing has been resolved yet.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+}
+
 /// The outcome of one job: the rendered JSONL row plus the structured
 /// numbers the row was rendered from (so tests and roll-ups never parse
 /// their own output).
@@ -274,38 +329,43 @@ impl Fleet {
         self
     }
 
+    /// Execute one job against an already-resolved graph.
+    ///
+    /// This is the single-job core of [`Fleet::run`], exposed so the
+    /// `ldcd` daemon can serve requests one at a time through the same
+    /// code path: same row bytes, same error formatting, same kernel
+    /// accounting. `index` is echoed into the row's `"job"` field.
+    pub fn run_one(
+        &self,
+        index: usize,
+        job: &JobSpec,
+        graph: &Result<Graph, String>,
+        shared: Option<&Arc<SharedTypeCache>>,
+    ) -> JobOutcome {
+        match graph {
+            Ok(g) => run_job(index, job, g, self, shared),
+            Err(e) => error_outcome(index, job, format!("graph: {e}")),
+        }
+    }
+
     /// Execute every job and collect the deterministic result stream.
     pub fn run(&self, jobs: &[JobSpec]) -> FleetRun {
         // Resolve graphs sequentially in job order: cache accounting and
         // build errors are then independent of sharding.
-        let mut cache: HashMap<u64, Result<Graph, String>> = HashMap::new();
-        let mut cache_hits = 0u64;
-        let mut cache_misses = 0u64;
-        let keys: Vec<u64> = jobs
-            .iter()
-            .map(|job| {
-                let key = job.graph.cache_key();
-                if let std::collections::hash_map::Entry::Vacant(slot) = cache.entry(key) {
-                    slot.insert(job.graph.build());
-                    cache_misses += 1;
-                } else {
-                    cache_hits += 1;
-                }
-                key
-            })
-            .collect();
+        let mut cache = GraphCache::new();
+        let graphs: Vec<Arc<Result<Graph, String>>> =
+            jobs.iter().map(|job| cache.resolve(&job.graph)).collect();
 
         let shared: Option<Arc<SharedTypeCache>> =
             self.shared_kernels.then(SharedTypeCache::with_defaults);
-        let outcomes = sharded_map(self.shards, jobs, |i, job| match &cache[&keys[i]] {
-            Ok(g) => run_job(i, job, g, self, shared.as_ref()),
-            Err(e) => error_outcome(i, job, format!("graph: {e}")),
+        let outcomes = sharded_map(self.shards, jobs, |i, job| {
+            self.run_one(i, job, &graphs[i], shared.as_ref())
         });
 
         let mut summary = FleetSummary {
             jobs: jobs.len() as u64,
-            cache_hits,
-            cache_misses,
+            cache_hits: cache.hits(),
+            cache_misses: cache.misses(),
             ..FleetSummary::default()
         };
         for o in &outcomes {

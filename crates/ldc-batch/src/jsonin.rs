@@ -90,6 +90,25 @@ impl Value {
             .ok_or_else(|| format!("missing required field {key:?}"))
     }
 
+    /// Strict-mode check: error when this object carries a key outside
+    /// `allowed`. Loose parsing (the default everywhere fixtures are
+    /// read) ignores unknown fields so old spec files keep working; the
+    /// daemon's wire frames parse strictly so a typo'd field is a typed
+    /// error instead of a silently-ignored knob.
+    pub fn expect_only(&self, allowed: &[&str]) -> Result<(), String> {
+        if let Value::Obj(fields) = self {
+            for (k, _) in fields {
+                if !allowed.contains(&k.as_str()) {
+                    return Err(format!(
+                        "unknown field {k:?} (strict mode accepts: {})",
+                        allowed.join(", ")
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+
     /// `get(key).as_u64()` with a default for absent fields and an error
     /// for present-but-wrong-typed ones.
     pub fn u64_or(&self, key: &str, default: u64) -> Result<u64, String> {
@@ -307,6 +326,17 @@ mod tests {
         assert!(v.u64_or("s", 9).is_err());
         assert!(v.require("absent").is_err());
         assert!(v.require("n").is_ok());
+    }
+
+    #[test]
+    fn expect_only_separates_strict_from_loose() {
+        let v = Value::parse(r#"{"graph": 1, "seed": 2, "sede": 3}"#).unwrap();
+        let err = v.expect_only(&["graph", "seed"]).unwrap_err();
+        assert!(err.contains("sede"), "{err}");
+        assert!(err.contains("graph"), "error names the accepted set: {err}");
+        assert!(v.expect_only(&["graph", "seed", "sede"]).is_ok());
+        // Non-objects are vacuously fine (the caller's type checks fire).
+        assert!(Value::Num(3.0).expect_only(&[]).is_ok());
     }
 
     #[test]

@@ -40,5 +40,8 @@ pub mod fleet;
 pub mod jsonin;
 pub mod spec;
 
-pub use fleet::{sharded_map, Fleet, FleetRun, FleetSummary, JobOutcome};
-pub use spec::{parse_spec_file, Algorithm, FaultSpec, GraphSource, JobSpec, ListSpec};
+pub use fleet::{sharded_map, Fleet, FleetRun, FleetSummary, GraphCache, JobOutcome};
+pub use spec::{
+    parse_spec_file, parse_spec_file_strict, Algorithm, FaultSpec, GraphSource, JobSpec, ListSpec,
+    SPEC_VERSION,
+};

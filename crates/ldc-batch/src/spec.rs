@@ -9,6 +9,25 @@
 
 use crate::jsonin::Value;
 use ldc_core::problem::DefectList;
+
+/// Version of the JobSpec JSON schema (and of the `ldcd` wire frames
+/// that embed it). Every canonical echo leads with `"v":1`; parsing
+/// accepts an absent `v` (pre-versioning fixtures) and rejects any other
+/// value with a typed error, so a future `"v":2` reader can coexist with
+/// this one without silently misreading either format.
+pub const SPEC_VERSION: u64 = 1;
+
+/// Check a parsed object's `v` field against [`SPEC_VERSION`] (absent
+/// means version 1, for fixture compatibility).
+pub fn check_version(v: &Value) -> Result<(), String> {
+    let got = v.u64_or("v", SPEC_VERSION)?;
+    if got != SPEC_VERSION {
+        return Err(format!(
+            "unsupported schema version {got} (supported: {SPEC_VERSION})"
+        ));
+    }
+    Ok(())
+}
 use ldc_core::Color;
 use ldc_graph::{generators, io, Graph};
 use ldc_sim::json::Obj;
@@ -610,9 +629,14 @@ pub struct JobSpec {
 }
 
 impl JobSpec {
+    /// The top-level fields a job object may carry (strict mode).
+    pub const FIELDS: &'static [&'static str] =
+        &["v", "graph", "algorithm", "lists", "seed", "faults"];
+
     /// Canonical JSON echo embedded in every result row.
     pub fn to_json(&self) -> String {
         let mut o = Obj::new()
+            .u64("v", SPEC_VERSION)
             .raw("graph", &self.graph.to_json())
             .str("algorithm", self.algorithm.name())
             .raw("lists", &self.lists.to_json())
@@ -623,8 +647,10 @@ impl JobSpec {
         o.finish()
     }
 
-    /// Parse from a spec-file object.
+    /// Parse from a spec-file object (loose mode: unknown fields are
+    /// ignored, so fixtures that predate a field keep parsing).
     pub fn from_json(v: &Value) -> Result<JobSpec, String> {
+        check_version(v)?;
         let graph = GraphSource::from_json(v.require("graph")?)?;
         let algorithm = match v.get("algorithm") {
             None => Algorithm::Congest,
@@ -648,21 +674,53 @@ impl JobSpec {
     }
 }
 
+impl JobSpec {
+    /// Parse in strict mode: like [`JobSpec::from_json`], but unknown
+    /// top-level fields are typed errors. The daemon's wire frames parse
+    /// this way; spec *files* stay loose for fixture compatibility.
+    pub fn from_json_strict(v: &Value) -> Result<JobSpec, String> {
+        v.expect_only(JobSpec::FIELDS)?;
+        JobSpec::from_json(v)
+    }
+}
+
 /// Parse a spec file: either a bare JSON array of job objects or
-/// `{"jobs": [...]}`.
+/// `{"jobs": [...]}`. Loose mode; see [`parse_spec_file_strict`].
 pub fn parse_spec_file(text: &str) -> Result<Vec<JobSpec>, String> {
+    parse_spec_file_mode(text, false)
+}
+
+/// [`parse_spec_file`] in strict mode: unknown top-level fields on the
+/// document or on any job object are errors.
+pub fn parse_spec_file_strict(text: &str) -> Result<Vec<JobSpec>, String> {
+    parse_spec_file_mode(text, true)
+}
+
+fn parse_spec_file_mode(text: &str, strict: bool) -> Result<Vec<JobSpec>, String> {
     let doc = Value::parse(text)?;
     let jobs = match &doc {
         Value::Arr(items) => items.as_slice(),
-        Value::Obj(_) => doc
-            .require("jobs")?
-            .as_arr()
-            .ok_or("\"jobs\" is not an array")?,
+        Value::Obj(_) => {
+            if strict {
+                doc.expect_only(&["v", "jobs"])?;
+            }
+            check_version(&doc)?;
+            doc.require("jobs")?
+                .as_arr()
+                .ok_or("\"jobs\" is not an array")?
+        }
         _ => return Err("spec must be a JSON array or an object with \"jobs\"".into()),
     };
     jobs.iter()
         .enumerate()
-        .map(|(i, j)| JobSpec::from_json(j).map_err(|e| format!("job {i}: {e}")))
+        .map(|(i, j)| {
+            if strict {
+                JobSpec::from_json_strict(j)
+            } else {
+                JobSpec::from_json(j)
+            }
+            .map_err(|e| format!("job {i}: {e}"))
+        })
         .collect()
 }
 
@@ -769,6 +827,46 @@ mod tests {
             let back = JobSpec::from_json(&Value::parse(&job.to_json()).unwrap()).unwrap();
             assert_eq!(&back, job);
         }
+    }
+
+    #[test]
+    fn echoes_lead_with_the_schema_version() {
+        let jobs = parse_spec_file(r#"[{"graph": {"family": "ring", "n": 6}}]"#).unwrap();
+        let echo = jobs[0].to_json();
+        assert!(echo.starts_with("{\"v\":1,"), "{echo}");
+        // The explicit-version spelling parses to the same job.
+        let versioned =
+            parse_spec_file(r#"{"v": 1, "jobs": [{"v": 1, "graph": {"family": "ring", "n": 6}}]}"#)
+                .unwrap();
+        assert_eq!(versioned[0], jobs[0]);
+    }
+
+    #[test]
+    fn unknown_versions_are_typed_errors() {
+        let err =
+            parse_spec_file(r#"[{"v": 2, "graph": {"family": "ring", "n": 6}}]"#).unwrap_err();
+        assert!(err.contains("unsupported schema version 2"), "{err}");
+        let err = parse_spec_file(r#"{"v": 3, "jobs": []}"#).unwrap_err();
+        assert!(err.contains("unsupported schema version 3"), "{err}");
+        assert!(parse_spec_file(r#"[{"v": "one", "graph": {"family": "ring", "n": 6}}]"#).is_err());
+    }
+
+    #[test]
+    fn strict_mode_rejects_unknown_fields_loose_ignores_them() {
+        let text = r#"[{"graph": {"family": "ring", "n": 6}, "sede": 7}]"#;
+        let loose = parse_spec_file(text).unwrap();
+        assert_eq!(loose[0].seed, 1, "unknown field ignored, default kept");
+        let err = parse_spec_file_strict(text).unwrap_err();
+        assert!(err.contains("job 0") && err.contains("sede"), "{err}");
+        // Strict also covers the document wrapper.
+        let err = parse_spec_file_strict(r#"{"jobs": [], "extra": 1}"#).unwrap_err();
+        assert!(err.contains("extra"), "{err}");
+        // Well-formed specs parse identically in both modes.
+        let ok = r#"{"v": 1, "jobs": [{"v": 1, "graph": {"family": "ring", "n": 6}, "seed": 4}]}"#;
+        assert_eq!(
+            parse_spec_file_strict(ok).unwrap(),
+            parse_spec_file(ok).unwrap()
+        );
     }
 
     #[test]

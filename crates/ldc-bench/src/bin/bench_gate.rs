@@ -27,6 +27,7 @@
 //! JSON dependency): flat string/number fields inside the `"cases"`
 //! array.
 
+use ldc_bench::cli;
 use ldc_bench::history::{render_row, HistoryCase};
 use ldc_sim::telemetry::RunManifest;
 use std::process::ExitCode;
@@ -144,24 +145,34 @@ fn gate(baseline: &[Row], fresh: &[Row], tolerance: f64) -> (Vec<String>, Vec<St
 }
 
 fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().collect();
-    let arg_after = |flag: &str| -> Option<&str> {
-        args.iter()
-            .position(|a| a == flag)
-            .and_then(|i| args.get(i + 1))
-            .map(String::as_str)
+    const USAGE: &str =
+        "usage: bench_gate --baseline <json> --fresh <json> [--tolerance 0.25] [--history <jsonl>]";
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let parsed = match cli::parse(
+        &args,
+        &[],
+        &["--baseline", "--fresh", "--tolerance", "--history"],
+    ) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("{e}\n{USAGE}");
+            return ExitCode::from(2);
+        }
     };
-    let Some(baseline_path) = arg_after("--baseline") else {
-        eprintln!("usage: bench_gate --baseline <json> --fresh <json> [--tolerance 0.25] [--history <jsonl>]");
-        return ExitCode::from(2);
+    let (baseline_path, fresh_path) = match (parsed.get("--baseline"), parsed.get("--fresh")) {
+        (Some(b), Some(f)) => (b, f),
+        _ => {
+            eprintln!("{USAGE}");
+            return ExitCode::from(2);
+        }
     };
-    let Some(fresh_path) = arg_after("--fresh") else {
-        eprintln!("usage: bench_gate --baseline <json> --fresh <json> [--tolerance 0.25] [--history <jsonl>]");
-        return ExitCode::from(2);
+    let tolerance: f64 = match parsed.parse_or("--tolerance", 0.25) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("{e}\n{USAGE}");
+            return ExitCode::from(2);
+        }
     };
-    let tolerance: f64 = arg_after("--tolerance")
-        .map(|t| t.parse().expect("--tolerance takes a number"))
-        .unwrap_or(0.25);
 
     let read = |path: &str| -> String {
         std::fs::read_to_string(path)
@@ -177,7 +188,7 @@ fn main() -> ExitCode {
 
     // Append the fresh run to the longitudinal history before gating, so
     // regressions become part of the trajectory rather than vanishing.
-    if let Some(history_path) = arg_after("--history") {
+    if let Some(history_path) = parsed.get("--history") {
         let bench = str_field(&fresh_text, "bench").unwrap_or_else(|| "unknown".into());
         let manifest = RunManifest::capture("bench", 0, &bench);
         let cases: Vec<HistoryCase> = fresh

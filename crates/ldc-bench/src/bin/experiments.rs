@@ -18,45 +18,30 @@
 //! section and wall-clock in the timing section (see
 //! `ldc_sim::telemetry`).
 
-use ldc_bench::experiments;
+use ldc_bench::{cli, experiments};
 use ldc_sim::json::Obj;
 use ldc_sim::telemetry::{timing_f64, EventSink, RunManifest};
 use std::io::Write;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let mut exp = "all".to_string();
-    let mut quick = false;
-    let mut trace: Option<String> = None;
-    let mut telemetry: Option<String> = None;
-    let mut timings = false;
-    let mut i = 0;
-    while i < args.len() {
-        match args[i].as_str() {
-            "--exp" => {
-                i += 1;
-                exp = args.get(i).cloned().unwrap_or_else(|| usage());
-            }
-            "--quick" => quick = true,
-            "--trace" => {
-                i += 1;
-                trace = Some(args.get(i).cloned().unwrap_or_else(|| usage()));
-            }
-            "--telemetry" => {
-                i += 1;
-                telemetry = Some(args.get(i).cloned().unwrap_or_else(|| usage()));
-            }
-            "--timings" => timings = true,
-            "--help" | "-h" => {
-                usage();
-            }
-            other => {
-                eprintln!("unknown argument: {other}");
-                usage();
-            }
-        }
-        i += 1;
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        usage();
     }
+    let parsed = cli::parse(
+        &args,
+        &["--quick", "--timings"],
+        &["--exp", "--trace", "--telemetry"],
+    )
+    .unwrap_or_else(|e| {
+        eprintln!("{e}");
+        usage();
+    });
+    let exp = parsed.get("--exp").unwrap_or("all").to_string();
+    let quick = parsed.has("--quick");
+    let trace: Option<String> = parsed.get("--trace").map(str::to_string);
+    let telemetry: Option<String> = parsed.get("--telemetry").map(str::to_string);
+    let timings = parsed.has("--timings");
 
     let ids: Vec<&str> = if exp == "all" {
         experiments::ALL.to_vec()

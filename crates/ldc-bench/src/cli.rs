@@ -1,0 +1,191 @@
+//! One zero-dep argument parser for every workspace binary.
+//!
+//! Before this module each bin hand-rolled its own flag scanning (`ldc`
+//! kept a `BOOL_FLAGS` special-case list, `experiments` and `bench_gate`
+//! each had a bespoke `while i < args.len()` loop), and none of them
+//! rejected unknown flags. [`parse`] is the one shared grammar:
+//!
+//! * **switches** (`--timings`) take no value;
+//! * **valued flags** accept both `--key value` and `--key=value`
+//!   (short names like `-o` work the same way);
+//! * anything else starting with `-` is an **unknown-flag error** naming
+//!   the accepted flags;
+//! * remaining tokens are positionals, in order;
+//! * a repeated flag keeps its **last** occurrence.
+
+/// Parsed arguments: positionals plus flag lookups.
+#[derive(Debug, Clone, Default)]
+pub struct Args {
+    /// Non-flag tokens, in command-line order.
+    pub positionals: Vec<String>,
+    values: Vec<(String, String)>,
+    switches: Vec<String>,
+}
+
+impl Args {
+    /// Whether the switch was given.
+    pub fn has(&self, name: &str) -> bool {
+        self.switches.iter().any(|s| s == name)
+    }
+
+    /// The last value given for a valued flag.
+    pub fn get(&self, name: &str) -> Option<&str> {
+        self.values
+            .iter()
+            .rev()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// A required valued flag.
+    pub fn require(&self, name: &str) -> Result<&str, String> {
+        self.get(name).ok_or_else(|| format!("missing {name} FLAG"))
+    }
+
+    /// Parse a valued flag, or fall back to `default` when absent.
+    pub fn parse_or<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, String> {
+        match self.get(name) {
+            None => Ok(default),
+            Some(s) => s
+                .parse()
+                .map_err(|_| format!("cannot parse {name} value {s:?}")),
+        }
+    }
+
+    /// Parse a valued flag into `Some(T)`, or `None` when absent.
+    pub fn parse_opt<T: std::str::FromStr>(&self, name: &str) -> Result<Option<T>, String> {
+        match self.get(name) {
+            None => Ok(None),
+            Some(s) => s
+                .parse()
+                .map(Some)
+                .map_err(|_| format!("cannot parse {name} value {s:?}")),
+        }
+    }
+
+    /// Positional `i`, required.
+    pub fn positional(&self, i: usize) -> Result<&str, String> {
+        self.positionals
+            .get(i)
+            .map(String::as_str)
+            .ok_or_else(|| format!("missing positional argument {}", i + 1))
+    }
+}
+
+/// Parse `args` against the declared flag sets. `switches` take no
+/// value; `valued` flags take one (`--key value` or `--key=value`). Any
+/// other `-`-prefixed token is an error.
+pub fn parse(args: &[String], switches: &[&str], valued: &[&str]) -> Result<Args, String> {
+    let mut out = Args::default();
+    let mut i = 0;
+    while i < args.len() {
+        let tok = &args[i];
+        if !tok.starts_with('-') || tok == "-" {
+            out.positionals.push(tok.clone());
+            i += 1;
+            continue;
+        }
+        let (name, inline) = match tok.split_once('=') {
+            Some((n, v)) => (n, Some(v)),
+            None => (tok.as_str(), None),
+        };
+        if switches.contains(&name) {
+            if let Some(v) = inline {
+                return Err(format!("flag {name} takes no value (got {v:?})"));
+            }
+            out.switches.push(name.to_string());
+        } else if valued.contains(&name) {
+            let value = match inline {
+                Some(v) => v.to_string(),
+                None => {
+                    i += 1;
+                    args.get(i)
+                        .cloned()
+                        .ok_or_else(|| format!("flag {name} expects a value"))?
+                }
+            };
+            out.values.push((name.to_string(), value));
+        } else {
+            let mut known: Vec<&str> = switches.iter().chain(valued.iter()).copied().collect();
+            known.sort_unstable();
+            return Err(format!(
+                "unknown flag {name} (accepted: {})",
+                known.join(" ")
+            ));
+        }
+        i += 1;
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &[&str]) -> Vec<String> {
+        s.iter().map(|a| a.to_string()).collect()
+    }
+
+    #[test]
+    fn switches_and_positionals() {
+        let a = parse(
+            &argv(&["spec.json", "--smoke", "out.col"]),
+            &["--smoke"],
+            &[],
+        )
+        .unwrap();
+        assert!(a.has("--smoke"));
+        assert!(!a.has("--full"));
+        assert_eq!(a.positionals, vec!["spec.json", "out.col"]);
+        assert_eq!(a.positional(0).unwrap(), "spec.json");
+        assert!(a.positional(2).is_err());
+    }
+
+    #[test]
+    fn valued_flags_accept_both_spellings() {
+        let a = parse(
+            &argv(&["--shards", "4", "--out=r.jsonl", "-o", "x"]),
+            &[],
+            &["--shards", "--out", "-o"],
+        )
+        .unwrap();
+        assert_eq!(a.get("--shards"), Some("4"));
+        assert_eq!(a.get("--out"), Some("r.jsonl"));
+        assert_eq!(a.get("-o"), Some("x"));
+        assert_eq!(a.parse_or("--shards", 1usize).unwrap(), 4);
+        assert_eq!(a.parse_or("--absent", 7u64).unwrap(), 7);
+        assert_eq!(a.parse_opt::<u64>("--absent").unwrap(), None);
+        assert!(a.parse_or::<u64>("--out", 0).is_err(), "non-numeric value");
+    }
+
+    #[test]
+    fn unknown_flags_error_naming_the_accepted_set() {
+        let err = parse(&argv(&["--bogus"]), &["--smoke"], &["--seed"]).unwrap_err();
+        assert!(err.contains("--bogus"), "{err}");
+        assert!(err.contains("--smoke") && err.contains("--seed"), "{err}");
+    }
+
+    #[test]
+    fn missing_value_and_switch_with_value_error() {
+        assert!(parse(&argv(&["--seed"]), &[], &["--seed"]).is_err());
+        assert!(parse(&argv(&["--smoke=1"]), &["--smoke"], &[]).is_err());
+    }
+
+    #[test]
+    fn repeated_flags_keep_the_last_value() {
+        let a = parse(&argv(&["--seed", "1", "--seed=2"]), &[], &["--seed"]).unwrap();
+        assert_eq!(a.get("--seed"), Some("2"));
+    }
+
+    #[test]
+    fn bare_dash_is_positional() {
+        let a = parse(&argv(&["-"]), &[], &[]).unwrap();
+        assert_eq!(a.positionals, vec!["-"]);
+    }
+
+    #[test]
+    fn require_reports_the_flag_name() {
+        let a = parse(&argv(&[]), &[], &["--socket"]).unwrap();
+        assert!(a.require("--socket").unwrap_err().contains("--socket"));
+    }
+}

@@ -28,7 +28,7 @@ use crate::ctx::{span, CoreError, OldcCtx};
 use crate::kernels::KernelStats;
 use crate::params::{practical_kappa, ParamProfile};
 use crate::problem::{Color, DefectList};
-use ldc_sim::{Bandwidth, FaultPlan, Network, RetryPolicy, Tracer};
+use ldc_sim::{Bandwidth, Network};
 
 /// Which branch of Theorem 1.4 ran.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -155,7 +155,7 @@ impl OldcSolver for ReducedTheorem11 {
 /// (Theorem 1.4). `lists[v]` needs more than `deg(v)` colors from
 /// `0..space` with `space ≤ poly(Δ)` for the stated bounds.
 ///
-/// `opts` supplies the execution environment: its [`Tracer`] rides on the
+/// `opts` supplies the execution environment: its [`Tracer`](ldc_sim::Tracer) rides on the
 /// main network and is propagated into every substrate sub-network (so
 /// the span tree accounts for *all* rounds of the pipeline), its
 /// [`crate::api::FaultEnv`] — if any — attaches to the *main* network
@@ -277,56 +277,12 @@ pub fn congest_degree_plus_one(
     }
 }
 
-/// Deprecated spelling of [`congest_degree_plus_one`] with a tracer
-/// argument. The tracer now rides on [`SolveOptions`].
-#[deprecated(note = "use congest_degree_plus_one(g, space, lists, cfg, \
-            &SolveOptions::default().with_trace(tracer))")]
-pub fn congest_degree_plus_one_traced(
-    g: &ldc_graph::Graph,
-    space: u64,
-    lists: &[Vec<Color>],
-    cfg: &CongestConfig,
-    tracer: Tracer,
-) -> Result<(Vec<Color>, CongestReport), CoreError> {
-    congest_degree_plus_one(
-        g,
-        space,
-        lists,
-        cfg,
-        &SolveOptions::default().with_trace(tracer),
-    )
-}
-
-/// Deprecated spelling of [`congest_degree_plus_one`] with tracer, fault
-/// plan, and retry policy arguments. All three now ride on
-/// [`SolveOptions`].
-#[deprecated(note = "use congest_degree_plus_one(g, space, lists, cfg, \
-            &SolveOptions::default().with_trace(tracer).with_faults(plan, retry))")]
-pub fn congest_degree_plus_one_faulted(
-    g: &ldc_graph::Graph,
-    space: u64,
-    lists: &[Vec<Color>],
-    cfg: &CongestConfig,
-    tracer: Tracer,
-    plan: &FaultPlan,
-    retry: RetryPolicy,
-) -> Result<(Vec<Color>, CongestReport), CoreError> {
-    congest_degree_plus_one(
-        g,
-        space,
-        lists,
-        cfg,
-        &SolveOptions::default()
-            .with_trace(tracer)
-            .with_faults(plan.clone(), retry),
-    )
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::validate::validate_proper_list_coloring;
     use ldc_graph::generators;
+    use ldc_sim::{FaultPlan, RetryPolicy};
 
     fn degree_plus_one_lists(g: &ldc_graph::Graph, space: u64, salt: u64) -> Vec<Vec<Color>> {
         g.nodes()
@@ -497,43 +453,6 @@ mod tests {
         validate_proper_list_coloring(&g, &lists, &colors).unwrap();
         assert!(report.max_message_bits <= report.bandwidth_bits);
         assert!(report.faults.rounds_retried > 0);
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_shims_match_unified_entry_point() {
-        let g = generators::random_regular(150, 6, 5);
-        let space = 64;
-        let lists = degree_plus_one_lists(&g, space, 4);
-        let cfg = CongestConfig::default();
-        let (clean, clean_report) = plain(&g, space, &lists, &cfg).unwrap();
-
-        let (t_colors, t_report) =
-            congest_degree_plus_one_traced(&g, space, &lists, &cfg, Tracer::disabled()).unwrap();
-        assert_eq!(t_colors, clean);
-        assert_eq!(t_report.bits_total, clean_report.bits_total);
-
-        let plan = FaultPlan::new(0xFA).with_error_rate(0.2);
-        let retry = RetryPolicy {
-            max_retries: 25,
-            backoff_rounds: 1,
-        };
-        let unified = SolveOptions::default().with_faults(plan.clone(), retry);
-        let (u_colors, u_report) =
-            congest_degree_plus_one(&g, space, &lists, &cfg, &unified).unwrap();
-        let (f_colors, f_report) = congest_degree_plus_one_faulted(
-            &g,
-            space,
-            &lists,
-            &cfg,
-            Tracer::disabled(),
-            &plan,
-            retry,
-        )
-        .unwrap();
-        assert_eq!(f_colors, u_colors);
-        assert_eq!(f_report.bits_total, u_report.bits_total);
-        assert_eq!(f_report.faults, u_report.faults);
     }
 
     #[test]

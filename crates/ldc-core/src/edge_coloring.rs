@@ -16,7 +16,6 @@ use crate::congest::{congest_degree_plus_one, CongestConfig, CongestReport};
 use crate::ctx::CoreError;
 use crate::problem::Color;
 use ldc_graph::{generators, EdgeId, Graph};
-use ldc_sim::Tracer;
 
 /// Outcome of [`edge_coloring`].
 #[derive(Debug, Clone)]
@@ -89,17 +88,6 @@ pub fn edge_coloring(
     let out = EdgeColoring { colors, report };
     debug_assert!(out.validate(g).is_ok(), "{:?}", out.validate(g));
     Ok(out)
-}
-
-/// Deprecated spelling of [`edge_coloring`] with a tracer argument. The
-/// tracer now rides on [`SolveOptions`].
-#[deprecated(note = "use edge_coloring(g, cfg, &SolveOptions::default().with_trace(tracer))")]
-pub fn edge_coloring_traced(
-    g: &Graph,
-    cfg: &CongestConfig,
-    tracer: Tracer,
-) -> Result<EdgeColoring, CoreError> {
-    edge_coloring(g, cfg, &SolveOptions::default().with_trace(tracer))
 }
 
 /// List edge coloring: `lists[e]` must have more than `edge_degree(e)`

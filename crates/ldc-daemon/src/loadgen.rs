@@ -1,0 +1,316 @@
+//! RPS-ramp load generator for `ldcd` (experiment E20).
+//!
+//! Open-loop driver modeled on production scalability suites: offered
+//! load starts at `initial_rps` and climbs by `increment_rps` per step
+//! up to `max_rps`, each step lasting `step_ms`. Requests are spread
+//! evenly across the step and round-robined over `connections`
+//! pipelined connections — send timing never waits for responses, so a
+//! saturated server sees a genuine backlog instead of a self-throttling
+//! client.
+//!
+//! Per-request latency lands in the workspace's log₂ [`Histogram`]
+//! (DESIGN.md §12), and the *knee* — the first step where the service
+//! stops keeping up — is the first step where either p95 latency
+//! crosses `p95_threshold_ms` or completed requests fall below
+//! `ok_floor_pct`% of offered (busy rejections and errors both count
+//! against completion).
+//!
+//! Determinism discipline: request counts and step schedule are pure
+//! functions of the config, so they belong to det rows; latencies,
+//! ok/busy splits, and the knee depend on machine load and stay in the
+//! timing section (DESIGN.md §7).
+//!
+//! [`replay`] is the closed-loop little sibling: it pushes a whole
+//! `ldc batch` spec file through one connection with `id = job index`
+//! and returns the result rows in order — the daemon-vs-batch
+//! byte-equality check rides on it.
+
+use std::collections::HashMap;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::mpsc;
+use std::thread;
+use std::time::{Duration, Instant};
+
+use ldc_batch::{Algorithm, GraphSource, JobSpec, ListSpec};
+use ldc_sim::telemetry::Histogram;
+
+use crate::client::Client;
+use crate::proto::{Request, Response};
+
+/// Tuning for one [`run_ramp`] call.
+#[derive(Debug, Clone)]
+pub struct LoadgenConfig {
+    /// Daemon socket to drive.
+    pub socket_path: PathBuf,
+    /// Concurrent pipelined connections.
+    pub connections: usize,
+    /// Offered load of the first step, requests/second.
+    pub initial_rps: u64,
+    /// Offered-load increase per step.
+    pub increment_rps: u64,
+    /// Last step's offered load (inclusive).
+    pub max_rps: u64,
+    /// Step duration in milliseconds.
+    pub step_ms: u64,
+    /// Knee rule 1: p95 latency ceiling in milliseconds.
+    pub p95_threshold_ms: u64,
+    /// Knee rule 2: minimum completed/offered percentage.
+    pub ok_floor_pct: u64,
+    /// The probe job every request solves.
+    pub job: JobSpec,
+}
+
+impl LoadgenConfig {
+    /// Full-ramp defaults: 4 connections, 10→100 rps in steps of 10,
+    /// 1 s steps, knee at p95 > 250 ms or < 90% completion.
+    pub fn new<P: Into<PathBuf>>(socket_path: P) -> LoadgenConfig {
+        LoadgenConfig {
+            socket_path: socket_path.into(),
+            connections: 4,
+            initial_rps: 10,
+            increment_rps: 10,
+            max_rps: 100,
+            step_ms: 1000,
+            p95_threshold_ms: 250,
+            ok_floor_pct: 90,
+            job: probe_job(),
+        }
+    }
+
+    /// CI-sized ramp: 2 connections, 20→60 rps in steps of 20, 250 ms
+    /// steps. Finishes in under a second of driving time.
+    pub fn smoke<P: Into<PathBuf>>(socket_path: P) -> LoadgenConfig {
+        LoadgenConfig {
+            connections: 2,
+            initial_rps: 20,
+            increment_rps: 20,
+            max_rps: 60,
+            step_ms: 250,
+            ..LoadgenConfig::new(socket_path)
+        }
+    }
+}
+
+/// The default probe: a small ring instance that solves in well under a
+/// millisecond, so the ramp measures the service, not the solver.
+pub fn probe_job() -> JobSpec {
+    JobSpec {
+        graph: GraphSource::Ring { n: 64 },
+        algorithm: Algorithm::Congest,
+        lists: ListSpec::default(),
+        seed: 1,
+        faults: None,
+    }
+}
+
+/// One ramp step's outcome.
+#[derive(Debug)]
+pub struct StepStats {
+    /// 1-based step number.
+    pub step: u64,
+    /// Offered load this step, requests/second.
+    pub rps: u64,
+    /// Requests actually offered (`rps × step_ms / 1000`, min 1).
+    pub requests: u64,
+    /// Requests answered with a result row.
+    pub ok: u64,
+    /// Requests answered with `busy`.
+    pub busy: u64,
+    /// Requests answered with a typed error, a transport failure, or
+    /// nothing before the collection deadline.
+    pub errors: u64,
+    /// Latency of `ok` requests, nanoseconds, log₂-bucketed.
+    pub latency: Histogram,
+}
+
+/// The whole ramp.
+#[derive(Debug)]
+pub struct LoadgenReport {
+    /// Per-step outcomes, in ramp order.
+    pub steps: Vec<StepStats>,
+    /// Offered rps of the first step that broke a knee rule, if any.
+    pub knee_rps: Option<u64>,
+}
+
+enum Event {
+    /// A response landed: id, verdict, and *arrival* time — latency must
+    /// be clocked in the reader thread, because the driver only drains
+    /// events after it finishes sending the step (drain-time clocking
+    /// would silently add up to a whole step of queueing that never
+    /// happened).
+    Done(u64, Kind, Instant),
+    ConnClosed,
+}
+
+enum Kind {
+    Ok,
+    Busy,
+    Err,
+}
+
+/// Drive the ramp against a running daemon.
+pub fn run_ramp(cfg: &LoadgenConfig) -> io::Result<LoadgenReport> {
+    let conns = cfg.connections.max(1);
+    let (tx, rx) = mpsc::channel::<Event>();
+    let mut senders = Vec::with_capacity(conns);
+    let mut readers = Vec::with_capacity(conns);
+    for _ in 0..conns {
+        let (send_half, mut recv_half) = Client::connect(&cfg.socket_path)?.split()?;
+        let tx = tx.clone();
+        readers.push(thread::spawn(move || loop {
+            match recv_half.recv() {
+                Ok(Some(Response::Result { id, .. })) => {
+                    let _ = tx.send(Event::Done(id, Kind::Ok, Instant::now()));
+                }
+                Ok(Some(Response::Busy { .. })) => {
+                    // Busy answers race result answers for the id order,
+                    // but ids are unique so attribution is exact.
+                    let _ = tx.send(Event::Done(u64::MAX, Kind::Busy, Instant::now()));
+                }
+                Ok(Some(_)) => {
+                    let _ = tx.send(Event::Done(u64::MAX, Kind::Err, Instant::now()));
+                }
+                Ok(None) | Err(_) => {
+                    let _ = tx.send(Event::ConnClosed);
+                    return;
+                }
+            }
+        }));
+        senders.push(send_half);
+    }
+    drop(tx);
+
+    let mut report = LoadgenReport {
+        steps: Vec::new(),
+        knee_rps: None,
+    };
+    let mut next_id: u64 = 0;
+    let mut rps = cfg.initial_rps.max(1);
+    let mut step_no = 0u64;
+    while rps <= cfg.max_rps {
+        step_no += 1;
+        let requests = (rps * cfg.step_ms / 1000).max(1);
+        let interval = Duration::from_nanos(cfg.step_ms * 1_000_000 / requests);
+        let mut sent: HashMap<u64, Instant> = HashMap::with_capacity(requests as usize);
+        let mut stats = StepStats {
+            step: step_no,
+            rps,
+            requests,
+            ok: 0,
+            busy: 0,
+            errors: 0,
+            latency: Histogram::new(),
+        };
+
+        let step_start = Instant::now();
+        for i in 0..requests {
+            let due = step_start + interval * (i as u32);
+            let now = Instant::now();
+            if due > now {
+                thread::sleep(due - now);
+            }
+            let id = next_id;
+            next_id += 1;
+            let conn = (id as usize) % senders.len();
+            sent.insert(id, Instant::now());
+            if senders[conn]
+                .send(&Request::Solve {
+                    id,
+                    job: Box::new(cfg.job.clone()),
+                })
+                .is_err()
+            {
+                sent.remove(&id);
+                stats.errors += 1;
+            }
+        }
+
+        // Collect until every offered request of this step is accounted
+        // for, with a hard deadline so a wedged server cannot hang the
+        // driver.
+        let deadline = Instant::now() + Duration::from_millis(cfg.step_ms * 4 + 5000);
+        let mut answered = stats.errors; // send failures are already settled
+        while answered < requests {
+            let now = Instant::now();
+            if now >= deadline {
+                stats.errors += requests - answered;
+                break;
+            }
+            match rx.recv_timeout(deadline - now) {
+                Ok(Event::Done(id, kind, at)) => {
+                    answered += 1;
+                    match kind {
+                        Kind::Ok => {
+                            stats.ok += 1;
+                            if let Some(t0) = sent.remove(&id) {
+                                stats.latency.record((at - t0).as_nanos() as u64);
+                            }
+                        }
+                        Kind::Busy => stats.busy += 1,
+                        Kind::Err => stats.errors += 1,
+                    }
+                }
+                Ok(Event::ConnClosed) => {
+                    stats.errors += requests - answered;
+                    break;
+                }
+                Err(_) => {
+                    stats.errors += requests - answered;
+                    break;
+                }
+            }
+        }
+        if report.knee_rps.is_none() {
+            let p95_ns = stats.latency.percentile(95.0);
+            let over_latency = p95_ns > cfg.p95_threshold_ms * 1_000_000;
+            let under_throughput = stats.ok * 100 < requests * cfg.ok_floor_pct;
+            if over_latency || under_throughput {
+                report.knee_rps = Some(rps);
+            }
+        }
+        report.steps.push(stats);
+        rps += cfg.increment_rps.max(1);
+    }
+
+    for s in &mut senders {
+        s.finish();
+    }
+    for r in readers {
+        let _ = r.join();
+    }
+    Ok(report)
+}
+
+/// Closed-loop replay of a batch job list through one connection, `id =
+/// index`, returning result rows in job order. The rows are exactly the
+/// per-job lines `ldc batch` writes for the same list.
+pub fn replay<P: AsRef<Path>>(socket_path: P, jobs: &[JobSpec]) -> io::Result<Vec<String>> {
+    let mut client = Client::connect(socket_path)?;
+    let mut rows = Vec::with_capacity(jobs.len());
+    for (i, job) in jobs.iter().enumerate() {
+        loop {
+            match client.solve(i as u64, job)? {
+                Response::Result { id, row } => {
+                    if id != i as u64 {
+                        return Err(io::Error::other(format!(
+                            "replay answer out of order: sent {i}, got {id}"
+                        )));
+                    }
+                    rows.push(row);
+                    break;
+                }
+                Response::Busy { retry_after_ms } => {
+                    thread::sleep(Duration::from_millis(retry_after_ms.clamp(1, 1000)));
+                }
+                Response::Error { code, message } => {
+                    return Err(io::Error::other(format!("daemon error {code}: {message}")));
+                }
+                other => {
+                    return Err(io::Error::other(format!("unexpected reply: {other:?}")));
+                }
+            }
+        }
+    }
+    Ok(rows)
+}

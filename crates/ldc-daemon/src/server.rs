@@ -1,0 +1,476 @@
+//! The `ldcd` server: a long-lived solve service over a Unix domain
+//! socket (DESIGN.md §15).
+//!
+//! One process holds the warm state that `ldc batch` rebuilds per
+//! invocation — the built-graph cache, the optional fleet-shared kernel
+//! cache, and the telemetry registry — and serves [`crate::proto`]
+//! requests against it. Every solve goes through [`Fleet::run_one`],
+//! the same single-job core `ldc batch` shards over, so a served row is
+//! byte-identical to the row the batch runner would emit for the same
+//! spec at the same job index, at every shard/thread setting.
+//!
+//! ## Admission control
+//!
+//! Capacity is `workers + queue_cap` jobs in flight (executing plus
+//! queued). The window is claimed atomically at admission, so whether a
+//! request is accepted depends only on how many admitted jobs have not
+//! yet been *answered* — not on how far the workers happen to have
+//! gotten — which makes queue-full behaviour reproducible: with one
+//! worker and `queue_cap = q`, the `(q + 2)`-th concurrently-pending
+//! solve is always the first to see [`Response::Busy`]. Busy responses
+//! carry `retry_after_ms` and never close the connection.
+//!
+//! ## Drain
+//!
+//! SIGTERM (via [`crate::signal`]), a `shutdown` request, or
+//! [`ServerHandle::drain`] all set one flag. From then on: no new
+//! connections are accepted, new solves are refused with the typed
+//! `draining` error, and every already-admitted job still runs to
+//! completion with its result delivered before its connection closes.
+//! Nothing in the server blocks uninterruptibly: the listener and every
+//! connection poll with short timeouts, so the flag is observed within
+//! tens of milliseconds.
+
+use std::collections::VecDeque;
+use std::io;
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread;
+use std::time::Duration;
+
+use ldc_batch::{Fleet, GraphCache, JobSpec};
+use ldc_core::kernels::SharedTypeCache;
+use ldc_sim::telemetry::Registry;
+
+use crate::proto::{error_response, Request, Response};
+use crate::signal;
+use crate::wire::{read_frame, write_frame, ReadEvent};
+
+/// How often blocked loops re-check shutdown flags.
+const POLL: Duration = Duration::from_millis(25);
+
+/// Tuning for one [`serve`] call.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Path of the Unix socket to bind (a stale file is replaced).
+    pub socket_path: PathBuf,
+    /// Solve worker threads (≥ 1).
+    pub workers: usize,
+    /// Jobs that may wait beyond the executing ones; admission window is
+    /// `workers + queue_cap`.
+    pub queue_cap: usize,
+    /// Per-solver phase parallelism, as `ldc batch --solver-threads`.
+    pub solver_threads: usize,
+    /// Share one kernel cache across all served jobs, as
+    /// `ldc batch --shared-cache`.
+    pub shared_kernels: bool,
+    /// Backoff hint carried by [`Response::Busy`].
+    pub retry_after_ms: u64,
+    /// Observe SIGTERM/SIGINT (via [`signal::termination_requested`])
+    /// as a drain trigger. `ldc serve` sets this; in-process tests that
+    /// should not react to a stray Ctrl-C leave it off.
+    pub heed_signals: bool,
+}
+
+impl ServerConfig {
+    /// Defaults: one worker, queue of 16, no phase parallelism, no
+    /// shared kernels, 50 ms busy backoff, signals ignored.
+    pub fn new<P: Into<PathBuf>>(socket_path: P) -> ServerConfig {
+        ServerConfig {
+            socket_path: socket_path.into(),
+            workers: 1,
+            queue_cap: 16,
+            solver_threads: 1,
+            shared_kernels: false,
+            retry_after_ms: 50,
+            heed_signals: false,
+        }
+    }
+}
+
+/// One admitted solve waiting for (or holding) a worker.
+struct Job {
+    id: u64,
+    spec: JobSpec,
+    conn: Arc<Conn>,
+}
+
+/// Per-connection shared state: the write half (frames from the reader
+/// thread and from workers interleave under this lock, each frame
+/// atomic) and the count of admitted-but-unanswered jobs.
+struct Conn {
+    writer: Mutex<UnixStream>,
+    pending: AtomicUsize,
+}
+
+impl Conn {
+    fn send(&self, resp: &Response) {
+        // A vanished client is not a server error; its jobs already ran.
+        let mut w = match self.writer.lock() {
+            Ok(w) => w,
+            Err(p) => p.into_inner(),
+        };
+        let _ = write_frame(&mut *w, resp.render().as_bytes());
+    }
+}
+
+/// Everything the accept loop, connection readers, and workers share.
+struct Shared {
+    cfg: ServerConfig,
+    fleet: Fleet,
+    graphs: Mutex<GraphCache>,
+    kernels: Option<Arc<SharedTypeCache>>,
+    registry: Mutex<Registry>,
+    queue: Mutex<VecDeque<Job>>,
+    queue_cv: Condvar,
+    in_flight: AtomicUsize,
+    draining: AtomicBool,
+    /// Set by the accept loop once every connection thread has exited.
+    /// Workers keep serving until then: a drain can race a reader that
+    /// just admitted a job, and the admitted job must still run, so the
+    /// "no more work can arrive" signal is connection death, not the
+    /// drain flag.
+    conns_done: AtomicBool,
+}
+
+impl Shared {
+    fn draining(&self) -> bool {
+        self.draining.load(Ordering::SeqCst)
+            || (self.cfg.heed_signals && signal::termination_requested())
+    }
+
+    fn count(&self, name: &str) {
+        match self.registry.lock() {
+            Ok(mut r) => r.counter_add(name, 1),
+            Err(p) => p.into_inner().counter_add(name, 1),
+        }
+    }
+}
+
+/// A running server. Dropping the handle does **not** stop the server;
+/// call [`ServerHandle::drain`] then [`ServerHandle::join`].
+pub struct ServerHandle {
+    shared: Arc<Shared>,
+    accept_thread: Option<thread::JoinHandle<()>>,
+    workers: Vec<thread::JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The bound socket path.
+    pub fn socket_path(&self) -> &Path {
+        &self.shared.cfg.socket_path
+    }
+
+    /// Trigger a graceful drain (idempotent).
+    pub fn drain(&self) {
+        self.shared.draining.store(true, Ordering::SeqCst);
+        self.shared.queue_cv.notify_all();
+    }
+
+    /// Whether a drain is underway.
+    pub fn is_draining(&self) -> bool {
+        self.shared.draining()
+    }
+
+    /// Wait for the drain to complete: accept loop down, every admitted
+    /// job answered, workers exited, socket file removed.
+    pub fn join(mut self) -> io::Result<()> {
+        if let Some(t) = self.accept_thread.take() {
+            t.join()
+                .map_err(|_| io::Error::other("accept thread panicked"))?;
+        }
+        for w in self.workers.drain(..) {
+            w.join()
+                .map_err(|_| io::Error::other("worker thread panicked"))?;
+        }
+        let _ = std::fs::remove_file(&self.shared.cfg.socket_path);
+        Ok(())
+    }
+}
+
+/// Bind the socket and start serving in background threads.
+pub fn serve(cfg: ServerConfig) -> io::Result<ServerHandle> {
+    // Replace a stale socket from a previous run; refuse anything that
+    // isn't one (never unlink a file the daemon didn't create).
+    if let Ok(meta) = std::fs::symlink_metadata(&cfg.socket_path) {
+        use std::os::unix::fs::FileTypeExt;
+        if !meta.file_type().is_socket() {
+            return Err(io::Error::new(
+                io::ErrorKind::AlreadyExists,
+                format!("{} exists and is not a socket", cfg.socket_path.display()),
+            ));
+        }
+        std::fs::remove_file(&cfg.socket_path)?;
+    }
+    let listener = UnixListener::bind(&cfg.socket_path)?;
+    listener.set_nonblocking(true)?;
+    if cfg.heed_signals {
+        signal::install();
+    }
+
+    let fleet = Fleet::new(1)
+        .with_solver_threads(cfg.solver_threads)
+        .with_shared_kernels(cfg.shared_kernels);
+    let kernels = cfg.shared_kernels.then(SharedTypeCache::with_defaults);
+    let workers = cfg.workers.max(1);
+    let shared = Arc::new(Shared {
+        cfg,
+        fleet,
+        graphs: Mutex::new(GraphCache::new()),
+        kernels,
+        registry: Mutex::new(Registry::new()),
+        queue: Mutex::new(VecDeque::new()),
+        queue_cv: Condvar::new(),
+        in_flight: AtomicUsize::new(0),
+        draining: AtomicBool::new(false),
+        conns_done: AtomicBool::new(false),
+    });
+
+    let worker_threads = (0..workers)
+        .map(|i| {
+            let shared = Arc::clone(&shared);
+            thread::Builder::new()
+                .name(format!("ldcd-worker-{i}"))
+                .spawn(move || worker_loop(&shared))
+        })
+        .collect::<io::Result<Vec<_>>>()?;
+
+    let accept_shared = Arc::clone(&shared);
+    let accept_thread = thread::Builder::new()
+        .name("ldcd-accept".to_string())
+        .spawn(move || accept_loop(listener, &accept_shared))?;
+
+    Ok(ServerHandle {
+        shared,
+        accept_thread: Some(accept_thread),
+        workers: worker_threads,
+    })
+}
+
+fn accept_loop(listener: UnixListener, shared: &Arc<Shared>) {
+    let mut conns: Vec<thread::JoinHandle<()>> = Vec::new();
+    loop {
+        if shared.draining() {
+            break;
+        }
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let shared = Arc::clone(shared);
+                if let Ok(t) = thread::Builder::new()
+                    .name("ldcd-conn".to_string())
+                    .spawn(move || connection_loop(stream, &shared))
+                {
+                    conns.push(t);
+                }
+            }
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                ) =>
+            {
+                thread::sleep(POLL);
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(_) => thread::sleep(POLL),
+        }
+        conns.retain(|t| !t.is_finished());
+    }
+    // Drain: wake the workers, then wait for every connection to finish
+    // delivering its admitted results.
+    shared.queue_cv.notify_all();
+    for t in conns {
+        let _ = t.join();
+    }
+    shared.conns_done.store(true, Ordering::SeqCst);
+    shared.queue_cv.notify_all();
+}
+
+fn connection_loop(stream: UnixStream, shared: &Arc<Shared>) {
+    if stream.set_read_timeout(Some(POLL)).is_err() {
+        return;
+    }
+    let reader = match stream.try_clone() {
+        Ok(r) => r,
+        Err(_) => return,
+    };
+    let conn = Arc::new(Conn {
+        writer: Mutex::new(stream),
+        pending: AtomicUsize::new(0),
+    });
+    let mut reader = reader;
+    loop {
+        if shared.draining() && conn.pending.load(Ordering::SeqCst) == 0 {
+            // Every admitted job is answered; close so clients observe
+            // the drain as EOF at a frame boundary.
+            break;
+        }
+        match read_frame(&mut reader) {
+            Ok(ReadEvent::Frame(payload)) => handle_frame(&payload, &conn, shared),
+            Ok(ReadEvent::Idle) => {}
+            Ok(ReadEvent::Eof) => break,
+            Err(e) => {
+                // Oversized announcement or mid-frame loss: the stream
+                // cannot be resynchronised. Say why, then hang up.
+                conn.send(&error_response(("bad_frame", e.to_string())));
+                break;
+            }
+        }
+    }
+    // If the client vanished with jobs still admitted, stay until the
+    // workers answer them (writes go to a dead socket and are ignored)
+    // so in_flight accounting always returns to rest.
+    while conn.pending.load(Ordering::SeqCst) > 0 {
+        thread::sleep(POLL);
+    }
+}
+
+fn handle_frame(payload: &[u8], conn: &Arc<Conn>, shared: &Arc<Shared>) {
+    shared.count("daemon.requests");
+    let req = match Request::parse(payload) {
+        Ok(req) => req,
+        Err(e) => {
+            shared.count("daemon.proto_errors");
+            conn.send(&error_response(e));
+            return;
+        }
+    };
+    match req {
+        Request::Ping => {
+            shared.count("daemon.ping");
+            conn.send(&Response::Pong);
+        }
+        Request::Stats => {
+            shared.count("daemon.stats");
+            conn.send(&Response::Stats {
+                det: stats_snapshot(shared),
+            });
+        }
+        Request::Shutdown => {
+            shared.count("daemon.shutdown");
+            shared.draining.store(true, Ordering::SeqCst);
+            shared.queue_cv.notify_all();
+            conn.send(&Response::Pong);
+        }
+        Request::Solve { id, job } => {
+            if shared.draining() {
+                shared.count("daemon.draining_rejects");
+                conn.send(&error_response((
+                    "draining",
+                    "server is draining; no new jobs".to_string(),
+                )));
+                return;
+            }
+            let window = shared.cfg.workers.max(1) + shared.cfg.queue_cap;
+            let admitted = shared
+                .in_flight
+                .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |n| {
+                    (n < window).then_some(n + 1)
+                })
+                .is_ok();
+            if !admitted {
+                shared.count("daemon.busy");
+                conn.send(&Response::Busy {
+                    retry_after_ms: shared.cfg.retry_after_ms,
+                });
+                return;
+            }
+            shared.count("daemon.admitted");
+            conn.pending.fetch_add(1, Ordering::SeqCst);
+            match shared.queue.lock() {
+                Ok(mut q) => q.push_back(Job {
+                    id,
+                    spec: *job,
+                    conn: Arc::clone(conn),
+                }),
+                Err(p) => p.into_inner().push_back(Job {
+                    id,
+                    spec: *job,
+                    conn: Arc::clone(conn),
+                }),
+            }
+            shared.queue_cv.notify_one();
+        }
+    }
+}
+
+fn worker_loop(shared: &Arc<Shared>) {
+    loop {
+        let job = {
+            let mut q = match shared.queue.lock() {
+                Ok(q) => q,
+                Err(p) => p.into_inner(),
+            };
+            loop {
+                if let Some(job) = q.pop_front() {
+                    break Some(job);
+                }
+                if shared.conns_done.load(Ordering::SeqCst) {
+                    break None;
+                }
+                q = match shared.queue_cv.wait_timeout(q, POLL) {
+                    Ok((q, _)) => q,
+                    Err(p) => p.into_inner().0,
+                };
+            }
+        };
+        let Some(job) = job else { return };
+        run_job(job, shared);
+    }
+}
+
+fn run_job(job: Job, shared: &Arc<Shared>) {
+    let graph = {
+        let mut cache = match shared.graphs.lock() {
+            Ok(c) => c,
+            Err(p) => p.into_inner(),
+        };
+        cache.resolve(&job.spec.graph)
+    };
+    let outcome = shared
+        .fleet
+        .run_one(job.id as usize, &job.spec, &graph, shared.kernels.as_ref());
+    {
+        let mut reg = match shared.registry.lock() {
+            Ok(r) => r,
+            Err(p) => p.into_inner(),
+        };
+        reg.counter_add("daemon.solved", 1);
+        if !outcome.ok {
+            reg.counter_add("daemon.failed_jobs", 1);
+        }
+        reg.counter_add("daemon.rounds_total", outcome.rounds);
+        reg.hist_record("daemon.rounds", outcome.rounds);
+    }
+    job.conn.send(&Response::Result {
+        id: job.id,
+        row: outcome.row,
+    });
+    job.conn.pending.fetch_sub(1, Ordering::SeqCst);
+    shared.in_flight.fetch_sub(1, Ordering::SeqCst);
+}
+
+/// Deterministic registry snapshot: counters/gauges/histograms only —
+/// no wall-clock, no host fields (DESIGN.md §12 det/timing split). The
+/// graph-cache gauges are folded in at snapshot time.
+fn stats_snapshot(shared: &Arc<Shared>) -> String {
+    let (hits, misses, built) = {
+        let cache = match shared.graphs.lock() {
+            Ok(c) => c,
+            Err(p) => p.into_inner(),
+        };
+        (cache.hits(), cache.misses(), cache.len() as u64)
+    };
+    let mut reg = match shared.registry.lock() {
+        Ok(r) => r,
+        Err(p) => p.into_inner(),
+    };
+    reg.gauge_set("daemon.graph_cache_hits", hits);
+    reg.gauge_set("daemon.graph_cache_misses", misses);
+    reg.gauge_set("daemon.graphs_built", built);
+    reg.gauge_set("daemon.workers", shared.cfg.workers.max(1) as u64);
+    reg.gauge_set("daemon.queue_cap", shared.cfg.queue_cap as u64);
+    reg.to_json()
+}

@@ -1,0 +1,88 @@
+//! SIGTERM/SIGINT → drain-flag plumbing, without libc.
+//!
+//! The daemon promises graceful drain on SIGTERM (DESIGN.md §15), and
+//! the workspace is zero-dependency, so the handler is registered
+//! through the C `signal(2)` symbol directly. This is the only `unsafe`
+//! in the crate (the crate is `deny(unsafe_code)` with an allowance
+//! here, mirroring `ldc_sim::pool`): the handler itself only stores to
+//! a static `AtomicBool`, which is async-signal-safe, and the server's
+//! accept loop polls the flag from ordinary code.
+//!
+//! `signal(2)` (as opposed to `sigaction`) leaves syscall restart
+//! semantics platform-defined, so nothing in the daemon ever blocks
+//! indefinitely in a syscall: the listener and every connection run
+//! with short timeouts and poll [`termination_requested`].
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// Set by the handler on SIGTERM/SIGINT; also settable by tests via
+/// [`raise_term`].
+static TERM: AtomicBool = AtomicBool::new(false);
+
+/// Whether a termination signal has arrived since [`install`].
+pub fn termination_requested() -> bool {
+    TERM.load(Ordering::SeqCst)
+}
+
+/// Reset the flag (tests only — a real daemon exits once it drains).
+pub fn clear_termination() {
+    TERM.store(false, Ordering::SeqCst);
+}
+
+/// Mark termination as requested without an actual signal, exercising
+/// exactly the path the handler takes.
+pub fn raise_term() {
+    TERM.store(true, Ordering::SeqCst);
+}
+
+const SIGINT: i32 = 2;
+const SIGTERM: i32 = 15;
+
+#[allow(unsafe_code)]
+mod ffi {
+    use super::{Ordering, SIGINT, SIGTERM, TERM};
+
+    extern "C" {
+        /// C89 `signal(2)`: present in every libc this workspace targets.
+        fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+    }
+
+    extern "C" fn on_signal(_signum: i32) {
+        // Only async-signal-safe work: one atomic store.
+        TERM.store(true, Ordering::SeqCst);
+    }
+
+    /// Register the handler for SIGTERM and SIGINT.
+    pub fn install_handlers() {
+        unsafe {
+            signal(SIGTERM, on_signal);
+            signal(SIGINT, on_signal);
+        }
+    }
+}
+
+/// Install the SIGTERM/SIGINT handler. Idempotent; call once from
+/// `ldc serve` before entering the accept loop.
+pub fn install() {
+    ffi::install_handlers();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flag_starts_clear_and_raise_term_sets_it() {
+        clear_termination();
+        assert!(!termination_requested());
+        raise_term();
+        assert!(termination_requested());
+        clear_termination();
+    }
+
+    #[test]
+    fn install_is_callable_and_idempotent() {
+        install();
+        install();
+    }
+}

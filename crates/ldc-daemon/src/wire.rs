@@ -1,0 +1,214 @@
+//! Length-prefixed frame transport (DESIGN.md §15).
+//!
+//! Every message on an `ldcd` connection — in either direction — is one
+//! *frame*: a 4-byte big-endian `u32` payload length followed by exactly
+//! that many bytes of UTF-8 JSON. Framing and JSON are layered: this
+//! module moves opaque byte payloads and never inspects them, while
+//! [`crate::proto`] owns the JSON grammar. Both reader and writer are
+//! plain loops over `read`/`write`, so partial reads and writes (short
+//! syscalls, signal interruptions, slow peers) reassemble transparently.
+//!
+//! A frame longer than [`MAX_FRAME`] is rejected without allocating: once
+//! the length prefix is implausible the stream can never be resynchronised,
+//! so the connection is surrendered rather than the process.
+
+use std::io::{self, Read, Write};
+
+/// Hard cap on a single frame's payload (16 MiB). Generous against the
+/// largest observed solve rows (a few KiB) while keeping a hostile or
+/// corrupt length prefix from forcing a giant allocation.
+pub const MAX_FRAME: usize = 16 << 20;
+
+/// One read attempt on a frame boundary.
+#[derive(Debug)]
+pub enum ReadEvent {
+    /// A complete frame payload.
+    Frame(Vec<u8>),
+    /// The read timeout expired with **zero** bytes consumed — the
+    /// connection is idle at a frame boundary. Only surfaced between
+    /// frames; a timeout mid-frame keeps reading (the prefix promised
+    /// more bytes).
+    Idle,
+    /// Clean end of stream at a frame boundary.
+    Eof,
+}
+
+/// Write one frame: length prefix, then the payload, looping until every
+/// byte is accepted.
+pub fn write_frame<W: Write>(w: &mut W, payload: &[u8]) -> io::Result<()> {
+    if payload.len() > MAX_FRAME {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            format!(
+                "frame of {} bytes exceeds MAX_FRAME {MAX_FRAME}",
+                payload.len()
+            ),
+        ));
+    }
+    let len = (payload.len() as u32).to_be_bytes();
+    write_all_retry(w, &len)?;
+    write_all_retry(w, payload)?;
+    w.flush()
+}
+
+/// `write_all` that also rides through `WouldBlock`/`TimedOut` (a peer
+/// draining slowly is not an error, just a longer write).
+fn write_all_retry<W: Write>(w: &mut W, mut buf: &[u8]) -> io::Result<()> {
+    while !buf.is_empty() {
+        match w.write(buf) {
+            Ok(0) => {
+                return Err(io::Error::new(
+                    io::ErrorKind::WriteZero,
+                    "peer stopped accepting bytes mid-frame",
+                ))
+            }
+            Ok(n) => buf = &buf[n..],
+            Err(e) if retryable(&e) => continue,
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(())
+}
+
+/// Read one frame, blocking until it completes, the stream ends, or the
+/// reader's timeout fires on an idle boundary.
+///
+/// * Clean EOF before any prefix byte → [`ReadEvent::Eof`].
+/// * Timeout before any prefix byte → [`ReadEvent::Idle`] (callers poll
+///   shutdown flags here).
+/// * EOF after at least one byte of an announced frame → `UnexpectedEof`
+///   error: the peer vanished mid-frame and the stream is unusable.
+/// * Prefix larger than [`MAX_FRAME`] → `InvalidData` error.
+pub fn read_frame<R: Read>(r: &mut R) -> io::Result<ReadEvent> {
+    let mut prefix = [0u8; 4];
+    match read_full(r, &mut prefix, true)? {
+        Progress::Done => {}
+        Progress::IdleBoundary => return Ok(ReadEvent::Idle),
+        Progress::EofBoundary => return Ok(ReadEvent::Eof),
+    }
+    let len = u32::from_be_bytes(prefix) as usize;
+    if len > MAX_FRAME {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("announced frame of {len} bytes exceeds MAX_FRAME {MAX_FRAME}"),
+        ));
+    }
+    let mut payload = vec![0u8; len];
+    match read_full(r, &mut payload, false)? {
+        Progress::Done => Ok(ReadEvent::Frame(payload)),
+        Progress::IdleBoundary | Progress::EofBoundary => unreachable!("only at boundaries"),
+    }
+}
+
+enum Progress {
+    Done,
+    IdleBoundary,
+    EofBoundary,
+}
+
+/// Fill `buf` completely. With `at_boundary`, zero-byte outcomes (EOF,
+/// timeout) are reported as boundary states instead of errors; once the
+/// first byte lands, anything short of a full buffer is `UnexpectedEof`
+/// and timeouts keep looping.
+fn read_full<R: Read>(r: &mut R, buf: &mut [u8], at_boundary: bool) -> io::Result<Progress> {
+    let mut filled = 0usize;
+    while filled < buf.len() {
+        match r.read(&mut buf[filled..]) {
+            Ok(0) => {
+                if filled == 0 && at_boundary {
+                    return Ok(Progress::EofBoundary);
+                }
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    format!("stream ended after {filled} of {} frame bytes", buf.len()),
+                ));
+            }
+            Ok(n) => filled += n,
+            Err(e) if retryable(&e) => {
+                if filled == 0 && at_boundary {
+                    return Ok(Progress::IdleBoundary);
+                }
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(Progress::Done)
+}
+
+fn retryable(e: &io::Error) -> bool {
+    matches!(
+        e.kind(),
+        io::ErrorKind::Interrupted | io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    fn frame_bytes(payload: &[u8]) -> Vec<u8> {
+        let mut out = Vec::new();
+        write_frame(&mut out, payload).unwrap();
+        out
+    }
+
+    #[test]
+    fn frames_round_trip_back_to_back() {
+        let mut stream = frame_bytes(b"{\"a\":1}");
+        stream.extend(frame_bytes(b""));
+        stream.extend(frame_bytes(b"tail"));
+        let mut r = Cursor::new(stream);
+        for expect in [&b"{\"a\":1}"[..], b"", b"tail"] {
+            match read_frame(&mut r).unwrap() {
+                ReadEvent::Frame(p) => assert_eq!(p, expect),
+                other => panic!("expected frame, got {other:?}"),
+            }
+        }
+        assert!(matches!(read_frame(&mut r).unwrap(), ReadEvent::Eof));
+    }
+
+    #[test]
+    fn truncated_frame_is_unexpected_eof_not_a_hang() {
+        // Announce 10 bytes, deliver 3.
+        let mut stream = 10u32.to_be_bytes().to_vec();
+        stream.extend(b"abc");
+        let err = match read_frame(&mut Cursor::new(stream)) {
+            Err(e) => e,
+            Ok(ev) => panic!("expected error, got {ev:?}"),
+        };
+        assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof);
+        // Truncated *prefix* too: 2 of 4 length bytes.
+        let err = read_frame(&mut Cursor::new(vec![0u8, 0u8])).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof);
+    }
+
+    #[test]
+    fn oversized_announcement_is_rejected_before_allocating() {
+        let stream = ((MAX_FRAME as u32) + 1).to_be_bytes().to_vec();
+        let err = read_frame(&mut Cursor::new(stream)).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        let err = write_frame(&mut Vec::new(), &vec![0u8; MAX_FRAME + 1]).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidInput);
+    }
+
+    /// A reader that delivers one byte per call: every frame arrives via
+    /// maximally-partial reads.
+    struct Trickle(Cursor<Vec<u8>>);
+    impl Read for Trickle {
+        fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+            let take = 1.min(buf.len());
+            self.0.read(&mut buf[..take])
+        }
+    }
+
+    #[test]
+    fn partial_reads_reassemble() {
+        let payload = b"partial delivery still lands intact";
+        let mut r = Trickle(Cursor::new(frame_bytes(payload)));
+        match read_frame(&mut r).unwrap() {
+            ReadEvent::Frame(p) => assert_eq!(p, payload),
+            other => panic!("expected frame, got {other:?}"),
+        }
+    }
+}

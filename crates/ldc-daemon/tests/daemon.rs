@@ -1,0 +1,370 @@
+//! End-to-end tests for `ldcd` against a real Unix socket: protocol
+//! resilience, concurrent-client correctness, deterministic
+//! queue-full behaviour, graceful drain, and the headline promise —
+//! rows byte-identical to `ldc batch` on the shared `ci/fleet_e17.json`
+//! fixture.
+
+#![cfg(unix)]
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::thread;
+use std::time::Duration;
+
+use ldc_batch::{parse_spec_file, Fleet, JobSpec};
+use ldc_daemon::client::Client;
+use ldc_daemon::loadgen;
+use ldc_daemon::proto::{Request, Response};
+use ldc_daemon::server::{serve, ServerConfig, ServerHandle};
+use ldc_daemon::signal;
+
+/// A unique socket path per test, in the build's temp dir.
+fn socket_path(tag: &str) -> PathBuf {
+    static SEQ: AtomicU64 = AtomicU64::new(0);
+    let seq = SEQ.fetch_add(1, Ordering::SeqCst);
+    std::env::temp_dir().join(format!("ldcd-test-{}-{tag}-{seq}.sock", std::process::id()))
+}
+
+fn start(tag: &str, tune: impl FnOnce(&mut ServerConfig)) -> ServerHandle {
+    let mut cfg = ServerConfig::new(socket_path(tag));
+    tune(&mut cfg);
+    serve(cfg).expect("daemon binds")
+}
+
+fn quick_job() -> JobSpec {
+    parse_spec_file(r#"[{"graph":{"family":"ring","n":32},"algorithm":"congest"}]"#)
+        .unwrap()
+        .remove(0)
+}
+
+/// The heavyweight job shape from `ci/fleet_e17.json`: long color lists
+/// keep one solve busy for long enough that pipelined admissions are
+/// never racing its completion.
+fn slow_job() -> JobSpec {
+    parse_spec_file(
+        r#"[{"graph": {"family": "regular", "n": 80, "d": 6, "seed": 5},
+             "algorithm": "oldc",
+             "lists": {"kind": "uniform", "space": 8192, "len": 3000, "defect": 3, "salt": 0},
+             "seed": 1}]"#,
+    )
+    .unwrap()
+    .remove(0)
+}
+
+fn row_of(resp: Response) -> String {
+    match resp {
+        Response::Result { row, .. } => row,
+        other => panic!("expected a result, got {other:?}"),
+    }
+}
+
+#[test]
+fn malformed_frames_get_typed_errors_and_the_connection_survives() {
+    let server = start("malformed", |_| {});
+    let mut c = Client::connect(server.socket_path()).unwrap();
+
+    let cases: [(&[u8], &str); 5] = [
+        (b"\xc3\x28", "bad_frame"),
+        (b"{\"v\":1,", "bad_frame"),
+        (b"{\"type\":\"ping\"}", "bad_version"),
+        (b"{\"v\":9,\"type\":\"ping\"}", "bad_version"),
+        (b"{\"v\":1,\"type\":\"levitate\"}", "unknown_type"),
+    ];
+    for (payload, want) in cases {
+        c.send_raw(payload).unwrap();
+        match c.recv().unwrap().expect("typed error, not a hangup") {
+            Response::Error { code, .. } => assert_eq!(code, want),
+            other => panic!("expected error {want}, got {other:?}"),
+        }
+    }
+    // A bad solve spec is also typed — and the connection still works
+    // afterwards: the same stream pings and solves successfully.
+    c.send_raw(b"{\"v\":1,\"type\":\"solve\",\"id\":1,\"job\":{\"algorithm\":\"warp\"}}")
+        .unwrap();
+    match c.recv().unwrap().unwrap() {
+        Response::Error { code, .. } => assert_eq!(code, "bad_request"),
+        other => panic!("expected bad_request, got {other:?}"),
+    }
+    assert_eq!(c.ping().unwrap(), Response::Pong);
+    let row = row_of(c.solve(0, &quick_job()).unwrap());
+    assert!(row.starts_with("{\"job\":0,"), "row: {row}");
+
+    server.drain();
+    server.join().unwrap();
+}
+
+#[test]
+fn truncated_frame_mid_payload_closes_only_that_connection() {
+    let server = start("truncated", |_| {});
+
+    // Announce 100 bytes, send 3, hang up: the server must not wedge.
+    {
+        let mut c = Client::connect(server.socket_path()).unwrap();
+        c.send_raw(b"probe").unwrap(); // keep the handshake warm
+        let _ = c.recv().unwrap(); // typed bad_frame for "probe"
+    }
+    {
+        use std::io::Write;
+        use std::os::unix::net::UnixStream;
+        let mut raw = UnixStream::connect(server.socket_path()).unwrap();
+        raw.write_all(&100u32.to_be_bytes()).unwrap();
+        raw.write_all(b"abc").unwrap();
+        drop(raw);
+    }
+    // A fresh connection is unaffected.
+    let mut c = Client::connect(server.socket_path()).unwrap();
+    assert_eq!(c.ping().unwrap(), Response::Pong);
+
+    server.drain();
+    server.join().unwrap();
+}
+
+#[test]
+fn concurrent_clients_get_their_own_answers() {
+    let server = start("concurrent", |cfg| {
+        cfg.workers = 4;
+        cfg.queue_cap = 64;
+    });
+    let path = server.socket_path().to_path_buf();
+
+    let handles: Vec<_> = (0..6u64)
+        .map(|client_no| {
+            let path = path.clone();
+            thread::spawn(move || {
+                let mut c = Client::connect(&path).unwrap();
+                for i in 0..5u64 {
+                    let id = client_no * 100 + i;
+                    match c.solve(id, &quick_job()).unwrap() {
+                        Response::Result { id: got, row } => {
+                            assert_eq!(got, id, "answers stay on their connection");
+                            assert!(
+                                row.starts_with(&format!("{{\"job\":{id},")),
+                                "row index echoes the request id: {row}"
+                            );
+                        }
+                        Response::Busy { .. } => panic!("queue sized to never reject"),
+                        other => panic!("unexpected {other:?}"),
+                    }
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+
+    server.drain();
+    server.join().unwrap();
+}
+
+#[test]
+fn queue_full_is_busy_deterministically_and_admitted_jobs_still_answer() {
+    // Window = workers + queue_cap = 2: with a slow job occupying the
+    // worker and one queued, the third pipelined solve is always Busy.
+    let server = start("busy", |cfg| {
+        cfg.workers = 1;
+        cfg.queue_cap = 1;
+        cfg.retry_after_ms = 17;
+    });
+    let (mut tx, mut rx) = Client::connect(server.socket_path())
+        .unwrap()
+        .split()
+        .unwrap();
+
+    let slow = slow_job();
+    for id in 0..3u64 {
+        tx.send(&Request::Solve {
+            id,
+            job: Box::new(slow.clone()),
+        })
+        .unwrap();
+    }
+    // The busy verdict is delivered by the reader thread immediately,
+    // before either admitted job completes.
+    let first = rx.recv().unwrap().unwrap();
+    match first {
+        Response::Busy { retry_after_ms } => assert_eq!(retry_after_ms, 17),
+        other => panic!("third solve must be rejected first, got {other:?}"),
+    }
+    // Both admitted jobs complete, in admission order, with equal rows
+    // up to the job index (same spec, same seed).
+    let mut rows = Vec::new();
+    for want_id in 0..2u64 {
+        match rx.recv().unwrap().unwrap() {
+            Response::Result { id, row } => {
+                assert_eq!(id, want_id);
+                rows.push(row);
+            }
+            other => panic!("expected result {want_id}, got {other:?}"),
+        }
+    }
+    assert_eq!(
+        rows[0].replace("\"job\":0,", "\"job\":1,"),
+        rows[1],
+        "identical spec ⇒ identical row modulo the index"
+    );
+
+    server.drain();
+    server.join().unwrap();
+}
+
+#[test]
+fn drain_completes_in_flight_jobs_then_closes() {
+    let server = start("drain", |cfg| {
+        cfg.workers = 1;
+        cfg.queue_cap = 8;
+    });
+    let (mut tx, mut rx) = Client::connect(server.socket_path())
+        .unwrap()
+        .split()
+        .unwrap();
+
+    // Three slow jobs admitted, then drain while they are in flight.
+    for id in 0..3u64 {
+        tx.send(&Request::Solve {
+            id,
+            job: Box::new(slow_job()),
+        })
+        .unwrap();
+    }
+    thread::sleep(Duration::from_millis(30)); // let the first one start
+    server.drain();
+
+    // A post-drain solve on the same connection is refused with the
+    // typed code, not dropped.
+    tx.send(&Request::Solve {
+        id: 99,
+        job: Box::new(quick_job()),
+    })
+    .unwrap();
+
+    let mut results = Vec::new();
+    let mut draining_rejects = 0;
+    while let Some(resp) = rx.recv().unwrap() {
+        match resp {
+            Response::Result { id, .. } => results.push(id),
+            Response::Error { code, .. } if code == "draining" => draining_rejects += 1,
+            other => panic!("unexpected during drain: {other:?}"),
+        }
+    }
+    // rx.recv() returned None: the server closed after delivering
+    // everything it admitted.
+    results.sort_unstable();
+    assert_eq!(results, vec![0, 1, 2], "every admitted job was answered");
+    assert_eq!(
+        draining_rejects, 1,
+        "the post-drain solve got the typed refusal"
+    );
+
+    let path = server.socket_path().to_path_buf();
+    server.join().unwrap();
+    assert!(!path.exists(), "socket file removed on join");
+}
+
+#[test]
+fn sigterm_flag_triggers_the_same_drain_path() {
+    signal::clear_termination();
+    let server = start("sigterm", |cfg| {
+        cfg.heed_signals = true;
+    });
+    let mut c = Client::connect(server.socket_path()).unwrap();
+    assert_eq!(c.ping().unwrap(), Response::Pong);
+    assert!(!server.is_draining());
+
+    // The handler's exact effect, minus process-global signal delivery
+    // (other tests in this binary share the process).
+    signal::raise_term();
+    assert!(server.is_draining(), "signal flag observed as a drain");
+    server.join().unwrap();
+    signal::clear_termination();
+
+    // And the real handler install path is exercised too.
+    signal::install();
+}
+
+#[test]
+fn shutdown_request_drains_and_acknowledges() {
+    let server = start("shutdown", |_| {});
+    let mut c = Client::connect(server.socket_path()).unwrap();
+    assert_eq!(c.shutdown().unwrap(), Response::Pong);
+    assert!(server.is_draining());
+    server.join().unwrap();
+}
+
+#[test]
+fn stats_snapshot_is_deterministic_and_counts_requests() {
+    let server = start("stats", |_| {});
+    let mut c = Client::connect(server.socket_path()).unwrap();
+    let _ = row_of(c.solve(0, &quick_job()).unwrap());
+    let _ = row_of(c.solve(1, &quick_job()).unwrap());
+
+    let det = match c.stats().unwrap() {
+        Response::Stats { det } => det,
+        other => panic!("expected stats, got {other:?}"),
+    };
+    assert!(det.contains("\"daemon.solved\":2"), "det: {det}");
+    assert!(det.contains("\"daemon.graph_cache_hits\":1"), "det: {det}");
+    assert!(
+        det.contains("\"daemon.graph_cache_misses\":1"),
+        "det: {det}"
+    );
+    assert!(!det.contains("wall"), "no wall-clock in the det snapshot");
+
+    // Same requests ⇒ same snapshot, on a fresh daemon.
+    let server2 = start("stats2", |_| {});
+    let mut c2 = Client::connect(server2.socket_path()).unwrap();
+    let _ = row_of(c2.solve(0, &quick_job()).unwrap());
+    let _ = row_of(c2.solve(1, &quick_job()).unwrap());
+    let det2 = match c2.stats().unwrap() {
+        Response::Stats { det } => det,
+        other => panic!("expected stats, got {other:?}"),
+    };
+    assert_eq!(
+        det, det2,
+        "registry snapshot is a pure function of the request history"
+    );
+
+    server.drain();
+    server.join().unwrap();
+    server2.drain();
+    server2.join().unwrap();
+}
+
+#[test]
+fn daemon_rows_are_byte_identical_to_ldc_batch_on_the_e17_fixture() {
+    let spec_text = std::fs::read_to_string(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../ci/fleet_e17.json"
+    ))
+    .expect("shared fixture");
+    let jobs = parse_spec_file(&spec_text).unwrap();
+
+    // What `ldc batch` emits, at several shard/thread settings — the
+    // per-job rows are identical across all of them by the fleet's own
+    // determinism promise, so any one is the reference.
+    let reference: Vec<String> = Fleet::new(4)
+        .with_solver_threads(2)
+        .run(&jobs)
+        .outcomes
+        .into_iter()
+        .map(|o| o.row)
+        .collect();
+
+    // Daemon at assorted worker/thread settings, replayed with
+    // id = job index.
+    for (workers, solver_threads, shared) in [(1, 1, false), (3, 2, false), (2, 1, true)] {
+        let server = start("bytes", |cfg| {
+            cfg.workers = workers;
+            cfg.solver_threads = solver_threads;
+            cfg.shared_kernels = shared;
+            cfg.queue_cap = 64;
+        });
+        let rows = loadgen::replay(server.socket_path(), &jobs).unwrap();
+        assert_eq!(
+            rows, reference,
+            "served rows diverge at workers={workers} threads={solver_threads} shared={shared}"
+        );
+        server.drain();
+        server.join().unwrap();
+    }
+}

@@ -1,6 +1,7 @@
 //! `ldc` — command-line front end for the list-defective-coloring
 //! workspace: generate graphs, color them with the paper's pipeline or the
-//! baselines, edge-color via line graphs, and print structural analyses.
+//! baselines, edge-color via line graphs, print structural analyses, run
+//! batch fleets, and serve/drive the long-lived `ldcd` daemon.
 //!
 //! ```sh
 //! ldc gen regular 512 10 --seed 7 -o net.col
@@ -8,9 +9,16 @@
 //! ldc color net.col --algorithm classic
 //! ldc edge-color net.col
 //! ldc analyze net.col
+//! ldc serve --socket /tmp/ldcd.sock
+//! ldc loadgen --socket /tmp/ldcd.sock --smoke
 //! ```
+//!
+//! All argument handling goes through the shared [`cli`] parser
+//! (`ldc_bench::cli`), so every subcommand gets `--key value` /
+//! `--key=value` spellings and unknown-flag errors for free.
 
-use ldc::batch::{parse_spec_file, Fleet};
+use ldc::batch::{parse_spec_file, parse_spec_file_strict, Fleet};
+use ldc::bench::cli;
 use ldc::bench::history;
 use ldc::classic;
 use ldc::core::congest::{congest_degree_plus_one, CongestBranch, CongestConfig};
@@ -43,12 +51,14 @@ fn run(args: &[String]) -> Result<(), String> {
         Some("batch") => cmd_batch(&args[1..]),
         Some("soak") => cmd_soak(&args[1..]),
         Some("report") => cmd_report(&args[1..]),
+        Some("serve") => cmd_serve(&args[1..]),
+        Some("loadgen") => cmd_loadgen(&args[1..]),
         _ => Err(usage()),
     }
 }
 
 fn usage() -> String {
-    "usage:\n  ldc gen <ring|path|complete|torus|regular|gnp|tree|powerlaw|hypercube> <params…> [--seed S] [-o FILE]\n  ldc color <FILE> [--algorithm thm14|classic|luby] [--seed S] [--trace FILE] [--timings] [--faults SPEC] [--retries N]\n  ldc edge-color <FILE> [--seed S] [--trace FILE] [--timings]\n  ldc analyze <FILE>\n  ldc batch <SPEC.json> [--shards N] [--solver-threads N] [--shared-cache] [--out FILE] [--telemetry FILE]\n  ldc soak [--smoke|--full] [--only ID] [--seed S] [--shards N] [--out-dir DIR] [--list]\n  ldc report [--history FILE] [--telemetry FILE] [--strip-timing FILE]\n\n  batch: run every job in SPEC.json (array of job objects, or {\"jobs\": [...]})\n  sharded over the worker pool, and write one JSONL row per job plus a fleet\n  summary line. Output is byte-identical for every --shards value, every\n  --solver-threads value, and with or without --shared-cache.\n  --solver-threads N: worker threads for each solver's batched per-node\n  phases (default 1). --shared-cache: share one kernel cache across the\n  whole run so same-shaped jobs skip recomputation (stats on stderr).\n  --telemetry FILE: also write a manifest-stamped telemetry JSONL whose\n  deterministic section is byte-identical across shard counts (with\n  --shared-cache, only at --shards 1 — shared hits race otherwise).\n\n  soak: expand the seeded scenario matrix (DESIGN.md §14) and hold every\n  scenario to the invariant catalog — validity, byte-identical rows across\n  shards/exec/threads/cache, Reference-vs-Fast equality, stats\n  sum-consistency, zero-alloc engine steady state. --smoke (default) runs\n  the curated PR slice, --full the whole matrix (nightly). Results stream\n  to DIR/soak_<tier>.jsonl (default target/soak); exit is nonzero on any\n  violation, printing a one-line repro (`ldc soak --seed S --only ID`).\n  --shards N sets the sharded determinism variant (default 4; det output\n  is byte-identical at every value). --list prints scenario ids.\n\n  report: render bench-history trend tables (default --history\n  BENCH_history.jsonl) and/or summarize a telemetry JSONL; --strip-timing\n  prints only the deterministic sections of a telemetry file (CI diffs it).\n\n  --trace FILE: record a phase-span trace (per-theorem rounds/bits), print\n  the span tree, and write it as JSONL to FILE ('-' prints the tree only).\n  --timings: include wall-clock fields in the trace JSONL (off by default,\n  keeping trace output byte-diffable).\n\n  --faults SPEC: run under a seeded fault plan (DESIGN.md §9). SPEC is\n  comma-separated key=value pairs: seed=S, drop=RATE, trunc=RATE:CAPBITS,\n  sleep=RATE, error=RATE (e.g. --faults seed=7,drop=0.05,error=0.1).\n  --retries N: round retries per fault (default 3, backoff 1 stall round)."
+    "usage:\n  ldc gen <ring|path|complete|torus|regular|gnp|tree|powerlaw|hypercube> <params…> [--seed S] [-o FILE]\n  ldc color <FILE> [--algorithm thm14|classic|luby] [--seed S] [--trace FILE] [--timings] [--faults SPEC] [--retries N]\n  ldc edge-color <FILE> [--seed S] [--trace FILE] [--timings]\n  ldc analyze <FILE>\n  ldc batch <SPEC.json> [--shards N] [--solver-threads N] [--shared-cache] [--strict] [--out FILE] [--telemetry FILE]\n  ldc soak [--smoke|--full] [--only ID] [--seed S] [--shards N] [--out-dir DIR] [--list]\n  ldc report [--history FILE] [--telemetry FILE] [--strip-timing FILE]\n  ldc serve --socket PATH [--workers N] [--queue-cap N] [--solver-threads N] [--shared-cache] [--retry-after-ms MS]\n  ldc loadgen --socket PATH [--smoke] [--connections N] [--initial-rps R] [--increment-rps R] [--max-rps R]\n              [--step-ms MS] [--p95-ms MS] [--job SPEC.json] [--out FILE]\n  ldc loadgen --socket PATH --replay SPEC.json [--out FILE]\n\n  batch: run every job in SPEC.json (array of job objects, or {\"jobs\": [...]})\n  sharded over the worker pool, and write one JSONL row per job plus a fleet\n  summary line. Output is byte-identical for every --shards value, every\n  --solver-threads value, and with or without --shared-cache.\n  --solver-threads N: worker threads for each solver's batched per-node\n  phases (default 1). --shared-cache: share one kernel cache across the\n  whole run so same-shaped jobs skip recomputation (stats on stderr).\n  --strict: reject unknown top-level fields in the spec (schema v1);\n  default is loose, which ignores them so old fixtures keep loading.\n  --telemetry FILE: also write a manifest-stamped telemetry JSONL whose\n  deterministic section is byte-identical across shard counts (with\n  --shared-cache, only at --shards 1 — shared hits race otherwise).\n\n  soak: expand the seeded scenario matrix (DESIGN.md §14) and hold every\n  scenario to the invariant catalog — validity, byte-identical rows across\n  shards/exec/threads/cache, Reference-vs-Fast equality, stats\n  sum-consistency, zero-alloc engine steady state. --smoke (default) runs\n  the curated PR slice, --full the whole matrix (nightly). Results stream\n  to DIR/soak_<tier>.jsonl (default target/soak); exit is nonzero on any\n  violation, printing a one-line repro (`ldc soak --seed S --only ID`).\n  --shards N sets the sharded determinism variant (default 4; det output\n  is byte-identical at every value). --list prints scenario ids.\n\n  report: render bench-history trend tables (default --history\n  BENCH_history.jsonl) and/or summarize a telemetry JSONL; --strip-timing\n  prints only the deterministic sections of a telemetry file (CI diffs it).\n\n  serve: run the ldcd daemon (DESIGN.md §15) on a Unix socket. Every solve\n  goes through the same single-job core as `ldc batch`, so served rows are\n  byte-identical to batch rows for the same spec and job index. Admission\n  is bounded at workers + queue-cap jobs in flight; excess solves get a\n  typed busy response carrying --retry-after-ms. SIGTERM drains: admitted\n  jobs finish and are delivered, then the process exits.\n\n  loadgen: drive a running daemon. Default mode ramps offered load from\n  --initial-rps by --increment-rps up to --max-rps (--smoke: a sub-second\n  CI-sized ramp), measures per-request latency into log₂ histograms, and\n  reports the knee — the first step where p95 exceeds --p95-ms or\n  completions fall under 90% of offered. --out writes an E20 telemetry\n  JSONL (deterministic det rows; latency percentiles in timing).\n  --replay SPEC.json instead pushes a batch job list through one\n  connection and writes the result rows — byte-identical to `ldc batch`\n  on the same spec.\n\n  --trace FILE: record a phase-span trace (per-theorem rounds/bits), print\n  the span tree, and write it as JSONL to FILE ('-' prints the tree only).\n  --timings: include wall-clock fields in the trace JSONL (off by default,\n  keeping trace output byte-diffable).\n\n  --faults SPEC: run under a seeded fault plan (DESIGN.md §9). SPEC is\n  comma-separated key=value pairs: seed=S, drop=RATE, trunc=RATE:CAPBITS,\n  sleep=RATE, error=RATE (e.g. --faults seed=7,drop=0.05,error=0.1).\n  --retries N: round retries per fault (default 3, backoff 1 stall round)."
         .into()
 }
 
@@ -63,47 +73,12 @@ fn finish_trace(tracer: &Tracer, path: &str, timings: bool) -> Result<(), String
     Ok(())
 }
 
-/// Flags that take no value (everything else is `--flag VALUE`).
-const BOOL_FLAGS: &[&str] = &["--timings", "--shared-cache", "--smoke", "--full", "--list"];
-
-fn flag(args: &[String], name: &str) -> Option<String> {
-    args.iter()
-        .position(|a| a == name)
-        .and_then(|i| args.get(i + 1).cloned())
-}
-
-fn bool_flag(args: &[String], name: &str) -> bool {
-    debug_assert!(BOOL_FLAGS.contains(&name));
-    args.iter().any(|a| a == name)
-}
-
-fn positional(args: &[String]) -> Vec<&String> {
-    let mut out = Vec::new();
-    let mut skip = false;
-    for a in args {
-        if skip {
-            skip = false;
-            continue;
-        }
-        if BOOL_FLAGS.contains(&a.as_str()) {
-            continue;
-        }
-        if a.starts_with("--") || a == "-o" {
-            skip = true;
-            continue;
-        }
-        out.push(a);
-    }
-    out
-}
-
-fn parse<T: std::str::FromStr>(s: &str, what: &str) -> Result<T, String> {
-    s.parse().map_err(|_| format!("cannot parse {what}: {s:?}"))
-}
-
 /// Parse a `--faults` spec (`seed=7,drop=0.05,trunc=0.2:3,sleep=0.01,error=0.1`)
 /// into a [`FaultPlan`].
 fn parse_faults(spec: &str) -> Result<FaultPlan, String> {
+    fn num<T: std::str::FromStr>(s: &str, what: &str) -> Result<T, String> {
+        s.parse().map_err(|_| format!("cannot parse {what}: {s:?}"))
+    }
     let mut seed = 0xFAu64;
     let mut drop = 0.0f64;
     let mut trunc: Option<(f64, u64)> = None;
@@ -114,16 +89,16 @@ fn parse_faults(spec: &str) -> Result<FaultPlan, String> {
             .split_once('=')
             .ok_or_else(|| format!("fault spec {kv:?} is not key=value"))?;
         match key {
-            "seed" => seed = parse(val, "fault seed")?,
-            "drop" => drop = parse(val, "drop rate")?,
+            "seed" => seed = num(val, "fault seed")?,
+            "drop" => drop = num(val, "drop rate")?,
             "trunc" => {
                 let (rate, cap) = val
                     .split_once(':')
                     .ok_or_else(|| format!("trunc wants RATE:CAPBITS, got {val:?}"))?;
-                trunc = Some((parse(rate, "trunc rate")?, parse(cap, "trunc cap")?));
+                trunc = Some((num(rate, "trunc rate")?, num(cap, "trunc cap")?));
             }
-            "sleep" => sleep = parse(val, "sleep rate")?,
-            "error" => error = parse(val, "error rate")?,
+            "sleep" => sleep = num(val, "sleep rate")?,
+            "error" => error = num(val, "error rate")?,
             other => {
                 return Err(format!(
                     "unknown fault key {other:?} (seed|drop|trunc|sleep|error)"
@@ -147,14 +122,19 @@ fn load(path: &str) -> Result<Graph, String> {
 }
 
 fn cmd_gen(args: &[String]) -> Result<(), String> {
-    let pos = positional(args);
-    let family = pos.first().ok_or_else(usage)?.as_str();
-    let seed: u64 = flag(args, "--seed")
-        .map(|s| parse(&s, "seed"))
-        .transpose()?
-        .unwrap_or(1);
-    let p1: Option<usize> = pos.get(1).map(|s| parse(s, "param 1")).transpose()?;
-    let p2: Option<usize> = pos.get(2).map(|s| parse(s, "param 2")).transpose()?;
+    let a = cli::parse(args, &[], &["--seed", "-o"])?;
+    let family = a.positional(0).map_err(|_| usage())?;
+    let seed: u64 = a.parse_or("--seed", 1)?;
+    let p1: Option<usize> = a
+        .positionals
+        .get(1)
+        .map(|s| parse_num(s, "param 1"))
+        .transpose()?;
+    let p2: Option<usize> = a
+        .positionals
+        .get(2)
+        .map(|s| parse_num(s, "param 2"))
+        .transpose()?;
     let g = match (family, p1, p2) {
         ("ring", Some(n), _) => generators::ring(n),
         ("path", Some(n), _) => generators::path(n),
@@ -167,9 +147,9 @@ fn cmd_gen(args: &[String]) -> Result<(), String> {
         ("hypercube", Some(d), _) => generators::hypercube(d as u32),
         _ => return Err(usage()),
     };
-    match flag(args, "-o") {
+    match a.get("-o") {
         Some(path) => {
-            let f = std::fs::File::create(&path).map_err(|e| format!("create {path}: {e}"))?;
+            let f = std::fs::File::create(path).map_err(|e| format!("create {path}: {e}"))?;
             io::write_edge_list(&g, f).map_err(|e| e.to_string())?;
             println!(
                 "wrote {} nodes / {} edges to {path}",
@@ -184,36 +164,36 @@ fn cmd_gen(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+fn parse_num<T: std::str::FromStr>(s: &str, what: &str) -> Result<T, String> {
+    s.parse().map_err(|_| format!("cannot parse {what}: {s:?}"))
+}
+
 fn cmd_color(args: &[String]) -> Result<(), String> {
-    let pos = positional(args);
-    let path = pos.first().ok_or_else(usage)?;
+    let a = cli::parse(
+        args,
+        &["--timings"],
+        &["--algorithm", "--seed", "--trace", "--faults", "--retries"],
+    )?;
+    let path = a.positional(0).map_err(|_| usage())?;
     let g = load(path)?;
-    let algorithm = flag(args, "--algorithm").unwrap_or_else(|| "thm14".into());
-    let seed: u64 = flag(args, "--seed")
-        .map(|s| parse(&s, "seed"))
-        .transpose()?
-        .unwrap_or(1);
-    let trace = flag(args, "--trace");
+    let algorithm = a.get("--algorithm").unwrap_or("thm14");
+    let seed: u64 = a.parse_or("--seed", 1)?;
+    let trace = a.get("--trace").map(str::to_string);
     let tracer = if trace.is_some() {
         Tracer::new()
     } else {
         Tracer::disabled()
     };
-    let faults = flag(args, "--faults")
-        .map(|s| parse_faults(&s))
-        .transpose()?;
+    let faults = a.get("--faults").map(parse_faults).transpose()?;
     let retry = RetryPolicy {
-        max_retries: flag(args, "--retries")
-            .map(|s| parse(&s, "retries"))
-            .transpose()?
-            .unwrap_or(3),
+        max_retries: a.parse_or("--retries", 3)?,
         backoff_rounds: 1,
     };
     let delta = g.max_degree();
     let space = delta as u64 + 1;
     let lists: Vec<Vec<u64>> = (0..g.num_nodes()).map(|_| (0..space).collect()).collect();
 
-    let (colors, rounds, substrate, max_bits) = match algorithm.as_str() {
+    let (colors, rounds, substrate, max_bits) = match algorithm {
         "thm14" => {
             let cfg = CongestConfig {
                 seed,
@@ -284,20 +264,17 @@ fn cmd_color(args: &[String]) -> Result<(), String> {
         );
     }
     if let Some(path) = trace {
-        finish_trace(&tracer, &path, bool_flag(args, "--timings"))?;
+        finish_trace(&tracer, &path, a.has("--timings"))?;
     }
     Ok(())
 }
 
 fn cmd_edge_color(args: &[String]) -> Result<(), String> {
-    let pos = positional(args);
-    let path = pos.first().ok_or_else(usage)?;
+    let a = cli::parse(args, &["--timings"], &["--seed", "--trace"])?;
+    let path = a.positional(0).map_err(|_| usage())?;
     let g = load(path)?;
-    let seed: u64 = flag(args, "--seed")
-        .map(|s| parse(&s, "seed"))
-        .transpose()?
-        .unwrap_or(1);
-    let trace = flag(args, "--trace");
+    let seed: u64 = a.parse_or("--seed", 1)?;
+    let trace = a.get("--trace").map(str::to_string);
     let tracer = if trace.is_some() {
         Tracer::new()
     } else {
@@ -323,25 +300,28 @@ fn cmd_edge_color(args: &[String]) -> Result<(), String> {
         ec.report.rounds_main,
     );
     if let Some(path) = trace {
-        finish_trace(&tracer, &path, bool_flag(args, "--timings"))?;
+        finish_trace(&tracer, &path, a.has("--timings"))?;
     }
     Ok(())
 }
 
 fn cmd_batch(args: &[String]) -> Result<(), String> {
-    let pos = positional(args);
-    let path = pos.first().ok_or_else(usage)?;
-    let text = std::fs::read_to_string(path.as_str()).map_err(|e| format!("read {path}: {e}"))?;
-    let jobs = parse_spec_file(&text).map_err(|e| format!("{path}: {e}"))?;
-    let shards: usize = flag(args, "--shards")
-        .map(|s| parse(&s, "shards"))
-        .transpose()?
-        .unwrap_or(4);
-    let solver_threads: usize = flag(args, "--solver-threads")
-        .map(|s| parse(&s, "solver-threads"))
-        .transpose()?
-        .unwrap_or(1);
-    let shared_cache = bool_flag(args, "--shared-cache");
+    let a = cli::parse(
+        args,
+        &["--shared-cache", "--strict"],
+        &["--shards", "--solver-threads", "--out", "--telemetry"],
+    )?;
+    let path = a.positional(0).map_err(|_| usage())?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
+    let jobs = if a.has("--strict") {
+        parse_spec_file_strict(&text)
+    } else {
+        parse_spec_file(&text)
+    }
+    .map_err(|e| format!("{path}: {e}"))?;
+    let shards: usize = a.parse_or("--shards", 4)?;
+    let solver_threads: usize = a.parse_or("--solver-threads", 1)?;
+    let shared_cache = a.has("--shared-cache");
     let started = std::time::Instant::now();
     let run = Fleet::new(shards)
         .with_solver_threads(solver_threads)
@@ -349,13 +329,13 @@ fn cmd_batch(args: &[String]) -> Result<(), String> {
         .run(&jobs);
     let wall = started.elapsed();
     let jsonl = run.to_jsonl();
-    match flag(args, "--out") {
+    match a.get("--out") {
         Some(out) => {
-            std::fs::write(&out, &jsonl).map_err(|e| format!("write {out}: {e}"))?;
+            std::fs::write(out, &jsonl).map_err(|e| format!("write {out}: {e}"))?;
         }
         None => print!("{jsonl}"),
     }
-    if let Some(tel) = flag(args, "--telemetry") {
+    if let Some(tel) = a.get("--telemetry") {
         let mut sink = EventSink::new();
         sink.set_manifest(&RunManifest::capture("batch", 0, path));
         let mut reg = Registry::new();
@@ -371,7 +351,7 @@ fn cmd_batch(args: &[String]) -> Result<(), String> {
             .u64("latency_p99_ns", lat.percentile(99.0))
             .finish();
         sink.emit("fleet", reg.to_json(), timing);
-        sink.write_to(&tel)
+        sink.write_to(tel)
             .map_err(|e| format!("write {tel}: {e}"))?;
         eprintln!("wrote telemetry to {tel}");
     }
@@ -396,16 +376,18 @@ fn cmd_batch(args: &[String]) -> Result<(), String> {
 /// code 2 on any invariant violation, with a one-line repro printed.
 fn cmd_soak(args: &[String]) -> Result<(), String> {
     use ldc::bench::soak::{expand, run_soak, SoakConfig, Tier, DEFAULT_SUITE_SEED};
-    let tier = if bool_flag(args, "--full") {
+    let a = cli::parse(
+        args,
+        &["--smoke", "--full", "--list"],
+        &["--only", "--seed", "--shards", "--out-dir"],
+    )?;
+    let tier = if a.has("--full") {
         Tier::Full
     } else {
         Tier::Smoke
     };
-    let suite_seed: u64 = flag(args, "--seed")
-        .map(|s| parse(&s, "seed"))
-        .transpose()?
-        .unwrap_or(DEFAULT_SUITE_SEED);
-    if bool_flag(args, "--list") {
+    let suite_seed: u64 = a.parse_or("--seed", DEFAULT_SUITE_SEED)?;
+    if a.has("--list") {
         let all = expand(suite_seed);
         for s in &all {
             println!("{}{}", s.id, if s.smoke { "  [smoke]" } else { "" });
@@ -417,16 +399,13 @@ fn cmd_soak(args: &[String]) -> Result<(), String> {
     let cfg = SoakConfig {
         tier,
         suite_seed,
-        only: flag(args, "--only"),
-        variant_shards: flag(args, "--shards")
-            .map(|s| parse(&s, "shards"))
-            .transpose()?
-            .unwrap_or(4),
+        only: a.get("--only").map(str::to_string),
+        variant_shards: a.parse_or("--shards", 4)?,
         ..SoakConfig::default()
     };
     let report = run_soak(&cfg)?;
-    let out_dir = flag(args, "--out-dir").unwrap_or_else(|| "target/soak".into());
-    std::fs::create_dir_all(&out_dir).map_err(|e| format!("mkdir {out_dir}: {e}"))?;
+    let out_dir = a.get("--out-dir").unwrap_or("target/soak");
+    std::fs::create_dir_all(out_dir).map_err(|e| format!("mkdir {out_dir}: {e}"))?;
     let out_path = format!("{out_dir}/soak_{}.jsonl", tier.name());
     let manifest = RunManifest::capture("soak", suite_seed, tier.name());
     std::fs::write(&out_path, report.to_jsonl(Some(&manifest)))
@@ -450,25 +429,24 @@ fn cmd_soak(args: &[String]) -> Result<(), String> {
 /// `ldc report` — trend tables from the checked-in bench history, plus
 /// telemetry-file helpers for CI.
 fn cmd_report(args: &[String]) -> Result<(), String> {
+    let a = cli::parse(args, &[], &["--history", "--telemetry", "--strip-timing"])?;
     // --strip-timing FILE: print only the deterministic sections of a
     // telemetry JSONL (manifest and timing removed) so CI can byte-diff
     // two runs. Exclusive mode: prints nothing else.
-    if let Some(path) = flag(args, "--strip-timing") {
-        let text = std::fs::read_to_string(&path).map_err(|e| format!("read {path}: {e}"))?;
+    if let Some(path) = a.get("--strip-timing") {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
         print!("{}", strip_timing(&text));
         return Ok(());
     }
     let mut reported = false;
-    if let Some(path) = flag(args, "--telemetry") {
-        let text = std::fs::read_to_string(&path).map_err(|e| format!("read {path}: {e}"))?;
-        summarize_telemetry(&path, &text)?;
+    if let Some(path) = a.get("--telemetry") {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
+        summarize_telemetry(path, &text)?;
         reported = true;
     }
-    let explicit = flag(args, "--history");
-    let history_path = explicit
-        .clone()
-        .unwrap_or_else(|| "BENCH_history.jsonl".into());
-    match std::fs::read_to_string(&history_path) {
+    let explicit = a.get("--history");
+    let history_path = explicit.unwrap_or("BENCH_history.jsonl");
+    match std::fs::read_to_string(history_path) {
         Ok(text) => {
             let rows = history::parse(&text)?;
             let mut benches: Vec<&str> = Vec::new();
@@ -529,8 +507,8 @@ fn summarize_telemetry(path: &str, text: &str) -> Result<(), String> {
 }
 
 fn cmd_analyze(args: &[String]) -> Result<(), String> {
-    let pos = positional(args);
-    let path = pos.first().ok_or_else(usage)?;
+    let a = cli::parse(args, &[], &[])?;
+    let path = a.positional(0).map_err(|_| usage())?;
     let g = load(path)?;
     let (_, degeneracy) = analysis::degeneracy_ordering(&g);
     let (lo, hi) = analysis::arboricity_bounds(&g);
@@ -549,6 +527,164 @@ fn cmd_analyze(args: &[String]) -> Result<(), String> {
             "neighborhood independence: {}",
             analysis::neighborhood_independence(&g)
         );
+    }
+    Ok(())
+}
+
+/// `ldc serve` — run the ldcd daemon (DESIGN.md §15) until it drains.
+fn cmd_serve(args: &[String]) -> Result<(), String> {
+    use ldc::daemon::server::{serve, ServerConfig};
+    let a = cli::parse(
+        args,
+        &["--shared-cache"],
+        &[
+            "--socket",
+            "--workers",
+            "--queue-cap",
+            "--solver-threads",
+            "--retry-after-ms",
+        ],
+    )?;
+    let mut cfg = ServerConfig::new(a.require("--socket")?);
+    cfg.workers = a.parse_or("--workers", cfg.workers)?;
+    cfg.queue_cap = a.parse_or("--queue-cap", cfg.queue_cap)?;
+    cfg.solver_threads = a.parse_or("--solver-threads", cfg.solver_threads)?;
+    cfg.shared_kernels = a.has("--shared-cache");
+    cfg.retry_after_ms = a.parse_or("--retry-after-ms", cfg.retry_after_ms)?;
+    cfg.heed_signals = true;
+    let handle = serve(cfg).map_err(|e| format!("serve: {e}"))?;
+    eprintln!(
+        "ldcd: listening on {} ({} worker(s), queue {}, solver threads {}{}); SIGTERM drains",
+        handle.socket_path().display(),
+        a.parse_or("--workers", 1usize)?,
+        a.parse_or("--queue-cap", 16usize)?,
+        a.parse_or("--solver-threads", 1usize)?,
+        if a.has("--shared-cache") {
+            ", shared kernel cache"
+        } else {
+            ""
+        },
+    );
+    while !handle.is_draining() {
+        std::thread::sleep(std::time::Duration::from_millis(50));
+    }
+    eprintln!("ldcd: draining (admitted jobs will complete)");
+    handle.join().map_err(|e| format!("drain: {e}"))?;
+    eprintln!("ldcd: drained, exiting");
+    Ok(())
+}
+
+/// `ldc loadgen` — RPS-ramp driver (E20) or closed-loop batch replay.
+fn cmd_loadgen(args: &[String]) -> Result<(), String> {
+    use ldc::daemon::loadgen::{self, LoadgenConfig};
+    let a = cli::parse(
+        args,
+        &["--smoke"],
+        &[
+            "--socket",
+            "--connections",
+            "--initial-rps",
+            "--increment-rps",
+            "--max-rps",
+            "--step-ms",
+            "--p95-ms",
+            "--job",
+            "--replay",
+            "--out",
+        ],
+    )?;
+    let socket = a.require("--socket")?;
+
+    if let Some(spec) = a.get("--replay") {
+        let text = std::fs::read_to_string(spec).map_err(|e| format!("read {spec}: {e}"))?;
+        let jobs = parse_spec_file(&text).map_err(|e| format!("{spec}: {e}"))?;
+        let rows = loadgen::replay(socket, &jobs).map_err(|e| format!("replay: {e}"))?;
+        let mut out = String::with_capacity(rows.iter().map(|r| r.len() + 1).sum());
+        for row in &rows {
+            out.push_str(row);
+            out.push('\n');
+        }
+        match a.get("--out") {
+            Some(path) => std::fs::write(path, &out).map_err(|e| format!("write {path}: {e}"))?,
+            None => print!("{out}"),
+        }
+        eprintln!("replayed {} job(s) through {socket}", rows.len());
+        return Ok(());
+    }
+
+    let mut cfg = if a.has("--smoke") {
+        LoadgenConfig::smoke(socket)
+    } else {
+        LoadgenConfig::new(socket)
+    };
+    cfg.connections = a.parse_or("--connections", cfg.connections)?;
+    cfg.initial_rps = a.parse_or("--initial-rps", cfg.initial_rps)?;
+    cfg.increment_rps = a.parse_or("--increment-rps", cfg.increment_rps)?;
+    cfg.max_rps = a.parse_or("--max-rps", cfg.max_rps)?;
+    cfg.step_ms = a.parse_or("--step-ms", cfg.step_ms)?;
+    cfg.p95_threshold_ms = a.parse_or("--p95-ms", cfg.p95_threshold_ms)?;
+    if let Some(spec) = a.get("--job") {
+        let text = std::fs::read_to_string(spec).map_err(|e| format!("read {spec}: {e}"))?;
+        let jobs = parse_spec_file(&text).map_err(|e| format!("{spec}: {e}"))?;
+        cfg.job = jobs
+            .into_iter()
+            .next()
+            .ok_or_else(|| format!("{spec}: no jobs (loadgen probes with the first)"))?;
+    }
+    let report = loadgen::run_ramp(&cfg).map_err(|e| format!("loadgen: {e}"))?;
+
+    let mut total_errors = 0u64;
+    for s in &report.steps {
+        total_errors += s.errors;
+        println!(
+            "step {:>2}: offered {:>5} rps ({} req) — ok {:>5}, busy {:>4}, errors {:>3}; p50 {} µs, p95 {} µs, p99 {} µs",
+            s.step,
+            s.rps,
+            s.requests,
+            s.ok,
+            s.busy,
+            s.errors,
+            s.latency.percentile(50.0) / 1000,
+            s.latency.percentile(95.0) / 1000,
+            s.latency.percentile(99.0) / 1000,
+        );
+    }
+    match report.knee_rps {
+        Some(rps) => println!("knee: offered load first fell behind at {rps} rps"),
+        None => println!(
+            "knee: not reached (service kept up through {} rps)",
+            cfg.max_rps
+        ),
+    }
+
+    if let Some(path) = a.get("--out") {
+        // E20 telemetry: per-step events whose det section is a pure
+        // function of the ramp config (step/rps/requests/errors-on-
+        // success); everything measured stays in timing.
+        let mut sink = EventSink::new();
+        sink.set_manifest(&RunManifest::capture("loadgen", 0, "E20"));
+        for s in &report.steps {
+            let det = Obj::new()
+                .u64("step", s.step)
+                .u64("rps", s.rps)
+                .u64("requests", s.requests)
+                .u64("errors", s.errors)
+                .finish();
+            let timing = Obj::new()
+                .u64("ok", s.ok)
+                .u64("busy", s.busy)
+                .u64("latency_p50_ns", s.latency.percentile(50.0))
+                .u64("latency_p95_ns", s.latency.percentile(95.0))
+                .u64("latency_p99_ns", s.latency.percentile(99.0))
+                .finish();
+            sink.emit("loadgen_step", det, timing);
+        }
+        sink.write_to(path)
+            .map_err(|e| format!("write {path}: {e}"))?;
+        eprintln!("wrote E20 telemetry to {path}");
+    }
+    if total_errors > 0 {
+        return Err(format!("{total_errors} request(s) errored during the ramp"));
     }
     Ok(())
 }

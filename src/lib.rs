@@ -5,5 +5,6 @@ pub use ldc_batch as batch;
 pub use ldc_bench as bench;
 pub use ldc_classic as classic;
 pub use ldc_core as core;
+pub use ldc_daemon as daemon;
 pub use ldc_graph as graph;
 pub use ldc_sim as sim;

@@ -1,13 +1,9 @@
 //! Integration tests for the fleet batch runner (DESIGN.md §10): shard
-//! invariance of the JSONL stream, graph-cache accounting, fault roll-up
-//! arithmetic, and equivalence of the deprecated entry-point shims with
-//! the unified `SolveOptions` surface.
+//! invariance of the JSONL stream, graph-cache accounting, and fault
+//! roll-up arithmetic.
 
 use ldc::batch::{Algorithm, FaultSpec, Fleet, GraphSource, JobSpec, ListSpec};
-use ldc::core::congest::{congest_degree_plus_one, CongestConfig};
-use ldc::core::edge_coloring::edge_coloring;
-use ldc::core::{FaultStats, SolveOptions};
-use ldc::sim::{FaultPlan, RetryPolicy, Tracer};
+use ldc::core::FaultStats;
 
 /// A mixed job list: repeated topologies, two algorithms, one faulted job.
 fn mixed_jobs() -> Vec<JobSpec> {
@@ -141,62 +137,4 @@ fn faulted_fleet_rollup_sums_per_job_reports() {
     assert!(saw_retries, "a 30% error rate must trigger retries");
     assert_eq!(run.summary.restarts, restarts);
     assert_eq!(run.summary.faults, faults);
-}
-
-#[test]
-#[allow(deprecated)]
-fn deprecated_shims_match_unified_surface() {
-    use ldc::core::congest::{congest_degree_plus_one_faulted, congest_degree_plus_one_traced};
-    use ldc::core::edge_coloring::edge_coloring_traced;
-    use ldc::graph::generators;
-
-    let g = generators::random_regular(60, 4, 8);
-    let space = 4 * (g.max_degree() as u64 + 1);
-    let lists: Vec<Vec<u64>> = g
-        .nodes()
-        .map(|v| {
-            let mut l: Vec<u64> = (0..g.degree(v) as u64 + 1)
-                .map(|i| (u64::from(v) * 29 + i * 83) % space)
-                .collect();
-            l.sort_unstable();
-            l.dedup();
-            let mut c = 0;
-            while l.len() < g.degree(v) + 1 {
-                if !l.contains(&c) {
-                    l.push(c);
-                }
-                c += 1;
-            }
-            l.sort_unstable();
-            l
-        })
-        .collect();
-    let cfg = CongestConfig::default();
-
-    let (c_new, r_new) =
-        congest_degree_plus_one(&g, space, &lists, &cfg, &SolveOptions::default()).unwrap();
-    let (c_old, r_old) =
-        congest_degree_plus_one_traced(&g, space, &lists, &cfg, Tracer::disabled()).unwrap();
-    assert_eq!(c_new, c_old);
-    assert_eq!(r_new.rounds_total(), r_old.rounds_total());
-    assert_eq!(r_new.bits_total, r_old.bits_total);
-
-    let plan = FaultPlan::new(7).with_drop_rate(0.05);
-    let retry = RetryPolicy {
-        max_retries: 8,
-        backoff_rounds: 1,
-    };
-    let opts = SolveOptions::default().with_faults(plan.clone(), retry);
-    let (c_new, r_new) = congest_degree_plus_one(&g, space, &lists, &cfg, &opts).unwrap();
-    let (c_old, r_old) =
-        congest_degree_plus_one_faulted(&g, space, &lists, &cfg, Tracer::disabled(), &plan, retry)
-            .unwrap();
-    assert_eq!(c_new, c_old);
-    assert_eq!(r_new.faults, r_old.faults);
-    assert!(r_new.faults.messages_dropped > 0, "the plan actually fired");
-
-    let ec_new = edge_coloring(&g, &cfg, &SolveOptions::default()).unwrap();
-    let ec_old = edge_coloring_traced(&g, &cfg, Tracer::disabled()).unwrap();
-    assert_eq!(ec_new.colors, ec_old.colors);
-    assert_eq!(ec_new.report.bits_total, ec_old.report.bits_total);
 }
