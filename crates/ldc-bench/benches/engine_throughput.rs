@@ -1,6 +1,7 @@
 //! Round-engine throughput bench: times `Network::exchange` hot-path
-//! workloads (sparse flood, dense clique, alternating message types)
-//! across the three executors and writes `BENCH_engine.json` at the repo
+//! workloads (sparse flood, dense clique, rings up to 5M nodes) across
+//! the three executors and a thread sweep (t = 1/2/4/8, keyed `mode@tN`
+//! like BENCH_solver.json), and writes `BENCH_engine.json` at the repo
 //! root, seeding the perf trajectory (`BENCH_*.json`).
 //!
 //! Self-contained harness (the workspace builds hermetically, so no
@@ -8,6 +9,11 @@
 //! node-steps/s is recorded. `--quick` shrinks instances and samples for
 //! the CI smoke step; a substring argument filters cases:
 //! `cargo bench --bench engine_throughput -- dense`.
+//!
+//! `--scale-smoke` runs the bounded million-node determinism smoke
+//! instead of timing: a 1M-node ring with a t = 1/2 sweep plus a 10M-node
+//! ring round, byte-diffing final states across serial/pooled/scoped —
+//! the CI `engine-scale-smoke` job. Exit code 1 on any divergence.
 
 use ldc_graph::{generators, Graph};
 use ldc_sim::json::json_string;
@@ -19,6 +25,7 @@ use std::time::Instant;
 struct Case {
     name: String,
     mode: &'static str,
+    threads: usize,
     rounds: usize,
     nodes: usize,
     slots: usize,
@@ -26,12 +33,19 @@ struct Case {
     node_steps_per_sec: f64,
 }
 
-/// Run `rounds` mixing rounds on `g` under `mode` and return wall seconds.
-fn run_workload(g: &Graph, mode: ExecMode, threshold: usize, rounds: usize) -> f64 {
+/// Run `rounds` mixing rounds on `g` under `mode` with `threads` workers;
+/// returns wall seconds and the final states (for cross-mode byte-diffs).
+fn run_workload(
+    g: &Graph,
+    mode: ExecMode,
+    threads: usize,
+    threshold: usize,
+    rounds: usize,
+) -> (f64, Vec<u64>) {
     let mut net = Network::new(g, Bandwidth::Local);
     net.set_exec_mode(mode);
     net.set_parallel_threshold(threshold);
-    net.set_threads(default_threads().max(2));
+    net.set_threads(threads);
     let mut states: Vec<u64> = g.nodes().map(u64::from).collect();
     // Warm-up round: wire buffers allocate here, pool workers spawn here.
     exchange_round(&mut net, &mut states);
@@ -40,8 +54,7 @@ fn run_workload(g: &Graph, mode: ExecMode, threshold: usize, rounds: usize) -> f
         exchange_round(&mut net, &mut states);
     }
     let elapsed = t0.elapsed().as_secs_f64();
-    black_box(states);
-    elapsed
+    (elapsed, states)
 }
 
 fn exchange_round(net: &mut Network<'_>, states: &mut [u64]) {
@@ -63,25 +76,84 @@ fn exchange_round(net: &mut Network<'_>, states: &mut [u64]) {
     .expect("LOCAL exchange cannot fail");
 }
 
+/// The bounded engine-scale smoke: million-node workloads, t = 1/2 sweep,
+/// byte-identical final states across every executor. Returns failures.
+fn scale_smoke() -> Vec<String> {
+    let mut failures = Vec::new();
+    // 1M-node ring, 3 rounds, full executor × thread matrix.
+    let ring_1m = generators::ring(1_000_000);
+    println!("scale-smoke: ring_1m generated ({} nodes)", 1_000_000);
+    let (_, reference) = run_workload(&ring_1m, ExecMode::Sequential, 1, usize::MAX, 3);
+    for (mname, mode) in [("pooled", ExecMode::Pooled), ("scoped", ExecMode::Scoped)] {
+        for threads in [1usize, 2] {
+            let (secs, states) = run_workload(&ring_1m, mode, threads, 0, 3);
+            let verdict = if states == reference {
+                "ok"
+            } else {
+                "DIVERGED"
+            };
+            println!("scale-smoke: ring_1m/{mname}@t{threads} {secs:.3}s  {verdict}");
+            if states != reference {
+                failures.push(format!("ring_1m/{mname}@t{threads}: states diverged"));
+            }
+        }
+    }
+    // 10M-node ring: one round per executor, still byte-identical. This is
+    // the memory-scaling probe — the streaming generator builds the CSR in
+    // one pass and a round is ~20M slots.
+    let ring_10m = generators::ring(10_000_000);
+    println!("scale-smoke: ring_10m generated ({} nodes)", 10_000_000);
+    let (_, reference) = run_workload(&ring_10m, ExecMode::Sequential, 1, usize::MAX, 1);
+    let (secs, states) = run_workload(&ring_10m, ExecMode::Pooled, 2, 0, 1);
+    let verdict = if states == reference {
+        "ok"
+    } else {
+        "DIVERGED"
+    };
+    println!("scale-smoke: ring_10m/pooled@t2 {secs:.3}s  {verdict}");
+    if states != reference {
+        failures.push("ring_10m/pooled@t2: states diverged".to_string());
+    }
+    failures
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
+    if args.iter().any(|a| a == "--scale-smoke") {
+        let failures = scale_smoke();
+        if failures.is_empty() {
+            println!("scale-smoke: PASS");
+            return;
+        }
+        for f in &failures {
+            eprintln!("scale-smoke: FAIL {f}");
+        }
+        std::process::exit(1);
+    }
     let filter = args.iter().find(|a| !a.starts_with("--")).cloned();
     let samples = if quick { 3 } else { 7 };
 
-    // (name, graph, rounds): a sparse flood (the E9 workload), a dense
-    // clique (small n, huge work — the regime the old node-count switch
-    // kept sequential), and a ring (tiny work; must not pay parallel
-    // overhead).
-    let workloads: Vec<(String, Graph, usize)> = if quick {
+    // (name, graph, rounds, samples): a sparse flood (the E9 workload), a
+    // dense clique (small n, huge work — the regime the old node-count
+    // switch kept sequential), a ring (tiny per-node work), and in the
+    // full tier the million-node workloads (few rounds / samples — each
+    // round is already millions of node-steps, so medians are stable).
+    let workloads: Vec<(String, Graph, usize, usize)> = if quick {
         vec![
             (
                 "sparse_gnp_10k".into(),
                 generators::gnp(10_000, 8.0 / 10_000.0, 31),
                 10,
+                samples,
             ),
-            ("dense_complete_300".into(), generators::complete(300), 10),
-            ("ring_20k".into(), generators::ring(20_000), 10),
+            (
+                "dense_complete_300".into(),
+                generators::complete(300),
+                10,
+                samples,
+            ),
+            ("ring_20k".into(), generators::ring(20_000), 10, samples),
         ]
     } else {
         vec![
@@ -89,34 +161,69 @@ fn main() {
                 "sparse_gnp_100k".into(),
                 generators::gnp(100_000, 8.0 / 100_000.0, 31),
                 20,
+                samples,
             ),
-            ("dense_complete_1000".into(), generators::complete(1000), 20),
-            ("ring_200k".into(), generators::ring(200_000), 20),
+            (
+                "dense_complete_1000".into(),
+                generators::complete(1000),
+                20,
+                samples,
+            ),
+            ("ring_200k".into(), generators::ring(200_000), 20, samples),
+            (
+                "gnp_1m".into(),
+                generators::gnp(1_000_000, 8.0 / 1_000_000.0, 31),
+                5,
+                3,
+            ),
+            ("ring_5m".into(), generators::ring(5_000_000), 3, 3),
         ]
     };
 
-    let modes = [
-        ("serial", ExecMode::Sequential, usize::MAX),
-        ("pooled", ExecMode::Pooled, 0usize),
-        ("scoped", ExecMode::Scoped, 0usize),
-    ];
+    // Serial is thread-independent (one row); the parallel executors sweep
+    // t = 1/2/4/8 — `t1` doubles as the overhead-neutrality baseline the
+    // efficiency gate compares against.
+    let sweep: &[usize] = &[1, 2, 4, 8];
+    let modes: Vec<(&'static str, ExecMode, usize, usize)> = {
+        let mut m: Vec<(&'static str, ExecMode, usize, usize)> =
+            vec![("serial", ExecMode::Sequential, 1, usize::MAX)];
+        for &t in sweep {
+            m.push(("pooled", ExecMode::Pooled, t, 0));
+            m.push(("scoped", ExecMode::Scoped, t, 0));
+        }
+        m
+    };
 
     let mut cases: Vec<Case> = Vec::new();
-    for (wname, g, rounds) in &workloads {
+    for (wname, g, rounds, wsamples) in &workloads {
         let slots: usize = g.nodes().map(|v| g.degree(v)).sum();
-        for (mname, mode, threshold) in modes {
-            let full = format!("{wname}/{mname}");
-            if let Some(f) = &filter {
-                if !full.contains(f.as_str()) {
-                    continue;
+        let selected: Vec<(String, &'static str, ExecMode, usize, usize)> = modes
+            .iter()
+            .filter_map(|&(mname, mode, threads, threshold)| {
+                let full = format!("{wname}/{mname}@t{threads}");
+                match &filter {
+                    Some(f) if !full.contains(f.as_str()) => None,
+                    _ => Some((full, mname, mode, threads, threshold)),
                 }
+            })
+            .collect();
+        // Samples are interleaved round-robin across the mode sweep (all
+        // modes' sample 0, then all modes' sample 1, …) so time-correlated
+        // host noise — a slow minute on a shared core — lands on every
+        // mode equally instead of skewing one mode's whole block. The
+        // serial-vs-sweep efficiency ratios the gate checks are only as
+        // trustworthy as this pairing.
+        let mut times: Vec<Vec<f64>> = vec![Vec::new(); selected.len()];
+        for _ in 0..*wsamples {
+            for (i, &(_, _, mode, threads, threshold)) in selected.iter().enumerate() {
+                times[i].push(run_workload(g, mode, threads, threshold, *rounds).0);
             }
-            let mut times: Vec<f64> = (0..samples)
-                .map(|_| run_workload(g, mode, threshold, *rounds))
-                .collect();
-            times.sort_by(|a, b| a.partial_cmp(b).expect("finite times"));
-            let median = times[times.len() / 2];
+        }
+        for ((full, mname, _, threads, _), mut samples) in selected.into_iter().zip(times) {
+            samples.sort_by(|a, b| a.partial_cmp(b).expect("finite times"));
+            let median = samples[samples.len() / 2];
             let steps = (g.num_nodes() * rounds) as f64;
+            black_box(&samples);
             println!(
                 "{full:<36} median {:>9.3} ms  {:>9.2} M node-steps/s",
                 median * 1000.0,
@@ -125,6 +232,7 @@ fn main() {
             cases.push(Case {
                 name: wname.clone(),
                 mode: mname,
+                threads,
                 rounds: *rounds,
                 nodes: g.num_nodes(),
                 slots,
@@ -152,9 +260,10 @@ fn main() {
     out.push_str("  \"cases\": [\n");
     for (i, c) in cases.iter().enumerate() {
         out.push_str(&format!(
-            "    {{\"workload\": {}, \"mode\": {}, \"nodes\": {}, \"slots\": {}, \"rounds\": {}, \"median_secs\": {:.6}, \"node_steps_per_sec\": {:.0}}}{}\n",
+            "    {{\"workload\": {}, \"mode\": {}, \"threads\": {}, \"nodes\": {}, \"slots\": {}, \"rounds\": {}, \"median_secs\": {:.6}, \"node_steps_per_sec\": {:.0}}}{}\n",
             json_string(&c.name),
             json_string(c.mode),
+            c.threads,
             c.nodes,
             c.slots,
             c.rounds,

@@ -97,6 +97,57 @@ fn parse_rows(json: &str) -> Vec<Row> {
     rows
 }
 
+/// Gate parallel-vs-serial scaling efficiency on the *fresh* run: for
+/// every thread-sweep row (`mode@tN`) with a `serial` sibling on the same
+/// workload, `efficiency = serial_median / sweep_median` must be at least
+/// `floor`. An efficiency of 1.0 means the parallel executor matches
+/// serial; below the floor means chunking/dispatch overhead is eating the
+/// round — the dense-graph pooled regression this PR fixes would show up
+/// here as `dense_complete_1000/pooled@t2 < 1`. On a single-core CI host
+/// true speedups are impossible, so the floor gates *overhead-neutrality*
+/// (ratios near 1), not speedup.
+///
+/// `max_threads > 0` restricts the gate to sweep rows with `tN <= max`:
+/// oversubscribed widths (t = 4/8 on a 2-core runner) pay real
+/// scheduling overhead that is a property of the host, not the engine,
+/// so CI gates the widths the runner can actually service and the wider
+/// rows remain report-only.
+fn gate_efficiency(fresh: &[Row], floor: f64, max_threads: usize) -> (Vec<String>, Vec<String>) {
+    let mut report = Vec::new();
+    let mut failures = Vec::new();
+    for f in fresh {
+        let Some(threads) = f
+            .mode
+            .rsplit_once("@t")
+            .and_then(|(_, t)| t.parse::<usize>().ok())
+        else {
+            continue;
+        };
+        if max_threads > 0 && threads > max_threads {
+            continue;
+        }
+        let Some(serial) = fresh
+            .iter()
+            .find(|s| s.workload == f.workload && s.mode == "serial")
+        else {
+            continue;
+        };
+        let efficiency = serial.median_secs / f.median_secs;
+        let verdict = if efficiency < floor { "FAIL" } else { "ok" };
+        report.push(format!(
+            "{verdict:>4}  {}/{:<20} efficiency {efficiency:.3} vs serial (floor {floor:.3})",
+            f.workload, f.mode,
+        ));
+        if efficiency < floor {
+            failures.push(format!(
+                "{}/{}: scaling efficiency {efficiency:.3} below floor {floor:.3}",
+                f.workload, f.mode,
+            ));
+        }
+    }
+    (report, failures)
+}
+
 /// Compare fresh rows against the baseline. Returns one report line per
 /// comparison and the list of failures (empty = gate passes).
 fn gate(baseline: &[Row], fresh: &[Row], tolerance: f64) -> (Vec<String>, Vec<String>) {
@@ -145,13 +196,20 @@ fn gate(baseline: &[Row], fresh: &[Row], tolerance: f64) -> (Vec<String>, Vec<St
 }
 
 fn main() -> ExitCode {
-    const USAGE: &str =
-        "usage: bench_gate --baseline <json> --fresh <json> [--tolerance 0.25] [--history <jsonl>]";
+    const USAGE: &str = "usage: bench_gate --baseline <json> --fresh <json> [--tolerance 0.25] \
+         [--efficiency-floor 0.8] [--efficiency-max-threads 2] [--history <jsonl>]";
     let args: Vec<String> = std::env::args().skip(1).collect();
     let parsed = match cli::parse(
         &args,
         &[],
-        &["--baseline", "--fresh", "--tolerance", "--history"],
+        &[
+            "--baseline",
+            "--fresh",
+            "--tolerance",
+            "--efficiency-floor",
+            "--efficiency-max-threads",
+            "--history",
+        ],
     ) {
         Ok(p) => p,
         Err(e) => {
@@ -167,6 +225,22 @@ fn main() -> ExitCode {
         }
     };
     let tolerance: f64 = match parsed.parse_or("--tolerance", 0.25) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("{e}\n{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+    // 0.0 disables the efficiency gate (every ratio passes).
+    let efficiency_floor: f64 = match parsed.parse_or("--efficiency-floor", 0.0) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("{e}\n{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+    // 0 = gate every sweep width; CI caps at the runner's real core count.
+    let efficiency_max_threads: usize = match parsed.parse_or("--efficiency-max-threads", 0) {
         Ok(t) => t,
         Err(e) => {
             eprintln!("{e}\n{USAGE}");
@@ -215,9 +289,17 @@ fn main() -> ExitCode {
     }
 
     println!("bench_gate: {baseline_path} vs {fresh_path} (tolerance {tolerance})");
-    let (report, failures) = gate(&baseline, &fresh, tolerance);
+    let (report, mut failures) = gate(&baseline, &fresh, tolerance);
     for line in &report {
         println!("{line}");
+    }
+    if efficiency_floor > 0.0 {
+        let (eff_report, eff_failures) =
+            gate_efficiency(&fresh, efficiency_floor, efficiency_max_threads);
+        for line in &eff_report {
+            println!("{line}");
+        }
+        failures.extend(eff_failures);
     }
     if failures.is_empty() {
         println!("bench_gate: PASS ({} rows gated)", baseline.len());
@@ -293,6 +375,83 @@ mod tests {
         let (_, failures) = gate(&baseline, &fresh, 0.25);
         assert_eq!(failures.len(), 1);
         assert!(failures[0].contains("missing"), "{failures:?}");
+    }
+
+    /// Thread-sweep rows fold `threads` into the mode key (`mode@tN`) so
+    /// each pool width is gated separately; t = 1 and absent stay bare.
+    #[test]
+    fn thread_sweep_rows_get_mode_at_t_keys() {
+        let json = r#"{"cases": [
+            {"workload": "w", "mode": "serial", "threads": 1, "median_secs": 0.1},
+            {"workload": "w", "mode": "pooled", "threads": 4, "median_secs": 0.05}
+        ]}"#;
+        let rows = parse_rows(json);
+        assert_eq!(rows[0].mode, "serial");
+        assert_eq!(rows[1].mode, "pooled@t4");
+    }
+
+    fn eff_rows() -> Vec<Row> {
+        vec![
+            Row {
+                workload: "dense".into(),
+                mode: "serial".into(),
+                median_secs: 0.10,
+            },
+            Row {
+                workload: "dense".into(),
+                mode: "pooled@t2".into(),
+                median_secs: 0.10,
+            },
+            Row {
+                workload: "dense".into(),
+                mode: "pooled@t4".into(),
+                median_secs: 0.20,
+            },
+            Row {
+                workload: "orphan".into(),
+                mode: "pooled@t2".into(),
+                median_secs: 9.0,
+            },
+        ]
+    }
+
+    #[test]
+    fn efficiency_gate_fails_below_floor() {
+        // pooled@t2 has efficiency 1.0 (passes); pooled@t4 has 0.5 (fails
+        // a 0.8 floor); the orphan workload has no serial row → skipped.
+        let (report, failures) = gate_efficiency(&eff_rows(), 0.8, 0);
+        assert_eq!(failures.len(), 1, "{failures:?}");
+        assert!(failures[0].contains("dense/pooled@t4"), "{failures:?}");
+        assert_eq!(report.len(), 2, "serial and orphan rows are not gated");
+    }
+
+    #[test]
+    fn efficiency_gate_passes_at_parity() {
+        let rows = vec![
+            Row {
+                workload: "w".into(),
+                mode: "serial".into(),
+                median_secs: 0.1,
+            },
+            Row {
+                workload: "w".into(),
+                mode: "scoped@t8".into(),
+                median_secs: 0.09,
+            },
+        ];
+        let (_, failures) = gate_efficiency(&rows, 0.9, 0);
+        assert!(failures.is_empty(), "{failures:?}");
+    }
+
+    /// `--efficiency-max-threads` leaves oversubscribed widths report-free
+    /// and ungated: with the cap at 2, the failing pooled@t4 row is
+    /// skipped entirely.
+    #[test]
+    fn efficiency_gate_respects_thread_cap() {
+        let (report, failures) = gate_efficiency(&eff_rows(), 0.8, 2);
+        assert!(failures.is_empty(), "{failures:?}");
+        assert_eq!(report.len(), 1, "only pooled@t2 is inspected");
+        assert!(report[0].contains("pooled@t2"), "{report:?}");
     }
 
     #[test]

@@ -769,6 +769,38 @@ pub fn expand(suite_seed: u64) -> Vec<Scenario> {
             seed,
         });
     }
+
+    // Large-graph cell (full tier only): one 200k-node ring solve, pooled.
+    // The grid tops out at n = 48, so without this cell the soak never
+    // exercises the compact wire layout, the streaming ring generator, or
+    // degree-aware chunk shaping at a size where they engage (~400k wire
+    // slots per round). Degree+1 lists keep the palette tiny, so the cell
+    // stays inside the nightly budget.
+    {
+        let index = out.len();
+        let seed = scenario_seed(suite_seed, index);
+        let mut chain = seed;
+        let jobs: Vec<JobSpec> = (0..2u32)
+            .map(|_| JobSpec {
+                graph: GraphSource::Ring { n: 200_000 },
+                algorithm: Algorithm::Congest,
+                lists: ListSpec::default(),
+                seed: splitmix64(&mut chain),
+                faults: None,
+            })
+            .collect();
+        out.push(Scenario {
+            id: "large-ring200k-congest".into(),
+            index,
+            smoke: false,
+            jobs,
+            exec: ExecMode::Pooled,
+            solver_threads: 2,
+            shared_kernels: true,
+            expect: Expect::Solve,
+            seed,
+        });
+    }
     out
 }
 

@@ -4,7 +4,7 @@
 //! seed)` pair always yields the same graph, on every platform, so the
 //! experiment tables in `EXPERIMENTS.md` are reproducible bit-for-bit.
 
-use crate::builder::{from_edges, GraphBuilder};
+use crate::builder::{from_edges, from_sorted_edge_stream, BuildError, GraphBuilder, MAX_EDGES};
 use crate::graph::{Graph, NodeId};
 use ldc_rand::Rng;
 
@@ -13,13 +13,30 @@ fn rng(seed: u64) -> Rng {
 }
 
 /// The `n`-cycle (ring network of Linial's lower bound), `n >= 3`.
-pub fn ring(n: usize) -> Graph {
+///
+/// Streams edges straight into the final CSR (never materializes an edge
+/// list), so multi-million-node rings cost one `O(n)` pass plus the graph
+/// itself. Byte-identical to the historical builder path: emission order
+/// `(0,1), (0,n-1), (1,2), …, (n-2,n-1)` is exactly what sorting the
+/// normalized cycle edges produces, so edge ids match.
+pub fn try_ring(n: usize) -> Result<Graph, BuildError> {
     assert!(n >= 3, "a ring needs at least 3 nodes");
-    let mut b = GraphBuilder::with_capacity(n, n);
-    for v in 0..n {
-        b.add_edge(v as NodeId, ((v + 1) % n) as NodeId);
+    if n > MAX_EDGES {
+        // n nodes ⇒ n edges; half-edge slots (2n) must fit u32.
+        return Err(BuildError::TooLarge { nodes: n, edges: n });
     }
-    b.build().expect("ring is simple")
+    from_sorted_edge_stream(n, |emit| {
+        emit(0, 1);
+        emit(0, (n - 1) as NodeId);
+        for v in 1..(n - 1) {
+            emit(v as NodeId, (v + 1) as NodeId);
+        }
+    })
+}
+
+/// Panicking convenience wrapper around [`try_ring`].
+pub fn ring(n: usize) -> Graph {
+    try_ring(n).expect("ring fits the u32 id space")
 }
 
 /// The path on `n` nodes.
@@ -32,14 +49,31 @@ pub fn path(n: usize) -> Graph {
 }
 
 /// The complete graph `K_n` (the tight instance for the existence lemmas).
-pub fn complete(n: usize) -> Graph {
-    let mut b = GraphBuilder::with_capacity(n, n * n / 2);
-    for u in 0..n {
-        for v in (u + 1)..n {
-            b.add_edge(u as NodeId, v as NodeId);
-        }
+///
+/// Checks `n(n-1)/2 ≤ MAX_EDGES` with checked arithmetic *before* any
+/// allocation — a huge `n` returns [`BuildError::TooLarge`] instead of
+/// OOM-aborting — then streams the pairs in lexicographic order into the
+/// final CSR.
+pub fn try_complete(n: usize) -> Result<Graph, BuildError> {
+    let m = match n.checked_mul(n.saturating_sub(1)) {
+        Some(nn) => nn / 2,
+        None => usize::MAX, // the count itself overflowed
+    };
+    if m > MAX_EDGES {
+        return Err(BuildError::TooLarge { nodes: n, edges: m });
     }
-    b.build().expect("clique is simple")
+    from_sorted_edge_stream(n, |emit| {
+        for u in 0..n {
+            for v in (u + 1)..n {
+                emit(u as NodeId, v as NodeId);
+            }
+        }
+    })
+}
+
+/// Panicking convenience wrapper around [`try_complete`].
+pub fn complete(n: usize) -> Graph {
+    try_complete(n).expect("clique fits the u32 id space")
 }
 
 /// The star `K_{1,n-1}` centered at node 0.
@@ -67,36 +101,65 @@ pub fn complete_bipartite(a: usize, b: usize) -> Graph {
 /// (part `i` holds nodes `i*size .. (i+1)*size`): every pair of nodes from
 /// different parts is adjacent. Same-part nodes are interchangeable, which
 /// makes this the canonical dense instance with few node *types*.
-pub fn complete_multipartite(parts: usize, size: usize) -> Graph {
-    let n = parts * size;
-    let cross = parts * (parts.saturating_sub(1)) / 2 * size * size;
-    let mut builder = GraphBuilder::with_capacity(n, cross);
-    for pu in 0..parts {
-        for pv in (pu + 1)..parts {
-            for u in 0..size {
-                for v in 0..size {
-                    builder.add_edge((pu * size + u) as NodeId, (pv * size + v) as NodeId);
-                }
+///
+/// Checked size arithmetic up front (typed [`BuildError::TooLarge`]
+/// instead of an OOM abort), then a lexicographic stream: for each node
+/// `a`, every `b > a` outside `a`'s part — the order the historical
+/// sort-then-build path produced, so edge ids are byte-identical.
+pub fn try_complete_multipartite(parts: usize, size: usize) -> Result<Graph, BuildError> {
+    let n = parts.saturating_mul(size);
+    let cross = parts
+        .checked_mul(parts.saturating_sub(1))
+        .map(|pp| pp / 2)
+        .and_then(|pairs| pairs.checked_mul(size))
+        .and_then(|ps| ps.checked_mul(size))
+        .unwrap_or(usize::MAX);
+    if n == usize::MAX || cross > MAX_EDGES {
+        return Err(BuildError::TooLarge {
+            nodes: n,
+            edges: cross,
+        });
+    }
+    from_sorted_edge_stream(n, |emit| {
+        for a in 0..n {
+            // b ranges over every node after a's own part; same-part
+            // successors of a are exactly (a+1)..(pa+1)*size.
+            let next_part = (a / size + 1) * size;
+            for b in next_part..n {
+                emit(a as NodeId, b as NodeId);
             }
         }
-    }
-    builder.build().expect("complete multipartite is simple")
+    })
+}
+
+/// Panicking convenience wrapper around [`try_complete_multipartite`].
+pub fn complete_multipartite(parts: usize, size: usize) -> Graph {
+    try_complete_multipartite(parts, size).expect("multipartite fits the u32 id space")
 }
 
 /// Erdős–Rényi `G(n, p)`.
-pub fn gnp(n: usize, p: f64, seed: u64) -> Graph {
+///
+/// Geometric skipping visits each sampled pair exactly once in strictly
+/// increasing lexicographic order, which is precisely the contract of
+/// [`from_sorted_edge_stream`]: the sampler is re-seeded and re-run for
+/// the count and fill passes (drawing the identical sequence), so a
+/// million-node `G(n, p)` never materializes an intermediate edge list.
+/// Seeded graphs are byte-identical to the historical builder path.
+pub fn try_gnp(n: usize, p: f64, seed: u64) -> Result<Graph, BuildError> {
     assert!((0.0..=1.0).contains(&p), "p must be a probability");
-    let mut r = rng(seed);
-    let mut b = GraphBuilder::new(n);
     if p >= 1.0 {
-        return complete(n);
+        return try_complete(n);
     }
-    if p > 0.0 {
+    from_sorted_edge_stream(n, |emit| {
+        if p <= 0.0 {
+            return;
+        }
         // Geometric skipping: visit each potential edge once in expectation
         // O(pn²) time. Indices are strictly increasing across the skip
         // loop, so the (row, offset) cursor advances monotonically instead
         // of rescanning rows from u = 0 per edge — unranking all m edges is
         // O(n + m) total rather than O(n·m).
+        let mut r = rng(seed);
         let ln_q = (1.0 - p).ln();
         let total = n.saturating_mul(n.saturating_sub(1)) / 2;
         let mut cursor = PairCursor::new(n);
@@ -112,11 +175,15 @@ pub fn gnp(n: usize, p: f64, seed: u64) -> Graph {
                 break;
             }
             let (u, v) = cursor.advance_to(idx);
-            b.add_edge(u, v);
+            emit(u, v);
             idx += 1;
         }
-    }
-    b.build().expect("G(n,p) is simple")
+    })
+}
+
+/// Panicking convenience wrapper around [`try_gnp`].
+pub fn gnp(n: usize, p: f64, seed: u64) -> Graph {
+    try_gnp(n, p, seed).expect("G(n,p) fits the u32 id space")
 }
 
 /// Map a linear index in `0..n(n-1)/2` to the pair `(u, v)`, `u < v`.
@@ -603,6 +670,132 @@ mod tests {
         // Degenerate shapes.
         assert_eq!(complete_multipartite(1, 5).num_edges(), 0);
         assert_eq!(complete_multipartite(3, 1).num_edges(), 3);
+    }
+
+    /// Streaming generators must stay byte-identical to the historical
+    /// sort-then-build path — every seeded experiment table depends on
+    /// edge ids and adjacency order not shifting. The references below are
+    /// the pre-streaming generator bodies, inlined.
+    #[test]
+    fn streamed_ring_matches_builder_path() {
+        for n in [3usize, 4, 7, 64] {
+            let mut b = GraphBuilder::with_capacity(n, n);
+            for v in 0..n {
+                b.add_edge(v as NodeId, ((v + 1) % n) as NodeId);
+            }
+            assert_eq!(ring(n), b.build().unwrap(), "ring({n})");
+        }
+    }
+
+    #[test]
+    fn streamed_complete_matches_builder_path() {
+        for n in [0usize, 1, 2, 9, 40] {
+            let mut b = GraphBuilder::with_capacity(n, n * n / 2);
+            for u in 0..n {
+                for v in (u + 1)..n {
+                    b.add_edge(u as NodeId, v as NodeId);
+                }
+            }
+            assert_eq!(complete(n), b.build().unwrap(), "complete({n})");
+        }
+    }
+
+    #[test]
+    fn streamed_multipartite_matches_builder_path() {
+        for (parts, size) in [(1usize, 5usize), (3, 1), (4, 3), (2, 10), (5, 7)] {
+            let mut b = GraphBuilder::new(parts * size);
+            for pu in 0..parts {
+                for pv in (pu + 1)..parts {
+                    for u in 0..size {
+                        for v in 0..size {
+                            b.add_edge((pu * size + u) as NodeId, (pv * size + v) as NodeId);
+                        }
+                    }
+                }
+            }
+            assert_eq!(
+                complete_multipartite(parts, size),
+                b.build().unwrap(),
+                "multipartite({parts},{size})"
+            );
+        }
+    }
+
+    #[test]
+    fn streamed_gnp_matches_builder_path() {
+        for (n, p, seed) in [
+            (50usize, 0.2f64, 42u64),
+            (200, 0.05, 9),
+            (30, 0.9, 7),
+            (20, 0.0, 1),
+        ] {
+            let mut r = rng(seed);
+            let mut b = GraphBuilder::new(n);
+            if p > 0.0 {
+                let ln_q = (1.0 - p).ln();
+                let total = n * (n - 1) / 2;
+                let mut idx = 0usize;
+                loop {
+                    let u: f64 = r.gen_range(f64::EPSILON..1.0);
+                    idx += (u.ln() / ln_q).floor() as usize;
+                    if idx >= total {
+                        break;
+                    }
+                    let (u, v) = unrank_pair(idx, n);
+                    b.add_edge(u, v);
+                    idx += 1;
+                }
+            }
+            assert_eq!(gnp(n, p, seed), b.build().unwrap(), "gnp({n},{p},{seed})");
+        }
+    }
+
+    /// Oversized requests must come back as typed errors *before* any
+    /// proportional allocation, not OOM-abort. The boundary is
+    /// `MAX_EDGES = u32::MAX / 2` (half-edge slots are u32-indexed).
+    #[test]
+    fn oversized_generators_return_too_large() {
+        use crate::builder::MAX_EDGES;
+        // K_65536 has 2_147_450_880 ≤ MAX_EDGES pairs; K_65537 crosses it.
+        const _: () = assert!(65_537usize * 65_536 / 2 > MAX_EDGES);
+        assert!(matches!(
+            try_complete(65_537),
+            Err(BuildError::TooLarge { nodes: 65_537, .. })
+        ));
+        // n(n-1) overflows usize entirely.
+        assert!(matches!(
+            try_complete(usize::MAX),
+            Err(BuildError::TooLarge { .. })
+        ));
+        // 46_342² cross edges > MAX_EDGES.
+        assert!(matches!(
+            try_complete_multipartite(2, 46_342),
+            Err(BuildError::TooLarge { .. })
+        ));
+        assert!(matches!(
+            try_complete_multipartite(usize::MAX, 2),
+            Err(BuildError::TooLarge { .. })
+        ));
+        // A ring needs 2n half-edge slots.
+        assert!(matches!(
+            try_ring(MAX_EDGES + 1),
+            Err(BuildError::TooLarge { .. })
+        ));
+        // gnp guards the node-id space before allocating its degree table,
+        // and p = 1 routes through the complete() guard.
+        assert!(matches!(
+            try_gnp(u32::MAX as usize + 1, 0.5, 1),
+            Err(BuildError::TooLarge { .. })
+        ));
+        assert!(matches!(
+            try_gnp(65_537, 1.0, 1),
+            Err(BuildError::TooLarge { .. })
+        ));
+        // Small instances still succeed through the same paths.
+        assert_eq!(try_complete(5).unwrap().num_edges(), 10);
+        assert_eq!(try_ring(5).unwrap().num_edges(), 5);
+        assert_eq!(try_complete_multipartite(2, 2).unwrap().num_edges(), 4);
+        assert_eq!(try_gnp(10, 0.0, 1).unwrap().num_edges(), 0);
     }
 
     #[test]

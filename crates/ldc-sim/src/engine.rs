@@ -6,6 +6,8 @@ use crate::metrics::{Metrics, RoundStats};
 use crate::par::{default_threads, scoped_for_each_chunk};
 use crate::pool::{pool_execute, DisjointChunks, MAX_CHUNKS};
 use crate::trace::Tracer;
+use crate::wire::WireBuf;
+pub use crate::wire::{Inbox, Outbox};
 use ldc_graph::{Graph, NodeId};
 use std::any::{Any, TypeId};
 use std::fmt;
@@ -91,72 +93,6 @@ impl fmt::Display for SimError {
 
 impl std::error::Error for SimError {}
 
-/// Write-side of a node's per-round communication: one slot per port.
-pub struct Outbox<'a, M> {
-    slots: &'a mut [Option<M>],
-}
-
-impl<'a, M> Outbox<'a, M> {
-    /// Send `msg` to the neighbor at `port` (index into `neighbors(v)`).
-    /// Overwrites any message previously placed on that port this round.
-    #[inline]
-    pub fn send(&mut self, port: usize, msg: M) {
-        self.slots[port] = Some(msg);
-    }
-
-    /// Number of ports (the node's degree).
-    #[inline]
-    pub fn ports(&self) -> usize {
-        self.slots.len()
-    }
-}
-
-impl<'a, M: Clone> Outbox<'a, M> {
-    /// Send the same message to every neighbor (costs one message per edge,
-    /// as in the model).
-    pub fn broadcast(&mut self, msg: &M) {
-        for slot in self.slots.iter_mut() {
-            *slot = Some(msg.clone());
-        }
-    }
-}
-
-/// Read-side of a node's per-round communication: one slot per port.
-///
-/// Reads route through the network's half-edge involution, so delivery
-/// needs no per-round swap pass over the wire buffer: the message received
-/// on port `p` is looked up directly in the sender's outbox slot.
-pub struct Inbox<'a, M> {
-    wire: &'a [Option<M>],
-    reverse: &'a [usize],
-    base: usize,
-    ports: usize,
-}
-
-impl<'a, M> Inbox<'a, M> {
-    /// The message received from the neighbor at `port`, if any.
-    #[inline]
-    pub fn get(&self, port: usize) -> Option<&'a M> {
-        assert!(port < self.ports, "port {port} out of range");
-        self.wire[self.reverse[self.base + port]].as_ref()
-    }
-
-    /// Iterate over `(port, message)` pairs of received messages.
-    pub fn iter(&self) -> impl Iterator<Item = (usize, &'a M)> + '_ {
-        (0..self.ports).filter_map(|p| {
-            self.wire[self.reverse[self.base + p]]
-                .as_ref()
-                .map(|m| (p, m))
-        })
-    }
-
-    /// Number of ports (the node's degree).
-    #[inline]
-    pub fn ports(&self) -> usize {
-        self.ports
-    }
-}
-
 /// Run one phase's chunks on the executor selected by `mode` (inline when
 /// the round is not parallel).
 fn dispatch(
@@ -191,25 +127,31 @@ struct ChunkOutcome {
     violation: Option<(NodeId, usize, u64)>,
 }
 
-/// Half-edge slots a parallel chunk should carry. Chunks are sized by
-/// *work* (slots), not node count: on a dense graph (`dense_complete_1000`:
-/// 1000 nodes, ~1M slots) a per-thread split yields 2 huge chunks and the
-/// pool's work-stealing cursor has nothing to balance — pooled mode
-/// measured *slower* than serial there. ~16k-slot chunks give the cursor
-/// dozens of units to hand out, while sparse graphs (where per-node slot
-/// counts are tiny) still collapse to one chunk per thread.
-const CHUNK_SLOT_TARGET: usize = 1 << 14;
+/// Work-stealing oversubscription: chunks per worker the pool cursor gets
+/// to hand out. More than one so a straggler chunk can be balanced; a
+/// small constant so per-chunk fixed overhead (job-cursor RMW, outcome
+/// slot, boundary-cache misses when a bitmap word straddles the cut) stays
+/// negligible against the chunk's work.
+const CHUNKS_PER_WORKER: usize = 4;
+
+/// Minimum half-edge slots a chunk must carry to amortize its fixed
+/// overhead. Below this, extra chunks cost more than the balancing they
+/// buy — the root cause of the original dense-graph pooled regression,
+/// where a ~1M-slot round was cut into 60 sub-17k-slot chunks and the
+/// dispatch overhead ate the parallel win.
+const MIN_CHUNK_SLOTS: usize = 1 << 12;
 
 /// Number of parallel chunks for a round with `total_slots` half-edge
-/// slots: enough chunks that each carries roughly [`CHUNK_SLOT_TARGET`]
-/// slots, never fewer than one per thread, and never more than nodes or
-/// [`MAX_CHUNKS`]. Chunk count only shapes the parallel split — violation
-/// selection and stats reduction are chunk-count independent.
+/// slots: [`CHUNKS_PER_WORKER`] per worker for the pool cursor to balance,
+/// capped by what the round's work can afford (each chunk must carry at
+/// least [`MIN_CHUNK_SLOTS`]), by the node count (chunks are cut at node
+/// boundaries), and by [`MAX_CHUNKS`]. Chunk count only shapes the
+/// parallel split — violation selection and stats reduction are
+/// chunk-count independent.
 pub(crate) fn chunk_count(total_slots: usize, threads: usize, n: usize) -> usize {
-    (total_slots / CHUNK_SLOT_TARGET)
-        .max(threads)
-        .min(n)
-        .clamp(1, MAX_CHUNKS)
+    let desired = threads.saturating_mul(CHUNKS_PER_WORKER);
+    let affordable = (total_slots / MIN_CHUNK_SLOTS).max(1);
+    desired.min(affordable).min(n).clamp(1, MAX_CHUNKS)
 }
 
 /// `0, 1, 2, …` — unit chunk bounds for per-chunk outcome slots.
@@ -229,13 +171,13 @@ static IOTA: [usize; MAX_CHUNKS + 1] = {
 /// `exchange` allocation-free.
 #[derive(Default)]
 struct RoundBuffers {
-    /// Wire buffers keyed by `TypeId` of `Vec<Option<M>>`. An algorithm
+    /// Wire buffers keyed by `TypeId` of [`WireBuf<M>`]. An algorithm
     /// phase alternating a handful of message types keeps one buffer per
     /// type alive; each is cleared and reused, never reallocated, once
     /// grown to the graph's slot count.
     wires: Vec<(TypeId, Box<dyn Any + Send>)>,
-    /// Fresh wire-buffer heap allocations (growths count too); stays at
-    /// its warm-up value in steady state.
+    /// Wire-buffer growth events (a fresh buffer's first sizing counts);
+    /// stays at its warm-up value in steady state.
     wire_allocs: u64,
     /// Node-index chunk boundaries, length `chunks + 1`.
     chunk_bounds: Vec<usize>,
@@ -249,33 +191,31 @@ struct RoundBuffers {
 
 impl RoundBuffers {
     /// Check out the wire buffer for message type `M`, sized and cleared.
-    fn take_wire<M: Send + 'static>(&mut self, total: usize) -> Vec<Option<M>> {
-        let tid = TypeId::of::<Vec<Option<M>>>();
+    fn take_wire<M: Send + 'static>(&mut self, total: usize) -> WireBuf<M> {
+        let tid = TypeId::of::<WireBuf<M>>();
         let mut wire = match self.wires.iter_mut().find(|(t, _)| *t == tid) {
             Some((_, boxed)) => std::mem::take(
                 boxed
-                    .downcast_mut::<Vec<Option<M>>>()
+                    .downcast_mut::<WireBuf<M>>()
                     .expect("wire buffer type matches its TypeId"),
             ),
             None => {
-                self.wires.push((tid, Box::new(Vec::<Option<M>>::new())));
-                Vec::new()
+                self.wires.push((tid, Box::new(WireBuf::<M>::default())));
+                WireBuf::default()
             }
         };
-        wire.clear();
-        if wire.capacity() < total {
+        if wire.reset(total) {
             self.wire_allocs += 1;
         }
-        wire.resize_with(total, || None);
         wire
     }
 
     /// Return the wire buffer for reuse by the next round.
-    fn store_wire<M: Send + 'static>(&mut self, wire: Vec<Option<M>>) {
-        let tid = TypeId::of::<Vec<Option<M>>>();
+    fn store_wire<M: Send + 'static>(&mut self, wire: WireBuf<M>) {
+        let tid = TypeId::of::<WireBuf<M>>();
         if let Some((_, boxed)) = self.wires.iter_mut().find(|(t, _)| *t == tid) {
             *boxed
-                .downcast_mut::<Vec<Option<M>>>()
+                .downcast_mut::<WireBuf<M>>()
                 .expect("wire buffer type matches its TypeId") = wire;
         }
     }
@@ -297,8 +237,13 @@ impl RoundBuffers {
             // Nodes are cheap, slots are the work: advance until this
             // chunk's share of slots is reached (c/chunks of the total),
             // but never past the nodes the remaining chunks still need.
+            // Every chunk takes at least one node (`v == start`), so a
+            // degree-skewed graph — where one hub node can already carry a
+            // later chunk's slot target — still yields non-empty chunks
+            // instead of zero-work dispatches.
             let target = total * c / chunks;
-            while v < n && prefix[v] < target && (n - v) > (chunks - c) {
+            let start = v;
+            while v < n && (v == start || prefix[v] < target) && (n - v) > (chunks - c) {
                 v += 1;
             }
             if c == chunks {
@@ -323,7 +268,10 @@ pub struct Network<'g> {
     /// CSR offsets (length n+1) for slicing the flat port arrays.
     prefix: Vec<usize>,
     /// Involution mapping a half-edge's global slot to its reverse slot.
-    reverse: Vec<usize>,
+    /// `u32` (the graph crate caps `2m` at `u32::MAX`): the consume
+    /// phase's dominant traffic is gathering through this table, and
+    /// halving the entry size halves it.
+    reverse: Vec<u32>,
     metrics: Metrics,
     /// Below this many total half-edge slots a round runs sequentially
     /// (threading overhead beats the parallelism).
@@ -363,11 +311,15 @@ impl<'g> Network<'g> {
             acc += graph.degree(v);
             prefix.push(acc);
         }
-        let mut reverse = vec![0usize; acc];
+        debug_assert!(
+            u32::try_from(acc).is_ok(),
+            "half-edge slots exceed u32 (graph builder enforces MAX_EDGES)"
+        );
+        let mut reverse = vec![0u32; acc];
         for v in graph.nodes() {
             for (i, &u) in graph.neighbors(v).iter().enumerate() {
                 let j = graph.port_of(u, v).expect("symmetric adjacency");
-                reverse[prefix[v as usize] + i] = prefix[u as usize] + j;
+                reverse[prefix[v as usize] + i] = (prefix[u as usize] + j) as u32;
             }
         }
         Network {
@@ -601,30 +553,34 @@ impl<'g> Network<'g> {
             None => self.bandwidth,
         };
 
-        let mut wire: Vec<Option<M>> = self.buffers.take_wire(total_slots);
+        let mut wire: WireBuf<M> = self.buffers.take_wire(total_slots);
 
         // Compose + fused accounting: each chunk fills its nodes' outbox
         // slices and reduces its own RoundStats in the same pass — no
-        // separate O(total_slots) scan afterwards.
+        // separate O(total_slots) scan afterwards. The payload arena is
+        // split into disjoint chunk ranges; the presence bitmap is shared
+        // (a 64-slot word can straddle a chunk cut) and mutated through
+        // atomics — see the `wire` module.
         self.buffers.outcomes.clear();
         self.buffers
             .outcomes
             .resize_with(chunks, ChunkOutcome::default);
         {
             let bounds = &self.buffers.chunk_bounds;
-            let wire_chunks = DisjointChunks::new(&mut wire, &self.buffers.chunk_slot_bounds);
+            let (bits_map, payload) = wire.compose_parts();
+            let payload_chunks = DisjointChunks::new(payload, &self.buffers.chunk_slot_bounds);
             let outcome_chunks = DisjointChunks::new(&mut self.buffers.outcomes, &IOTA[..=chunks]);
             let prefix = &self.prefix;
             let states_ro: &[S] = states;
             let run_chunk = move |c: usize| {
-                let slots = wire_chunks.take(c);
+                let chunk_payload = payload_chunks.take(c);
                 let outcome = &mut outcome_chunks.take(c)[0];
                 let (lo, hi) = (bounds[c], bounds[c + 1]);
                 let chunk_base = prefix[lo];
                 for v in lo..hi {
                     let base = prefix[v] - chunk_base;
                     let deg = prefix[v + 1] - prefix[v];
-                    let node_slots = &mut slots[base..base + deg];
+                    let node_payload = &mut chunk_payload[base..base + deg];
                     // A crashed/sleeping node composes nothing this round
                     // (its slots stay empty) and is counted exactly once.
                     if let Some(plan) = faults {
@@ -633,13 +589,10 @@ impl<'g> Network<'g> {
                             continue;
                         }
                     }
-                    compose(
-                        v as NodeId,
-                        &states_ro[v],
-                        &mut Outbox { slots: node_slots },
-                    );
-                    for (port, slot) in node_slots.iter_mut().enumerate() {
-                        let Some(mut bits) = slot.as_ref().map(MessageSize::bits) else {
+                    let mut outbox = Outbox::new(bits_map, node_payload, prefix[v]);
+                    compose(v as NodeId, &states_ro[v], &mut outbox);
+                    for port in 0..deg {
+                        let Some(mut bits) = outbox.peek_bits(port) else {
                             continue;
                         };
                         if let Some(plan) = faults {
@@ -648,7 +601,7 @@ impl<'g> Network<'g> {
                             let gslot = (prefix[v] + port) as u64;
                             if plan.drops(round, attempt, gslot) {
                                 // Lost at the sender: no charge, no delivery.
-                                *slot = None;
+                                outbox.clear(port);
                                 outcome.stats.messages_dropped += 1;
                                 continue;
                             }
@@ -658,7 +611,7 @@ impl<'g> Network<'g> {
                                 // simulator transports typed values, so a
                                 // partial value is a lost value.
                                 bits = bits.min(cap);
-                                *slot = None;
+                                outbox.clear(port);
                                 outcome.stats.messages_dropped += 1;
                             }
                         }
@@ -716,9 +669,9 @@ impl<'g> Network<'g> {
         {
             let bounds = &self.buffers.chunk_bounds;
             let state_chunks = DisjointChunks::new(states, bounds);
-            let wire_ro: &[Option<M>] = &wire;
+            let (bits_map, payload) = wire.read_parts();
             let prefix = &self.prefix;
-            let reverse = &self.reverse;
+            let reverse: &[u32] = &self.reverse;
             let run_chunk = move |c: usize| {
                 let chunk_states = state_chunks.take(c);
                 let (lo, hi) = (bounds[c], bounds[c + 1]);
@@ -734,12 +687,13 @@ impl<'g> Network<'g> {
                     consume(
                         v as NodeId,
                         &mut chunk_states[v - lo],
-                        Inbox {
-                            wire: wire_ro,
+                        Inbox::new(
+                            bits_map,
+                            payload,
                             reverse,
-                            base: prefix[v],
-                            ports: prefix[v + 1] - prefix[v],
-                        },
+                            prefix[v],
+                            prefix[v + 1] - prefix[v],
+                        ),
                     );
                 }
             };
@@ -787,21 +741,128 @@ mod tests {
     use ldc_graph::generators;
 
     #[test]
-    fn chunk_count_is_keyed_by_slots_not_nodes() {
-        // Dense clique shape (1000 nodes, ~1M slots, 2 threads): work-based
-        // sizing must produce many chunks for the pool cursor to balance,
-        // not one per thread.
-        assert_eq!(
-            chunk_count(999_000, 2, 1000),
-            (999_000 / CHUNK_SLOT_TARGET).min(MAX_CHUNKS)
-        );
-        assert!(chunk_count(999_000, 2, 1000) > 2);
-        // Sparse ring shape: few slots collapse to one chunk per thread.
-        assert_eq!(chunk_count(400, 2, 200), 2);
+    fn chunk_count_balances_against_fixed_overhead() {
+        // Dense clique shape (1000 nodes, ~1M slots, 2 threads): more than
+        // one chunk per worker so the pool cursor can balance, but a small
+        // multiple — not the 60 micro-chunks the old slot-stride formula
+        // produced (whose per-chunk overhead made pooled *slower* than
+        // serial on dense_complete_1000).
+        let dense = chunk_count(999_000, 2, 1000);
+        assert_eq!(dense, 2 * CHUNKS_PER_WORKER);
+        assert!(dense > 2, "must oversubscribe beyond one chunk per worker");
+        // A round too small to afford oversubscription collapses: each
+        // chunk must carry at least MIN_CHUNK_SLOTS of work.
+        assert_eq!(chunk_count(400, 2, 200), 1);
+        assert_eq!(chunk_count(2 * MIN_CHUNK_SLOTS, 8, 10_000), 2);
         // Never more chunks than nodes, never more than MAX_CHUNKS, never 0.
         assert_eq!(chunk_count(1 << 20, 4, 3), 3);
-        assert!(chunk_count(usize::MAX / 2, 8, usize::MAX / 2) <= MAX_CHUNKS);
+        assert!(chunk_count(usize::MAX / 2, 64, usize::MAX / 2) <= MAX_CHUNKS);
         assert_eq!(chunk_count(0, 1, 1), 1);
+    }
+
+    /// Regression (ISSUE 10 satellite): the `dense_complete_1000` shape —
+    /// ~1M slots over 1000 nodes — must split into >1 balanced chunk per
+    /// worker, and pooled execution must stay byte-identical to serial.
+    #[test]
+    fn dense_shape_gets_balanced_chunks_and_pooled_matches_serial() {
+        let g = generators::complete(300); // same shape, CI-sized: 89 700 slots
+        let threads = 2;
+        let slots = 300 * 299;
+        let chunks = chunk_count(slots, threads, 300);
+        assert!(
+            chunks > threads,
+            "dense shape must give the pool cursor more than one chunk per worker"
+        );
+        // Chunk bounds (node-boundary cuts over the slot prefix sums) must
+        // be balanced: no chunk more than 2× the ideal share.
+        let mut net = Network::new(&g, Bandwidth::Local);
+        net.set_threads(threads);
+        net.buffers.ensure_chunk_bounds(&net.prefix.clone(), chunks);
+        let slot_bounds = net.buffers.chunk_slot_bounds.clone();
+        assert_eq!(slot_bounds.len(), chunks + 1);
+        assert_eq!(*slot_bounds.last().unwrap(), slots);
+        for w in slot_bounds.windows(2) {
+            assert!(
+                w[1] - w[0] <= 2 * slots / chunks,
+                "unbalanced chunk: {} slots of {slots} over {chunks} chunks",
+                w[1] - w[0],
+            );
+        }
+        // Pooled vs serial byte-equality on the dense shape.
+        let run = |mode: ExecMode| -> Vec<u64> {
+            let mut net = Network::new(&g, Bandwidth::Local);
+            net.set_parallel_threshold(0);
+            net.set_threads(threads);
+            net.set_exec_mode(mode);
+            let mut states: Vec<u64> = g.nodes().map(u64::from).collect();
+            for _ in 0..3 {
+                net.broadcast_exchange(
+                    &mut states,
+                    |_, s| Some(*s),
+                    |_, s, inbox| {
+                        let mut acc = *s;
+                        for (_, m) in inbox.iter() {
+                            acc = acc.wrapping_mul(1_000_003).wrapping_add(*m);
+                        }
+                        *s = acc;
+                    },
+                )
+                .unwrap();
+            }
+            states
+        };
+        assert_eq!(run(ExecMode::Pooled), run(ExecMode::Sequential));
+    }
+
+    /// Property test for the degree-aware chunk cuts on degree-skewed
+    /// graphs: for every chunk count the bounds must cover all nodes
+    /// exactly once (coverage + disjointness follow from the bounds being
+    /// a monotone partition), land on node boundaries in slot space
+    /// (`chunk_slot_bounds[i] == prefix[chunk_bounds[i]]`), and leave no
+    /// chunk empty of nodes when chunks ≤ n.
+    #[test]
+    fn chunk_bounds_cover_skewed_graphs_at_node_boundaries() {
+        let skewed: Vec<(&str, ldc_graph::Graph)> = vec![
+            ("star", generators::star(500)),
+            ("lollipop", generators::lollipop(400, 80)),
+            (
+                "powerlaw-ish",
+                generators::preferential_attachment(300, 3, 7),
+            ),
+            ("gnp", generators::gnp(256, 0.05, 11)),
+            ("ring", generators::ring(64)),
+        ];
+        for (name, g) in &skewed {
+            let net = Network::new(g, Bandwidth::Local);
+            let prefix = net.prefix.clone();
+            let n = g.num_nodes();
+            let total = *prefix.last().unwrap();
+            for chunks in [1usize, 2, 3, 5, 8, 17, MAX_CHUNKS] {
+                let chunks = chunks.min(n);
+                let mut buffers = RoundBuffers::default();
+                buffers.ensure_chunk_bounds(&prefix, chunks);
+                let bounds = &buffers.chunk_bounds;
+                let slot_bounds = &buffers.chunk_slot_bounds;
+                assert_eq!(bounds.len(), chunks + 1, "{name}/{chunks}");
+                assert_eq!(bounds[0], 0, "{name}/{chunks}");
+                assert_eq!(bounds[chunks], n, "{name}/{chunks}: full coverage");
+                assert_eq!(slot_bounds[chunks], total, "{name}/{chunks}");
+                for i in 0..chunks {
+                    // Monotone partition ⇒ disjoint, gap-free node ranges;
+                    // ≤ n chunks ⇒ every chunk owns at least one node.
+                    assert!(
+                        bounds[i] < bounds[i + 1],
+                        "{name}/{chunks}: empty chunk {i}"
+                    );
+                    // Slot bounds are the same cuts through the half-edge
+                    // prefix sums — node-boundary aligned by construction.
+                    assert_eq!(
+                        slot_bounds[i], prefix[bounds[i]],
+                        "{name}/{chunks}: cut {i} off node boundary"
+                    );
+                }
+            }
+        }
     }
 
     /// Flood the maximum node id: after diam(G) rounds every node knows it.

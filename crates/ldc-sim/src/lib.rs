@@ -65,6 +65,8 @@ pub mod par;
 pub mod pool;
 pub mod telemetry;
 pub mod trace;
+#[allow(unsafe_code)]
+pub mod wire;
 
 pub use engine::{Bandwidth, ExecMode, Inbox, Network, Outbox, SimError};
 pub use faults::{CrashWindow, FaultPlan, RetryPolicy};

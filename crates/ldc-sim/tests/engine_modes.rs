@@ -91,8 +91,9 @@ fn pooled_mode_spawns_no_threads_per_round() {
 }
 
 /// Pooled-parallel, scoped-parallel, and sequential execution must produce
-/// byte-identical states and identical per-round metrics, across seeds and
-/// graph shapes.
+/// byte-identical states and identical per-round metrics, across seeds,
+/// graph shapes, and thread counts (t = 1/2/4/8 — the bench sweep's
+/// widths; chunking changes with `t`, output must not).
 #[test]
 fn all_exec_modes_agree_across_seeds() {
     for case in 0..12u64 {
@@ -102,26 +103,33 @@ fn all_exec_modes_agree_across_seeds() {
         let g = generators::gnp(n, p, case);
         let rounds = 3 + (case as usize % 4);
 
-        let run = |mode: ExecMode, threshold: usize| -> (Vec<u64>, Vec<RoundStats>) {
-            let mut net = Network::new(&g, Bandwidth::Local);
-            net.set_threads(4);
-            net.set_exec_mode(mode);
-            net.set_parallel_threshold(threshold);
-            let mut states: Vec<u64> = (0..n as u64).map(|v| v.wrapping_mul(case + 1)).collect();
-            for _ in 0..rounds {
-                mix_round(&mut net, &mut states).unwrap();
-            }
-            (states, net.metrics().per_round().to_vec())
-        };
+        let run =
+            |mode: ExecMode, threads: usize, threshold: usize| -> (Vec<u64>, Vec<RoundStats>) {
+                let mut net = Network::new(&g, Bandwidth::Local);
+                net.set_threads(threads);
+                net.set_exec_mode(mode);
+                net.set_parallel_threshold(threshold);
+                let mut states: Vec<u64> =
+                    (0..n as u64).map(|v| v.wrapping_mul(case + 1)).collect();
+                for _ in 0..rounds {
+                    mix_round(&mut net, &mut states).unwrap();
+                }
+                (states, net.metrics().per_round().to_vec())
+            };
 
-        let (seq_states, seq_rounds) = run(ExecMode::Sequential, 0);
+        let (seq_states, seq_rounds) = run(ExecMode::Sequential, 1, 0);
         for mode in [ExecMode::Pooled, ExecMode::Scoped] {
-            let (states, per_round) = run(mode, 0);
-            assert_eq!(states, seq_states, "case {case}: {mode:?} states diverged");
-            assert_eq!(
-                per_round, seq_rounds,
-                "case {case}: {mode:?} metrics diverged"
-            );
+            for threads in [1usize, 2, 4, 8] {
+                let (states, per_round) = run(mode, threads, 0);
+                assert_eq!(
+                    states, seq_states,
+                    "case {case}: {mode:?}@t{threads} states diverged"
+                );
+                assert_eq!(
+                    per_round, seq_rounds,
+                    "case {case}: {mode:?}@t{threads} metrics diverged"
+                );
+            }
         }
     }
 }
